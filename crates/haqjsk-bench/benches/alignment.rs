@@ -1,0 +1,60 @@
+//! Criterion micro-benchmarks of the hierarchical-alignment pipeline pieces:
+//! depth-based representations, κ-means prototype construction and the
+//! correspondence/congruence transforms (steps a–c of the complexity
+//! analysis in Sec. III-D).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use haqjsk_core::correspondence::GraphCorrespondences;
+use haqjsk_core::db_representation::DbRepresentations;
+use haqjsk_core::{HaqjskConfig, PrototypeHierarchy};
+use haqjsk_graph::generators::erdos_renyi;
+use haqjsk_graph::Graph;
+use std::time::Duration;
+
+fn dataset(count: usize, size: usize) -> Vec<Graph> {
+    (0..count)
+        .map(|i| erdos_renyi(size, 0.2, i as u64))
+        .collect()
+}
+
+fn bench_db_representations(c: &mut Criterion) {
+    let mut group = c.benchmark_group("db_representations");
+    group.sample_size(10).measurement_time(Duration::from_secs(3));
+    for size in [16usize, 32, 64] {
+        let graphs = dataset(10, size);
+        group.bench_with_input(BenchmarkId::from_parameter(size), &graphs, |b, g| {
+            b.iter(|| DbRepresentations::compute(g, 4));
+        });
+    }
+    group.finish();
+}
+
+fn bench_hierarchy_and_correspondence(c: &mut Criterion) {
+    let graphs = dataset(16, 24);
+    let reps = DbRepresentations::compute(&graphs, 3);
+    let config = HaqjskConfig {
+        hierarchy_levels: 3,
+        num_prototypes: 32,
+        layer_cap: 3,
+        ..HaqjskConfig::small()
+    };
+    let hierarchy = PrototypeHierarchy::build(&reps, &config);
+
+    let mut group = c.benchmark_group("alignment");
+    group.sample_size(10).measurement_time(Duration::from_secs(3));
+    group.bench_function("prototype_hierarchy_build", |b| {
+        b.iter(|| PrototypeHierarchy::build(&reps, &config))
+    });
+    group.bench_function("graph_correspondences", |b| {
+        b.iter(|| GraphCorrespondences::compute(&reps, 0, &hierarchy))
+    });
+    let corr = GraphCorrespondences::compute(&reps, 0, &hierarchy);
+    let adjacency = graphs[0].adjacency_matrix();
+    group.bench_function("congruence_transform", |b| {
+        b.iter(|| corr.at(1, 1).transform(&adjacency))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_db_representations, bench_hierarchy_and_correspondence);
+criterion_main!(benches);

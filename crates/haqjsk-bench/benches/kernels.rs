@@ -1,0 +1,60 @@
+//! Criterion micro-benchmarks of the pairwise kernel evaluations: each of
+//! the baseline kernels and the fitted HAQJSK kernels on a fixed pair of
+//! medium-sized graphs. This is the per-pair cost that multiplies into the
+//! Table IV Gram-matrix runtimes.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use haqjsk_core::{HaqjskConfig, HaqjskModel, HaqjskVariant};
+use haqjsk_graph::generators::{barabasi_albert, erdos_renyi, watts_strogatz};
+use haqjsk_graph::Graph;
+use haqjsk_kernels::{
+    GraphKernel, GraphletKernel, QjskUnaligned, ShortestPathKernel, WeisfeilerLehmanKernel,
+};
+use std::time::Duration;
+
+fn bench_pairwise_kernels(c: &mut Criterion) {
+    let a = erdos_renyi(30, 0.2, 1);
+    let b = barabasi_albert(28, 2, 2);
+    let mut group = c.benchmark_group("pairwise_kernel");
+    group.sample_size(10).measurement_time(Duration::from_secs(3));
+
+    let wl = WeisfeilerLehmanKernel::new(3);
+    group.bench_function("WLSK", |bencher| bencher.iter(|| wl.compute(&a, &b)));
+
+    let sp = ShortestPathKernel::new();
+    group.bench_function("SPGK", |bencher| bencher.iter(|| sp.compute(&a, &b)));
+
+    let gl = GraphletKernel::three_only();
+    group.bench_function("GCGK(3)", |bencher| bencher.iter(|| gl.compute(&a, &b)));
+
+    let qjsk = QjskUnaligned::default();
+    group.bench_function("QJSK", |bencher| bencher.iter(|| qjsk.compute(&a, &b)));
+    group.finish();
+}
+
+fn bench_haqjsk_kernel(c: &mut Criterion) {
+    let graphs: Vec<Graph> = (0..12)
+        .map(|i| watts_strogatz(24 + i % 6, 4, 0.2, i as u64))
+        .collect();
+    let config = HaqjskConfig {
+        hierarchy_levels: 3,
+        num_prototypes: 16,
+        layer_cap: 3,
+        ..HaqjskConfig::small()
+    };
+    let model = HaqjskModel::fit(&graphs, config, HaqjskVariant::AlignedAdjacency).unwrap();
+    let aligned: Vec<_> = graphs.iter().map(|g| model.transform(g).unwrap()).collect();
+
+    let mut group = c.benchmark_group("haqjsk");
+    group.sample_size(10).measurement_time(Duration::from_secs(3));
+    group.bench_function("transform_one_graph", |bencher| {
+        bencher.iter(|| model.transform(&graphs[0]).unwrap())
+    });
+    group.bench_function("kernel_between_transformed", |bencher| {
+        bencher.iter(|| model.kernel(&aligned[0], &aligned[1]))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_pairwise_kernels, bench_haqjsk_kernel);
+criterion_main!(benches);

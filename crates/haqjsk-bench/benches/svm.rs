@@ -1,0 +1,56 @@
+//! Criterion micro-benchmarks of the evaluation harness: SMO training of the
+//! kernel C-SVM and the full cross-validation pass on a precomputed Gram
+//! matrix (the per-kernel cost of producing a Table IV cell once the Gram
+//! matrix exists).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use haqjsk_kernels::KernelMatrix;
+use haqjsk_linalg::Matrix;
+use haqjsk_ml::{cross_validate_kernel, CrossValidationConfig, KernelSvm, SvmConfig};
+use std::time::Duration;
+
+/// A block-structured kernel matrix with two classes.
+fn toy_problem(per_class: usize) -> (KernelMatrix, Vec<usize>, Vec<f64>) {
+    let n = per_class * 2;
+    let mut m = Matrix::zeros(n, n);
+    for i in 0..n {
+        for j in 0..n {
+            let same = (i < per_class) == (j < per_class);
+            let noise = (((i * 31 + j * 17) % 13) as f64) / 130.0;
+            m[(i, j)] = if same { 1.0 - noise } else { 0.2 + noise };
+        }
+    }
+    let m = m.symmetrize().unwrap();
+    let classes: Vec<usize> = (0..n).map(|i| usize::from(i >= per_class)).collect();
+    let labels: Vec<f64> = classes.iter().map(|&c| if c == 0 { 1.0 } else { -1.0 }).collect();
+    (KernelMatrix::new(m).unwrap(), classes, labels)
+}
+
+fn bench_svm_training(c: &mut Criterion) {
+    let mut group = c.benchmark_group("svm_train");
+    group.sample_size(10).measurement_time(Duration::from_secs(3));
+    for per_class in [20usize, 50] {
+        let (kernel, _, labels) = toy_problem(per_class);
+        group.bench_with_input(
+            BenchmarkId::from_parameter(per_class * 2),
+            &(kernel, labels),
+            |b, (k, l)| {
+                b.iter(|| KernelSvm::train(k.matrix(), l, &SvmConfig::with_c(1.0)));
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_cross_validation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("cross_validation");
+    group.sample_size(10).measurement_time(Duration::from_secs(5));
+    let (kernel, classes, _) = toy_problem(40);
+    group.bench_function("quick_protocol_80_graphs", |b| {
+        b.iter(|| cross_validate_kernel(&kernel, &classes, &CrossValidationConfig::quick()));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_svm_training, bench_cross_validation);
+criterion_main!(benches);

@@ -1,0 +1,50 @@
+//! Ablation: effect of the 1-level prototype count `M = |P^{1,k}|` on
+//! classification accuracy and runtime (the paper fixes `M = 256` because it
+//! exceeds the mean graph size of most datasets).
+//!
+//! ```text
+//! cargo run --release -p haqjsk-bench --bin ablation_prototypes [--medium|--full]
+//! ```
+
+use haqjsk_bench::{evaluate_haqjsk, RunScale};
+use haqjsk_core::{HaqjskConfig, HaqjskVariant};
+use haqjsk_datasets::generate_by_name;
+use std::time::Instant;
+
+fn main() {
+    let scale = RunScale::from_args();
+    println!("Ablation — prototype count M ({})\n", scale.describe());
+    let dataset = generate_by_name("PTC(MR)", scale.graph_divisor(), scale.size_divisor(), 42)
+        .expect("PTC(MR) is a known dataset");
+    let cv = scale.cv_config();
+    let base = scale.haqjsk_config();
+
+    let grid: &[usize] = match scale {
+        RunScale::Quick => &[4, 8, 16, 32],
+        RunScale::Medium => &[8, 16, 32, 64, 128],
+        RunScale::Full => &[16, 32, 64, 128, 256],
+    };
+
+    println!(
+        "{:<6} {:>22} {:>22} {:>12}",
+        "M", "HAQJSK(A) accuracy", "HAQJSK(D) accuracy", "seconds"
+    );
+    for &m in grid {
+        let config = HaqjskConfig {
+            num_prototypes: m,
+            ..base.clone()
+        };
+        let start = Instant::now();
+        let a = evaluate_haqjsk(HaqjskVariant::AlignedAdjacency, &config, &dataset, &cv)
+            .expect("evaluation succeeds");
+        let d = evaluate_haqjsk(HaqjskVariant::AlignedDensity, &config, &dataset, &cv)
+            .expect("evaluation succeeds");
+        println!(
+            "{:<6} {:>22} {:>22} {:>12.1}",
+            m,
+            a.accuracy,
+            d.accuracy,
+            start.elapsed().as_secs_f64()
+        );
+    }
+}

@@ -1,0 +1,31 @@
+//! Regenerates Table I of the paper: the qualitative property matrix of the
+//! kernel families (positive definiteness, tottering, alignment,
+//! local/global information, hierarchy).
+//!
+//! ```text
+//! cargo run -p haqjsk-bench --bin table1_properties
+//! ```
+
+use haqjsk_kernels::properties::table1_kernel_family_properties;
+
+fn main() {
+    println!("Table I — properties of the kernel families\n");
+    println!(
+        "{:<24} {:>10} {:>10} {:>12} {:>12} {:>8} {:>8} {:>14}",
+        "Kernel family", "PD", "Tottering", "Struct.align", "Trans.align", "Local", "Global", "Hierarchical"
+    );
+    for row in table1_kernel_family_properties() {
+        println!(
+            "{:<24} {:>10} {:>10} {:>12} {:>12} {:>8} {:>8} {:>14}",
+            row.family,
+            row.positive_definite.symbol(),
+            row.reduce_tottering.symbol(),
+            row.structural_alignment.symbol(),
+            row.transitive_alignment.symbol(),
+            row.local_information.symbol(),
+            row.global_information.symbol(),
+            row.hierarchical_alignment.symbol(),
+        );
+    }
+    println!("\n(The PD and transitivity claims are verified empirically by the psd_check binary.)");
+}

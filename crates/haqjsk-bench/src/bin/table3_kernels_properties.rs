@@ -1,0 +1,28 @@
+//! Regenerates Table III of the paper: the design axes of the comparison
+//! kernels (framework, alignment, transitivity, structure patterns,
+//! computing model).
+//!
+//! ```text
+//! cargo run -p haqjsk-bench --bin table3_kernels_properties
+//! ```
+
+use haqjsk_kernels::properties::table3_comparison_kernels;
+
+fn main() {
+    println!("Table III — graph kernels for comparison\n");
+    println!(
+        "{:<12} {:<36} {:>8} {:>11} {:<36} {:<15}",
+        "kernel", "framework", "aligned", "transitive", "structure patterns", "computing model"
+    );
+    for row in table3_comparison_kernels() {
+        println!(
+            "{:<12} {:<36} {:>8} {:>11} {:<36} {:<15}",
+            row.name,
+            row.framework,
+            if row.aligned { "yes" } else { "no" },
+            if row.transitive { "yes" } else { "no" },
+            row.structure_patterns,
+            row.computing_model,
+        );
+    }
+}

@@ -1,0 +1,248 @@
+//! Correspondence matrices between graph vertices and hierarchical
+//! prototypes (Eq. 15 / Eq. 17 of the paper).
+//!
+//! `C^{h,k}_p ∈ {0,1}^{|V_p| × |P^{h,k}|}` has a single 1 per row: vertex
+//! `v_i` is aligned to its nearest `h`-level prototype in the `k`-dimensional
+//! depth-based representation space. Two vertices (of the same or of
+//! different graphs) are *transitively aligned* whenever they map to the same
+//! prototype — the key property that makes the resulting kernels positive
+//! definite.
+
+use crate::db_representation::DbRepresentations;
+use crate::hierarchy::PrototypeHierarchy;
+use crate::kmeans::nearest;
+use haqjsk_linalg::Matrix;
+
+/// The correspondence matrix of one graph against one prototype set.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CorrespondenceMatrix {
+    matrix: Matrix,
+    /// `assignment[v]` = prototype index that vertex `v` is aligned to.
+    assignment: Vec<usize>,
+}
+
+impl CorrespondenceMatrix {
+    /// Aligns each vertex representation to its nearest prototype.
+    pub fn align(vertex_representations: &[Vec<f64>], prototypes: &[Vec<f64>]) -> Self {
+        let n = vertex_representations.len();
+        let m = prototypes.len();
+        let mut matrix = Matrix::zeros(n, m);
+        let mut assignment = Vec::with_capacity(n);
+        for (i, rep) in vertex_representations.iter().enumerate() {
+            if m == 0 {
+                assignment.push(0);
+                continue;
+            }
+            let (j, _) = nearest(rep, prototypes);
+            matrix[(i, j)] = 1.0;
+            assignment.push(j);
+        }
+        CorrespondenceMatrix { matrix, assignment }
+    }
+
+    /// The 0/1 matrix `C^{h,k}_p`.
+    pub fn matrix(&self) -> &Matrix {
+        &self.matrix
+    }
+
+    /// Number of vertices (rows).
+    pub fn num_vertices(&self) -> usize {
+        self.matrix.rows()
+    }
+
+    /// Number of prototypes (columns).
+    pub fn num_prototypes(&self) -> usize {
+        self.matrix.cols()
+    }
+
+    /// Prototype index assigned to vertex `v`.
+    pub fn prototype_of(&self, v: usize) -> usize {
+        self.assignment[v]
+    }
+
+    /// Congruence transform `Cᵀ X C` mapping an `n x n` vertex-indexed
+    /// matrix (adjacency or density) into the fixed-size prototype-indexed
+    /// space — the aligned-structure construction of Eq. 19 / Eq. 21.
+    pub fn transform(&self, vertex_matrix: &Matrix) -> Matrix {
+        let n = self.num_vertices();
+        let m = self.num_prototypes();
+        debug_assert_eq!(vertex_matrix.rows(), n);
+        debug_assert_eq!(vertex_matrix.cols(), n);
+        if m == 0 {
+            return Matrix::zeros(0, 0);
+        }
+        // Because C has exactly one 1 per row, CᵀXC can be accumulated
+        // directly: out[a(i)][a(j)] += X[i][j]. This is O(n²) instead of two
+        // dense O(n² m) multiplications.
+        let mut out = Matrix::zeros(m, m);
+        for i in 0..n {
+            let pi = self.assignment[i];
+            for j in 0..n {
+                let x = vertex_matrix[(i, j)];
+                if x != 0.0 {
+                    out[(pi, self.assignment[j])] += x;
+                }
+            }
+        }
+        out
+    }
+
+    /// Whether two vertices of (possibly different) graphs are transitively
+    /// aligned, i.e. mapped to the same prototype.
+    pub fn transitively_aligned(&self, v: usize, other: &CorrespondenceMatrix, w: usize) -> bool {
+        self.prototype_of(v) == other.prototype_of(w)
+    }
+}
+
+/// All correspondence matrices of one graph: indexed by hierarchy level `h`
+/// (1-based) and layer parameter `k` (1-based).
+#[derive(Debug, Clone)]
+pub struct GraphCorrespondences {
+    /// `per_level[h-1][k-1]` is `C^{h,k}_p`.
+    per_level: Vec<Vec<CorrespondenceMatrix>>,
+}
+
+impl GraphCorrespondences {
+    /// Computes every `C^{h,k}_p` for one graph against a prototype
+    /// hierarchy.
+    pub fn compute(
+        representations: &DbRepresentations,
+        graph_index: usize,
+        hierarchy: &PrototypeHierarchy,
+    ) -> Self {
+        let levels = hierarchy.num_levels();
+        let max_k = hierarchy.max_layers();
+        let mut per_level = Vec::with_capacity(levels);
+        for h in 1..=levels {
+            let mut per_k = Vec::with_capacity(max_k);
+            for k in 1..=max_k {
+                let reps = representations.graph_representations(graph_index, k);
+                let prototypes = hierarchy.layer(k).prototypes(h);
+                per_k.push(CorrespondenceMatrix::align(&reps, prototypes));
+            }
+            per_level.push(per_k);
+        }
+        GraphCorrespondences { per_level }
+    }
+
+    /// `C^{h,k}` for 1-based `h` and `k`.
+    pub fn at(&self, h: usize, k: usize) -> &CorrespondenceMatrix {
+        &self.per_level[h - 1][k - 1]
+    }
+
+    /// Number of hierarchy levels.
+    pub fn num_levels(&self) -> usize {
+        self.per_level.len()
+    }
+
+    /// Number of layer parameters.
+    pub fn max_layers(&self) -> usize {
+        self.per_level.first().map(Vec::len).unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::HaqjskConfig;
+    use haqjsk_graph::generators::{cycle_graph, path_graph, star_graph};
+
+    #[test]
+    fn rows_have_exactly_one_assignment() {
+        let reps = vec![vec![0.1, 0.2], vec![5.0, 5.0], vec![0.15, 0.25]];
+        let prototypes = vec![vec![0.0, 0.0], vec![5.0, 5.0]];
+        let c = CorrespondenceMatrix::align(&reps, &prototypes);
+        assert_eq!(c.num_vertices(), 3);
+        assert_eq!(c.num_prototypes(), 2);
+        for i in 0..3 {
+            let row_sum: f64 = (0..2).map(|j| c.matrix()[(i, j)]).sum();
+            assert_eq!(row_sum, 1.0);
+        }
+        assert_eq!(c.prototype_of(0), 0);
+        assert_eq!(c.prototype_of(1), 1);
+        assert_eq!(c.prototype_of(2), 0);
+        assert!(c.transitively_aligned(0, &c, 2));
+        assert!(!c.transitively_aligned(0, &c, 1));
+    }
+
+    #[test]
+    fn transform_accumulates_adjacency_mass() {
+        // Path 0-1-2 with vertices 0,2 aligned to prototype 0 and vertex 1
+        // aligned to prototype 1.
+        let reps = vec![vec![0.0], vec![10.0], vec![0.0]];
+        let prototypes = vec![vec![0.0], vec![10.0]];
+        let c = CorrespondenceMatrix::align(&reps, &prototypes);
+        let adjacency = haqjsk_graph::generators::path_graph(3).adjacency_matrix();
+        let aligned = c.transform(&adjacency);
+        assert_eq!(aligned.shape(), (2, 2));
+        // Edges (0,1) and (1,2) both connect prototype 0 with prototype 1.
+        assert_eq!(aligned[(0, 1)], 2.0);
+        assert_eq!(aligned[(1, 0)], 2.0);
+        assert_eq!(aligned[(0, 0)], 0.0);
+        assert_eq!(aligned[(1, 1)], 0.0);
+        // Total mass is preserved by the congruence with a row-stochastic
+        // 0/1 matrix.
+        assert_eq!(aligned.sum(), adjacency.sum());
+        // Matches the explicit matrix product CᵀAC.
+        let explicit = c
+            .matrix()
+            .transpose()
+            .matmul(&adjacency)
+            .unwrap()
+            .matmul(c.matrix())
+            .unwrap();
+        assert!((&explicit - &aligned).max_abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_prototype_set_is_tolerated() {
+        let reps = vec![vec![1.0], vec![2.0]];
+        let c = CorrespondenceMatrix::align(&reps, &[]);
+        assert_eq!(c.num_prototypes(), 0);
+        let transformed = c.transform(&Matrix::identity(2));
+        assert_eq!(transformed.shape(), (0, 0));
+    }
+
+    #[test]
+    fn graph_correspondences_cover_all_levels_and_layers() {
+        let graphs = vec![path_graph(5), cycle_graph(6), star_graph(4)];
+        let reps = DbRepresentations::compute_auto(&graphs, 3);
+        let config = HaqjskConfig {
+            hierarchy_levels: 3,
+            num_prototypes: 6,
+            ..HaqjskConfig::small()
+        };
+        let hierarchy = PrototypeHierarchy::build(&reps, &config);
+        let corr = GraphCorrespondences::compute(&reps, 1, &hierarchy);
+        assert_eq!(corr.num_levels(), 3);
+        assert_eq!(corr.max_layers(), reps.max_layers());
+        for h in 1..=3 {
+            for k in 1..=corr.max_layers() {
+                let c = corr.at(h, k);
+                assert_eq!(c.num_vertices(), graphs[1].num_vertices());
+                assert_eq!(c.num_prototypes(), hierarchy.prototypes_at(h, k));
+            }
+        }
+    }
+
+    #[test]
+    fn identical_graphs_get_identical_correspondences() {
+        // Transitivity in action: two copies of the same graph align to the
+        // same prototypes, so their correspondence matrices coincide.
+        let graphs = vec![cycle_graph(5), cycle_graph(5), path_graph(6)];
+        let reps = DbRepresentations::compute_auto(&graphs, 3);
+        let config = HaqjskConfig {
+            hierarchy_levels: 2,
+            num_prototypes: 4,
+            ..HaqjskConfig::small()
+        };
+        let hierarchy = PrototypeHierarchy::build(&reps, &config);
+        let c0 = GraphCorrespondences::compute(&reps, 0, &hierarchy);
+        let c1 = GraphCorrespondences::compute(&reps, 1, &hierarchy);
+        for h in 1..=2 {
+            for k in 1..=reps.max_layers() {
+                assert_eq!(c0.at(h, k), c1.at(h, k));
+            }
+        }
+    }
+}

@@ -1,0 +1,271 @@
+//! κ-means clustering (Lloyd's algorithm with k-means++ seeding).
+//!
+//! The hierarchical prototype construction of the paper (Eq. 13–16) is plain
+//! κ-means over vertex representations, applied repeatedly: once over all
+//! vertex representations to obtain the 1-level prototypes, then over the
+//! `h-1`-level prototypes to obtain the `h`-level ones. The implementation is
+//! deterministic given its seed so kernels and experiments are reproducible.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Result of a κ-means run.
+#[derive(Debug, Clone)]
+pub struct KMeansResult {
+    /// Cluster centroids (the prototype representations).
+    pub centroids: Vec<Vec<f64>>,
+    /// Index of the centroid assigned to each input point.
+    pub assignments: Vec<usize>,
+    /// Final within-cluster sum of squared distances (the objective of
+    /// Eq. 13).
+    pub inertia: f64,
+    /// Number of Lloyd iterations that were executed.
+    pub iterations: usize,
+}
+
+/// Configuration for a κ-means run.
+#[derive(Debug, Clone)]
+pub struct KMeans {
+    /// Requested number of clusters (capped at the number of points).
+    pub k: usize,
+    /// Maximum number of Lloyd iterations.
+    pub max_iterations: usize,
+    /// Convergence threshold on the centroid movement (squared distance).
+    pub tolerance: f64,
+    /// RNG seed for the k-means++ initialisation.
+    pub seed: u64,
+}
+
+impl KMeans {
+    /// Creates a κ-means configuration with default iteration budget.
+    pub fn new(k: usize, seed: u64) -> Self {
+        KMeans {
+            k,
+            max_iterations: 100,
+            tolerance: 1e-9,
+            seed,
+        }
+    }
+
+    /// Runs κ-means on the given points. Returns centroids, assignments and
+    /// the final inertia. If there are fewer points than clusters, the
+    /// points themselves become the centroids.
+    pub fn fit(&self, points: &[Vec<f64>]) -> KMeansResult {
+        let n = points.len();
+        if n == 0 {
+            return KMeansResult {
+                centroids: Vec::new(),
+                assignments: Vec::new(),
+                inertia: 0.0,
+                iterations: 0,
+            };
+        }
+        let dim = points[0].len();
+        debug_assert!(points.iter().all(|p| p.len() == dim), "ragged point set");
+        let k = self.k.max(1).min(n);
+
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        let mut centroids = self.init_plus_plus(points, k, &mut rng);
+        let mut assignments = vec![0usize; n];
+        let mut iterations = 0;
+
+        for iter in 0..self.max_iterations {
+            iterations = iter + 1;
+            // Assignment step.
+            for (i, p) in points.iter().enumerate() {
+                assignments[i] = nearest(p, &centroids).0;
+            }
+            // Update step.
+            let mut sums = vec![vec![0.0_f64; dim]; k];
+            let mut counts = vec![0usize; k];
+            for (i, p) in points.iter().enumerate() {
+                let c = assignments[i];
+                counts[c] += 1;
+                for (s, &x) in sums[c].iter_mut().zip(p.iter()) {
+                    *s += x;
+                }
+            }
+            let mut movement = 0.0_f64;
+            for c in 0..k {
+                if counts[c] == 0 {
+                    // Empty cluster: re-seed it at the point farthest from
+                    // its current centroid to keep k clusters alive.
+                    let (far_idx, _) = points
+                        .iter()
+                        .enumerate()
+                        .map(|(i, p)| (i, haqjsk_linalg::vector::squared_distance(p, &centroids[assignments[i]])))
+                        .max_by(|a, b| a.1.partial_cmp(&b.1).expect("finite distances"))
+                        .expect("non-empty point set");
+                    movement += haqjsk_linalg::vector::squared_distance(&centroids[c], &points[far_idx]);
+                    centroids[c] = points[far_idx].clone();
+                    continue;
+                }
+                let new_centroid: Vec<f64> = sums[c]
+                    .iter()
+                    .map(|&s| s / counts[c] as f64)
+                    .collect();
+                movement += haqjsk_linalg::vector::squared_distance(&centroids[c], &new_centroid);
+                centroids[c] = new_centroid;
+            }
+            if movement <= self.tolerance {
+                break;
+            }
+        }
+
+        // Final assignment and inertia.
+        let mut inertia = 0.0;
+        for (i, p) in points.iter().enumerate() {
+            let (c, d2) = nearest(p, &centroids);
+            assignments[i] = c;
+            inertia += d2;
+        }
+
+        KMeansResult {
+            centroids,
+            assignments,
+            inertia,
+            iterations,
+        }
+    }
+
+    /// k-means++ initialisation: the first centroid is uniform, every
+    /// subsequent one is drawn with probability proportional to the squared
+    /// distance to the nearest already-chosen centroid.
+    fn init_plus_plus(&self, points: &[Vec<f64>], k: usize, rng: &mut StdRng) -> Vec<Vec<f64>> {
+        let n = points.len();
+        let mut centroids: Vec<Vec<f64>> = Vec::with_capacity(k);
+        centroids.push(points[rng.gen_range(0..n)].clone());
+        let mut d2 = vec![0.0_f64; n];
+        while centroids.len() < k {
+            let mut total = 0.0;
+            for (i, p) in points.iter().enumerate() {
+                d2[i] = haqjsk_linalg::vector::squared_distance(p, centroids.last().expect("non-empty"))
+                    .min(if centroids.len() == 1 {
+                        f64::INFINITY
+                    } else {
+                        d2[i]
+                    });
+                total += d2[i];
+            }
+            if total <= 0.0 {
+                // All remaining points coincide with existing centroids.
+                centroids.push(points[rng.gen_range(0..n)].clone());
+                continue;
+            }
+            let mut target = rng.gen::<f64>() * total;
+            let mut chosen = n - 1;
+            for (i, &w) in d2.iter().enumerate() {
+                if target <= w {
+                    chosen = i;
+                    break;
+                }
+                target -= w;
+            }
+            centroids.push(points[chosen].clone());
+        }
+        centroids
+    }
+}
+
+/// Index and squared distance of the nearest centroid to `point`.
+pub fn nearest(point: &[f64], centroids: &[Vec<f64>]) -> (usize, f64) {
+    let mut best = 0usize;
+    let mut best_d2 = f64::INFINITY;
+    for (c, centroid) in centroids.iter().enumerate() {
+        let d2 = haqjsk_linalg::vector::squared_distance(point, centroid);
+        if d2 < best_d2 {
+            best_d2 = d2;
+            best = c;
+        }
+    }
+    (best, best_d2)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn two_blobs() -> Vec<Vec<f64>> {
+        let mut points = Vec::new();
+        for i in 0..10 {
+            points.push(vec![0.0 + 0.01 * i as f64, 0.0]);
+            points.push(vec![10.0 + 0.01 * i as f64, 10.0]);
+        }
+        points
+    }
+
+    #[test]
+    fn separates_two_well_separated_blobs() {
+        let result = KMeans::new(2, 1).fit(&two_blobs());
+        assert_eq!(result.centroids.len(), 2);
+        // Points 2i and 2i+1 belong to different blobs, so their assignments
+        // must differ and be internally consistent.
+        let first = result.assignments[0];
+        let second = result.assignments[1];
+        assert_ne!(first, second);
+        for i in 0..10 {
+            assert_eq!(result.assignments[2 * i], first);
+            assert_eq!(result.assignments[2 * i + 1], second);
+        }
+        assert!(result.inertia < 1.0);
+        // One centroid near (0,0), one near (10,10).
+        let mut xs: Vec<f64> = result.centroids.iter().map(|c| c[0]).collect();
+        xs.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        assert!(xs[0] < 1.0 && xs[1] > 9.0);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let points = two_blobs();
+        let a = KMeans::new(3, 7).fit(&points);
+        let b = KMeans::new(3, 7).fit(&points);
+        assert_eq!(a.assignments, b.assignments);
+        assert_eq!(a.centroids, b.centroids);
+    }
+
+    #[test]
+    fn more_clusters_than_points_caps_k() {
+        let points = vec![vec![1.0], vec![2.0], vec![3.0]];
+        let result = KMeans::new(10, 0).fit(&points);
+        assert_eq!(result.centroids.len(), 3);
+        assert!(result.inertia < 1e-12);
+    }
+
+    #[test]
+    fn empty_input_and_single_cluster() {
+        let empty: Vec<Vec<f64>> = Vec::new();
+        let r = KMeans::new(4, 0).fit(&empty);
+        assert!(r.centroids.is_empty());
+        assert!(r.assignments.is_empty());
+
+        let points = vec![vec![1.0, 1.0], vec![3.0, 3.0]];
+        let r1 = KMeans::new(1, 0).fit(&points);
+        assert_eq!(r1.centroids.len(), 1);
+        assert_eq!(r1.centroids[0], vec![2.0, 2.0]);
+    }
+
+    #[test]
+    fn identical_points_do_not_break_initialisation() {
+        let points = vec![vec![5.0, 5.0]; 8];
+        let r = KMeans::new(3, 11).fit(&points);
+        assert_eq!(r.centroids.len(), 3);
+        assert!(r.inertia < 1e-12);
+        assert!(r.assignments.iter().all(|&a| a < 3));
+    }
+
+    #[test]
+    fn inertia_decreases_with_more_clusters() {
+        let points: Vec<Vec<f64>> = (0..30).map(|i| vec![i as f64, (i % 7) as f64]).collect();
+        let k2 = KMeans::new(2, 3).fit(&points).inertia;
+        let k8 = KMeans::new(8, 3).fit(&points).inertia;
+        assert!(k8 < k2);
+    }
+
+    #[test]
+    fn nearest_helper() {
+        let centroids = vec![vec![0.0, 0.0], vec![10.0, 0.0]];
+        let (idx, d2) = nearest(&[9.0, 0.0], &centroids);
+        assert_eq!(idx, 1);
+        assert!((d2 - 1.0).abs() < 1e-12);
+    }
+}

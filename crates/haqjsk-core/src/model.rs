@@ -1,0 +1,374 @@
+//! The fitted HAQJSK model and the two kernels (Definitions 3.1 and 3.2).
+//!
+//! [`HaqjskModel::fit`] learns the prototype hierarchy from a dataset;
+//! [`HaqjskModel::transform`] maps any graph (from the training set or not)
+//! into its hierarchical transitive aligned structures; and
+//! [`HaqjskModel::kernel`] / [`HaqjskModel::gram_matrix`] evaluate
+//!
+//! ```text
+//! K^A_HAQJS(G_p, G_q) = Σ_{h=1..H} exp(-μ · D_QJS(δ(Ā^h_p), δ(Ā^h_q)))      (Eq. 26)
+//! K^D_HAQJS(G_p, G_q) = Σ_{h=1..H} exp(-μ · D_QJS(ρ̄^h_p, ρ̄^h_q))           (Eq. 29)
+//! ```
+//!
+//! where `δ(·)` is the CTQW density matrix of an (aligned, weighted)
+//! adjacency matrix. Because every graph is compared through the *same*
+//! fixed-size, transitively aligned structures, the kernels are permutation
+//! invariant and positive definite (the paper's Lemma); the property-based
+//! tests and the `psd_check` benchmark verify this empirically.
+
+use crate::aligned::{aligned_adjacency_family, aligned_density_family};
+use crate::config::{HaqjskConfig, HaqjskVariant};
+use crate::correspondence::GraphCorrespondences;
+use crate::db_representation::DbRepresentations;
+use crate::hierarchy::PrototypeHierarchy;
+use haqjsk_graph::Graph;
+use haqjsk_kernels::kernel::gram_from_pairwise;
+use haqjsk_kernels::{GraphKernel, KernelMatrix};
+use haqjsk_linalg::LinalgError;
+use haqjsk_quantum::ctqw::ctqw_density_from_adjacency;
+use haqjsk_quantum::{qjsd, DensityMatrix};
+
+/// The hierarchical aligned representation of a single graph, ready for
+/// kernel evaluation against any other graph aligned to the same prototypes.
+#[derive(Debug, Clone)]
+pub struct AlignedGraph {
+    /// Per hierarchy level `h`: the CTQW density matrix `δ(Ā^h)` of the
+    /// aligned adjacency matrix (the ingredient of HAQJSK(A)).
+    pub adjacency_densities: Vec<DensityMatrix>,
+    /// Per hierarchy level `h`: the aligned density matrix `ρ̄^h` (the
+    /// ingredient of HAQJSK(D)).
+    pub aligned_densities: Vec<DensityMatrix>,
+}
+
+impl AlignedGraph {
+    /// The per-level density matrices used by the requested kernel variant.
+    pub fn densities(&self, variant: HaqjskVariant) -> &[DensityMatrix] {
+        match variant {
+            HaqjskVariant::AlignedAdjacency => &self.adjacency_densities,
+            HaqjskVariant::AlignedDensity => &self.aligned_densities,
+        }
+    }
+}
+
+/// A HAQJSK model fitted to a dataset: the depth-based representation layer
+/// count `K`, the prototype hierarchy, and the configuration.
+#[derive(Debug, Clone)]
+pub struct HaqjskModel {
+    config: HaqjskConfig,
+    variant: HaqjskVariant,
+    max_layers: usize,
+    hierarchy: PrototypeHierarchy,
+}
+
+impl HaqjskModel {
+    /// Assembles a model from already-learned parts (used when restoring a
+    /// persisted model); `fit` is the normal way to obtain one.
+    pub fn from_parts(
+        config: HaqjskConfig,
+        variant: HaqjskVariant,
+        max_layers: usize,
+        hierarchy: PrototypeHierarchy,
+    ) -> Self {
+        HaqjskModel {
+            config,
+            variant,
+            max_layers,
+            hierarchy,
+        }
+    }
+
+    /// Fits the model (learns the hierarchical prototypes) on a dataset.
+    pub fn fit(
+        graphs: &[Graph],
+        config: HaqjskConfig,
+        variant: HaqjskVariant,
+    ) -> Result<Self, LinalgError> {
+        config
+            .validate()
+            .map_err(LinalgError::InvalidArgument)?;
+        if graphs.is_empty() {
+            return Err(LinalgError::InvalidArgument(
+                "cannot fit a HAQJSK model on an empty dataset".to_string(),
+            ));
+        }
+        let representations = match config.max_layers {
+            Some(k) => DbRepresentations::compute(graphs, k),
+            None => DbRepresentations::compute_auto(graphs, config.layer_cap),
+        };
+        let hierarchy = PrototypeHierarchy::build(&representations, &config);
+        Ok(HaqjskModel {
+            max_layers: representations.max_layers(),
+            config,
+            variant,
+            hierarchy,
+        })
+    }
+
+    /// The configuration the model was fitted with.
+    pub fn config(&self) -> &HaqjskConfig {
+        &self.config
+    }
+
+    /// The kernel variant this model evaluates.
+    pub fn variant(&self) -> HaqjskVariant {
+        self.variant
+    }
+
+    /// The number of depth-based layers `K` derived at fit time.
+    pub fn max_layers(&self) -> usize {
+        self.max_layers
+    }
+
+    /// The learned prototype hierarchy.
+    pub fn hierarchy(&self) -> &PrototypeHierarchy {
+        &self.hierarchy
+    }
+
+    /// Transforms a single graph into its hierarchical transitive aligned
+    /// representation. Works for training graphs and unseen graphs alike —
+    /// the prototypes are fixed at fit time.
+    pub fn transform(&self, graph: &Graph) -> Result<AlignedGraph, LinalgError> {
+        // Depth-based representations of this graph alone, truncated to the
+        // layer count the prototypes were built with.
+        let single = DbRepresentations::compute(std::slice::from_ref(graph), self.max_layers);
+        let correspondences = GraphCorrespondences::compute(&single, 0, &self.hierarchy);
+
+        let adjacency_family = aligned_adjacency_family(graph, &correspondences);
+        let adjacency_densities = adjacency_family
+            .iter()
+            .map(ctqw_density_from_adjacency)
+            .collect::<Result<Vec<_>, _>>()?;
+        let aligned_densities = aligned_density_family(graph, &correspondences)?;
+
+        Ok(AlignedGraph {
+            adjacency_densities,
+            aligned_densities,
+        })
+    }
+
+    /// Transforms a whole dataset.
+    pub fn transform_all(&self, graphs: &[Graph]) -> Result<Vec<AlignedGraph>, LinalgError> {
+        graphs.iter().map(|g| self.transform(g)).collect()
+    }
+
+    /// Kernel value between two already-transformed graphs:
+    /// `Σ_h exp(-μ · D_QJS)` over the hierarchy levels (Eq. 26 / Eq. 29).
+    pub fn kernel(&self, a: &AlignedGraph, b: &AlignedGraph) -> f64 {
+        let da = a.densities(self.variant);
+        let db = b.densities(self.variant);
+        let levels = da.len().min(db.len());
+        let mut total = 0.0;
+        for h in 0..levels {
+            let divergence = qjsd(&da[h], &db[h])
+                .expect("aligned structures share the prototype dimension");
+            total += (-self.config.mu * divergence).exp();
+        }
+        total
+    }
+
+    /// Convenience: transform two graphs and evaluate the kernel.
+    pub fn kernel_between(&self, a: &Graph, b: &Graph) -> Result<f64, LinalgError> {
+        Ok(self.kernel(&self.transform(a)?, &self.transform(b)?))
+    }
+
+    /// Gram matrix over a dataset (each graph is transformed once, then all
+    /// pairs are evaluated in parallel).
+    pub fn gram_matrix(&self, graphs: &[Graph]) -> Result<KernelMatrix, LinalgError> {
+        let aligned = self.transform_all(graphs)?;
+        let indexed: Vec<(usize, &Graph)> = graphs.iter().enumerate().collect();
+        let lookup = |g: &Graph| -> usize {
+            indexed
+                .iter()
+                .find(|(_, h)| std::ptr::eq(*h, g))
+                .map(|(i, _)| *i)
+                .expect("graph belongs to the dataset")
+        };
+        Ok(gram_from_pairwise(graphs, |a, b| {
+            self.kernel(&aligned[lookup(a)], &aligned[lookup(b)])
+        }))
+    }
+
+    /// Maximum attainable kernel value (`H`, reached when every per-level
+    /// divergence is zero, e.g. for a graph against itself).
+    pub fn max_kernel_value(&self) -> f64 {
+        self.hierarchy.num_levels() as f64
+    }
+}
+
+impl GraphKernel for HaqjskModel {
+    fn name(&self) -> &'static str {
+        match self.variant {
+            HaqjskVariant::AlignedAdjacency => "HAQJSK(A)",
+            HaqjskVariant::AlignedDensity => "HAQJSK(D)",
+        }
+    }
+
+    fn compute(&self, a: &Graph, b: &Graph) -> f64 {
+        self.kernel_between(a, b)
+            .expect("graphs must be non-empty and transformable")
+    }
+
+    fn gram_matrix(&self, graphs: &[Graph]) -> KernelMatrix {
+        HaqjskModel::gram_matrix(self, graphs).expect("graphs must be non-empty and transformable")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use haqjsk_graph::generators::{cycle_graph, erdos_renyi, path_graph, star_graph};
+
+    fn dataset() -> Vec<Graph> {
+        vec![
+            path_graph(6),
+            cycle_graph(6),
+            star_graph(6),
+            erdos_renyi(7, 0.4, 1),
+            erdos_renyi(8, 0.3, 2),
+        ]
+    }
+
+    fn small_config() -> HaqjskConfig {
+        HaqjskConfig {
+            hierarchy_levels: 3,
+            num_prototypes: 8,
+            layer_cap: 3,
+            ..HaqjskConfig::small()
+        }
+    }
+
+    #[test]
+    fn fit_rejects_bad_input() {
+        assert!(HaqjskModel::fit(&[], small_config(), HaqjskVariant::AlignedAdjacency).is_err());
+        let bad = HaqjskConfig {
+            hierarchy_levels: 0,
+            ..small_config()
+        };
+        assert!(HaqjskModel::fit(&dataset(), bad, HaqjskVariant::AlignedDensity).is_err());
+    }
+
+    #[test]
+    fn transform_produces_per_level_states() {
+        let graphs = dataset();
+        let model =
+            HaqjskModel::fit(&graphs, small_config(), HaqjskVariant::AlignedAdjacency).unwrap();
+        let aligned = model.transform(&graphs[0]).unwrap();
+        assert_eq!(aligned.adjacency_densities.len(), model.hierarchy().num_levels());
+        assert_eq!(aligned.aligned_densities.len(), model.hierarchy().num_levels());
+        for rho in aligned
+            .adjacency_densities
+            .iter()
+            .chain(aligned.aligned_densities.iter())
+        {
+            assert!((rho.matrix().trace() - 1.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn self_similarity_is_maximal() {
+        let graphs = dataset();
+        for variant in [HaqjskVariant::AlignedAdjacency, HaqjskVariant::AlignedDensity] {
+            let model = HaqjskModel::fit(&graphs, small_config(), variant).unwrap();
+            let h = model.max_kernel_value();
+            for g in &graphs {
+                let v = model.kernel_between(g, g).unwrap();
+                assert!((v - h).abs() < 1e-9, "{}: self similarity {v} != {h}", variant.label());
+            }
+            // Cross similarities never exceed the self similarity.
+            let cross = model.kernel_between(&graphs[0], &graphs[2]).unwrap();
+            assert!(cross <= h + 1e-9);
+            assert!(cross > 0.0);
+        }
+    }
+
+    #[test]
+    fn kernel_is_symmetric() {
+        let graphs = dataset();
+        let model =
+            HaqjskModel::fit(&graphs, small_config(), HaqjskVariant::AlignedDensity).unwrap();
+        let ab = model.kernel_between(&graphs[1], &graphs[3]).unwrap();
+        let ba = model.kernel_between(&graphs[3], &graphs[1]).unwrap();
+        assert!((ab - ba).abs() < 1e-9);
+    }
+
+    #[test]
+    fn kernel_is_permutation_invariant() {
+        // The headline theoretical property: relabelling a graph does not
+        // change its HAQJSK kernel values.
+        let graphs = dataset();
+        let model =
+            HaqjskModel::fit(&graphs, small_config(), HaqjskVariant::AlignedAdjacency).unwrap();
+        let perm = vec![5, 2, 0, 4, 1, 3];
+        let relabelled = graphs[2].permute(&perm).unwrap();
+        for other in &graphs {
+            let original = model.kernel_between(&graphs[2], other).unwrap();
+            let after = model.kernel_between(&relabelled, other).unwrap();
+            assert!(
+                (original - after).abs() < 1e-9,
+                "kernel moved under relabelling: {original} vs {after}"
+            );
+        }
+    }
+
+    #[test]
+    fn gram_matrix_is_positive_semidefinite() {
+        let graphs = dataset();
+        for variant in [HaqjskVariant::AlignedAdjacency, HaqjskVariant::AlignedDensity] {
+            let model = HaqjskModel::fit(&graphs, small_config(), variant).unwrap();
+            let gram = HaqjskModel::gram_matrix(&model, &graphs).unwrap();
+            assert_eq!(gram.len(), graphs.len());
+            assert!(
+                gram.is_positive_semidefinite(1e-7).unwrap(),
+                "{} Gram matrix should be PSD (min eigenvalue {})",
+                variant.label(),
+                gram.min_eigenvalue().unwrap()
+            );
+        }
+    }
+
+    #[test]
+    fn graph_kernel_trait_matches_inherent_methods() {
+        let graphs = dataset();
+        let model =
+            HaqjskModel::fit(&graphs, small_config(), HaqjskVariant::AlignedAdjacency).unwrap();
+        assert_eq!(model.name(), "HAQJSK(A)");
+        let via_trait = GraphKernel::compute(&model, &graphs[0], &graphs[1]);
+        let direct = model.kernel_between(&graphs[0], &graphs[1]).unwrap();
+        assert!((via_trait - direct).abs() < 1e-12);
+        let gram_trait = GraphKernel::gram_matrix(&model, &graphs[..3]);
+        let gram_direct = HaqjskModel::gram_matrix(&model, &graphs[..3]).unwrap();
+        assert!((gram_trait.matrix() - gram_direct.matrix()).max_abs() < 1e-12);
+    }
+
+    #[test]
+    fn out_of_sample_graphs_are_supported() {
+        let graphs = dataset();
+        let model =
+            HaqjskModel::fit(&graphs, small_config(), HaqjskVariant::AlignedDensity).unwrap();
+        // A graph that was never part of the training set.
+        let unseen = erdos_renyi(10, 0.35, 99);
+        let v = model.kernel_between(&unseen, &graphs[0]).unwrap();
+        assert!(v > 0.0);
+        assert!(v <= model.max_kernel_value() + 1e-9);
+    }
+
+    #[test]
+    fn variants_give_different_but_correlated_kernels() {
+        let graphs = dataset();
+        let model_a =
+            HaqjskModel::fit(&graphs, small_config(), HaqjskVariant::AlignedAdjacency).unwrap();
+        let model_d =
+            HaqjskModel::fit(&graphs, small_config(), HaqjskVariant::AlignedDensity).unwrap();
+        let mut differs = false;
+        for i in 0..graphs.len() {
+            for j in (i + 1)..graphs.len() {
+                let a = model_a.kernel_between(&graphs[i], &graphs[j]).unwrap();
+                let d = model_d.kernel_between(&graphs[i], &graphs[j]).unwrap();
+                if (a - d).abs() > 1e-6 {
+                    differs = true;
+                }
+            }
+        }
+        assert!(differs, "the two variants should not coincide numerically");
+    }
+}

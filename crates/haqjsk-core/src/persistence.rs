@@ -1,0 +1,297 @@
+//! Saving and loading fitted HAQJSK models.
+//!
+//! Fitting a HAQJSK model means learning the prototype hierarchy over a whole
+//! dataset — the expensive, dataset-dependent part of the pipeline. This
+//! module serialises a fitted model (configuration, variant, layer count and
+//! every prototype vector) to a line-oriented text format and restores it, so
+//! a model can be fitted once and reused for out-of-sample kernel evaluation
+//! without recomputing the κ-means hierarchy.
+//!
+//! Format (one declaration per line):
+//!
+//! ```text
+//! haqjsk-model v1
+//! variant <A|D>
+//! config <H> <M> <shrink> <min_protos> <layer_cap> <kmeans_iters> <seed> <mu>
+//! max_layers <K>
+//! layer <k>
+//! level <h> <num_prototypes>
+//! proto <v_1> <v_2> ... <v_k>
+//! ...
+//! end
+//! ```
+
+use crate::config::{HaqjskConfig, HaqjskVariant};
+use crate::hierarchy::{LayerHierarchy, PrototypeHierarchy};
+use crate::model::HaqjskModel;
+use std::fmt::Write as _;
+
+/// Errors produced while parsing a serialised model.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PersistenceError(pub String);
+
+impl std::fmt::Display for PersistenceError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "model parse error: {}", self.0)
+    }
+}
+
+impl std::error::Error for PersistenceError {}
+
+/// Serialises a fitted model to the text format.
+pub fn model_to_string(model: &HaqjskModel) -> String {
+    let mut out = String::new();
+    let config = model.config();
+    writeln!(out, "haqjsk-model v1").expect("writing to String cannot fail");
+    writeln!(
+        out,
+        "variant {}",
+        match model.variant() {
+            HaqjskVariant::AlignedAdjacency => "A",
+            HaqjskVariant::AlignedDensity => "D",
+        }
+    )
+    .expect("writing to String cannot fail");
+    writeln!(
+        out,
+        "config {} {} {} {} {} {} {} {}",
+        config.hierarchy_levels,
+        config.num_prototypes,
+        config.level_shrink,
+        config.min_prototypes,
+        config.layer_cap,
+        config.kmeans_max_iterations,
+        config.seed,
+        config.mu
+    )
+    .expect("writing to String cannot fail");
+    writeln!(out, "max_layers {}", model.max_layers()).expect("writing to String cannot fail");
+    let hierarchy = model.hierarchy();
+    for k in 1..=hierarchy.max_layers() {
+        writeln!(out, "layer {k}").expect("writing to String cannot fail");
+        let layer = hierarchy.layer(k);
+        for h in 1..=layer.num_levels() {
+            let prototypes = layer.prototypes(h);
+            writeln!(out, "level {h} {}", prototypes.len()).expect("writing to String cannot fail");
+            for proto in prototypes {
+                let joined: Vec<String> = proto.iter().map(|x| format!("{x:.17e}")).collect();
+                writeln!(out, "proto {}", joined.join(" ")).expect("writing to String cannot fail");
+            }
+        }
+    }
+    out.push_str("end\n");
+    out
+}
+
+/// Restores a fitted model from the text format.
+pub fn model_from_string(text: &str) -> Result<HaqjskModel, PersistenceError> {
+    let mut lines = text.lines().map(str::trim).filter(|l| !l.is_empty());
+    let header = lines
+        .next()
+        .ok_or_else(|| PersistenceError("empty input".to_string()))?;
+    if header != "haqjsk-model v1" {
+        return Err(PersistenceError(format!("unexpected header '{header}'")));
+    }
+
+    let mut variant: Option<HaqjskVariant> = None;
+    let mut config: Option<HaqjskConfig> = None;
+    let mut max_layers: Option<usize> = None;
+    let mut layers: Vec<LayerHierarchy> = Vec::new();
+    let mut current_layer: Option<LayerHierarchy> = None;
+
+    for line in lines {
+        if line == "end" {
+            break;
+        }
+        let mut parts = line.split_whitespace();
+        let keyword = parts.next().unwrap_or_default();
+        match keyword {
+            "variant" => {
+                variant = Some(match parts.next() {
+                    Some("A") => HaqjskVariant::AlignedAdjacency,
+                    Some("D") => HaqjskVariant::AlignedDensity,
+                    other => {
+                        return Err(PersistenceError(format!("unknown variant {other:?}")));
+                    }
+                });
+            }
+            "config" => {
+                let values: Vec<&str> = parts.collect();
+                if values.len() != 8 {
+                    return Err(PersistenceError("config line needs 8 fields".to_string()));
+                }
+                let parse_usize = |s: &str| -> Result<usize, PersistenceError> {
+                    s.parse().map_err(|e| PersistenceError(format!("bad integer '{s}': {e}")))
+                };
+                let parse_f64 = |s: &str| -> Result<f64, PersistenceError> {
+                    s.parse().map_err(|e| PersistenceError(format!("bad float '{s}': {e}")))
+                };
+                config = Some(HaqjskConfig {
+                    hierarchy_levels: parse_usize(values[0])?,
+                    num_prototypes: parse_usize(values[1])?,
+                    level_shrink: parse_f64(values[2])?,
+                    min_prototypes: parse_usize(values[3])?,
+                    layer_cap: parse_usize(values[4])?,
+                    kmeans_max_iterations: parse_usize(values[5])?,
+                    seed: values[6]
+                        .parse()
+                        .map_err(|e| PersistenceError(format!("bad seed: {e}")))?,
+                    mu: parse_f64(values[7])?,
+                    max_layers: None,
+                });
+            }
+            "max_layers" => {
+                max_layers = Some(
+                    parts
+                        .next()
+                        .ok_or_else(|| PersistenceError("max_layers needs a value".to_string()))?
+                        .parse()
+                        .map_err(|e| PersistenceError(format!("bad max_layers: {e}")))?,
+                );
+            }
+            "layer" => {
+                if let Some(layer) = current_layer.take() {
+                    layers.push(layer);
+                }
+                let k: usize = parts
+                    .next()
+                    .ok_or_else(|| PersistenceError("layer needs an index".to_string()))?
+                    .parse()
+                    .map_err(|e| PersistenceError(format!("bad layer index: {e}")))?;
+                current_layer = Some(LayerHierarchy {
+                    k,
+                    levels: Vec::new(),
+                });
+            }
+            "level" => {
+                let layer = current_layer
+                    .as_mut()
+                    .ok_or_else(|| PersistenceError("level before layer".to_string()))?;
+                let _h: usize = parts
+                    .next()
+                    .ok_or_else(|| PersistenceError("level needs an index".to_string()))?
+                    .parse()
+                    .map_err(|e| PersistenceError(format!("bad level index: {e}")))?;
+                let expected_protos: usize = parts
+                    .next()
+                    .ok_or_else(|| PersistenceError("level needs a prototype count".to_string()))?
+                    .parse()
+                    .map_err(|e| PersistenceError(format!("bad prototype count: {e}")))?;
+                layer.levels.push(Vec::with_capacity(expected_protos));
+            }
+            "proto" => {
+                let layer = current_layer
+                    .as_mut()
+                    .ok_or_else(|| PersistenceError("proto before layer".to_string()))?;
+                let level = layer
+                    .levels
+                    .last_mut()
+                    .ok_or_else(|| PersistenceError("proto before level".to_string()))?;
+                let values: Result<Vec<f64>, _> = parts.map(str::parse).collect();
+                let values =
+                    values.map_err(|e| PersistenceError(format!("bad prototype value: {e}")))?;
+                level.push(values);
+            }
+            other => {
+                return Err(PersistenceError(format!("unrecognised keyword '{other}'")));
+            }
+        }
+    }
+    if let Some(layer) = current_layer.take() {
+        layers.push(layer);
+    }
+
+    let variant = variant.ok_or_else(|| PersistenceError("missing variant".to_string()))?;
+    let config = config.ok_or_else(|| PersistenceError("missing config".to_string()))?;
+    let max_layers = max_layers.ok_or_else(|| PersistenceError("missing max_layers".to_string()))?;
+    if layers.is_empty() {
+        return Err(PersistenceError("model has no prototype layers".to_string()));
+    }
+    let hierarchy = PrototypeHierarchy::from_layers(layers);
+    Ok(HaqjskModel::from_parts(config, variant, max_layers, hierarchy))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use haqjsk_graph::generators::{barabasi_albert, cycle_graph, star_graph};
+
+    fn fitted_model() -> (Vec<haqjsk_graph::Graph>, HaqjskModel) {
+        let graphs = vec![
+            cycle_graph(7),
+            star_graph(7),
+            barabasi_albert(8, 2, 1),
+            cycle_graph(9),
+            star_graph(6),
+        ];
+        let model = HaqjskModel::fit(
+            &graphs,
+            HaqjskConfig {
+                hierarchy_levels: 2,
+                num_prototypes: 6,
+                layer_cap: 3,
+                ..HaqjskConfig::small()
+            },
+            HaqjskVariant::AlignedDensity,
+        )
+        .unwrap();
+        (graphs, model)
+    }
+
+    #[test]
+    fn roundtrip_preserves_kernel_values() {
+        let (graphs, model) = fitted_model();
+        let text = model_to_string(&model);
+        assert!(text.starts_with("haqjsk-model v1"));
+        let restored = model_from_string(&text).unwrap();
+        assert_eq!(restored.variant(), model.variant());
+        assert_eq!(restored.max_layers(), model.max_layers());
+        for i in 0..graphs.len() {
+            for j in 0..graphs.len() {
+                let a = model.kernel_between(&graphs[i], &graphs[j]).unwrap();
+                let b = restored.kernel_between(&graphs[i], &graphs[j]).unwrap();
+                assert!((a - b).abs() < 1e-10, "({i},{j}): {a} vs {b}");
+            }
+        }
+    }
+
+    #[test]
+    fn roundtrip_preserves_the_hierarchy_exactly() {
+        let (_, model) = fitted_model();
+        let restored = model_from_string(&model_to_string(&model)).unwrap();
+        let h1 = model.hierarchy();
+        let h2 = restored.hierarchy();
+        assert_eq!(h1.max_layers(), h2.max_layers());
+        assert_eq!(h1.num_levels(), h2.num_levels());
+        for k in 1..=h1.max_layers() {
+            for h in 1..=h1.num_levels() {
+                assert_eq!(h1.layer(k).prototypes(h), h2.layer(k).prototypes(h));
+            }
+        }
+    }
+
+    #[test]
+    fn parse_errors_are_reported() {
+        assert!(model_from_string("").is_err());
+        assert!(model_from_string("not a model\n").is_err());
+        assert!(model_from_string("haqjsk-model v1\nvariant X\nend\n").is_err());
+        assert!(model_from_string("haqjsk-model v1\nconfig 1 2 3\nend\n").is_err());
+        assert!(model_from_string("haqjsk-model v1\nproto 1.0\nend\n").is_err());
+        assert!(model_from_string("haqjsk-model v1\nlevel 1 2\nend\n").is_err());
+        assert!(model_from_string(
+            "haqjsk-model v1\nvariant A\nconfig 2 6 0.5 2 3 25 42 1\nmax_layers 3\nend\n"
+        )
+        .is_err()); // no layers
+        assert!(model_from_string("haqjsk-model v1\nbogus line\nend\n").is_err());
+    }
+
+    #[test]
+    fn serialised_text_is_line_oriented_and_terminated() {
+        let (_, model) = fitted_model();
+        let text = model_to_string(&model);
+        assert!(text.ends_with("end\n"));
+        assert!(text.contains("variant D"));
+        assert!(text.contains("max_layers"));
+        assert!(text.lines().filter(|l| l.starts_with("layer ")).count() >= 1);
+    }
+}

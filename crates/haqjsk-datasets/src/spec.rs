@@ -1,0 +1,254 @@
+//! The dataset statistics of the paper's Table II, encoded as data.
+
+use serde::{Deserialize, Serialize};
+
+/// Application domain of a benchmark dataset (the "Description" row of
+/// Table II).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum DatasetDomain {
+    /// Bioinformatics graphs (molecules, protein structures, ...).
+    Bioinformatics,
+    /// Computer-vision shape graphs.
+    ComputerVision,
+    /// Social-network graphs.
+    SocialNetwork,
+}
+
+impl DatasetDomain {
+    /// Short tag used in the Table II rendering ("Bio", "CV", "SN").
+    pub fn tag(self) -> &'static str {
+        match self {
+            DatasetDomain::Bioinformatics => "Bio",
+            DatasetDomain::ComputerVision => "CV",
+            DatasetDomain::SocialNetwork => "SN",
+        }
+    }
+}
+
+/// Target statistics for one benchmark dataset (one column of Table II).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DatasetSpec {
+    /// Dataset name as used in the paper.
+    pub name: &'static str,
+    /// Number of graphs.
+    pub num_graphs: usize,
+    /// Number of classes.
+    pub num_classes: usize,
+    /// Maximum number of vertices reported in Table II.
+    pub max_vertices: usize,
+    /// Mean number of vertices reported in Table II.
+    pub mean_vertices: f64,
+    /// Mean number of edges reported in Table II.
+    pub mean_edges: f64,
+    /// Whether the original dataset carries discrete vertex labels.
+    pub has_vertex_labels: bool,
+    /// Application domain.
+    pub domain: DatasetDomain,
+}
+
+/// The twelve dataset specifications of Table II, in the paper's order.
+pub const TABLE2_SPECS: &[DatasetSpec] = &[
+    DatasetSpec {
+        name: "MUTAG",
+        num_graphs: 188,
+        num_classes: 2,
+        max_vertices: 28,
+        mean_vertices: 17.93,
+        mean_edges: 19.79,
+        has_vertex_labels: true,
+        domain: DatasetDomain::Bioinformatics,
+    },
+    DatasetSpec {
+        name: "PPIs",
+        num_graphs: 219,
+        num_classes: 5,
+        max_vertices: 218,
+        mean_vertices: 109.63,
+        mean_edges: 531.50,
+        has_vertex_labels: false,
+        domain: DatasetDomain::Bioinformatics,
+    },
+    DatasetSpec {
+        name: "CATH2",
+        num_graphs: 190,
+        num_classes: 2,
+        max_vertices: 568,
+        mean_vertices: 308.03,
+        mean_edges: 1254.8,
+        has_vertex_labels: false,
+        domain: DatasetDomain::Bioinformatics,
+    },
+    DatasetSpec {
+        name: "PTC(MR)",
+        num_graphs: 344,
+        num_classes: 2,
+        max_vertices: 109,
+        mean_vertices: 25.56,
+        mean_edges: 25.96,
+        has_vertex_labels: true,
+        domain: DatasetDomain::Bioinformatics,
+    },
+    DatasetSpec {
+        name: "GatorBait",
+        num_graphs: 100,
+        num_classes: 30,
+        max_vertices: 545,
+        mean_vertices: 348.72,
+        mean_edges: 796.11,
+        has_vertex_labels: false,
+        domain: DatasetDomain::ComputerVision,
+    },
+    DatasetSpec {
+        name: "BAR31",
+        num_graphs: 300,
+        num_classes: 20,
+        max_vertices: 220,
+        mean_vertices: 95.42,
+        mean_edges: 94.59,
+        has_vertex_labels: false,
+        domain: DatasetDomain::ComputerVision,
+    },
+    DatasetSpec {
+        name: "BSPHERE31",
+        num_graphs: 300,
+        num_classes: 20,
+        max_vertices: 227,
+        mean_vertices: 99.83,
+        mean_edges: 56.58,
+        has_vertex_labels: false,
+        domain: DatasetDomain::ComputerVision,
+    },
+    DatasetSpec {
+        name: "GEOD31",
+        num_graphs: 300,
+        num_classes: 20,
+        max_vertices: 380,
+        mean_vertices: 57.24,
+        mean_edges: 99.01,
+        has_vertex_labels: false,
+        domain: DatasetDomain::ComputerVision,
+    },
+    DatasetSpec {
+        name: "IMDB-B",
+        num_graphs: 1000,
+        num_classes: 2,
+        max_vertices: 136,
+        mean_vertices: 19.77,
+        mean_edges: 96.53,
+        has_vertex_labels: false,
+        domain: DatasetDomain::SocialNetwork,
+    },
+    DatasetSpec {
+        name: "IMDB-M",
+        num_graphs: 1500,
+        num_classes: 3,
+        max_vertices: 89,
+        mean_vertices: 13.00,
+        mean_edges: 65.93,
+        has_vertex_labels: false,
+        domain: DatasetDomain::SocialNetwork,
+    },
+    DatasetSpec {
+        name: "RED-B",
+        num_graphs: 2000,
+        num_classes: 2,
+        max_vertices: 3782,
+        mean_vertices: 429.62,
+        mean_edges: 497.75,
+        has_vertex_labels: false,
+        domain: DatasetDomain::SocialNetwork,
+    },
+    DatasetSpec {
+        name: "COLLAB",
+        num_graphs: 5000,
+        num_classes: 2,
+        max_vertices: 492,
+        mean_vertices: 74.49,
+        mean_edges: 2457.50,
+        has_vertex_labels: false,
+        domain: DatasetDomain::SocialNetwork,
+    },
+];
+
+impl DatasetSpec {
+    /// Looks up a specification by (case-insensitive) name.
+    pub fn by_name(name: &str) -> Option<&'static DatasetSpec> {
+        TABLE2_SPECS
+            .iter()
+            .find(|s| s.name.eq_ignore_ascii_case(name))
+    }
+
+    /// Returns a down-scaled copy of the specification: graph count divided
+    /// by `graph_divisor` and vertex counts divided by `size_divisor`
+    /// (bounded below so every class keeps a handful of non-trivial graphs).
+    /// The benchmark harness uses this to keep default runs quick while the
+    /// `--full` flag reproduces the original scale.
+    pub fn scaled(&self, graph_divisor: usize, size_divisor: usize) -> DatasetSpec {
+        let graph_divisor = graph_divisor.max(1);
+        let size_divisor = size_divisor.max(1);
+        DatasetSpec {
+            num_graphs: (self.num_graphs / graph_divisor).max(self.num_classes * 6),
+            max_vertices: (self.max_vertices / size_divisor).max(10),
+            mean_vertices: (self.mean_vertices / size_divisor as f64).max(8.0),
+            mean_edges: (self.mean_edges / size_divisor as f64).max(8.0),
+            ..self.clone()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn twelve_datasets_match_the_paper() {
+        assert_eq!(TABLE2_SPECS.len(), 12);
+        let mutag = DatasetSpec::by_name("mutag").unwrap();
+        assert_eq!(mutag.num_graphs, 188);
+        assert_eq!(mutag.num_classes, 2);
+        assert!((mutag.mean_vertices - 17.93).abs() < 1e-9);
+        let collab = DatasetSpec::by_name("COLLAB").unwrap();
+        assert_eq!(collab.num_graphs, 5000);
+        assert!(DatasetSpec::by_name("does-not-exist").is_none());
+    }
+
+    #[test]
+    fn domains_cover_the_three_areas() {
+        let bio = TABLE2_SPECS
+            .iter()
+            .filter(|s| s.domain == DatasetDomain::Bioinformatics)
+            .count();
+        let cv = TABLE2_SPECS
+            .iter()
+            .filter(|s| s.domain == DatasetDomain::ComputerVision)
+            .count();
+        let sn = TABLE2_SPECS
+            .iter()
+            .filter(|s| s.domain == DatasetDomain::SocialNetwork)
+            .count();
+        assert_eq!((bio, cv, sn), (4, 4, 4));
+        assert_eq!(DatasetDomain::Bioinformatics.tag(), "Bio");
+        assert_eq!(DatasetDomain::ComputerVision.tag(), "CV");
+        assert_eq!(DatasetDomain::SocialNetwork.tag(), "SN");
+    }
+
+    #[test]
+    fn scaling_shrinks_but_keeps_minimums() {
+        let red = DatasetSpec::by_name("RED-B").unwrap();
+        let small = red.scaled(20, 10);
+        assert!(small.num_graphs < red.num_graphs);
+        assert!(small.mean_vertices < red.mean_vertices);
+        assert!(small.num_graphs >= small.num_classes * 6);
+        assert!(small.mean_vertices >= 8.0);
+        // Divisor of zero is treated as one.
+        let same = red.scaled(0, 0);
+        assert_eq!(same.num_graphs, red.num_graphs);
+    }
+
+    #[test]
+    fn gatorbait_has_30_classes() {
+        let g = DatasetSpec::by_name("GatorBait").unwrap();
+        assert_eq!(g.num_classes, 30);
+        assert_eq!(g.num_graphs, 100);
+    }
+}

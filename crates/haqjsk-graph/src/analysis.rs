@@ -1,0 +1,214 @@
+//! Structural analysis helpers: connectivity, components, degree statistics,
+//! clustering coefficients and triangle counts.
+//!
+//! These are used by the dataset synthesiser (to report the Table II-style
+//! statistics of the generated corpora) and by tests that sanity-check the
+//! generators.
+
+use crate::graph::Graph;
+use crate::shortest_paths::{bfs_distances, INFINITE_DISTANCE};
+
+/// Connected components as a vector of vertex lists (each sorted ascending).
+pub fn connected_components(graph: &Graph) -> Vec<Vec<usize>> {
+    let n = graph.num_vertices();
+    let mut component = vec![usize::MAX; n];
+    let mut components = Vec::new();
+    for start in 0..n {
+        if component[start] != usize::MAX {
+            continue;
+        }
+        let id = components.len();
+        let mut members = Vec::new();
+        let mut stack = vec![start];
+        component[start] = id;
+        while let Some(u) = stack.pop() {
+            members.push(u);
+            for v in graph.neighbors(u) {
+                if component[v] == usize::MAX {
+                    component[v] = id;
+                    stack.push(v);
+                }
+            }
+        }
+        members.sort_unstable();
+        components.push(members);
+    }
+    components
+}
+
+/// Whether the graph is connected (single component; the empty graph counts
+/// as connected).
+pub fn is_connected(graph: &Graph) -> bool {
+    graph.num_vertices() == 0 || connected_components(graph).len() == 1
+}
+
+/// The largest connected component as an induced subgraph (with original
+/// vertex indices).
+pub fn largest_component(graph: &Graph) -> (Graph, Vec<usize>) {
+    let components = connected_components(graph);
+    let largest = components
+        .into_iter()
+        .max_by_key(|c| c.len())
+        .unwrap_or_default();
+    graph
+        .induced_subgraph(&largest)
+        .expect("component vertices are valid")
+}
+
+/// Number of triangles in the graph.
+pub fn triangle_count(graph: &Graph) -> usize {
+    let n = graph.num_vertices();
+    let mut count = 0usize;
+    for u in 0..n {
+        let neigh: Vec<usize> = graph.neighbors(u).filter(|&v| v > u).collect();
+        for (i, &v) in neigh.iter().enumerate() {
+            for &w in &neigh[i + 1..] {
+                if graph.has_edge(v, w) {
+                    count += 1;
+                }
+            }
+        }
+    }
+    count
+}
+
+/// Global clustering coefficient: `3 * triangles / open-and-closed wedges`.
+/// Returns 0 when the graph has no wedges.
+pub fn clustering_coefficient(graph: &Graph) -> f64 {
+    let triangles = triangle_count(graph);
+    let wedges: usize = graph
+        .degrees()
+        .iter()
+        .map(|&d| if d >= 2 { d * (d - 1) / 2 } else { 0 })
+        .sum();
+    if wedges == 0 {
+        0.0
+    } else {
+        3.0 * triangles as f64 / wedges as f64
+    }
+}
+
+/// Average degree of the graph; zero for the empty graph.
+pub fn average_degree(graph: &Graph) -> f64 {
+    if graph.num_vertices() == 0 {
+        return 0.0;
+    }
+    2.0 * graph.num_edges() as f64 / graph.num_vertices() as f64
+}
+
+/// Average shortest-path length over reachable pairs; zero if no pair is
+/// reachable.
+pub fn average_path_length(graph: &Graph) -> f64 {
+    let n = graph.num_vertices();
+    let mut total = 0usize;
+    let mut pairs = 0usize;
+    for u in 0..n {
+        for (v, d) in bfs_distances(graph, u).into_iter().enumerate() {
+            if v != u && d != INFINITE_DISTANCE {
+                total += d;
+                pairs += 1;
+            }
+        }
+    }
+    if pairs == 0 {
+        0.0
+    } else {
+        total as f64 / pairs as f64
+    }
+}
+
+/// Summary statistics of a collection of graphs, mirroring the columns of the
+/// paper's Table II.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CorpusStatistics {
+    /// Number of graphs.
+    pub num_graphs: usize,
+    /// Maximum vertex count over the corpus.
+    pub max_vertices: usize,
+    /// Mean vertex count.
+    pub mean_vertices: f64,
+    /// Mean edge count.
+    pub mean_edges: f64,
+}
+
+/// Computes [`CorpusStatistics`] for a set of graphs.
+pub fn corpus_statistics(graphs: &[Graph]) -> CorpusStatistics {
+    let num_graphs = graphs.len();
+    let max_vertices = graphs.iter().map(Graph::num_vertices).max().unwrap_or(0);
+    let mean_vertices = if num_graphs == 0 {
+        0.0
+    } else {
+        graphs.iter().map(|g| g.num_vertices() as f64).sum::<f64>() / num_graphs as f64
+    };
+    let mean_edges = if num_graphs == 0 {
+        0.0
+    } else {
+        graphs.iter().map(|g| g.num_edges() as f64).sum::<f64>() / num_graphs as f64
+    };
+    CorpusStatistics {
+        num_graphs,
+        max_vertices,
+        mean_vertices,
+        mean_edges,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators::{complete_graph, cycle_graph, path_graph, star_graph};
+
+    #[test]
+    fn components_of_disconnected_graph() {
+        let g = Graph::from_edges(6, &[(0, 1), (1, 2), (3, 4)]).unwrap();
+        let comps = connected_components(&g);
+        assert_eq!(comps.len(), 3);
+        assert_eq!(comps[0], vec![0, 1, 2]);
+        assert_eq!(comps[1], vec![3, 4]);
+        assert_eq!(comps[2], vec![5]);
+        assert!(!is_connected(&g));
+        assert!(is_connected(&path_graph(4)));
+        assert!(is_connected(&Graph::new(0)));
+        let (largest, idx) = largest_component(&g);
+        assert_eq!(largest.num_vertices(), 3);
+        assert_eq!(idx, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn triangle_counts() {
+        assert_eq!(triangle_count(&complete_graph(4)), 4);
+        assert_eq!(triangle_count(&cycle_graph(5)), 0);
+        assert_eq!(triangle_count(&complete_graph(3)), 1);
+        assert_eq!(triangle_count(&star_graph(5)), 0);
+    }
+
+    #[test]
+    fn clustering_coefficients() {
+        assert!((clustering_coefficient(&complete_graph(5)) - 1.0).abs() < 1e-12);
+        assert_eq!(clustering_coefficient(&star_graph(5)), 0.0);
+        assert_eq!(clustering_coefficient(&Graph::new(3)), 0.0);
+    }
+
+    #[test]
+    fn degree_and_path_statistics() {
+        let p = path_graph(4);
+        assert!((average_degree(&p) - 1.5).abs() < 1e-12);
+        assert_eq!(average_degree(&Graph::new(0)), 0.0);
+        // P4 distances: pairs (1,2,3, 1,2, 1) * 2 directions / 12 pairs = 10/6
+        assert!((average_path_length(&p) - 10.0 / 6.0).abs() < 1e-12);
+        assert_eq!(average_path_length(&Graph::new(3)), 0.0);
+    }
+
+    #[test]
+    fn corpus_statistics_match_hand_computation() {
+        let graphs = vec![path_graph(3), complete_graph(5), cycle_graph(4)];
+        let stats = corpus_statistics(&graphs);
+        assert_eq!(stats.num_graphs, 3);
+        assert_eq!(stats.max_vertices, 5);
+        assert!((stats.mean_vertices - 4.0).abs() < 1e-12);
+        assert!((stats.mean_edges - (2.0 + 10.0 + 4.0) / 3.0).abs() < 1e-12);
+        let empty = corpus_statistics(&[]);
+        assert_eq!(empty.num_graphs, 0);
+        assert_eq!(empty.max_vertices, 0);
+    }
+}

@@ -1,0 +1,57 @@
+//! Error type for graph construction and manipulation.
+
+use std::fmt;
+
+/// Errors produced by graph construction and manipulation.
+#[derive(Debug, Clone, PartialEq)]
+pub enum GraphError {
+    /// A vertex index was outside `0..n`.
+    VertexOutOfBounds {
+        /// The offending vertex index.
+        vertex: usize,
+        /// The number of vertices in the graph.
+        num_vertices: usize,
+    },
+    /// A self-loop was requested on a simple graph.
+    SelfLoop(usize),
+    /// Parsing a serialised graph failed.
+    Parse(String),
+    /// An argument was outside its valid domain.
+    InvalidArgument(String),
+}
+
+impl fmt::Display for GraphError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GraphError::VertexOutOfBounds {
+                vertex,
+                num_vertices,
+            } => write!(
+                f,
+                "vertex {vertex} out of bounds for graph with {num_vertices} vertices"
+            ),
+            GraphError::SelfLoop(v) => write!(f, "self loop on vertex {v} is not allowed"),
+            GraphError::Parse(msg) => write!(f, "parse error: {msg}"),
+            GraphError::InvalidArgument(msg) => write!(f, "invalid argument: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for GraphError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        let e = GraphError::VertexOutOfBounds {
+            vertex: 9,
+            num_vertices: 3,
+        };
+        assert!(e.to_string().contains('9'));
+        assert!(GraphError::SelfLoop(2).to_string().contains('2'));
+        assert!(GraphError::Parse("bad".into()).to_string().contains("bad"));
+        assert!(GraphError::InvalidArgument("x".into()).to_string().contains('x'));
+    }
+}

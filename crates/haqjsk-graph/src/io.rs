@@ -1,0 +1,182 @@
+//! Plain-text serialisation of graphs and labelled graph collections.
+//!
+//! The format is intentionally simple and line-oriented so that generated
+//! datasets can be dumped, inspected and re-loaded without any binary
+//! tooling:
+//!
+//! ```text
+//! graph <num_vertices>
+//! labels <l0> <l1> ... <l_{n-1}>      # optional line
+//! edge <u> <v>
+//! edge <u> <v>
+//! end
+//! ```
+//!
+//! A dataset file is a sequence of `class <c>` + graph blocks.
+
+use crate::error::GraphError;
+use crate::graph::Graph;
+use crate::Result;
+use std::fmt::Write as _;
+
+/// Serialises a single graph to the text format.
+pub fn graph_to_string(graph: &Graph) -> String {
+    let mut out = String::new();
+    writeln!(out, "graph {}", graph.num_vertices()).expect("writing to String cannot fail");
+    if let Some(labels) = graph.labels() {
+        let joined: Vec<String> = labels.iter().map(|l| l.to_string()).collect();
+        writeln!(out, "labels {}", joined.join(" ")).expect("writing to String cannot fail");
+    }
+    for (u, v) in graph.edges() {
+        writeln!(out, "edge {u} {v}").expect("writing to String cannot fail");
+    }
+    out.push_str("end\n");
+    out
+}
+
+/// Parses a single graph from the text format.
+pub fn graph_from_string(text: &str) -> Result<Graph> {
+    let mut lines = text.lines().map(str::trim).filter(|l| !l.is_empty());
+    let header = lines
+        .next()
+        .ok_or_else(|| GraphError::Parse("empty input".to_string()))?;
+    let n: usize = header
+        .strip_prefix("graph ")
+        .ok_or_else(|| GraphError::Parse(format!("expected 'graph <n>', got '{header}'")))?
+        .trim()
+        .parse()
+        .map_err(|e| GraphError::Parse(format!("bad vertex count: {e}")))?;
+    let mut graph = Graph::new(n);
+    for line in lines {
+        if line == "end" {
+            return Ok(graph);
+        } else if let Some(rest) = line.strip_prefix("labels ") {
+            let labels: std::result::Result<Vec<usize>, _> =
+                rest.split_whitespace().map(str::parse).collect();
+            let labels = labels.map_err(|e| GraphError::Parse(format!("bad label: {e}")))?;
+            graph.set_labels(labels)?;
+        } else if let Some(rest) = line.strip_prefix("edge ") {
+            let mut parts = rest.split_whitespace();
+            let u: usize = parts
+                .next()
+                .ok_or_else(|| GraphError::Parse("edge missing endpoints".to_string()))?
+                .parse()
+                .map_err(|e| GraphError::Parse(format!("bad edge endpoint: {e}")))?;
+            let v: usize = parts
+                .next()
+                .ok_or_else(|| GraphError::Parse("edge missing second endpoint".to_string()))?
+                .parse()
+                .map_err(|e| GraphError::Parse(format!("bad edge endpoint: {e}")))?;
+            graph.add_edge(u, v)?;
+        } else {
+            return Err(GraphError::Parse(format!("unrecognised line '{line}'")));
+        }
+    }
+    Err(GraphError::Parse("missing 'end' terminator".to_string()))
+}
+
+/// Serialises a labelled collection of graphs (a classification dataset).
+pub fn dataset_to_string(graphs: &[Graph], classes: &[usize]) -> Result<String> {
+    if graphs.len() != classes.len() {
+        return Err(GraphError::InvalidArgument(format!(
+            "{} graphs but {} class labels",
+            graphs.len(),
+            classes.len()
+        )));
+    }
+    let mut out = String::new();
+    for (graph, class) in graphs.iter().zip(classes.iter()) {
+        writeln!(out, "class {class}").expect("writing to String cannot fail");
+        out.push_str(&graph_to_string(graph));
+    }
+    Ok(out)
+}
+
+/// Parses a labelled collection of graphs.
+pub fn dataset_from_string(text: &str) -> Result<(Vec<Graph>, Vec<usize>)> {
+    let mut graphs = Vec::new();
+    let mut classes = Vec::new();
+    let mut current_class: Option<usize> = None;
+    let mut buffer = String::new();
+    for line in text.lines() {
+        let trimmed = line.trim();
+        if trimmed.is_empty() {
+            continue;
+        }
+        if let Some(rest) = trimmed.strip_prefix("class ") {
+            current_class = Some(
+                rest.trim()
+                    .parse()
+                    .map_err(|e| GraphError::Parse(format!("bad class: {e}")))?,
+            );
+        } else {
+            buffer.push_str(trimmed);
+            buffer.push('\n');
+            if trimmed == "end" {
+                let class = current_class.ok_or_else(|| {
+                    GraphError::Parse("graph block without preceding class".to_string())
+                })?;
+                graphs.push(graph_from_string(&buffer)?);
+                classes.push(class);
+                buffer.clear();
+            }
+        }
+    }
+    if !buffer.trim().is_empty() {
+        return Err(GraphError::Parse("trailing unterminated graph".to_string()));
+    }
+    Ok((graphs, classes))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators::{cycle_graph, path_graph};
+
+    #[test]
+    fn graph_roundtrip_without_labels() {
+        let g = cycle_graph(5);
+        let text = graph_to_string(&g);
+        let back = graph_from_string(&text).unwrap();
+        assert_eq!(back, g);
+    }
+
+    #[test]
+    fn graph_roundtrip_with_labels() {
+        let mut g = path_graph(4);
+        g.set_labels(vec![3, 1, 4, 1]).unwrap();
+        let text = graph_to_string(&g);
+        assert!(text.contains("labels 3 1 4 1"));
+        let back = graph_from_string(&text).unwrap();
+        assert_eq!(back, g);
+    }
+
+    #[test]
+    fn parse_errors_are_reported() {
+        assert!(graph_from_string("").is_err());
+        assert!(graph_from_string("graph x\nend\n").is_err());
+        assert!(graph_from_string("graph 2\nedge 0\nend\n").is_err());
+        assert!(graph_from_string("graph 2\nbogus line\nend\n").is_err());
+        assert!(graph_from_string("graph 2\nedge 0 1\n").is_err());
+        assert!(graph_from_string("nonsense 2\nend\n").is_err());
+        // Edge referencing a missing vertex surfaces the graph error.
+        assert!(graph_from_string("graph 2\nedge 0 5\nend\n").is_err());
+    }
+
+    #[test]
+    fn dataset_roundtrip() {
+        let graphs = vec![path_graph(3), cycle_graph(4), path_graph(2)];
+        let classes = vec![0, 1, 0];
+        let text = dataset_to_string(&graphs, &classes).unwrap();
+        let (back_graphs, back_classes) = dataset_from_string(&text).unwrap();
+        assert_eq!(back_graphs, graphs);
+        assert_eq!(back_classes, classes);
+    }
+
+    #[test]
+    fn dataset_errors() {
+        assert!(dataset_to_string(&[path_graph(2)], &[0, 1]).is_err());
+        assert!(dataset_from_string("graph 2\nedge 0 1\nend\n").is_err());
+        assert!(dataset_from_string("class 1\ngraph 2\nedge 0 1\n").is_err());
+    }
+}

@@ -1,0 +1,141 @@
+//! `k`-layer expansion subgraphs.
+//!
+//! The depth-based (DB) vertex representations of the paper (Sec. III-A,
+//! following Bai & Hancock's "Depth-based complexity traces of graphs") are
+//! built from the family of `k`-layer expansion subgraphs rooted at each
+//! vertex: the induced subgraph on all vertices within `k` hops of the root.
+//! This module provides those subgraphs plus the entropy measure evaluated on
+//! them.
+
+use crate::graph::Graph;
+use crate::shortest_paths::{bfs_distances, INFINITE_DISTANCE};
+
+/// The `k`-layer expansion subgraph rooted at `root`: the subgraph induced by
+/// all vertices within `k` hops of the root. Returns the subgraph together
+/// with the original indices of its vertices (ascending).
+pub fn expansion_subgraph(graph: &Graph, root: usize, k: usize) -> (Graph, Vec<usize>) {
+    let dist = bfs_distances(graph, root);
+    let vertices: Vec<usize> = dist
+        .iter()
+        .enumerate()
+        .filter(|&(_, &d)| d != INFINITE_DISTANCE && d <= k)
+        .map(|(v, _)| v)
+        .collect();
+    graph
+        .induced_subgraph(&vertices)
+        .expect("vertices come from the same graph")
+}
+
+/// Shannon entropy of the steady-state random-walk distribution (degree
+/// distribution) of a graph. This is the entropy measure used to summarise
+/// each expansion subgraph into one number of the DB complexity trace.
+pub fn steady_state_entropy(graph: &Graph) -> f64 {
+    let degs: Vec<f64> = graph.degrees().iter().map(|&d| d as f64).collect();
+    haqjsk_linalg::vector::shannon_entropy(&degs)
+}
+
+/// The depth-based complexity trace of a single vertex: for each layer
+/// `k = 1..=max_k`, the Shannon entropy of the `k`-layer expansion subgraph
+/// rooted at that vertex. The resulting `max_k`-dimensional vector is the
+/// vectorial vertex representation `R^k(v)` aligned by the HAQJSK kernels.
+pub fn depth_based_trace(graph: &Graph, root: usize, max_k: usize) -> Vec<f64> {
+    // One BFS suffices: grow the vertex set layer by layer.
+    let dist = bfs_distances(graph, root);
+    let mut trace = Vec::with_capacity(max_k);
+    for k in 1..=max_k {
+        let vertices: Vec<usize> = dist
+            .iter()
+            .enumerate()
+            .filter(|&(_, &d)| d != INFINITE_DISTANCE && d <= k)
+            .map(|(v, _)| v)
+            .collect();
+        let (sub, _) = graph
+            .induced_subgraph(&vertices)
+            .expect("vertices come from the same graph");
+        trace.push(steady_state_entropy(&sub));
+    }
+    trace
+}
+
+/// Depth-based complexity traces for every vertex of the graph, as an
+/// `n x max_k` table (row per vertex).
+pub fn depth_based_traces(graph: &Graph, max_k: usize) -> Vec<Vec<f64>> {
+    (0..graph.num_vertices())
+        .map(|v| depth_based_trace(graph, v, max_k))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn path(n: usize) -> Graph {
+        let edges: Vec<(usize, usize)> = (0..n - 1).map(|i| (i, i + 1)).collect();
+        Graph::from_edges(n, &edges).unwrap()
+    }
+
+    #[test]
+    fn expansion_layers_grow() {
+        let g = path(6);
+        let (s1, v1) = expansion_subgraph(&g, 0, 1);
+        assert_eq!(v1, vec![0, 1]);
+        assert_eq!(s1.num_edges(), 1);
+        let (s3, v3) = expansion_subgraph(&g, 0, 3);
+        assert_eq!(v3, vec![0, 1, 2, 3]);
+        assert_eq!(s3.num_edges(), 3);
+        // Layer larger than the diameter captures the whole component.
+        let (s9, v9) = expansion_subgraph(&g, 0, 9);
+        assert_eq!(v9.len(), 6);
+        assert_eq!(s9.num_edges(), 5);
+    }
+
+    #[test]
+    fn expansion_ignores_other_components() {
+        let g = Graph::from_edges(5, &[(0, 1), (1, 2), (3, 4)]).unwrap();
+        let (_, verts) = expansion_subgraph(&g, 0, 10);
+        assert_eq!(verts, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn entropy_of_regular_graph_is_log_n() {
+        // Cycle C4 is 2-regular: uniform degree distribution, entropy ln 4.
+        let c4 = Graph::from_edges(4, &[(0, 1), (1, 2), (2, 3), (3, 0)]).unwrap();
+        assert!((steady_state_entropy(&c4) - 4.0_f64.ln()).abs() < 1e-12);
+        // Star graph is maximally non-uniform among trees on 4 vertices.
+        let star = Graph::from_edges(4, &[(0, 1), (0, 2), (0, 3)]).unwrap();
+        assert!(steady_state_entropy(&star) < steady_state_entropy(&c4));
+        // Edgeless graph has zero entropy.
+        assert_eq!(steady_state_entropy(&Graph::new(3)), 0.0);
+    }
+
+    #[test]
+    fn trace_is_monotone_in_information_for_path_interior() {
+        let g = path(7);
+        let t = depth_based_trace(&g, 3, 3);
+        assert_eq!(t.len(), 3);
+        // As layers expand, the subgraph grows and so does its entropy.
+        assert!(t[0] <= t[1] + 1e-12);
+        assert!(t[1] <= t[2] + 1e-12);
+    }
+
+    #[test]
+    fn traces_distinguish_endpoints_from_centres() {
+        let g = path(7);
+        let traces = depth_based_traces(&g, 3);
+        assert_eq!(traces.len(), 7);
+        assert_eq!(traces[0].len(), 3);
+        // The centre vertex sees more structure at layer 2 than an endpoint.
+        assert!(traces[3][1] > traces[0][1]);
+        // Symmetric vertices have identical traces.
+        for k in 0..3 {
+            assert!((traces[0][k] - traces[6][k]).abs() < 1e-12);
+            assert!((traces[1][k] - traces[5][k]).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn zero_layers_gives_empty_trace() {
+        let g = path(4);
+        assert!(depth_based_trace(&g, 0, 0).is_empty());
+    }
+}

@@ -1,0 +1,233 @@
+//! Kernel-space embeddings: kernel PCA and kernel-induced distances.
+//!
+//! The paper evaluates its kernels through a C-SVM, but a kernel is more
+//! generally an implicit feature map. This module provides the two standard
+//! tools for inspecting that feature space: the kernel-induced distance
+//! `d(i,j)² = K(i,i) + K(j,j) - 2K(i,j)` (used, e.g., by the kNN baseline in
+//! `haqjsk-ml`) and kernel principal component analysis, which yields an
+//! explicit low-dimensional embedding of the graphs — handy for visualising
+//! how well a kernel separates dataset classes.
+
+use crate::matrix::KernelMatrix;
+use haqjsk_linalg::{symmetric_eigen, LinalgError, Matrix};
+
+/// Squared kernel-induced distance between items `i` and `j`.
+pub fn squared_kernel_distance(kernel: &KernelMatrix, i: usize, j: usize) -> f64 {
+    (kernel.get(i, i) + kernel.get(j, j) - 2.0 * kernel.get(i, j)).max(0.0)
+}
+
+/// Kernel-induced distance between items `i` and `j`.
+pub fn kernel_distance(kernel: &KernelMatrix, i: usize, j: usize) -> f64 {
+    squared_kernel_distance(kernel, i, j).sqrt()
+}
+
+/// Full pairwise kernel-induced distance matrix.
+pub fn kernel_distance_matrix(kernel: &KernelMatrix) -> Matrix {
+    let n = kernel.len();
+    let mut out = Matrix::zeros(n, n);
+    for i in 0..n {
+        for j in (i + 1)..n {
+            let d = kernel_distance(kernel, i, j);
+            out[(i, j)] = d;
+            out[(j, i)] = d;
+        }
+    }
+    out
+}
+
+/// Result of a kernel PCA: per-item coordinates in the leading principal
+/// directions of the (centred) feature space, plus the captured variances.
+#[derive(Debug, Clone)]
+pub struct KernelPca {
+    /// `coordinates[i]` is the embedding of item `i` (length = number of
+    /// retained components).
+    pub coordinates: Vec<Vec<f64>>,
+    /// Eigenvalue (variance) captured by each retained component, in
+    /// decreasing order.
+    pub component_variances: Vec<f64>,
+}
+
+impl KernelPca {
+    /// Number of retained components.
+    pub fn num_components(&self) -> usize {
+        self.component_variances.len()
+    }
+
+    /// Fraction of the total (positive) spectrum captured by the retained
+    /// components.
+    pub fn explained_variance_ratio(&self, total_positive_variance: f64) -> f64 {
+        if total_positive_variance <= 0.0 {
+            return 0.0;
+        }
+        self.component_variances.iter().sum::<f64>() / total_positive_variance
+    }
+}
+
+/// Kernel principal component analysis: centres the kernel matrix, takes the
+/// leading `components` eigenpairs with positive eigenvalues, and returns the
+/// projected coordinates `sqrt(λ_k) · v_k(i)`.
+pub fn kernel_pca(kernel: &KernelMatrix, components: usize) -> Result<KernelPca, LinalgError> {
+    let n = kernel.len();
+    if n == 0 || components == 0 {
+        return Ok(KernelPca {
+            coordinates: vec![Vec::new(); n],
+            component_variances: Vec::new(),
+        });
+    }
+    let centered = kernel.centered();
+    let eig = symmetric_eigen(centered.matrix())?;
+    // Eigenvalues ascend; walk from the top and keep positive ones.
+    let mut kept: Vec<(f64, usize)> = Vec::new();
+    for idx in (0..n).rev() {
+        let lambda = eig.eigenvalues[idx];
+        if lambda <= 1e-12 {
+            break;
+        }
+        kept.push((lambda, idx));
+        if kept.len() == components {
+            break;
+        }
+    }
+    let mut coordinates = vec![Vec::with_capacity(kept.len()); n];
+    let mut component_variances = Vec::with_capacity(kept.len());
+    for &(lambda, col) in &kept {
+        component_variances.push(lambda);
+        let scale = lambda.sqrt();
+        for (i, coords) in coordinates.iter_mut().enumerate() {
+            coords.push(scale * eig.eigenvectors[(i, col)]);
+        }
+    }
+    Ok(KernelPca {
+        coordinates,
+        component_variances,
+    })
+}
+
+/// Total positive variance of the centred kernel (the normaliser for
+/// [`KernelPca::explained_variance_ratio`]).
+pub fn total_positive_variance(kernel: &KernelMatrix) -> Result<f64, LinalgError> {
+    if kernel.is_empty() {
+        return Ok(0.0);
+    }
+    let eig = symmetric_eigen(kernel.centered().matrix())?;
+    Ok(eig.eigenvalues.iter().filter(|&&l| l > 0.0).sum())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use haqjsk_linalg::vector::distance;
+
+    /// A kernel built from explicit 2-D points with a linear kernel, so the
+    /// kernel distance must equal the Euclidean distance and kernel PCA must
+    /// recover the point configuration up to rotation.
+    fn linear_kernel(points: &[[f64; 2]]) -> KernelMatrix {
+        let n = points.len();
+        let m = Matrix::from_fn(n, n, |i, j| {
+            points[i][0] * points[j][0] + points[i][1] * points[j][1]
+        });
+        KernelMatrix::new(m).unwrap()
+    }
+
+    fn sample_points() -> Vec<[f64; 2]> {
+        vec![
+            [0.0, 0.0],
+            [1.0, 0.0],
+            [0.0, 2.0],
+            [3.0, 1.0],
+            [-1.0, -1.5],
+            [2.0, -0.5],
+        ]
+    }
+
+    #[test]
+    fn kernel_distance_matches_euclidean_for_linear_kernel() {
+        let points = sample_points();
+        let kernel = linear_kernel(&points);
+        for i in 0..points.len() {
+            for j in 0..points.len() {
+                let expected = distance(&points[i], &points[j]);
+                assert!((kernel_distance(&kernel, i, j) - expected).abs() < 1e-9);
+            }
+        }
+        let dm = kernel_distance_matrix(&kernel);
+        assert!(dm.is_symmetric(1e-12));
+        assert_eq!(dm[(0, 0)], 0.0);
+    }
+
+    #[test]
+    fn kernel_pca_preserves_pairwise_distances_for_full_rank() {
+        let points = sample_points();
+        let kernel = linear_kernel(&points);
+        let pca = kernel_pca(&kernel, 2).unwrap();
+        assert_eq!(pca.num_components(), 2);
+        // Centred 2-D data embeds exactly in 2 components: pairwise distances
+        // of the embedding match the original Euclidean distances.
+        for i in 0..points.len() {
+            for j in 0..points.len() {
+                let original = distance(&points[i], &points[j]);
+                let embedded = distance(&pca.coordinates[i], &pca.coordinates[j]);
+                assert!(
+                    (original - embedded).abs() < 1e-8,
+                    "({i},{j}): {original} vs {embedded}"
+                );
+            }
+        }
+        let total = total_positive_variance(&kernel).unwrap();
+        assert!(pca.explained_variance_ratio(total) > 0.999);
+    }
+
+    #[test]
+    fn component_variances_are_decreasing() {
+        let points = sample_points();
+        let kernel = linear_kernel(&points);
+        let pca = kernel_pca(&kernel, 4).unwrap();
+        // Only two positive directions exist for 2-D data.
+        assert!(pca.num_components() <= 2);
+        for w in pca.component_variances.windows(2) {
+            assert!(w[0] >= w[1]);
+        }
+    }
+
+    #[test]
+    fn degenerate_inputs() {
+        let empty = KernelMatrix::new(Matrix::zeros(0, 0)).unwrap();
+        let pca = kernel_pca(&empty, 3).unwrap();
+        assert_eq!(pca.num_components(), 0);
+        assert_eq!(total_positive_variance(&empty).unwrap(), 0.0);
+        assert_eq!(pca.explained_variance_ratio(0.0), 0.0);
+
+        let single = KernelMatrix::new(Matrix::from_diag(&[2.0])).unwrap();
+        let pca1 = kernel_pca(&single, 2).unwrap();
+        // A single point centres to zero variance.
+        assert_eq!(pca1.num_components(), 0);
+        // Zero requested components short-circuits.
+        let kernel = linear_kernel(&sample_points());
+        assert_eq!(kernel_pca(&kernel, 0).unwrap().num_components(), 0);
+    }
+
+    #[test]
+    fn kernel_pca_separates_structured_classes() {
+        // Two tight clusters in kernel space must map to two well-separated
+        // groups along the first principal component.
+        let n = 10;
+        let mut m = Matrix::zeros(n, n);
+        for i in 0..n {
+            for j in 0..n {
+                let same = (i < 5) == (j < 5);
+                m[(i, j)] = if same { 1.0 } else { 0.1 };
+            }
+        }
+        let kernel = KernelMatrix::new(m).unwrap();
+        let pca = kernel_pca(&kernel, 1).unwrap();
+        let first: Vec<f64> = pca.coordinates.iter().map(|c| c[0]).collect();
+        let mean_a: f64 = first[..5].iter().sum::<f64>() / 5.0;
+        let mean_b: f64 = first[5..].iter().sum::<f64>() / 5.0;
+        assert!((mean_a - mean_b).abs() > 0.5);
+        // Within-cluster spread is tiny compared to the between-cluster gap.
+        for i in 0..5 {
+            assert!((first[i] - mean_a).abs() < 1e-6);
+            assert!((first[5 + i] - mean_b).abs() < 1e-6);
+        }
+    }
+}

@@ -1,0 +1,285 @@
+//! Graphlet-count kernel (GCGK, Shervashidze et al.).
+//!
+//! Each graph is mapped to the histogram of its (connected and disconnected)
+//! 3-vertex graphlets and connected 4-vertex graphlets; the kernel is the
+//! inner product of the normalised histograms. Exact 3-graphlet counting is
+//! `O(n³)`; for the 4-vertex graphlets the kernel samples vertex quadruples
+//! when the graph is larger than a threshold, which mirrors the sampling
+//! strategy used in practice for the GCGK baseline.
+
+use crate::kernel::{gram_from_features, GraphKernel};
+use crate::matrix::KernelMatrix;
+use haqjsk_graph::Graph;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Number of distinct 3-vertex graphlet types (by edge count: 0, 1, 2, 3).
+pub const NUM_3_GRAPHLETS: usize = 4;
+/// Number of connected 4-vertex graphlet types
+/// (path, star, cycle, tadpole/paw, diamond, clique).
+pub const NUM_4_GRAPHLETS: usize = 6;
+
+/// The graphlet-count kernel.
+#[derive(Debug, Clone)]
+pub struct GraphletKernel {
+    /// Include (sampled) connected 4-vertex graphlets in the feature map.
+    pub include_four: bool,
+    /// Number of sampled quadruples per graph when counting 4-graphlets on
+    /// graphs with more than `exact_threshold` vertices.
+    pub samples: usize,
+    /// Below this vertex count, 4-graphlets are counted exactly.
+    pub exact_threshold: usize,
+    /// Seed for the quadruple sampler (kept fixed so Gram matrices are
+    /// reproducible and symmetric).
+    pub seed: u64,
+}
+
+impl Default for GraphletKernel {
+    fn default() -> Self {
+        GraphletKernel {
+            include_four: true,
+            samples: 2000,
+            exact_threshold: 25,
+            seed: 7,
+        }
+    }
+}
+
+impl GraphletKernel {
+    /// Creates a kernel counting only the 3-vertex graphlets.
+    pub fn three_only() -> Self {
+        GraphletKernel {
+            include_four: false,
+            ..Default::default()
+        }
+    }
+
+    /// Counts the 3-vertex graphlets exactly, returning the histogram
+    /// `[empty, one-edge, path, triangle]`.
+    pub fn count_3_graphlets(graph: &Graph) -> [f64; NUM_3_GRAPHLETS] {
+        let n = graph.num_vertices();
+        let mut counts = [0.0_f64; NUM_3_GRAPHLETS];
+        for a in 0..n {
+            for b in (a + 1)..n {
+                for c in (b + 1)..n {
+                    let edges = graph.has_edge(a, b) as usize
+                        + graph.has_edge(a, c) as usize
+                        + graph.has_edge(b, c) as usize;
+                    counts[edges] += 1.0;
+                }
+            }
+        }
+        counts
+    }
+
+    /// Classifies the induced subgraph on 4 vertices into one of the six
+    /// connected 4-graphlet types; returns `None` when it is disconnected.
+    fn classify_4(graph: &Graph, quad: [usize; 4]) -> Option<usize> {
+        let mut edges = 0usize;
+        let mut degree = [0usize; 4];
+        for i in 0..4 {
+            for j in (i + 1)..4 {
+                if graph.has_edge(quad[i], quad[j]) {
+                    edges += 1;
+                    degree[i] += 1;
+                    degree[j] += 1;
+                }
+            }
+        }
+        // Connectivity check for at most 4 vertices: every vertex must have
+        // degree >= 1 and the structure must not split into two disjoint
+        // edges (the only disconnected case with min degree 1).
+        if degree.iter().any(|&d| d == 0) {
+            return None;
+        }
+        let mut sorted = degree;
+        sorted.sort_unstable();
+        match (edges, sorted) {
+            (3, [1, 1, 1, 3]) => Some(1),          // star
+            (3, [1, 1, 2, 2]) => Some(0),          // path
+            (3, _) => None,                         // triangle + isolated handled above
+            (4, [1, 2, 2, 3]) => Some(3),          // tadpole / paw
+            (4, [2, 2, 2, 2]) => Some(2),          // 4-cycle
+            (5, _) => Some(4),                      // diamond
+            (6, _) => Some(5),                      // clique K4
+            _ => None,                              // 2 disjoint edges etc.
+        }
+    }
+
+    /// Counts (exactly or by sampling) the connected 4-vertex graphlets.
+    pub fn count_4_graphlets(&self, graph: &Graph) -> [f64; NUM_4_GRAPHLETS] {
+        let n = graph.num_vertices();
+        let mut counts = [0.0_f64; NUM_4_GRAPHLETS];
+        if n < 4 {
+            return counts;
+        }
+        if n <= self.exact_threshold {
+            for a in 0..n {
+                for b in (a + 1)..n {
+                    for c in (b + 1)..n {
+                        for d in (c + 1)..n {
+                            if let Some(t) = Self::classify_4(graph, [a, b, c, d]) {
+                                counts[t] += 1.0;
+                            }
+                        }
+                    }
+                }
+            }
+        } else {
+            let mut rng = StdRng::seed_from_u64(self.seed ^ (n as u64));
+            for _ in 0..self.samples {
+                let mut quad = [0usize; 4];
+                // Rejection-sample four distinct vertices.
+                loop {
+                    for slot in quad.iter_mut() {
+                        *slot = rng.gen_range(0..n);
+                    }
+                    let mut sorted = quad;
+                    sorted.sort_unstable();
+                    if sorted.windows(2).all(|w| w[0] != w[1]) {
+                        break;
+                    }
+                }
+                if let Some(t) = Self::classify_4(graph, quad) {
+                    counts[t] += 1.0;
+                }
+            }
+            // Scale sampled counts to the total number of quadruples so the
+            // magnitude is comparable with exact counting.
+            let total_quads = (n * (n - 1) * (n - 2) * (n - 3)) as f64 / 24.0;
+            for c in counts.iter_mut() {
+                *c *= total_quads / self.samples as f64;
+            }
+        }
+        counts
+    }
+
+    /// Normalised feature vector (3-graphlet histogram, optionally followed by
+    /// the connected 4-graphlet histogram), each block normalised to unit L1
+    /// mass so graphs of different sizes stay comparable.
+    pub fn feature_vector(&self, graph: &Graph) -> Vec<f64> {
+        let mut features = Vec::with_capacity(NUM_3_GRAPHLETS + NUM_4_GRAPHLETS);
+        let mut three = Self::count_3_graphlets(graph).to_vec();
+        haqjsk_linalg::vector::normalize_l1(&mut three);
+        features.extend_from_slice(&three);
+        if self.include_four {
+            let mut four = self.count_4_graphlets(graph).to_vec();
+            haqjsk_linalg::vector::normalize_l1(&mut four);
+            features.extend_from_slice(&four);
+        }
+        features
+    }
+}
+
+impl GraphKernel for GraphletKernel {
+    fn name(&self) -> &'static str {
+        "GCGK"
+    }
+
+    fn compute(&self, a: &Graph, b: &Graph) -> f64 {
+        let fa = self.feature_vector(a);
+        let fb = self.feature_vector(b);
+        haqjsk_linalg::vector::dot(&fa, &fb)
+    }
+
+    fn gram_matrix(&self, graphs: &[Graph]) -> KernelMatrix {
+        let features: Vec<Vec<f64>> = graphs.iter().map(|g| self.feature_vector(g)).collect();
+        gram_from_features(&features)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use haqjsk_graph::generators::{complete_graph, cycle_graph, erdos_renyi, path_graph, star_graph};
+
+    #[test]
+    fn three_graphlets_of_triangle_and_path() {
+        let triangle = complete_graph(3);
+        assert_eq!(GraphletKernel::count_3_graphlets(&triangle), [0.0, 0.0, 0.0, 1.0]);
+        let path = path_graph(3);
+        assert_eq!(GraphletKernel::count_3_graphlets(&path), [0.0, 0.0, 1.0, 0.0]);
+        let empty = Graph::new(3);
+        assert_eq!(GraphletKernel::count_3_graphlets(&empty), [1.0, 0.0, 0.0, 0.0]);
+    }
+
+    #[test]
+    fn three_graphlet_total_is_binomial() {
+        let g = cycle_graph(7);
+        let counts = GraphletKernel::count_3_graphlets(&g);
+        let total: f64 = counts.iter().sum();
+        assert_eq!(total, 35.0); // C(7,3)
+    }
+
+    #[test]
+    fn four_graphlets_of_known_graphs() {
+        let kernel = GraphletKernel::default();
+        // K4 contains exactly one 4-clique graphlet.
+        let k4 = complete_graph(4);
+        let counts = kernel.count_4_graphlets(&k4);
+        assert_eq!(counts[5], 1.0);
+        assert_eq!(counts.iter().sum::<f64>(), 1.0);
+        // C4 is one 4-cycle.
+        let c4 = cycle_graph(4);
+        let counts = kernel.count_4_graphlets(&c4);
+        assert_eq!(counts[2], 1.0);
+        // P4 is one path graphlet.
+        let p4 = path_graph(4);
+        let counts = kernel.count_4_graphlets(&p4);
+        assert_eq!(counts[0], 1.0);
+        // Star S4 is one star graphlet.
+        let s4 = star_graph(4);
+        let counts = kernel.count_4_graphlets(&s4);
+        assert_eq!(counts[1], 1.0);
+        // Graphs with fewer than four vertices have no 4-graphlets.
+        assert_eq!(kernel.count_4_graphlets(&path_graph(3)).iter().sum::<f64>(), 0.0);
+    }
+
+    #[test]
+    fn sampling_approximates_exact_counts() {
+        let g = erdos_renyi(40, 0.2, 3);
+        let exact_kernel = GraphletKernel {
+            exact_threshold: 100,
+            ..Default::default()
+        };
+        let sampled_kernel = GraphletKernel {
+            exact_threshold: 10,
+            samples: 4000,
+            ..Default::default()
+        };
+        let exact = exact_kernel.count_4_graphlets(&g);
+        let sampled = sampled_kernel.count_4_graphlets(&g);
+        let exact_total: f64 = exact.iter().sum();
+        let sampled_total: f64 = sampled.iter().sum();
+        // Proportions should be in the same ballpark (they are scaled counts).
+        assert!(exact_total > 0.0);
+        assert!(sampled_total > 0.0);
+        for t in 0..NUM_4_GRAPHLETS {
+            let pe = exact[t] / exact_total;
+            let ps = sampled[t] / sampled_total;
+            assert!((pe - ps).abs() < 0.15, "type {t}: exact {pe} vs sampled {ps}");
+        }
+    }
+
+    #[test]
+    fn kernel_symmetry_and_self_dominance() {
+        let kernel = GraphletKernel::default();
+        let a = cycle_graph(8);
+        let b = star_graph(8);
+        assert!((kernel.compute(&a, &b) - kernel.compute(&b, &a)).abs() < 1e-12);
+        assert!(kernel.compute(&a, &a) >= kernel.compute(&a, &b));
+    }
+
+    #[test]
+    fn gram_is_psd_and_matches_pairwise() {
+        let kernel = GraphletKernel::three_only();
+        let graphs = vec![path_graph(6), cycle_graph(6), star_graph(6), complete_graph(5)];
+        let gram = kernel.gram_matrix(&graphs);
+        assert!(gram.is_positive_semidefinite(1e-9).unwrap());
+        for i in 0..graphs.len() {
+            for j in 0..graphs.len() {
+                assert!((gram.get(i, j) - kernel.compute(&graphs[i], &graphs[j])).abs() < 1e-12);
+            }
+        }
+    }
+}

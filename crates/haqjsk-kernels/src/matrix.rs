@@ -1,0 +1,244 @@
+//! Kernel (Gram) matrices and the transformations the evaluation protocol
+//! applies to them.
+//!
+//! The paper feeds precomputed kernel matrices to a C-SVM; before that the
+//! matrices are typically cosine-normalised so every graph has unit
+//! self-similarity. Because one of the paper's central claims is that the
+//! HAQJSK kernels are positive definite while the plain QJSK kernels are not,
+//! this type also exposes the minimum eigenvalue of the Gram matrix and a
+//! clip-to-PSD projection used when an indefinite baseline kernel must still
+//! be fed to the SVM.
+
+use haqjsk_linalg::{symmetric_eigen, LinalgError, Matrix};
+
+/// A symmetric kernel (Gram) matrix over a set of graphs.
+#[derive(Debug, Clone, PartialEq)]
+pub struct KernelMatrix {
+    values: Matrix,
+}
+
+impl KernelMatrix {
+    /// Wraps a square symmetric matrix of kernel values.
+    pub fn new(values: Matrix) -> Result<Self, LinalgError> {
+        if !values.is_square() {
+            return Err(LinalgError::NotSquare {
+                rows: values.rows(),
+                cols: values.cols(),
+            });
+        }
+        if !values.is_symmetric(1e-8 * values.max_abs().max(1.0)) {
+            return Err(LinalgError::NotSymmetric {
+                max_asymmetry: values.asymmetry(),
+            });
+        }
+        Ok(KernelMatrix {
+            values: values.symmetrize()?,
+        })
+    }
+
+    /// Number of graphs the matrix covers.
+    pub fn len(&self) -> usize {
+        self.values.rows()
+    }
+
+    /// Whether the matrix is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Kernel value between items `i` and `j`.
+    pub fn get(&self, i: usize, j: usize) -> f64 {
+        self.values[(i, j)]
+    }
+
+    /// Borrows the underlying matrix.
+    pub fn matrix(&self) -> &Matrix {
+        &self.values
+    }
+
+    /// Consumes the wrapper and returns the underlying matrix.
+    pub fn into_matrix(self) -> Matrix {
+        self.values
+    }
+
+    /// Cosine normalisation: `K'(i,j) = K(i,j) / sqrt(K(i,i) K(j,j))`.
+    /// Entries whose diagonal is non-positive are mapped to zero.
+    pub fn normalized(&self) -> KernelMatrix {
+        let n = self.len();
+        let mut out = Matrix::zeros(n, n);
+        for i in 0..n {
+            for j in 0..n {
+                let d = self.values[(i, i)] * self.values[(j, j)];
+                out[(i, j)] = if d > 0.0 {
+                    self.values[(i, j)] / d.sqrt()
+                } else {
+                    0.0
+                };
+            }
+        }
+        KernelMatrix {
+            values: out.symmetrize().expect("square by construction"),
+        }
+    }
+
+    /// Centres the kernel matrix in feature space:
+    /// `K' = K - 1K/n - K1/n + 1K1/n²`.
+    pub fn centered(&self) -> KernelMatrix {
+        let n = self.len();
+        if n == 0 {
+            return self.clone();
+        }
+        let nf = n as f64;
+        let row_means: Vec<f64> = (0..n)
+            .map(|i| (0..n).map(|j| self.values[(i, j)]).sum::<f64>() / nf)
+            .collect();
+        let total_mean: f64 = row_means.iter().sum::<f64>() / nf;
+        let mut out = Matrix::zeros(n, n);
+        for i in 0..n {
+            for j in 0..n {
+                out[(i, j)] = self.values[(i, j)] - row_means[i] - row_means[j] + total_mean;
+            }
+        }
+        KernelMatrix {
+            values: out.symmetrize().expect("square by construction"),
+        }
+    }
+
+    /// Minimum eigenvalue of the Gram matrix — negative values witness that
+    /// the kernel is not positive semidefinite on this dataset.
+    pub fn min_eigenvalue(&self) -> Result<f64, LinalgError> {
+        if self.is_empty() {
+            return Ok(0.0);
+        }
+        Ok(symmetric_eigen(&self.values)?.min_eigenvalue())
+    }
+
+    /// Whether the matrix is positive semidefinite within `tol` (relative to
+    /// the largest absolute entry).
+    pub fn is_positive_semidefinite(&self, tol: f64) -> Result<bool, LinalgError> {
+        let scale = self.values.max_abs().max(1.0);
+        Ok(self.min_eigenvalue()? >= -tol * scale)
+    }
+
+    /// Projects onto the PSD cone by clipping negative eigenvalues to zero
+    /// (the standard fix applied before handing an indefinite kernel to an
+    /// SVM solver).
+    pub fn project_psd(&self) -> Result<KernelMatrix, LinalgError> {
+        if self.is_empty() {
+            return Ok(self.clone());
+        }
+        let eig = symmetric_eigen(&self.values)?;
+        let clipped = eig.map_spectrum(|l| l.max(0.0));
+        Ok(KernelMatrix {
+            values: clipped.symmetrize()?,
+        })
+    }
+
+    /// Extracts the sub-kernel-matrix for the given item indices (used by the
+    /// cross-validation folds).
+    pub fn select(&self, rows: &[usize], cols: &[usize]) -> Matrix {
+        let mut out = Matrix::zeros(rows.len(), cols.len());
+        for (i, &r) in rows.iter().enumerate() {
+            for (j, &c) in cols.iter().enumerate() {
+                out[(i, j)] = self.values[(r, c)];
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toy_kernel() -> KernelMatrix {
+        KernelMatrix::new(
+            Matrix::from_rows(&[
+                vec![4.0, 2.0, 0.0],
+                vec![2.0, 9.0, 3.0],
+                vec![0.0, 3.0, 16.0],
+            ])
+            .unwrap(),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn construction_validates_shape_and_symmetry() {
+        assert!(KernelMatrix::new(Matrix::zeros(2, 3)).is_err());
+        let asym = Matrix::from_rows(&[vec![1.0, 5.0], vec![0.0, 1.0]]).unwrap();
+        assert!(KernelMatrix::new(asym).is_err());
+        let k = toy_kernel();
+        assert_eq!(k.len(), 3);
+        assert!(!k.is_empty());
+        assert_eq!(k.get(1, 2), 3.0);
+    }
+
+    #[test]
+    fn normalization_puts_ones_on_diagonal() {
+        let k = toy_kernel().normalized();
+        for i in 0..3 {
+            assert!((k.get(i, i) - 1.0).abs() < 1e-12);
+        }
+        assert!((k.get(0, 1) - 2.0 / 6.0).abs() < 1e-12);
+        // All normalised values are within [-1, 1].
+        for i in 0..3 {
+            for j in 0..3 {
+                assert!(k.get(i, j).abs() <= 1.0 + 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn normalization_handles_zero_diagonal() {
+        let m = Matrix::from_rows(&[vec![0.0, 1.0], vec![1.0, 4.0]]).unwrap();
+        let k = KernelMatrix::new(m).unwrap().normalized();
+        assert_eq!(k.get(0, 1), 0.0);
+    }
+
+    #[test]
+    fn centering_makes_row_sums_zero() {
+        let k = toy_kernel().centered();
+        for i in 0..3 {
+            let s: f64 = (0..3).map(|j| k.get(i, j)).sum();
+            assert!(s.abs() < 1e-10);
+        }
+    }
+
+    #[test]
+    fn psd_detection_and_projection() {
+        let k = toy_kernel();
+        assert!(k.is_positive_semidefinite(1e-9).unwrap());
+        // An indefinite symmetric matrix.
+        let indef = KernelMatrix::new(
+            Matrix::from_rows(&[vec![0.0, 1.0], vec![1.0, 0.0]]).unwrap(),
+        )
+        .unwrap();
+        assert!(indef.min_eigenvalue().unwrap() < 0.0);
+        assert!(!indef.is_positive_semidefinite(1e-9).unwrap());
+        let fixed = indef.project_psd().unwrap();
+        assert!(fixed.is_positive_semidefinite(1e-9).unwrap());
+        // Projection does not change an already-PSD matrix (up to noise).
+        let same = k.project_psd().unwrap();
+        assert!((same.matrix() - k.matrix()).max_abs() < 1e-9);
+    }
+
+    #[test]
+    fn selection_extracts_fold_blocks() {
+        let k = toy_kernel();
+        let block = k.select(&[0, 2], &[1]);
+        assert_eq!(block.shape(), (2, 1));
+        assert_eq!(block[(0, 0)], 2.0);
+        assert_eq!(block[(1, 0)], 3.0);
+    }
+
+    #[test]
+    fn empty_kernel_matrix() {
+        let k = KernelMatrix::new(Matrix::zeros(0, 0)).unwrap();
+        assert!(k.is_empty());
+        assert_eq!(k.min_eigenvalue().unwrap(), 0.0);
+        assert!(k.is_positive_semidefinite(1e-9).unwrap());
+        assert!(k.project_psd().unwrap().is_empty());
+        assert_eq!(k.centered().len(), 0);
+    }
+}

@@ -1,0 +1,254 @@
+//! Static property tables of the paper (Table I and Table III).
+//!
+//! Table I summarises which theoretical properties each kernel family has
+//! (positive definiteness, tottering reduction, structural / transitive
+//! alignment, local / global information, hierarchical alignment); Table III
+//! records the design axes of the concrete comparison kernels. Both are
+//! fixed facts about the methods rather than measured quantities, so they are
+//! encoded as data and rendered by the benchmark harness.
+
+/// Tri-state answer used in the paper's property tables: yes, no, or "the
+/// kernel does not refer to this problem" (rendered as "-").
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PropertyAnswer {
+    /// The kernel family has the property.
+    Yes,
+    /// The kernel family does not have the property.
+    No,
+    /// The property is not applicable to this family.
+    NotApplicable,
+}
+
+impl PropertyAnswer {
+    /// Table cell rendering used by the harness.
+    pub fn symbol(self) -> &'static str {
+        match self {
+            PropertyAnswer::Yes => "Yes",
+            PropertyAnswer::No => "No",
+            PropertyAnswer::NotApplicable => "-",
+        }
+    }
+}
+
+/// One row of Table I: the property profile of a kernel family.
+#[derive(Debug, Clone)]
+pub struct KernelFamilyProperties {
+    /// Family name as used in the paper.
+    pub family: &'static str,
+    /// Positive definite?
+    pub positive_definite: PropertyAnswer,
+    /// Reduces tottering?
+    pub reduce_tottering: PropertyAnswer,
+    /// Uses structural alignment?
+    pub structural_alignment: PropertyAnswer,
+    /// Alignment is transitive?
+    pub transitive_alignment: PropertyAnswer,
+    /// Captures local information?
+    pub local_information: PropertyAnswer,
+    /// Captures global information?
+    pub global_information: PropertyAnswer,
+    /// Uses hierarchical alignment?
+    pub hierarchical_alignment: PropertyAnswer,
+}
+
+/// The rows of Table I, in the paper's order.
+pub fn table1_kernel_family_properties() -> Vec<KernelFamilyProperties> {
+    use PropertyAnswer::{No, NotApplicable as Na, Yes};
+    vec![
+        KernelFamilyProperties {
+            family: "HAQJSK",
+            positive_definite: Yes,
+            reduce_tottering: Yes,
+            structural_alignment: Yes,
+            transitive_alignment: Yes,
+            local_information: Yes,
+            global_information: Yes,
+            hierarchical_alignment: Yes,
+        },
+        KernelFamilyProperties {
+            family: "QJSK",
+            positive_definite: No,
+            reduce_tottering: Yes,
+            structural_alignment: Yes,
+            transitive_alignment: No,
+            local_information: Yes,
+            global_information: Yes,
+            hierarchical_alignment: No,
+        },
+        KernelFamilyProperties {
+            family: "DBAK",
+            positive_definite: No,
+            reduce_tottering: Na,
+            structural_alignment: Yes,
+            transitive_alignment: No,
+            local_information: Yes,
+            global_information: No,
+            hierarchical_alignment: No,
+        },
+        KernelFamilyProperties {
+            family: "R-convolution kernels",
+            positive_definite: Yes,
+            reduce_tottering: Na,
+            structural_alignment: No,
+            transitive_alignment: No,
+            local_information: Yes,
+            global_information: No,
+            hierarchical_alignment: Na,
+        },
+        KernelFamilyProperties {
+            family: "Global graph kernels",
+            positive_definite: Yes,
+            reduce_tottering: Na,
+            structural_alignment: No,
+            transitive_alignment: No,
+            local_information: No,
+            global_information: Yes,
+            hierarchical_alignment: Na,
+        },
+    ]
+}
+
+/// One row of Table III: the design axes of a concrete comparison kernel.
+#[derive(Debug, Clone)]
+pub struct ComparisonKernelInfo {
+    /// Kernel acronym.
+    pub name: &'static str,
+    /// Kernel framework (information theory / R-convolution).
+    pub framework: &'static str,
+    /// Whether the kernel aligns vertices.
+    pub aligned: bool,
+    /// Whether the alignment (if any) is transitive.
+    pub transitive: bool,
+    /// Which structure patterns the kernel compares.
+    pub structure_patterns: &'static str,
+    /// Computing model (quantum walks vs classical).
+    pub computing_model: &'static str,
+}
+
+/// The rows of Table III, in the paper's order (restricted to the kernels
+/// implemented in this workspace).
+pub fn table3_comparison_kernels() -> Vec<ComparisonKernelInfo> {
+    vec![
+        ComparisonKernelInfo {
+            name: "HAQJSK(A)",
+            framework: "Information theory",
+            aligned: true,
+            transitive: true,
+            structure_patterns: "Global structures",
+            computing_model: "Quantum walks",
+        },
+        ComparisonKernelInfo {
+            name: "HAQJSK(D)",
+            framework: "Information theory",
+            aligned: true,
+            transitive: true,
+            structure_patterns: "Local (vertices) + global",
+            computing_model: "Quantum walks",
+        },
+        ComparisonKernelInfo {
+            name: "QJSK",
+            framework: "Information theory",
+            aligned: false,
+            transitive: false,
+            structure_patterns: "Global (entropy)",
+            computing_model: "Quantum walks",
+        },
+        ComparisonKernelInfo {
+            name: "ASK / DBAK",
+            framework: "Information theory + R-convolution",
+            aligned: true,
+            transitive: false,
+            structure_patterns: "Local (vertices / subtrees)",
+            computing_model: "Classical",
+        },
+        ComparisonKernelInfo {
+            name: "JTQK",
+            framework: "Information theory + R-convolution",
+            aligned: false,
+            transitive: false,
+            structure_patterns: "Global (entropy) + local (subtrees)",
+            computing_model: "Quantum walks",
+        },
+        ComparisonKernelInfo {
+            name: "GCGK",
+            framework: "R-convolution",
+            aligned: false,
+            transitive: false,
+            structure_patterns: "Local (subgraphs)",
+            computing_model: "Classical",
+        },
+        ComparisonKernelInfo {
+            name: "WLSK",
+            framework: "R-convolution",
+            aligned: false,
+            transitive: false,
+            structure_patterns: "Local (subtrees)",
+            computing_model: "Classical",
+        },
+        ComparisonKernelInfo {
+            name: "SPGK",
+            framework: "R-convolution",
+            aligned: false,
+            transitive: false,
+            structure_patterns: "Local (paths)",
+            computing_model: "Classical",
+        },
+        ComparisonKernelInfo {
+            name: "Random walk",
+            framework: "R-convolution",
+            aligned: false,
+            transitive: false,
+            structure_patterns: "Local (walks)",
+            computing_model: "Classical",
+        },
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_contains_haqjsk_with_all_properties() {
+        let rows = table1_kernel_family_properties();
+        let haqjsk = rows.iter().find(|r| r.family == "HAQJSK").unwrap();
+        assert_eq!(haqjsk.positive_definite, PropertyAnswer::Yes);
+        assert_eq!(haqjsk.transitive_alignment, PropertyAnswer::Yes);
+        assert_eq!(haqjsk.hierarchical_alignment, PropertyAnswer::Yes);
+        // Only HAQJSK has transitive alignment in the paper's table.
+        let transitive: Vec<&str> = rows
+            .iter()
+            .filter(|r| r.transitive_alignment == PropertyAnswer::Yes)
+            .map(|r| r.family)
+            .collect();
+        assert_eq!(transitive, vec!["HAQJSK"]);
+    }
+
+    #[test]
+    fn table1_qjsk_is_not_positive_definite() {
+        let rows = table1_kernel_family_properties();
+        let qjsk = rows.iter().find(|r| r.family == "QJSK").unwrap();
+        assert_eq!(qjsk.positive_definite, PropertyAnswer::No);
+        assert_eq!(qjsk.global_information, PropertyAnswer::Yes);
+    }
+
+    #[test]
+    fn table3_has_expected_structure() {
+        let rows = table3_comparison_kernels();
+        assert!(rows.len() >= 8);
+        let aligned_and_transitive: Vec<&str> = rows
+            .iter()
+            .filter(|r| r.aligned && r.transitive)
+            .map(|r| r.name)
+            .collect();
+        assert_eq!(aligned_and_transitive, vec!["HAQJSK(A)", "HAQJSK(D)"]);
+        assert!(rows.iter().any(|r| r.name == "WLSK" && r.computing_model == "Classical"));
+    }
+
+    #[test]
+    fn symbols_render() {
+        assert_eq!(PropertyAnswer::Yes.symbol(), "Yes");
+        assert_eq!(PropertyAnswer::No.symbol(), "No");
+        assert_eq!(PropertyAnswer::NotApplicable.symbol(), "-");
+    }
+}

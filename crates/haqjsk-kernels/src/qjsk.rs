@@ -1,0 +1,265 @@
+//! The original Quantum Jensen–Shannon kernels (Sec. II-D of the paper).
+//!
+//! Two baselines are implemented:
+//!
+//! * [`QjskUnaligned`] — `k_QJSU(G_p, G_q) = exp(-μ · D_QJS(ρ_p, ρ_q))`
+//!   (Eq. 9–10), where the smaller density matrix is zero-padded so the
+//!   composite state can be formed. The kernel value depends on the vertex
+//!   order of the two graphs, i.e. it is **not** permutation invariant.
+//! * [`QjskAligned`] — `k_QJSA(G_p, G_q) = exp(-μ · min_Q D_QJS(ρ_p, Qρ_qQᵀ))`
+//!   (Eq. 11), where `Q` is the vertex correspondence estimated with
+//!   Umeyama's spectral matching on the density-matrix eigenvectors. The
+//!   alignment restores permutation invariance but is not transitive, so the
+//!   kernel is still not guaranteed positive definite — exactly the drawback
+//!   the HAQJSK kernels remove.
+
+use crate::kernel::{gram_from_pairwise, GraphKernel};
+use crate::matrix::KernelMatrix;
+use haqjsk_graph::Graph;
+use haqjsk_linalg::assignment::hungarian_max;
+use haqjsk_linalg::{symmetric_eigen, Matrix};
+use haqjsk_quantum::{ctqw_density_infinite, qjsd, DensityMatrix};
+
+/// The unaligned QJSK kernel of Eq. (9).
+#[derive(Debug, Clone)]
+pub struct QjskUnaligned {
+    /// Decay factor `μ` (the paper sets it to 1).
+    pub mu: f64,
+}
+
+impl Default for QjskUnaligned {
+    fn default() -> Self {
+        QjskUnaligned { mu: 1.0 }
+    }
+}
+
+impl QjskUnaligned {
+    /// Creates the kernel with decay factor `mu`.
+    pub fn new(mu: f64) -> Self {
+        QjskUnaligned { mu }
+    }
+
+    fn kernel_from_densities(&self, a: &DensityMatrix, b: &DensityMatrix) -> f64 {
+        let n = a.dim().max(b.dim());
+        let pa = a.zero_pad(n).expect("padding up never fails");
+        let pb = b.zero_pad(n).expect("padding up never fails");
+        let d = qjsd(&pa, &pb).expect("equal dimensions after padding");
+        (-self.mu * d).exp()
+    }
+}
+
+impl GraphKernel for QjskUnaligned {
+    fn name(&self) -> &'static str {
+        "QJSK (unaligned)"
+    }
+
+    fn compute(&self, a: &Graph, b: &Graph) -> f64 {
+        let rho_a = ctqw_density_infinite(a).expect("non-empty graph");
+        let rho_b = ctqw_density_infinite(b).expect("non-empty graph");
+        self.kernel_from_densities(&rho_a, &rho_b)
+    }
+
+    fn gram_matrix(&self, graphs: &[Graph]) -> KernelMatrix {
+        // Densities are per-graph, so compute them once rather than per pair.
+        let densities: Vec<DensityMatrix> = graphs
+            .iter()
+            .map(|g| ctqw_density_infinite(g).expect("non-empty graph"))
+            .collect();
+        let indexed: Vec<(usize, &Graph)> = graphs.iter().enumerate().collect();
+        let lookup = |g: &Graph| -> usize {
+            indexed
+                .iter()
+                .find(|(_, h)| std::ptr::eq(*h, g))
+                .map(|(i, _)| *i)
+                .expect("graph belongs to the dataset")
+        };
+        gram_from_pairwise(graphs, |a, b| {
+            self.kernel_from_densities(&densities[lookup(a)], &densities[lookup(b)])
+        })
+    }
+}
+
+/// The Umeyama-aligned QJSK kernel of Eq. (11).
+#[derive(Debug, Clone)]
+pub struct QjskAligned {
+    /// Decay factor `μ`.
+    pub mu: f64,
+}
+
+impl Default for QjskAligned {
+    fn default() -> Self {
+        QjskAligned { mu: 1.0 }
+    }
+}
+
+impl QjskAligned {
+    /// Creates the kernel with decay factor `mu`.
+    pub fn new(mu: f64) -> Self {
+        QjskAligned { mu }
+    }
+
+    /// Umeyama spectral matching between two symmetric matrices of equal
+    /// size: maximise `tr(Qᵀ |U_a| |U_b|ᵀ)` over permutations `Q`, where
+    /// `U_a`, `U_b` are the eigenvector matrices. Returns the permutation
+    /// `perm` such that vertex `i` of `a` is matched to vertex `perm[i]` of
+    /// `b`.
+    pub fn umeyama_match(a: &Matrix, b: &Matrix) -> Vec<usize> {
+        let n = a.rows();
+        debug_assert_eq!(n, b.rows());
+        let ea = symmetric_eigen(a).expect("density matrices are symmetric");
+        let eb = symmetric_eigen(b).expect("density matrices are symmetric");
+        // Profit matrix of absolute eigenvector overlaps.
+        let mut profit = vec![0.0_f64; n * n];
+        for i in 0..n {
+            for j in 0..n {
+                let mut acc = 0.0;
+                for k in 0..n {
+                    acc += ea.eigenvectors[(i, k)].abs() * eb.eigenvectors[(j, k)].abs();
+                }
+                profit[i * n + j] = acc;
+            }
+        }
+        let (assignment, _) = hungarian_max(&profit, n);
+        assignment
+    }
+
+    fn kernel_from_densities(&self, a: &DensityMatrix, b: &DensityMatrix) -> f64 {
+        let n = a.dim().max(b.dim());
+        let pa = a.zero_pad(n).expect("padding up never fails");
+        let pb = b.zero_pad(n).expect("padding up never fails");
+        // perm[i] = vertex of b matched to vertex i of a. Re-order b so that
+        // its matched vertex sits at index i: new_b[i][j] = b[perm[i]][perm[j]].
+        let perm = Self::umeyama_match(pa.matrix(), pb.matrix());
+        let aligned_b = pb.permute(&perm).expect("valid permutation");
+        let d = qjsd(&pa, &aligned_b).expect("equal dimensions after padding");
+        (-self.mu * d).exp()
+    }
+}
+
+impl GraphKernel for QjskAligned {
+    fn name(&self) -> &'static str {
+        "QJSK (Umeyama aligned)"
+    }
+
+    fn compute(&self, a: &Graph, b: &Graph) -> f64 {
+        let rho_a = ctqw_density_infinite(a).expect("non-empty graph");
+        let rho_b = ctqw_density_infinite(b).expect("non-empty graph");
+        self.kernel_from_densities(&rho_a, &rho_b)
+    }
+
+    fn gram_matrix(&self, graphs: &[Graph]) -> KernelMatrix {
+        let densities: Vec<DensityMatrix> = graphs
+            .iter()
+            .map(|g| ctqw_density_infinite(g).expect("non-empty graph"))
+            .collect();
+        let indexed: Vec<(usize, &Graph)> = graphs.iter().enumerate().collect();
+        let lookup = |g: &Graph| -> usize {
+            indexed
+                .iter()
+                .find(|(_, h)| std::ptr::eq(*h, g))
+                .map(|(i, _)| *i)
+                .expect("graph belongs to the dataset")
+        };
+        gram_from_pairwise(graphs, |a, b| {
+            self.kernel_from_densities(&densities[lookup(a)], &densities[lookup(b)])
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use haqjsk_graph::generators::{cycle_graph, path_graph, star_graph};
+
+    #[test]
+    fn self_similarity_is_one() {
+        let g = cycle_graph(6);
+        let u = QjskUnaligned::default();
+        let a = QjskAligned::default();
+        assert!((u.compute(&g, &g) - 1.0).abs() < 1e-9);
+        assert!((a.compute(&g, &g) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn values_lie_in_unit_interval_and_are_symmetric() {
+        let g1 = path_graph(5);
+        let g2 = star_graph(7);
+        for kernel in [&QjskUnaligned::default() as &dyn GraphKernel, &QjskAligned::default()] {
+            let v12 = kernel.compute(&g1, &g2);
+            let v21 = kernel.compute(&g2, &g1);
+            assert!((v12 - v21).abs() < 1e-9, "{}", kernel.name());
+            assert!(v12 > 0.0 && v12 <= 1.0 + 1e-12);
+            assert!(v12 < 1.0, "distinct graphs should not be maximally similar");
+        }
+    }
+
+    #[test]
+    fn unaligned_kernel_is_sensitive_to_vertex_order() {
+        // Comparing a star graph against a *relabelled copy of itself*
+        // exposes the permutation-invariance failure the paper describes:
+        // the unaligned kernel no longer reports maximal similarity, while
+        // the Umeyama alignment recovers (most of) it.
+        let g = star_graph(6);
+        // Move the hub from vertex 0 to vertex 5.
+        let perm = vec![5, 1, 2, 3, 4, 0];
+        let relabelled = g.permute(&perm).unwrap();
+
+        let unaligned = QjskUnaligned::default();
+        let v_same = unaligned.compute(&g, &g);
+        let v_perm = unaligned.compute(&g, &relabelled);
+        assert!((v_same - 1.0).abs() < 1e-9);
+        assert!(
+            v_perm < 1.0 - 1e-6,
+            "unaligned kernel should drop for an isomorphic but relabelled graph: {v_perm}"
+        );
+
+        let aligned = QjskAligned::default();
+        let a_perm = aligned.compute(&g, &relabelled);
+        assert!(
+            a_perm > v_perm - 1e-12,
+            "alignment should recover similarity lost to relabelling: {a_perm} vs {v_perm}"
+        );
+        assert!(
+            a_perm > 1.0 - 1e-6,
+            "Umeyama matching should realign the star hub exactly: {a_perm}"
+        );
+    }
+
+    #[test]
+    fn umeyama_match_recovers_identity_for_identical_matrices() {
+        let g = path_graph(5);
+        let rho = ctqw_density_infinite(&g).unwrap();
+        let perm = QjskAligned::umeyama_match(rho.matrix(), rho.matrix());
+        // Must be a permutation; for identical inputs the profit is maximised
+        // on (a) the identity or (b) an automorphism of the graph.
+        let mut sorted = perm.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..5).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn gram_matrix_diagonal_is_one_after_padding() {
+        let graphs = vec![path_graph(4), cycle_graph(5), star_graph(6)];
+        let gram = QjskUnaligned::default().gram_matrix(&graphs);
+        assert_eq!(gram.len(), 3);
+        for i in 0..3 {
+            assert!((gram.get(i, i) - 1.0).abs() < 1e-9);
+        }
+        let gram_a = QjskAligned::default().gram_matrix(&graphs);
+        for i in 0..3 {
+            assert!((gram_a.get(i, i) - 1.0).abs() < 1e-9);
+            for j in 0..3 {
+                assert!(gram_a.get(i, j) > 0.0);
+            }
+        }
+    }
+
+    #[test]
+    fn decay_factor_scales_similarity() {
+        let g1 = path_graph(6);
+        let g2 = cycle_graph(6);
+        let weak = QjskUnaligned::new(0.1).compute(&g1, &g2);
+        let strong = QjskUnaligned::new(10.0).compute(&g1, &g2);
+        assert!(weak > strong, "larger mu must decay similarity faster");
+    }
+}

@@ -1,0 +1,177 @@
+//! Shortest-path graph kernel (SPGK, Borgwardt & Kriegel).
+//!
+//! Each graph is mapped to a histogram over triples
+//! `(label(u), label(v), shortest-path-length(u, v))` with `label(u) ≤
+//! label(v)`; the kernel is the inner product of those histograms. This is
+//! the classic local R-convolution baseline of the paper's Table III/IV:
+//! positive definite, but blind to structural correspondence.
+
+use crate::kernel::{gram_from_features, GraphKernel};
+use crate::matrix::KernelMatrix;
+use haqjsk_graph::shortest_paths::{all_pairs_shortest_paths, INFINITE_DISTANCE};
+use haqjsk_graph::Graph;
+use std::collections::HashMap;
+
+/// The shortest-path kernel. `max_distance` truncates the histogram (path
+/// lengths above it are ignored); `None` keeps every finite length.
+#[derive(Debug, Clone, Default)]
+pub struct ShortestPathKernel {
+    /// Optional cap on the path lengths that enter the feature map.
+    pub max_distance: Option<usize>,
+}
+
+impl ShortestPathKernel {
+    /// Creates a kernel considering all finite path lengths.
+    pub fn new() -> Self {
+        ShortestPathKernel { max_distance: None }
+    }
+
+    /// Creates a kernel that ignores paths longer than `max_distance`.
+    pub fn with_max_distance(max_distance: usize) -> Self {
+        ShortestPathKernel {
+            max_distance: Some(max_distance),
+        }
+    }
+
+    /// Histogram over `(min_label, max_label, distance)` triples.
+    pub fn feature_map(&self, graph: &Graph) -> HashMap<(usize, usize, usize), f64> {
+        let labels = graph.effective_labels();
+        let distances = all_pairs_shortest_paths(graph);
+        let n = graph.num_vertices();
+        let mut histogram = HashMap::new();
+        for u in 0..n {
+            for v in (u + 1)..n {
+                let d = distances[u][v];
+                if d == INFINITE_DISTANCE || d == 0 {
+                    continue;
+                }
+                if let Some(cap) = self.max_distance {
+                    if d > cap {
+                        continue;
+                    }
+                }
+                let key = (labels[u].min(labels[v]), labels[u].max(labels[v]), d);
+                *histogram.entry(key).or_insert(0.0) += 1.0;
+            }
+        }
+        histogram
+    }
+
+    fn sparse_dot(
+        a: &HashMap<(usize, usize, usize), f64>,
+        b: &HashMap<(usize, usize, usize), f64>,
+    ) -> f64 {
+        let (small, large) = if a.len() <= b.len() { (a, b) } else { (b, a) };
+        small
+            .iter()
+            .filter_map(|(k, va)| large.get(k).map(|vb| va * vb))
+            .sum()
+    }
+}
+
+impl GraphKernel for ShortestPathKernel {
+    fn name(&self) -> &'static str {
+        "SPGK"
+    }
+
+    fn compute(&self, a: &Graph, b: &Graph) -> f64 {
+        Self::sparse_dot(&self.feature_map(a), &self.feature_map(b))
+    }
+
+    fn gram_matrix(&self, graphs: &[Graph]) -> KernelMatrix {
+        let sparse: Vec<HashMap<(usize, usize, usize), f64>> =
+            graphs.iter().map(|g| self.feature_map(g)).collect();
+        let mut index: HashMap<(usize, usize, usize), usize> = HashMap::new();
+        for map in &sparse {
+            for &k in map.keys() {
+                let next = index.len();
+                index.entry(k).or_insert(next);
+            }
+        }
+        let dim = index.len();
+        let dense: Vec<Vec<f64>> = sparse
+            .iter()
+            .map(|map| {
+                let mut v = vec![0.0; dim];
+                for (k, &count) in map {
+                    v[index[k]] = count;
+                }
+                v
+            })
+            .collect();
+        gram_from_features(&dense)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use haqjsk_graph::generators::{complete_graph, cycle_graph, path_graph, star_graph};
+
+    #[test]
+    fn feature_map_of_path_graph() {
+        let kernel = ShortestPathKernel::new();
+        let g = path_graph(3); // labels = degrees = [1, 2, 1]
+        let f = kernel.feature_map(&g);
+        // Pairs: (0,1) d=1 labels (1,2); (1,2) d=1 labels (1,2); (0,2) d=2 labels (1,1).
+        assert_eq!(f[&(1, 2, 1)], 2.0);
+        assert_eq!(f[&(1, 1, 2)], 1.0);
+        assert_eq!(f.len(), 2);
+    }
+
+    #[test]
+    fn max_distance_truncates_features() {
+        let g = path_graph(6);
+        let full = ShortestPathKernel::new().feature_map(&g);
+        let capped = ShortestPathKernel::with_max_distance(2).feature_map(&g);
+        let full_count: f64 = full.values().sum();
+        let capped_count: f64 = capped.values().sum();
+        assert!(capped_count < full_count);
+        assert!(capped.keys().all(|&(_, _, d)| d <= 2));
+    }
+
+    #[test]
+    fn kernel_symmetry_and_self_dominance() {
+        let kernel = ShortestPathKernel::new();
+        let a = cycle_graph(6);
+        let b = star_graph(6);
+        assert_eq!(kernel.compute(&a, &b), kernel.compute(&b, &a));
+        assert!(kernel.compute(&a, &a) >= kernel.compute(&a, &b));
+    }
+
+    #[test]
+    fn permutation_invariance() {
+        let kernel = ShortestPathKernel::new();
+        let g = star_graph(7);
+        let perm = vec![6, 5, 4, 3, 2, 1, 0];
+        let h = g.permute(&perm).unwrap();
+        assert!((kernel.compute(&g, &g) - kernel.compute(&g, &h)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn disconnected_pairs_are_ignored() {
+        let kernel = ShortestPathKernel::new();
+        let g = Graph::from_edges(4, &[(0, 1), (2, 3)]).unwrap();
+        let f = kernel.feature_map(&g);
+        let total: f64 = f.values().sum();
+        assert_eq!(total, 2.0, "only the two connected pairs count");
+    }
+
+    #[test]
+    fn gram_matches_pairwise_and_is_psd() {
+        let kernel = ShortestPathKernel::new();
+        let graphs = vec![
+            path_graph(5),
+            cycle_graph(6),
+            star_graph(5),
+            complete_graph(4),
+        ];
+        let gram = kernel.gram_matrix(&graphs);
+        assert!(gram.is_positive_semidefinite(1e-9).unwrap());
+        for i in 0..graphs.len() {
+            for j in 0..graphs.len() {
+                assert!((gram.get(i, j) - kernel.compute(&graphs[i], &graphs[j])).abs() < 1e-9);
+            }
+        }
+    }
+}

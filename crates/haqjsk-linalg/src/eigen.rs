@@ -1,0 +1,467 @@
+//! Symmetric eigendecomposition.
+//!
+//! The whole quantum-kernel machinery of the paper rests on the spectral
+//! decomposition `L = Φ Λ Φᵀ` of graph Laplacians (Eq. 3) and on the
+//! eigenvalues of density matrices (the von Neumann entropy of Eq. 6–7).
+//! Both are real symmetric, so we implement the textbook two-phase algorithm:
+//!
+//! 1. **Householder tridiagonalisation** (`tred2`): reduce the symmetric
+//!    matrix to tridiagonal form while accumulating the orthogonal
+//!    transformation.
+//! 2. **Implicit-shift QL iteration** (`tqli`): diagonalise the tridiagonal
+//!    matrix, rotating the accumulated transformation into the eigenvector
+//!    matrix.
+//!
+//! Eigenvalues are returned in ascending order, matching the paper's
+//! convention `λ₁ < λ₂ < … < λ|V|`.
+
+use crate::error::LinalgError;
+use crate::matrix::Matrix;
+use crate::Result;
+
+/// Result of a symmetric eigendecomposition `A = Q diag(λ) Qᵀ`.
+#[derive(Debug, Clone)]
+pub struct SymmetricEigen {
+    /// Eigenvalues in ascending order.
+    pub eigenvalues: Vec<f64>,
+    /// Orthonormal eigenvectors stored as the **columns** of this matrix, in
+    /// the same order as `eigenvalues`.
+    pub eigenvectors: Matrix,
+}
+
+impl SymmetricEigen {
+    /// Reconstructs `Q diag(λ) Qᵀ`; useful for testing round-trip accuracy.
+    pub fn reconstruct(&self) -> Matrix {
+        let n = self.eigenvalues.len();
+        let q = &self.eigenvectors;
+        let mut out = Matrix::zeros(n, n);
+        for i in 0..n {
+            for j in 0..n {
+                let mut acc = 0.0;
+                for k in 0..n {
+                    acc += q[(i, k)] * self.eigenvalues[k] * q[(j, k)];
+                }
+                out[(i, j)] = acc;
+            }
+        }
+        out
+    }
+
+    /// Applies a scalar function to the spectrum: returns `Q diag(f(λ)) Qᵀ`.
+    ///
+    /// This is how matrix functions (e.g. `exp`, `log`, `sqrt`) of symmetric
+    /// matrices are computed throughout the workspace.
+    pub fn map_spectrum(&self, f: impl Fn(f64) -> f64) -> Matrix {
+        let n = self.eigenvalues.len();
+        let q = &self.eigenvectors;
+        let mapped: Vec<f64> = self.eigenvalues.iter().map(|&l| f(l)).collect();
+        let mut out = Matrix::zeros(n, n);
+        for i in 0..n {
+            for j in i..n {
+                let mut acc = 0.0;
+                for k in 0..n {
+                    acc += q[(i, k)] * mapped[k] * q[(j, k)];
+                }
+                out[(i, j)] = acc;
+                out[(j, i)] = acc;
+            }
+        }
+        out
+    }
+
+    /// Smallest eigenvalue.
+    pub fn min_eigenvalue(&self) -> f64 {
+        self.eigenvalues.first().copied().unwrap_or(0.0)
+    }
+
+    /// Largest eigenvalue.
+    pub fn max_eigenvalue(&self) -> f64 {
+        self.eigenvalues.last().copied().unwrap_or(0.0)
+    }
+
+    /// Groups eigenvalue indices into eigenspaces of (numerically) equal
+    /// eigenvalues. The paper's closed-form density matrix (Eq. 5) sums over
+    /// the basis `B_λ` of each distinct eigenvalue's eigenspace; this helper
+    /// provides exactly that partition.
+    pub fn eigenspaces(&self, tol: f64) -> Vec<(f64, Vec<usize>)> {
+        let mut spaces: Vec<(f64, Vec<usize>)> = Vec::new();
+        for (idx, &lambda) in self.eigenvalues.iter().enumerate() {
+            match spaces.last_mut() {
+                Some((rep, members)) if (lambda - *rep).abs() <= tol => members.push(idx),
+                _ => spaces.push((lambda, vec![idx])),
+            }
+        }
+        spaces
+    }
+}
+
+/// Maximum QL sweeps per eigenvalue before declaring non-convergence.
+const MAX_QL_ITERATIONS: usize = 64;
+
+/// Computes the eigendecomposition of a symmetric matrix.
+///
+/// The input is symmetrised (`(A + Aᵀ)/2`) before decomposition so that tiny
+/// floating-point asymmetries produced by upstream accumulation do not poison
+/// the result; a genuinely asymmetric matrix is rejected.
+pub fn symmetric_eigen(a: &Matrix) -> Result<SymmetricEigen> {
+    if !a.is_square() {
+        return Err(LinalgError::NotSquare {
+            rows: a.rows(),
+            cols: a.cols(),
+        });
+    }
+    let n = a.rows();
+    if n == 0 {
+        return Ok(SymmetricEigen {
+            eigenvalues: vec![],
+            eigenvectors: Matrix::zeros(0, 0),
+        });
+    }
+    let asym = a.asymmetry();
+    let scale = a.max_abs().max(1.0);
+    if asym > 1e-6 * scale {
+        return Err(LinalgError::NotSymmetric {
+            max_asymmetry: asym,
+        });
+    }
+    let a = a.symmetrize()?;
+
+    if n == 1 {
+        return Ok(SymmetricEigen {
+            eigenvalues: vec![a[(0, 0)]],
+            eigenvectors: Matrix::identity(1),
+        });
+    }
+
+    // Phase 1: Householder reduction to tridiagonal form (tred2).
+    // `z` accumulates the orthogonal transformation; `d` will hold the
+    // diagonal and `e` the sub-diagonal of the tridiagonal matrix.
+    let mut z = a;
+    let mut d = vec![0.0_f64; n];
+    let mut e = vec![0.0_f64; n];
+
+    for i in (1..n).rev() {
+        let l = i - 1;
+        let mut h = 0.0;
+        if l > 0 {
+            let mut scale = 0.0;
+            for k in 0..=l {
+                scale += z[(i, k)].abs();
+            }
+            if scale == 0.0 {
+                e[i] = z[(i, l)];
+            } else {
+                for k in 0..=l {
+                    z[(i, k)] /= scale;
+                    h += z[(i, k)] * z[(i, k)];
+                }
+                let mut f = z[(i, l)];
+                let g = if f >= 0.0 { -h.sqrt() } else { h.sqrt() };
+                e[i] = scale * g;
+                h -= f * g;
+                z[(i, l)] = f - g;
+                f = 0.0;
+                for j in 0..=l {
+                    z[(j, i)] = z[(i, j)] / h;
+                    let mut g = 0.0;
+                    for k in 0..=j {
+                        g += z[(j, k)] * z[(i, k)];
+                    }
+                    for k in (j + 1)..=l {
+                        g += z[(k, j)] * z[(i, k)];
+                    }
+                    e[j] = g / h;
+                    f += e[j] * z[(i, j)];
+                }
+                let hh = f / (h + h);
+                for j in 0..=l {
+                    let f = z[(i, j)];
+                    let g = e[j] - hh * f;
+                    e[j] = g;
+                    for k in 0..=j {
+                        let delta = f * e[k] + g * z[(i, k)];
+                        z[(j, k)] -= delta;
+                    }
+                }
+            }
+        } else {
+            e[i] = z[(i, l)];
+        }
+        d[i] = h;
+    }
+
+    d[0] = 0.0;
+    e[0] = 0.0;
+    for i in 0..n {
+        if d[i] != 0.0 {
+            for j in 0..i {
+                let mut g = 0.0;
+                for k in 0..i {
+                    g += z[(i, k)] * z[(k, j)];
+                }
+                for k in 0..i {
+                    let delta = g * z[(k, i)];
+                    z[(k, j)] -= delta;
+                }
+            }
+        }
+        d[i] = z[(i, i)];
+        z[(i, i)] = 1.0;
+        for j in 0..i {
+            z[(j, i)] = 0.0;
+            z[(i, j)] = 0.0;
+        }
+    }
+
+    // Phase 2: implicit-shift QL iteration on the tridiagonal matrix (tqli).
+    for i in 1..n {
+        e[i - 1] = e[i];
+    }
+    e[n - 1] = 0.0;
+
+    for l in 0..n {
+        let mut iter = 0;
+        loop {
+            // Find a small off-diagonal element to split the problem.
+            let mut m = l;
+            while m + 1 < n {
+                let dd = d[m].abs() + d[m + 1].abs();
+                if e[m].abs() <= f64::EPSILON * dd {
+                    break;
+                }
+                m += 1;
+            }
+            if m == l {
+                break;
+            }
+            iter += 1;
+            if iter > MAX_QL_ITERATIONS {
+                return Err(LinalgError::NoConvergence {
+                    algorithm: "symmetric QL iteration",
+                    iterations: MAX_QL_ITERATIONS,
+                });
+            }
+            let mut g = (d[l + 1] - d[l]) / (2.0 * e[l]);
+            let mut r = g.hypot(1.0);
+            g = d[m] - d[l] + e[l] / (g + if g >= 0.0 { r.abs() } else { -r.abs() });
+            let mut s = 1.0;
+            let mut c = 1.0;
+            let mut p = 0.0;
+            for i in (l..m).rev() {
+                let mut f = s * e[i];
+                let b = c * e[i];
+                r = f.hypot(g);
+                e[i + 1] = r;
+                if r == 0.0 {
+                    d[i + 1] -= p;
+                    e[m] = 0.0;
+                    break;
+                }
+                s = f / r;
+                c = g / r;
+                g = d[i + 1] - p;
+                r = (d[i] - g) * s + 2.0 * c * b;
+                p = s * r;
+                d[i + 1] = g + p;
+                g = c * r - b;
+                // Accumulate the rotation into the eigenvector matrix.
+                for k in 0..n {
+                    f = z[(k, i + 1)];
+                    z[(k, i + 1)] = s * z[(k, i)] + c * f;
+                    z[(k, i)] = c * z[(k, i)] - s * f;
+                }
+            }
+            if r == 0.0 && m > l {
+                continue;
+            }
+            d[l] -= p;
+            e[l] = g;
+            e[m] = 0.0;
+        }
+    }
+
+    // Sort eigenvalues ascending and permute eigenvector columns to match.
+    let mut order: Vec<usize> = (0..n).collect();
+    order.sort_by(|&i, &j| d[i].partial_cmp(&d[j]).expect("eigenvalues are finite"));
+    let eigenvalues: Vec<f64> = order.iter().map(|&i| d[i]).collect();
+    let mut eigenvectors = Matrix::zeros(n, n);
+    for (new_col, &old_col) in order.iter().enumerate() {
+        for row in 0..n {
+            eigenvectors[(row, new_col)] = z[(row, old_col)];
+        }
+    }
+
+    Ok(SymmetricEigen {
+        eigenvalues,
+        eigenvectors,
+    })
+}
+
+/// Returns the eigenvalues of a symmetric matrix in ascending order without
+/// the eigenvectors (same cost class, slightly less memory traffic).
+pub fn symmetric_eigenvalues(a: &Matrix) -> Result<Vec<f64>> {
+    Ok(symmetric_eigen(a)?.eigenvalues)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn assert_close(a: f64, b: f64, tol: f64) {
+        assert!((a - b).abs() < tol, "{a} vs {b}");
+    }
+
+    #[test]
+    fn diagonal_matrix_eigenvalues() {
+        let m = Matrix::from_diag(&[3.0, -1.0, 2.0]);
+        let eig = symmetric_eigen(&m).unwrap();
+        assert_close(eig.eigenvalues[0], -1.0, 1e-10);
+        assert_close(eig.eigenvalues[1], 2.0, 1e-10);
+        assert_close(eig.eigenvalues[2], 3.0, 1e-10);
+    }
+
+    #[test]
+    fn two_by_two_known_spectrum() {
+        // [[2,1],[1,2]] has eigenvalues 1 and 3.
+        let m = Matrix::from_rows(&[vec![2.0, 1.0], vec![1.0, 2.0]]).unwrap();
+        let eig = symmetric_eigen(&m).unwrap();
+        assert_close(eig.eigenvalues[0], 1.0, 1e-10);
+        assert_close(eig.eigenvalues[1], 3.0, 1e-10);
+    }
+
+    #[test]
+    fn path_graph_laplacian_spectrum() {
+        // Laplacian of the path P3: eigenvalues 0, 1, 3.
+        let l = Matrix::from_rows(&[
+            vec![1.0, -1.0, 0.0],
+            vec![-1.0, 2.0, -1.0],
+            vec![0.0, -1.0, 1.0],
+        ])
+        .unwrap();
+        let eig = symmetric_eigen(&l).unwrap();
+        assert_close(eig.eigenvalues[0], 0.0, 1e-9);
+        assert_close(eig.eigenvalues[1], 1.0, 1e-9);
+        assert_close(eig.eigenvalues[2], 3.0, 1e-9);
+    }
+
+    #[test]
+    fn reconstruction_roundtrip() {
+        let m = Matrix::from_rows(&[
+            vec![4.0, 1.0, 2.0, 0.5],
+            vec![1.0, 3.0, 0.0, 1.5],
+            vec![2.0, 0.0, 5.0, 1.0],
+            vec![0.5, 1.5, 1.0, 2.0],
+        ])
+        .unwrap();
+        let eig = symmetric_eigen(&m).unwrap();
+        let r = eig.reconstruct();
+        assert!((&r - &m).max_abs() < 1e-9);
+    }
+
+    #[test]
+    fn eigenvectors_are_orthonormal() {
+        let m = Matrix::from_rows(&[
+            vec![2.0, -1.0, 0.0],
+            vec![-1.0, 2.0, -1.0],
+            vec![0.0, -1.0, 2.0],
+        ])
+        .unwrap();
+        let eig = symmetric_eigen(&m).unwrap();
+        let q = &eig.eigenvectors;
+        let qtq = q.transpose().matmul(q).unwrap();
+        assert!((&qtq - &Matrix::identity(3)).max_abs() < 1e-9);
+    }
+
+    #[test]
+    fn trace_equals_eigenvalue_sum() {
+        let m = Matrix::from_rows(&[
+            vec![1.0, 0.3, 0.2],
+            vec![0.3, 2.0, 0.1],
+            vec![0.2, 0.1, 3.0],
+        ])
+        .unwrap();
+        let eig = symmetric_eigen(&m).unwrap();
+        let sum: f64 = eig.eigenvalues.iter().sum();
+        assert_close(sum, m.trace(), 1e-9);
+    }
+
+    #[test]
+    fn map_spectrum_computes_matrix_square() {
+        let m = Matrix::from_rows(&[vec![2.0, 1.0], vec![1.0, 2.0]]).unwrap();
+        let eig = symmetric_eigen(&m).unwrap();
+        let sq = eig.map_spectrum(|l| l * l);
+        let direct = m.matmul(&m).unwrap();
+        assert!((&sq - &direct).max_abs() < 1e-9);
+    }
+
+    #[test]
+    fn eigenspaces_group_repeated_eigenvalues() {
+        // The complete graph K3 Laplacian has eigenvalues {0, 3, 3}.
+        let l = Matrix::from_rows(&[
+            vec![2.0, -1.0, -1.0],
+            vec![-1.0, 2.0, -1.0],
+            vec![-1.0, -1.0, 2.0],
+        ])
+        .unwrap();
+        let eig = symmetric_eigen(&l).unwrap();
+        let spaces = eig.eigenspaces(1e-8);
+        assert_eq!(spaces.len(), 2);
+        assert_eq!(spaces[0].1.len(), 1);
+        assert_eq!(spaces[1].1.len(), 2);
+    }
+
+    #[test]
+    fn rejects_asymmetric_and_rectangular() {
+        let r = Matrix::zeros(2, 3);
+        assert!(symmetric_eigen(&r).is_err());
+        let a = Matrix::from_rows(&[vec![1.0, 5.0], vec![0.0, 1.0]]).unwrap();
+        assert!(matches!(
+            symmetric_eigen(&a),
+            Err(LinalgError::NotSymmetric { .. })
+        ));
+    }
+
+    #[test]
+    fn empty_and_singleton() {
+        let e = symmetric_eigen(&Matrix::zeros(0, 0)).unwrap();
+        assert!(e.eigenvalues.is_empty());
+        let s = symmetric_eigen(&Matrix::from_diag(&[7.0])).unwrap();
+        assert_eq!(s.eigenvalues, vec![7.0]);
+        assert_eq!(s.min_eigenvalue(), 7.0);
+        assert_eq!(s.max_eigenvalue(), 7.0);
+    }
+
+    #[test]
+    fn eigenvalues_only_helper() {
+        let m = Matrix::from_rows(&[vec![2.0, 1.0], vec![1.0, 2.0]]).unwrap();
+        let vals = symmetric_eigenvalues(&m).unwrap();
+        assert_close(vals[0], 1.0, 1e-10);
+        assert_close(vals[1], 3.0, 1e-10);
+    }
+
+    #[test]
+    fn larger_random_symmetric_roundtrip() {
+        // Deterministic pseudo-random symmetric matrix (no rand dependency in
+        // unit tests): linear congruential fill.
+        let n = 20;
+        let mut state: u64 = 42;
+        let mut next = || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            ((state >> 33) as f64 / (1u64 << 31) as f64) - 1.0
+        };
+        let mut m = Matrix::zeros(n, n);
+        for i in 0..n {
+            for j in i..n {
+                let v = next();
+                m[(i, j)] = v;
+                m[(j, i)] = v;
+            }
+        }
+        let eig = symmetric_eigen(&m).unwrap();
+        assert!((&eig.reconstruct() - &m).max_abs() < 1e-8);
+        // Ascending order.
+        for w in eig.eigenvalues.windows(2) {
+            assert!(w[0] <= w[1] + 1e-12);
+        }
+    }
+}

@@ -1,0 +1,48 @@
+//! # haqjsk-linalg
+//!
+//! Dense linear-algebra substrate for the HAQJSK reproduction.
+//!
+//! The HAQJSK kernels (and every baseline quantum kernel they are compared
+//! against) are built on a small number of numerical primitives:
+//!
+//! * dense real matrices and vectors ([`Matrix`], [`vector`]),
+//! * the symmetric eigendecomposition used to evolve continuous-time quantum
+//!   walks and to compute von Neumann entropies ([`eigen`]),
+//! * linear solvers and matrix inverses ([`solve`]),
+//! * complex arithmetic for finite-time CTQW evolution ([`Complex`],
+//!   [`CMatrix`]),
+//! * the Hungarian (Kuhn–Munkres) assignment algorithm used by the Umeyama
+//!   spectral matching step of the aligned QJSK baseline ([`assignment`]),
+//! * small statistical helpers shared by the clustering and evaluation code
+//!   ([`stats`]).
+//!
+//! Everything is implemented from scratch on top of `std` so that the
+//! workspace has no dependency on external numerics crates. All matrices that
+//! appear in the paper (adjacency matrices, Laplacians, CTQW density matrices,
+//! Gram matrices) are real and symmetric, for which the classic Householder
+//! tridiagonalisation followed by the implicit-shift QL iteration is exact and
+//! robust.
+
+pub mod assignment;
+pub mod cmatrix;
+pub mod complex;
+pub mod eigen;
+pub mod error;
+pub mod matrix;
+pub mod solve;
+pub mod stats;
+pub mod vector;
+
+pub use assignment::hungarian;
+pub use cmatrix::CMatrix;
+pub use complex::Complex;
+pub use eigen::{symmetric_eigen, SymmetricEigen};
+pub use error::LinalgError;
+pub use matrix::Matrix;
+pub use solve::{determinant, inverse, solve};
+
+/// Convenience result alias used across the crate.
+pub type Result<T> = std::result::Result<T, LinalgError>;
+
+/// Absolute tolerance used by the crate's convergence checks and tests.
+pub const EPS: f64 = 1e-10;

@@ -1,0 +1,240 @@
+//! Linear solvers, determinants and inverses via LU decomposition with
+//! partial pivoting.
+//!
+//! These are support routines: the GCN comparison model and a handful of
+//! tests need `solve`/`inverse`, while `determinant` is used by sanity checks
+//! on kernel matrices.
+
+use crate::error::LinalgError;
+use crate::matrix::Matrix;
+use crate::Result;
+
+/// LU decomposition with partial pivoting: `P A = L U`.
+///
+/// Returned as a packed matrix (L below the diagonal with implicit unit
+/// diagonal, U on and above), the pivot permutation, and the permutation sign.
+#[derive(Debug, Clone)]
+pub struct Lu {
+    packed: Matrix,
+    pivots: Vec<usize>,
+    sign: f64,
+}
+
+impl Lu {
+    /// Computes the decomposition. Fails for rectangular or singular input.
+    pub fn new(a: &Matrix) -> Result<Self> {
+        if !a.is_square() {
+            return Err(LinalgError::NotSquare {
+                rows: a.rows(),
+                cols: a.cols(),
+            });
+        }
+        let n = a.rows();
+        let mut lu = a.clone();
+        let mut pivots: Vec<usize> = (0..n).collect();
+        let mut sign = 1.0;
+
+        for col in 0..n {
+            // Partial pivoting: pick the row with the largest magnitude entry.
+            let mut pivot_row = col;
+            let mut pivot_val = lu[(col, col)].abs();
+            for row in (col + 1)..n {
+                let v = lu[(row, col)].abs();
+                if v > pivot_val {
+                    pivot_val = v;
+                    pivot_row = row;
+                }
+            }
+            if pivot_val < 1e-14 {
+                return Err(LinalgError::Singular);
+            }
+            if pivot_row != col {
+                for k in 0..n {
+                    let tmp = lu[(col, k)];
+                    lu[(col, k)] = lu[(pivot_row, k)];
+                    lu[(pivot_row, k)] = tmp;
+                }
+                pivots.swap(col, pivot_row);
+                sign = -sign;
+            }
+            let pivot = lu[(col, col)];
+            for row in (col + 1)..n {
+                let factor = lu[(row, col)] / pivot;
+                lu[(row, col)] = factor;
+                for k in (col + 1)..n {
+                    let delta = factor * lu[(col, k)];
+                    lu[(row, k)] -= delta;
+                }
+            }
+        }
+
+        Ok(Lu {
+            packed: lu,
+            pivots,
+            sign,
+        })
+    }
+
+    /// Dimension of the decomposed matrix.
+    pub fn dim(&self) -> usize {
+        self.packed.rows()
+    }
+
+    /// Determinant of the original matrix.
+    pub fn determinant(&self) -> f64 {
+        let n = self.dim();
+        let mut det = self.sign;
+        for i in 0..n {
+            det *= self.packed[(i, i)];
+        }
+        det
+    }
+
+    /// Solves `A x = b` for a single right-hand side.
+    pub fn solve(&self, b: &[f64]) -> Result<Vec<f64>> {
+        let n = self.dim();
+        if b.len() != n {
+            return Err(LinalgError::ShapeMismatch {
+                op: "lu solve",
+                left: (n, n),
+                right: (b.len(), 1),
+            });
+        }
+        // Apply the pivot permutation to b.
+        let mut x: Vec<f64> = self.pivots.iter().map(|&p| b[p]).collect();
+        // Forward substitution with the unit-diagonal L.
+        for i in 0..n {
+            for k in 0..i {
+                x[i] -= self.packed[(i, k)] * x[k];
+            }
+        }
+        // Back substitution with U.
+        for i in (0..n).rev() {
+            for k in (i + 1)..n {
+                x[i] -= self.packed[(i, k)] * x[k];
+            }
+            x[i] /= self.packed[(i, i)];
+        }
+        Ok(x)
+    }
+
+    /// Inverse of the original matrix.
+    pub fn inverse(&self) -> Result<Matrix> {
+        let n = self.dim();
+        let mut inv = Matrix::zeros(n, n);
+        for col in 0..n {
+            let mut e = vec![0.0; n];
+            e[col] = 1.0;
+            let x = self.solve(&e)?;
+            for row in 0..n {
+                inv[(row, col)] = x[row];
+            }
+        }
+        Ok(inv)
+    }
+}
+
+/// Solves the linear system `A x = b`.
+pub fn solve(a: &Matrix, b: &[f64]) -> Result<Vec<f64>> {
+    Lu::new(a)?.solve(b)
+}
+
+/// Determinant of a square matrix (0 reported as an explicit value only for
+/// matrices that are numerically non-singular enough to decompose; genuinely
+/// singular matrices return `Ok(0.0)`).
+pub fn determinant(a: &Matrix) -> Result<f64> {
+    match Lu::new(a) {
+        Ok(lu) => Ok(lu.determinant()),
+        Err(LinalgError::Singular) => Ok(0.0),
+        Err(e) => Err(e),
+    }
+}
+
+/// Inverse of a square, non-singular matrix.
+pub fn inverse(a: &Matrix) -> Result<Matrix> {
+    Lu::new(a)?.inverse()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn solve_known_system() {
+        let a = Matrix::from_rows(&[vec![2.0, 1.0], vec![1.0, 3.0]]).unwrap();
+        let x = solve(&a, &[3.0, 5.0]).unwrap();
+        assert!((x[0] - 0.8).abs() < 1e-12);
+        assert!((x[1] - 1.4).abs() < 1e-12);
+    }
+
+    #[test]
+    fn solve_requires_matching_rhs() {
+        let a = Matrix::identity(3);
+        assert!(solve(&a, &[1.0, 2.0]).is_err());
+    }
+
+    #[test]
+    fn determinant_known_values() {
+        let a = Matrix::from_rows(&[vec![1.0, 2.0], vec![3.0, 4.0]]).unwrap();
+        assert!((determinant(&a).unwrap() - (-2.0)).abs() < 1e-12);
+        assert!((determinant(&Matrix::identity(4)).unwrap() - 1.0).abs() < 1e-12);
+        // Singular matrix reports zero determinant.
+        let s = Matrix::from_rows(&[vec![1.0, 2.0], vec![2.0, 4.0]]).unwrap();
+        assert_eq!(determinant(&s).unwrap(), 0.0);
+    }
+
+    #[test]
+    fn determinant_tracks_row_swaps() {
+        // A permutation matrix with a single swap has determinant -1.
+        let p = Matrix::from_rows(&[
+            vec![0.0, 1.0, 0.0],
+            vec![1.0, 0.0, 0.0],
+            vec![0.0, 0.0, 1.0],
+        ])
+        .unwrap();
+        assert!((determinant(&p).unwrap() + 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn inverse_roundtrip() {
+        let a = Matrix::from_rows(&[
+            vec![4.0, 7.0, 2.0],
+            vec![3.0, 6.0, 1.0],
+            vec![2.0, 5.0, 3.0],
+        ])
+        .unwrap();
+        let inv = inverse(&a).unwrap();
+        let prod = a.matmul(&inv).unwrap();
+        assert!((&prod - &Matrix::identity(3)).max_abs() < 1e-10);
+    }
+
+    #[test]
+    fn inverse_of_singular_fails() {
+        let s = Matrix::from_rows(&[vec![1.0, 2.0], vec![2.0, 4.0]]).unwrap();
+        assert!(matches!(inverse(&s), Err(LinalgError::Singular)));
+    }
+
+    #[test]
+    fn rectangular_rejected() {
+        let r = Matrix::zeros(2, 3);
+        assert!(Lu::new(&r).is_err());
+    }
+
+    #[test]
+    fn lu_solves_against_multiple_rhs_consistently() {
+        let a = Matrix::from_rows(&[
+            vec![10.0, -7.0, 0.0],
+            vec![-3.0, 2.0, 6.0],
+            vec![5.0, -1.0, 5.0],
+        ])
+        .unwrap();
+        let lu = Lu::new(&a).unwrap();
+        for rhs in [[7.0, 4.0, 6.0], [1.0, 0.0, 0.0], [0.0, -2.0, 9.0]] {
+            let x = lu.solve(&rhs).unwrap();
+            let back = a.matvec(&x).unwrap();
+            for (b, r) in back.iter().zip(rhs.iter()) {
+                assert!((b - r).abs() < 1e-10);
+            }
+        }
+    }
+}

@@ -1,0 +1,121 @@
+//! Property-based tests for the linear-algebra substrate.
+
+use haqjsk_linalg::{symmetric_eigen, hungarian, Matrix};
+use proptest::prelude::*;
+
+/// Strategy producing small random symmetric matrices.
+fn symmetric_matrix(max_n: usize) -> impl Strategy<Value = Matrix> {
+    (2..=max_n).prop_flat_map(|n| {
+        proptest::collection::vec(-5.0..5.0_f64, n * n).prop_map(move |data| {
+            let raw = Matrix::from_vec(n, n, data).unwrap();
+            raw.symmetrize().unwrap()
+        })
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// The eigendecomposition must reconstruct the original matrix.
+    #[test]
+    fn eigen_reconstruction(m in symmetric_matrix(8)) {
+        let eig = symmetric_eigen(&m).unwrap();
+        let rec = eig.reconstruct();
+        prop_assert!((&rec - &m).max_abs() < 1e-7);
+    }
+
+    /// Eigenvectors form an orthonormal basis.
+    #[test]
+    fn eigenvectors_orthonormal(m in symmetric_matrix(8)) {
+        let eig = symmetric_eigen(&m).unwrap();
+        let q = &eig.eigenvectors;
+        let qtq = q.transpose().matmul(q).unwrap();
+        prop_assert!((&qtq - &Matrix::identity(m.rows())).max_abs() < 1e-8);
+    }
+
+    /// The sum of eigenvalues equals the trace; eigenvalues come out sorted.
+    #[test]
+    fn eigenvalues_trace_and_order(m in symmetric_matrix(8)) {
+        let eig = symmetric_eigen(&m).unwrap();
+        let sum: f64 = eig.eigenvalues.iter().sum();
+        prop_assert!((sum - m.trace()).abs() < 1e-8);
+        for w in eig.eigenvalues.windows(2) {
+            prop_assert!(w[0] <= w[1] + 1e-12);
+        }
+    }
+
+    /// Matrix multiplication is associative on conformable random inputs.
+    #[test]
+    fn matmul_associative(
+        a in proptest::collection::vec(-3.0..3.0_f64, 12),
+        b in proptest::collection::vec(-3.0..3.0_f64, 12),
+        c in proptest::collection::vec(-3.0..3.0_f64, 9),
+    ) {
+        let ma = Matrix::from_vec(3, 4, a).unwrap();
+        let mb = Matrix::from_vec(4, 3, b).unwrap();
+        let mc = Matrix::from_vec(3, 3, c).unwrap();
+        let left = ma.matmul(&mb).unwrap().matmul(&mc).unwrap();
+        let right = ma.matmul(&mb.matmul(&mc).unwrap()).unwrap();
+        prop_assert!((&left - &right).max_abs() < 1e-9);
+    }
+
+    /// Transpose reverses multiplication order: (AB)^T = B^T A^T.
+    #[test]
+    fn transpose_of_product(
+        a in proptest::collection::vec(-3.0..3.0_f64, 12),
+        b in proptest::collection::vec(-3.0..3.0_f64, 12),
+    ) {
+        let ma = Matrix::from_vec(3, 4, a).unwrap();
+        let mb = Matrix::from_vec(4, 3, b).unwrap();
+        let lhs = ma.matmul(&mb).unwrap().transpose();
+        let rhs = mb.transpose().matmul(&ma.transpose()).unwrap();
+        prop_assert!((&lhs - &rhs).max_abs() < 1e-10);
+    }
+
+    /// Hungarian result is a valid permutation and never beats a greedy
+    /// lower bound of per-row minima.
+    #[test]
+    fn hungarian_is_valid_and_bounded(
+        n in 1usize..6,
+        raw in proptest::collection::vec(0.0..10.0_f64, 36),
+    ) {
+        let cost: Vec<f64> = raw.into_iter().take(n * n).collect();
+        prop_assume!(cost.len() == n * n);
+        let (assignment, total) = hungarian(&cost, n);
+        // Valid permutation.
+        let mut seen = vec![false; n];
+        for &j in &assignment {
+            prop_assert!(j < n);
+            prop_assert!(!seen[j]);
+            seen[j] = true;
+        }
+        // Lower bound: sum of row minima.
+        let lower: f64 = (0..n)
+            .map(|i| cost[i * n..(i + 1) * n].iter().copied().fold(f64::INFINITY, f64::min))
+            .sum();
+        prop_assert!(total >= lower - 1e-9);
+        // Upper bound: identity assignment.
+        let upper: f64 = (0..n).map(|i| cost[i * n + i]).sum();
+        prop_assert!(total <= upper + 1e-9);
+    }
+
+    /// Permuting rows/columns of a symmetric matrix preserves its spectrum.
+    #[test]
+    fn permutation_preserves_spectrum(m in symmetric_matrix(7), seed in 0u64..1000) {
+        let n = m.rows();
+        // Build a deterministic permutation from the seed.
+        let mut perm: Vec<usize> = (0..n).collect();
+        let mut state = seed.wrapping_add(1);
+        for i in (1..n).rev() {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+            let j = (state >> 33) as usize % (i + 1);
+            perm.swap(i, j);
+        }
+        let pm = m.permute_symmetric(&perm).unwrap();
+        let e1 = symmetric_eigen(&m).unwrap().eigenvalues;
+        let e2 = symmetric_eigen(&pm).unwrap().eigenvalues;
+        for (a, b) in e1.iter().zip(e2.iter()) {
+            prop_assert!((a - b).abs() < 1e-7);
+        }
+    }
+}

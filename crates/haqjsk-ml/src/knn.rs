@@ -1,0 +1,174 @@
+//! k-nearest-neighbour classification in kernel space.
+//!
+//! A lightweight alternative to the C-SVM for sanity-checking kernels: items
+//! are classified by majority vote among their `k` nearest training items
+//! under the kernel-induced distance `d(i,j)² = K(i,i) + K(j,j) − 2K(i,j)`.
+//! Because it uses the same precomputed kernel matrices as the SVM harness,
+//! it slots directly into the cross-validation protocol and provides a quick
+//! "is there any signal in this kernel at all" probe.
+
+use haqjsk_linalg::Matrix;
+
+/// A fitted kernel kNN classifier (it simply remembers the training labels
+/// and self-similarities).
+#[derive(Debug, Clone)]
+pub struct KernelKnn {
+    /// Number of neighbours consulted.
+    pub k: usize,
+    labels: Vec<usize>,
+    /// `K(i, i)` for every training item.
+    self_similarity: Vec<f64>,
+}
+
+impl KernelKnn {
+    /// Fits the classifier on a precomputed training kernel matrix and class
+    /// labels.
+    pub fn fit(train_kernel: &Matrix, labels: &[usize], k: usize) -> Self {
+        assert_eq!(train_kernel.rows(), labels.len(), "kernel size mismatch");
+        assert_eq!(train_kernel.cols(), labels.len(), "kernel must be square");
+        assert!(k >= 1, "k must be at least 1");
+        let self_similarity = (0..labels.len()).map(|i| train_kernel[(i, i)]).collect();
+        KernelKnn {
+            k,
+            labels: labels.to_vec(),
+            self_similarity,
+        }
+    }
+
+    /// Number of training items.
+    pub fn num_train(&self) -> usize {
+        self.labels.len()
+    }
+
+    /// Predicts the class of one test item from its kernel row against the
+    /// training items and its own self-similarity `K(t, t)`.
+    pub fn predict(&self, kernel_row: &[f64], test_self_similarity: f64) -> usize {
+        assert_eq!(kernel_row.len(), self.labels.len(), "kernel row length mismatch");
+        // Collect (distance², index), take the k smallest.
+        let mut distances: Vec<(f64, usize)> = kernel_row
+            .iter()
+            .enumerate()
+            .map(|(i, &k_ti)| {
+                let d2 = (test_self_similarity + self.self_similarity[i] - 2.0 * k_ti).max(0.0);
+                (d2, i)
+            })
+            .collect();
+        distances.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("finite distances"));
+        let k = self.k.min(distances.len());
+        let mut votes: std::collections::BTreeMap<usize, usize> = std::collections::BTreeMap::new();
+        for &(_, idx) in distances.iter().take(k) {
+            *votes.entry(self.labels[idx]).or_insert(0) += 1;
+        }
+        // Majority vote; ties break towards the nearest neighbour's class.
+        let max_votes = votes.values().copied().max().unwrap_or(0);
+        for &(_, idx) in distances.iter().take(k) {
+            if votes[&self.labels[idx]] == max_votes {
+                return self.labels[idx];
+            }
+        }
+        self.labels[distances[0].1]
+    }
+
+    /// Predicts a block of test items. `kernel_block` is
+    /// `num_test x num_train`; `test_self_similarities[t] = K(t, t)`.
+    pub fn predict_batch(&self, kernel_block: &Matrix, test_self_similarities: &[f64]) -> Vec<usize> {
+        assert_eq!(
+            kernel_block.rows(),
+            test_self_similarities.len(),
+            "one self-similarity per test item required"
+        );
+        (0..kernel_block.rows())
+            .map(|t| self.predict(kernel_block.row(t), test_self_similarities[t]))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Gaussian kernel over scalar points.
+    fn gaussian_kernel(xs: &[f64]) -> Matrix {
+        let n = xs.len();
+        Matrix::from_fn(n, n, |i, j| {
+            let d = xs[i] - xs[j];
+            (-d * d / 2.0).exp()
+        })
+    }
+
+    fn two_cluster_problem() -> (Vec<f64>, Vec<usize>) {
+        let mut xs = Vec::new();
+        let mut labels = Vec::new();
+        for i in 0..6 {
+            xs.push(0.0 + 0.1 * i as f64);
+            labels.push(0);
+            xs.push(10.0 + 0.1 * i as f64);
+            labels.push(1);
+        }
+        (xs, labels)
+    }
+
+    #[test]
+    fn classifies_training_points_correctly() {
+        let (xs, labels) = two_cluster_problem();
+        let kernel = gaussian_kernel(&xs);
+        let knn = KernelKnn::fit(&kernel, &labels, 3);
+        assert_eq!(knn.num_train(), 12);
+        for i in 0..xs.len() {
+            let row: Vec<f64> = (0..xs.len()).map(|j| kernel[(i, j)]).collect();
+            assert_eq!(knn.predict(&row, kernel[(i, i)]), labels[i]);
+        }
+    }
+
+    #[test]
+    fn classifies_unseen_points_by_cluster() {
+        let (xs, labels) = two_cluster_problem();
+        let kernel = gaussian_kernel(&xs);
+        let knn = KernelKnn::fit(&kernel, &labels, 3);
+        for (test_x, expected) in [(0.3, 0usize), (10.3, 1), (-1.0, 0), (12.0, 1)] {
+            let row: Vec<f64> = xs
+                .iter()
+                .map(|&x| (-(test_x - x) * (test_x - x) / 2.0_f64).exp())
+                .collect();
+            assert_eq!(knn.predict(&row, 1.0), expected, "x = {test_x}");
+        }
+    }
+
+    #[test]
+    fn predict_batch_matches_single_calls() {
+        let (xs, labels) = two_cluster_problem();
+        let kernel = gaussian_kernel(&xs);
+        let knn = KernelKnn::fit(&kernel, &labels, 1);
+        let block = kernel.submatrix(0, 0, 4, xs.len()).unwrap();
+        let selfs: Vec<f64> = (0..4).map(|i| kernel[(i, i)]).collect();
+        let batch = knn.predict_batch(&block, &selfs);
+        for (t, &pred) in batch.iter().enumerate() {
+            assert_eq!(pred, knn.predict(block.row(t), selfs[t]));
+        }
+    }
+
+    #[test]
+    fn k_larger_than_training_set_still_works() {
+        let xs = vec![0.0, 0.1, 10.0];
+        let labels = vec![0, 0, 1];
+        let kernel = gaussian_kernel(&xs);
+        let knn = KernelKnn::fit(&kernel, &labels, 50);
+        // Majority of all points is class 0.
+        let row: Vec<f64> = xs.iter().map(|&x| (-(5.0 - x) * (5.0 - x) / 2.0_f64).exp()).collect();
+        assert_eq!(knn.predict(&row, 1.0), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "k must be at least 1")]
+    fn zero_k_is_rejected() {
+        let kernel = Matrix::identity(2);
+        KernelKnn::fit(&kernel, &[0, 1], 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "kernel size mismatch")]
+    fn mismatched_labels_rejected() {
+        let kernel = Matrix::identity(3);
+        KernelKnn::fit(&kernel, &[0, 1], 1);
+    }
+}

@@ -1,0 +1,34 @@
+//! # haqjsk-ml
+//!
+//! Machine-learning harness for the HAQJSK reproduction.
+//!
+//! The paper's evaluation protocol (Sec. IV) is: compute a kernel matrix,
+//! feed it to a C-SVM, run 10-fold cross-validation, repeat 10 times, report
+//! mean accuracy ± standard error. This crate provides every piece of that
+//! protocol from scratch:
+//!
+//! * a binary soft-margin C-SVM over precomputed kernels, trained with a
+//!   simplified SMO solver ([`svm`]),
+//! * one-vs-one multiclass voting ([`multiclass`]),
+//! * stratified k-fold cross-validation with an inner grid search over the
+//!   SVM regularisation constant ([`cross_validation`]),
+//! * accuracy / confusion-matrix metrics ([`metrics`]),
+//! * the graph deep-learning stand-ins used by the Table V comparison: a
+//!   compact graph convolutional network ([`gcn`]) and a multi-layer
+//!   perceptron over Weisfeiler–Lehman features ([`mlp`]), both built on the
+//!   small dense neural-network layer in [`nn`].
+
+pub mod cross_validation;
+pub mod gcn;
+pub mod knn;
+pub mod metrics;
+pub mod mlp;
+pub mod multiclass;
+pub mod nn;
+pub mod svm;
+
+pub use cross_validation::{cross_validate_kernel, CrossValidationConfig, CrossValidationResult};
+pub use knn::KernelKnn;
+pub use metrics::{accuracy, confusion_matrix};
+pub use multiclass::OneVsOneSvm;
+pub use svm::{KernelSvm, SvmConfig};

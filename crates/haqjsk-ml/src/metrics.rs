@@ -1,0 +1,103 @@
+//! Classification metrics: accuracy, confusion matrices and the mean ±
+//! standard-error aggregation the paper reports in its tables.
+
+use haqjsk_linalg::stats;
+
+/// Fraction of predictions equal to the true labels; zero for empty input.
+pub fn accuracy(predictions: &[usize], truth: &[usize]) -> f64 {
+    assert_eq!(predictions.len(), truth.len(), "length mismatch");
+    if predictions.is_empty() {
+        return 0.0;
+    }
+    let correct = predictions
+        .iter()
+        .zip(truth.iter())
+        .filter(|(p, t)| p == t)
+        .count();
+    correct as f64 / predictions.len() as f64
+}
+
+/// Confusion matrix indexed by `[true class][predicted class]` over the
+/// classes `0..num_classes`.
+pub fn confusion_matrix(predictions: &[usize], truth: &[usize], num_classes: usize) -> Vec<Vec<usize>> {
+    assert_eq!(predictions.len(), truth.len(), "length mismatch");
+    let mut matrix = vec![vec![0usize; num_classes]; num_classes];
+    for (&p, &t) in predictions.iter().zip(truth.iter()) {
+        assert!(p < num_classes && t < num_classes, "class out of range");
+        matrix[t][p] += 1;
+    }
+    matrix
+}
+
+/// Aggregated result of repeated cross-validation: mean accuracy and its
+/// standard error, expressed in percent as the paper's tables do.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AccuracySummary {
+    /// Mean accuracy in percent.
+    pub mean_percent: f64,
+    /// Standard error of the mean in percent.
+    pub std_error_percent: f64,
+    /// Number of accuracy samples aggregated.
+    pub samples: usize,
+}
+
+impl AccuracySummary {
+    /// Aggregates raw accuracies (fractions in `[0, 1]`).
+    pub fn from_accuracies(accuracies: &[f64]) -> Self {
+        let percents: Vec<f64> = accuracies.iter().map(|a| a * 100.0).collect();
+        AccuracySummary {
+            mean_percent: stats::mean(&percents),
+            std_error_percent: stats::standard_error(&percents),
+            samples: accuracies.len(),
+        }
+    }
+}
+
+impl std::fmt::Display for AccuracySummary {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{:.2} ± {:.2}", self.mean_percent, self.std_error_percent)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accuracy_counts_matches() {
+        assert_eq!(accuracy(&[1, 0, 1, 1], &[1, 0, 0, 1]), 0.75);
+        assert_eq!(accuracy(&[], &[]), 0.0);
+        assert_eq!(accuracy(&[2, 2], &[2, 2]), 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn accuracy_length_mismatch_panics() {
+        accuracy(&[1], &[1, 2]);
+    }
+
+    #[test]
+    fn confusion_matrix_counts() {
+        let m = confusion_matrix(&[0, 1, 1, 2, 0], &[0, 1, 2, 2, 1], 3);
+        assert_eq!(m[0][0], 1);
+        assert_eq!(m[1][1], 1);
+        assert_eq!(m[2][1], 1);
+        assert_eq!(m[2][2], 1);
+        assert_eq!(m[1][0], 1);
+        let total: usize = m.iter().flatten().sum();
+        assert_eq!(total, 5);
+    }
+
+    #[test]
+    fn summary_mean_and_error() {
+        let s = AccuracySummary::from_accuracies(&[0.8, 0.9, 1.0, 0.7]);
+        assert!((s.mean_percent - 85.0).abs() < 1e-9);
+        assert!(s.std_error_percent > 0.0);
+        assert_eq!(s.samples, 4);
+        let text = format!("{s}");
+        assert!(text.contains("85.00"));
+        // Constant accuracies have zero standard error.
+        let c = AccuracySummary::from_accuracies(&[0.5, 0.5, 0.5]);
+        assert_eq!(c.std_error_percent, 0.0);
+    }
+}

@@ -1,0 +1,200 @@
+//! One-vs-one multiclass wrapper around the binary kernel SVM.
+//!
+//! Several of the paper's datasets have more than two classes (IMDB-MULTI,
+//! GatorBait with 30, BAR31/BSPHERE31/GEOD31 with 20, PPIs with 5). The
+//! standard C-SVM treatment — also what LIBSVM does internally — is
+//! one-vs-one voting: train a binary SVM for every unordered pair of classes
+//! and predict by majority vote.
+
+use crate::svm::{KernelSvm, SvmConfig};
+use haqjsk_linalg::Matrix;
+
+/// A one-vs-one multiclass SVM over a precomputed kernel.
+#[derive(Debug, Clone)]
+pub struct OneVsOneSvm {
+    /// Sorted list of distinct class labels seen at training time.
+    classes: Vec<usize>,
+    /// One binary machine per unordered class pair, with the indices (into
+    /// the training set) that were used to train it.
+    machines: Vec<PairwiseMachine>,
+    /// Number of training items (for shape checks at prediction time).
+    num_train: usize,
+}
+
+#[derive(Debug, Clone)]
+struct PairwiseMachine {
+    class_a: usize,
+    class_b: usize,
+    /// Indices into the full training set used by this machine.
+    indices: Vec<usize>,
+    svm: KernelSvm,
+}
+
+impl OneVsOneSvm {
+    /// Trains one binary SVM per class pair on a precomputed training kernel
+    /// (`n x n`) and integer class labels.
+    pub fn train(kernel: &Matrix, labels: &[usize], config: &SvmConfig) -> Self {
+        let n = labels.len();
+        assert_eq!(kernel.rows(), n, "kernel rows must match label count");
+        assert_eq!(kernel.cols(), n, "kernel must be square");
+        let mut classes: Vec<usize> = labels.to_vec();
+        classes.sort_unstable();
+        classes.dedup();
+
+        let mut machines = Vec::new();
+        for a in 0..classes.len() {
+            for b in (a + 1)..classes.len() {
+                let (class_a, class_b) = (classes[a], classes[b]);
+                let indices: Vec<usize> = (0..n)
+                    .filter(|&i| labels[i] == class_a || labels[i] == class_b)
+                    .collect();
+                if indices.is_empty() {
+                    continue;
+                }
+                let sub_labels: Vec<f64> = indices
+                    .iter()
+                    .map(|&i| if labels[i] == class_a { 1.0 } else { -1.0 })
+                    .collect();
+                let m = indices.len();
+                let sub_kernel = Matrix::from_fn(m, m, |r, c| kernel[(indices[r], indices[c])]);
+                let svm = KernelSvm::train(&sub_kernel, &sub_labels, config);
+                machines.push(PairwiseMachine {
+                    class_a,
+                    class_b,
+                    indices,
+                    svm,
+                });
+            }
+        }
+
+        OneVsOneSvm {
+            classes,
+            machines,
+            num_train: n,
+        }
+    }
+
+    /// The distinct classes seen at training time.
+    pub fn classes(&self) -> &[usize] {
+        &self.classes
+    }
+
+    /// Number of pairwise machines.
+    pub fn num_machines(&self) -> usize {
+        self.machines.len()
+    }
+
+    /// Predicts the class of a test item given its kernel row against the
+    /// full training set.
+    pub fn predict(&self, kernel_row: &[f64]) -> usize {
+        assert_eq!(
+            kernel_row.len(),
+            self.num_train,
+            "kernel row must cover all training items"
+        );
+        if self.classes.len() == 1 {
+            return self.classes[0];
+        }
+        let mut votes = vec![0usize; self.classes.len()];
+        for machine in &self.machines {
+            let sub_row: Vec<f64> = machine.indices.iter().map(|&i| kernel_row[i]).collect();
+            let winner = if machine.svm.predict(&sub_row) > 0.0 {
+                machine.class_a
+            } else {
+                machine.class_b
+            };
+            let slot = self
+                .classes
+                .iter()
+                .position(|&c| c == winner)
+                .expect("winner is a known class");
+            votes[slot] += 1;
+        }
+        let best = haqjsk_linalg::vector::argmax(
+            &votes.iter().map(|&v| v as f64).collect::<Vec<_>>(),
+        )
+        .expect("at least one class");
+        self.classes[best]
+    }
+
+    /// Predicts a block of test items (`num_test x num_train` kernel block).
+    pub fn predict_batch(&self, kernel_block: &Matrix) -> Vec<usize> {
+        (0..kernel_block.rows())
+            .map(|t| self.predict(kernel_block.row(t)))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Three well-separated clusters on a line, linear kernel.
+    fn three_class_problem() -> (Matrix, Vec<usize>, Vec<f64>) {
+        let mut xs = Vec::new();
+        let mut labels = Vec::new();
+        for i in 0..8 {
+            xs.push(0.0 + 0.05 * i as f64);
+            labels.push(0);
+            xs.push(5.0 + 0.05 * i as f64);
+            labels.push(1);
+            xs.push(10.0 + 0.05 * i as f64);
+            labels.push(2);
+        }
+        let n = xs.len();
+        // Gaussian kernel keeps the classes separable for an SVM on a line.
+        let kernel = Matrix::from_fn(n, n, |i, j| {
+            let d = xs[i] - xs[j];
+            (-d * d / 2.0).exp()
+        });
+        (kernel, labels, xs)
+    }
+
+    #[test]
+    fn three_classes_are_learned() {
+        let (kernel, labels, _) = three_class_problem();
+        let model = OneVsOneSvm::train(&kernel, &labels, &SvmConfig::with_c(10.0));
+        assert_eq!(model.classes(), &[0, 1, 2]);
+        assert_eq!(model.num_machines(), 3);
+        let mut correct = 0;
+        for i in 0..labels.len() {
+            let row: Vec<f64> = (0..labels.len()).map(|j| kernel[(i, j)]).collect();
+            if model.predict(&row) == labels[i] {
+                correct += 1;
+            }
+        }
+        assert!(correct as f64 / labels.len() as f64 > 0.95, "correct = {correct}");
+    }
+
+    #[test]
+    fn unseen_items_vote_sensibly() {
+        let (kernel, labels, xs) = three_class_problem();
+        let model = OneVsOneSvm::train(&kernel, &labels, &SvmConfig::with_c(10.0));
+        // Test points right in the middle of each cluster.
+        for (x, expected) in [(0.2, 0usize), (5.2, 1), (10.2, 2)] {
+            let row: Vec<f64> = xs.iter().map(|&t| (-(x - t) * (x - t) / 2.0_f64).exp()).collect();
+            assert_eq!(model.predict(&row), expected);
+        }
+    }
+
+    #[test]
+    fn single_class_degenerates_gracefully() {
+        let kernel = Matrix::identity(4);
+        let labels = vec![3, 3, 3, 3];
+        let model = OneVsOneSvm::train(&kernel, &labels, &SvmConfig::default());
+        assert_eq!(model.num_machines(), 0);
+        assert_eq!(model.predict(&[0.0, 0.0, 0.0, 0.0]), 3);
+    }
+
+    #[test]
+    fn binary_case_matches_direct_svm_behaviour() {
+        let xs: Vec<f64> = vec![-2.0, -1.8, -1.5, 1.5, 1.8, 2.0];
+        let labels = vec![0, 0, 0, 1, 1, 1];
+        let n = xs.len();
+        let kernel = Matrix::from_fn(n, n, |i, j| xs[i] * xs[j]);
+        let model = OneVsOneSvm::train(&kernel, &labels, &SvmConfig::with_c(10.0));
+        assert_eq!(model.num_machines(), 1);
+        let preds = model.predict_batch(&kernel);
+        assert_eq!(preds, labels);
+    }
+}

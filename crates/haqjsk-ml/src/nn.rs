@@ -1,0 +1,159 @@
+//! Small neural-network building blocks shared by the graph deep-learning
+//! comparison models (the GCN and the WL-feature MLP).
+//!
+//! Only what those two models need is implemented: Xavier-style weight
+//! initialisation, ReLU, a numerically stable softmax + cross-entropy, and an
+//! Adam optimiser over [`Matrix`]-shaped parameters.
+
+use haqjsk_linalg::Matrix;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Xavier/Glorot uniform initialisation of a `rows x cols` weight matrix.
+pub fn xavier_init(rows: usize, cols: usize, rng: &mut StdRng) -> Matrix {
+    let limit = (6.0 / (rows + cols).max(1) as f64).sqrt();
+    Matrix::from_fn(rows, cols, |_, _| rng.gen_range(-limit..limit))
+}
+
+/// Seeded RNG helper so model constructors stay terse.
+pub fn seeded_rng(seed: u64) -> StdRng {
+    StdRng::seed_from_u64(seed)
+}
+
+/// Elementwise ReLU.
+pub fn relu(m: &Matrix) -> Matrix {
+    m.map(|x| x.max(0.0))
+}
+
+/// Elementwise ReLU derivative mask (1 where the pre-activation was
+/// positive).
+pub fn relu_mask(pre_activation: &Matrix) -> Matrix {
+    pre_activation.map(|x| if x > 0.0 { 1.0 } else { 0.0 })
+}
+
+/// Numerically stable softmax over a logit vector.
+pub fn softmax(logits: &[f64]) -> Vec<f64> {
+    let max = logits.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+    let exps: Vec<f64> = logits.iter().map(|&x| (x - max).exp()).collect();
+    let total: f64 = exps.iter().sum();
+    exps.into_iter().map(|e| e / total).collect()
+}
+
+/// Cross-entropy loss of a softmax distribution against a class index.
+pub fn cross_entropy(probabilities: &[f64], class: usize) -> f64 {
+    -(probabilities[class].max(1e-12)).ln()
+}
+
+/// One-hot encoding of a class index.
+pub fn one_hot(class: usize, num_classes: usize) -> Vec<f64> {
+    let mut v = vec![0.0; num_classes];
+    v[class] = 1.0;
+    v
+}
+
+/// Adam optimiser state for a single matrix-shaped parameter.
+#[derive(Debug, Clone)]
+pub struct Adam {
+    first_moment: Matrix,
+    second_moment: Matrix,
+    step: usize,
+    /// Learning rate.
+    pub learning_rate: f64,
+    /// Exponential decay for the first moment.
+    pub beta1: f64,
+    /// Exponential decay for the second moment.
+    pub beta2: f64,
+    /// Numerical stabiliser.
+    pub epsilon: f64,
+}
+
+impl Adam {
+    /// Creates an optimiser for a parameter of the given shape.
+    pub fn new(rows: usize, cols: usize, learning_rate: f64) -> Self {
+        Adam {
+            first_moment: Matrix::zeros(rows, cols),
+            second_moment: Matrix::zeros(rows, cols),
+            step: 0,
+            learning_rate,
+            beta1: 0.9,
+            beta2: 0.999,
+            epsilon: 1e-8,
+        }
+    }
+
+    /// Applies one Adam update to `parameter` given its gradient.
+    pub fn update(&mut self, parameter: &mut Matrix, gradient: &Matrix) {
+        assert_eq!(parameter.shape(), gradient.shape(), "gradient shape mismatch");
+        self.step += 1;
+        let t = self.step as f64;
+        for idx in 0..parameter.data().len() {
+            let g = gradient.data()[idx];
+            let m = self.beta1 * self.first_moment.data()[idx] + (1.0 - self.beta1) * g;
+            let v = self.beta2 * self.second_moment.data()[idx] + (1.0 - self.beta2) * g * g;
+            self.first_moment.data_mut()[idx] = m;
+            self.second_moment.data_mut()[idx] = v;
+            let m_hat = m / (1.0 - self.beta1.powf(t));
+            let v_hat = v / (1.0 - self.beta2.powf(t));
+            parameter.data_mut()[idx] -= self.learning_rate * m_hat / (v_hat.sqrt() + self.epsilon);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn xavier_respects_limit_and_seed() {
+        let mut rng = seeded_rng(1);
+        let w = xavier_init(10, 20, &mut rng);
+        let limit = (6.0 / 30.0_f64).sqrt();
+        assert!(w.data().iter().all(|&x| x.abs() <= limit));
+        let mut rng2 = seeded_rng(1);
+        let w2 = xavier_init(10, 20, &mut rng2);
+        assert_eq!(w, w2);
+    }
+
+    #[test]
+    fn relu_and_mask() {
+        let m = Matrix::from_rows(&[vec![-1.0, 2.0], vec![0.0, -3.0]]).unwrap();
+        let r = relu(&m);
+        assert_eq!(r[(0, 0)], 0.0);
+        assert_eq!(r[(0, 1)], 2.0);
+        let mask = relu_mask(&m);
+        assert_eq!(mask[(0, 1)], 1.0);
+        assert_eq!(mask[(1, 0)], 0.0);
+    }
+
+    #[test]
+    fn softmax_sums_to_one_and_orders_correctly() {
+        let p = softmax(&[1.0, 2.0, 3.0]);
+        assert!((p.iter().sum::<f64>() - 1.0).abs() < 1e-12);
+        assert!(p[2] > p[1] && p[1] > p[0]);
+        // Large logits do not overflow.
+        let q = softmax(&[1000.0, 1000.0]);
+        assert!((q[0] - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cross_entropy_and_one_hot() {
+        let p = softmax(&[0.0, 0.0]);
+        assert!((cross_entropy(&p, 0) - 0.5_f64.recip().ln().abs()).abs() < 1e-9 || cross_entropy(&p, 0) > 0.0);
+        assert_eq!(one_hot(1, 3), vec![0.0, 1.0, 0.0]);
+        // Perfectly confident correct prediction has ~zero loss.
+        assert!(cross_entropy(&[1.0, 0.0], 0) < 1e-9);
+    }
+
+    #[test]
+    fn adam_minimises_a_quadratic() {
+        // Minimise f(w) = ||w - target||^2 with Adam.
+        let target = Matrix::from_rows(&[vec![1.0, -2.0], vec![0.5, 3.0]]).unwrap();
+        let mut w = Matrix::zeros(2, 2);
+        let mut adam = Adam::new(2, 2, 0.05);
+        for _ in 0..500 {
+            let grad = (&w - &target).scale(2.0);
+            adam.update(&mut w, &grad);
+        }
+        assert!((&w - &target).max_abs() < 0.05);
+    }
+}

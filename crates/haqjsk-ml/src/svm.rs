@@ -1,0 +1,301 @@
+//! Binary soft-margin C-SVM over a precomputed kernel, trained with a
+//! simplified SMO (sequential minimal optimisation) solver.
+//!
+//! This replaces the LIBSVM dependency of the paper's experiments: the dual
+//! problem, the KKT-violation heuristics and the decision function are the
+//! same; only the working-set selection is the simplified random-second-index
+//! variant, which is ample for the dataset sizes used here.
+
+use haqjsk_linalg::Matrix;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Hyper-parameters of the binary kernel SVM.
+#[derive(Debug, Clone)]
+pub struct SvmConfig {
+    /// Soft-margin regularisation constant `C`.
+    pub c: f64,
+    /// KKT violation tolerance.
+    pub tolerance: f64,
+    /// Maximum number of passes over the data without any multiplier update
+    /// before the solver stops.
+    pub max_passes: usize,
+    /// Hard cap on optimisation sweeps.
+    pub max_iterations: usize,
+    /// RNG seed for the second-index selection.
+    pub seed: u64,
+}
+
+impl Default for SvmConfig {
+    fn default() -> Self {
+        SvmConfig {
+            c: 1.0,
+            tolerance: 1e-3,
+            max_passes: 8,
+            max_iterations: 500,
+            seed: 13,
+        }
+    }
+}
+
+impl SvmConfig {
+    /// Configuration with a specific `C`, other values default.
+    pub fn with_c(c: f64) -> Self {
+        SvmConfig {
+            c,
+            ..Default::default()
+        }
+    }
+}
+
+/// A trained binary kernel SVM. Labels are `+1` / `-1`.
+#[derive(Debug, Clone)]
+pub struct KernelSvm {
+    /// Lagrange multipliers of the training points.
+    alphas: Vec<f64>,
+    /// Bias term.
+    bias: f64,
+    /// Training labels (±1).
+    labels: Vec<f64>,
+    /// Indices (into the training set) of support vectors.
+    support: Vec<usize>,
+}
+
+impl KernelSvm {
+    /// Trains the SVM on a precomputed training-kernel matrix (`n x n`,
+    /// `kernel[(i, j)]` = kernel between training items `i` and `j`) and ±1
+    /// labels.
+    pub fn train(kernel: &Matrix, labels: &[f64], config: &SvmConfig) -> Self {
+        let n = labels.len();
+        assert_eq!(kernel.rows(), n, "kernel rows must match label count");
+        assert_eq!(kernel.cols(), n, "kernel must be square");
+        assert!(
+            labels.iter().all(|&y| y == 1.0 || y == -1.0),
+            "labels must be +1/-1"
+        );
+
+        let mut alphas = vec![0.0_f64; n];
+        let mut bias = 0.0_f64;
+        let mut rng = StdRng::seed_from_u64(config.seed);
+
+        let decision = |alphas: &[f64], bias: f64, idx: usize| -> f64 {
+            let mut acc = bias;
+            for k in 0..n {
+                if alphas[k] != 0.0 {
+                    acc += alphas[k] * labels[k] * kernel[(k, idx)];
+                }
+            }
+            acc
+        };
+
+        let mut passes = 0usize;
+        let mut iterations = 0usize;
+        while passes < config.max_passes && iterations < config.max_iterations {
+            iterations += 1;
+            let mut changed = 0usize;
+            for i in 0..n {
+                let e_i = decision(&alphas, bias, i) - labels[i];
+                let violates = (labels[i] * e_i < -config.tolerance && alphas[i] < config.c)
+                    || (labels[i] * e_i > config.tolerance && alphas[i] > 0.0);
+                if !violates {
+                    continue;
+                }
+                // Pick a second index j != i at random (simplified SMO).
+                let mut j = rng.gen_range(0..n - 1);
+                if j >= i {
+                    j += 1;
+                }
+                let e_j = decision(&alphas, bias, j) - labels[j];
+
+                let (alpha_i_old, alpha_j_old) = (alphas[i], alphas[j]);
+                let (low, high) = if labels[i] != labels[j] {
+                    (
+                        (alphas[j] - alphas[i]).max(0.0),
+                        (config.c + alphas[j] - alphas[i]).min(config.c),
+                    )
+                } else {
+                    (
+                        (alphas[i] + alphas[j] - config.c).max(0.0),
+                        (alphas[i] + alphas[j]).min(config.c),
+                    )
+                };
+                if (high - low).abs() < 1e-12 {
+                    continue;
+                }
+                let eta = 2.0 * kernel[(i, j)] - kernel[(i, i)] - kernel[(j, j)];
+                if eta >= 0.0 {
+                    continue;
+                }
+                let mut alpha_j = alpha_j_old - labels[j] * (e_i - e_j) / eta;
+                alpha_j = alpha_j.clamp(low, high);
+                if (alpha_j - alpha_j_old).abs() < 1e-7 {
+                    continue;
+                }
+                let alpha_i = alpha_i_old + labels[i] * labels[j] * (alpha_j_old - alpha_j);
+                alphas[i] = alpha_i;
+                alphas[j] = alpha_j;
+
+                let b1 = bias
+                    - e_i
+                    - labels[i] * (alpha_i - alpha_i_old) * kernel[(i, i)]
+                    - labels[j] * (alpha_j - alpha_j_old) * kernel[(i, j)];
+                let b2 = bias
+                    - e_j
+                    - labels[i] * (alpha_i - alpha_i_old) * kernel[(i, j)]
+                    - labels[j] * (alpha_j - alpha_j_old) * kernel[(j, j)];
+                bias = if alpha_i > 0.0 && alpha_i < config.c {
+                    b1
+                } else if alpha_j > 0.0 && alpha_j < config.c {
+                    b2
+                } else {
+                    0.5 * (b1 + b2)
+                };
+                changed += 1;
+            }
+            if changed == 0 {
+                passes += 1;
+            } else {
+                passes = 0;
+            }
+        }
+
+        let support: Vec<usize> = (0..n).filter(|&i| alphas[i] > 1e-9).collect();
+        KernelSvm {
+            alphas,
+            bias,
+            labels: labels.to_vec(),
+            support,
+        }
+    }
+
+    /// Number of support vectors.
+    pub fn num_support_vectors(&self) -> usize {
+        self.support.len()
+    }
+
+    /// Decision value for a test item given its kernel row against the
+    /// training set (`kernel_row[i]` = kernel between the test item and
+    /// training item `i`).
+    pub fn decision_function(&self, kernel_row: &[f64]) -> f64 {
+        assert_eq!(
+            kernel_row.len(),
+            self.labels.len(),
+            "kernel row must cover all training items"
+        );
+        let mut acc = self.bias;
+        for &i in &self.support {
+            acc += self.alphas[i] * self.labels[i] * kernel_row[i];
+        }
+        acc
+    }
+
+    /// Predicted ±1 label for a test item.
+    pub fn predict(&self, kernel_row: &[f64]) -> f64 {
+        if self.decision_function(kernel_row) >= 0.0 {
+            1.0
+        } else {
+            -1.0
+        }
+    }
+
+    /// Predictions for a block of test items: `kernel_block` is
+    /// `num_test x num_train`.
+    pub fn predict_batch(&self, kernel_block: &Matrix) -> Vec<f64> {
+        (0..kernel_block.rows())
+            .map(|t| self.predict(kernel_block.row(t)))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Builds a linear kernel matrix from 2-D points.
+    fn linear_kernel(points: &[[f64; 2]]) -> Matrix {
+        let n = points.len();
+        Matrix::from_fn(n, n, |i, j| {
+            points[i][0] * points[j][0] + points[i][1] * points[j][1]
+        })
+    }
+
+    fn separable_problem() -> (Vec<[f64; 2]>, Vec<f64>) {
+        let mut points = Vec::new();
+        let mut labels = Vec::new();
+        for i in 0..10 {
+            points.push([1.0 + 0.1 * i as f64, 2.0 + 0.05 * i as f64]);
+            labels.push(1.0);
+            points.push([-1.0 - 0.1 * i as f64, -2.0 - 0.05 * i as f64]);
+            labels.push(-1.0);
+        }
+        (points, labels)
+    }
+
+    #[test]
+    fn separable_data_is_classified_perfectly() {
+        let (points, labels) = separable_problem();
+        let kernel = linear_kernel(&points);
+        let svm = KernelSvm::train(&kernel, &labels, &SvmConfig::with_c(10.0));
+        for i in 0..points.len() {
+            let row: Vec<f64> = (0..points.len()).map(|j| kernel[(i, j)]).collect();
+            assert_eq!(svm.predict(&row), labels[i], "training point {i}");
+        }
+        assert!(svm.num_support_vectors() >= 2);
+    }
+
+    #[test]
+    fn unseen_points_are_classified_by_sign() {
+        let (points, labels) = separable_problem();
+        let kernel = linear_kernel(&points);
+        let svm = KernelSvm::train(&kernel, &labels, &SvmConfig::with_c(10.0));
+        let test = [[2.0, 3.0], [-2.0, -3.0], [0.5, 1.0], [-0.5, -1.0]];
+        let expected = [1.0, -1.0, 1.0, -1.0];
+        for (t, &e) in test.iter().zip(expected.iter()) {
+            let row: Vec<f64> = points.iter().map(|p| p[0] * t[0] + p[1] * t[1]).collect();
+            assert_eq!(svm.predict(&row), e);
+        }
+    }
+
+    #[test]
+    fn predict_batch_matches_single_predictions() {
+        let (points, labels) = separable_problem();
+        let kernel = linear_kernel(&points);
+        let svm = KernelSvm::train(&kernel, &labels, &SvmConfig::default());
+        let block = kernel.submatrix(0, 0, 5, points.len()).unwrap();
+        let batch = svm.predict_batch(&block);
+        for (t, &pred) in batch.iter().enumerate() {
+            assert_eq!(pred, svm.predict(block.row(t)));
+        }
+    }
+
+    #[test]
+    fn noisy_data_with_small_c_still_trains() {
+        // Flip two labels: with a small C the solver must tolerate them.
+        let (points, mut labels) = separable_problem();
+        labels[0] = -1.0;
+        labels[1] = 1.0;
+        let kernel = linear_kernel(&points);
+        let svm = KernelSvm::train(&kernel, &labels, &SvmConfig::with_c(0.1));
+        let correct = (0..points.len())
+            .filter(|&i| {
+                let row: Vec<f64> = (0..points.len()).map(|j| kernel[(i, j)]).collect();
+                svm.predict(&row) == labels[i]
+            })
+            .count();
+        assert!(correct >= points.len() - 4, "correct = {correct}");
+    }
+
+    #[test]
+    #[should_panic(expected = "labels must be +1/-1")]
+    fn rejects_non_binary_labels() {
+        let kernel = Matrix::identity(2);
+        KernelSvm::train(&kernel, &[0.0, 1.0], &SvmConfig::default());
+    }
+
+    #[test]
+    #[should_panic(expected = "kernel rows must match")]
+    fn rejects_mismatched_kernel() {
+        let kernel = Matrix::identity(3);
+        KernelSvm::train(&kernel, &[1.0, -1.0], &SvmConfig::default());
+    }
+}

@@ -1,0 +1,316 @@
+//! Continuous-time quantum walks on graphs.
+//!
+//! Following Sec. II-A of the paper, the CTQW on a graph `G(V, E)` evolves
+//! under the Schrödinger equation with the combinatorial Laplacian
+//! `L = D - A` as Hamiltonian. With the spectral decomposition `L = Φ Λ Φᵀ`
+//! the state at time `t` is `|ψ_t⟩ = Φ e^{-iΛt} Φᵀ |ψ_0⟩` (Eq. 3), the
+//! initial amplitudes being the square root of the degree distribution.
+//!
+//! The object the kernels consume is the **time-averaged mixed density
+//! matrix** for `T → ∞` (Eq. 5), which has the closed form
+//!
+//! ```text
+//! ρ_G^∞ = Σ_{λ ∈ Λ̃}  P_λ |ψ_0⟩⟨ψ_0| P_λ
+//! ```
+//!
+//! where `P_λ` projects onto the eigenspace of the distinct eigenvalue `λ`.
+//! The cross terms between different eigenvalues average to zero, which is
+//! exactly the triple sum of Eq. (5).
+
+use crate::density::DensityMatrix;
+use haqjsk_graph::Graph;
+use haqjsk_linalg::{cmatrix, symmetric_eigen, CMatrix, Complex, LinalgError, Matrix};
+
+/// Tolerance for grouping numerically equal Laplacian eigenvalues into one
+/// eigenspace when evaluating the closed form of Eq. (5).
+pub const EIGENSPACE_TOL: f64 = 1e-8;
+
+/// The CTQW initial state used throughout the paper: the square root of the
+/// (normalised) degree distribution.
+pub fn initial_state(graph: &Graph) -> Vec<f64> {
+    graph
+        .degree_distribution()
+        .into_iter()
+        .map(f64::sqrt)
+        .collect()
+}
+
+/// Initial state for an arbitrary weighted adjacency matrix: square root of
+/// the normalised (weighted) degree distribution; uniform when the matrix has
+/// no mass.
+pub fn initial_state_from_adjacency(adjacency: &Matrix) -> Vec<f64> {
+    let n = adjacency.rows();
+    let mut degrees = vec![0.0_f64; n];
+    for i in 0..n {
+        degrees[i] = adjacency.row(i).iter().map(|x| x.abs()).sum();
+    }
+    let total: f64 = degrees.iter().sum();
+    if total <= 0.0 {
+        return vec![(1.0 / n.max(1) as f64).sqrt(); n];
+    }
+    degrees.into_iter().map(|d| (d / total).sqrt()).collect()
+}
+
+/// Laplacian `D - A` of a weighted adjacency matrix (weights contribute to
+/// the degree).
+pub fn laplacian_of_adjacency(adjacency: &Matrix) -> Result<Matrix, LinalgError> {
+    if !adjacency.is_square() {
+        return Err(LinalgError::NotSquare {
+            rows: adjacency.rows(),
+            cols: adjacency.cols(),
+        });
+    }
+    let n = adjacency.rows();
+    let mut l = adjacency.scale(-1.0);
+    for i in 0..n {
+        let degree: f64 = adjacency.row(i).iter().sum();
+        l[(i, i)] += degree + adjacency[(i, i)];
+    }
+    Ok(l)
+}
+
+/// Computes the infinite-time averaged CTQW density matrix (Eq. 5) for an
+/// arbitrary symmetric weighted adjacency matrix.
+///
+/// This is the workhorse shared by the baseline QJSK kernels (which evolve
+/// the walk on the original graphs) and the HAQJSK(A) kernel (which evolves
+/// it on the hierarchical transitive aligned adjacency matrices).
+pub fn ctqw_density_from_adjacency(adjacency: &Matrix) -> Result<DensityMatrix, LinalgError> {
+    let n = adjacency.rows();
+    if n == 0 {
+        return Err(LinalgError::InvalidArgument(
+            "cannot evolve a CTQW on an empty graph".to_string(),
+        ));
+    }
+    let laplacian = laplacian_of_adjacency(adjacency)?;
+    let eig = symmetric_eigen(&laplacian.symmetrize()?)?;
+    let psi0 = initial_state_from_adjacency(adjacency);
+
+    // Project the initial state onto the eigenbasis: ψ̄_a = ⟨φ_a | ψ_0⟩.
+    let q = &eig.eigenvectors;
+    let mut projected = vec![0.0_f64; n];
+    for a in 0..n {
+        let mut acc = 0.0;
+        for u in 0..n {
+            acc += q[(u, a)] * psi0[u];
+        }
+        projected[a] = acc;
+    }
+
+    // ρ^∞ = Σ_λ (P_λ ψ0)(P_λ ψ0)ᵀ, with P_λ ψ0 = Σ_{a ∈ B_λ} ψ̄_a φ_a.
+    let mut rho = Matrix::zeros(n, n);
+    for (_, basis) in eig.eigenspaces(EIGENSPACE_TOL) {
+        let mut component = vec![0.0_f64; n];
+        for &a in &basis {
+            let w = projected[a];
+            if w == 0.0 {
+                continue;
+            }
+            for r in 0..n {
+                component[r] += w * q[(r, a)];
+            }
+        }
+        for r in 0..n {
+            if component[r] == 0.0 {
+                continue;
+            }
+            for c in 0..n {
+                rho[(r, c)] += component[r] * component[c];
+            }
+        }
+    }
+
+    DensityMatrix::from_unnormalized(&rho)
+}
+
+/// Infinite-time averaged CTQW density matrix of a graph (Eq. 5), using the
+/// combinatorial Laplacian as the Hamiltonian and the square root of the
+/// degree distribution as the initial state.
+pub fn ctqw_density_infinite(graph: &Graph) -> Result<DensityMatrix, LinalgError> {
+    ctqw_density_from_adjacency(&graph.adjacency_matrix())
+}
+
+/// The (pure) CTQW state at a single time `t`, as a complex amplitude vector
+/// `|ψ_t⟩ = Φ e^{-iΛt} Φᵀ |ψ_0⟩`.
+pub fn ctqw_state_at(graph: &Graph, t: f64) -> Result<Vec<Complex>, LinalgError> {
+    let laplacian = graph.laplacian();
+    let eig = symmetric_eigen(&laplacian)?;
+    let psi0: Vec<Complex> = initial_state(graph)
+        .into_iter()
+        .map(Complex::real)
+        .collect();
+    let q = CMatrix::from_real(&eig.eigenvectors);
+    let diag = CMatrix::evolution_diagonal(&eig.eigenvalues, t);
+    // U_t = Q e^{-iΛt} Qᵀ
+    let u = q.matmul(&diag)?.matmul(&q.conj_transpose())?;
+    u.matvec(&psi0)
+}
+
+/// Finite-horizon time-averaged density matrix `ρ_G^T = (1/T)∫_0^T |ψ_t⟩⟨ψ_t| dt`,
+/// approximated by averaging `steps` equally spaced sample times.
+///
+/// The exact finite-horizon operator is Hermitian with complex off-diagonal
+/// entries; its imaginary parts decay as `T` grows and vanish in the
+/// `T → ∞` limit used by the kernels. This function returns the real part
+/// re-projected onto a valid density matrix, and exists for analysis,
+/// convergence tests and the CTQW-vs-CTRW comparison — the kernels always use
+/// [`ctqw_density_infinite`].
+pub fn ctqw_density_finite_time(
+    graph: &Graph,
+    horizon: f64,
+    steps: usize,
+) -> Result<DensityMatrix, LinalgError> {
+    if steps == 0 || horizon <= 0.0 {
+        return Err(LinalgError::InvalidArgument(
+            "finite-time CTQW needs a positive horizon and at least one step".to_string(),
+        ));
+    }
+    let n = graph.num_vertices();
+    let laplacian = graph.laplacian();
+    let eig = symmetric_eigen(&laplacian)?;
+    let psi0: Vec<Complex> = initial_state(graph)
+        .into_iter()
+        .map(Complex::real)
+        .collect();
+    let q = CMatrix::from_real(&eig.eigenvectors);
+    let qt = q.conj_transpose();
+
+    let mut accumulated = Matrix::zeros(n, n);
+    for step in 0..steps {
+        // Midpoint rule over [0, horizon].
+        let t = horizon * (step as f64 + 0.5) / steps as f64;
+        let diag = CMatrix::evolution_diagonal(&eig.eigenvalues, t);
+        let u = q.matmul(&diag)?.matmul(&qt)?;
+        let psi_t = u.matvec(&psi0)?;
+        let outer = cmatrix::outer_product(&psi_t);
+        accumulated += &outer.real_part();
+    }
+    accumulated = accumulated.scale(1.0 / steps as f64);
+    DensityMatrix::from_unnormalized(&accumulated)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use haqjsk_graph::generators::{complete_graph, cycle_graph, path_graph, star_graph};
+
+    #[test]
+    fn initial_state_is_normalized() {
+        let g = path_graph(4);
+        let psi = initial_state(&g);
+        let norm: f64 = psi.iter().map(|x| x * x).sum();
+        assert!((norm - 1.0).abs() < 1e-12);
+        // Edgeless graph gets the uniform state.
+        let e = Graph::new(3);
+        let psi_e = initial_state(&e);
+        assert!((psi_e[0] - (1.0 / 3.0_f64).sqrt()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn density_matrix_is_valid_state() {
+        for g in [path_graph(5), cycle_graph(6), star_graph(7), complete_graph(4)] {
+            let rho = ctqw_density_infinite(&g).unwrap();
+            let m = rho.matrix();
+            assert_eq!(rho.dim(), g.num_vertices());
+            assert!((m.trace() - 1.0).abs() < 1e-9);
+            assert!(m.is_symmetric(1e-9));
+            let spectrum = rho.spectrum();
+            assert!(spectrum.iter().all(|&l| l >= -1e-9));
+        }
+    }
+
+    #[test]
+    fn density_distinguishes_non_isomorphic_graphs() {
+        let a = ctqw_density_infinite(&cycle_graph(6)).unwrap();
+        let b = ctqw_density_infinite(&path_graph(6)).unwrap();
+        let diff = (a.matrix() - b.matrix()).max_abs();
+        assert!(diff > 1e-3, "densities should differ, max diff {diff}");
+    }
+
+    #[test]
+    fn density_is_permutation_covariant() {
+        // Relabelling the graph conjugates the density matrix by the same
+        // permutation — the root cause of the QJSK permutation-invariance
+        // problem the paper fixes.
+        let g = star_graph(5);
+        let perm = vec![4, 3, 2, 1, 0];
+        let pg = g.permute(&perm).unwrap();
+        let rho = ctqw_density_infinite(&g).unwrap();
+        let rho_p = ctqw_density_infinite(&pg).unwrap();
+        let conjugated = rho.permute(&perm).unwrap();
+        assert!((rho_p.matrix() - conjugated.matrix()).max_abs() < 1e-9);
+    }
+
+    #[test]
+    fn state_evolution_is_norm_preserving() {
+        let g = cycle_graph(5);
+        for t in [0.0, 0.3, 1.0, 4.0] {
+            let psi = ctqw_state_at(&g, t).unwrap();
+            let norm: f64 = psi.iter().map(|z| z.norm_sqr()).sum();
+            assert!((norm - 1.0).abs() < 1e-9, "t={t}: norm {norm}");
+        }
+    }
+
+    #[test]
+    fn state_at_time_zero_is_initial_state() {
+        let g = path_graph(4);
+        let psi = ctqw_state_at(&g, 0.0).unwrap();
+        let expected = initial_state(&g);
+        for (z, e) in psi.iter().zip(expected.iter()) {
+            assert!((z.re - e).abs() < 1e-9);
+            assert!(z.im.abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn finite_time_density_converges_to_infinite_limit() {
+        let g = path_graph(5);
+        let limit = ctqw_density_infinite(&g).unwrap();
+        let short = ctqw_density_finite_time(&g, 5.0, 64).unwrap();
+        let long = ctqw_density_finite_time(&g, 200.0, 512).unwrap();
+        let err_short = (short.matrix() - limit.matrix()).max_abs();
+        let err_long = (long.matrix() - limit.matrix()).max_abs();
+        assert!(err_long < err_short, "long {err_long} vs short {err_short}");
+        assert!(err_long < 0.05, "long-horizon error too large: {err_long}");
+    }
+
+    #[test]
+    fn finite_time_rejects_bad_arguments() {
+        let g = path_graph(3);
+        assert!(ctqw_density_finite_time(&g, 0.0, 10).is_err());
+        assert!(ctqw_density_finite_time(&g, 1.0, 0).is_err());
+    }
+
+    #[test]
+    fn weighted_adjacency_accepted() {
+        // The aligned adjacency matrices of HAQJSK(A) are weighted; the CTQW
+        // must accept arbitrary non-negative symmetric matrices.
+        let mut a = Matrix::zeros(3, 3);
+        a[(0, 1)] = 2.5;
+        a[(1, 0)] = 2.5;
+        a[(1, 2)] = 0.5;
+        a[(2, 1)] = 0.5;
+        let rho = ctqw_density_from_adjacency(&a).unwrap();
+        assert!((rho.matrix().trace() - 1.0).abs() < 1e-9);
+        assert!(rho.spectrum().iter().all(|&l| l >= -1e-9));
+        // All-zero adjacency still produces a valid (uniform-ish) state.
+        let z = Matrix::zeros(3, 3);
+        let rho_z = ctqw_density_from_adjacency(&z).unwrap();
+        assert!((rho_z.matrix().trace() - 1.0).abs() < 1e-9);
+        // Empty input is rejected.
+        assert!(ctqw_density_from_adjacency(&Matrix::zeros(0, 0)).is_err());
+        assert!(laplacian_of_adjacency(&Matrix::zeros(2, 3)).is_err());
+    }
+
+    #[test]
+    fn regular_graph_density_is_uniform_diagonal() {
+        // On a vertex-transitive graph with the degree-distribution start
+        // state, every vertex carries the same diagonal weight.
+        let g = cycle_graph(6);
+        let rho = ctqw_density_infinite(&g).unwrap();
+        let d = rho.matrix().diagonal();
+        for &x in &d {
+            assert!((x - d[0]).abs() < 1e-9);
+        }
+    }
+}

@@ -1,0 +1,272 @@
+//! Density matrices (quantum states).
+//!
+//! A density matrix is a real symmetric, positive semidefinite matrix with
+//! unit trace. [`DensityMatrix`] wraps a [`Matrix`] and enforces/normalises
+//! those invariants at construction, because every downstream quantity
+//! (entropy, QJSD, kernel values) silently degrades if they are violated.
+
+use haqjsk_linalg::{symmetric_eigen, LinalgError, Matrix};
+
+/// Tolerance used when validating symmetry / trace / positivity.
+pub const DENSITY_TOL: f64 = 1e-8;
+
+/// A validated quantum density matrix (real, symmetric, PSD, unit trace).
+#[derive(Debug, Clone, PartialEq)]
+pub struct DensityMatrix {
+    matrix: Matrix,
+}
+
+impl DensityMatrix {
+    /// Wraps a matrix that is already a valid density matrix.
+    ///
+    /// Returns an error if the matrix is not square/symmetric, has
+    /// non-negligible negative eigenvalues, or its trace differs from one by
+    /// more than the tolerance.
+    pub fn new(matrix: Matrix) -> Result<Self, LinalgError> {
+        if !matrix.is_square() {
+            return Err(LinalgError::NotSquare {
+                rows: matrix.rows(),
+                cols: matrix.cols(),
+            });
+        }
+        if !matrix.is_symmetric(DENSITY_TOL) {
+            return Err(LinalgError::NotSymmetric {
+                max_asymmetry: matrix.asymmetry(),
+            });
+        }
+        let trace = matrix.trace();
+        if (trace - 1.0).abs() > 1e-6 {
+            return Err(LinalgError::InvalidArgument(format!(
+                "density matrix trace is {trace}, expected 1"
+            )));
+        }
+        let eig = symmetric_eigen(&matrix)?;
+        if eig.min_eigenvalue() < -1e-6 {
+            return Err(LinalgError::InvalidArgument(format!(
+                "density matrix has negative eigenvalue {}",
+                eig.min_eigenvalue()
+            )));
+        }
+        Ok(DensityMatrix { matrix })
+    }
+
+    /// Builds a density matrix from an arbitrary symmetric PSD-ish matrix by
+    /// symmetrising and re-normalising its trace to one. Matrices with zero
+    /// trace map to the maximally mixed state.
+    ///
+    /// The hierarchical alignment of the paper transforms density matrices by
+    /// congruence with correspondence matrices (Eq. 21/25); that operation
+    /// preserves PSD-ness but not the trace, so this constructor performs the
+    /// re-normalisation the kernel needs.
+    pub fn from_unnormalized(matrix: &Matrix) -> Result<Self, LinalgError> {
+        let sym = matrix.symmetrize()?;
+        let trace = sym.trace();
+        let normalized = if trace.abs() < 1e-12 {
+            let n = sym.rows().max(1);
+            Matrix::identity(n).scale(1.0 / n as f64)
+        } else {
+            sym.scale(1.0 / trace)
+        };
+        Ok(DensityMatrix { matrix: normalized })
+    }
+
+    /// The maximally mixed state `I / n`.
+    pub fn maximally_mixed(n: usize) -> Self {
+        DensityMatrix {
+            matrix: Matrix::identity(n.max(1)).scale(1.0 / n.max(1) as f64),
+        }
+    }
+
+    /// A pure state `|ψ⟩⟨ψ|` from a real amplitude vector (normalised first).
+    pub fn pure_state(amplitudes: &[f64]) -> Result<Self, LinalgError> {
+        if amplitudes.is_empty() {
+            return Err(LinalgError::InvalidArgument(
+                "pure state needs at least one amplitude".to_string(),
+            ));
+        }
+        let norm = haqjsk_linalg::vector::norm(amplitudes);
+        if norm == 0.0 {
+            return Err(LinalgError::InvalidArgument(
+                "pure state amplitudes are all zero".to_string(),
+            ));
+        }
+        let n = amplitudes.len();
+        let mut m = Matrix::zeros(n, n);
+        for i in 0..n {
+            for j in 0..n {
+                m[(i, j)] = amplitudes[i] * amplitudes[j] / (norm * norm);
+            }
+        }
+        Ok(DensityMatrix { matrix: m })
+    }
+
+    /// Dimension of the state space.
+    pub fn dim(&self) -> usize {
+        self.matrix.rows()
+    }
+
+    /// Borrow the underlying matrix.
+    pub fn matrix(&self) -> &Matrix {
+        &self.matrix
+    }
+
+    /// Consumes the wrapper and returns the matrix.
+    pub fn into_matrix(self) -> Matrix {
+        self.matrix
+    }
+
+    /// Equal-weight mixture `(ρ + σ)/2` of two states of equal dimension.
+    pub fn mix(&self, other: &DensityMatrix) -> Result<DensityMatrix, LinalgError> {
+        if self.dim() != other.dim() {
+            return Err(LinalgError::ShapeMismatch {
+                op: "density mixture",
+                left: self.matrix.shape(),
+                right: other.matrix.shape(),
+            });
+        }
+        let m = (&self.matrix + &other.matrix).scale(0.5);
+        Ok(DensityMatrix { matrix: m })
+    }
+
+    /// Zero-pads the state to dimension `n` (embedding the state space into
+    /// a larger one) and renormalises nothing: padding with zero rows/columns
+    /// keeps trace and PSD-ness intact. Used by the unaligned QJSK kernel to
+    /// compare graphs of different sizes.
+    pub fn zero_pad(&self, n: usize) -> Result<DensityMatrix, LinalgError> {
+        if n < self.dim() {
+            return Err(LinalgError::InvalidArgument(format!(
+                "cannot pad a {}-dimensional state down to {n}",
+                self.dim()
+            )));
+        }
+        Ok(DensityMatrix {
+            matrix: self.matrix.zero_pad(n, n)?,
+        })
+    }
+
+    /// Conjugates the state by a permutation: `ρ' = P ρ Pᵀ` with
+    /// `P` the permutation matrix defined by `perm` (row `i` of `P` selects
+    /// old index `perm[i]`).
+    pub fn permute(&self, perm: &[usize]) -> Result<DensityMatrix, LinalgError> {
+        Ok(DensityMatrix {
+            matrix: self.matrix.permute_symmetric(perm)?,
+        })
+    }
+
+    /// Eigenvalues of the state in ascending order, clamped to `[0, 1]` to
+    /// absorb numerical noise around zero.
+    pub fn spectrum(&self) -> Vec<f64> {
+        symmetric_eigen(&self.matrix)
+            .map(|e| {
+                e.eigenvalues
+                    .into_iter()
+                    .map(|l| l.clamp(0.0, 1.0))
+                    .collect()
+            })
+            .unwrap_or_default()
+    }
+
+    /// Purity `tr(ρ²)`: 1 for pure states, `1/n` for the maximally mixed
+    /// state.
+    pub fn purity(&self) -> f64 {
+        // tr(ρ²) = Σ_ij ρ_ij ρ_ji = Σ_ij ρ_ij² for symmetric ρ.
+        self.matrix.data().iter().map(|x| x * x).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn maximally_mixed_state() {
+        let rho = DensityMatrix::maximally_mixed(4);
+        assert_eq!(rho.dim(), 4);
+        assert!((rho.matrix().trace() - 1.0).abs() < 1e-12);
+        assert!((rho.purity() - 0.25).abs() < 1e-12);
+        let spectrum = rho.spectrum();
+        assert!(spectrum.iter().all(|&l| (l - 0.25).abs() < 1e-9));
+    }
+
+    #[test]
+    fn pure_state_has_unit_purity() {
+        let rho = DensityMatrix::pure_state(&[1.0, 1.0, 0.0]).unwrap();
+        assert!((rho.matrix().trace() - 1.0).abs() < 1e-12);
+        assert!((rho.purity() - 1.0).abs() < 1e-12);
+        assert!(DensityMatrix::pure_state(&[]).is_err());
+        assert!(DensityMatrix::pure_state(&[0.0, 0.0]).is_err());
+    }
+
+    #[test]
+    fn new_validates_inputs() {
+        // Valid: maximally mixed.
+        assert!(DensityMatrix::new(Matrix::identity(3).scale(1.0 / 3.0)).is_ok());
+        // Wrong trace.
+        assert!(DensityMatrix::new(Matrix::identity(3)).is_err());
+        // Not square.
+        assert!(DensityMatrix::new(Matrix::zeros(2, 3)).is_err());
+        // Not symmetric.
+        let mut m = Matrix::zeros(2, 2);
+        m[(0, 0)] = 0.5;
+        m[(1, 1)] = 0.5;
+        m[(0, 1)] = 0.3;
+        assert!(DensityMatrix::new(m).is_err());
+        // Negative eigenvalue: diag(1.5, -0.5) has trace 1 but is not PSD.
+        let neg = Matrix::from_diag(&[1.5, -0.5]);
+        assert!(DensityMatrix::new(neg).is_err());
+    }
+
+    #[test]
+    fn from_unnormalized_rescales_trace() {
+        let m = Matrix::from_diag(&[2.0, 2.0]);
+        let rho = DensityMatrix::from_unnormalized(&m).unwrap();
+        assert!((rho.matrix().trace() - 1.0).abs() < 1e-12);
+        // Zero-trace input falls back to the maximally mixed state.
+        let z = Matrix::zeros(3, 3);
+        let rho_z = DensityMatrix::from_unnormalized(&z).unwrap();
+        assert!((rho_z.matrix()[(0, 0)] - 1.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mixing_preserves_trace_and_dimension() {
+        let a = DensityMatrix::pure_state(&[1.0, 0.0]).unwrap();
+        let b = DensityMatrix::pure_state(&[0.0, 1.0]).unwrap();
+        let m = a.mix(&b).unwrap();
+        assert!((m.matrix().trace() - 1.0).abs() < 1e-12);
+        assert!((m.purity() - 0.5).abs() < 1e-12);
+        let c = DensityMatrix::maximally_mixed(3);
+        assert!(a.mix(&c).is_err());
+    }
+
+    #[test]
+    fn zero_pad_embeds_state() {
+        let a = DensityMatrix::pure_state(&[1.0, 1.0]).unwrap();
+        let padded = a.zero_pad(4).unwrap();
+        assert_eq!(padded.dim(), 4);
+        assert!((padded.matrix().trace() - 1.0).abs() < 1e-12);
+        assert!(a.zero_pad(1).is_err());
+    }
+
+    #[test]
+    fn permutation_preserves_spectrum_and_purity() {
+        let rho = DensityMatrix::from_unnormalized(&Matrix::from_rows(&[
+            vec![0.6, 0.2, 0.0],
+            vec![0.2, 0.3, 0.1],
+            vec![0.0, 0.1, 0.1],
+        ]).unwrap()).unwrap();
+        let p = rho.permute(&[2, 0, 1]).unwrap();
+        assert!((p.purity() - rho.purity()).abs() < 1e-12);
+        let s1 = rho.spectrum();
+        let s2 = p.spectrum();
+        for (a, b) in s1.iter().zip(s2.iter()) {
+            assert!((a - b).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn into_matrix_returns_inner() {
+        let rho = DensityMatrix::maximally_mixed(2);
+        let m = rho.into_matrix();
+        assert_eq!(m.shape(), (2, 2));
+    }
+}

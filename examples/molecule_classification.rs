@@ -1,0 +1,57 @@
+//! Molecule-style graph classification on the MUTAG / PTC(MR) stand-ins.
+//!
+//! This mirrors the bioinformatics columns of the paper's Table IV at a
+//! reduced scale: generate the synthetic MUTAG stand-in, compute the
+//! HAQJSK(A), HAQJSK(D) and two baseline kernels, and report C-SVM
+//! cross-validation accuracy for each.
+//!
+//! Run with:
+//! ```text
+//! cargo run --release --example molecule_classification
+//! ```
+
+use haqjsk::kernels::{GraphKernel, ShortestPathKernel, WeisfeilerLehmanKernel};
+use haqjsk::prelude::*;
+
+fn main() {
+    // Reduced-scale MUTAG stand-in (about 1/4 of the graphs) so the example
+    // finishes in seconds; raise the divisor arguments for the full scale.
+    let dataset = generate_by_name("MUTAG", 4, 1, 7).expect("MUTAG is a known dataset");
+    println!(
+        "dataset {}: {} graphs, {} classes, mean |V| = {:.1}",
+        dataset.name,
+        dataset.len(),
+        dataset.num_classes(),
+        dataset.spec.mean_vertices
+    );
+
+    let cv_config = CrossValidationConfig::quick();
+    let config = HaqjskConfig {
+        hierarchy_levels: 3,
+        num_prototypes: 32,
+        layer_cap: 4,
+        ..HaqjskConfig::small()
+    };
+
+    // HAQJSK, both variants.
+    for variant in [HaqjskVariant::AlignedAdjacency, HaqjskVariant::AlignedDensity] {
+        let model = HaqjskModel::fit(&dataset.graphs, config.clone(), variant)
+            .expect("dataset is non-empty");
+        let gram = model.gram_matrix(&dataset.graphs).expect("valid graphs").normalized();
+        let cv = cross_validate_kernel(&gram, &dataset.classes, &cv_config);
+        println!("{:<22} accuracy: {}", variant.label(), cv.summary);
+    }
+
+    // Classical baselines.
+    let wl = WeisfeilerLehmanKernel::new(3);
+    let wl_gram = wl.gram_matrix(&dataset.graphs).normalized();
+    let wl_cv = cross_validate_kernel(&wl_gram, &dataset.classes, &cv_config);
+    println!("{:<22} accuracy: {}", wl.name(), wl_cv.summary);
+
+    let sp = ShortestPathKernel::new();
+    let sp_gram = sp.gram_matrix(&dataset.graphs).normalized();
+    let sp_cv = cross_validate_kernel(&sp_gram, &dataset.classes, &cv_config);
+    println!("{:<22} accuracy: {}", sp.name(), sp_cv.summary);
+
+    println!("\n(The synthetic stand-in is easier than the real MUTAG; what matters is the ordering of the kernels.)");
+}

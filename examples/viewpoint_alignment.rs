@@ -1,0 +1,90 @@
+//! Reproduction of the motivation behind the paper's Fig. 1.
+//!
+//! Fig. 1 shows two graphs extracted from photographs of the same house taken
+//! from different viewpoints: they share an isomorphic triangle motif, but an
+//! R-convolution kernel credits that motif regardless of whether the motifs
+//! are structurally aligned inside the whole scene. This example constructs
+//! exactly that situation — the same "house" motif embedded in two different
+//! "background" graphs, plus a third graph whose motif sits in a comparable
+//! position — and shows how an R-convolution baseline (the graphlet kernel)
+//! and the alignment-aware HAQJSK kernel rank the pairs differently.
+//!
+//! Run with:
+//! ```text
+//! cargo run --release --example viewpoint_alignment
+//! ```
+
+use haqjsk::graph::Graph;
+use haqjsk::kernels::{GraphKernel, GraphletKernel};
+use haqjsk::prelude::*;
+
+/// A "scene": a house motif (a 4-cycle with a roof triangle) attached to a
+/// background path of the given length at the given attachment point.
+fn scene(background_len: usize, attach_at: usize) -> Graph {
+    // House motif on vertices 0..5: square 0-1-2-3, roof 3-4-0 triangle.
+    let mut g = Graph::new(5 + background_len);
+    for (u, v) in [(0, 1), (1, 2), (2, 3), (3, 0), (3, 4), (4, 0)] {
+        g.add_edge(u, v).unwrap();
+    }
+    // Background path 5..5+background_len-1.
+    for i in 5..(5 + background_len - 1) {
+        g.add_edge(i, i + 1).unwrap();
+    }
+    // Attach the house to the background.
+    g.add_edge(0, 5 + attach_at.min(background_len - 1)).unwrap();
+    g
+}
+
+fn main() {
+    // Scene A and scene B: same house, same background length, attached at a
+    // similar position → structurally aligned ("same viewpoint family").
+    let scene_a = scene(10, 1);
+    let scene_b = scene(10, 2);
+    // Scene C: same house motif, but buried at the far end of a background of
+    // different shape → the motif is not aligned within the global scene.
+    let mut scene_c = scene(10, 9);
+    // Make the background of C bushier so the global structure differs more.
+    for i in 0..4 {
+        let v = scene_c.add_vertex();
+        scene_c.add_edge(6 + i, v).unwrap();
+    }
+
+    println!("scene A: {} vertices, {} edges", scene_a.num_vertices(), scene_a.num_edges());
+    println!("scene B: {} vertices, {} edges", scene_b.num_vertices(), scene_b.num_edges());
+    println!("scene C: {} vertices, {} edges", scene_c.num_vertices(), scene_c.num_edges());
+
+    // R-convolution baseline: normalised graphlet kernel. It sees nearly the
+    // same motif histograms in all three scenes.
+    let graphlet = GraphletKernel::three_only();
+    let g_ab = graphlet.compute(&scene_a, &scene_b);
+    let g_ac = graphlet.compute(&scene_a, &scene_c);
+    let g_aa = graphlet.compute(&scene_a, &scene_a);
+    println!("\nGraphlet (R-convolution) kernel, cosine-normalised:");
+    println!("  k(A, B) = {:.4}", g_ab / g_aa);
+    println!("  k(A, C) = {:.4}", g_ac / g_aa);
+
+    // Alignment-aware kernel: HAQJSK fitted on the three scenes.
+    let graphs = vec![scene_a.clone(), scene_b.clone(), scene_c.clone()];
+    let model = HaqjskModel::fit(
+        &graphs,
+        HaqjskConfig {
+            hierarchy_levels: 3,
+            num_prototypes: 12,
+            layer_cap: 5,
+            ..HaqjskConfig::small()
+        },
+        HaqjskVariant::AlignedAdjacency,
+    )
+    .expect("three valid scenes");
+    let gram = model.gram_matrix(&graphs).expect("valid graphs").normalized();
+    println!("\nHAQJSK(A) kernel, cosine-normalised:");
+    println!("  k(A, B) = {:.4}", gram.get(0, 1));
+    println!("  k(A, C) = {:.4}", gram.get(0, 2));
+
+    println!(
+        "\nThe aligned kernel separates the aligned pair (A,B) from the unaligned pair (A,C) more strongly: \
+         Δ_HAQJSK = {:.4} vs Δ_graphlet = {:.4}",
+        gram.get(0, 1) - gram.get(0, 2),
+        (g_ab - g_ac) / g_aa
+    );
+}

@@ -1,0 +1,98 @@
+//! # haqjsk
+//!
+//! Hierarchical-Aligned Quantum Jensen–Shannon Kernels for graph
+//! classification — a from-scratch Rust reproduction of Bai, Cui, Wang, Li
+//! and Hancock's HAQJSK paper.
+//!
+//! This umbrella crate re-exports the public API of the workspace crates so
+//! downstream users depend on a single crate:
+//!
+//! * [`linalg`] — dense matrices, symmetric eigendecomposition, Hungarian
+//!   assignment, complex arithmetic,
+//! * [`graph`] — graphs, shortest paths, expansion subgraphs, generators,
+//! * [`quantum`] — continuous-time quantum walks, density matrices, von
+//!   Neumann entropy and the quantum Jensen–Shannon divergence,
+//! * [`kernels`] — the baseline graph kernels (QJSK, WLSK, SPGK, GCGK,
+//!   random walk, JTQK, depth-based aligned) and kernel-matrix utilities,
+//! * [`core`] — the HAQJSK kernels themselves,
+//! * [`ml`] — kernel C-SVMs, cross-validation, and the GCN / WL-MLP
+//!   comparison models,
+//! * [`datasets`] — synthetic stand-ins for the paper's twelve benchmark
+//!   datasets.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use haqjsk::core::{HaqjskConfig, HaqjskModel, HaqjskVariant};
+//! use haqjsk::graph::generators::{cycle_graph, star_graph};
+//!
+//! let graphs = vec![cycle_graph(8), star_graph(8), cycle_graph(9), star_graph(9)];
+//! let model = HaqjskModel::fit(
+//!     &graphs,
+//!     HaqjskConfig::small(),
+//!     HaqjskVariant::AlignedAdjacency,
+//! )
+//! .expect("non-empty dataset");
+//! let gram = model.gram_matrix(&graphs).expect("valid graphs");
+//! assert_eq!(gram.len(), 4);
+//! // Structurally similar graphs are more similar than dissimilar ones.
+//! assert!(gram.get(0, 2) > gram.get(0, 1));
+//! ```
+
+/// Dense linear algebra substrate (re-export of `haqjsk-linalg`).
+pub use haqjsk_linalg as linalg;
+
+/// Graph substrate (re-export of `haqjsk-graph`).
+pub use haqjsk_graph as graph;
+
+/// Quantum-walk machinery (re-export of `haqjsk-quantum`).
+pub use haqjsk_quantum as quantum;
+
+/// Baseline graph kernels and kernel-matrix utilities (re-export of
+/// `haqjsk-kernels`).
+pub use haqjsk_kernels as kernels;
+
+/// The HAQJSK kernels (re-export of `haqjsk-core`).
+pub use haqjsk_core as core;
+
+/// SVMs, cross-validation and neural comparison models (re-export of
+/// `haqjsk-ml`).
+pub use haqjsk_ml as ml;
+
+/// Synthetic benchmark datasets (re-export of `haqjsk-datasets`).
+pub use haqjsk_datasets as datasets;
+
+/// The most commonly used items in one import.
+pub mod prelude {
+    pub use crate::core::{HaqjskConfig, HaqjskModel, HaqjskVariant};
+    pub use crate::datasets::{generate_by_name, GeneratedDataset};
+    pub use crate::graph::Graph;
+    pub use crate::kernels::{GraphKernel, KernelMatrix};
+    pub use crate::ml::{cross_validate_kernel, CrossValidationConfig};
+    pub use crate::quantum::{ctqw_density_infinite, qjsd, von_neumann_entropy, DensityMatrix};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn prelude_exposes_a_working_pipeline() {
+        let dataset = generate_by_name("MUTAG", 16, 1, 1).expect("known dataset");
+        assert!(!dataset.is_empty());
+        let model = HaqjskModel::fit(
+            &dataset.graphs,
+            HaqjskConfig {
+                hierarchy_levels: 2,
+                num_prototypes: 8,
+                layer_cap: 3,
+                ..HaqjskConfig::small()
+            },
+            HaqjskVariant::AlignedDensity,
+        )
+        .expect("fit succeeds");
+        let gram = model.gram_matrix(&dataset.graphs).expect("gram succeeds");
+        assert_eq!(gram.len(), dataset.len());
+        assert!(gram.is_positive_semidefinite(1e-6).unwrap());
+    }
+}
