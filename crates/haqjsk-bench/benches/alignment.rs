@@ -19,7 +19,9 @@ fn dataset(count: usize, size: usize) -> Vec<Graph> {
 
 fn bench_db_representations(c: &mut Criterion) {
     let mut group = c.benchmark_group("db_representations");
-    group.sample_size(10).measurement_time(Duration::from_secs(3));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(3));
     for size in [16usize, 32, 64] {
         let graphs = dataset(10, size);
         group.bench_with_input(BenchmarkId::from_parameter(size), &graphs, |b, g| {
@@ -41,7 +43,9 @@ fn bench_hierarchy_and_correspondence(c: &mut Criterion) {
     let hierarchy = PrototypeHierarchy::build(&reps, &config);
 
     let mut group = c.benchmark_group("alignment");
-    group.sample_size(10).measurement_time(Duration::from_secs(3));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(3));
     group.bench_function("prototype_hierarchy_build", |b| {
         b.iter(|| PrototypeHierarchy::build(&reps, &config))
     });
@@ -56,5 +60,9 @@ fn bench_hierarchy_and_correspondence(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_db_representations, bench_hierarchy_and_correspondence);
+criterion_group!(
+    benches,
+    bench_db_representations,
+    bench_hierarchy_and_correspondence
+);
 criterion_main!(benches);

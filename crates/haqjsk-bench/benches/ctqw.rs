@@ -10,7 +10,9 @@ use std::time::Duration;
 
 fn bench_ctqw_density(c: &mut Criterion) {
     let mut group = c.benchmark_group("ctqw_density");
-    group.sample_size(10).measurement_time(Duration::from_secs(3));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(3));
     for n in [16usize, 32, 64] {
         let graph = erdos_renyi(n, 0.25, 7);
         group.bench_with_input(BenchmarkId::from_parameter(n), &graph, |b, g| {
@@ -22,16 +24,22 @@ fn bench_ctqw_density(c: &mut Criterion) {
 
 fn bench_entropy_and_qjsd(c: &mut Criterion) {
     let mut group = c.benchmark_group("qjsd");
-    group.sample_size(10).measurement_time(Duration::from_secs(3));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(3));
     for n in [16usize, 32, 64] {
         let rho = ctqw_density_infinite(&erdos_renyi(n, 0.25, 1)).unwrap();
         let sigma = ctqw_density_infinite(&erdos_renyi(n, 0.35, 2)).unwrap();
         group.bench_with_input(BenchmarkId::new("entropy", n), &rho, |b, r| {
             b.iter(|| von_neumann_entropy(r));
         });
-        group.bench_with_input(BenchmarkId::new("qjsd", n), &(rho.clone(), sigma), |b, (r, s)| {
-            b.iter(|| qjsd(r, s).unwrap());
-        });
+        group.bench_with_input(
+            BenchmarkId::new("qjsd", n),
+            &(rho.clone(), sigma),
+            |b, (r, s)| {
+                b.iter(|| qjsd(r, s).unwrap());
+            },
+        );
     }
     group.finish();
 }

@@ -16,7 +16,9 @@ fn bench_pairwise_kernels(c: &mut Criterion) {
     let a = erdos_renyi(30, 0.2, 1);
     let b = barabasi_albert(28, 2, 2);
     let mut group = c.benchmark_group("pairwise_kernel");
-    group.sample_size(10).measurement_time(Duration::from_secs(3));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(3));
 
     let wl = WeisfeilerLehmanKernel::new(3);
     group.bench_function("WLSK", |bencher| bencher.iter(|| wl.compute(&a, &b)));
@@ -46,7 +48,9 @@ fn bench_haqjsk_kernel(c: &mut Criterion) {
     let aligned: Vec<_> = graphs.iter().map(|g| model.transform(g).unwrap()).collect();
 
     let mut group = c.benchmark_group("haqjsk");
-    group.sample_size(10).measurement_time(Duration::from_secs(3));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(3));
     group.bench_function("transform_one_graph", |bencher| {
         bencher.iter(|| model.transform(&graphs[0]).unwrap())
     });

@@ -22,13 +22,18 @@ fn toy_problem(per_class: usize) -> (KernelMatrix, Vec<usize>, Vec<f64>) {
     }
     let m = m.symmetrize().unwrap();
     let classes: Vec<usize> = (0..n).map(|i| usize::from(i >= per_class)).collect();
-    let labels: Vec<f64> = classes.iter().map(|&c| if c == 0 { 1.0 } else { -1.0 }).collect();
+    let labels: Vec<f64> = classes
+        .iter()
+        .map(|&c| if c == 0 { 1.0 } else { -1.0 })
+        .collect();
     (KernelMatrix::new(m).unwrap(), classes, labels)
 }
 
 fn bench_svm_training(c: &mut Criterion) {
     let mut group = c.benchmark_group("svm_train");
-    group.sample_size(10).measurement_time(Duration::from_secs(3));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(3));
     for per_class in [20usize, 50] {
         let (kernel, _, labels) = toy_problem(per_class);
         group.bench_with_input(
@@ -44,7 +49,9 @@ fn bench_svm_training(c: &mut Criterion) {
 
 fn bench_cross_validation(c: &mut Criterion) {
     let mut group = c.benchmark_group("cross_validation");
-    group.sample_size(10).measurement_time(Duration::from_secs(5));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(5));
     let (kernel, classes, _) = toy_problem(40);
     group.bench_function("quick_protocol_80_graphs", |b| {
         b.iter(|| cross_validate_kernel(&kernel, &classes, &CrossValidationConfig::quick()));

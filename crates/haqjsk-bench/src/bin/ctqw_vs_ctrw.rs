@@ -23,13 +23,10 @@ fn pair_report(name: &str, a: &Graph, b: &Graph) {
     let ka = ctrw_average_kernel(a, horizon, 64).unwrap();
     let kb = ctrw_average_kernel(b, horizon, 64).unwrap();
     let n = ka.rows().max(kb.rows());
-    let classical = (&ka.zero_pad(n, n).unwrap() - &kb.zero_pad(n, n).unwrap()).frobenius_norm()
-        / n as f64;
+    let classical =
+        (&ka.zero_pad(n, n).unwrap() - &kb.zero_pad(n, n).unwrap()).frobenius_norm() / n as f64;
 
-    println!(
-        "{:<34} {:>16.6} {:>20.6}",
-        name, quantum, classical
-    );
+    println!("{:<34} {:>16.6} {:>20.6}", name, quantum, classical);
 }
 
 fn main() {
@@ -49,10 +46,6 @@ fn main() {
         &watts_strogatz(16, 4, 0.0, 1),
         &watts_strogatz(16, 4, 0.4, 1),
     );
-    pair_report(
-        "same graph (control)",
-        &cycle_graph(12),
-        &cycle_graph(12),
-    );
+    pair_report("same graph (control)", &cycle_graph(12), &cycle_graph(12));
     println!("\nLarger CTQW divergences for structurally different pairs (and zero for the control) show the quantum walk retaining discriminative information; the long-horizon CTRW kernels converge towards each other on regular structures.");
 }

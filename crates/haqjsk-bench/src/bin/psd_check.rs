@@ -27,7 +27,8 @@ fn main() {
     let haqjsk_config = scale.haqjsk_config();
 
     for name in ["MUTAG", "PTC(MR)", "IMDB-B", "BAR31"] {
-        let Some(dataset) = generate_by_name(name, scale.graph_divisor() * 2, scale.size_divisor(), 42)
+        let Some(dataset) =
+            generate_by_name(name, scale.graph_divisor() * 2, scale.size_divisor(), 42)
         else {
             continue;
         };
@@ -48,14 +49,23 @@ fn main() {
             );
         };
 
-        for variant in [HaqjskVariant::AlignedAdjacency, HaqjskVariant::AlignedDensity] {
+        for variant in [
+            HaqjskVariant::AlignedAdjacency,
+            HaqjskVariant::AlignedDensity,
+        ] {
             let model = HaqjskModel::fit(&dataset.graphs, haqjsk_config.clone(), variant)
                 .expect("fit succeeds");
             let gram = model.gram_matrix(&dataset.graphs).expect("gram succeeds");
             report(variant.label(), gram);
         }
-        report("QJSK (unaligned)", QjskUnaligned::default().gram_matrix(&dataset.graphs));
-        report("QJSK (Umeyama)", QjskAligned::default().gram_matrix(&dataset.graphs));
+        report(
+            "QJSK (unaligned)",
+            QjskUnaligned::default().gram_matrix(&dataset.graphs),
+        );
+        report(
+            "QJSK (Umeyama)",
+            QjskAligned::default().gram_matrix(&dataset.graphs),
+        );
         println!();
     }
     println!("HAQJSK minimum eigenvalues sit at (numerical) zero or above; the QJSK baselines can dip negative, confirming Table I's PD column.");

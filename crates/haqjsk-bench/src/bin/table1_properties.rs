@@ -12,7 +12,14 @@ fn main() {
     println!("Table I — properties of the kernel families\n");
     println!(
         "{:<24} {:>10} {:>10} {:>12} {:>12} {:>8} {:>8} {:>14}",
-        "Kernel family", "PD", "Tottering", "Struct.align", "Trans.align", "Local", "Global", "Hierarchical"
+        "Kernel family",
+        "PD",
+        "Tottering",
+        "Struct.align",
+        "Trans.align",
+        "Local",
+        "Global",
+        "Hierarchical"
     );
     for row in table1_kernel_family_properties() {
         println!(
@@ -27,5 +34,7 @@ fn main() {
             row.hierarchical_alignment.symbol(),
         );
     }
-    println!("\n(The PD and transitivity claims are verified empirically by the psd_check binary.)");
+    println!(
+        "\n(The PD and transitivity claims are verified empirically by the psd_check binary.)"
+    );
 }

@@ -16,17 +16,23 @@ fn main() {
     println!("Table II — dataset statistics ({})\n", scale.describe());
     println!(
         "{:<11} {:>8} {:>9} {:>11} {:>11} {:>9} {:>7} {:>5} || {:>9} {:>11} {:>11} {:>9}",
-        "dataset", "graphs", "classes", "max |V|", "mean |V|", "mean |E|", "labels", "dom",
-        "gen #", "gen max|V|", "gen mn|V|", "gen mn|E|"
+        "dataset",
+        "graphs",
+        "classes",
+        "max |V|",
+        "mean |V|",
+        "mean |E|",
+        "labels",
+        "dom",
+        "gen #",
+        "gen max|V|",
+        "gen mn|V|",
+        "gen mn|E|"
     );
     for spec in TABLE2_SPECS {
-        let generated = generate_by_name(
-            spec.name,
-            scale.graph_divisor(),
-            scale.size_divisor(),
-            42,
-        )
-        .expect("spec names are valid");
+        let generated =
+            generate_by_name(spec.name, scale.graph_divisor(), scale.size_divisor(), 42)
+                .expect("spec names are valid");
         let stats = corpus_statistics(&generated.graphs);
         println!(
             "{:<11} {:>8} {:>9} {:>11} {:>11.2} {:>9.2} {:>7} {:>5} || {:>9} {:>11} {:>11.2} {:>9.2}",

@@ -21,6 +21,7 @@ use haqjsk_kernels::{
 
 fn main() {
     let scale = RunScale::from_args();
+    println!("{}", haqjsk_bench::engine_banner());
     let requested: Vec<String> = std::env::args()
         .skip(1)
         .filter(|a| !a.starts_with("--"))
@@ -29,7 +30,14 @@ fn main() {
     // paper-scale social-network corpora (RED-B, COLLAB) only run with an
     // explicit request or --full.
     let default_quick = [
-        "MUTAG", "PTC(MR)", "PPIs", "BAR31", "BSPHERE31", "GEOD31", "IMDB-B", "IMDB-M",
+        "MUTAG",
+        "PTC(MR)",
+        "PPIs",
+        "BAR31",
+        "BSPHERE31",
+        "GEOD31",
+        "IMDB-B",
+        "IMDB-M",
     ];
     let datasets: Vec<String> = if !requested.is_empty() {
         requested
@@ -54,7 +62,10 @@ fn main() {
         };
         let mut rows: Vec<AccuracyRow> = Vec::new();
 
-        for variant in [HaqjskVariant::AlignedAdjacency, HaqjskVariant::AlignedDensity] {
+        for variant in [
+            HaqjskVariant::AlignedAdjacency,
+            HaqjskVariant::AlignedDensity,
+        ] {
             match evaluate_haqjsk(variant, &haqjsk_config, &dataset, &cv) {
                 Ok(row) => rows.push(row),
                 Err(err) => eprintln!("{} failed on {name}: {err}", variant.label()),
@@ -75,7 +86,11 @@ fn main() {
         }
 
         print_accuracy_table(
-            &format!("{name} ({} graphs, {} classes)", dataset.len(), dataset.num_classes()),
+            &format!(
+                "{name} ({} graphs, {} classes)",
+                dataset.len(),
+                dataset.num_classes()
+            ),
             &rows,
         );
         let best = rows

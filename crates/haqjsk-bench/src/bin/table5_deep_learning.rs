@@ -13,20 +13,29 @@ use haqjsk_core::HaqjskVariant;
 use haqjsk_datasets::generate_by_name;
 use haqjsk_graph::Graph;
 use haqjsk_linalg::stats;
+use haqjsk_ml::cross_validation::stratified_folds;
 use haqjsk_ml::gcn::{GcnClassifier, GcnConfig};
 use haqjsk_ml::mlp::{WlMlpClassifier, WlMlpConfig};
-use haqjsk_ml::cross_validation::stratified_folds;
 
 /// k-fold cross-validated accuracy of a train/predict closure.
-fn cross_validate_model<F>(graphs: &[Graph], labels: &[usize], folds: usize, train_predict: F) -> AccuracyRow
+fn cross_validate_model<F>(
+    graphs: &[Graph],
+    labels: &[usize],
+    folds: usize,
+    train_predict: F,
+) -> AccuracyRow
 where
     F: Fn(&[Graph], &[usize], &[Graph]) -> Vec<usize>,
 {
     let assignment = stratified_folds(labels, folds, 7);
     let mut accuracies = Vec::new();
     for fold in 0..folds {
-        let train_idx: Vec<usize> = (0..labels.len()).filter(|&i| assignment[i] != fold).collect();
-        let test_idx: Vec<usize> = (0..labels.len()).filter(|&i| assignment[i] == fold).collect();
+        let train_idx: Vec<usize> = (0..labels.len())
+            .filter(|&i| assignment[i] != fold)
+            .collect();
+        let test_idx: Vec<usize> = (0..labels.len())
+            .filter(|&i| assignment[i] == fold)
+            .collect();
         if train_idx.is_empty() || test_idx.is_empty() {
             continue;
         }
@@ -40,7 +49,11 @@ where
     let percents: Vec<f64> = accuracies.iter().map(|a| a * 100.0).collect();
     AccuracyRow {
         method: String::new(),
-        accuracy: format!("{:.2} ± {:.2}", stats::mean(&percents), stats::standard_error(&percents)),
+        accuracy: format!(
+            "{:.2} ± {:.2}",
+            stats::mean(&percents),
+            stats::standard_error(&percents)
+        ),
         mean_percent: stats::mean(&percents),
     }
 }
@@ -58,7 +71,11 @@ fn main() {
     let folds = if scale == RunScale::Quick { 3 } else { 5 };
 
     for name in datasets {
-        let extra = if matches!(name, "RED-B" | "COLLAB") { 4 } else { 1 };
+        let extra = if matches!(name, "RED-B" | "COLLAB") {
+            4
+        } else {
+            1
+        };
         let Some(dataset) = generate_by_name(
             name,
             scale.graph_divisor() * extra,
@@ -68,45 +85,54 @@ fn main() {
             continue;
         };
         let mut rows = Vec::new();
-        for variant in [HaqjskVariant::AlignedAdjacency, HaqjskVariant::AlignedDensity] {
+        for variant in [
+            HaqjskVariant::AlignedAdjacency,
+            HaqjskVariant::AlignedDensity,
+        ] {
             match evaluate_haqjsk(variant, &haqjsk_config, &dataset, &cv) {
                 Ok(row) => rows.push(row),
                 Err(err) => eprintln!("{} failed on {name}: {err}", variant.label()),
             }
         }
 
-        let mut gcn_row = cross_validate_model(&dataset.graphs, &dataset.classes, folds, |tg, tl, test| {
-            let model = GcnClassifier::train(
-                tg,
-                tl,
-                GcnConfig {
-                    hidden_dim: 16,
-                    epochs: 80,
-                    ..Default::default()
-                },
-            );
-            test.iter().map(|g| model.predict(g)).collect()
-        });
+        let mut gcn_row =
+            cross_validate_model(&dataset.graphs, &dataset.classes, folds, |tg, tl, test| {
+                let model = GcnClassifier::train(
+                    tg,
+                    tl,
+                    GcnConfig {
+                        hidden_dim: 16,
+                        epochs: 80,
+                        ..Default::default()
+                    },
+                );
+                test.iter().map(|g| model.predict(g)).collect()
+            });
         gcn_row.method = "GCN (DGCNN/DCNN stand-in)".to_string();
         rows.push(gcn_row);
 
-        let mut mlp_row = cross_validate_model(&dataset.graphs, &dataset.classes, folds, |tg, tl, test| {
-            let model = WlMlpClassifier::train(
-                tg,
-                tl,
-                WlMlpConfig {
-                    hidden_dim: 24,
-                    epochs: 100,
-                    ..Default::default()
-                },
-            );
-            test.iter().map(|g| model.predict(g)).collect()
-        });
+        let mut mlp_row =
+            cross_validate_model(&dataset.graphs, &dataset.classes, folds, |tg, tl, test| {
+                let model = WlMlpClassifier::train(
+                    tg,
+                    tl,
+                    WlMlpConfig {
+                        hidden_dim: 24,
+                        epochs: 100,
+                        ..Default::default()
+                    },
+                );
+                test.iter().map(|g| model.predict(g)).collect()
+            });
         mlp_row.method = "WL-MLP (DGK stand-in)".to_string();
         rows.push(mlp_row);
 
         print_accuracy_table(
-            &format!("{name} ({} graphs, {} classes)", dataset.len(), dataset.num_classes()),
+            &format!(
+                "{name} ({} graphs, {} classes)",
+                dataset.len(),
+                dataset.num_classes()
+            ),
             &rows,
         );
     }

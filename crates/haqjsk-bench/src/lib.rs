@@ -102,6 +102,24 @@ impl RunScale {
     }
 }
 
+/// One-line description of the engine executing all Gram computation:
+/// worker count (with its `HAQJSK_THREADS` provenance) and the density-cache
+/// counters. The table binaries print it so recorded runs document their
+/// parallel configuration.
+pub fn engine_banner() -> String {
+    let threads = haqjsk_engine::Engine::global().threads();
+    let source = if std::env::var(haqjsk_engine::THREADS_ENV_VAR).is_ok() {
+        haqjsk_engine::THREADS_ENV_VAR
+    } else {
+        "auto"
+    };
+    let cache = haqjsk_kernels::density_cache_stats();
+    format!(
+        "engine: {threads} workers ({source}), density cache {} hits / {} misses",
+        cache.hits, cache.misses
+    )
+}
+
 /// One row of an accuracy table: kernel name and "mean ± stderr" text.
 #[derive(Debug, Clone)]
 pub struct AccuracyRow {
@@ -175,7 +193,10 @@ mod tests {
         assert!(RunScale::Medium.graph_divisor() > RunScale::Full.graph_divisor());
         assert_eq!(RunScale::Full.graph_divisor(), 1);
         assert_eq!(RunScale::Full.size_divisor(), 1);
-        assert!(RunScale::Quick.haqjsk_config().num_prototypes <= RunScale::Full.haqjsk_config().num_prototypes);
+        assert!(
+            RunScale::Quick.haqjsk_config().num_prototypes
+                <= RunScale::Full.haqjsk_config().num_prototypes
+        );
         assert!(RunScale::Quick.cv_config().repetitions <= RunScale::Full.cv_config().repetitions);
         assert!(!RunScale::Quick.describe().is_empty());
     }

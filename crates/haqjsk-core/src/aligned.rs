@@ -67,7 +67,9 @@ pub fn aligned_density_family(
                 Some(acc) => &acc + &aligned,
             });
         }
-        let averaged = accumulated.expect("at least one layer").scale(1.0 / max_k as f64);
+        let averaged = accumulated
+            .expect("at least one layer")
+            .scale(1.0 / max_k as f64);
         family.push(DensityMatrix::from_unnormalized(&averaged)?);
     }
     Ok(family)
@@ -175,7 +177,10 @@ mod tests {
         let fam_a = aligned_adjacency_family(&original[0], &corr_a);
         let fam_b = aligned_adjacency_family(&permuted[0], &corr_b);
         for (a, b) in fam_a.iter().zip(fam_b.iter()) {
-            assert!((a - b).max_abs() < 1e-9, "aligned adjacency changed under relabelling");
+            assert!(
+                (a - b).max_abs() < 1e-9,
+                "aligned adjacency changed under relabelling"
+            );
         }
     }
 }

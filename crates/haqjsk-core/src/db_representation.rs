@@ -36,8 +36,7 @@ impl DbRepresentations {
     /// Derives `K` from the dataset (greatest shortest-path length, clamped
     /// to `[1, layer_cap]`) and computes the representations.
     pub fn compute_auto(graphs: &[Graph], layer_cap: usize) -> Self {
-        let k = greatest_shortest_path_length(graphs)
-            .clamp(1, layer_cap.max(1));
+        let k = greatest_shortest_path_length(graphs).clamp(1, layer_cap.max(1));
         Self::compute(graphs, k)
     }
 

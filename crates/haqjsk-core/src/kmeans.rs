@@ -93,17 +93,24 @@ impl KMeans {
                     let (far_idx, _) = points
                         .iter()
                         .enumerate()
-                        .map(|(i, p)| (i, haqjsk_linalg::vector::squared_distance(p, &centroids[assignments[i]])))
+                        .map(|(i, p)| {
+                            (
+                                i,
+                                haqjsk_linalg::vector::squared_distance(
+                                    p,
+                                    &centroids[assignments[i]],
+                                ),
+                            )
+                        })
                         .max_by(|a, b| a.1.partial_cmp(&b.1).expect("finite distances"))
                         .expect("non-empty point set");
-                    movement += haqjsk_linalg::vector::squared_distance(&centroids[c], &points[far_idx]);
+                    movement +=
+                        haqjsk_linalg::vector::squared_distance(&centroids[c], &points[far_idx]);
                     centroids[c] = points[far_idx].clone();
                     continue;
                 }
-                let new_centroid: Vec<f64> = sums[c]
-                    .iter()
-                    .map(|&s| s / counts[c] as f64)
-                    .collect();
+                let new_centroid: Vec<f64> =
+                    sums[c].iter().map(|&s| s / counts[c] as f64).collect();
                 movement += haqjsk_linalg::vector::squared_distance(&centroids[c], &new_centroid);
                 centroids[c] = new_centroid;
             }
@@ -139,12 +146,15 @@ impl KMeans {
         while centroids.len() < k {
             let mut total = 0.0;
             for (i, p) in points.iter().enumerate() {
-                d2[i] = haqjsk_linalg::vector::squared_distance(p, centroids.last().expect("non-empty"))
-                    .min(if centroids.len() == 1 {
-                        f64::INFINITY
-                    } else {
-                        d2[i]
-                    });
+                d2[i] = haqjsk_linalg::vector::squared_distance(
+                    p,
+                    centroids.last().expect("non-empty"),
+                )
+                .min(if centroids.len() == 1 {
+                    f64::INFINITY
+                } else {
+                    d2[i]
+                });
                 total += d2[i];
             }
             if total <= 0.0 {

@@ -21,12 +21,14 @@ use crate::config::{HaqjskConfig, HaqjskVariant};
 use crate::correspondence::GraphCorrespondences;
 use crate::db_representation::DbRepresentations;
 use crate::hierarchy::PrototypeHierarchy;
+use haqjsk_engine::{graph_key, Engine, FeatureCache};
 use haqjsk_graph::Graph;
-use haqjsk_kernels::kernel::gram_from_pairwise;
+use haqjsk_kernels::kernel::gram_from_indexed;
 use haqjsk_kernels::{GraphKernel, KernelMatrix};
 use haqjsk_linalg::LinalgError;
 use haqjsk_quantum::ctqw::ctqw_density_from_adjacency;
 use haqjsk_quantum::{qjsd, DensityMatrix};
+use std::sync::Arc;
 
 /// The hierarchical aligned representation of a single graph, ready for
 /// kernel evaluation against any other graph aligned to the same prototypes.
@@ -83,9 +85,7 @@ impl HaqjskModel {
         config: HaqjskConfig,
         variant: HaqjskVariant,
     ) -> Result<Self, LinalgError> {
-        config
-            .validate()
-            .map_err(LinalgError::InvalidArgument)?;
+        config.validate().map_err(LinalgError::InvalidArgument)?;
         if graphs.is_empty() {
             return Err(LinalgError::InvalidArgument(
                 "cannot fit a HAQJSK model on an empty dataset".to_string(),
@@ -146,9 +146,66 @@ impl HaqjskModel {
         })
     }
 
-    /// Transforms a whole dataset.
+    /// Transforms a whole dataset, in parallel on the engine's worker pool.
     pub fn transform_all(&self, graphs: &[Graph]) -> Result<Vec<AlignedGraph>, LinalgError> {
-        graphs.iter().map(|g| self.transform(g)).collect()
+        Engine::global()
+            .map(graphs.len(), |i| self.transform(&graphs[i]))
+            .into_iter()
+            .collect()
+    }
+
+    /// Transforms a dataset through a [`FeatureCache`], computing each
+    /// distinct graph's aligned representation exactly once — across this
+    /// call *and* any earlier call that used the same cache.
+    ///
+    /// The cache key is the structural graph hash, which does not include
+    /// the model's prototypes: a cache must therefore only ever be used
+    /// with the one model it was created for (the serving layer creates a
+    /// fresh cache whenever a model is fitted or loaded).
+    pub fn transform_all_cached(
+        &self,
+        graphs: &[Graph],
+        cache: &FeatureCache<AlignedGraph>,
+    ) -> Result<Vec<Arc<AlignedGraph>>, LinalgError> {
+        use std::collections::HashMap;
+
+        // Deduplicate by structural key first, so a batch containing the
+        // same graph several times computes its transform once: only the
+        // first occurrence of each key joins the parallel compute phase.
+        let keys: Vec<_> = graphs.iter().map(graph_key).collect();
+        let mut first_occurrence: HashMap<_, usize> = HashMap::new();
+        let distinct: Vec<usize> = (0..graphs.len())
+            .filter(|&i| first_occurrence.insert(keys[i], i).is_none())
+            .collect();
+
+        // The engine cache guarantees a single stored value per key, but
+        // its closure cannot return an error; compute failures are
+        // reproduced outside the cache on the (cold) failing graph.
+        let attempts: Vec<Option<Arc<AlignedGraph>>> = Engine::global().map(distinct.len(), |d| {
+            let i = distinct[d];
+            if let Some(hit) = cache.get(keys[i]) {
+                return Some(hit);
+            }
+            match self.transform(&graphs[i]) {
+                Ok(aligned) => Some(cache.get_or_compute(keys[i], || aligned)),
+                Err(_) => None,
+            }
+        });
+
+        let mut by_key: HashMap<_, Arc<AlignedGraph>> = HashMap::new();
+        for (d, slot) in attempts.into_iter().enumerate() {
+            let i = distinct[d];
+            match slot {
+                Some(aligned) => {
+                    by_key.insert(keys[i], aligned);
+                }
+                // Re-run the failing transform to surface its error.
+                None => {
+                    by_key.insert(keys[i], self.transform(&graphs[i]).map(Arc::new)?);
+                }
+            }
+        }
+        Ok(keys.iter().map(|key| Arc::clone(&by_key[key])).collect())
     }
 
     /// Kernel value between two already-transformed graphs:
@@ -159,8 +216,8 @@ impl HaqjskModel {
         let levels = da.len().min(db.len());
         let mut total = 0.0;
         for h in 0..levels {
-            let divergence = qjsd(&da[h], &db[h])
-                .expect("aligned structures share the prototype dimension");
+            let divergence =
+                qjsd(&da[h], &db[h]).expect("aligned structures share the prototype dimension");
             total += (-self.config.mu * divergence).exp();
         }
         total
@@ -171,21 +228,53 @@ impl HaqjskModel {
         Ok(self.kernel(&self.transform(a)?, &self.transform(b)?))
     }
 
-    /// Gram matrix over a dataset (each graph is transformed once, then all
-    /// pairs are evaluated in parallel).
+    /// Gram matrix over a dataset: each graph is transformed once (in
+    /// parallel), then all pairs are evaluated on the engine's tiled
+    /// scheduler.
     pub fn gram_matrix(&self, graphs: &[Graph]) -> Result<KernelMatrix, LinalgError> {
         let aligned = self.transform_all(graphs)?;
-        let indexed: Vec<(usize, &Graph)> = graphs.iter().enumerate().collect();
-        let lookup = |g: &Graph| -> usize {
-            indexed
-                .iter()
-                .find(|(_, h)| std::ptr::eq(*h, g))
-                .map(|(i, _)| *i)
-                .expect("graph belongs to the dataset")
-        };
-        Ok(gram_from_pairwise(graphs, |a, b| {
-            self.kernel(&aligned[lookup(a)], &aligned[lookup(b)])
+        Ok(gram_from_indexed(graphs.len(), |i, j| {
+            self.kernel(&aligned[i], &aligned[j])
         }))
+    }
+
+    /// Gram matrix over a dataset with the per-graph aligned features
+    /// memoised in `cache` (see [`HaqjskModel::transform_all_cached`] for
+    /// the cache-ownership rule).
+    pub fn gram_matrix_cached(
+        &self,
+        graphs: &[Graph],
+        cache: &FeatureCache<AlignedGraph>,
+    ) -> Result<KernelMatrix, LinalgError> {
+        let aligned = self.transform_all_cached(graphs, cache)?;
+        Ok(gram_from_indexed(graphs.len(), |i, j| {
+            self.kernel(&aligned[i], &aligned[j])
+        }))
+    }
+
+    /// Incrementally extends a Gram matrix with out-of-sample graphs: given
+    /// the Gram matrix of `graphs[..base.len()]`, returns the Gram matrix of
+    /// all of `graphs` while evaluating only the new rows/columns
+    /// (`base.len()` must not exceed `graphs.len()`). The streaming serving
+    /// path uses this to append arrivals without recomputing history.
+    pub fn gram_matrix_extended(
+        &self,
+        base: &KernelMatrix,
+        graphs: &[Graph],
+        cache: &FeatureCache<AlignedGraph>,
+    ) -> Result<KernelMatrix, LinalgError> {
+        let m = base.len();
+        if m > graphs.len() {
+            return Err(LinalgError::InvalidArgument(format!(
+                "base Gram matrix covers {m} graphs but only {} were supplied",
+                graphs.len()
+            )));
+        }
+        let aligned = self.transform_all_cached(graphs, cache)?;
+        let values = Engine::global().gram_extend(base.matrix(), graphs.len(), |i, j| {
+            self.kernel(&aligned[i], &aligned[j])
+        });
+        KernelMatrix::new(values)
     }
 
     /// Maximum attainable kernel value (`H`, reached when every per-level
@@ -253,8 +342,14 @@ mod tests {
         let model =
             HaqjskModel::fit(&graphs, small_config(), HaqjskVariant::AlignedAdjacency).unwrap();
         let aligned = model.transform(&graphs[0]).unwrap();
-        assert_eq!(aligned.adjacency_densities.len(), model.hierarchy().num_levels());
-        assert_eq!(aligned.aligned_densities.len(), model.hierarchy().num_levels());
+        assert_eq!(
+            aligned.adjacency_densities.len(),
+            model.hierarchy().num_levels()
+        );
+        assert_eq!(
+            aligned.aligned_densities.len(),
+            model.hierarchy().num_levels()
+        );
         for rho in aligned
             .adjacency_densities
             .iter()
@@ -267,12 +362,19 @@ mod tests {
     #[test]
     fn self_similarity_is_maximal() {
         let graphs = dataset();
-        for variant in [HaqjskVariant::AlignedAdjacency, HaqjskVariant::AlignedDensity] {
+        for variant in [
+            HaqjskVariant::AlignedAdjacency,
+            HaqjskVariant::AlignedDensity,
+        ] {
             let model = HaqjskModel::fit(&graphs, small_config(), variant).unwrap();
             let h = model.max_kernel_value();
             for g in &graphs {
                 let v = model.kernel_between(g, g).unwrap();
-                assert!((v - h).abs() < 1e-9, "{}: self similarity {v} != {h}", variant.label());
+                assert!(
+                    (v - h).abs() < 1e-9,
+                    "{}: self similarity {v} != {h}",
+                    variant.label()
+                );
             }
             // Cross similarities never exceed the self similarity.
             let cross = model.kernel_between(&graphs[0], &graphs[2]).unwrap();
@@ -313,7 +415,10 @@ mod tests {
     #[test]
     fn gram_matrix_is_positive_semidefinite() {
         let graphs = dataset();
-        for variant in [HaqjskVariant::AlignedAdjacency, HaqjskVariant::AlignedDensity] {
+        for variant in [
+            HaqjskVariant::AlignedAdjacency,
+            HaqjskVariant::AlignedDensity,
+        ] {
             let model = HaqjskModel::fit(&graphs, small_config(), variant).unwrap();
             let gram = HaqjskModel::gram_matrix(&model, &graphs).unwrap();
             assert_eq!(gram.len(), graphs.len());

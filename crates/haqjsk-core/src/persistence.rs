@@ -121,10 +121,12 @@ pub fn model_from_string(text: &str) -> Result<HaqjskModel, PersistenceError> {
                     return Err(PersistenceError("config line needs 8 fields".to_string()));
                 }
                 let parse_usize = |s: &str| -> Result<usize, PersistenceError> {
-                    s.parse().map_err(|e| PersistenceError(format!("bad integer '{s}': {e}")))
+                    s.parse()
+                        .map_err(|e| PersistenceError(format!("bad integer '{s}': {e}")))
                 };
                 let parse_f64 = |s: &str| -> Result<f64, PersistenceError> {
-                    s.parse().map_err(|e| PersistenceError(format!("bad float '{s}': {e}")))
+                    s.parse()
+                        .map_err(|e| PersistenceError(format!("bad float '{s}': {e}")))
                 };
                 config = Some(HaqjskConfig {
                     hierarchy_levels: parse_usize(values[0])?,
@@ -203,12 +205,17 @@ pub fn model_from_string(text: &str) -> Result<HaqjskModel, PersistenceError> {
 
     let variant = variant.ok_or_else(|| PersistenceError("missing variant".to_string()))?;
     let config = config.ok_or_else(|| PersistenceError("missing config".to_string()))?;
-    let max_layers = max_layers.ok_or_else(|| PersistenceError("missing max_layers".to_string()))?;
+    let max_layers =
+        max_layers.ok_or_else(|| PersistenceError("missing max_layers".to_string()))?;
     if layers.is_empty() {
-        return Err(PersistenceError("model has no prototype layers".to_string()));
+        return Err(PersistenceError(
+            "model has no prototype layers".to_string(),
+        ));
     }
     let hierarchy = PrototypeHierarchy::from_layers(layers);
-    Ok(HaqjskModel::from_parts(config, variant, max_layers, hierarchy))
+    Ok(HaqjskModel::from_parts(
+        config, variant, max_layers, hierarchy,
+    ))
 }
 
 #[cfg(test)]

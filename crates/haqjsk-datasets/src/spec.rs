@@ -1,10 +1,8 @@
 //! The dataset statistics of the paper's Table II, encoded as data.
 
-use serde::{Deserialize, Serialize};
-
 /// Application domain of a benchmark dataset (the "Description" row of
 /// Table II).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum DatasetDomain {
     /// Bioinformatics graphs (molecules, protein structures, ...).
     Bioinformatics,
@@ -26,7 +24,7 @@ impl DatasetDomain {
 }
 
 /// Target statistics for one benchmark dataset (one column of Table II).
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct DatasetSpec {
     /// Dataset name as used in the paper.
     pub name: &'static str,

@@ -119,7 +119,8 @@ fn cv_graph(n: usize, target_edges: usize, class_fraction: f64, seed: u64) -> Gr
     // A ring lattice with k/2 neighbours per side has n*k/2 edges; derive k
     // from the edge target and let the class control the rewiring rate (how
     // "irregular" the shape boundary is).
-    let k = ((2.0 * target_edges as f64 / n.max(1) as f64).round() as usize).clamp(2, n.saturating_sub(1).max(2));
+    let k = ((2.0 * target_edges as f64 / n.max(1) as f64).round() as usize)
+        .clamp(2, n.saturating_sub(1).max(2));
     let beta = 0.02 + 0.45 * class_fraction;
     let graph = watts_strogatz(n, k, beta, seed);
     // A class-dependent number of extra rewirings sharpens the signal for
@@ -142,7 +143,7 @@ fn sn_graph(n: usize, target_edges: usize, class: usize, class_fraction: f64, se
         block_sizes[0] += n - base * blocks;
         // Put most of the mass inside blocks; the exact split depends on the
         // class so densities differ across classes too.
-        let p_in = (density * (2.0 + class_fraction) ).min(0.95);
+        let p_in = (density * (2.0 + class_fraction)).min(0.95);
         let p_out = (density * 0.25).min(0.2);
         stochastic_block_model(&block_sizes, p_in, p_out, seed)
     } else {

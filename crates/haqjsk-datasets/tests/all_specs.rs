@@ -67,12 +67,10 @@ fn class_signal_exists_in_a_simple_structural_statistic() {
                 .iter()
                 .zip(dataset.classes.iter())
                 .filter(|(_, &c)| c == class)
-                .map(|(g, _)| {
-                    match statistic {
-                        "clustering" => haqjsk_graph::analysis::clustering_coefficient(g),
-                        "path-length" => haqjsk_graph::analysis::average_path_length(g),
-                        _ => average_degree(g),
-                    }
+                .map(|(g, _)| match statistic {
+                    "clustering" => haqjsk_graph::analysis::clustering_coefficient(g),
+                    "path-length" => haqjsk_graph::analysis::average_path_length(g),
+                    _ => average_degree(g),
                 })
                 .collect();
             values.iter().sum::<f64>() / values.len().max(1) as f64

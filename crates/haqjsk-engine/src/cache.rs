@@ -1,0 +1,196 @@
+//! Memoisation of expensive per-graph features.
+//!
+//! The HAQJSK pipeline's cost is dominated by per-*pair* kernel evaluations,
+//! but the per-*graph* inputs to those evaluations — CTQW density matrices
+//! (`O(n^3)` eigendecompositions), depth-based vertex representations,
+//! aligned structure families — are reusable across every pair and every
+//! request that involves the same graph. [`FeatureCache`] memoises them
+//! under a [`GraphKey`](crate::hash::GraphKey), guarantees each value is
+//! computed **exactly once** even under concurrent access, and counts hits
+//! and misses so callers (and tests) can verify the exactly-once property.
+
+use crate::hash::GraphKey;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+
+/// Hit/miss counters of a [`FeatureCache`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Lookups answered from the cache.
+    pub hits: usize,
+    /// Lookups that had to compute the value.
+    pub misses: usize,
+    /// Number of distinct keys currently cached.
+    pub entries: usize,
+}
+
+impl CacheStats {
+    /// Fraction of lookups answered from the cache (0 when empty).
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+/// A concurrent, instrumented memo table from [`GraphKey`] to a feature
+/// value of type `V`.
+///
+/// The map mutex is held only for entry lookup/insertion; the (potentially
+/// very expensive) compute runs outside it, serialised per key by a
+/// [`OnceLock`] so concurrent requests for the *same* graph block until the
+/// first finishes rather than recomputing.
+pub struct FeatureCache<V> {
+    map: Mutex<HashMap<GraphKey, Arc<OnceLock<Arc<V>>>>>,
+    hits: AtomicUsize,
+    misses: AtomicUsize,
+}
+
+impl<V> Default for FeatureCache<V> {
+    fn default() -> Self {
+        FeatureCache::new()
+    }
+}
+
+impl<V> std::fmt::Debug for FeatureCache<V> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let stats = self.stats();
+        f.debug_struct("FeatureCache")
+            .field("entries", &stats.entries)
+            .field("hits", &stats.hits)
+            .field("misses", &stats.misses)
+            .finish()
+    }
+}
+
+impl<V> FeatureCache<V> {
+    /// Creates an empty cache.
+    pub fn new() -> Self {
+        FeatureCache {
+            map: Mutex::new(HashMap::new()),
+            hits: AtomicUsize::new(0),
+            misses: AtomicUsize::new(0),
+        }
+    }
+
+    /// Returns the cached value for `key`, computing it with `compute` on
+    /// the first request. `compute` runs exactly once per key across all
+    /// threads.
+    pub fn get_or_compute(&self, key: GraphKey, compute: impl FnOnce() -> V) -> Arc<V> {
+        let slot = {
+            let mut map = self.map.lock().expect("cache map poisoned");
+            Arc::clone(map.entry(key).or_default())
+        };
+        let mut computed_here = false;
+        let value = Arc::clone(slot.get_or_init(|| {
+            computed_here = true;
+            Arc::new(compute())
+        }));
+        if computed_here {
+            self.misses.fetch_add(1, Ordering::Relaxed);
+        } else {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+        }
+        value
+    }
+
+    /// Returns the cached value for `key` if present, counting a hit.
+    pub fn get(&self, key: GraphKey) -> Option<Arc<V>> {
+        let value = self.peek(key);
+        if value.is_some() {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+        }
+        value
+    }
+
+    /// Returns the cached value for `key` without computing, if present.
+    /// Unlike [`FeatureCache::get`] this does not touch the hit counter —
+    /// it is for introspection, not for serving lookups.
+    pub fn peek(&self, key: GraphKey) -> Option<Arc<V>> {
+        let map = self.map.lock().expect("cache map poisoned");
+        map.get(&key).and_then(|slot| slot.get().cloned())
+    }
+
+    /// Current hit/miss/entry counters.
+    pub fn stats(&self) -> CacheStats {
+        let entries = self.map.lock().expect("cache map poisoned").len();
+        CacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            entries,
+        }
+    }
+
+    /// Drops every cached value and resets the counters.
+    pub fn clear(&self) {
+        self.map.lock().expect("cache map poisoned").clear();
+        self.hits.store(0, Ordering::Relaxed);
+        self.misses.store(0, Ordering::Relaxed);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hash::GraphKey;
+
+    #[test]
+    fn computes_once_and_counts() {
+        let cache: FeatureCache<u64> = FeatureCache::new();
+        let key = GraphKey(42);
+        let calls = AtomicUsize::new(0);
+        for _ in 0..5 {
+            let v = cache.get_or_compute(key, || {
+                calls.fetch_add(1, Ordering::SeqCst);
+                99
+            });
+            assert_eq!(*v, 99);
+        }
+        assert_eq!(calls.load(Ordering::SeqCst), 1);
+        let stats = cache.stats();
+        assert_eq!(stats.misses, 1);
+        assert_eq!(stats.hits, 4);
+        assert_eq!(stats.entries, 1);
+        assert!((stats.hit_rate() - 0.8).abs() < 1e-12);
+    }
+
+    #[test]
+    fn concurrent_requests_compute_exactly_once() {
+        let cache: Arc<FeatureCache<u64>> = Arc::new(FeatureCache::new());
+        let calls = Arc::new(AtomicUsize::new(0));
+        let mut handles = Vec::new();
+        for _ in 0..8 {
+            let cache = Arc::clone(&cache);
+            let calls = Arc::clone(&calls);
+            handles.push(std::thread::spawn(move || {
+                let v = cache.get_or_compute(GraphKey(7), || {
+                    calls.fetch_add(1, Ordering::SeqCst);
+                    std::thread::sleep(std::time::Duration::from_millis(10));
+                    123
+                });
+                assert_eq!(*v, 123);
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(calls.load(Ordering::SeqCst), 1);
+        assert_eq!(cache.stats().misses, 1);
+        assert_eq!(cache.stats().hits, 7);
+    }
+
+    #[test]
+    fn peek_and_clear() {
+        let cache: FeatureCache<String> = FeatureCache::new();
+        assert!(cache.peek(GraphKey(1)).is_none());
+        cache.get_or_compute(GraphKey(1), || "x".to_string());
+        assert_eq!(cache.peek(GraphKey(1)).as_deref(), Some(&"x".to_string()));
+        cache.clear();
+        assert!(cache.peek(GraphKey(1)).is_none());
+        assert_eq!(cache.stats().hits + cache.stats().misses, 0);
+    }
+}

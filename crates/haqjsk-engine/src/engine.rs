@@ -1,0 +1,179 @@
+//! The [`Engine`]: the single execution substrate for kernel computation.
+//!
+//! An engine owns a [`WorkerPool`] and exposes the Gram-matrix entry points
+//! every kernel in the workspace routes through: tiled parallel computation,
+//! the serial reference path, incremental extension for streaming
+//! out-of-sample workloads, and a parallel map for per-graph feature
+//! extraction. A lazily initialised process-global engine
+//! ([`Engine::global`]) lets callers share one pool instead of spawning
+//! scoped threads per Gram matrix, with the worker count controlled by the
+//! `HAQJSK_THREADS` environment variable (read once, at first use).
+
+use crate::gram;
+use crate::pool::{default_thread_count, WorkerPool};
+use haqjsk_linalg::Matrix;
+use std::sync::OnceLock;
+
+/// A worker pool plus the Gram scheduling policy built on it.
+pub struct Engine {
+    pool: WorkerPool,
+    tile_override: Option<usize>,
+}
+
+static GLOBAL_ENGINE: OnceLock<Engine> = OnceLock::new();
+
+impl Engine {
+    /// Creates an engine with `threads` workers and automatic tile sizing.
+    pub fn new(threads: usize) -> Self {
+        Engine {
+            pool: WorkerPool::new(threads),
+            tile_override: None,
+        }
+    }
+
+    /// Creates an engine with a fixed Gram tile width (mainly for tests and
+    /// benchmarks; the automatic choice is right for production use).
+    pub fn with_tile(threads: usize, tile: usize) -> Self {
+        Engine {
+            pool: WorkerPool::new(threads),
+            tile_override: Some(tile.max(1)),
+        }
+    }
+
+    /// The process-global engine, created on first use with
+    /// [`default_thread_count`] workers (`HAQJSK_THREADS` override applies).
+    pub fn global() -> &'static Engine {
+        GLOBAL_ENGINE.get_or_init(|| Engine::new(default_thread_count()))
+    }
+
+    /// The underlying pool.
+    pub fn pool(&self) -> &WorkerPool {
+        &self.pool
+    }
+
+    /// Number of worker threads.
+    pub fn threads(&self) -> usize {
+        self.pool.threads()
+    }
+
+    fn tile_for(&self, n: usize) -> usize {
+        self.tile_override
+            .unwrap_or_else(|| gram::auto_tile_width(n, self.pool.threads()))
+    }
+
+    /// Computes the symmetric `n x n` Gram matrix of `f` with tiled
+    /// parallel scheduling.
+    pub fn gram<F>(&self, n: usize, f: F) -> Matrix
+    where
+        F: Fn(usize, usize) -> f64 + Sync,
+    {
+        gram::gram_tiled(&self.pool, n, self.tile_for(n), f)
+    }
+
+    /// Serial reference path; bit-identical to [`Engine::gram`] for any
+    /// deterministic `f` (the engine tests assert this).
+    pub fn gram_serial<F>(n: usize, f: F) -> Matrix
+    where
+        F: Fn(usize, usize) -> f64,
+    {
+        gram::gram_serial(n, f)
+    }
+
+    /// Extends an `m x m` Gram matrix to `total` items, computing only the
+    /// new rows/columns. `f` is indexed over the combined item list and is
+    /// never called with both indices `< m`.
+    pub fn gram_extend<F>(&self, base: &Matrix, total: usize, f: F) -> Matrix
+    where
+        F: Fn(usize, usize) -> f64 + Sync,
+    {
+        gram::gram_extend(&self.pool, base, total, self.tile_for(total), f)
+    }
+
+    /// Runs `f` over `0..count` in parallel and collects results in index
+    /// order — the per-graph feature-extraction companion to [`Engine::gram`].
+    pub fn map<T, F>(&self, count: usize, f: F) -> Vec<T>
+    where
+        T: Send,
+        F: Fn(usize) -> T + Sync,
+    {
+        self.pool.map(count, f)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn global_engine_is_shared_and_sized() {
+        let a = Engine::global();
+        let b = Engine::global();
+        assert!(std::ptr::eq(a, b));
+        assert!(a.threads() >= 1);
+    }
+
+    #[test]
+    fn gram_parallel_matches_serial_exactly() {
+        let f = |i: usize, j: usize| ((i * 31 + j * 17) as f64).sin() * 0.5 + (i + j) as f64;
+        for n in [0usize, 1, 2, 7, 33] {
+            let engine = Engine::with_tile(4, 3);
+            let parallel = engine.gram(n, f);
+            let serial = Engine::gram_serial(n, f);
+            assert_eq!(parallel, serial, "n={n}");
+        }
+    }
+
+    #[test]
+    fn extension_matches_full_recomputation() {
+        let f = |i: usize, j: usize| 1.0 / (1.0 + (i as f64 - j as f64).abs()) + (i * j) as f64;
+        let engine = Engine::with_tile(4, 4);
+        let full = engine.gram(20, f);
+        let base = engine.gram(13, f);
+        let extended = engine.gram_extend(&base, 20, f);
+        assert_eq!(extended, full);
+        // Extending by zero items returns the base unchanged.
+        let unchanged = engine.gram_extend(&base, 13, f);
+        assert_eq!(unchanged, base);
+    }
+
+    #[test]
+    fn extension_never_recomputes_old_pairs() {
+        let engine = Engine::with_tile(2, 4);
+        let base = engine.gram(10, |i, j| (i + j) as f64);
+        let extended = engine.gram_extend(&base, 14, |i, j| {
+            assert!(
+                i >= 10 || j >= 10,
+                "old pair ({i},{j}) must come from the base matrix"
+            );
+            (i + j) as f64
+        });
+        assert_eq!(extended, engine.gram(14, |i, j| (i + j) as f64));
+    }
+
+    #[test]
+    fn map_preserves_order() {
+        let engine = Engine::new(4);
+        let squares = engine.map(100, |i| i * i);
+        assert_eq!(squares.len(), 100);
+        for (i, &v) in squares.iter().enumerate() {
+            assert_eq!(v, i * i);
+        }
+    }
+
+    #[test]
+    fn worker_panic_propagates() {
+        let engine = Engine::new(2);
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            engine.gram(12, |i, j| {
+                if i == 5 && j == 7 {
+                    panic!("injected failure");
+                }
+                0.0
+            })
+        }));
+        assert!(result.is_err(), "the panic must reach the caller");
+        // The pool survives a panicked batch.
+        let ok = engine.gram(6, |i, j| (i + j) as f64);
+        assert_eq!(ok, Engine::gram_serial(6, |i, j| (i + j) as f64));
+    }
+}

@@ -1,0 +1,151 @@
+//! Tiled Gram-matrix scheduling on top of the worker pool.
+//!
+//! A Gram matrix over `n` items has `n(n+1)/2` independent entries. Raw
+//! pair lists scatter a worker's attention across the whole index range;
+//! tiling the upper triangle into `T x T` blocks instead gives each job a
+//! contiguous row/column band, so the per-item features touched by a tile
+//! (density matrices, aligned structures) stay hot in cache while the tile
+//! is computed. Every entry `(i, j)` with `i <= j` belongs to exactly one
+//! tile, and each tile writes that entry and its mirror `(j, i)`, so tiles
+//! write disjoint memory and the output buffer can be shared without locks.
+
+use crate::pool::WorkerPool;
+use haqjsk_linalg::Matrix;
+
+/// Hard floor/ceiling on the automatically chosen tile width.
+const MIN_TILE: usize = 2;
+const MAX_TILE: usize = 64;
+
+/// Picks a tile width for an `n x n` Gram computation so that the upper
+/// triangle yields roughly four jobs per worker — enough slack for load
+/// balancing without shredding cache locality.
+pub fn auto_tile_width(n: usize, workers: usize) -> usize {
+    if n == 0 {
+        return MIN_TILE;
+    }
+    let target_jobs = (workers.max(1) * 4) as f64;
+    // t tiles per side give t(t+1)/2 jobs; solve for t.
+    let tiles_per_side = ((2.0 * target_jobs).sqrt().ceil() as usize).max(1);
+    (n.div_ceil(tiles_per_side)).clamp(MIN_TILE, MAX_TILE)
+}
+
+/// Shared mutable output buffer; sound because tiles write disjoint entries.
+struct TileOutput(*mut f64);
+
+unsafe impl Send for TileOutput {}
+unsafe impl Sync for TileOutput {}
+
+impl TileOutput {
+    /// # Safety
+    /// Callers must write each flat index from at most one concurrent job.
+    unsafe fn write(&self, flat: usize, value: f64) {
+        *self.0.add(flat) = value;
+    }
+}
+
+/// Computes the symmetric Gram matrix serially — the reference
+/// implementation the parallel path is tested against.
+pub fn gram_serial<F>(n: usize, f: F) -> Matrix
+where
+    F: Fn(usize, usize) -> f64,
+{
+    let mut values = Matrix::zeros(n, n);
+    for i in 0..n {
+        for j in i..n {
+            let v = f(i, j);
+            values[(i, j)] = v;
+            values[(j, i)] = v;
+        }
+    }
+    values
+}
+
+/// Computes the symmetric Gram matrix in parallel over `pool`, tiling the
+/// upper triangle into `tile x tile` blocks.
+pub fn gram_tiled<F>(pool: &WorkerPool, n: usize, tile: usize, f: F) -> Matrix
+where
+    F: Fn(usize, usize) -> f64 + Sync,
+{
+    let mut values = Matrix::zeros(n, n);
+    if n == 0 {
+        return values;
+    }
+    let tile = tile.max(1);
+    let blocks = n.div_ceil(tile);
+
+    // Upper-triangular tile coordinates, enumerated once.
+    let tiles: Vec<(usize, usize)> = (0..blocks)
+        .flat_map(|bi| (bi..blocks).map(move |bj| (bi, bj)))
+        .collect();
+
+    let out = TileOutput(values.data_mut().as_mut_ptr());
+    pool.scoped_run(tiles.len(), &|t| {
+        let (bi, bj) = tiles[t];
+        let row_end = ((bi + 1) * tile).min(n);
+        let col_end = ((bj + 1) * tile).min(n);
+        for i in bi * tile..row_end {
+            let j_start = (bj * tile).max(i);
+            for j in j_start..col_end {
+                let v = f(i, j);
+                // SAFETY: (i, j) with i <= j lies in exactly one tile, and
+                // the mirror (j, i) is only written by that same tile.
+                unsafe {
+                    out.write(i * n + j, v);
+                    out.write(j * n + i, v);
+                }
+            }
+        }
+    });
+    values
+}
+
+/// Extends an existing `m x m` Gram matrix to cover `total >= m` items,
+/// computing only the new rows/columns (`n(n+1)/2 - m(m+1)/2` entries
+/// instead of the full recomputation). `f` is indexed over the *combined*
+/// item list, so `f(i, j)` with `i, j < m` is never called.
+pub fn gram_extend<F>(pool: &WorkerPool, base: &Matrix, total: usize, tile: usize, f: F) -> Matrix
+where
+    F: Fn(usize, usize) -> f64 + Sync,
+{
+    let m = base.rows();
+    assert!(base.is_square(), "base Gram matrix must be square");
+    assert!(total >= m, "cannot shrink a Gram matrix via extension");
+    let n = total;
+    let mut values = Matrix::zeros(n, n);
+    for i in 0..m {
+        let src = base.row(i);
+        values.data_mut()[i * n..i * n + m].copy_from_slice(src);
+    }
+    if n == m {
+        return values;
+    }
+
+    let tile = tile.max(1);
+    // New entries live in the column strip j in [m, n); tile that strip.
+    let row_blocks = n.div_ceil(tile);
+    let col_blocks = (n - m).div_ceil(tile);
+    let tiles: Vec<(usize, usize)> = (0..row_blocks)
+        .flat_map(|bi| (0..col_blocks).map(move |bj| (bi, bj)))
+        .filter(|&(bi, bj)| bi * tile <= m + (bj + 1) * tile - 1)
+        .collect();
+
+    let out = TileOutput(values.data_mut().as_mut_ptr());
+    pool.scoped_run(tiles.len(), &|t| {
+        let (bi, bj) = tiles[t];
+        let row_end = ((bi + 1) * tile).min(n);
+        let col_start = m + bj * tile;
+        let col_end = (m + (bj + 1) * tile).min(n);
+        for i in bi * tile..row_end {
+            for j in col_start.max(i)..col_end {
+                let v = f(i, j);
+                // SAFETY: same disjoint-tile argument as gram_tiled, over
+                // the strip j >= m.
+                unsafe {
+                    out.write(i * n + j, v);
+                    out.write(j * n + i, v);
+                }
+            }
+        }
+    });
+    values
+}

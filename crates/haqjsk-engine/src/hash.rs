@@ -1,0 +1,94 @@
+//! Structural graph hashing for feature-cache keys.
+//!
+//! The cache key must be (a) deterministic across runs, (b) identical for
+//! structurally identical graphs (same vertex count, same edge set, same
+//! labels), and (c) wide enough that accidental collisions are not a
+//! practical concern. A 128-bit FNV-1a over the canonical edge list
+//! satisfies all three. The hash is *not* isomorphism-invariant — two
+//! relabelled copies of the same graph hash differently — which is exactly
+//! right for caching: per-graph features (CTQW density matrices, depth-based
+//! representations) are themselves computed on the labelled adjacency
+//! structure.
+
+use haqjsk_graph::Graph;
+
+/// A 128-bit structural digest of a graph, usable as a cache key.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct GraphKey(pub u128);
+
+const FNV_OFFSET: u128 = 0x6c62272e07bb014262b821756295c58d;
+const FNV_PRIME: u128 = 0x0000000001000000000000000000013b;
+
+fn fnv_mix(mut state: u128, bytes: &[u8]) -> u128 {
+    for &b in bytes {
+        state ^= b as u128;
+        state = state.wrapping_mul(FNV_PRIME);
+    }
+    state
+}
+
+fn fnv_mix_usize(state: u128, value: usize) -> u128 {
+    fnv_mix(state, &(value as u64).to_le_bytes())
+}
+
+/// Computes the structural key of a graph.
+pub fn graph_key(graph: &Graph) -> GraphKey {
+    let mut state = FNV_OFFSET;
+    state = fnv_mix_usize(state, graph.num_vertices());
+    for u in 0..graph.num_vertices() {
+        for v in graph.neighbors(u) {
+            if v > u {
+                state = fnv_mix_usize(state, u);
+                state = fnv_mix_usize(state, v);
+            }
+        }
+    }
+    match graph.labels() {
+        Some(labels) => {
+            state = fnv_mix(state, b"L");
+            for &l in labels {
+                state = fnv_mix_usize(state, l);
+            }
+        }
+        None => {
+            state = fnv_mix(state, b"U");
+        }
+    }
+    GraphKey(state)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use haqjsk_graph::generators::{cycle_graph, path_graph};
+
+    #[test]
+    fn identical_graphs_share_a_key() {
+        assert_eq!(graph_key(&cycle_graph(9)), graph_key(&cycle_graph(9)));
+    }
+
+    #[test]
+    fn structure_changes_the_key() {
+        assert_ne!(graph_key(&cycle_graph(9)), graph_key(&path_graph(9)));
+        assert_ne!(graph_key(&cycle_graph(9)), graph_key(&cycle_graph(10)));
+    }
+
+    #[test]
+    fn labels_change_the_key() {
+        let unlabelled = path_graph(5);
+        let mut labelled = path_graph(5);
+        labelled.set_labels(vec![1, 2, 3, 4, 5]).unwrap();
+        assert_ne!(graph_key(&unlabelled), graph_key(&labelled));
+    }
+
+    #[test]
+    fn relabelling_changes_the_key() {
+        // Structural, not isomorphism-invariant: a permuted copy caches
+        // separately because its features differ entry-wise. (Moving the
+        // star's hub changes the edge set; a symmetric permutation of a
+        // path would not.)
+        let g = haqjsk_graph::generators::star_graph(5);
+        let permuted = g.permute(&[4, 1, 2, 3, 0]).unwrap();
+        assert_ne!(graph_key(&g), graph_key(&permuted));
+    }
+}

@@ -1,0 +1,45 @@
+//! # haqjsk-engine
+//!
+//! The parallel Gram-computation engine: the single execution substrate for
+//! every kernel in the HAQJSK workspace.
+//!
+//! The HAQJSK pipeline is dominated by `n(n+1)/2` pairwise kernel
+//! evaluations, each of which historically re-derived per-graph features
+//! (CTQW density matrices, depth-based vertex representations) that are in
+//! fact reusable across every pair. This crate centralises the machinery
+//! that fixes that:
+//!
+//! * [`pool`] — a reusable scoped-worker thread pool ([`WorkerPool`]) with
+//!   the worker count configurable through the `HAQJSK_THREADS` environment
+//!   variable,
+//! * [`gram`] + [`engine`] — a tiled job scheduler computing Gram matrices
+//!   in cache-friendly blocks, a serial reference path, and an
+//!   **incremental extension** API appending out-of-sample rows/columns to
+//!   an existing Gram matrix for streaming workloads ([`Engine`]),
+//! * [`cache`] — a per-graph feature cache ([`FeatureCache`]) keyed by a
+//!   structural graph hash ([`hash::graph_key`]), memoising expensive
+//!   per-graph state with exactly-once compute semantics and hit/miss
+//!   instrumentation,
+//! * [`json`] + [`serve`] — the JSON-lines TCP serving substrate used by the
+//!   `haqjsk-serve` binary (transport loop, graph wire format, dependency-
+//!   free JSON).
+//!
+//! Higher layers route through [`Engine::global`]:
+//! `haqjsk-kernels::kernel::gram_from_pairwise` (the default Gram path of
+//! every [`GraphKernel`](../haqjsk_kernels/trait.GraphKernel.html)),
+//! `haqjsk-core`'s `HaqjskModel::gram_matrix`, and the benchmark binaries.
+
+pub mod cache;
+pub mod engine;
+pub mod gram;
+pub mod hash;
+pub mod json;
+pub mod pool;
+pub mod serve;
+
+pub use cache::{CacheStats, FeatureCache};
+pub use engine::Engine;
+pub use hash::{graph_key, GraphKey};
+pub use json::Json;
+pub use pool::{default_thread_count, WorkerPool, THREADS_ENV_VAR};
+pub use serve::{graph_from_json, graph_to_json, Handler, Server};

@@ -1,0 +1,260 @@
+//! The JSON-lines TCP serving substrate.
+//!
+//! Protocol: one JSON object per line, one response line per request, over a
+//! plain `TcpStream`. The engine provides the transport loop and graph
+//! (de)serialisation; the `haqjsk-serve` binary (umbrella crate) wires in
+//! the model-level handlers (fit / transform / predict / save / load).
+//!
+//! ```text
+//! -> {"cmd":"ping"}
+//! <- {"ok":true,"pong":true}
+//! -> {"cmd":"fit","graphs":[{"n":4,"edges":[[0,1],[1,2],[2,3]]}, ...],"variant":"A"}
+//! <- {"ok":true,"num_graphs":32,"levels":3}
+//! ```
+//!
+//! Malformed lines never kill the connection: they produce
+//! `{"ok":false,"error":"..."}` responses.
+
+use crate::json::Json;
+use haqjsk_graph::Graph;
+use std::io::{BufRead, BufReader, Write};
+use std::net::{TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::thread;
+
+/// A request handler: maps one request value to one response value. Must be
+/// shareable across connection threads.
+pub trait Handler: Send + Sync + 'static {
+    /// Handles a single request.
+    fn handle(&self, request: &Json) -> Json;
+}
+
+impl<F> Handler for F
+where
+    F: Fn(&Json) -> Json + Send + Sync + 'static,
+{
+    fn handle(&self, request: &Json) -> Json {
+        self(request)
+    }
+}
+
+/// A running server: the listener address plus shutdown/bookkeeping handles.
+pub struct Server {
+    local_addr: std::net::SocketAddr,
+    shutdown: Arc<AtomicBool>,
+    connections: Arc<AtomicUsize>,
+    accept_thread: Option<thread::JoinHandle<()>>,
+}
+
+impl Server {
+    /// Binds `addr` (e.g. `"127.0.0.1:0"` for an ephemeral port) and serves
+    /// `handler` on a background accept thread, one thread per connection.
+    pub fn spawn(addr: &str, handler: Arc<dyn Handler>) -> std::io::Result<Server> {
+        let listener = TcpListener::bind(addr)?;
+        let local_addr = listener.local_addr()?;
+        let shutdown = Arc::new(AtomicBool::new(false));
+        let connections = Arc::new(AtomicUsize::new(0));
+
+        let accept_shutdown = Arc::clone(&shutdown);
+        let accept_connections = Arc::clone(&connections);
+        let accept_thread = thread::Builder::new()
+            .name("haqjsk-serve-accept".to_string())
+            .spawn(move || {
+                for stream in listener.incoming() {
+                    if accept_shutdown.load(Ordering::Acquire) {
+                        break;
+                    }
+                    let Ok(stream) = stream else { continue };
+                    accept_connections.fetch_add(1, Ordering::Relaxed);
+                    let handler = Arc::clone(&handler);
+                    let _ = thread::Builder::new()
+                        .name("haqjsk-serve-conn".to_string())
+                        .spawn(move || {
+                            let _ = serve_connection(stream, handler.as_ref());
+                        });
+                }
+            })?;
+
+        Ok(Server {
+            local_addr,
+            shutdown,
+            connections,
+            accept_thread: Some(accept_thread),
+        })
+    }
+
+    /// The bound address (useful with an ephemeral port).
+    pub fn local_addr(&self) -> std::net::SocketAddr {
+        self.local_addr
+    }
+
+    /// Number of connections accepted so far.
+    pub fn connections_accepted(&self) -> usize {
+        self.connections.load(Ordering::Relaxed)
+    }
+
+    /// Signals the accept loop to stop and unblocks it with a dummy
+    /// connection. Existing connections finish naturally.
+    pub fn shutdown(&mut self) {
+        self.shutdown.store(true, Ordering::Release);
+        // Unblock the blocking accept by connecting once.
+        let _ = TcpStream::connect(self.local_addr);
+        if let Some(handle) = self.accept_thread.take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for Server {
+    fn drop(&mut self) {
+        if self.accept_thread.is_some() {
+            self.shutdown();
+        }
+    }
+}
+
+/// Serves one connection: request line in, response line out, until EOF.
+pub fn serve_connection(stream: TcpStream, handler: &dyn Handler) -> std::io::Result<()> {
+    let mut writer = stream.try_clone()?;
+    let reader = BufReader::new(stream);
+    for line in reader.lines() {
+        let line = line?;
+        if line.trim().is_empty() {
+            continue;
+        }
+        let response = match Json::parse(&line) {
+            Ok(request) => handler.handle(&request),
+            Err(e) => error_response(&format!("malformed request: {e}")),
+        };
+        writer.write_all(response.to_string().as_bytes())?;
+        writer.write_all(b"\n")?;
+        writer.flush()?;
+    }
+    Ok(())
+}
+
+/// The standard `{"ok":false,"error":...}` response.
+pub fn error_response(message: &str) -> Json {
+    Json::obj([
+        ("ok", Json::Bool(false)),
+        ("error", Json::Str(message.to_string())),
+    ])
+}
+
+/// Serialises a graph for the wire:
+/// `{"n":N,"edges":[[u,v],...],"labels":[...]?}`.
+pub fn graph_to_json(graph: &Graph) -> Json {
+    let edges = graph
+        .edges()
+        .into_iter()
+        .map(|(u, v)| Json::Arr(vec![Json::Num(u as f64), Json::Num(v as f64)]))
+        .collect();
+    let mut pairs = vec![
+        ("n", Json::Num(graph.num_vertices() as f64)),
+        ("edges", Json::Arr(edges)),
+    ];
+    if let Some(labels) = graph.labels() {
+        pairs.push((
+            "labels",
+            Json::Arr(labels.iter().map(|&l| Json::Num(l as f64)).collect()),
+        ));
+    }
+    Json::obj(pairs)
+}
+
+/// Restores a graph from its wire form.
+pub fn graph_from_json(value: &Json) -> Result<Graph, String> {
+    let n = value
+        .get("n")
+        .and_then(Json::as_usize)
+        .ok_or("graph needs a non-negative integer field 'n'")?;
+    let edges_json = value
+        .get("edges")
+        .and_then(Json::as_array)
+        .ok_or("graph needs an array field 'edges'")?;
+    let mut edges = Vec::with_capacity(edges_json.len());
+    for e in edges_json {
+        let pair = e
+            .as_array()
+            .ok_or("each edge must be a two-element array")?;
+        if pair.len() != 2 {
+            return Err("each edge must be a two-element array".to_string());
+        }
+        let u = pair[0].as_usize().ok_or("edge endpoints must be indices")?;
+        let v = pair[1].as_usize().ok_or("edge endpoints must be indices")?;
+        edges.push((u, v));
+    }
+    let mut graph = Graph::from_edges(n, &edges).map_err(|e| format!("invalid graph: {e:?}"))?;
+    if let Some(labels_json) = value.get("labels") {
+        let labels_arr = labels_json
+            .as_array()
+            .ok_or("'labels' must be an array of integers")?;
+        let labels = labels_arr
+            .iter()
+            .map(|l| l.as_usize().ok_or("labels must be non-negative integers"))
+            .collect::<Result<Vec<_>, _>>()?;
+        graph
+            .set_labels(labels)
+            .map_err(|e| format!("invalid labels: {e:?}"))?;
+    }
+    Ok(graph)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use haqjsk_graph::generators::{cycle_graph, star_graph};
+    use std::io::{BufRead, BufReader, Write};
+
+    #[test]
+    fn graph_json_roundtrip() {
+        let mut g = cycle_graph(6);
+        g.set_labels(vec![0, 1, 0, 1, 0, 1]).unwrap();
+        let wire = graph_to_json(&g);
+        let back = graph_from_json(&wire).unwrap();
+        assert_eq!(back, g);
+        let unlabelled = star_graph(5);
+        assert_eq!(
+            graph_from_json(&graph_to_json(&unlabelled)).unwrap(),
+            unlabelled
+        );
+    }
+
+    #[test]
+    fn graph_from_json_rejects_garbage() {
+        assert!(graph_from_json(&Json::Null).is_err());
+        assert!(graph_from_json(&Json::parse(r#"{"n":2}"#).unwrap()).is_err());
+        assert!(graph_from_json(&Json::parse(r#"{"n":2,"edges":[[0]]}"#).unwrap()).is_err());
+        assert!(graph_from_json(&Json::parse(r#"{"n":2,"edges":[[0,5]]}"#).unwrap()).is_err());
+    }
+
+    #[test]
+    fn server_answers_over_loopback() {
+        let handler: Arc<dyn Handler> = Arc::new(|request: &Json| {
+            let echo = request.get("echo").cloned().unwrap_or(Json::Null);
+            Json::obj([("ok", Json::Bool(true)), ("echo", echo)])
+        });
+        let mut server = Server::spawn("127.0.0.1:0", handler).unwrap();
+        let stream = TcpStream::connect(server.local_addr()).unwrap();
+        let mut writer = stream.try_clone().unwrap();
+        let mut reader = BufReader::new(stream);
+
+        writer.write_all(b"{\"echo\":41}\n").unwrap();
+        let mut line = String::new();
+        reader.read_line(&mut line).unwrap();
+        let response = Json::parse(line.trim()).unwrap();
+        assert_eq!(response.get("ok").and_then(Json::as_bool), Some(true));
+        assert_eq!(response.get("echo").and_then(Json::as_f64), Some(41.0));
+
+        // Malformed input keeps the connection alive with an error reply.
+        line.clear();
+        writer.write_all(b"this is not json\n").unwrap();
+        reader.read_line(&mut line).unwrap();
+        let response = Json::parse(line.trim()).unwrap();
+        assert_eq!(response.get("ok").and_then(Json::as_bool), Some(false));
+
+        assert!(server.connections_accepted() >= 1);
+        server.shutdown();
+    }
+}

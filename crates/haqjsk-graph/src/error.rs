@@ -52,6 +52,8 @@ mod tests {
         assert!(e.to_string().contains('9'));
         assert!(GraphError::SelfLoop(2).to_string().contains('2'));
         assert!(GraphError::Parse("bad".into()).to_string().contains("bad"));
-        assert!(GraphError::InvalidArgument("x".into()).to_string().contains('x'));
+        assert!(GraphError::InvalidArgument("x".into())
+            .to_string()
+            .contains('x'));
     }
 }

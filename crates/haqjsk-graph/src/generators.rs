@@ -180,7 +180,11 @@ pub fn stochastic_block_model(block_sizes: &[usize], p_in: f64, p_out: f64, seed
     let mut g = Graph::new(n);
     for i in 0..n {
         for j in (i + 1)..n {
-            let p = if block_of[i] == block_of[j] { p_in } else { p_out };
+            let p = if block_of[i] == block_of[j] {
+                p_in
+            } else {
+                p_out
+            };
             if rng.gen::<f64>() < p {
                 g.add_edge(i, j).expect("indices in range");
             }

@@ -10,11 +10,10 @@
 use crate::error::GraphError;
 use crate::Result;
 use haqjsk_linalg::Matrix;
-use serde::{Deserialize, Serialize};
 use std::collections::BTreeSet;
 
 /// A simple undirected graph with optional integer vertex labels.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Graph {
     num_vertices: usize,
     /// Sorted adjacency sets, one per vertex.

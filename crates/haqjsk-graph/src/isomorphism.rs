@@ -113,7 +113,14 @@ pub fn find_isomorphism(a: &Graph, b: &Graph) -> Option<Vec<usize>> {
     }
 
     if backtrack(
-        a, b, &labels_a, &labels_b, &order, 0, &mut mapping, &mut used_b,
+        a,
+        b,
+        &labels_a,
+        &labels_b,
+        &order,
+        0,
+        &mut mapping,
+        &mut used_b,
     ) {
         Some(mapping)
     } else {

@@ -14,7 +14,7 @@
 //!   ([`generators`]),
 //! * structural analysis helpers (degree statistics, connectivity,
 //!   diameter) ([`analysis`]),
-//! * a simple text serialisation format plus serde support ([`io`]).
+//! * a simple text serialisation format ([`io`]).
 
 pub mod analysis;
 pub mod error;

@@ -7,8 +7,7 @@ use haqjsk_graph::{analysis, io, Graph};
 use proptest::prelude::*;
 
 fn random_graph_strategy() -> impl Strategy<Value = Graph> {
-    (3usize..20, 0.05f64..0.8, 0u64..1000)
-        .prop_map(|(n, p, seed)| erdos_renyi(n, p, seed))
+    (3usize..20, 0.05f64..0.8, 0u64..1000).prop_map(|(n, p, seed)| erdos_renyi(n, p, seed))
 }
 
 proptest! {

@@ -1,0 +1,93 @@
+//! Process-global caching of per-graph quantum features.
+//!
+//! The quantum baselines (QJSK, JTQK) pay an `O(n³)` eigendecomposition per
+//! CTQW density matrix. The density matrix depends only on the graph, so the
+//! engine's [`FeatureCache`] memoises it under the structural graph hash:
+//! within one Gram computation each graph's density is computed exactly
+//! once, and across calls (cross-validation repetitions, serving requests
+//! touching the same graphs) previously seen graphs are free.
+//!
+//! The cache grows with the number of distinct graphs seen; long-running
+//! processes serving unbounded streams should call [`clear_density_cache`]
+//! at dataset boundaries (eviction policies are a ROADMAP item).
+
+use haqjsk_engine::{graph_key, CacheStats, Engine, FeatureCache};
+use haqjsk_graph::Graph;
+use haqjsk_quantum::{ctqw_density_infinite, DensityMatrix};
+use std::sync::{Arc, OnceLock};
+
+static DENSITY_CACHE: OnceLock<FeatureCache<DensityMatrix>> = OnceLock::new();
+
+/// The process-global CTQW density-matrix cache.
+pub fn density_cache() -> &'static FeatureCache<DensityMatrix> {
+    DENSITY_CACHE.get_or_init(FeatureCache::new)
+}
+
+/// The cached time-averaged CTQW density matrix of `graph`, computed on
+/// first request. Panics on empty graphs (as the uncached path does).
+pub fn cached_ctqw_density(graph: &Graph) -> Arc<DensityMatrix> {
+    density_cache().get_or_compute(graph_key(graph), || {
+        ctqw_density_infinite(graph).expect("non-empty graph")
+    })
+}
+
+/// Cached density matrices for a whole dataset, computed in parallel on the
+/// engine's worker pool (each distinct graph exactly once).
+pub fn cached_ctqw_densities(graphs: &[Graph]) -> Vec<Arc<DensityMatrix>> {
+    Engine::global().map(graphs.len(), |i| cached_ctqw_density(&graphs[i]))
+}
+
+/// Hit/miss/entry counters of the density cache.
+pub fn density_cache_stats() -> CacheStats {
+    density_cache().stats()
+}
+
+/// Drops all cached density matrices and resets the counters.
+pub fn clear_density_cache() {
+    density_cache().clear();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use haqjsk_graph::generators::{cycle_graph, path_graph};
+
+    #[test]
+    fn cached_density_matches_direct_computation() {
+        let g = cycle_graph(7);
+        let cached = cached_ctqw_density(&g);
+        let direct = ctqw_density_infinite(&g).unwrap();
+        assert_eq!(cached.matrix(), direct.matrix());
+    }
+
+    #[test]
+    fn repeated_requests_hit_the_cache() {
+        let g = path_graph(9);
+        let first = cached_ctqw_density(&g);
+        let before = density_cache_stats();
+        let second = cached_ctqw_density(&g);
+        let after = density_cache_stats();
+        assert_eq!(first.matrix(), second.matrix());
+        assert_eq!(after.hits, before.hits + 1);
+        assert_eq!(after.misses, before.misses);
+    }
+
+    #[test]
+    fn batch_extraction_caches_every_graph() {
+        let graphs: Vec<Graph> = (4..10).map(cycle_graph).collect();
+        let densities = cached_ctqw_densities(&graphs);
+        assert_eq!(densities.len(), graphs.len());
+        for (g, rho) in graphs.iter().zip(&densities) {
+            assert_eq!(rho.dim(), g.num_vertices());
+        }
+        // A second pass is answered from the cache entirely.
+        let before = density_cache_stats();
+        let again = cached_ctqw_densities(&graphs);
+        let after = density_cache_stats();
+        assert_eq!(after.misses, before.misses);
+        assert_eq!(after.hits, before.hits + graphs.len());
+        for (a, b) in densities.iter().zip(&again) {
+            assert_eq!(a.matrix(), b.matrix());
+        }
+    }
+}

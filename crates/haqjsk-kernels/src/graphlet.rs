@@ -95,14 +95,14 @@ impl GraphletKernel {
         let mut sorted = degree;
         sorted.sort_unstable();
         match (edges, sorted) {
-            (3, [1, 1, 1, 3]) => Some(1),          // star
-            (3, [1, 1, 2, 2]) => Some(0),          // path
-            (3, _) => None,                         // triangle + isolated handled above
-            (4, [1, 2, 2, 3]) => Some(3),          // tadpole / paw
-            (4, [2, 2, 2, 2]) => Some(2),          // 4-cycle
-            (5, _) => Some(4),                      // diamond
-            (6, _) => Some(5),                      // clique K4
-            _ => None,                              // 2 disjoint edges etc.
+            (3, [1, 1, 1, 3]) => Some(1), // star
+            (3, [1, 1, 2, 2]) => Some(0), // path
+            (3, _) => None,               // triangle + isolated handled above
+            (4, [1, 2, 2, 3]) => Some(3), // tadpole / paw
+            (4, [2, 2, 2, 2]) => Some(2), // 4-cycle
+            (5, _) => Some(4),            // diamond
+            (6, _) => Some(5),            // clique K4
+            _ => None,                    // 2 disjoint edges etc.
         }
     }
 
@@ -191,16 +191,27 @@ impl GraphKernel for GraphletKernel {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use haqjsk_graph::generators::{complete_graph, cycle_graph, erdos_renyi, path_graph, star_graph};
+    use haqjsk_graph::generators::{
+        complete_graph, cycle_graph, erdos_renyi, path_graph, star_graph,
+    };
 
     #[test]
     fn three_graphlets_of_triangle_and_path() {
         let triangle = complete_graph(3);
-        assert_eq!(GraphletKernel::count_3_graphlets(&triangle), [0.0, 0.0, 0.0, 1.0]);
+        assert_eq!(
+            GraphletKernel::count_3_graphlets(&triangle),
+            [0.0, 0.0, 0.0, 1.0]
+        );
         let path = path_graph(3);
-        assert_eq!(GraphletKernel::count_3_graphlets(&path), [0.0, 0.0, 1.0, 0.0]);
+        assert_eq!(
+            GraphletKernel::count_3_graphlets(&path),
+            [0.0, 0.0, 1.0, 0.0]
+        );
         let empty = Graph::new(3);
-        assert_eq!(GraphletKernel::count_3_graphlets(&empty), [1.0, 0.0, 0.0, 0.0]);
+        assert_eq!(
+            GraphletKernel::count_3_graphlets(&empty),
+            [1.0, 0.0, 0.0, 0.0]
+        );
     }
 
     #[test]
@@ -232,7 +243,10 @@ mod tests {
         let counts = kernel.count_4_graphlets(&s4);
         assert_eq!(counts[1], 1.0);
         // Graphs with fewer than four vertices have no 4-graphlets.
-        assert_eq!(kernel.count_4_graphlets(&path_graph(3)).iter().sum::<f64>(), 0.0);
+        assert_eq!(
+            kernel.count_4_graphlets(&path_graph(3)).iter().sum::<f64>(),
+            0.0
+        );
     }
 
     #[test]
@@ -257,7 +271,10 @@ mod tests {
         for t in 0..NUM_4_GRAPHLETS {
             let pe = exact[t] / exact_total;
             let ps = sampled[t] / sampled_total;
-            assert!((pe - ps).abs() < 0.15, "type {t}: exact {pe} vs sampled {ps}");
+            assert!(
+                (pe - ps).abs() < 0.15,
+                "type {t}: exact {pe} vs sampled {ps}"
+            );
         }
     }
 
@@ -273,7 +290,12 @@ mod tests {
     #[test]
     fn gram_is_psd_and_matches_pairwise() {
         let kernel = GraphletKernel::three_only();
-        let graphs = vec![path_graph(6), cycle_graph(6), star_graph(6), complete_graph(5)];
+        let graphs = vec![
+            path_graph(6),
+            cycle_graph(6),
+            star_graph(6),
+            complete_graph(5),
+        ];
         let gram = kernel.gram_matrix(&graphs);
         assert!(gram.is_positive_semidefinite(1e-9).unwrap());
         for i in 0..graphs.len() {

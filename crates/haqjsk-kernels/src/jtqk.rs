@@ -13,7 +13,7 @@
 use crate::kernel::GraphKernel;
 use crate::wl::WeisfeilerLehmanKernel;
 use haqjsk_graph::Graph;
-use haqjsk_quantum::{ctqw_density_infinite, DensityMatrix};
+use haqjsk_quantum::DensityMatrix;
 
 /// Tsallis q-entropy of a probability spectrum:
 /// `S_q(p) = (1 - Σ_i p_i^q) / (q - 1)`, recovering the von Neumann /
@@ -71,8 +71,8 @@ impl JensenTsallisKernel {
     /// The global (quantum) factor: `exp(-JT_q(ρ_p, ρ_q))` with zero-padded
     /// density matrices.
     pub fn quantum_factor(&self, a: &Graph, b: &Graph) -> f64 {
-        let rho_a = ctqw_density_infinite(a).expect("non-empty graph");
-        let rho_b = ctqw_density_infinite(b).expect("non-empty graph");
+        let rho_a = crate::features::cached_ctqw_density(a);
+        let rho_b = crate::features::cached_ctqw_density(b);
         let n = rho_a.dim().max(rho_b.dim());
         let pa = rho_a.zero_pad(n).expect("padding up never fails");
         let pb = rho_b.zero_pad(n).expect("padding up never fails");
@@ -140,7 +140,10 @@ mod tests {
         let self_sim = kernel.compute(&g, &g);
         let cross = kernel.compute(&g, &h);
         assert!(self_sim > cross);
-        assert!((self_sim - 1.0).abs() < 1e-9, "normalised local factor + zero JT difference");
+        assert!(
+            (self_sim - 1.0).abs() < 1e-9,
+            "normalised local factor + zero JT difference"
+        );
     }
 
     #[test]

@@ -1,16 +1,18 @@
-//! The [`GraphKernel`] trait and the parallel Gram-matrix builder.
+//! The [`GraphKernel`] trait and the Gram-matrix builders.
 //!
 //! Every kernel in the workspace (the baselines in this crate and the HAQJSK
 //! kernels in `haqjsk-core`) exposes the same two operations: a pairwise
-//! kernel value and a Gram matrix over a dataset. The default Gram
-//! implementation evaluates the `n(n+1)/2` pairs with scoped worker threads
-//! (crossbeam) because the quantum kernels pay an `O(n³)` eigendecomposition
-//! per pair and datasets contain hundreds to thousands of graphs.
+//! kernel value and a Gram matrix over a dataset. All Gram computation is
+//! routed through the shared [`Engine`](haqjsk_engine::Engine) — a
+//! process-global worker pool with a tiled scheduler — because the quantum
+//! kernels pay an `O(n³)` eigendecomposition per pair and datasets contain
+//! hundreds to thousands of graphs. The worker count is controlled by the
+//! `HAQJSK_THREADS` environment variable.
 
 use crate::matrix::KernelMatrix;
+use haqjsk_engine::Engine;
 use haqjsk_graph::Graph;
 use haqjsk_linalg::Matrix;
-use parking_lot::Mutex;
 
 /// A positive (or, for some baselines, indefinite) similarity measure between
 /// pairs of graphs.
@@ -22,7 +24,7 @@ pub trait GraphKernel: Sync {
     fn compute(&self, a: &Graph, b: &Graph) -> f64;
 
     /// Gram matrix over a dataset. The default implementation evaluates all
-    /// pairs (in parallel when `threads > 1` would help); kernels that can
+    /// pairs on the engine's tiled parallel scheduler; kernels that can
     /// factor through explicit feature maps override this with something
     /// cheaper.
     fn gram_matrix(&self, graphs: &[Graph]) -> KernelMatrix {
@@ -30,61 +32,23 @@ pub trait GraphKernel: Sync {
     }
 }
 
-/// Number of worker threads used for pairwise Gram computations.
-fn worker_count(total_pairs: usize) -> usize {
-    let cores = std::thread::available_parallelism()
-        .map(|n| n.get())
-        .unwrap_or(1);
-    cores.min(total_pairs.max(1)).min(16)
-}
-
 /// Builds a Gram matrix by evaluating `f` on every unordered pair of graphs,
-/// distributing pairs over scoped worker threads.
+/// scheduled in tiles over the engine's worker pool.
 pub fn gram_from_pairwise<F>(graphs: &[Graph], f: F) -> KernelMatrix
 where
     F: Fn(&Graph, &Graph) -> f64 + Sync,
 {
-    let n = graphs.len();
-    let mut values = Matrix::zeros(n, n);
-    if n == 0 {
-        return KernelMatrix::new(values).expect("empty matrix is valid");
-    }
+    gram_from_indexed(graphs.len(), |i, j| f(&graphs[i], &graphs[j]))
+}
 
-    // Enumerate the upper-triangular pairs once, then let workers pull chunks.
-    let pairs: Vec<(usize, usize)> = (0..n)
-        .flat_map(|i| (i..n).map(move |j| (i, j)))
-        .collect();
-    let results = Mutex::new(vec![0.0_f64; pairs.len()]);
-    let next = std::sync::atomic::AtomicUsize::new(0);
-    let workers = worker_count(pairs.len());
-    let chunk = 16usize;
-
-    crossbeam::scope(|scope| {
-        for _ in 0..workers {
-            scope.spawn(|_| {
-                loop {
-                    let start = next.fetch_add(chunk, std::sync::atomic::Ordering::Relaxed);
-                    if start >= pairs.len() {
-                        break;
-                    }
-                    let end = (start + chunk).min(pairs.len());
-                    let mut local = Vec::with_capacity(end - start);
-                    for &(i, j) in &pairs[start..end] {
-                        local.push(f(&graphs[i], &graphs[j]));
-                    }
-                    let mut guard = results.lock();
-                    guard[start..end].copy_from_slice(&local);
-                }
-            });
-        }
-    })
-    .expect("kernel worker thread panicked");
-
-    let results = results.into_inner();
-    for (&(i, j), &v) in pairs.iter().zip(results.iter()) {
-        values[(i, j)] = v;
-        values[(j, i)] = v;
-    }
+/// Builds a Gram matrix from an index-pair kernel function — the preferred
+/// entry point when per-item features are precomputed, since it avoids any
+/// graph-to-index lookup in the hot pair loop.
+pub fn gram_from_indexed<F>(n: usize, f: F) -> KernelMatrix
+where
+    F: Fn(usize, usize) -> f64 + Sync,
+{
+    let values = Engine::global().gram(n, f);
     KernelMatrix::new(values).expect("pairwise construction is symmetric")
 }
 
@@ -165,12 +129,16 @@ mod tests {
     }
 
     #[test]
+    fn indexed_gram_matches_engine_serial_path() {
+        let f = |i: usize, j: usize| (i * 7 + j * 3) as f64;
+        let gram = gram_from_indexed(9, f);
+        let serial = Engine::gram_serial(9, f);
+        assert_eq!(gram.matrix(), &serial);
+    }
+
+    #[test]
     fn feature_gram_is_linear_kernel() {
-        let features = vec![
-            vec![1.0, 0.0, 2.0],
-            vec![0.0, 3.0, 1.0],
-            vec![1.0, 1.0],
-        ];
+        let features = vec![vec![1.0, 0.0, 2.0], vec![0.0, 3.0, 1.0], vec![1.0, 1.0]];
         let gram = gram_from_features(&features);
         assert_eq!(gram.get(0, 0), 5.0);
         assert_eq!(gram.get(0, 1), 2.0);

@@ -17,13 +17,16 @@
 //! * the **depth-based aligned kernel** in the spirit of the ASK/DBAK family
 //!   ([`depth_based`]),
 //!
-//! together with the [`GraphKernel`] trait, a parallel Gram-matrix builder,
-//! and the [`KernelMatrix`] type with normalisation / centring / positive
+//! together with the [`GraphKernel`] trait, the engine-backed Gram-matrix
+//! builders ([`kernel`], routed through `haqjsk-engine`'s tiled parallel
+//! scheduler), the process-global CTQW density cache ([`features`]), and the
+//! [`KernelMatrix`] type with normalisation / centring / positive
 //! semidefiniteness checks ([`matrix`]). The static property tables of the
 //! paper (Table I and Table III) live in [`properties`].
 
 pub mod depth_based;
 pub mod embedding;
+pub mod features;
 pub mod graphlet;
 pub mod jtqk;
 pub mod kernel;
@@ -37,6 +40,7 @@ pub mod wl;
 
 pub use depth_based::DepthBasedAlignedKernel;
 pub use embedding::{kernel_distance_matrix, kernel_pca, KernelPca};
+pub use features::{cached_ctqw_densities, cached_ctqw_density, density_cache_stats};
 pub use graphlet::GraphletKernel;
 pub use jtqk::JensenTsallisKernel;
 pub use kernel::GraphKernel;

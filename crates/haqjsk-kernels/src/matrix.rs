@@ -210,10 +210,9 @@ mod tests {
         let k = toy_kernel();
         assert!(k.is_positive_semidefinite(1e-9).unwrap());
         // An indefinite symmetric matrix.
-        let indef = KernelMatrix::new(
-            Matrix::from_rows(&[vec![0.0, 1.0], vec![1.0, 0.0]]).unwrap(),
-        )
-        .unwrap();
+        let indef =
+            KernelMatrix::new(Matrix::from_rows(&[vec![0.0, 1.0], vec![1.0, 0.0]]).unwrap())
+                .unwrap();
         assert!(indef.min_eigenvalue().unwrap() < 0.0);
         assert!(!indef.is_positive_semidefinite(1e-9).unwrap());
         let fixed = indef.project_psd().unwrap();

@@ -159,13 +159,9 @@ mod tests {
         let kernel = WeisfeilerLehmanKernel::new(2);
         let exact = kernel.gram_matrix(&graphs);
         // Using every graph as a landmark the approximation is exact.
-        let nystrom = NystromApproximation::fit(
-            &kernel,
-            &graphs,
-            graphs.len(),
-            LandmarkSelection::First,
-        )
-        .unwrap();
+        let nystrom =
+            NystromApproximation::fit(&kernel, &graphs, graphs.len(), LandmarkSelection::First)
+                .unwrap();
         let approx = nystrom.reconstruct().unwrap();
         let err = (approx.matrix() - exact.matrix()).max_abs();
         let scale = exact.matrix().max_abs();
@@ -177,13 +173,9 @@ mod tests {
         let graphs = dataset();
         let kernel = WeisfeilerLehmanKernel::new(2);
         let exact = kernel.gram_matrix(&graphs);
-        let nystrom = NystromApproximation::fit(
-            &kernel,
-            &graphs,
-            8,
-            LandmarkSelection::Uniform { seed: 3 },
-        )
-        .unwrap();
+        let nystrom =
+            NystromApproximation::fit(&kernel, &graphs, 8, LandmarkSelection::Uniform { seed: 3 })
+                .unwrap();
         assert_eq!(nystrom.num_landmarks(), 8);
         assert_eq!(nystrom.len(), graphs.len());
         assert!(!nystrom.is_empty());
@@ -191,8 +183,8 @@ mod tests {
         assert!(approx.is_positive_semidefinite(1e-6).unwrap());
         // The dataset only contains four structural families, so a rank-8
         // approximation should capture most of the Gram matrix.
-        let rel_err = (approx.matrix() - exact.matrix()).frobenius_norm()
-            / exact.matrix().frobenius_norm();
+        let rel_err =
+            (approx.matrix() - exact.matrix()).frobenius_norm() / exact.matrix().frobenius_norm();
         assert!(rel_err < 0.25, "relative Frobenius error {rel_err}");
     }
 
@@ -216,13 +208,9 @@ mod tests {
         let first =
             NystromApproximation::fit(&kernel, &graphs, 4, LandmarkSelection::First).unwrap();
         assert_eq!(first.landmarks, vec![0, 1, 2, 3]);
-        let uniform = NystromApproximation::fit(
-            &kernel,
-            &graphs,
-            4,
-            LandmarkSelection::Uniform { seed: 11 },
-        )
-        .unwrap();
+        let uniform =
+            NystromApproximation::fit(&kernel, &graphs, 4, LandmarkSelection::Uniform { seed: 11 })
+                .unwrap();
         assert_eq!(uniform.num_landmarks(), 4);
         // Landmarks are valid, sorted and unique.
         for w in uniform.landmarks.windows(2) {
@@ -231,8 +219,7 @@ mod tests {
         assert!(uniform.landmarks.iter().all(|&l| l < graphs.len()));
         // Requesting more landmarks than graphs clamps.
         let clamped =
-            NystromApproximation::fit(&kernel, &graphs[..3], 10, LandmarkSelection::First)
-                .unwrap();
+            NystromApproximation::fit(&kernel, &graphs[..3], 10, LandmarkSelection::First).unwrap();
         assert_eq!(clamped.num_landmarks(), 3);
         // Empty datasets are rejected.
         assert!(NystromApproximation::fit(&kernel, &[], 2, LandmarkSelection::First).is_err());

@@ -242,7 +242,9 @@ mod tests {
             .map(|r| r.name)
             .collect();
         assert_eq!(aligned_and_transitive, vec!["HAQJSK(A)", "HAQJSK(D)"]);
-        assert!(rows.iter().any(|r| r.name == "WLSK" && r.computing_model == "Classical"));
+        assert!(rows
+            .iter()
+            .any(|r| r.name == "WLSK" && r.computing_model == "Classical"));
     }
 
     #[test]

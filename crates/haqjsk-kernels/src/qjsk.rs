@@ -13,12 +13,13 @@
 //!   kernel is still not guaranteed positive definite — exactly the drawback
 //!   the HAQJSK kernels remove.
 
-use crate::kernel::{gram_from_pairwise, GraphKernel};
+use crate::features::{cached_ctqw_densities, cached_ctqw_density};
+use crate::kernel::{gram_from_indexed, GraphKernel};
 use crate::matrix::KernelMatrix;
 use haqjsk_graph::Graph;
 use haqjsk_linalg::assignment::hungarian_max;
 use haqjsk_linalg::{symmetric_eigen, Matrix};
-use haqjsk_quantum::{ctqw_density_infinite, qjsd, DensityMatrix};
+use haqjsk_quantum::{qjsd, DensityMatrix};
 
 /// The unaligned QJSK kernel of Eq. (9).
 #[derive(Debug, Clone)]
@@ -54,27 +55,17 @@ impl GraphKernel for QjskUnaligned {
     }
 
     fn compute(&self, a: &Graph, b: &Graph) -> f64 {
-        let rho_a = ctqw_density_infinite(a).expect("non-empty graph");
-        let rho_b = ctqw_density_infinite(b).expect("non-empty graph");
+        let rho_a = cached_ctqw_density(a);
+        let rho_b = cached_ctqw_density(b);
         self.kernel_from_densities(&rho_a, &rho_b)
     }
 
     fn gram_matrix(&self, graphs: &[Graph]) -> KernelMatrix {
-        // Densities are per-graph, so compute them once rather than per pair.
-        let densities: Vec<DensityMatrix> = graphs
-            .iter()
-            .map(|g| ctqw_density_infinite(g).expect("non-empty graph"))
-            .collect();
-        let indexed: Vec<(usize, &Graph)> = graphs.iter().enumerate().collect();
-        let lookup = |g: &Graph| -> usize {
-            indexed
-                .iter()
-                .find(|(_, h)| std::ptr::eq(*h, g))
-                .map(|(i, _)| *i)
-                .expect("graph belongs to the dataset")
-        };
-        gram_from_pairwise(graphs, |a, b| {
-            self.kernel_from_densities(&densities[lookup(a)], &densities[lookup(b)])
+        // Densities are per-graph: the engine cache computes each one once
+        // (in parallel), then the tiled pair loop only reads them.
+        let densities = cached_ctqw_densities(graphs);
+        gram_from_indexed(graphs.len(), |i, j| {
+            self.kernel_from_densities(&densities[i], &densities[j])
         })
     }
 }
@@ -142,26 +133,15 @@ impl GraphKernel for QjskAligned {
     }
 
     fn compute(&self, a: &Graph, b: &Graph) -> f64 {
-        let rho_a = ctqw_density_infinite(a).expect("non-empty graph");
-        let rho_b = ctqw_density_infinite(b).expect("non-empty graph");
+        let rho_a = cached_ctqw_density(a);
+        let rho_b = cached_ctqw_density(b);
         self.kernel_from_densities(&rho_a, &rho_b)
     }
 
     fn gram_matrix(&self, graphs: &[Graph]) -> KernelMatrix {
-        let densities: Vec<DensityMatrix> = graphs
-            .iter()
-            .map(|g| ctqw_density_infinite(g).expect("non-empty graph"))
-            .collect();
-        let indexed: Vec<(usize, &Graph)> = graphs.iter().enumerate().collect();
-        let lookup = |g: &Graph| -> usize {
-            indexed
-                .iter()
-                .find(|(_, h)| std::ptr::eq(*h, g))
-                .map(|(i, _)| *i)
-                .expect("graph belongs to the dataset")
-        };
-        gram_from_pairwise(graphs, |a, b| {
-            self.kernel_from_densities(&densities[lookup(a)], &densities[lookup(b)])
+        let densities = cached_ctqw_densities(graphs);
+        gram_from_indexed(graphs.len(), |i, j| {
+            self.kernel_from_densities(&densities[i], &densities[j])
         })
     }
 }
@@ -184,7 +164,10 @@ mod tests {
     fn values_lie_in_unit_interval_and_are_symmetric() {
         let g1 = path_graph(5);
         let g2 = star_graph(7);
-        for kernel in [&QjskUnaligned::default() as &dyn GraphKernel, &QjskAligned::default()] {
+        for kernel in [
+            &QjskUnaligned::default() as &dyn GraphKernel,
+            &QjskAligned::default(),
+        ] {
             let v12 = kernel.compute(&g1, &g2);
             let v21 = kernel.compute(&g2, &g1);
             assert!((v12 - v21).abs() < 1e-9, "{}", kernel.name());
@@ -228,7 +211,7 @@ mod tests {
     #[test]
     fn umeyama_match_recovers_identity_for_identical_matrices() {
         let g = path_graph(5);
-        let rho = ctqw_density_infinite(&g).unwrap();
+        let rho = haqjsk_quantum::ctqw_density_infinite(&g).unwrap();
         let perm = QjskAligned::umeyama_match(rho.matrix(), rho.matrix());
         // Must be a permutation; for identical inputs the profit is maximised
         // on (a) the identity or (b) an automorphism of the graph.

@@ -58,8 +58,7 @@ impl WeisfeilerLehmanKernel {
             for (gi, graph) in graphs.iter().enumerate() {
                 let mut updated = Vec::with_capacity(graph.num_vertices());
                 for v in 0..graph.num_vertices() {
-                    let mut neigh: Vec<u64> =
-                        graph.neighbors(v).map(|u| labels[gi][u]).collect();
+                    let mut neigh: Vec<u64> = graph.neighbors(v).map(|u| labels[gi][u]).collect();
                     neigh.sort_unstable();
                     let signature = format!("{}|{:?}", labels[gi][v], neigh);
                     let compressed = *dictionary.entry(signature).or_insert_with(|| {

@@ -107,9 +107,19 @@ mod tests {
 
     /// Brute force over all permutations; only usable for tiny n.
     fn brute_force_min(cost: &[f64], n: usize) -> f64 {
-        fn permute(remaining: &mut Vec<usize>, chosen: &mut Vec<usize>, best: &mut f64, cost: &[f64], n: usize) {
+        fn permute(
+            remaining: &mut Vec<usize>,
+            chosen: &mut Vec<usize>,
+            best: &mut f64,
+            cost: &[f64],
+            n: usize,
+        ) {
             if remaining.is_empty() {
-                let total: f64 = chosen.iter().enumerate().map(|(i, &j)| cost[i * n + j]).sum();
+                let total: f64 = chosen
+                    .iter()
+                    .enumerate()
+                    .map(|(i, &j)| cost[i * n + j])
+                    .sum();
                 if total < *best {
                     *best = total;
                 }
@@ -176,7 +186,9 @@ mod tests {
     fn matches_brute_force_on_random_instances() {
         let mut state: u64 = 7;
         let mut next = || {
-            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             (state >> 33) as f64 / (1u64 << 31) as f64
         };
         for n in 2..=5 {

@@ -272,7 +272,9 @@ mod tests {
     fn matmul_matches_real_matmul_for_real_input() {
         let a = Matrix::from_rows(&[vec![1.0, 2.0], vec![3.0, 4.0]]).unwrap();
         let b = Matrix::from_rows(&[vec![0.5, -1.0], vec![2.0, 0.0]]).unwrap();
-        let cc = CMatrix::from_real(&a).matmul(&CMatrix::from_real(&b)).unwrap();
+        let cc = CMatrix::from_real(&a)
+            .matmul(&CMatrix::from_real(&b))
+            .unwrap();
         let rr = a.matmul(&b).unwrap();
         assert!((&cc.real_part() - &rr).max_abs() < 1e-12);
         assert_eq!(cc.imag_part().max_abs(), 0.0);
@@ -291,10 +293,7 @@ mod tests {
     #[test]
     fn outer_product_is_hermitian_with_unit_trace_for_unit_state() {
         let inv_sqrt2 = 1.0 / 2.0_f64.sqrt();
-        let psi = vec![
-            Complex::new(inv_sqrt2, 0.0),
-            Complex::new(0.0, inv_sqrt2),
-        ];
+        let psi = vec![Complex::new(inv_sqrt2, 0.0), Complex::new(0.0, inv_sqrt2)];
         let rho = outer_product(&psi);
         // Hermitian: rho == rho†
         assert_eq!(rho.conj_transpose(), rho);

@@ -183,7 +183,11 @@ mod tests {
             let theta = k as f64 * std::f64::consts::PI / 4.0;
             let z = Complex::cis(theta);
             assert!((z.abs() - 1.0).abs() < 1e-12);
-            assert!((z.arg() - theta).abs() < 1e-12 || (z.arg() - theta + 2.0 * std::f64::consts::PI).abs() < 1e-9 || (z.arg() - theta - 2.0 * std::f64::consts::PI).abs() < 1e-9);
+            assert!(
+                (z.arg() - theta).abs() < 1e-12
+                    || (z.arg() - theta + 2.0 * std::f64::consts::PI).abs() < 1e-9
+                    || (z.arg() - theta - 2.0 * std::f64::consts::PI).abs() < 1e-9
+            );
         }
     }
 

@@ -446,7 +446,9 @@ mod tests {
         let n = 20;
         let mut state: u64 = 42;
         let mut next = || {
-            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             ((state >> 33) as f64 / (1u64 << 31) as f64) - 1.0
         };
         let mut m = Matrix::zeros(n, n);

@@ -58,9 +58,15 @@ impl fmt::Display for LinalgError {
             LinalgError::NoConvergence {
                 algorithm,
                 iterations,
-            } => write!(f, "{algorithm} did not converge after {iterations} iterations"),
+            } => write!(
+                f,
+                "{algorithm} did not converge after {iterations} iterations"
+            ),
             LinalgError::NotSymmetric { max_asymmetry } => {
-                write!(f, "matrix is not symmetric (max asymmetry {max_asymmetry:e})")
+                write!(
+                    f,
+                    "matrix is not symmetric (max asymmetry {max_asymmetry:e})"
+                )
             }
             LinalgError::InvalidArgument(msg) => write!(f, "invalid argument: {msg}"),
         }

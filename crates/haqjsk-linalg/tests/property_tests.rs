@@ -1,6 +1,6 @@
 //! Property-based tests for the linear-algebra substrate.
 
-use haqjsk_linalg::{symmetric_eigen, hungarian, Matrix};
+use haqjsk_linalg::{hungarian, symmetric_eigen, Matrix};
 use proptest::prelude::*;
 
 /// Strategy producing small random symmetric matrices.

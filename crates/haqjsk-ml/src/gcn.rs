@@ -73,9 +73,7 @@ impl GcnClassifier {
         for i in 0..n {
             a_hat[(i, i)] += 1.0;
         }
-        let degrees: Vec<f64> = (0..n)
-            .map(|i| a_hat.row(i).iter().sum::<f64>())
-            .collect();
+        let degrees: Vec<f64> = (0..n).map(|i| a_hat.row(i).iter().sum::<f64>()).collect();
         let mut norm = Matrix::zeros(n, n);
         for i in 0..n {
             for j in 0..n {
@@ -145,8 +143,16 @@ impl GcnClassifier {
             .map(|g| Self::prepare(g, &model.config))
             .collect();
 
-        let mut adam_conv = Adam::new(input_dim, model.config.hidden_dim, model.config.learning_rate);
-        let mut adam_out = Adam::new(model.config.hidden_dim, num_classes, model.config.learning_rate);
+        let mut adam_conv = Adam::new(
+            input_dim,
+            model.config.hidden_dim,
+            model.config.learning_rate,
+        );
+        let mut adam_out = Adam::new(
+            model.config.hidden_dim,
+            num_classes,
+            model.config.learning_rate,
+        );
         let mut adam_bias = Adam::new(1, num_classes, model.config.learning_rate);
 
         for _epoch in 0..model.config.epochs {

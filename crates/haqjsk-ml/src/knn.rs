@@ -43,7 +43,11 @@ impl KernelKnn {
     /// Predicts the class of one test item from its kernel row against the
     /// training items and its own self-similarity `K(t, t)`.
     pub fn predict(&self, kernel_row: &[f64], test_self_similarity: f64) -> usize {
-        assert_eq!(kernel_row.len(), self.labels.len(), "kernel row length mismatch");
+        assert_eq!(
+            kernel_row.len(),
+            self.labels.len(),
+            "kernel row length mismatch"
+        );
         // Collect (distance², index), take the k smallest.
         let mut distances: Vec<(f64, usize)> = kernel_row
             .iter()
@@ -71,7 +75,11 @@ impl KernelKnn {
 
     /// Predicts a block of test items. `kernel_block` is
     /// `num_test x num_train`; `test_self_similarities[t] = K(t, t)`.
-    pub fn predict_batch(&self, kernel_block: &Matrix, test_self_similarities: &[f64]) -> Vec<usize> {
+    pub fn predict_batch(
+        &self,
+        kernel_block: &Matrix,
+        test_self_similarities: &[f64],
+    ) -> Vec<usize> {
         assert_eq!(
             kernel_block.rows(),
             test_self_similarities.len(),
@@ -154,7 +162,10 @@ mod tests {
         let kernel = gaussian_kernel(&xs);
         let knn = KernelKnn::fit(&kernel, &labels, 50);
         // Majority of all points is class 0.
-        let row: Vec<f64> = xs.iter().map(|&x| (-(5.0 - x) * (5.0 - x) / 2.0_f64).exp()).collect();
+        let row: Vec<f64> = xs
+            .iter()
+            .map(|&x| (-(5.0 - x) * (5.0 - x) / 2.0_f64).exp())
+            .collect();
         assert_eq!(knn.predict(&row, 1.0), 0);
     }
 

@@ -19,7 +19,11 @@ pub fn accuracy(predictions: &[usize], truth: &[usize]) -> f64 {
 
 /// Confusion matrix indexed by `[true class][predicted class]` over the
 /// classes `0..num_classes`.
-pub fn confusion_matrix(predictions: &[usize], truth: &[usize], num_classes: usize) -> Vec<Vec<usize>> {
+pub fn confusion_matrix(
+    predictions: &[usize],
+    truth: &[usize],
+    num_classes: usize,
+) -> Vec<Vec<usize>> {
     assert_eq!(predictions.len(), truth.len(), "length mismatch");
     let mut matrix = vec![vec![0usize; num_classes]; num_classes];
     for (&p, &t) in predictions.iter().zip(truth.iter()) {
@@ -55,7 +59,11 @@ impl AccuracySummary {
 
 impl std::fmt::Display for AccuracySummary {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "{:.2} ± {:.2}", self.mean_percent, self.std_error_percent)
+        write!(
+            f,
+            "{:.2} ± {:.2}",
+            self.mean_percent, self.std_error_percent
+        )
     }
 }
 

@@ -110,10 +110,9 @@ impl OneVsOneSvm {
                 .expect("winner is a known class");
             votes[slot] += 1;
         }
-        let best = haqjsk_linalg::vector::argmax(
-            &votes.iter().map(|&v| v as f64).collect::<Vec<_>>(),
-        )
-        .expect("at least one class");
+        let best =
+            haqjsk_linalg::vector::argmax(&votes.iter().map(|&v| v as f64).collect::<Vec<_>>())
+                .expect("at least one class");
         self.classes[best]
     }
 
@@ -163,7 +162,10 @@ mod tests {
                 correct += 1;
             }
         }
-        assert!(correct as f64 / labels.len() as f64 > 0.95, "correct = {correct}");
+        assert!(
+            correct as f64 / labels.len() as f64 > 0.95,
+            "correct = {correct}"
+        );
     }
 
     #[test]
@@ -172,7 +174,10 @@ mod tests {
         let model = OneVsOneSvm::train(&kernel, &labels, &SvmConfig::with_c(10.0));
         // Test points right in the middle of each cluster.
         for (x, expected) in [(0.2, 0usize), (5.2, 1), (10.2, 2)] {
-            let row: Vec<f64> = xs.iter().map(|&t| (-(x - t) * (x - t) / 2.0_f64).exp()).collect();
+            let row: Vec<f64> = xs
+                .iter()
+                .map(|&t| (-(x - t) * (x - t) / 2.0_f64).exp())
+                .collect();
             assert_eq!(model.predict(&row), expected);
         }
     }

@@ -83,7 +83,11 @@ impl Adam {
 
     /// Applies one Adam update to `parameter` given its gradient.
     pub fn update(&mut self, parameter: &mut Matrix, gradient: &Matrix) {
-        assert_eq!(parameter.shape(), gradient.shape(), "gradient shape mismatch");
+        assert_eq!(
+            parameter.shape(),
+            gradient.shape(),
+            "gradient shape mismatch"
+        );
         self.step += 1;
         let t = self.step as f64;
         for idx in 0..parameter.data().len() {
@@ -138,7 +142,10 @@ mod tests {
     #[test]
     fn cross_entropy_and_one_hot() {
         let p = softmax(&[0.0, 0.0]);
-        assert!((cross_entropy(&p, 0) - 0.5_f64.recip().ln().abs()).abs() < 1e-9 || cross_entropy(&p, 0) > 0.0);
+        assert!(
+            (cross_entropy(&p, 0) - 0.5_f64.recip().ln().abs()).abs() < 1e-9
+                || cross_entropy(&p, 0) > 0.0
+        );
         assert_eq!(one_hot(1, 3), vec![0.0, 1.0, 0.0]);
         // Perfectly confident correct prediction has ~zero loss.
         assert!(cross_entropy(&[1.0, 0.0], 0) < 1e-9);

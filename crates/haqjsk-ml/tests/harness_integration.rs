@@ -22,7 +22,9 @@ fn dataset_and_kernel() -> (Vec<Graph>, Vec<usize>, haqjsk_kernels::KernelMatrix
         graphs.push(barabasi_albert(9 + i % 3, 2, i as u64));
         labels.push(1);
     }
-    let kernel = WeisfeilerLehmanKernel::new(3).gram_matrix(&graphs).normalized();
+    let kernel = WeisfeilerLehmanKernel::new(3)
+        .gram_matrix(&graphs)
+        .normalized();
     (graphs, labels, kernel)
 }
 

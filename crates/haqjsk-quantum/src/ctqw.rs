@@ -208,7 +208,12 @@ mod tests {
 
     #[test]
     fn density_matrix_is_valid_state() {
-        for g in [path_graph(5), cycle_graph(6), star_graph(7), complete_graph(4)] {
+        for g in [
+            path_graph(5),
+            cycle_graph(6),
+            star_graph(7),
+            complete_graph(4),
+        ] {
             let rho = ctqw_density_infinite(&g).unwrap();
             let m = rho.matrix();
             assert_eq!(rho.dim(), g.num_vertices());

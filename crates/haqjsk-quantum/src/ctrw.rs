@@ -38,7 +38,11 @@ pub fn ctrw_distribution(graph: &Graph, t: f64) -> Result<Vec<f64>, LinalgError>
 /// with `steps` midpoint samples. The classical analogue of the CTQW
 /// time-averaged density matrix; used only for the CTQW-vs-CTRW
 /// discrimination study.
-pub fn ctrw_average_kernel(graph: &Graph, horizon: f64, steps: usize) -> Result<Matrix, LinalgError> {
+pub fn ctrw_average_kernel(
+    graph: &Graph,
+    horizon: f64,
+    steps: usize,
+) -> Result<Matrix, LinalgError> {
     if steps == 0 || horizon <= 0.0 {
         return Err(LinalgError::InvalidArgument(
             "CTRW averaging needs a positive horizon and at least one step".to_string(),
@@ -129,6 +133,9 @@ mod tests {
         let rho_b = crate::ctqw::ctqw_density_infinite(&b).unwrap();
         let ha = crate::entropy::von_neumann_entropy(&rho_a);
         let hb = crate::entropy::von_neumann_entropy(&rho_b);
-        assert!((ha - hb).abs() > 1e-3, "CTQW entropies should differ: {ha} vs {hb}");
+        assert!(
+            (ha - hb).abs() > 1e-3,
+            "CTQW entropies should differ: {ha} vs {hb}"
+        );
     }
 }

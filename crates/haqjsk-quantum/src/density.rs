@@ -249,11 +249,15 @@ mod tests {
 
     #[test]
     fn permutation_preserves_spectrum_and_purity() {
-        let rho = DensityMatrix::from_unnormalized(&Matrix::from_rows(&[
-            vec![0.6, 0.2, 0.0],
-            vec![0.2, 0.3, 0.1],
-            vec![0.0, 0.1, 0.1],
-        ]).unwrap()).unwrap();
+        let rho = DensityMatrix::from_unnormalized(
+            &Matrix::from_rows(&[
+                vec![0.6, 0.2, 0.0],
+                vec![0.2, 0.3, 0.1],
+                vec![0.0, 0.1, 0.1],
+            ])
+            .unwrap(),
+        )
+        .unwrap();
         let p = rho.permute(&[2, 0, 1]).unwrap();
         assert!((p.purity() - rho.purity()).abs() < 1e-12);
         let s1 = rho.spectrum();

@@ -22,7 +22,11 @@ fn main() {
     for i in 0..8usize {
         graphs.push(haqjsk::graph::generators::cycle_graph(10 + i % 4));
         classes.push(0usize);
-        graphs.push(haqjsk::graph::generators::barabasi_albert(10 + i % 4, 2, i as u64));
+        graphs.push(haqjsk::graph::generators::barabasi_albert(
+            10 + i % 4,
+            2,
+            i as u64,
+        ));
         classes.push(1usize);
         graphs.push(haqjsk::graph::generators::stochastic_block_model(
             &[6 + i % 3, 6],
@@ -45,7 +49,10 @@ fn main() {
         HaqjskVariant::AlignedDensity,
     )
     .expect("dataset is non-empty");
-    let gram = model.gram_matrix(&graphs).expect("valid graphs").normalized();
+    let gram = model
+        .gram_matrix(&graphs)
+        .expect("valid graphs")
+        .normalized();
 
     // Kernel PCA embedding.
     let pca = kernel_pca(&gram, 2).expect("kernel matrix is symmetric");
@@ -65,9 +72,15 @@ fn main() {
             .map(|(coords, _)| coords)
             .collect();
         let mean_x: f64 = members.iter().map(|c| c[0]).sum::<f64>() / members.len() as f64;
-        let mean_y: f64 = members.iter().map(|c| c.get(1).copied().unwrap_or(0.0)).sum::<f64>()
+        let mean_y: f64 = members
+            .iter()
+            .map(|c| c.get(1).copied().unwrap_or(0.0))
+            .sum::<f64>()
             / members.len() as f64;
-        println!("  class {class}: ({mean_x:+.4}, {mean_y:+.4})  [{} graphs]", members.len());
+        println!(
+            "  class {class}: ({mean_x:+.4}, {mean_y:+.4})  [{} graphs]",
+            members.len()
+        );
     }
 
     // Leave-one-out kernel kNN as a second, SVM-free read of the kernel.

@@ -36,7 +36,10 @@ fn main() {
         layer_cap: 4,
         ..HaqjskConfig::small()
     };
-    for variant in [HaqjskVariant::AlignedAdjacency, HaqjskVariant::AlignedDensity] {
+    for variant in [
+        HaqjskVariant::AlignedAdjacency,
+        HaqjskVariant::AlignedDensity,
+    ] {
         let model = HaqjskModel::fit(&dataset.graphs, config.clone(), variant)
             .expect("dataset is non-empty");
         let gram = model.gram_matrix(&dataset.graphs).expect("valid graphs");
@@ -60,12 +63,7 @@ fn main() {
     }
 }
 
-fn report(
-    name: &str,
-    gram: &KernelMatrix,
-    classes: &[usize],
-    cv_config: &CrossValidationConfig,
-) {
+fn report(name: &str, gram: &KernelMatrix, classes: &[usize], cv_config: &CrossValidationConfig) {
     let normalized = gram.normalized();
     // Indefinite kernels are clipped to the PSD cone before the SVM, exactly
     // as one must do in practice.

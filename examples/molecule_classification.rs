@@ -34,10 +34,16 @@ fn main() {
     };
 
     // HAQJSK, both variants.
-    for variant in [HaqjskVariant::AlignedAdjacency, HaqjskVariant::AlignedDensity] {
+    for variant in [
+        HaqjskVariant::AlignedAdjacency,
+        HaqjskVariant::AlignedDensity,
+    ] {
         let model = HaqjskModel::fit(&dataset.graphs, config.clone(), variant)
             .expect("dataset is non-empty");
-        let gram = model.gram_matrix(&dataset.graphs).expect("valid graphs").normalized();
+        let gram = model
+            .gram_matrix(&dataset.graphs)
+            .expect("valid graphs")
+            .normalized();
         let cv = cross_validate_kernel(&gram, &dataset.classes, &cv_config);
         println!("{:<22} accuracy: {}", variant.label(), cv.summary);
     }

@@ -26,7 +26,10 @@ fn main() {
         barabasi_albert(10, 2, 1),
         barabasi_albert(12, 3, 2),
     ];
-    println!("five graphs with sizes: {:?}", graphs.iter().map(|g| g.num_vertices()).collect::<Vec<_>>());
+    println!(
+        "five graphs with sizes: {:?}",
+        graphs.iter().map(|g| g.num_vertices()).collect::<Vec<_>>()
+    );
 
     // 2-dimensional depth-based vertex representations (k = 2), as in the
     // figure's "original vertex representations in a two-dimensional
@@ -49,7 +52,10 @@ fn main() {
 
     for h in 1..=hierarchy.num_levels() {
         let prototypes = hierarchy.layer(2).prototypes(h);
-        println!("\n{h}-level prototype representations ({} points):", prototypes.len());
+        println!(
+            "\n{h}-level prototype representations ({} points):",
+            prototypes.len()
+        );
         for (i, p) in prototypes.iter().enumerate() {
             println!("  μ_{i} = ({:.3}, {:.3})", p[0], p[1]);
         }

@@ -16,7 +16,11 @@ fn main() {
     for i in 0..12 {
         graphs.push(haqjsk::graph::generators::cycle_graph(8 + i % 4));
         classes.push(0usize);
-        graphs.push(haqjsk::graph::generators::barabasi_albert(8 + i % 4, 2, i as u64));
+        graphs.push(haqjsk::graph::generators::barabasi_albert(
+            8 + i % 4,
+            2,
+            i as u64,
+        ));
         classes.push(1usize);
     }
     println!("dataset: {} graphs, 2 classes", graphs.len());
@@ -53,6 +57,7 @@ fn main() {
     // 4. Compare against the unaligned QJSK baseline on the same data.
     let baseline = haqjsk::kernels::QjskUnaligned::default();
     let baseline_gram = baseline.gram_matrix(&graphs);
-    let baseline_cv = cross_validate_kernel(&baseline_gram, &classes, &CrossValidationConfig::quick());
+    let baseline_cv =
+        cross_validate_kernel(&baseline_gram, &classes, &CrossValidationConfig::quick());
     println!("unaligned QJSK baseline accuracy: {}", baseline_cv.summary);
 }

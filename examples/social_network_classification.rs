@@ -25,9 +25,15 @@ fn main() {
     // is valid because the generator interleaves classes).
     let train_idx: Vec<usize> = (0..dataset.len()).filter(|i| i % 4 != 0).collect();
     let test_idx: Vec<usize> = (0..dataset.len()).filter(|i| i % 4 == 0).collect();
-    let train_graphs: Vec<Graph> = train_idx.iter().map(|&i| dataset.graphs[i].clone()).collect();
+    let train_graphs: Vec<Graph> = train_idx
+        .iter()
+        .map(|&i| dataset.graphs[i].clone())
+        .collect();
     let train_labels: Vec<usize> = train_idx.iter().map(|&i| dataset.classes[i]).collect();
-    let test_graphs: Vec<Graph> = test_idx.iter().map(|&i| dataset.graphs[i].clone()).collect();
+    let test_graphs: Vec<Graph> = test_idx
+        .iter()
+        .map(|&i| dataset.graphs[i].clone())
+        .collect();
     let test_labels: Vec<usize> = test_idx.iter().map(|&i| dataset.classes[i]).collect();
 
     // 1. HAQJSK(D) kernel + cross-validation on the full set (the paper's
@@ -43,7 +49,10 @@ fn main() {
         HaqjskVariant::AlignedDensity,
     )
     .expect("dataset is non-empty");
-    let gram = model.gram_matrix(&dataset.graphs).expect("valid graphs").normalized();
+    let gram = model
+        .gram_matrix(&dataset.graphs)
+        .expect("valid graphs")
+        .normalized();
     let cv = cross_validate_kernel(&gram, &dataset.classes, &CrossValidationConfig::quick());
     println!("HAQJSK(D) + C-SVM     accuracy: {}", cv.summary);
 

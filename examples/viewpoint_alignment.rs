@@ -31,7 +31,8 @@ fn scene(background_len: usize, attach_at: usize) -> Graph {
         g.add_edge(i, i + 1).unwrap();
     }
     // Attach the house to the background.
-    g.add_edge(0, 5 + attach_at.min(background_len - 1)).unwrap();
+    g.add_edge(0, 5 + attach_at.min(background_len - 1))
+        .unwrap();
     g
 }
 
@@ -49,9 +50,21 @@ fn main() {
         scene_c.add_edge(6 + i, v).unwrap();
     }
 
-    println!("scene A: {} vertices, {} edges", scene_a.num_vertices(), scene_a.num_edges());
-    println!("scene B: {} vertices, {} edges", scene_b.num_vertices(), scene_b.num_edges());
-    println!("scene C: {} vertices, {} edges", scene_c.num_vertices(), scene_c.num_edges());
+    println!(
+        "scene A: {} vertices, {} edges",
+        scene_a.num_vertices(),
+        scene_a.num_edges()
+    );
+    println!(
+        "scene B: {} vertices, {} edges",
+        scene_b.num_vertices(),
+        scene_b.num_edges()
+    );
+    println!(
+        "scene C: {} vertices, {} edges",
+        scene_c.num_vertices(),
+        scene_c.num_edges()
+    );
 
     // R-convolution baseline: normalised graphlet kernel. It sees nearly the
     // same motif histograms in all three scenes.
@@ -76,7 +89,10 @@ fn main() {
         HaqjskVariant::AlignedAdjacency,
     )
     .expect("three valid scenes");
-    let gram = model.gram_matrix(&graphs).expect("valid graphs").normalized();
+    let gram = model
+        .gram_matrix(&graphs)
+        .expect("valid graphs")
+        .normalized();
     println!("\nHAQJSK(A) kernel, cosine-normalised:");
     println!("  k(A, B) = {:.4}", gram.get(0, 1));
     println!("  k(A, C) = {:.4}", gram.get(0, 2));

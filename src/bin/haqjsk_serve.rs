@@ -1,0 +1,30 @@
+//! `haqjsk-serve` — the TCP kernel-serving binary.
+//!
+//! A thin wrapper around [`haqjsk::serving`]: binds the address, spawns the
+//! JSON-lines server and parks. See the `serving` module docs for the full
+//! command table and wire format.
+//!
+//! Usage: `haqjsk-serve [ADDR]` (default `127.0.0.1:7878`; worker count via
+//! `HAQJSK_THREADS`).
+
+use haqjsk::engine::Engine;
+use haqjsk::serving::spawn_server;
+
+fn main() {
+    let addr = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "127.0.0.1:7878".to_string());
+    let server = spawn_server(&addr).unwrap_or_else(|e| {
+        eprintln!("haqjsk-serve: cannot bind {addr}: {e}");
+        std::process::exit(1);
+    });
+    println!(
+        "haqjsk-serve listening on {} ({} engine workers)",
+        server.local_addr(),
+        Engine::global().threads()
+    );
+    // The accept loop runs on its own thread; keep the process alive.
+    loop {
+        std::thread::park();
+    }
+}

@@ -12,6 +12,10 @@
 //! * [`graph`] — graphs, shortest paths, expansion subgraphs, generators,
 //! * [`quantum`] — continuous-time quantum walks, density matrices, von
 //!   Neumann entropy and the quantum Jensen–Shannon divergence,
+//! * [`engine`] — the parallel Gram-computation engine: the shared worker
+//!   pool (`HAQJSK_THREADS` controls its size), the tiled Gram scheduler,
+//!   the per-graph feature cache, incremental Gram extension and the
+//!   JSON-lines TCP serving substrate,
 //! * [`kernels`] — the baseline graph kernels (QJSK, WLSK, SPGK, GCGK,
 //!   random walk, JTQK, depth-based aligned) and kernel-matrix utilities,
 //! * [`core`] — the HAQJSK kernels themselves,
@@ -19,6 +23,24 @@
 //!   comparison models,
 //! * [`datasets`] — synthetic stand-ins for the paper's twelve benchmark
 //!   datasets.
+//!
+//! ## The engine and the serving protocol
+//!
+//! All Gram computation routes through [`engine::Engine::global`]: per-graph
+//! features (CTQW density matrices, hierarchical aligned structures) are
+//! extracted once per distinct graph — memoised in an
+//! [`engine::FeatureCache`] keyed by a structural graph hash — and the
+//! `n(n+1)/2` pairwise kernel evaluations are scheduled as cache-friendly
+//! tiles over a persistent worker pool. Streaming workloads append
+//! out-of-sample rows/columns to an existing Gram matrix through
+//! `HaqjskModel::gram_matrix_extended` instead of recomputing it.
+//!
+//! The `haqjsk-serve` binary exposes fit / transform / kernel-row / append /
+//! predict / save / load / stats over a `TcpListener` speaking JSON-lines
+//! (one request object per line, one response line back; see the binary's
+//! module docs for the command table). Models persist through
+//! [`core::model_to_string`] / [`core::model_from_string`], so a model can
+//! be fitted offline, saved, and loaded into a serving process.
 //!
 //! ## Quickstart
 //!
@@ -48,6 +70,9 @@ pub use haqjsk_graph as graph;
 /// Quantum-walk machinery (re-export of `haqjsk-quantum`).
 pub use haqjsk_quantum as quantum;
 
+/// The parallel Gram-computation engine (re-export of `haqjsk-engine`).
+pub use haqjsk_engine as engine;
+
 /// Baseline graph kernels and kernel-matrix utilities (re-export of
 /// `haqjsk-kernels`).
 pub use haqjsk_kernels as kernels;
@@ -62,10 +87,13 @@ pub use haqjsk_ml as ml;
 /// Synthetic benchmark datasets (re-export of `haqjsk-datasets`).
 pub use haqjsk_datasets as datasets;
 
+pub mod serving;
+
 /// The most commonly used items in one import.
 pub mod prelude {
     pub use crate::core::{HaqjskConfig, HaqjskModel, HaqjskVariant};
     pub use crate::datasets::{generate_by_name, GeneratedDataset};
+    pub use crate::engine::{Engine, FeatureCache};
     pub use crate::graph::Graph;
     pub use crate::kernels::{GraphKernel, KernelMatrix};
     pub use crate::ml::{cross_validate_kernel, CrossValidationConfig};

@@ -1,0 +1,364 @@
+//! The model-serving application layer behind the `haqjsk-serve` binary.
+//!
+//! The engine crate provides the transport ([`Server`], JSON-lines over
+//! TCP); this module provides the stateful request handler: fit / transform
+//! / kernel-row / append / predict / save / load / stats over a
+//! [`HaqjskModel`], with per-graph aligned features memoised in a
+//! [`FeatureCache`] and out-of-sample arrivals appended through incremental
+//! Gram extension. Living in the library (rather than the binary) lets the
+//! loopback smoke test drive the exact production handler.
+//!
+//! Command table:
+//!
+//! | command      | request fields                                   | response |
+//! |--------------|---------------------------------------------------|----------|
+//! | `ping`       | —                                                 | `{"ok":true,"pong":true}` |
+//! | `fit`        | `graphs`, opt. `labels`, opt. `variant` (`"A"`/`"D"`), opt. `config` | graph/level counts |
+//! | `transform`  | `graph`                                           | per-level von Neumann entropies |
+//! | `kernel_row` | `graph`                                           | kernel value vs every training graph |
+//! | `append`     | `graph`, opt. `label`                             | grows the served set via incremental Gram extension |
+//! | `predict`    | `graph`                                           | 1-NN label over the kernel row (requires `labels` at fit) |
+//! | `save`       | —                                                 | persisted model text |
+//! | `load`       | `model`, opt. `graphs`, opt. `labels`             | restores a persisted model |
+//! | `stats`      | —                                                 | engine threads + feature-cache counters |
+//!
+//! Graphs travel as `{"n":N,"edges":[[u,v],...],"labels":[...]?}`. Config
+//! fields (all optional): `hierarchy_levels`, `num_prototypes`, `layer_cap`,
+//! `kmeans_max_iterations`, `seed`, `mu`, `small` (bool, default true —
+//! start from [`HaqjskConfig::small`]).
+
+use crate::core::{
+    model_from_string, model_to_string, AlignedGraph, HaqjskConfig, HaqjskModel, HaqjskVariant,
+};
+use crate::engine::serve::{error_response, graph_from_json, Handler, Server};
+use crate::engine::{Engine, FeatureCache, Json};
+use crate::graph::Graph;
+use crate::kernels::{density_cache_stats, KernelMatrix};
+use crate::quantum::von_neumann_entropy;
+use std::sync::{Arc, Mutex};
+
+/// Everything tied to the currently fitted model. Replaced wholesale on
+/// `fit`/`load` so the feature cache can never outlive its model.
+struct ModelState {
+    model: HaqjskModel,
+    cache: FeatureCache<AlignedGraph>,
+    train_graphs: Vec<Graph>,
+    labels: Option<Vec<usize>>,
+    gram: KernelMatrix,
+}
+
+/// Mutable server state shared across connections.
+#[derive(Default)]
+pub struct ServerState {
+    fitted: Option<ModelState>,
+}
+
+/// Builds the serving handler and binds it on `addr` (use port `0` for an
+/// ephemeral port). Returns the running server.
+pub fn spawn_server(addr: &str) -> std::io::Result<Server> {
+    let state = Arc::new(Mutex::new(ServerState::default()));
+    let handler: Arc<dyn Handler> = Arc::new(move |request: &Json| handle(&state, request));
+    Server::spawn(addr, handler)
+}
+
+/// Dispatches one request against the shared state.
+pub fn handle(state: &Mutex<ServerState>, request: &Json) -> Json {
+    let Some(cmd) = request.get("cmd").and_then(Json::as_str) else {
+        return error_response("request needs a string field 'cmd'");
+    };
+    match cmd {
+        "ping" => Json::obj([("ok", Json::Bool(true)), ("pong", Json::Bool(true))]),
+        "fit" => cmd_fit(state, request),
+        "transform" => cmd_transform(state, request),
+        "kernel_row" => cmd_kernel_row(state, request),
+        "append" => cmd_append(state, request),
+        "predict" => cmd_predict(state, request),
+        "save" => cmd_save(state),
+        "load" => cmd_load(state, request),
+        "stats" => cmd_stats(state),
+        other => error_response(&format!("unknown command '{other}'")),
+    }
+}
+
+fn parse_graphs(request: &Json) -> Result<Vec<Graph>, String> {
+    let graphs_json = request
+        .get("graphs")
+        .and_then(Json::as_array)
+        .ok_or("request needs an array field 'graphs'")?;
+    graphs_json.iter().map(graph_from_json).collect()
+}
+
+fn parse_variant(request: &Json) -> Result<HaqjskVariant, String> {
+    match request.get("variant").and_then(Json::as_str) {
+        None | Some("A") => Ok(HaqjskVariant::AlignedAdjacency),
+        Some("D") => Ok(HaqjskVariant::AlignedDensity),
+        Some(other) => Err(format!("unknown variant '{other}' (expected 'A' or 'D')")),
+    }
+}
+
+fn parse_config(request: &Json) -> Result<HaqjskConfig, String> {
+    let Some(config_json) = request.get("config") else {
+        return Ok(HaqjskConfig::small());
+    };
+    let mut config = if config_json.get("small").and_then(Json::as_bool) == Some(false) {
+        HaqjskConfig::default()
+    } else {
+        HaqjskConfig::small()
+    };
+    let usize_field = |name: &str| config_json.get(name).and_then(Json::as_usize);
+    if let Some(v) = usize_field("hierarchy_levels") {
+        config.hierarchy_levels = v;
+    }
+    if let Some(v) = usize_field("num_prototypes") {
+        config.num_prototypes = v;
+    }
+    if let Some(v) = usize_field("layer_cap") {
+        config.layer_cap = v;
+    }
+    if let Some(v) = usize_field("kmeans_max_iterations") {
+        config.kmeans_max_iterations = v;
+    }
+    if let Some(v) = usize_field("seed") {
+        config.seed = v as u64;
+    }
+    if let Some(v) = config_json.get("mu").and_then(Json::as_f64) {
+        config.mu = v;
+    }
+    config.validate()?;
+    Ok(config)
+}
+
+fn parse_labels(request: &Json, expected: usize) -> Result<Option<Vec<usize>>, String> {
+    let Some(labels_json) = request.get("labels") else {
+        return Ok(None);
+    };
+    let arr = labels_json
+        .as_array()
+        .ok_or("'labels' must be an array of non-negative integers")?;
+    if arr.len() != expected {
+        return Err(format!(
+            "{} labels supplied for {expected} graphs",
+            arr.len()
+        ));
+    }
+    arr.iter()
+        .map(|l| {
+            l.as_usize()
+                .ok_or_else(|| "labels must be non-negative integers".to_string())
+        })
+        .collect::<Result<Vec<_>, _>>()
+        .map(Some)
+}
+
+fn cmd_fit(state: &Mutex<ServerState>, request: &Json) -> Json {
+    let build = || -> Result<Json, String> {
+        let graphs = parse_graphs(request)?;
+        let variant = parse_variant(request)?;
+        let config = parse_config(request)?;
+        let labels = parse_labels(request, graphs.len())?;
+        let model =
+            HaqjskModel::fit(&graphs, config, variant).map_err(|e| format!("fit failed: {e:?}"))?;
+        let cache = FeatureCache::new();
+        let gram = model
+            .gram_matrix_cached(&graphs, &cache)
+            .map_err(|e| format!("gram computation failed: {e:?}"))?;
+        let response = Json::obj([
+            ("ok", Json::Bool(true)),
+            ("num_graphs", Json::Num(graphs.len() as f64)),
+            ("levels", Json::Num(model.hierarchy().num_levels() as f64)),
+            ("max_layers", Json::Num(model.max_layers() as f64)),
+        ]);
+        state.lock().expect("state poisoned").fitted = Some(ModelState {
+            model,
+            cache,
+            train_graphs: graphs,
+            labels,
+            gram,
+        });
+        Ok(response)
+    };
+    build().unwrap_or_else(|e| error_response(&e))
+}
+
+fn with_fitted<F>(state: &Mutex<ServerState>, f: F) -> Json
+where
+    F: FnOnce(&mut ModelState) -> Result<Json, String>,
+{
+    let mut guard = state.lock().expect("state poisoned");
+    match guard.fitted.as_mut() {
+        None => error_response("no model fitted yet (use 'fit' or 'load')"),
+        Some(fitted) => f(fitted).unwrap_or_else(|e| error_response(&e)),
+    }
+}
+
+fn parse_one_graph(request: &Json) -> Result<Graph, String> {
+    let graph_json = request
+        .get("graph")
+        .ok_or("request needs a field 'graph'")?;
+    graph_from_json(graph_json)
+}
+
+fn cmd_transform(state: &Mutex<ServerState>, request: &Json) -> Json {
+    with_fitted(state, |fitted| {
+        let graph = parse_one_graph(request)?;
+        let aligned = fitted
+            .model
+            .transform_all_cached(std::slice::from_ref(&graph), &fitted.cache)
+            .map_err(|e| format!("transform failed: {e:?}"))?;
+        let entropies: Vec<Json> = aligned[0]
+            .densities(fitted.model.variant())
+            .iter()
+            .map(|rho| Json::Num(von_neumann_entropy(rho)))
+            .collect();
+        Ok(Json::obj([
+            ("ok", Json::Bool(true)),
+            ("levels", Json::Num(entropies.len() as f64)),
+            ("entropies", Json::Arr(entropies)),
+        ]))
+    })
+}
+
+fn kernel_row(fitted: &ModelState, graph: &Graph) -> Result<Vec<f64>, String> {
+    // Evaluate the row directly against the cached training features —
+    // O(n) work per query, no cloning and no (n+1)x(n+1) intermediate.
+    let train = fitted
+        .model
+        .transform_all_cached(&fitted.train_graphs, &fitted.cache)
+        .map_err(|e| format!("transform failed: {e:?}"))?;
+    let query = fitted
+        .model
+        .transform_all_cached(std::slice::from_ref(graph), &fitted.cache)
+        .map_err(|e| format!("transform failed: {e:?}"))?;
+    Ok(Engine::global().map(train.len(), |j| fitted.model.kernel(&query[0], &train[j])))
+}
+
+fn cmd_kernel_row(state: &Mutex<ServerState>, request: &Json) -> Json {
+    with_fitted(state, |fitted| {
+        let graph = parse_one_graph(request)?;
+        let row = kernel_row(fitted, &graph)?;
+        Ok(Json::obj([
+            ("ok", Json::Bool(true)),
+            (
+                "values",
+                Json::Arr(row.into_iter().map(Json::Num).collect()),
+            ),
+        ]))
+    })
+}
+
+fn cmd_append(state: &Mutex<ServerState>, request: &Json) -> Json {
+    with_fitted(state, |fitted| {
+        let graph = parse_one_graph(request)?;
+        let label = request.get("label").and_then(Json::as_usize);
+        if fitted.labels.is_some() && label.is_none() {
+            return Err("this model serves labels; 'append' needs a 'label'".to_string());
+        }
+        let mut all = fitted.train_graphs.clone();
+        all.push(graph);
+        fitted.gram = fitted
+            .model
+            .gram_matrix_extended(&fitted.gram, &all, &fitted.cache)
+            .map_err(|e| format!("gram extension failed: {e:?}"))?;
+        // Commit labels only after the extension succeeded, so a failed
+        // append can never desynchronise labels from the graph list.
+        fitted.train_graphs = all;
+        if let (Some(labels), Some(l)) = (&mut fitted.labels, label) {
+            labels.push(l);
+        }
+        Ok(Json::obj([
+            ("ok", Json::Bool(true)),
+            ("num_graphs", Json::Num(fitted.train_graphs.len() as f64)),
+        ]))
+    })
+}
+
+fn cmd_predict(state: &Mutex<ServerState>, request: &Json) -> Json {
+    with_fitted(state, |fitted| {
+        let labels = fitted
+            .labels
+            .clone()
+            .ok_or("model was fitted without labels; 'predict' unavailable")?;
+        let graph = parse_one_graph(request)?;
+        let row = kernel_row(fitted, &graph)?;
+        let (best, value) = row
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.total_cmp(b.1))
+            .ok_or("training set is empty")?;
+        Ok(Json::obj([
+            ("ok", Json::Bool(true)),
+            ("label", Json::Num(labels[best] as f64)),
+            ("nearest", Json::Num(best as f64)),
+            ("kernel_value", Json::Num(*value)),
+        ]))
+    })
+}
+
+fn cmd_save(state: &Mutex<ServerState>) -> Json {
+    with_fitted(state, |fitted| {
+        Ok(Json::obj([
+            ("ok", Json::Bool(true)),
+            ("model", Json::Str(model_to_string(&fitted.model))),
+        ]))
+    })
+}
+
+fn cmd_load(state: &Mutex<ServerState>, request: &Json) -> Json {
+    let build = || -> Result<Json, String> {
+        let text = request
+            .get("model")
+            .and_then(Json::as_str)
+            .ok_or("request needs a string field 'model'")?;
+        let model = model_from_string(text).map_err(|e| e.to_string())?;
+        let graphs = if request.get("graphs").is_some() {
+            parse_graphs(request)?
+        } else {
+            Vec::new()
+        };
+        let labels = parse_labels(request, graphs.len())?;
+        let cache = FeatureCache::new();
+        let gram = model
+            .gram_matrix_cached(&graphs, &cache)
+            .map_err(|e| format!("gram computation failed: {e:?}"))?;
+        let response = Json::obj([
+            ("ok", Json::Bool(true)),
+            ("num_graphs", Json::Num(graphs.len() as f64)),
+            ("levels", Json::Num(model.hierarchy().num_levels() as f64)),
+        ]);
+        state.lock().expect("state poisoned").fitted = Some(ModelState {
+            model,
+            cache,
+            train_graphs: graphs,
+            labels,
+            gram,
+        });
+        Ok(response)
+    };
+    build().unwrap_or_else(|e| error_response(&e))
+}
+
+fn cmd_stats(state: &Mutex<ServerState>) -> Json {
+    let guard = state.lock().expect("state poisoned");
+    let density = density_cache_stats();
+    let mut pairs = vec![
+        ("ok", Json::Bool(true)),
+        (
+            "engine_threads",
+            Json::Num(Engine::global().threads() as f64),
+        ),
+        ("density_cache_hits", Json::Num(density.hits as f64)),
+        ("density_cache_misses", Json::Num(density.misses as f64)),
+    ];
+    match guard.fitted.as_ref() {
+        None => pairs.push(("fitted", Json::Bool(false))),
+        Some(fitted) => {
+            let stats = fitted.cache.stats();
+            pairs.push(("fitted", Json::Bool(true)));
+            pairs.push(("num_graphs", Json::Num(fitted.train_graphs.len() as f64)));
+            pairs.push(("aligned_cache_hits", Json::Num(stats.hits as f64)));
+            pairs.push(("aligned_cache_misses", Json::Num(stats.misses as f64)));
+            pairs.push(("aligned_cache_entries", Json::Num(stats.entries as f64)));
+        }
+    }
+    Json::obj(pairs)
+}

@@ -5,9 +5,7 @@
 use haqjsk::graph::generators::{barabasi_albert, erdos_renyi, watts_strogatz};
 use haqjsk::graph::isomorphism::{are_isomorphic, find_isomorphism, is_valid_isomorphism};
 use haqjsk::kernels::nystrom::{LandmarkSelection, NystromApproximation};
-use haqjsk::kernels::{
-    GraphKernel, GraphletKernel, ShortestPathKernel, WeisfeilerLehmanKernel,
-};
+use haqjsk::kernels::{GraphKernel, GraphletKernel, ShortestPathKernel, WeisfeilerLehmanKernel};
 use haqjsk::prelude::*;
 
 /// Relabelled copies of a graph are isomorphic, and every permutation-
@@ -64,7 +62,10 @@ fn isomorphic_graphs_are_kernel_indistinguishable() {
     for probe in &probes {
         let a = model.kernel_between(&base, probe).unwrap();
         let b = model.kernel_between(&relabelled, probe).unwrap();
-        assert!((a - b).abs() < 1e-8, "HAQJSK distinguishes isomorphic graphs");
+        assert!(
+            (a - b).abs() < 1e-8,
+            "HAQJSK distinguishes isomorphic graphs"
+        );
     }
 }
 
@@ -103,7 +104,10 @@ fn nystrom_approximation_tracks_the_exact_gram_matrix() {
     .unwrap();
     let reconstructed = full_rank.reconstruct().unwrap();
     let rel = (reconstructed.matrix() - exact.matrix()).max_abs() / exact.matrix().max_abs();
-    assert!(rel < 1e-6, "full-rank Nyström should be exact, rel err {rel}");
+    assert!(
+        rel < 1e-6,
+        "full-rank Nyström should be exact, rel err {rel}"
+    );
 
     let low_rank = NystromApproximation::fit(
         &kernel,
@@ -114,9 +118,12 @@ fn nystrom_approximation_tracks_the_exact_gram_matrix() {
     .unwrap();
     let approx = low_rank.reconstruct().unwrap();
     assert!(approx.is_positive_semidefinite(1e-6).unwrap());
-    let rel_low = (approx.matrix() - exact.matrix()).frobenius_norm()
-        / exact.matrix().frobenius_norm();
-    assert!(rel_low < 0.2, "low-rank approximation too far off: {rel_low}");
+    let rel_low =
+        (approx.matrix() - exact.matrix()).frobenius_norm() / exact.matrix().frobenius_norm();
+    assert!(
+        rel_low < 0.2,
+        "low-rank approximation too far off: {rel_low}"
+    );
 
     // The approximation is still good enough to classify with.
     let cv = cross_validate_kernel(

@@ -26,7 +26,10 @@ fn haqjsk_classifies_mutag_standin_above_chance() {
         HaqjskVariant::AlignedAdjacency,
     )
     .expect("fit succeeds");
-    let gram = model.gram_matrix(&dataset.graphs).expect("gram succeeds").normalized();
+    let gram = model
+        .gram_matrix(&dataset.graphs)
+        .expect("gram succeeds")
+        .normalized();
     assert!(gram.is_positive_semidefinite(1e-6).unwrap());
     let cv = cross_validate_kernel(&gram, &dataset.classes, &CrossValidationConfig::quick());
     assert!(
@@ -99,7 +102,9 @@ fn haqjsk_is_permutation_invariant_end_to_end() {
 
     for other in dataset.graphs.iter().take(8) {
         let original = model.kernel_between(target, other).expect("kernel works");
-        let after = model.kernel_between(&relabelled, other).expect("kernel works");
+        let after = model
+            .kernel_between(&relabelled, other)
+            .expect("kernel works");
         assert!(
             (original - after).abs() < 1e-8,
             "kernel value moved under relabelling: {original} vs {after}"

@@ -1,0 +1,182 @@
+//! Loopback smoke test of the `haqjsk-serve` stack: the production handler
+//! (`haqjsk::serving`) behind the engine's JSON-lines TCP server, driven by
+//! a real client socket.
+
+use haqjsk::engine::serve::graph_to_json;
+use haqjsk::engine::Json;
+use haqjsk::graph::generators::{cycle_graph, star_graph};
+use haqjsk::graph::Graph;
+use haqjsk::serving::spawn_server;
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+
+struct Client {
+    writer: TcpStream,
+    reader: BufReader<TcpStream>,
+}
+
+impl Client {
+    fn connect(addr: std::net::SocketAddr) -> Client {
+        let stream = TcpStream::connect(addr).expect("connect to loopback server");
+        Client {
+            writer: stream.try_clone().expect("clone stream"),
+            reader: BufReader::new(stream),
+        }
+    }
+
+    fn request(&mut self, body: &str) -> Json {
+        self.writer.write_all(body.as_bytes()).expect("send");
+        self.writer.write_all(b"\n").expect("send newline");
+        self.writer.flush().expect("flush");
+        let mut line = String::new();
+        self.reader.read_line(&mut line).expect("read response");
+        Json::parse(line.trim()).expect("response is valid JSON")
+    }
+
+    fn expect_ok(&mut self, body: &str) -> Json {
+        let response = self.request(body);
+        assert_eq!(
+            response.get("ok").and_then(Json::as_bool),
+            Some(true),
+            "request {body} failed: {response}"
+        );
+        response
+    }
+}
+
+fn training_set() -> (Vec<Graph>, Vec<usize>) {
+    // Two visually distinct classes: cycles (label 0) and stars (label 1).
+    let mut graphs = Vec::new();
+    let mut labels = Vec::new();
+    for n in 5..9 {
+        graphs.push(cycle_graph(n));
+        labels.push(0);
+        graphs.push(star_graph(n));
+        labels.push(1);
+    }
+    (graphs, labels)
+}
+
+fn fit_request(graphs: &[Graph], labels: &[usize]) -> String {
+    let graphs_json = Json::Arr(graphs.iter().map(graph_to_json).collect());
+    let labels_json = Json::Arr(labels.iter().map(|&l| Json::Num(l as f64)).collect());
+    format!(
+        "{{\"cmd\":\"fit\",\"graphs\":{graphs_json},\"labels\":{labels_json},\
+         \"variant\":\"A\",\"config\":{{\"hierarchy_levels\":2,\"num_prototypes\":8,\
+         \"layer_cap\":3,\"kmeans_max_iterations\":15}}}}"
+    )
+}
+
+#[test]
+fn full_protocol_over_loopback() {
+    let server = spawn_server("127.0.0.1:0").expect("bind ephemeral port");
+    let mut client = Client::connect(server.local_addr());
+
+    // Liveness, and a clean error before any model exists.
+    let pong = client.expect_ok("{\"cmd\":\"ping\"}");
+    assert_eq!(pong.get("pong").and_then(Json::as_bool), Some(true));
+    let early = client.request("{\"cmd\":\"predict\",\"graph\":{\"n\":2,\"edges\":[[0,1]]}}");
+    assert_eq!(early.get("ok").and_then(Json::as_bool), Some(false));
+
+    // Fit on the cycle/star training set.
+    let (graphs, labels) = training_set();
+    let fitted = client.expect_ok(&fit_request(&graphs, &labels));
+    assert_eq!(
+        fitted.get("num_graphs").and_then(Json::as_usize),
+        Some(graphs.len())
+    );
+    let levels = fitted.get("levels").and_then(Json::as_usize).unwrap();
+    assert!(levels >= 1);
+
+    // Transform an unseen graph: one entropy per hierarchy level.
+    let unseen_cycle = graph_to_json(&cycle_graph(9));
+    let transformed = client.expect_ok(&format!(
+        "{{\"cmd\":\"transform\",\"graph\":{unseen_cycle}}}"
+    ));
+    let entropies = transformed
+        .get("entropies")
+        .and_then(Json::as_array)
+        .unwrap();
+    assert_eq!(entropies.len(), levels);
+    assert!(entropies.iter().all(|e| e.as_f64().unwrap().is_finite()));
+
+    // Kernel row against the training set, served via incremental extension.
+    let row = client.expect_ok(&format!(
+        "{{\"cmd\":\"kernel_row\",\"graph\":{unseen_cycle}}}"
+    ));
+    let values = row.get("values").and_then(Json::as_array).unwrap();
+    assert_eq!(values.len(), graphs.len());
+    let numeric: Vec<f64> = values.iter().map(|v| v.as_f64().unwrap()).collect();
+    assert!(numeric.iter().all(|v| v.is_finite() && *v > 0.0));
+
+    // An unseen cycle should be classified as a cycle, an unseen star as a
+    // star (1-NN over the kernel row).
+    let predicted = client.expect_ok(&format!("{{\"cmd\":\"predict\",\"graph\":{unseen_cycle}}}"));
+    assert_eq!(predicted.get("label").and_then(Json::as_usize), Some(0));
+    let unseen_star = graph_to_json(&star_graph(9));
+    let predicted = client.expect_ok(&format!("{{\"cmd\":\"predict\",\"graph\":{unseen_star}}}"));
+    assert_eq!(predicted.get("label").and_then(Json::as_usize), Some(1));
+
+    // Append a labelled graph, growing the served set.
+    let appended = client.expect_ok(&format!(
+        "{{\"cmd\":\"append\",\"graph\":{unseen_star},\"label\":1}}"
+    ));
+    assert_eq!(
+        appended.get("num_graphs").and_then(Json::as_usize),
+        Some(graphs.len() + 1)
+    );
+    let row = client.expect_ok(&format!(
+        "{{\"cmd\":\"kernel_row\",\"graph\":{unseen_cycle}}}"
+    ));
+    assert_eq!(
+        row.get("values").and_then(Json::as_array).unwrap().len(),
+        graphs.len() + 1
+    );
+
+    // Persistence round-trip: save, load into a fresh state, predict again.
+    let saved = client.expect_ok("{\"cmd\":\"save\"}");
+    let model_text = saved
+        .get("model")
+        .and_then(Json::as_str)
+        .unwrap()
+        .to_string();
+    assert!(model_text.starts_with("haqjsk-model v1"));
+    let graphs_json = Json::Arr(graphs.iter().map(graph_to_json).collect());
+    let labels_json = Json::Arr(labels.iter().map(|&l| Json::Num(l as f64)).collect());
+    let model_json = Json::Str(model_text);
+    client.expect_ok(&format!(
+        "{{\"cmd\":\"load\",\"model\":{model_json},\"graphs\":{graphs_json},\"labels\":{labels_json}}}"
+    ));
+    let predicted = client.expect_ok(&format!("{{\"cmd\":\"predict\",\"graph\":{unseen_cycle}}}"));
+    assert_eq!(predicted.get("label").and_then(Json::as_usize), Some(0));
+
+    // Stats report the engine and the per-model feature cache.
+    let stats = client.expect_ok("{\"cmd\":\"stats\"}");
+    assert_eq!(stats.get("fitted").and_then(Json::as_bool), Some(true));
+    assert!(
+        stats
+            .get("engine_threads")
+            .and_then(Json::as_usize)
+            .unwrap()
+            >= 1
+    );
+    assert!(
+        stats
+            .get("aligned_cache_entries")
+            .and_then(Json::as_usize)
+            .unwrap()
+            >= graphs.len()
+    );
+
+    // Unknown commands and malformed JSON produce error responses, not
+    // dropped connections.
+    let bad = client.request("{\"cmd\":\"frobnicate\"}");
+    assert_eq!(bad.get("ok").and_then(Json::as_bool), Some(false));
+    let worse = client.request("not json at all");
+    assert_eq!(worse.get("ok").and_then(Json::as_bool), Some(false));
+
+    // A second concurrent client sees the same model.
+    let mut second = Client::connect(server.local_addr());
+    let stats = second.expect_ok("{\"cmd\":\"stats\"}");
+    assert_eq!(stats.get("fitted").and_then(Json::as_bool), Some(true));
+}

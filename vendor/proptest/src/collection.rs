@@ -1,0 +1,54 @@
+//! Collection strategies.
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+use rand::Rng;
+use std::ops::Range;
+
+/// How many elements a [`vec`] strategy generates: a fixed count or a
+/// uniformly drawn one.
+#[derive(Debug, Clone)]
+pub enum SizeRange {
+    /// Exactly this many elements.
+    Fixed(usize),
+    /// Uniform in `[start, end)`.
+    Span(usize, usize),
+}
+
+impl From<usize> for SizeRange {
+    fn from(n: usize) -> Self {
+        SizeRange::Fixed(n)
+    }
+}
+
+impl From<Range<usize>> for SizeRange {
+    fn from(r: Range<usize>) -> Self {
+        SizeRange::Span(r.start, r.end)
+    }
+}
+
+/// Generates `Vec`s whose elements come from `element` and whose length is
+/// described by `size`.
+pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+    VecStrategy {
+        element,
+        size: size.into(),
+    }
+}
+
+/// See [`vec`].
+pub struct VecStrategy<S> {
+    element: S,
+    size: SizeRange,
+}
+
+impl<S: Strategy> Strategy for VecStrategy<S> {
+    type Value = Vec<S::Value>;
+    fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+        let len = match self.size {
+            SizeRange::Fixed(n) => n,
+            SizeRange::Span(lo, hi) => rng.gen_range(lo..hi.max(lo + 1)),
+        };
+        (0..len).map(|_| self.element.generate(rng)).collect()
+    }
+}

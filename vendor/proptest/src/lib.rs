@@ -1,0 +1,178 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! The build environment cannot fetch crates.io, so this vendored crate
+//! implements the subset of proptest the workspace's property tests use:
+//!
+//! * the [`Strategy`](strategy::Strategy) trait with `prop_map` /
+//!   `prop_flat_map` adapters,
+//! * range and tuple strategies plus [`collection::vec`],
+//! * the [`proptest!`] macro, `prop_assert!` / `prop_assert_eq!` /
+//!   `prop_assume!`, and `ProptestConfig::with_cases`.
+//!
+//! Differences from upstream: cases are generated from a seed derived
+//! deterministically from the test name (no `PROPTEST_*` env handling), and
+//! failing cases are **not shrunk** — the panic message simply reports the
+//! case index so the failure can be replayed.
+
+pub mod collection;
+pub mod strategy;
+pub mod test_runner;
+
+/// Derives the deterministic per-test RNG seed.
+pub fn seed_for(test_name: &str, case: u32) -> u64 {
+    // FNV-1a over the test name, mixed with the case index.
+    let mut h: u64 = 0xcbf29ce484222325;
+    for b in test_name.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x100000001b3);
+    }
+    h ^ ((case as u64).wrapping_mul(0x9E3779B97F4A7C15))
+}
+
+/// The `use proptest::prelude::*` surface.
+pub mod prelude {
+    pub use crate::strategy::Strategy;
+    pub use crate::test_runner::{Config as ProptestConfig, TestCaseError};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest};
+}
+
+/// Runs `count` property-test cases: each case draws the strategy values and
+/// executes the body. A body returning `Err(TestCaseError::Reject)` (from
+/// `prop_assume!`) skips that case.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::proptest!(@impl ($cfg); $($rest)*);
+    };
+    (@impl ($cfg:expr); $(
+        $(#[$meta:meta])*
+        fn $name:ident( $($arg:ident in $strat:expr),+ $(,)? ) $body:block
+    )*) => {$(
+        $(#[$meta])*
+        fn $name() {
+            let config: $crate::test_runner::Config = $cfg;
+            for case in 0..config.cases {
+                let mut rng = $crate::test_runner::TestRng::from_seed(
+                    $crate::seed_for(concat!(module_path!(), "::", stringify!($name)), case),
+                );
+                $(let $arg = $crate::strategy::Strategy::generate(&($strat), &mut rng);)+
+                let outcome: ::std::result::Result<(), $crate::test_runner::TestCaseError> =
+                    (|| { $body ::std::result::Result::Ok(()) })();
+                match outcome {
+                    Ok(()) => {}
+                    Err($crate::test_runner::TestCaseError::Reject(_)) => continue,
+                    Err($crate::test_runner::TestCaseError::Fail(msg)) => {
+                        panic!("property failed at case {case}: {msg}");
+                    }
+                }
+            }
+        }
+    )*};
+    ($($rest:tt)*) => {
+        $crate::proptest!(@impl ($crate::test_runner::Config::default()); $($rest)*);
+    };
+}
+
+/// Asserts a condition inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::Fail(
+                format!("assertion failed: {}", stringify!($cond)),
+            ));
+        }
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::Fail(
+                format!($($fmt)*),
+            ));
+        }
+    };
+}
+
+/// Asserts equality inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr) => {{
+        let (l, r) = (&$left, &$right);
+        if !(*l == *r) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::Fail(format!(
+                "assertion failed: {:?} == {:?}",
+                l, r
+            )));
+        }
+    }};
+}
+
+/// Asserts inequality inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr) => {{
+        let (l, r) = (&$left, &$right);
+        if !(*l != *r) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::Fail(format!(
+                "assertion failed: {:?} != {:?}",
+                l, r
+            )));
+        }
+    }};
+}
+
+/// Skips the current case when the assumption does not hold.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::Reject(
+                stringify!($cond),
+            ));
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn ranges_stay_in_bounds(n in 3usize..20, x in -2.0f64..2.0, s in 0u64..100) {
+            prop_assert!((3..20).contains(&n));
+            prop_assert!((-2.0..2.0).contains(&x));
+            prop_assert!(s < 100);
+        }
+
+        #[test]
+        fn flat_map_and_vec_compose(v in (1usize..6).prop_flat_map(|n| crate::collection::vec(0.0f64..1.0, n))) {
+            prop_assert!(!v.is_empty() && v.len() < 6);
+            prop_assert!(v.iter().all(|x| (0.0..1.0).contains(x)));
+        }
+
+        #[test]
+        fn assume_skips_cases(n in 0usize..10) {
+            prop_assume!(n % 2 == 0);
+            prop_assert_eq!(n % 2, 0);
+        }
+
+        #[test]
+        fn tuples_and_map(pair in (1usize..5, 1usize..5).prop_map(|(a, b)| a * b)) {
+            prop_assert!((1..25).contains(&pair));
+        }
+    }
+
+    #[test]
+    fn failing_property_panics() {
+        // Expand a failing property by hand and check it reports an Err.
+        let mut rng = crate::test_runner::TestRng::from_seed(crate::seed_for("x", 0));
+        let v = crate::strategy::Strategy::generate(&(0usize..10), &mut rng);
+        let outcome: Result<(), TestCaseError> = (|| {
+            prop_assert!(v >= 10, "value {v} is below 10");
+            Ok(())
+        })();
+        assert!(matches!(outcome, Err(TestCaseError::Fail(_))));
+    }
+}

@@ -1,0 +1,51 @@
+//! Test-runner plumbing: configuration, RNG, and the case-level error type.
+
+use rand::rngs::StdRng;
+use rand::{RngCore, SeedableRng};
+
+/// Property-test configuration (the subset of `ProptestConfig` used here).
+#[derive(Debug, Clone)]
+pub struct Config {
+    /// Number of cases generated per property.
+    pub cases: u32,
+}
+
+impl Config {
+    /// A configuration running `cases` cases per property.
+    pub fn with_cases(cases: u32) -> Self {
+        Config { cases }
+    }
+}
+
+impl Default for Config {
+    fn default() -> Self {
+        Config { cases: 64 }
+    }
+}
+
+/// Why a single generated case did not pass.
+#[derive(Debug)]
+pub enum TestCaseError {
+    /// The case was skipped by `prop_assume!`.
+    Reject(&'static str),
+    /// A `prop_assert*!` failed.
+    Fail(String),
+}
+
+/// The RNG handed to strategies — a thin wrapper over the vendored
+/// [`StdRng`] so strategies do not depend on the RNG implementation.
+#[derive(Debug, Clone)]
+pub struct TestRng(StdRng);
+
+impl TestRng {
+    /// Creates the RNG from a 64-bit seed.
+    pub fn from_seed(seed: u64) -> Self {
+        TestRng(StdRng::seed_from_u64(seed))
+    }
+}
+
+impl RngCore for TestRng {
+    fn next_u64(&mut self) -> u64 {
+        self.0.next_u64()
+    }
+}
