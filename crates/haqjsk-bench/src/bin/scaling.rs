@@ -9,11 +9,11 @@
 
 use haqjsk_bench::engine_banner;
 use haqjsk_core::{HaqjskConfig, HaqjskModel, HaqjskVariant};
-use haqjsk_engine::Engine;
+use haqjsk_engine::{graph_key, BackendKind, CacheConfig, Engine, FeatureCache};
 use haqjsk_graph::generators::erdos_renyi;
 use haqjsk_graph::Graph;
 use haqjsk_kernels::{cached_ctqw_densities, GraphKernel, QjskUnaligned};
-use haqjsk_quantum::ctqw_density_infinite;
+use haqjsk_quantum::{ctqw_density_infinite, DensityMatrix};
 use std::time::Instant;
 
 fn main() {
@@ -84,6 +84,61 @@ fn main() {
             n_graphs, serial, tiled, warm
         );
     }
+    println!("\nBackend x shard sweep — QJSK Gram on 32 graphs, per-configuration cache\n");
+    println!(
+        "{:>8} {:>7} {:>10} {:>10} {:>9} {:>10}",
+        "backend", "shards", "cold s", "warm s", "hit rate", "evictions"
+    );
+    let sweep_graphs: Vec<Graph> = (0..32)
+        .map(|i| erdos_renyi(20 + i % 8, 0.25, 1000 + i as u64))
+        .collect();
+    let n = sweep_graphs.len();
+    // A budget sized to roughly half the working set, so the sweep also
+    // exercises LRU eviction under each shard count.
+    let one_density = (28usize * 28 * 8) + 64;
+    let budget = one_density * n / 2;
+    for backend in BackendKind::ALL {
+        for shards in [1usize, 4, 16] {
+            let cache: FeatureCache<DensityMatrix> = FeatureCache::with_config(CacheConfig {
+                shards,
+                budget_bytes: Some(budget),
+            });
+            let density = |i: usize| {
+                cache.get_or_compute(graph_key(&sweep_graphs[i]), || {
+                    ctqw_density_infinite(&sweep_graphs[i]).expect("non-empty graph")
+                })
+            };
+            let entry = |i: usize, j: usize| {
+                let d = haqjsk_quantum::qjsd_padded(&density(i), &density(j)).unwrap();
+                (-d).exp()
+            };
+            let run = || {
+                let start = Instant::now();
+                let _ = Engine::global().gram_prefetched(
+                    Some(backend),
+                    n,
+                    |i| {
+                        let _ = density(i);
+                    },
+                    entry,
+                );
+                start.elapsed().as_secs_f64()
+            };
+            let cold = run();
+            let warm = run();
+            let stats = cache.stats();
+            println!(
+                "{:>8} {:>7} {:>10.3} {:>10.3} {:>8.1}% {:>10}",
+                backend.label(),
+                shards,
+                cold,
+                warm,
+                stats.hit_rate() * 100.0,
+                stats.evictions
+            );
+        }
+    }
+
     println!("\n{}", engine_banner());
 
     println!("\nPer-graph cost is cubic in n (eigendecomposition); Gram cost is quadratic in N — matching the O(N^2 n^3) analysis of Sec. III-D.");

@@ -113,10 +113,11 @@ pub fn engine_banner() -> String {
     } else {
         "auto"
     };
+    let backend = haqjsk_engine::Engine::global().backend();
     let cache = haqjsk_kernels::density_cache_stats();
     format!(
-        "engine: {threads} workers ({source}), density cache {} hits / {} misses",
-        cache.hits, cache.misses
+        "engine: {threads} workers ({source}), '{backend}' backend, density cache {} hits / {} misses / {} evictions",
+        cache.hits, cache.misses, cache.evictions
     )
 }
 

@@ -21,9 +21,9 @@ use crate::config::{HaqjskConfig, HaqjskVariant};
 use crate::correspondence::GraphCorrespondences;
 use crate::db_representation::DbRepresentations;
 use crate::hierarchy::PrototypeHierarchy;
-use haqjsk_engine::{graph_key, Engine, FeatureCache};
+use haqjsk_engine::{graph_key, BackendKind, CacheWeight, Engine, FeatureCache};
 use haqjsk_graph::Graph;
-use haqjsk_kernels::kernel::gram_from_indexed;
+use haqjsk_kernels::kernel::gram_from_indexed_on;
 use haqjsk_kernels::{GraphKernel, KernelMatrix};
 use haqjsk_linalg::LinalgError;
 use haqjsk_quantum::ctqw::ctqw_density_from_adjacency;
@@ -49,6 +49,20 @@ impl AlignedGraph {
             HaqjskVariant::AlignedAdjacency => &self.adjacency_densities,
             HaqjskVariant::AlignedDensity => &self.aligned_densities,
         }
+    }
+}
+
+/// Aligned representations live in the serving layer's budgeted feature
+/// cache; their weight is the two per-level density families.
+impl CacheWeight for AlignedGraph {
+    fn weight(&self) -> usize {
+        let densities = self
+            .adjacency_densities
+            .iter()
+            .chain(self.aligned_densities.iter())
+            .map(CacheWeight::weight)
+            .sum::<usize>();
+        std::mem::size_of::<AlignedGraph>() + densities
     }
 }
 
@@ -229,11 +243,21 @@ impl HaqjskModel {
     }
 
     /// Gram matrix over a dataset: each graph is transformed once (in
-    /// parallel), then all pairs are evaluated on the engine's tiled
-    /// scheduler.
+    /// parallel), then all pairs are evaluated on the engine's default
+    /// execution backend.
     pub fn gram_matrix(&self, graphs: &[Graph]) -> Result<KernelMatrix, LinalgError> {
+        self.gram_matrix_on(graphs, None)
+    }
+
+    /// [`HaqjskModel::gram_matrix`] on an explicit execution backend
+    /// (`None` = the engine default, which honours `HAQJSK_BACKEND`).
+    pub fn gram_matrix_on(
+        &self,
+        graphs: &[Graph],
+        backend: Option<BackendKind>,
+    ) -> Result<KernelMatrix, LinalgError> {
         let aligned = self.transform_all(graphs)?;
-        Ok(gram_from_indexed(graphs.len(), |i, j| {
+        Ok(gram_from_indexed_on(graphs.len(), backend, |i, j| {
             self.kernel(&aligned[i], &aligned[j])
         }))
     }
@@ -246,8 +270,19 @@ impl HaqjskModel {
         graphs: &[Graph],
         cache: &FeatureCache<AlignedGraph>,
     ) -> Result<KernelMatrix, LinalgError> {
+        self.gram_matrix_cached_on(graphs, cache, None)
+    }
+
+    /// [`HaqjskModel::gram_matrix_cached`] on an explicit execution
+    /// backend.
+    pub fn gram_matrix_cached_on(
+        &self,
+        graphs: &[Graph],
+        cache: &FeatureCache<AlignedGraph>,
+        backend: Option<BackendKind>,
+    ) -> Result<KernelMatrix, LinalgError> {
         let aligned = self.transform_all_cached(graphs, cache)?;
-        Ok(gram_from_indexed(graphs.len(), |i, j| {
+        Ok(gram_from_indexed_on(graphs.len(), backend, |i, j| {
             self.kernel(&aligned[i], &aligned[j])
         }))
     }
@@ -263,6 +298,18 @@ impl HaqjskModel {
         graphs: &[Graph],
         cache: &FeatureCache<AlignedGraph>,
     ) -> Result<KernelMatrix, LinalgError> {
+        self.gram_matrix_extended_on(base, graphs, cache, None)
+    }
+
+    /// [`HaqjskModel::gram_matrix_extended`] on an explicit execution
+    /// backend.
+    pub fn gram_matrix_extended_on(
+        &self,
+        base: &KernelMatrix,
+        graphs: &[Graph],
+        cache: &FeatureCache<AlignedGraph>,
+        backend: Option<BackendKind>,
+    ) -> Result<KernelMatrix, LinalgError> {
         let m = base.len();
         if m > graphs.len() {
             return Err(LinalgError::InvalidArgument(format!(
@@ -271,9 +318,37 @@ impl HaqjskModel {
             )));
         }
         let aligned = self.transform_all_cached(graphs, cache)?;
-        let values = Engine::global().gram_extend(base.matrix(), graphs.len(), |i, j| {
-            self.kernel(&aligned[i], &aligned[j])
-        });
+        let values =
+            Engine::global().gram_extend_on(backend, base.matrix(), graphs.len(), |i, j| {
+                self.kernel(&aligned[i], &aligned[j])
+            });
+        KernelMatrix::new(values)
+    }
+
+    /// Sliding-window Gram maintenance for streaming deployments: extends
+    /// the Gram matrix of `graphs[..base.len()]` to cover all of `graphs`,
+    /// then evicts the oldest rows/columns so at most `window` items
+    /// remain. Returns the windowed Gram matrix (covering the *last*
+    /// `min(graphs.len(), window)` graphs) — new pairs are evaluated once,
+    /// evicted history costs no kernel work at all.
+    pub fn gram_matrix_windowed(
+        &self,
+        base: &KernelMatrix,
+        graphs: &[Graph],
+        window: usize,
+        cache: &FeatureCache<AlignedGraph>,
+    ) -> Result<KernelMatrix, LinalgError> {
+        if window == 0 {
+            return Err(LinalgError::InvalidArgument(
+                "sliding window must keep at least one graph".to_string(),
+            ));
+        }
+        let extended = self.gram_matrix_extended(base, graphs, cache)?;
+        let total = extended.len();
+        if total <= window {
+            return Ok(extended);
+        }
+        let values = Engine::global().gram_retain(extended.matrix(), total - window..total);
         KernelMatrix::new(values)
     }
 
@@ -299,6 +374,11 @@ impl GraphKernel for HaqjskModel {
 
     fn gram_matrix(&self, graphs: &[Graph]) -> KernelMatrix {
         HaqjskModel::gram_matrix(self, graphs).expect("graphs must be non-empty and transformable")
+    }
+
+    fn gram_matrix_on(&self, graphs: &[Graph], backend: Option<BackendKind>) -> KernelMatrix {
+        HaqjskModel::gram_matrix_on(self, graphs, backend)
+            .expect("graphs must be non-empty and transformable")
     }
 }
 
@@ -443,6 +523,72 @@ mod tests {
         let gram_trait = GraphKernel::gram_matrix(&model, &graphs[..3]);
         let gram_direct = HaqjskModel::gram_matrix(&model, &graphs[..3]).unwrap();
         assert!((gram_trait.matrix() - gram_direct.matrix()).max_abs() < 1e-12);
+    }
+
+    #[test]
+    fn gram_agrees_across_backends() {
+        let graphs = dataset();
+        let model =
+            HaqjskModel::fit(&graphs, small_config(), HaqjskVariant::AlignedAdjacency).unwrap();
+        let reference = model
+            .gram_matrix_on(&graphs, Some(BackendKind::Serial))
+            .unwrap();
+        for backend in BackendKind::ALL {
+            let gram = model.gram_matrix_on(&graphs, Some(backend)).unwrap();
+            assert_eq!(
+                gram.matrix(),
+                reference.matrix(),
+                "backend {backend} must be byte-identical to the serial path"
+            );
+        }
+    }
+
+    #[test]
+    fn windowed_gram_slides_over_the_stream() {
+        let graphs = dataset();
+        let model =
+            HaqjskModel::fit(&graphs, small_config(), HaqjskVariant::AlignedDensity).unwrap();
+        let cache = FeatureCache::new();
+        let window = 3;
+
+        // Stream the graphs one at a time through the windowed API.
+        let mut served: Vec<Graph> = graphs[..2].to_vec();
+        let mut gram = model.gram_matrix_cached(&served, &cache).unwrap();
+        for g in &graphs[2..] {
+            served.push(g.clone());
+            gram = model
+                .gram_matrix_windowed(&gram, &served, window, &cache)
+                .unwrap();
+            if served.len() > window {
+                served.drain(..served.len() - window);
+            }
+            assert_eq!(gram.len(), served.len().min(window));
+        }
+
+        // The final window equals a from-scratch Gram over the same graphs.
+        let direct = model.gram_matrix_cached(&served, &cache).unwrap();
+        assert_eq!(gram.matrix(), direct.matrix());
+
+        // Degenerate window sizes are rejected.
+        assert!(model
+            .gram_matrix_windowed(&gram, &served, 0, &cache)
+            .is_err());
+    }
+
+    #[test]
+    fn aligned_graph_weight_counts_density_payload() {
+        let graphs = dataset();
+        let model =
+            HaqjskModel::fit(&graphs, small_config(), HaqjskVariant::AlignedAdjacency).unwrap();
+        let aligned = model.transform(&graphs[0]).unwrap();
+        let payload: usize = aligned
+            .adjacency_densities
+            .iter()
+            .chain(aligned.aligned_densities.iter())
+            .map(|rho| rho.dim() * rho.dim() * std::mem::size_of::<f64>())
+            .sum();
+        assert!(CacheWeight::weight(&aligned) >= payload);
+        assert!(payload > 0);
     }
 
     #[test]

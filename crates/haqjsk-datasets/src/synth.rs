@@ -108,8 +108,8 @@ fn bio_graph(n: usize, target_edges: usize, class: usize, class_fraction: f64, s
             added += 1;
         }
     }
-    let graph = add_random_edges(&graph, chords, seed ^ (class as u64 + 0xC0));
-    graph
+
+    add_random_edges(&graph, chords, seed ^ (class as u64 + 0xC0))
 }
 
 /// Computer-vision shape stand-in: a small-world ring lattice (a discretised
@@ -135,7 +135,7 @@ fn cv_graph(n: usize, target_edges: usize, class_fraction: f64, seed: u64) -> Gr
 fn sn_graph(n: usize, target_edges: usize, class: usize, class_fraction: f64, seed: u64) -> Graph {
     let max_pairs = (n * n.saturating_sub(1) / 2).max(1);
     let density = (target_edges as f64 / max_pairs as f64).min(0.9);
-    if class % 2 == 0 {
+    if class.is_multiple_of(2) {
         // Community-structured graphs: the class selects the block count.
         let blocks = 2 + class % 4;
         let base = n / blocks;

@@ -1,0 +1,335 @@
+//! Pluggable Gram execution backends.
+//!
+//! The engine originally hard-coded one execution strategy — the tiled
+//! scheduler on the worker pool. This module turns that strategy into an
+//! explicit seam: a [`GramBackend`] is the object that decides *how* the
+//! `n(n+1)/2` pairwise evaluations (and the per-item feature extractions
+//! feeding them) are scheduled, while the [`Engine`](crate::Engine) keeps
+//! owning the pool and the tile sizing policy. Three backends ship today:
+//!
+//! * [`SerialBackend`] — everything on the calling thread, in deterministic
+//!   row-major order; the reference all others are tested against,
+//! * [`TiledPoolBackend`] — the original behavior: upper-triangle tiles
+//!   scheduled over the worker pool, per-item features computed lazily
+//!   inside the pair loop (byte-identical to the pre-backend engine),
+//! * [`BatchedTileBackend`] — runs every per-item feature extraction the
+//!   tiles would perform as **one parallel batch** up front (via the
+//!   caller-supplied prefetch hook), then the pairwise tile loop only reads
+//!   warm state. This is the seam a SIMD/GPU batched-eigendecomposition
+//!   backend plugs into: the batch phase is where whole-dataset
+//!   eigendecompositions can be fused.
+//!
+//! Because per-item features are deterministic and memoised (see
+//! [`FeatureCache`](crate::FeatureCache)), all three backends produce
+//! byte-identical Gram matrices for any deterministic entry function — the
+//! engine integration tests assert this on a 32-graph dataset.
+//!
+//! Selection: [`Engine`](crate::Engine) builders take a [`BackendKind`];
+//! the `HAQJSK_BACKEND` environment variable (`serial` / `tiled` /
+//! `batched`) overrides the default for the process-global engine, and
+//! per-call overrides flow through the `*_on` entry points.
+
+use crate::gram;
+use crate::pool::WorkerPool;
+use haqjsk_linalg::Matrix;
+
+/// Name of the environment variable selecting the default backend.
+pub const BACKEND_ENV_VAR: &str = "HAQJSK_BACKEND";
+
+/// A per-item feature-extraction hook: `prefetch(i)` warms whatever cached
+/// state the entry function will read for item `i`. Entry functions must
+/// stay correct without it — it is a scheduling hint, not a requirement.
+pub type Prefetch<'a> = &'a (dyn Fn(usize) + Sync);
+
+/// A pairwise Gram entry function over item indices.
+pub type Entry<'a> = &'a (dyn Fn(usize, usize) -> f64 + Sync);
+
+/// The available Gram execution strategies.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum BackendKind {
+    /// Single-threaded reference path.
+    Serial,
+    /// Tiled upper-triangle scheduling over the worker pool (the default).
+    #[default]
+    TiledPool,
+    /// One parallel feature-extraction batch, then the tiled pair loop.
+    BatchedTile,
+}
+
+impl BackendKind {
+    /// Every backend, in sweep order (benchmarks iterate this).
+    pub const ALL: [BackendKind; 3] = [
+        BackendKind::Serial,
+        BackendKind::TiledPool,
+        BackendKind::BatchedTile,
+    ];
+
+    /// The canonical lower-case label (`serial` / `tiled` / `batched`).
+    pub fn label(self) -> &'static str {
+        match self {
+            BackendKind::Serial => "serial",
+            BackendKind::TiledPool => "tiled",
+            BackendKind::BatchedTile => "batched",
+        }
+    }
+
+    /// Parses a backend label; accepts the canonical labels plus the
+    /// struct-style spellings (`tiled_pool`, `batched_tile`).
+    pub fn parse(raw: &str) -> Option<BackendKind> {
+        match raw.trim().to_ascii_lowercase().as_str() {
+            "serial" => Some(BackendKind::Serial),
+            "tiled" | "tiled_pool" | "pool" => Some(BackendKind::TiledPool),
+            "batched" | "batched_tile" | "batch" => Some(BackendKind::BatchedTile),
+            _ => None,
+        }
+    }
+
+    /// The `HAQJSK_BACKEND` override, if set to a recognised label.
+    pub fn from_env() -> Option<BackendKind> {
+        std::env::var(BACKEND_ENV_VAR)
+            .ok()
+            .and_then(|raw| BackendKind::parse(&raw))
+    }
+
+    /// The statically allocated implementation of this kind.
+    pub fn implementation(self) -> &'static dyn GramBackend {
+        match self {
+            BackendKind::Serial => &SerialBackend,
+            BackendKind::TiledPool => &TiledPoolBackend,
+            BackendKind::BatchedTile => &BatchedTileBackend,
+        }
+    }
+}
+
+impl std::fmt::Display for BackendKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// A Gram execution strategy: how pairwise entries and per-item feature
+/// extractions are scheduled on (or off) the worker pool.
+///
+/// Implementations must be stateless (selection is by [`BackendKind`], and
+/// one static instance serves every engine) and must produce results that
+/// are byte-identical to [`SerialBackend`] for deterministic inputs.
+pub trait GramBackend: Send + Sync {
+    /// The kind this implementation realises.
+    fn kind(&self) -> BackendKind;
+
+    /// Computes the symmetric `n x n` Gram matrix of `entry`, optionally
+    /// warming per-item state through `prefetch` first.
+    fn gram(
+        &self,
+        pool: &WorkerPool,
+        n: usize,
+        tile: usize,
+        prefetch: Option<Prefetch<'_>>,
+        entry: Entry<'_>,
+    ) -> Matrix;
+
+    /// Extends an `m x m` Gram matrix to `total` items, computing only the
+    /// new rows/columns; `entry` is never called with both indices `< m`.
+    fn gram_extend(
+        &self,
+        pool: &WorkerPool,
+        base: &Matrix,
+        total: usize,
+        tile: usize,
+        prefetch: Option<Prefetch<'_>>,
+        entry: Entry<'_>,
+    ) -> Matrix;
+
+    /// Runs `f(i)` for every `i in 0..count` — the per-item companion used
+    /// by [`Engine::map`](crate::Engine::map).
+    fn for_each(&self, pool: &WorkerPool, count: usize, f: &(dyn Fn(usize) + Sync));
+}
+
+/// Single-threaded reference backend: deterministic row-major order, no
+/// pool involvement at all. Prefetch hooks are skipped — the entry function
+/// computes features lazily, which is the serial-optimal order anyway.
+pub struct SerialBackend;
+
+impl GramBackend for SerialBackend {
+    fn kind(&self) -> BackendKind {
+        BackendKind::Serial
+    }
+
+    fn gram(
+        &self,
+        _pool: &WorkerPool,
+        n: usize,
+        _tile: usize,
+        _prefetch: Option<Prefetch<'_>>,
+        entry: Entry<'_>,
+    ) -> Matrix {
+        gram::gram_serial(n, entry)
+    }
+
+    fn gram_extend(
+        &self,
+        _pool: &WorkerPool,
+        base: &Matrix,
+        total: usize,
+        _tile: usize,
+        _prefetch: Option<Prefetch<'_>>,
+        entry: Entry<'_>,
+    ) -> Matrix {
+        gram::gram_extend_serial(base, total, entry)
+    }
+
+    fn for_each(&self, _pool: &WorkerPool, count: usize, f: &(dyn Fn(usize) + Sync)) {
+        for i in 0..count {
+            f(i);
+        }
+    }
+}
+
+/// The original engine behavior: tiles over the pool, features computed
+/// lazily by whichever tile touches an item first. Prefetch hooks are
+/// ignored so this stays byte- and schedule-identical to the pre-backend
+/// engine.
+pub struct TiledPoolBackend;
+
+impl GramBackend for TiledPoolBackend {
+    fn kind(&self) -> BackendKind {
+        BackendKind::TiledPool
+    }
+
+    fn gram(
+        &self,
+        pool: &WorkerPool,
+        n: usize,
+        tile: usize,
+        _prefetch: Option<Prefetch<'_>>,
+        entry: Entry<'_>,
+    ) -> Matrix {
+        gram::gram_tiled(pool, n, tile, entry)
+    }
+
+    fn gram_extend(
+        &self,
+        pool: &WorkerPool,
+        base: &Matrix,
+        total: usize,
+        tile: usize,
+        _prefetch: Option<Prefetch<'_>>,
+        entry: Entry<'_>,
+    ) -> Matrix {
+        gram::gram_extend(pool, base, total, tile, entry)
+    }
+
+    fn for_each(&self, pool: &WorkerPool, count: usize, f: &(dyn Fn(usize) + Sync)) {
+        pool.scoped_run(count, f);
+    }
+}
+
+/// Batch-then-pairs backend: all per-item feature extractions run as one
+/// parallel batch over the pool *before* the pairwise tile loop starts, so
+/// the pair loop only ever reads warm cached state. Item-level parallelism
+/// in the batch phase beats tile-level parallelism whenever feature
+/// extraction (the `O(n³)` eigendecompositions) dominates, because every
+/// worker stays busy on distinct items instead of tiles racing to compute
+/// the same item's features behind a cache lock.
+pub struct BatchedTileBackend;
+
+impl GramBackend for BatchedTileBackend {
+    fn kind(&self) -> BackendKind {
+        BackendKind::BatchedTile
+    }
+
+    fn gram(
+        &self,
+        pool: &WorkerPool,
+        n: usize,
+        tile: usize,
+        prefetch: Option<Prefetch<'_>>,
+        entry: Entry<'_>,
+    ) -> Matrix {
+        if let Some(prefetch) = prefetch {
+            pool.scoped_run(n, prefetch);
+        }
+        gram::gram_tiled(pool, n, tile, entry)
+    }
+
+    fn gram_extend(
+        &self,
+        pool: &WorkerPool,
+        base: &Matrix,
+        total: usize,
+        tile: usize,
+        prefetch: Option<Prefetch<'_>>,
+        entry: Entry<'_>,
+    ) -> Matrix {
+        if let Some(prefetch) = prefetch {
+            // New entries touch every item (old rows pair with new columns),
+            // so the whole combined index range is batched.
+            pool.scoped_run(total, prefetch);
+        }
+        gram::gram_extend(pool, base, total, tile, entry)
+    }
+
+    fn for_each(&self, pool: &WorkerPool, count: usize, f: &(dyn Fn(usize) + Sync)) {
+        pool.scoped_run(count, f);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn labels_roundtrip_through_parse() {
+        for kind in BackendKind::ALL {
+            assert_eq!(BackendKind::parse(kind.label()), Some(kind));
+            assert_eq!(kind.implementation().kind(), kind);
+        }
+        assert_eq!(
+            BackendKind::parse("Tiled_Pool"),
+            Some(BackendKind::TiledPool)
+        );
+        assert_eq!(
+            BackendKind::parse(" BATCH "),
+            Some(BackendKind::BatchedTile)
+        );
+        assert_eq!(BackendKind::parse("gpu"), None);
+        assert_eq!(BackendKind::default(), BackendKind::TiledPool);
+    }
+
+    #[test]
+    fn all_backends_agree_bytewise() {
+        let pool = WorkerPool::new(3);
+        let entry = |i: usize, j: usize| ((i * 13 + j * 7) as f64).cos() + (i + j) as f64;
+        let reference = gram::gram_serial(17, entry);
+        for kind in BackendKind::ALL {
+            let backend = kind.implementation();
+            let out = backend.gram(&pool, 17, 4, None, &entry);
+            assert_eq!(out, reference, "{kind} gram");
+            let base = backend.gram(&pool, 11, 4, None, &entry);
+            let extended = backend.gram_extend(&pool, &base, 17, 4, None, &entry);
+            assert_eq!(extended, reference, "{kind} gram_extend");
+        }
+    }
+
+    #[test]
+    fn batched_backend_runs_prefetch_before_entries() {
+        let pool = WorkerPool::new(2);
+        let prefetched = AtomicUsize::new(0);
+        let n = 9;
+        let prefetch = |_i: usize| {
+            prefetched.fetch_add(1, Ordering::SeqCst);
+        };
+        let entry = |i: usize, j: usize| {
+            assert_eq!(
+                prefetched.load(Ordering::SeqCst),
+                n,
+                "pair loop must start only after the whole batch"
+            );
+            (i + j) as f64
+        };
+        let out = BatchedTileBackend.gram(&pool, n, 3, Some(&prefetch), &entry);
+        assert_eq!(out, gram::gram_serial(n, |i, j| (i + j) as f64));
+        assert_eq!(prefetched.load(Ordering::SeqCst), n);
+    }
+}

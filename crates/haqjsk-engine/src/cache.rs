@@ -1,28 +1,181 @@
-//! Memoisation of expensive per-graph features.
+//! Memoisation of expensive per-graph features — sharded, budgeted, LRU.
 //!
 //! The HAQJSK pipeline's cost is dominated by per-*pair* kernel evaluations,
 //! but the per-*graph* inputs to those evaluations — CTQW density matrices
 //! (`O(n^3)` eigendecompositions), depth-based vertex representations,
 //! aligned structure families — are reusable across every pair and every
 //! request that involves the same graph. [`FeatureCache`] memoises them
-//! under a [`GraphKey`](crate::hash::GraphKey), guarantees each value is
-//! computed **exactly once** even under concurrent access, and counts hits
-//! and misses so callers (and tests) can verify the exactly-once property.
+//! under a [`GraphKey`](crate::hash::GraphKey) and guarantees each value is
+//! computed **exactly once per resident key** even under concurrent access.
+//!
+//! Two properties make the cache production-shaped rather than a plain
+//! mutex-guarded map:
+//!
+//! * **Key-range sharding.** The key space (the upper 64 bits of the
+//!   structural hash) is partitioned into [`CacheConfig::shards`]
+//!   contiguous ranges, each guarded by its own mutex, so concurrent
+//!   lookups for different graphs rarely contend on one lock.
+//! * **Budgeted LRU eviction.** Each shard tracks an intrusive LRU list and
+//!   the approximate resident bytes of its values (via the [`CacheWeight`]
+//!   trait). When a total byte budget is configured, inserts that push a
+//!   shard over its slice of the budget evict least-recently-used entries
+//!   until it fits — so long-running serving processes handle unbounded
+//!   graph streams with bounded memory. Evicted values stay alive for
+//!   callers already holding their `Arc`; only residency is bounded.
+//!
+//! The exactly-once guarantee is scoped to residency: while a key stays
+//! resident, concurrent requests for it block on the first compute instead
+//! of recomputing; once evicted, a later request recomputes (and the
+//! eviction counters make that observable).
 
 use crate::hash::GraphKey;
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex, OnceLock};
 
-/// Hit/miss counters of a [`FeatureCache`].
+/// Approximate resident size of a cached value, in bytes.
+///
+/// Implementations should count the value's owned heap data plus its inline
+/// size; exact malloc-level accounting is not required — budgets are
+/// capacity planning, not allocation control. The default counts only the
+/// inline size, which is right for plain scalar types.
+pub trait CacheWeight {
+    /// Approximate bytes this value keeps resident.
+    fn weight(&self) -> usize {
+        std::mem::size_of_val(self)
+    }
+}
+
+macro_rules! inline_weight {
+    ($($t:ty),*) => {$(
+        impl CacheWeight for $t {}
+    )*};
+}
+
+inline_weight!(u8, u16, u32, u64, u128, usize, i8, i16, i32, i64, i128, isize, f32, f64, bool);
+
+impl CacheWeight for String {
+    fn weight(&self) -> usize {
+        std::mem::size_of::<String>() + self.capacity()
+    }
+}
+
+impl<T: CacheWeight> CacheWeight for Vec<T> {
+    fn weight(&self) -> usize {
+        std::mem::size_of::<Vec<T>>() + self.iter().map(CacheWeight::weight).sum::<usize>()
+    }
+}
+
+impl<T: CacheWeight> CacheWeight for Arc<T> {
+    fn weight(&self) -> usize {
+        std::mem::size_of::<Arc<T>>() + T::weight(self)
+    }
+}
+
+impl CacheWeight for haqjsk_linalg::Matrix {
+    fn weight(&self) -> usize {
+        std::mem::size_of::<haqjsk_linalg::Matrix>()
+            + self.rows() * self.cols() * std::mem::size_of::<f64>()
+    }
+}
+
+/// Environment variable overriding the shard count of environment-configured
+/// caches (see [`CacheConfig::from_env`]).
+pub const CACHE_SHARDS_ENV_VAR: &str = "HAQJSK_CACHE_SHARDS";
+
+/// Environment variable overriding the byte budget of environment-configured
+/// caches; accepts plain bytes or `k`/`m`/`g` suffixes (e.g. `256m`).
+pub const CACHE_BUDGET_ENV_VAR: &str = "HAQJSK_CACHE_BUDGET";
+
+const DEFAULT_SHARDS: usize = 8;
+
+/// Shard count and byte budget of a [`FeatureCache`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CacheConfig {
+    /// Number of key-range shards (clamped to at least 1).
+    pub shards: usize,
+    /// Total byte budget across all shards; `None` = unbounded. Each shard
+    /// enforces `budget / shards` (floor), so budgets should be large
+    /// relative to the shard count and the per-value weight.
+    pub budget_bytes: Option<usize>,
+}
+
+impl Default for CacheConfig {
+    fn default() -> Self {
+        CacheConfig {
+            shards: DEFAULT_SHARDS,
+            budget_bytes: None,
+        }
+    }
+}
+
+impl CacheConfig {
+    /// Default shards, no budget.
+    pub fn unbounded() -> Self {
+        CacheConfig::default()
+    }
+
+    /// Default shards with a total byte budget.
+    pub fn with_budget(budget_bytes: usize) -> Self {
+        CacheConfig {
+            budget_bytes: Some(budget_bytes),
+            ..CacheConfig::default()
+        }
+    }
+
+    /// Reads `HAQJSK_CACHE_SHARDS` and `HAQJSK_CACHE_BUDGET` on top of the
+    /// defaults — how the process-global caches configure themselves.
+    pub fn from_env() -> Self {
+        let mut config = CacheConfig::default();
+        if let Ok(raw) = std::env::var(CACHE_SHARDS_ENV_VAR) {
+            if let Ok(n) = raw.trim().parse::<usize>() {
+                if n > 0 {
+                    config.shards = n;
+                }
+            }
+        }
+        if let Ok(raw) = std::env::var(CACHE_BUDGET_ENV_VAR) {
+            config.budget_bytes = parse_byte_size(&raw);
+        }
+        config
+    }
+}
+
+/// Parses `"1024"`, `"64k"`, `"256m"`, `"2g"` (case-insensitive) to bytes.
+pub fn parse_byte_size(raw: &str) -> Option<usize> {
+    let raw = raw.trim().to_ascii_lowercase();
+    let (digits, multiplier) = match raw.strip_suffix(['k', 'm', 'g']) {
+        Some(prefix) => {
+            let multiplier = match raw.as_bytes()[raw.len() - 1] {
+                b'k' => 1usize << 10,
+                b'm' => 1 << 20,
+                _ => 1 << 30,
+            };
+            (prefix, multiplier)
+        }
+        None => (raw.as_str(), 1),
+    };
+    digits
+        .trim()
+        .parse::<usize>()
+        .ok()
+        .and_then(|n| n.checked_mul(multiplier))
+}
+
+/// Aggregate hit/miss/eviction counters of a [`FeatureCache`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct CacheStats {
     /// Lookups answered from the cache.
     pub hits: usize,
     /// Lookups that had to compute the value.
     pub misses: usize,
-    /// Number of distinct keys currently cached.
+    /// Number of distinct keys currently resident.
     pub entries: usize,
+    /// Entries evicted to satisfy the budget since creation (or since the
+    /// last [`FeatureCache::clear`], which resets this counter).
+    pub evictions: usize,
+    /// Approximate bytes currently resident across all shards.
+    pub resident_bytes: usize,
 }
 
 impl CacheStats {
@@ -37,17 +190,194 @@ impl CacheStats {
     }
 }
 
-/// A concurrent, instrumented memo table from [`GraphKey`] to a feature
-/// value of type `V`.
-///
-/// The map mutex is held only for entry lookup/insertion; the (potentially
-/// very expensive) compute runs outside it, serialised per key by a
-/// [`OnceLock`] so concurrent requests for the *same* graph block until the
-/// first finishes rather than recomputing.
-pub struct FeatureCache<V> {
-    map: Mutex<HashMap<GraphKey, Arc<OnceLock<Arc<V>>>>>,
+/// Per-shard counters, for observability (`stats` serving responses, the
+/// scaling benchmark) and for the eviction property tests.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ShardStats {
+    /// Distinct keys resident in this shard.
+    pub entries: usize,
+    /// Lookups this shard answered from cache.
+    pub hits: usize,
+    /// Lookups this shard had to compute.
+    pub misses: usize,
+    /// Entries this shard evicted.
+    pub evictions: usize,
+    /// Approximate resident bytes in this shard.
+    pub resident_bytes: usize,
+    /// This shard's slice of the budget; `None` = unbounded.
+    pub budget_bytes: Option<usize>,
+}
+
+const NIL: usize = usize::MAX;
+
+/// One node of a shard's intrusive LRU list, slab-allocated so that map
+/// entries can hold a stable index instead of a pointer.
+struct LruNode {
+    key: GraphKey,
+    prev: usize,
+    next: usize,
+}
+
+/// Doubly linked LRU order over a slab of nodes: head = most recently
+/// used, tail = eviction candidate.
+struct LruList {
+    nodes: Vec<LruNode>,
+    free: Vec<usize>,
+    head: usize,
+    tail: usize,
+}
+
+impl LruList {
+    fn new() -> Self {
+        LruList {
+            nodes: Vec::new(),
+            free: Vec::new(),
+            head: NIL,
+            tail: NIL,
+        }
+    }
+
+    fn push_front(&mut self, key: GraphKey) -> usize {
+        let node = LruNode {
+            key,
+            prev: NIL,
+            next: self.head,
+        };
+        let idx = match self.free.pop() {
+            Some(idx) => {
+                self.nodes[idx] = node;
+                idx
+            }
+            None => {
+                self.nodes.push(node);
+                self.nodes.len() - 1
+            }
+        };
+        if self.head != NIL {
+            self.nodes[self.head].prev = idx;
+        }
+        self.head = idx;
+        if self.tail == NIL {
+            self.tail = idx;
+        }
+        idx
+    }
+
+    fn unlink(&mut self, idx: usize) {
+        let (prev, next) = (self.nodes[idx].prev, self.nodes[idx].next);
+        if prev != NIL {
+            self.nodes[prev].next = next;
+        } else {
+            self.head = next;
+        }
+        if next != NIL {
+            self.nodes[next].prev = prev;
+        } else {
+            self.tail = prev;
+        }
+    }
+
+    /// Removes the node and recycles its slot; returns its key.
+    fn remove(&mut self, idx: usize) -> GraphKey {
+        self.unlink(idx);
+        self.free.push(idx);
+        self.nodes[idx].prev = NIL;
+        self.nodes[idx].next = NIL;
+        self.nodes[idx].key
+    }
+
+    /// Moves the node to the front (most recently used).
+    fn touch(&mut self, idx: usize) {
+        if self.head == idx {
+            return;
+        }
+        self.unlink(idx);
+        self.nodes[idx].prev = NIL;
+        self.nodes[idx].next = self.head;
+        if self.head != NIL {
+            self.nodes[self.head].prev = idx;
+        }
+        self.head = idx;
+        if self.tail == NIL {
+            self.tail = idx;
+        }
+    }
+
+    fn tail_key(&self) -> Option<GraphKey> {
+        (self.tail != NIL).then(|| self.nodes[self.tail].key)
+    }
+}
+
+/// One resident (or in-flight) cache entry. `weight == 0` means the value
+/// is still being computed and has not been accounted yet.
+struct Entry<V> {
+    slot: Arc<OnceLock<Arc<V>>>,
+    weight: usize,
+    node: usize,
+}
+
+struct ShardState<V> {
+    entries: HashMap<GraphKey, Entry<V>>,
+    lru: LruList,
+    resident_bytes: usize,
+    evictions: usize,
+}
+
+struct Shard<V> {
+    state: Mutex<ShardState<V>>,
     hits: AtomicUsize,
     misses: AtomicUsize,
+}
+
+impl<V> Shard<V> {
+    fn new() -> Self {
+        Shard {
+            state: Mutex::new(ShardState {
+                entries: HashMap::new(),
+                lru: LruList::new(),
+                resident_bytes: 0,
+                evictions: 0,
+            }),
+            hits: AtomicUsize::new(0),
+            misses: AtomicUsize::new(0),
+        }
+    }
+}
+
+impl<V> ShardState<V> {
+    /// Evicts LRU-tail entries until `resident_bytes <= budget`. The entry
+    /// just inserted sits at the LRU head, so it is evicted only when it
+    /// alone exceeds the shard budget — in which case residency is given
+    /// up (the caller still holds the value through its `Arc`).
+    fn enforce_budget(&mut self, budget: usize) {
+        while self.resident_bytes > budget {
+            let Some(key) = self.lru.tail_key() else {
+                break;
+            };
+            self.evict(key);
+        }
+    }
+
+    fn evict(&mut self, key: GraphKey) {
+        if let Some(entry) = self.entries.remove(&key) {
+            self.lru.remove(entry.node);
+            self.resident_bytes -= entry.weight;
+            self.evictions += 1;
+        }
+    }
+}
+
+/// A concurrent, instrumented, sharded memo table from [`GraphKey`] to a
+/// feature value of type `V`, with optional LRU byte-budget eviction.
+///
+/// Shard mutexes are held only for entry lookup/insertion and LRU/budget
+/// bookkeeping; the (potentially very expensive) compute runs outside them,
+/// serialised per key by a [`OnceLock`] so concurrent requests for the
+/// *same* graph block until the first finishes rather than recomputing.
+pub struct FeatureCache<V> {
+    shards: Vec<Shard<V>>,
+    /// Total byte budget; `usize::MAX` encodes "unbounded".
+    budget: AtomicUsize,
 }
 
 impl<V> Default for FeatureCache<V> {
@@ -60,76 +390,225 @@ impl<V> std::fmt::Debug for FeatureCache<V> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         let stats = self.stats();
         f.debug_struct("FeatureCache")
+            .field("shards", &self.shards.len())
             .field("entries", &stats.entries)
             .field("hits", &stats.hits)
             .field("misses", &stats.misses)
+            .field("evictions", &stats.evictions)
+            .field("resident_bytes", &stats.resident_bytes)
+            .field("budget_bytes", &self.budget_bytes())
             .finish()
     }
 }
 
 impl<V> FeatureCache<V> {
-    /// Creates an empty cache.
+    /// Creates an unbounded cache with the default shard count.
     pub fn new() -> Self {
+        FeatureCache::with_config(CacheConfig::default())
+    }
+
+    /// Creates a cache with an explicit shard count and budget.
+    pub fn with_config(config: CacheConfig) -> Self {
+        let shards = config.shards.max(1);
         FeatureCache {
-            map: Mutex::new(HashMap::new()),
-            hits: AtomicUsize::new(0),
-            misses: AtomicUsize::new(0),
+            shards: (0..shards).map(|_| Shard::new()).collect(),
+            budget: AtomicUsize::new(config.budget_bytes.unwrap_or(usize::MAX)),
         }
     }
 
-    /// Returns the cached value for `key`, computing it with `compute` on
-    /// the first request. `compute` runs exactly once per key across all
-    /// threads.
-    pub fn get_or_compute(&self, key: GraphKey, compute: impl FnOnce() -> V) -> Arc<V> {
-        let slot = {
-            let mut map = self.map.lock().expect("cache map poisoned");
-            Arc::clone(map.entry(key).or_default())
-        };
-        let mut computed_here = false;
-        let value = Arc::clone(slot.get_or_init(|| {
-            computed_here = true;
-            Arc::new(compute())
-        }));
-        if computed_here {
-            self.misses.fetch_add(1, Ordering::Relaxed);
-        } else {
-            self.hits.fetch_add(1, Ordering::Relaxed);
-        }
-        value
+    /// Number of key-range shards.
+    pub fn shards(&self) -> usize {
+        self.shards.len()
     }
 
-    /// Returns the cached value for `key` if present, counting a hit.
+    /// The total byte budget, if one is configured.
+    pub fn budget_bytes(&self) -> Option<usize> {
+        let raw = self.budget.load(Ordering::Relaxed);
+        (raw != usize::MAX).then_some(raw)
+    }
+
+    /// Each shard's slice of the budget (floor division — see
+    /// [`CacheConfig::budget_bytes`]).
+    fn shard_budget(&self) -> usize {
+        match self.budget.load(Ordering::Relaxed) {
+            usize::MAX => usize::MAX,
+            total => total / self.shards.len(),
+        }
+    }
+
+    /// Re-budgets the cache at runtime (`None` lifts the bound), evicting
+    /// immediately if shards now exceed their slice. This is the
+    /// memory-pressure lever for long-running processes.
+    pub fn set_budget(&self, budget_bytes: Option<usize>) {
+        self.budget
+            .store(budget_bytes.unwrap_or(usize::MAX), Ordering::Relaxed);
+        let per_shard = self.shard_budget();
+        for shard in &self.shards {
+            shard
+                .state
+                .lock()
+                .expect("cache shard poisoned")
+                .enforce_budget(per_shard);
+        }
+    }
+
+    /// The shard index serving `key` — a contiguous range partition of the
+    /// upper 64 bits of the structural hash. Exposed so tests and
+    /// observability can attribute keys to shards.
+    pub fn shard_of(&self, key: GraphKey) -> usize {
+        let high = (key.0 >> 64) as u64;
+        // Multiply-shift range partition: shard i serves an equal-width
+        // contiguous slice of the 64-bit key space.
+        ((high as u128 * self.shards.len() as u128) >> 64) as usize
+    }
+
+    /// Returns the cached value for `key` if present, counting a hit and
+    /// refreshing the key's LRU position.
     pub fn get(&self, key: GraphKey) -> Option<Arc<V>> {
-        let value = self.peek(key);
+        let shard = &self.shards[self.shard_of(key)];
+        let value = {
+            let mut state = shard.state.lock().expect("cache shard poisoned");
+            match state.entries.get(&key) {
+                Some(entry) => {
+                    let node = entry.node;
+                    let value = entry.slot.get().cloned();
+                    if value.is_some() {
+                        state.lru.touch(node);
+                    }
+                    value
+                }
+                None => None,
+            }
+        };
         if value.is_some() {
-            self.hits.fetch_add(1, Ordering::Relaxed);
+            shard.hits.fetch_add(1, Ordering::Relaxed);
         }
         value
     }
 
     /// Returns the cached value for `key` without computing, if present.
-    /// Unlike [`FeatureCache::get`] this does not touch the hit counter —
-    /// it is for introspection, not for serving lookups.
+    /// Unlike [`FeatureCache::get`] this touches neither the hit counter
+    /// nor the LRU order — it is for introspection, not for serving
+    /// lookups.
     pub fn peek(&self, key: GraphKey) -> Option<Arc<V>> {
-        let map = self.map.lock().expect("cache map poisoned");
-        map.get(&key).and_then(|slot| slot.get().cloned())
+        let shard = &self.shards[self.shard_of(key)];
+        let state = shard.state.lock().expect("cache shard poisoned");
+        state.entries.get(&key).and_then(|e| e.slot.get().cloned())
     }
 
-    /// Current hit/miss/entry counters.
+    /// Aggregate counters across all shards.
     pub fn stats(&self) -> CacheStats {
-        let entries = self.map.lock().expect("cache map poisoned").len();
-        CacheStats {
-            hits: self.hits.load(Ordering::Relaxed),
-            misses: self.misses.load(Ordering::Relaxed),
-            entries,
+        let mut stats = CacheStats::default();
+        for shard in &self.shards {
+            let state = shard.state.lock().expect("cache shard poisoned");
+            stats.entries += state.entries.len();
+            stats.evictions += state.evictions;
+            stats.resident_bytes += state.resident_bytes;
+            stats.hits += shard.hits.load(Ordering::Relaxed);
+            stats.misses += shard.misses.load(Ordering::Relaxed);
+        }
+        stats
+    }
+
+    /// Per-shard counters, in shard order.
+    pub fn shard_stats(&self) -> Vec<ShardStats> {
+        let budget = self.shard_budget();
+        self.shards
+            .iter()
+            .map(|shard| {
+                let state = shard.state.lock().expect("cache shard poisoned");
+                ShardStats {
+                    entries: state.entries.len(),
+                    hits: shard.hits.load(Ordering::Relaxed),
+                    misses: shard.misses.load(Ordering::Relaxed),
+                    evictions: state.evictions,
+                    resident_bytes: state.resident_bytes,
+                    budget_bytes: (budget != usize::MAX).then_some(budget),
+                }
+            })
+            .collect()
+    }
+
+    /// Evicts every resident value through the normal eviction path and
+    /// resets the hit/miss/eviction counters to zero. Prefer [`set_budget`]
+    /// for memory pressure — `clear` is for hard boundaries (model
+    /// replacement, benchmark isolation) where stale features must not
+    /// survive.
+    ///
+    /// [`set_budget`]: FeatureCache::set_budget
+    pub fn clear(&self) {
+        for shard in &self.shards {
+            let mut state = shard.state.lock().expect("cache shard poisoned");
+            // Draining the LRU through evict() empties the entry map and
+            // the byte counter too (including weight-0 in-flight entries).
+            while let Some(key) = state.lru.tail_key() {
+                state.evict(key);
+            }
+            state.evictions = 0;
+            shard.hits.store(0, Ordering::Relaxed);
+            shard.misses.store(0, Ordering::Relaxed);
         }
     }
+}
 
-    /// Drops every cached value and resets the counters.
-    pub fn clear(&self) {
-        self.map.lock().expect("cache map poisoned").clear();
-        self.hits.store(0, Ordering::Relaxed);
-        self.misses.store(0, Ordering::Relaxed);
+impl<V: CacheWeight> FeatureCache<V> {
+    /// Returns the cached value for `key`, computing it with `compute` on
+    /// the first request. While `key` stays resident, `compute` runs
+    /// exactly once across all threads: concurrent requesters block on the
+    /// first compute instead of duplicating it. If the budget evicts `key`,
+    /// a later request recomputes (observable through
+    /// [`CacheStats::evictions`]).
+    pub fn get_or_compute(&self, key: GraphKey, compute: impl FnOnce() -> V) -> Arc<V> {
+        let shard = &self.shards[self.shard_of(key)];
+        let slot = {
+            let mut state = shard.state.lock().expect("cache shard poisoned");
+            match state.entries.get(&key) {
+                Some(entry) => {
+                    let node = entry.node;
+                    let slot = Arc::clone(&entry.slot);
+                    state.lru.touch(node);
+                    slot
+                }
+                None => {
+                    let slot: Arc<OnceLock<Arc<V>>> = Arc::new(OnceLock::new());
+                    let node = state.lru.push_front(key);
+                    state.entries.insert(
+                        key,
+                        Entry {
+                            slot: Arc::clone(&slot),
+                            weight: 0,
+                            node,
+                        },
+                    );
+                    slot
+                }
+            }
+        };
+
+        let mut computed_here = false;
+        let value = Arc::clone(slot.get_or_init(|| {
+            computed_here = true;
+            Arc::new(compute())
+        }));
+
+        if computed_here {
+            shard.misses.fetch_add(1, Ordering::Relaxed);
+            let weight = CacheWeight::weight(value.as_ref()).max(1);
+            let mut state = shard.state.lock().expect("cache shard poisoned");
+            // Account the weight only if our entry is still the resident
+            // one (it may have been evicted, or evicted-and-replaced by a
+            // fresh entry, while we computed).
+            if let Some(entry) = state.entries.get_mut(&key) {
+                if Arc::ptr_eq(&entry.slot, &slot) && entry.weight == 0 {
+                    entry.weight = weight;
+                    state.resident_bytes += weight;
+                    state.enforce_budget(self.shard_budget());
+                }
+            }
+        } else {
+            shard.hits.fetch_add(1, Ordering::Relaxed);
+        }
+        value
     }
 }
 
@@ -155,6 +634,8 @@ mod tests {
         assert_eq!(stats.misses, 1);
         assert_eq!(stats.hits, 4);
         assert_eq!(stats.entries, 1);
+        assert_eq!(stats.evictions, 0);
+        assert_eq!(stats.resident_bytes, 8);
         assert!((stats.hit_rate() - 0.8).abs() < 1e-12);
     }
 
@@ -192,5 +673,119 @@ mod tests {
         cache.clear();
         assert!(cache.peek(GraphKey(1)).is_none());
         assert_eq!(cache.stats().hits + cache.stats().misses, 0);
+        assert_eq!(cache.stats().resident_bytes, 0);
+    }
+
+    /// Spread keys across the upper-64-bit range so they land in distinct
+    /// shard ranges.
+    fn spread_key(i: u64) -> GraphKey {
+        GraphKey(((i.wrapping_mul(0x9E3779B97F4A7C15)) as u128) << 64 | i as u128)
+    }
+
+    #[test]
+    fn keys_spread_over_shards_by_range() {
+        let cache: FeatureCache<u64> = FeatureCache::with_config(CacheConfig {
+            shards: 4,
+            budget_bytes: None,
+        });
+        assert_eq!(cache.shards(), 4);
+        let mut seen = [false; 4];
+        for i in 0..64 {
+            let s = cache.shard_of(spread_key(i));
+            assert!(s < 4);
+            seen[s] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "all shards should receive keys");
+        // Range partition: ordered high bits map to non-decreasing shards.
+        assert_eq!(cache.shard_of(GraphKey(0)), 0);
+        assert_eq!(cache.shard_of(GraphKey(u128::MAX)), 3);
+    }
+
+    #[test]
+    fn budget_evicts_least_recently_used() {
+        // Single shard so the LRU order is global and deterministic.
+        let cache: FeatureCache<u64> = FeatureCache::with_config(CacheConfig {
+            shards: 1,
+            budget_bytes: Some(3 * 8),
+        });
+        for i in 0..3u64 {
+            cache.get_or_compute(GraphKey(i as u128), || i);
+        }
+        assert_eq!(cache.stats().entries, 3);
+        // Touch key 0 so key 1 becomes the LRU candidate.
+        assert!(cache.get(GraphKey(0)).is_some());
+        cache.get_or_compute(GraphKey(3), || 3);
+        let stats = cache.stats();
+        assert_eq!(stats.entries, 3, "budget holds three 8-byte values");
+        assert_eq!(stats.evictions, 1);
+        assert!(stats.resident_bytes <= 24);
+        assert!(cache.peek(GraphKey(1)).is_none(), "LRU key evicted");
+        assert!(cache.peek(GraphKey(0)).is_some(), "touched key survives");
+        assert!(cache.peek(GraphKey(2)).is_some());
+        assert!(cache.peek(GraphKey(3)).is_some());
+        // The evicted key recomputes on the next request.
+        let calls = AtomicUsize::new(0);
+        cache.get_or_compute(GraphKey(1), || {
+            calls.fetch_add(1, Ordering::SeqCst);
+            1
+        });
+        assert_eq!(calls.load(Ordering::SeqCst), 1);
+    }
+
+    #[test]
+    fn oversized_value_is_returned_but_not_retained() {
+        let cache: FeatureCache<String> = FeatureCache::with_config(CacheConfig {
+            shards: 1,
+            budget_bytes: Some(16),
+        });
+        let v = cache.get_or_compute(GraphKey(9), || "x".repeat(4096));
+        assert_eq!(v.len(), 4096, "caller still gets the value");
+        let stats = cache.stats();
+        assert_eq!(stats.entries, 0, "value larger than the budget");
+        assert_eq!(stats.evictions, 1);
+        assert_eq!(stats.resident_bytes, 0);
+    }
+
+    #[test]
+    fn set_budget_evicts_immediately_and_lifts() {
+        let cache: FeatureCache<u64> = FeatureCache::with_config(CacheConfig {
+            shards: 1,
+            budget_bytes: None,
+        });
+        for i in 0..10u64 {
+            cache.get_or_compute(GraphKey(i as u128), || i);
+        }
+        assert_eq!(cache.stats().entries, 10);
+        cache.set_budget(Some(4 * 8));
+        let stats = cache.stats();
+        assert_eq!(stats.entries, 4);
+        assert_eq!(stats.evictions, 6);
+        assert_eq!(cache.budget_bytes(), Some(32));
+        cache.set_budget(None);
+        assert_eq!(cache.budget_bytes(), None);
+        for i in 0..10u64 {
+            cache.get_or_compute(GraphKey((100 + i) as u128), || i);
+        }
+        assert_eq!(cache.stats().entries, 14, "unbounded again");
+    }
+
+    #[test]
+    fn parse_byte_sizes() {
+        assert_eq!(parse_byte_size("1024"), Some(1024));
+        assert_eq!(parse_byte_size(" 64k "), Some(64 << 10));
+        assert_eq!(parse_byte_size("256M"), Some(256 << 20));
+        assert_eq!(parse_byte_size("2g"), Some(2 << 30));
+        assert_eq!(parse_byte_size("nope"), None);
+        assert_eq!(parse_byte_size(""), None);
+    }
+
+    #[test]
+    fn weights_account_heap_data() {
+        assert_eq!(7u64.weight(), 8);
+        assert!(String::from("hello").weight() >= 5);
+        let m = haqjsk_linalg::Matrix::zeros(4, 5);
+        assert!(m.weight() >= 4 * 5 * 8);
+        let v: Vec<f64> = vec![0.0; 10];
+        assert!(v.weight() >= 80);
     }
 }

@@ -1,14 +1,23 @@
 //! The [`Engine`]: the single execution substrate for kernel computation.
 //!
-//! An engine owns a [`WorkerPool`] and exposes the Gram-matrix entry points
-//! every kernel in the workspace routes through: tiled parallel computation,
-//! the serial reference path, incremental extension for streaming
-//! out-of-sample workloads, and a parallel map for per-graph feature
-//! extraction. A lazily initialised process-global engine
-//! ([`Engine::global`]) lets callers share one pool instead of spawning
-//! scoped threads per Gram matrix, with the worker count controlled by the
-//! `HAQJSK_THREADS` environment variable (read once, at first use).
+//! An engine owns a [`WorkerPool`], a default [`BackendKind`] and the tile
+//! sizing policy, and exposes the Gram-matrix entry points every kernel in
+//! the workspace routes through: full computation, incremental extension
+//! and sliding-window retention for streaming workloads, and a parallel map
+//! for per-graph feature extraction. *How* a Gram matrix is scheduled is
+//! delegated to a pluggable [`GramBackend`](crate::backend::GramBackend) —
+//! serial reference, the tiled worker-pool scheduler, or the batched-tile
+//! strategy that extracts all per-item features as one parallel batch
+//! before the pair loop. Every entry point has an `_on` variant taking an
+//! explicit backend override; the plain variants use the engine's default.
+//!
+//! A lazily initialised process-global engine ([`Engine::global`]) lets
+//! callers share one pool instead of spawning scoped threads per Gram
+//! matrix. Its worker count comes from the `HAQJSK_THREADS` environment
+//! variable and its default backend from `HAQJSK_BACKEND` (both read once,
+//! at first use).
 
+use crate::backend::BackendKind;
 use crate::gram;
 use crate::pool::{default_thread_count, WorkerPool};
 use haqjsk_linalg::Matrix;
@@ -18,32 +27,75 @@ use std::sync::OnceLock;
 pub struct Engine {
     pool: WorkerPool,
     tile_override: Option<usize>,
+    backend: BackendKind,
 }
 
 static GLOBAL_ENGINE: OnceLock<Engine> = OnceLock::new();
 
-impl Engine {
-    /// Creates an engine with `threads` workers and automatic tile sizing.
-    pub fn new(threads: usize) -> Self {
+/// Configures and builds an [`Engine`]; obtained from [`Engine::builder`].
+#[derive(Debug, Clone, Copy, Default)]
+pub struct EngineBuilder {
+    threads: Option<usize>,
+    tile: Option<usize>,
+    backend: Option<BackendKind>,
+}
+
+impl EngineBuilder {
+    /// Sets the worker count (default: [`default_thread_count`]).
+    pub fn threads(mut self, threads: usize) -> Self {
+        self.threads = Some(threads);
+        self
+    }
+
+    /// Fixes the Gram tile width (default: automatic per-matrix sizing).
+    pub fn tile(mut self, tile: usize) -> Self {
+        self.tile = Some(tile.max(1));
+        self
+    }
+
+    /// Sets the default execution backend (default: the `HAQJSK_BACKEND`
+    /// environment override, falling back to [`BackendKind::TiledPool`]).
+    pub fn backend(mut self, backend: BackendKind) -> Self {
+        self.backend = Some(backend);
+        self
+    }
+
+    /// Builds the engine.
+    pub fn build(self) -> Engine {
         Engine {
-            pool: WorkerPool::new(threads),
-            tile_override: None,
+            pool: WorkerPool::new(self.threads.unwrap_or_else(default_thread_count)),
+            tile_override: self.tile,
+            backend: self
+                .backend
+                .or_else(BackendKind::from_env)
+                .unwrap_or_default(),
         }
+    }
+}
+
+impl Engine {
+    /// Starts building an engine with explicit configuration.
+    pub fn builder() -> EngineBuilder {
+        EngineBuilder::default()
+    }
+
+    /// Creates an engine with `threads` workers, automatic tile sizing and
+    /// the default backend (`HAQJSK_BACKEND` override applies).
+    pub fn new(threads: usize) -> Self {
+        Engine::builder().threads(threads).build()
     }
 
     /// Creates an engine with a fixed Gram tile width (mainly for tests and
     /// benchmarks; the automatic choice is right for production use).
     pub fn with_tile(threads: usize, tile: usize) -> Self {
-        Engine {
-            pool: WorkerPool::new(threads),
-            tile_override: Some(tile.max(1)),
-        }
+        Engine::builder().threads(threads).tile(tile).build()
     }
 
     /// The process-global engine, created on first use with
-    /// [`default_thread_count`] workers (`HAQJSK_THREADS` override applies).
+    /// [`default_thread_count`] workers (`HAQJSK_THREADS` override applies)
+    /// and the environment-selected backend.
     pub fn global() -> &'static Engine {
-        GLOBAL_ENGINE.get_or_init(|| Engine::new(default_thread_count()))
+        GLOBAL_ENGINE.get_or_init(|| Engine::builder().build())
     }
 
     /// The underlying pool.
@@ -56,18 +108,63 @@ impl Engine {
         self.pool.threads()
     }
 
+    /// The engine's default execution backend.
+    pub fn backend(&self) -> BackendKind {
+        self.backend
+    }
+
     fn tile_for(&self, n: usize) -> usize {
         self.tile_override
             .unwrap_or_else(|| gram::auto_tile_width(n, self.pool.threads()))
     }
 
-    /// Computes the symmetric `n x n` Gram matrix of `f` with tiled
-    /// parallel scheduling.
+    fn resolve(&self, backend: Option<BackendKind>) -> BackendKind {
+        backend.unwrap_or(self.backend)
+    }
+
+    /// Computes the symmetric `n x n` Gram matrix of `f` on the engine's
+    /// default backend.
     pub fn gram<F>(&self, n: usize, f: F) -> Matrix
     where
         F: Fn(usize, usize) -> f64 + Sync,
     {
-        gram::gram_tiled(&self.pool, n, self.tile_for(n), f)
+        self.gram_on(None, n, f)
+    }
+
+    /// Computes the Gram matrix on an explicit backend (`None` = the
+    /// engine's default).
+    pub fn gram_on<F>(&self, backend: Option<BackendKind>, n: usize, f: F) -> Matrix
+    where
+        F: Fn(usize, usize) -> f64 + Sync,
+    {
+        self.resolve(backend)
+            .implementation()
+            .gram(&self.pool, n, self.tile_for(n), None, &f)
+    }
+
+    /// Computes the Gram matrix with a per-item `prefetch` hook: backends
+    /// that batch feature extraction ([`BackendKind::BatchedTile`]) run
+    /// `prefetch(i)` for every item as one parallel batch before the pair
+    /// loop; the other backends skip it and let `f` compute features
+    /// lazily. `f` must therefore stay correct when the hook never runs.
+    pub fn gram_prefetched<P, F>(
+        &self,
+        backend: Option<BackendKind>,
+        n: usize,
+        prefetch: P,
+        f: F,
+    ) -> Matrix
+    where
+        P: Fn(usize) + Sync,
+        F: Fn(usize, usize) -> f64 + Sync,
+    {
+        self.resolve(backend).implementation().gram(
+            &self.pool,
+            n,
+            self.tile_for(n),
+            Some(&prefetch),
+            &f,
+        )
     }
 
     /// Serial reference path; bit-identical to [`Engine::gram`] for any
@@ -79,24 +176,94 @@ impl Engine {
         gram::gram_serial(n, f)
     }
 
-    /// Extends an `m x m` Gram matrix to `total` items, computing only the
-    /// new rows/columns. `f` is indexed over the combined item list and is
-    /// never called with both indices `< m`.
+    /// Extends an `m x m` Gram matrix to `total` items on the engine's
+    /// default backend, computing only the new rows/columns. `f` is indexed
+    /// over the combined item list and is never called with both indices
+    /// `< m`.
     pub fn gram_extend<F>(&self, base: &Matrix, total: usize, f: F) -> Matrix
     where
         F: Fn(usize, usize) -> f64 + Sync,
     {
-        gram::gram_extend(&self.pool, base, total, self.tile_for(total), f)
+        self.gram_extend_on(None, base, total, f)
     }
 
-    /// Runs `f` over `0..count` in parallel and collects results in index
-    /// order — the per-graph feature-extraction companion to [`Engine::gram`].
+    /// [`Engine::gram_extend`] on an explicit backend (`None` = the
+    /// engine's default). Features are computed lazily by `f`; use
+    /// [`Engine::gram_extend_prefetched`] to hand batched backends a
+    /// feature-extraction hook.
+    pub fn gram_extend_on<F>(
+        &self,
+        backend: Option<BackendKind>,
+        base: &Matrix,
+        total: usize,
+        f: F,
+    ) -> Matrix
+    where
+        F: Fn(usize, usize) -> f64 + Sync,
+    {
+        self.resolve(backend).implementation().gram_extend(
+            &self.pool,
+            base,
+            total,
+            self.tile_for(total),
+            None,
+            &f,
+        )
+    }
+
+    /// [`Engine::gram_extend_on`] with a per-item `prefetch` hook over the
+    /// *combined* index range `0..total` (old rows pair with new columns):
+    /// batched backends run it as one parallel batch before the strip of
+    /// new entries is computed, the others skip it.
+    pub fn gram_extend_prefetched<P, F>(
+        &self,
+        backend: Option<BackendKind>,
+        base: &Matrix,
+        total: usize,
+        prefetch: P,
+        f: F,
+    ) -> Matrix
+    where
+        P: Fn(usize) + Sync,
+        F: Fn(usize, usize) -> f64 + Sync,
+    {
+        self.resolve(backend).implementation().gram_extend(
+            &self.pool,
+            base,
+            total,
+            self.tile_for(total),
+            Some(&prefetch),
+            &f,
+        )
+    }
+
+    /// Shrinks a Gram matrix to the contiguous index window `keep` —
+    /// sliding-window row+column eviction, the counterpart of
+    /// [`Engine::gram_extend`] for streaming deployments that must bound
+    /// their working set. Pure data movement: no kernel re-evaluation.
+    pub fn gram_retain(&self, base: &Matrix, keep: std::ops::Range<usize>) -> Matrix {
+        gram::gram_shrink(base, keep)
+    }
+
+    /// Runs `f` over `0..count` on the engine's default backend and
+    /// collects results in index order — the per-graph feature-extraction
+    /// companion to [`Engine::gram`].
     pub fn map<T, F>(&self, count: usize, f: F) -> Vec<T>
     where
         T: Send,
         F: Fn(usize) -> T + Sync,
     {
-        self.pool.map(count, f)
+        self.map_on(None, count, f)
+    }
+
+    /// [`Engine::map`] on an explicit backend (`None` = engine default).
+    pub fn map_on<T, F>(&self, backend: Option<BackendKind>, count: usize, f: F) -> Vec<T>
+    where
+        T: Send,
+        F: Fn(usize) -> T + Sync,
+    {
+        let backend = self.resolve(backend).implementation();
+        crate::pool::collect_indexed(count, f, |fill| backend.for_each(&self.pool, count, fill))
     }
 }
 
@@ -113,13 +280,28 @@ mod tests {
     }
 
     #[test]
+    fn builder_configures_backend_and_threads() {
+        let engine = Engine::builder()
+            .threads(2)
+            .tile(4)
+            .backend(BackendKind::Serial)
+            .build();
+        assert_eq!(engine.threads(), 2);
+        assert_eq!(engine.backend(), BackendKind::Serial);
+        let f = |i: usize, j: usize| (i * 3 + j) as f64;
+        assert_eq!(engine.gram(6, f), Engine::gram_serial(6, f));
+    }
+
+    #[test]
     fn gram_parallel_matches_serial_exactly() {
         let f = |i: usize, j: usize| ((i * 31 + j * 17) as f64).sin() * 0.5 + (i + j) as f64;
         for n in [0usize, 1, 2, 7, 33] {
             let engine = Engine::with_tile(4, 3);
-            let parallel = engine.gram(n, f);
-            let serial = Engine::gram_serial(n, f);
-            assert_eq!(parallel, serial, "n={n}");
+            for backend in BackendKind::ALL {
+                let out = engine.gram_on(Some(backend), n, f);
+                let serial = Engine::gram_serial(n, f);
+                assert_eq!(out, serial, "n={n} backend={backend}");
+            }
         }
     }
 
@@ -128,35 +310,70 @@ mod tests {
         let f = |i: usize, j: usize| 1.0 / (1.0 + (i as f64 - j as f64).abs()) + (i * j) as f64;
         let engine = Engine::with_tile(4, 4);
         let full = engine.gram(20, f);
-        let base = engine.gram(13, f);
-        let extended = engine.gram_extend(&base, 20, f);
-        assert_eq!(extended, full);
-        // Extending by zero items returns the base unchanged.
-        let unchanged = engine.gram_extend(&base, 13, f);
-        assert_eq!(unchanged, base);
+        for backend in BackendKind::ALL {
+            let base = engine.gram_on(Some(backend), 13, f);
+            let extended = engine.gram_extend_on(Some(backend), &base, 20, f);
+            assert_eq!(extended, full, "backend={backend}");
+            // Extending by zero items returns the base unchanged.
+            let unchanged = engine.gram_extend_on(Some(backend), &base, 13, f);
+            assert_eq!(unchanged, base, "backend={backend}");
+        }
     }
 
     #[test]
     fn extension_never_recomputes_old_pairs() {
         let engine = Engine::with_tile(2, 4);
-        let base = engine.gram(10, |i, j| (i + j) as f64);
-        let extended = engine.gram_extend(&base, 14, |i, j| {
-            assert!(
-                i >= 10 || j >= 10,
-                "old pair ({i},{j}) must come from the base matrix"
-            );
-            (i + j) as f64
-        });
-        assert_eq!(extended, engine.gram(14, |i, j| (i + j) as f64));
+        for backend in BackendKind::ALL {
+            let base = engine.gram_on(Some(backend), 10, |i, j| (i + j) as f64);
+            let extended = engine.gram_extend_on(Some(backend), &base, 14, |i, j| {
+                assert!(
+                    i >= 10 || j >= 10,
+                    "old pair ({i},{j}) must come from the base matrix"
+                );
+                (i + j) as f64
+            });
+            assert_eq!(extended, engine.gram(14, |i, j| (i + j) as f64));
+        }
+    }
+
+    #[test]
+    fn retain_keeps_the_sliding_window() {
+        let engine = Engine::with_tile(2, 3);
+        let f = |i: usize, j: usize| (i * 100 + j) as f64 + (j * 100 + i) as f64;
+        let full = engine.gram(12, f);
+        // Dropping the first 5 items equals computing the Gram of the
+        // shifted index set directly.
+        let window = engine.gram_retain(&full, 5..12);
+        let expected = engine.gram(7, |i, j| f(i + 5, j + 5));
+        assert_eq!(window, expected);
+        // Degenerate windows.
+        assert_eq!(engine.gram_retain(&full, 0..12), full);
+        assert_eq!(engine.gram_retain(&full, 4..4).rows(), 0);
+    }
+
+    #[test]
+    fn prefetched_gram_matches_plain_gram_on_every_backend() {
+        let engine = Engine::with_tile(3, 4);
+        let f = |i: usize, j: usize| ((i + 2 * j) as f64).sqrt();
+        let reference = Engine::gram_serial(15, f);
+        for backend in BackendKind::ALL {
+            let out = engine.gram_prefetched(Some(backend), 15, |_i| {}, f);
+            assert_eq!(out, reference, "backend={backend}");
+            let base = engine.gram_on(Some(backend), 9, f);
+            let extended = engine.gram_extend_prefetched(Some(backend), &base, 15, |_i| {}, f);
+            assert_eq!(extended, reference, "extend backend={backend}");
+        }
     }
 
     #[test]
     fn map_preserves_order() {
         let engine = Engine::new(4);
-        let squares = engine.map(100, |i| i * i);
-        assert_eq!(squares.len(), 100);
-        for (i, &v) in squares.iter().enumerate() {
-            assert_eq!(v, i * i);
+        for backend in BackendKind::ALL {
+            let squares = engine.map_on(Some(backend), 100, |i| i * i);
+            assert_eq!(squares.len(), 100);
+            for (i, &v) in squares.iter().enumerate() {
+                assert_eq!(v, i * i, "backend={backend}");
+            }
         }
     }
 

@@ -99,6 +99,56 @@ where
     values
 }
 
+/// Serial counterpart of [`gram_extend`]: copies the base block and fills
+/// the new rows/columns in deterministic row-major order on the calling
+/// thread. Byte-identical to the parallel path for deterministic `f`.
+pub fn gram_extend_serial<F>(base: &Matrix, total: usize, f: F) -> Matrix
+where
+    F: Fn(usize, usize) -> f64,
+{
+    let m = base.rows();
+    assert!(base.is_square(), "base Gram matrix must be square");
+    assert!(total >= m, "cannot shrink a Gram matrix via extension");
+    let n = total;
+    let mut values = Matrix::zeros(n, n);
+    for i in 0..m {
+        values.data_mut()[i * n..i * n + m].copy_from_slice(base.row(i));
+    }
+    for i in 0..n {
+        for j in m.max(i)..n {
+            let v = f(i, j);
+            values[(i, j)] = v;
+            values[(j, i)] = v;
+        }
+    }
+    values
+}
+
+/// Shrinks a Gram matrix to the contiguous index window `keep`, dropping
+/// every row/column outside it — the eviction counterpart of
+/// [`gram_extend`] for sliding-window streaming deployments: after
+/// appending arrivals with `gram_extend`, evict the oldest items with
+/// `gram_shrink` and the window's Gram matrix never grows beyond the
+/// window size, with no kernel re-evaluation at all.
+///
+/// # Panics
+/// Panics if `base` is not square or `keep` is out of bounds.
+pub fn gram_shrink(base: &Matrix, keep: std::ops::Range<usize>) -> Matrix {
+    let n = base.rows();
+    assert!(base.is_square(), "base Gram matrix must be square");
+    assert!(
+        keep.start <= keep.end && keep.end <= n,
+        "keep window {keep:?} out of bounds for a {n}x{n} Gram matrix"
+    );
+    let w = keep.len();
+    let mut values = Matrix::zeros(w, w);
+    for (out_row, i) in keep.clone().enumerate() {
+        values.data_mut()[out_row * w..(out_row + 1) * w]
+            .copy_from_slice(&base.row(i)[keep.start..keep.end]);
+    }
+    values
+}
+
 /// Extends an existing `m x m` Gram matrix to cover `total >= m` items,
 /// computing only the new rows/columns (`n(n+1)/2 - m(m+1)/2` entries
 /// instead of the full recomputation). `f` is indexed over the *combined*
@@ -126,7 +176,7 @@ where
     let col_blocks = (n - m).div_ceil(tile);
     let tiles: Vec<(usize, usize)> = (0..row_blocks)
         .flat_map(|bi| (0..col_blocks).map(move |bj| (bi, bj)))
-        .filter(|&(bi, bj)| bi * tile <= m + (bj + 1) * tile - 1)
+        .filter(|&(bi, bj)| bi * tile < m + (bj + 1) * tile)
         .collect();
 
     let out = TileOutput(values.data_mut().as_mut_ptr());

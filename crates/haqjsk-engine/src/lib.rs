@@ -12,23 +12,56 @@
 //! * [`pool`] — a reusable scoped-worker thread pool ([`WorkerPool`]) with
 //!   the worker count configurable through the `HAQJSK_THREADS` environment
 //!   variable,
-//! * [`gram`] + [`engine`] — a tiled job scheduler computing Gram matrices
-//!   in cache-friendly blocks, a serial reference path, and an
-//!   **incremental extension** API appending out-of-sample rows/columns to
-//!   an existing Gram matrix for streaming workloads ([`Engine`]),
-//! * [`cache`] — a per-graph feature cache ([`FeatureCache`]) keyed by a
-//!   structural graph hash ([`hash::graph_key`]), memoising expensive
-//!   per-graph state with exactly-once compute semantics and hit/miss
-//!   instrumentation,
+//! * [`backend`] — **pluggable Gram execution backends** behind the
+//!   [`GramBackend`] trait: the serial reference path, the tiled
+//!   worker-pool scheduler, and a batched-tile strategy that runs all
+//!   per-item feature extractions as one parallel batch before the pair
+//!   loop. Selected per engine (builder) or per call, with a process-wide
+//!   `HAQJSK_BACKEND` override; all backends are byte-identical for
+//!   deterministic kernels, so swapping them is purely a scheduling choice,
+//! * [`gram`] + [`engine`] — the tile scheduling primitives and the
+//!   [`Engine`] that ties pool + backend + tile policy together, including
+//!   **incremental extension** (`gram_extend`, appending rows/columns) and
+//!   **sliding-window retention** (`gram_retain`, evicting rows/columns)
+//!   for streaming workloads,
+//! * [`cache`] — a **sharded, budgeted** per-graph feature cache
+//!   ([`FeatureCache`]) keyed by a structural graph hash
+//!   ([`hash::graph_key`]): the key space is range-partitioned into
+//!   independently locked shards, each maintaining an LRU list and its
+//!   slice of an optional byte budget (value sizes via [`CacheWeight`]),
+//!   with exactly-once compute semantics per resident key and full
+//!   hit/miss/eviction instrumentation per shard,
 //! * [`json`] + [`serve`] — the JSON-lines TCP serving substrate used by the
 //!   `haqjsk-serve` binary (transport loop, graph wire format, dependency-
 //!   free JSON).
+//!
+//! ## Architecture: one seam per scaling axis
+//!
+//! The engine deliberately separates *what* is computed (the caller's entry
+//! function), *how* it is scheduled (the [`GramBackend`]), and *what is
+//! remembered* (the [`FeatureCache`]):
+//!
+//! ```text
+//!   callers (kernels, model, serving)
+//!        │ entry fn + optional prefetch hook
+//!        ▼
+//!   Engine ── backend: Serial | TiledPool | BatchedTile ──► WorkerPool
+//!        │                                                     │
+//!        └────────── FeatureCache (N key-range shards, ────────┘
+//!                    LRU + byte budget per shard)
+//! ```
+//!
+//! New execution strategies (SIMD/GPU batched eigendecomposition,
+//! distributed tiles) implement [`GramBackend`] and slot in without
+//! touching any caller; new memory policies land in the cache layer without
+//! touching scheduling.
 //!
 //! Higher layers route through [`Engine::global`]:
 //! `haqjsk-kernels::kernel::gram_from_pairwise` (the default Gram path of
 //! every [`GraphKernel`](../haqjsk_kernels/trait.GraphKernel.html)),
 //! `haqjsk-core`'s `HaqjskModel::gram_matrix`, and the benchmark binaries.
 
+pub mod backend;
 pub mod cache;
 pub mod engine;
 pub mod gram;
@@ -37,8 +70,12 @@ pub mod json;
 pub mod pool;
 pub mod serve;
 
-pub use cache::{CacheStats, FeatureCache};
-pub use engine::Engine;
+pub use backend::{BackendKind, GramBackend, BACKEND_ENV_VAR};
+pub use cache::{
+    parse_byte_size, CacheConfig, CacheStats, CacheWeight, FeatureCache, ShardStats,
+    CACHE_BUDGET_ENV_VAR, CACHE_SHARDS_ENV_VAR,
+};
+pub use engine::{Engine, EngineBuilder};
 pub use hash::{graph_key, GraphKey};
 pub use json::Json;
 pub use pool::{default_thread_count, WorkerPool, THREADS_ENV_VAR};

@@ -164,21 +164,38 @@ impl WorkerPool {
         T: Send,
         F: Fn(usize) -> T + Sync,
     {
-        let mut slots: Vec<Option<T>> = (0..count).map(|_| None).collect();
-        let out = SlotWriter(slots.as_mut_ptr());
-        self.scoped_run(count, &|i| {
-            // SAFETY: each index writes exactly one distinct slot, and the
-            // slots vector outlives scoped_run's blocking completion.
-            unsafe { *out.slot(i) = Some(f(i)) };
-        });
-        slots
-            .into_iter()
-            .map(|s| s.expect("every index filled its slot"))
-            .collect()
+        collect_indexed(count, f, |fill| self.scoped_run(count, fill))
     }
 }
 
-/// Raw pointer to the output slots of [`WorkerPool::map`], shared across
+/// Collects `f(0..count)` in index order by handing `run` a fill closure to
+/// execute over every index — the shared slot machinery behind
+/// [`WorkerPool::map`] and the engine's backend-dispatched map. `run` must
+/// invoke the fill closure for every index in `0..count` exactly once and
+/// return only after all invocations completed.
+pub(crate) fn collect_indexed<T, F>(
+    count: usize,
+    f: F,
+    run: impl FnOnce(&(dyn Fn(usize) + Sync)),
+) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    let mut slots: Vec<Option<T>> = (0..count).map(|_| None).collect();
+    let out = SlotWriter(slots.as_mut_ptr());
+    run(&|i| {
+        // SAFETY: each index writes exactly one distinct slot, and the
+        // slots vector outlives `run`'s blocking completion.
+        unsafe { *out.slot(i) = Some(f(i)) };
+    });
+    slots
+        .into_iter()
+        .map(|s| s.expect("every index filled its slot"))
+        .collect()
+}
+
+/// Raw pointer to the output slots of [`collect_indexed`], shared across
 /// workers; disjoint index access makes the aliasing sound.
 struct SlotWriter<T>(*mut Option<T>);
 

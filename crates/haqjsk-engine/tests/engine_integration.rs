@@ -6,7 +6,7 @@
 //!   whole Gram computation (instrumented through the feature cache),
 //! * incremental Gram extension matches full recomputation exactly.
 
-use haqjsk_engine::{graph_key, Engine, FeatureCache};
+use haqjsk_engine::{graph_key, BackendKind, Engine, FeatureCache};
 use haqjsk_graph::generators::{barabasi_albert, cycle_graph, erdos_renyi, star_graph};
 use haqjsk_graph::Graph;
 use haqjsk_quantum::{ctqw_density_infinite, qjsd_padded, DensityMatrix};
@@ -100,6 +100,51 @@ fn incremental_extension_matches_full_recomputation_on_graph_features() {
         pair_kernel(&densities, i, j)
     });
     assert_eq!(extended, full, "extension must equal full recomputation");
+}
+
+/// Satellite acceptance: the `BatchedTile` and `Serial` backends produce
+/// byte-identical Gram matrices on the 32-graph dataset, with the batched
+/// backend extracting every feature through the cache *before* its pair
+/// loop starts.
+#[test]
+fn batched_and_serial_backends_are_byte_identical_on_the_dataset() {
+    let graphs = synthetic_dataset();
+    let n = graphs.len();
+    let engine = Engine::with_tile(4, 5);
+
+    let run = |backend: BackendKind| {
+        let cache: FeatureCache<DensityMatrix> = FeatureCache::new();
+        let density = |i: usize| {
+            cache.get_or_compute(graph_key(&graphs[i]), || {
+                ctqw_density_infinite(&graphs[i]).expect("non-empty graph")
+            })
+        };
+        let gram = engine.gram_prefetched(
+            Some(backend),
+            n,
+            |i| {
+                let _ = density(i);
+            },
+            |i, j| {
+                let d = qjsd_padded(&density(i), &density(j)).expect("valid densities");
+                (-d).exp()
+            },
+        );
+        (gram, cache.stats())
+    };
+
+    let (serial, serial_stats) = run(BackendKind::Serial);
+    let (batched, batched_stats) = run(BackendKind::BatchedTile);
+    assert_eq!(
+        batched, serial,
+        "BatchedTile must reproduce the serial Gram bit for bit"
+    );
+    // Both schedules computed each distinct graph's density exactly once.
+    assert_eq!(serial_stats.misses, n);
+    assert_eq!(batched_stats.misses, n);
+    // The tiled backend agrees too.
+    let (tiled, _) = run(BackendKind::TiledPool);
+    assert_eq!(tiled, serial);
 }
 
 #[test]

@@ -175,7 +175,7 @@ pub fn stochastic_block_model(block_sizes: &[usize], p_in: f64, p_out: f64, seed
     let n: usize = block_sizes.iter().sum();
     let mut block_of = Vec::with_capacity(n);
     for (b, &size) in block_sizes.iter().enumerate() {
-        block_of.extend(std::iter::repeat(b).take(size));
+        block_of.extend(std::iter::repeat_n(b, size));
     }
     let mut g = Graph::new(n);
     for i in 0..n {
@@ -202,7 +202,7 @@ pub fn random_regular(n: usize, d: usize, seed: u64) -> Graph {
     if n < 2 || d == 0 {
         return g;
     }
-    let mut stubs: Vec<usize> = (0..n).flat_map(|v| std::iter::repeat(v).take(d)).collect();
+    let mut stubs: Vec<usize> = (0..n).flat_map(|v| std::iter::repeat_n(v, d)).collect();
     stubs.shuffle(&mut rng);
     let mut attempts = 0;
     while stubs.len() >= 2 && attempts < 20 * n * d {

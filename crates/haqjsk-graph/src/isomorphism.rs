@@ -71,8 +71,7 @@ pub fn find_isomorphism(a: &Graph, b: &Graph) -> Option<Vec<usize>> {
             }
         }
         // Every already-mapped neighbour relation must be preserved both ways.
-        for w in 0..mapping.len() {
-            let mapped = mapping[w];
+        for (w, &mapped) in mapping.iter().enumerate() {
             if mapped == usize::MAX {
                 continue;
             }
@@ -83,6 +82,7 @@ pub fn find_isomorphism(a: &Graph, b: &Graph) -> Option<Vec<usize>> {
         true
     }
 
+    #[allow(clippy::too_many_arguments)]
     fn backtrack(
         a: &Graph,
         b: &Graph,

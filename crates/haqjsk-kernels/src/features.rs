@@ -7,20 +7,30 @@
 //! once, and across calls (cross-validation repetitions, serving requests
 //! touching the same graphs) previously seen graphs are free.
 //!
-//! The cache grows with the number of distinct graphs seen; long-running
-//! processes serving unbounded streams should call [`clear_density_cache`]
-//! at dataset boundaries (eviction policies are a ROADMAP item).
+//! ## Memory policy
+//!
+//! The cache is sharded by key range and supports an LRU byte budget (see
+//! [`CacheConfig`]): long-running processes serving unbounded graph streams
+//! should bound residency with a budget — set `HAQJSK_CACHE_BUDGET` (bytes,
+//! or `64k`/`256m`/`2g`) and optionally `HAQJSK_CACHE_SHARDS` before the
+//! first use, or call [`set_density_cache_budget`] at runtime — and let LRU
+//! eviction keep the hot graphs resident. [`clear_density_cache`] still
+//! exists for *hard* boundaries (switching datasets in a benchmark, model
+//! replacement) where stale features must not survive at all; it is no
+//! longer the memory-pressure answer — it drains every shard through the
+//! same eviction path the budget uses and resets the counters.
 
-use haqjsk_engine::{graph_key, CacheStats, Engine, FeatureCache};
+use haqjsk_engine::{graph_key, CacheConfig, CacheStats, Engine, FeatureCache, ShardStats};
 use haqjsk_graph::Graph;
 use haqjsk_quantum::{ctqw_density_infinite, DensityMatrix};
 use std::sync::{Arc, OnceLock};
 
 static DENSITY_CACHE: OnceLock<FeatureCache<DensityMatrix>> = OnceLock::new();
 
-/// The process-global CTQW density-matrix cache.
+/// The process-global CTQW density-matrix cache, configured on first use
+/// from the environment (`HAQJSK_CACHE_SHARDS`, `HAQJSK_CACHE_BUDGET`).
 pub fn density_cache() -> &'static FeatureCache<DensityMatrix> {
-    DENSITY_CACHE.get_or_init(FeatureCache::new)
+    DENSITY_CACHE.get_or_init(|| FeatureCache::with_config(CacheConfig::from_env()))
 }
 
 /// The cached time-averaged CTQW density matrix of `graph`, computed on
@@ -32,17 +42,34 @@ pub fn cached_ctqw_density(graph: &Graph) -> Arc<DensityMatrix> {
 }
 
 /// Cached density matrices for a whole dataset, computed in parallel on the
-/// engine's worker pool (each distinct graph exactly once).
+/// engine's worker pool (each distinct graph exactly once while resident).
 pub fn cached_ctqw_densities(graphs: &[Graph]) -> Vec<Arc<DensityMatrix>> {
     Engine::global().map(graphs.len(), |i| cached_ctqw_density(&graphs[i]))
 }
 
-/// Hit/miss/entry counters of the density cache.
+/// Aggregate hit/miss/entry/eviction counters of the density cache.
 pub fn density_cache_stats() -> CacheStats {
     density_cache().stats()
 }
 
-/// Drops all cached density matrices and resets the counters.
+/// Per-shard counters of the density cache, in shard order.
+pub fn density_cache_shard_stats() -> Vec<ShardStats> {
+    density_cache().shard_stats()
+}
+
+/// Re-budgets the density cache at runtime: `Some(bytes)` bounds resident
+/// features (evicting LRU entries immediately if needed), `None` lifts the
+/// bound. This is the recommended memory-pressure control for long-running
+/// processes.
+pub fn set_density_cache_budget(budget_bytes: Option<usize>) {
+    density_cache().set_budget(budget_bytes);
+}
+
+/// Drops all cached density matrices and resets the counters — a hard
+/// boundary for benchmarks and tests. For bounded memory in production use
+/// [`set_density_cache_budget`] (or the `HAQJSK_CACHE_BUDGET` environment
+/// variable) instead: eviction keeps hot graphs resident, a clear forgets
+/// everything.
 pub fn clear_density_cache() {
     density_cache().clear();
 }
@@ -89,5 +116,23 @@ mod tests {
         for (a, b) in densities.iter().zip(&again) {
             assert_eq!(a.matrix(), b.matrix());
         }
+    }
+
+    #[test]
+    fn shard_stats_cover_the_aggregate() {
+        let graphs: Vec<Graph> = (4..9).map(path_graph).collect();
+        let _ = cached_ctqw_densities(&graphs);
+        let total = density_cache_stats();
+        let shards = density_cache_shard_stats();
+        assert_eq!(shards.len(), density_cache().shards());
+        assert_eq!(
+            shards.iter().map(|s| s.entries).sum::<usize>(),
+            total.entries
+        );
+        assert_eq!(shards.iter().map(|s| s.hits).sum::<usize>(), total.hits);
+        assert_eq!(
+            shards.iter().map(|s| s.resident_bytes).sum::<usize>(),
+            total.resident_bytes
+        );
     }
 }

@@ -9,6 +9,7 @@
 
 use crate::kernel::{gram_from_features, GraphKernel};
 use crate::matrix::KernelMatrix;
+use haqjsk_engine::BackendKind;
 use haqjsk_graph::Graph;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -89,7 +90,7 @@ impl GraphletKernel {
         // Connectivity check for at most 4 vertices: every vertex must have
         // degree >= 1 and the structure must not split into two disjoint
         // edges (the only disconnected case with min degree 1).
-        if degree.iter().any(|&d| d == 0) {
+        if degree.contains(&0) {
             return None;
         }
         let mut sorted = degree;
@@ -182,7 +183,9 @@ impl GraphKernel for GraphletKernel {
         haqjsk_linalg::vector::dot(&fa, &fb)
     }
 
-    fn gram_matrix(&self, graphs: &[Graph]) -> KernelMatrix {
+    // Factors through explicit feature vectors: backend-independent, so the
+    // backend-aware hook is overridden to keep the fast path everywhere.
+    fn gram_matrix_on(&self, graphs: &[Graph], _backend: Option<BackendKind>) -> KernelMatrix {
         let features: Vec<Vec<f64>> = graphs.iter().map(|g| self.feature_vector(g)).collect();
         gram_from_features(&features)
     }

@@ -10,8 +10,10 @@
 //! R-convolution local information) that the paper's JTQK column represents.
 //! The simplification is recorded in DESIGN.md.
 
-use crate::kernel::GraphKernel;
+use crate::kernel::{gram_from_indexed_prefetched, GraphKernel};
+use crate::matrix::KernelMatrix;
 use crate::wl::WeisfeilerLehmanKernel;
+use haqjsk_engine::BackendKind;
 use haqjsk_graph::Graph;
 use haqjsk_quantum::DensityMatrix;
 
@@ -100,6 +102,20 @@ impl GraphKernel for JensenTsallisKernel {
 
     fn compute(&self, a: &Graph, b: &Graph) -> f64 {
         self.quantum_factor(a, b) * self.local_factor(a, b)
+    }
+
+    fn gram_matrix_on(&self, graphs: &[Graph], backend: Option<BackendKind>) -> KernelMatrix {
+        // The quantum factor reads the memoised CTQW densities; warming
+        // them through the prefetch hook lets batched backends extract all
+        // of them as one parallel batch before the pair loop.
+        gram_from_indexed_prefetched(
+            graphs.len(),
+            backend,
+            |i| {
+                let _ = crate::features::cached_ctqw_density(&graphs[i]);
+            },
+            |i, j| self.compute(&graphs[i], &graphs[j]),
+        )
     }
 }
 

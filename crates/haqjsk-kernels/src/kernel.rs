@@ -10,7 +10,7 @@
 //! `HAQJSK_THREADS` environment variable.
 
 use crate::matrix::KernelMatrix;
-use haqjsk_engine::Engine;
+use haqjsk_engine::{BackendKind, Engine};
 use haqjsk_graph::Graph;
 use haqjsk_linalg::Matrix;
 
@@ -23,22 +23,42 @@ pub trait GraphKernel: Sync {
     /// Kernel value between two graphs.
     fn compute(&self, a: &Graph, b: &Graph) -> f64;
 
-    /// Gram matrix over a dataset. The default implementation evaluates all
-    /// pairs on the engine's tiled parallel scheduler; kernels that can
-    /// factor through explicit feature maps override this with something
-    /// cheaper.
+    /// Gram matrix over a dataset, on the engine's default execution
+    /// backend.
     fn gram_matrix(&self, graphs: &[Graph]) -> KernelMatrix {
-        gram_from_pairwise(graphs, |a, b| self.compute(a, b))
+        self.gram_matrix_on(graphs, None)
+    }
+
+    /// Gram matrix over a dataset on an explicit execution backend (`None`
+    /// = the engine default, which honours `HAQJSK_BACKEND`). The default
+    /// implementation evaluates all pairs through the chosen backend;
+    /// kernels with per-graph features override this to add a prefetch
+    /// hook (so batched backends extract features as one batch) or to
+    /// factor through explicit feature maps entirely.
+    fn gram_matrix_on(&self, graphs: &[Graph], backend: Option<BackendKind>) -> KernelMatrix {
+        gram_from_pairwise_on(graphs, backend, |a, b| self.compute(a, b))
     }
 }
 
-/// Builds a Gram matrix by evaluating `f` on every unordered pair of graphs,
-/// scheduled in tiles over the engine's worker pool.
+/// Builds a Gram matrix by evaluating `f` on every unordered pair of graphs
+/// on the engine's default backend.
 pub fn gram_from_pairwise<F>(graphs: &[Graph], f: F) -> KernelMatrix
 where
     F: Fn(&Graph, &Graph) -> f64 + Sync,
 {
-    gram_from_indexed(graphs.len(), |i, j| f(&graphs[i], &graphs[j]))
+    gram_from_pairwise_on(graphs, None, f)
+}
+
+/// [`gram_from_pairwise`] with an explicit backend choice.
+pub fn gram_from_pairwise_on<F>(
+    graphs: &[Graph],
+    backend: Option<BackendKind>,
+    f: F,
+) -> KernelMatrix
+where
+    F: Fn(&Graph, &Graph) -> f64 + Sync,
+{
+    gram_from_indexed_on(graphs.len(), backend, |i, j| f(&graphs[i], &graphs[j]))
 }
 
 /// Builds a Gram matrix from an index-pair kernel function — the preferred
@@ -48,7 +68,33 @@ pub fn gram_from_indexed<F>(n: usize, f: F) -> KernelMatrix
 where
     F: Fn(usize, usize) -> f64 + Sync,
 {
-    let values = Engine::global().gram(n, f);
+    gram_from_indexed_on(n, None, f)
+}
+
+/// [`gram_from_indexed`] with an explicit backend choice.
+pub fn gram_from_indexed_on<F>(n: usize, backend: Option<BackendKind>, f: F) -> KernelMatrix
+where
+    F: Fn(usize, usize) -> f64 + Sync,
+{
+    let values = Engine::global().gram_on(backend, n, f);
+    KernelMatrix::new(values).expect("pairwise construction is symmetric")
+}
+
+/// Builds a Gram matrix with a per-item `prefetch` hook: backends that
+/// batch feature extraction run `prefetch(i)` for every item before the
+/// pair loop, the others let `f` compute features lazily. `f` must remain
+/// correct without the hook (compute-through-cache is the usual shape).
+pub fn gram_from_indexed_prefetched<P, F>(
+    n: usize,
+    backend: Option<BackendKind>,
+    prefetch: P,
+    f: F,
+) -> KernelMatrix
+where
+    P: Fn(usize) + Sync,
+    F: Fn(usize, usize) -> f64 + Sync,
+{
+    let values = Engine::global().gram_prefetched(backend, n, prefetch, f);
     KernelMatrix::new(values).expect("pairwise construction is symmetric")
 }
 
@@ -126,6 +172,28 @@ mod tests {
                 assert_eq!(gram.get(i, j), gram.get(j, i));
             }
         }
+    }
+
+    #[test]
+    fn gram_agrees_across_backends() {
+        let graphs = vec![path_graph(4), cycle_graph(5), star_graph(6), path_graph(7)];
+        let kernel = EdgeCountKernel;
+        let reference = kernel.gram_matrix_on(&graphs, Some(BackendKind::Serial));
+        for backend in BackendKind::ALL {
+            let gram = kernel.gram_matrix_on(&graphs, Some(backend));
+            assert_eq!(
+                gram.matrix(),
+                reference.matrix(),
+                "backend {backend} must match the serial reference"
+            );
+        }
+        let prefetched = gram_from_indexed_prefetched(
+            graphs.len(),
+            Some(BackendKind::BatchedTile),
+            |_i| {},
+            |i, j| kernel.compute(&graphs[i], &graphs[j]),
+        );
+        assert_eq!(prefetched.matrix(), reference.matrix());
     }
 
     #[test]

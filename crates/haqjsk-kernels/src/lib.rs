@@ -40,7 +40,10 @@ pub mod wl;
 
 pub use depth_based::DepthBasedAlignedKernel;
 pub use embedding::{kernel_distance_matrix, kernel_pca, KernelPca};
-pub use features::{cached_ctqw_densities, cached_ctqw_density, density_cache_stats};
+pub use features::{
+    cached_ctqw_densities, cached_ctqw_density, clear_density_cache, density_cache_shard_stats,
+    density_cache_stats, set_density_cache_budget,
+};
 pub use graphlet::GraphletKernel;
 pub use jtqk::JensenTsallisKernel;
 pub use kernel::GraphKernel;

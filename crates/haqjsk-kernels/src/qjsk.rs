@@ -13,13 +13,39 @@
 //!   kernel is still not guaranteed positive definite — exactly the drawback
 //!   the HAQJSK kernels remove.
 
-use crate::features::{cached_ctqw_densities, cached_ctqw_density};
-use crate::kernel::{gram_from_indexed, GraphKernel};
+use crate::features::cached_ctqw_density;
+use crate::kernel::{gram_from_indexed_prefetched, GraphKernel};
 use crate::matrix::KernelMatrix;
+use haqjsk_engine::BackendKind;
 use haqjsk_graph::Graph;
 use haqjsk_linalg::assignment::hungarian_max;
 use haqjsk_linalg::{symmetric_eigen, Matrix};
 use haqjsk_quantum::{qjsd, DensityMatrix};
+use std::sync::{Arc, OnceLock};
+
+/// Per-dataset pin of the cached densities: each graph resolves through the
+/// process-global cache at most once per Gram computation (one hash + one
+/// shard lock), and the held `Arc`s keep the values alive even if a byte
+/// budget evicts them from the cache mid-computation — the pair loop then
+/// reads a lock-free slot. Batched backends fill every slot as one parallel
+/// batch through the prefetch hook; lazy backends fill on first touch.
+struct PinnedDensities<'a> {
+    graphs: &'a [Graph],
+    slots: Vec<OnceLock<Arc<DensityMatrix>>>,
+}
+
+impl<'a> PinnedDensities<'a> {
+    fn new(graphs: &'a [Graph]) -> Self {
+        PinnedDensities {
+            graphs,
+            slots: graphs.iter().map(|_| OnceLock::new()).collect(),
+        }
+    }
+
+    fn density(&self, i: usize) -> &DensityMatrix {
+        self.slots[i].get_or_init(|| cached_ctqw_density(&self.graphs[i]))
+    }
+}
 
 /// The unaligned QJSK kernel of Eq. (9).
 #[derive(Debug, Clone)]
@@ -60,13 +86,16 @@ impl GraphKernel for QjskUnaligned {
         self.kernel_from_densities(&rho_a, &rho_b)
     }
 
-    fn gram_matrix(&self, graphs: &[Graph]) -> KernelMatrix {
-        // Densities are per-graph: the engine cache computes each one once
-        // (in parallel), then the tiled pair loop only reads them.
-        let densities = cached_ctqw_densities(graphs);
-        gram_from_indexed(graphs.len(), |i, j| {
-            self.kernel_from_densities(&densities[i], &densities[j])
-        })
+    fn gram_matrix_on(&self, graphs: &[Graph], backend: Option<BackendKind>) -> KernelMatrix {
+        let pinned = PinnedDensities::new(graphs);
+        gram_from_indexed_prefetched(
+            graphs.len(),
+            backend,
+            |i| {
+                let _ = pinned.density(i);
+            },
+            |i, j| self.kernel_from_densities(pinned.density(i), pinned.density(j)),
+        )
     }
 }
 
@@ -138,11 +167,16 @@ impl GraphKernel for QjskAligned {
         self.kernel_from_densities(&rho_a, &rho_b)
     }
 
-    fn gram_matrix(&self, graphs: &[Graph]) -> KernelMatrix {
-        let densities = cached_ctqw_densities(graphs);
-        gram_from_indexed(graphs.len(), |i, j| {
-            self.kernel_from_densities(&densities[i], &densities[j])
-        })
+    fn gram_matrix_on(&self, graphs: &[Graph], backend: Option<BackendKind>) -> KernelMatrix {
+        let pinned = PinnedDensities::new(graphs);
+        gram_from_indexed_prefetched(
+            graphs.len(),
+            backend,
+            |i| {
+                let _ = pinned.density(i);
+            },
+            |i, j| self.kernel_from_densities(pinned.density(i), pinned.density(j)),
+        )
     }
 }
 

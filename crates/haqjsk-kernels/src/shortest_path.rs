@@ -8,6 +8,7 @@
 
 use crate::kernel::{gram_from_features, GraphKernel};
 use crate::matrix::KernelMatrix;
+use haqjsk_engine::BackendKind;
 use haqjsk_graph::shortest_paths::{all_pairs_shortest_paths, INFINITE_DISTANCE};
 use haqjsk_graph::Graph;
 use std::collections::HashMap;
@@ -78,7 +79,9 @@ impl GraphKernel for ShortestPathKernel {
         Self::sparse_dot(&self.feature_map(a), &self.feature_map(b))
     }
 
-    fn gram_matrix(&self, graphs: &[Graph]) -> KernelMatrix {
+    // Factors through explicit feature maps: backend-independent, so the
+    // backend-aware hook is overridden to keep the fast path everywhere.
+    fn gram_matrix_on(&self, graphs: &[Graph], _backend: Option<BackendKind>) -> KernelMatrix {
         let sparse: Vec<HashMap<(usize, usize, usize), f64>> =
             graphs.iter().map(|g| self.feature_map(g)).collect();
         let mut index: HashMap<(usize, usize, usize), usize> = HashMap::new();

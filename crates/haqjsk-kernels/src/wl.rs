@@ -9,6 +9,7 @@
 
 use crate::kernel::{gram_from_features, GraphKernel};
 use crate::matrix::KernelMatrix;
+use haqjsk_engine::BackendKind;
 use haqjsk_graph::Graph;
 use std::collections::HashMap;
 
@@ -46,9 +47,9 @@ impl WeisfeilerLehmanKernel {
         let mut next_label: u64 = 1_000_000; // distinct from raw degree labels
 
         // Iteration 0 histogram: raw labels, offset so rounds do not collide.
-        for (gi, graph) in graphs.iter().enumerate() {
-            for v in 0..graph.num_vertices() {
-                *features[gi].entry(labels[gi][v]).or_insert(0.0) += 1.0;
+        for (gi, graph_labels) in labels.iter().enumerate() {
+            for &label in graph_labels {
+                *features[gi].entry(label).or_insert(0.0) += 1.0;
             }
         }
 
@@ -70,11 +71,9 @@ impl WeisfeilerLehmanKernel {
                 new_labels.push(updated);
             }
             labels = new_labels;
-            for (gi, graph) in graphs.iter().enumerate() {
-                for v in 0..graph.num_vertices() {
-                    *features[gi]
-                        .entry(round_offset ^ labels[gi][v])
-                        .or_insert(0.0) += 1.0;
+            for (gi, graph_labels) in labels.iter().enumerate() {
+                for &label in graph_labels {
+                    *features[gi].entry(round_offset ^ label).or_insert(0.0) += 1.0;
                 }
             }
         }
@@ -100,7 +99,10 @@ impl GraphKernel for WeisfeilerLehmanKernel {
         Self::sparse_dot(&features[0], &features[1])
     }
 
-    fn gram_matrix(&self, graphs: &[Graph]) -> KernelMatrix {
+    // The WL Gram factors through explicit feature maps, so the execution
+    // backend is irrelevant; overriding the backend-aware hook keeps this
+    // fast path on every entry point.
+    fn gram_matrix_on(&self, graphs: &[Graph], _backend: Option<BackendKind>) -> KernelMatrix {
         let sparse = self.feature_maps(graphs);
         // Re-index the union of labels densely so the generic feature Gram
         // builder can be reused.

@@ -110,14 +110,14 @@ impl CMatrix {
                 right: (v.len(), 1),
             });
         }
-        let mut out = vec![Complex::ZERO; self.rows];
-        for i in 0..self.rows {
-            let mut acc = Complex::ZERO;
-            for j in 0..self.cols {
-                acc += self.data[i * self.cols + j] * v[j];
-            }
-            out[i] = acc;
-        }
+        let out = (0..self.rows)
+            .map(|i| {
+                self.data[i * self.cols..(i + 1) * self.cols]
+                    .iter()
+                    .zip(v)
+                    .fold(Complex::ZERO, |acc, (&a, &b)| acc + a * b)
+            })
+            .collect();
         Ok(out)
     }
 

@@ -223,11 +223,9 @@ impl Matrix {
                 right: (v.len(), 1),
             });
         }
-        let mut out = vec![0.0; self.rows];
-        for i in 0..self.rows {
-            let row = self.row(i);
-            out[i] = row.iter().zip(v.iter()).map(|(a, b)| a * b).sum();
-        }
+        let out = (0..self.rows)
+            .map(|i| self.row(i).iter().zip(v.iter()).map(|(a, b)| a * b).sum())
+            .collect();
         Ok(out)
     }
 

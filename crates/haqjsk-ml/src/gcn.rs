@@ -110,12 +110,12 @@ impl GcnClassifier {
             .map(|j| (0..hidden.rows()).map(|i| hidden[(i, j)]).sum::<f64>() / n as f64)
             .collect();
         let mut logits = vec![0.0; self.num_classes];
-        for c in 0..self.num_classes {
+        for (c, logit) in logits.iter_mut().enumerate() {
             let mut acc = self.b_out[(0, c)];
             for (j, &p) in pooled.iter().enumerate() {
                 acc += p * self.w_out[(j, c)];
             }
-            logits[c] = acc;
+            *logit = acc;
         }
         let probabilities = softmax(&logits);
         (pre, hidden, pooled, probabilities)

@@ -41,8 +41,8 @@ pub fn initial_state(graph: &Graph) -> Vec<f64> {
 pub fn initial_state_from_adjacency(adjacency: &Matrix) -> Vec<f64> {
     let n = adjacency.rows();
     let mut degrees = vec![0.0_f64; n];
-    for i in 0..n {
-        degrees[i] = adjacency.row(i).iter().map(|x| x.abs()).sum();
+    for (i, degree) in degrees.iter_mut().enumerate() {
+        *degree = adjacency.row(i).iter().map(|x| x.abs()).sum();
     }
     let total: f64 = degrees.iter().sum();
     if total <= 0.0 {

@@ -174,6 +174,15 @@ impl DensityMatrix {
     }
 }
 
+/// Density matrices are the dominant residents of the engine's budgeted
+/// feature caches; their weight is the `n x n` coefficient block plus the
+/// wrapper itself.
+impl haqjsk_engine::CacheWeight for DensityMatrix {
+    fn weight(&self) -> usize {
+        std::mem::size_of::<DensityMatrix>() + self.dim() * self.dim() * std::mem::size_of::<f64>()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -7,7 +7,7 @@
 //! Usage: `haqjsk-serve [ADDR]` (default `127.0.0.1:7878`; worker count via
 //! `HAQJSK_THREADS`).
 
-use haqjsk::engine::Engine;
+use haqjsk::engine::{CacheConfig, Engine};
 use haqjsk::serving::spawn_server;
 
 fn main() {
@@ -18,10 +18,17 @@ fn main() {
         eprintln!("haqjsk-serve: cannot bind {addr}: {e}");
         std::process::exit(1);
     });
+    let engine = Engine::global();
+    let cache = CacheConfig::from_env();
     println!(
-        "haqjsk-serve listening on {} ({} engine workers)",
+        "haqjsk-serve listening on {} ({} engine workers, '{}' backend, {} cache shards, cache budget {})",
         server.local_addr(),
-        Engine::global().threads()
+        engine.threads(),
+        engine.backend(),
+        cache.shards,
+        cache
+            .budget_bytes
+            .map_or_else(|| "unbounded".to_string(), |b| format!("{b} bytes")),
     );
     // The accept loop runs on its own thread; keep the process alive.
     loop {

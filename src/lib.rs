@@ -13,9 +13,12 @@
 //! * [`quantum`] — continuous-time quantum walks, density matrices, von
 //!   Neumann entropy and the quantum Jensen–Shannon divergence,
 //! * [`engine`] — the parallel Gram-computation engine: the shared worker
-//!   pool (`HAQJSK_THREADS` controls its size), the tiled Gram scheduler,
-//!   the per-graph feature cache, incremental Gram extension and the
-//!   JSON-lines TCP serving substrate,
+//!   pool (`HAQJSK_THREADS` controls its size), pluggable Gram execution
+//!   backends (serial / tiled / batched-tile, `HAQJSK_BACKEND` selects the
+//!   default), the sharded LRU feature cache with optional byte budgets
+//!   (`HAQJSK_CACHE_SHARDS` / `HAQJSK_CACHE_BUDGET`), incremental Gram
+//!   extension plus sliding-window retention, and the JSON-lines TCP
+//!   serving substrate,
 //! * [`kernels`] — the baseline graph kernels (QJSK, WLSK, SPGK, GCGK,
 //!   random walk, JTQK, depth-based aligned) and kernel-matrix utilities,
 //! * [`core`] — the HAQJSK kernels themselves,
@@ -93,7 +96,7 @@ pub mod serving;
 pub mod prelude {
     pub use crate::core::{HaqjskConfig, HaqjskModel, HaqjskVariant};
     pub use crate::datasets::{generate_by_name, GeneratedDataset};
-    pub use crate::engine::{Engine, FeatureCache};
+    pub use crate::engine::{BackendKind, CacheConfig, Engine, FeatureCache};
     pub use crate::graph::Graph;
     pub use crate::kernels::{GraphKernel, KernelMatrix};
     pub use crate::ml::{cross_validate_kernel, CrossValidationConfig};

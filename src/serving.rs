@@ -25,15 +25,21 @@
 //! Graphs travel as `{"n":N,"edges":[[u,v],...],"labels":[...]?}`. Config
 //! fields (all optional): `hierarchy_levels`, `num_prototypes`, `layer_cap`,
 //! `kmeans_max_iterations`, `seed`, `mu`, `small` (bool, default true —
-//! start from [`HaqjskConfig::small`]).
+//! start from [`HaqjskConfig::small`]), plus the cache shape of the aligned
+//! feature cache: `cache_shards` and `cache_budget_bytes` (LRU byte budget;
+//! omit for the `HAQJSK_CACHE_SHARDS` / `HAQJSK_CACHE_BUDGET` environment
+//! defaults). `stats` reports the engine's active execution backend and,
+//! for both feature caches, aggregate *and* per-shard
+//! hit/miss/entry/eviction/byte counters, so bounded-memory operation under
+//! a budget is observable from the wire.
 
 use crate::core::{
     model_from_string, model_to_string, AlignedGraph, HaqjskConfig, HaqjskModel, HaqjskVariant,
 };
 use crate::engine::serve::{error_response, graph_from_json, Handler, Server};
-use crate::engine::{Engine, FeatureCache, Json};
+use crate::engine::{CacheConfig, Engine, FeatureCache, Json, ShardStats};
 use crate::graph::Graph;
-use crate::kernels::{density_cache_stats, KernelMatrix};
+use crate::kernels::{density_cache_shard_stats, density_cache_stats, KernelMatrix};
 use crate::quantum::von_neumann_entropy;
 use std::sync::{Arc, Mutex};
 
@@ -128,6 +134,26 @@ fn parse_config(request: &Json) -> Result<HaqjskConfig, String> {
     Ok(config)
 }
 
+/// Cache shape for the aligned feature cache: request `config` fields on
+/// top of the environment defaults.
+fn parse_cache_config(request: &Json) -> CacheConfig {
+    let mut config = CacheConfig::from_env();
+    if let Some(config_json) = request.get("config") {
+        if let Some(shards) = config_json.get("cache_shards").and_then(Json::as_usize) {
+            if shards > 0 {
+                config.shards = shards;
+            }
+        }
+        if let Some(budget) = config_json
+            .get("cache_budget_bytes")
+            .and_then(Json::as_usize)
+        {
+            config.budget_bytes = Some(budget);
+        }
+    }
+    config
+}
+
 fn parse_labels(request: &Json, expected: usize) -> Result<Option<Vec<usize>>, String> {
     let Some(labels_json) = request.get("labels") else {
         return Ok(None);
@@ -158,7 +184,7 @@ fn cmd_fit(state: &Mutex<ServerState>, request: &Json) -> Json {
         let labels = parse_labels(request, graphs.len())?;
         let model =
             HaqjskModel::fit(&graphs, config, variant).map_err(|e| format!("fit failed: {e:?}"))?;
-        let cache = FeatureCache::new();
+        let cache = FeatureCache::with_config(parse_cache_config(request));
         let gram = model
             .gram_matrix_cached(&graphs, &cache)
             .map_err(|e| format!("gram computation failed: {e:?}"))?;
@@ -316,7 +342,7 @@ fn cmd_load(state: &Mutex<ServerState>, request: &Json) -> Json {
             Vec::new()
         };
         let labels = parse_labels(request, graphs.len())?;
-        let cache = FeatureCache::new();
+        let cache = FeatureCache::with_config(parse_cache_config(request));
         let gram = model
             .gram_matrix_cached(&graphs, &cache)
             .map_err(|e| format!("gram computation failed: {e:?}"))?;
@@ -337,17 +363,51 @@ fn cmd_load(state: &Mutex<ServerState>, request: &Json) -> Json {
     build().unwrap_or_else(|e| error_response(&e))
 }
 
+/// One shard's counters on the wire.
+fn shard_stats_to_json(shard: &ShardStats) -> Json {
+    let mut pairs = vec![
+        ("entries", Json::Num(shard.entries as f64)),
+        ("hits", Json::Num(shard.hits as f64)),
+        ("misses", Json::Num(shard.misses as f64)),
+        ("evictions", Json::Num(shard.evictions as f64)),
+        ("resident_bytes", Json::Num(shard.resident_bytes as f64)),
+    ];
+    if let Some(budget) = shard.budget_bytes {
+        pairs.push(("budget_bytes", Json::Num(budget as f64)));
+    }
+    Json::obj(pairs)
+}
+
+fn shard_stats_array(shards: &[ShardStats]) -> Json {
+    Json::Arr(shards.iter().map(shard_stats_to_json).collect())
+}
+
 fn cmd_stats(state: &Mutex<ServerState>) -> Json {
     let guard = state.lock().expect("state poisoned");
+    let engine = Engine::global();
     let density = density_cache_stats();
     let mut pairs = vec![
         ("ok", Json::Bool(true)),
+        ("engine_threads", Json::Num(engine.threads() as f64)),
         (
-            "engine_threads",
-            Json::Num(Engine::global().threads() as f64),
+            "engine_backend",
+            Json::Str(engine.backend().label().to_string()),
         ),
         ("density_cache_hits", Json::Num(density.hits as f64)),
         ("density_cache_misses", Json::Num(density.misses as f64)),
+        ("density_cache_entries", Json::Num(density.entries as f64)),
+        (
+            "density_cache_evictions",
+            Json::Num(density.evictions as f64),
+        ),
+        (
+            "density_cache_resident_bytes",
+            Json::Num(density.resident_bytes as f64),
+        ),
+        (
+            "density_cache_shards",
+            shard_stats_array(&density_cache_shard_stats()),
+        ),
     ];
     match guard.fitted.as_ref() {
         None => pairs.push(("fitted", Json::Bool(false))),
@@ -358,6 +418,18 @@ fn cmd_stats(state: &Mutex<ServerState>) -> Json {
             pairs.push(("aligned_cache_hits", Json::Num(stats.hits as f64)));
             pairs.push(("aligned_cache_misses", Json::Num(stats.misses as f64)));
             pairs.push(("aligned_cache_entries", Json::Num(stats.entries as f64)));
+            pairs.push(("aligned_cache_evictions", Json::Num(stats.evictions as f64)));
+            pairs.push((
+                "aligned_cache_resident_bytes",
+                Json::Num(stats.resident_bytes as f64),
+            ));
+            if let Some(budget) = fitted.cache.budget_bytes() {
+                pairs.push(("aligned_cache_budget_bytes", Json::Num(budget as f64)));
+            }
+            pairs.push((
+                "aligned_cache_shards",
+                shard_stats_array(&fitted.cache.shard_stats()),
+            ));
         }
     }
     Json::obj(pairs)

@@ -180,3 +180,108 @@ fn full_protocol_over_loopback() {
     let stats = second.expect_ok("{\"cmd\":\"stats\"}");
     assert_eq!(stats.get("fitted").and_then(Json::as_bool), Some(true));
 }
+
+/// Acceptance: a serving process with a finite aligned-cache budget
+/// completes a stream of more distinct graphs than the budget can hold,
+/// with residency bounded and the overflow observable through the
+/// per-shard eviction counters in `stats`.
+#[test]
+fn budgeted_cache_bounds_residency_over_a_distinct_graph_stream() {
+    use haqjsk::graph::generators::erdos_renyi;
+
+    let server = spawn_server("127.0.0.1:0").expect("bind ephemeral port");
+    let mut client = Client::connect(server.local_addr());
+
+    let (graphs, labels) = training_set();
+    let graphs_json = Json::Arr(graphs.iter().map(graph_to_json).collect());
+    let labels_json = Json::Arr(labels.iter().map(|&l| Json::Num(l as f64)).collect());
+    let budget = 6000usize;
+    let shards = 2usize;
+    client.expect_ok(&format!(
+        "{{\"cmd\":\"fit\",\"graphs\":{graphs_json},\"labels\":{labels_json},\
+         \"variant\":\"A\",\"config\":{{\"hierarchy_levels\":2,\"num_prototypes\":8,\
+         \"layer_cap\":3,\"kmeans_max_iterations\":15,\
+         \"cache_shards\":{shards},\"cache_budget_bytes\":{budget}}}}}"
+    ));
+
+    // Stream distinct never-repeating graphs — far more than the budget
+    // can keep resident.
+    let streamed = 24;
+    for i in 0..streamed {
+        let g = erdos_renyi(6 + i % 6, 0.35, 7000 + i as u64);
+        let wire = graph_to_json(&g);
+        let response = client.expect_ok(&format!("{{\"cmd\":\"transform\",\"graph\":{wire}}}"));
+        assert!(response.get("levels").and_then(Json::as_usize).unwrap() >= 1);
+    }
+
+    let stats = client.expect_ok("{\"cmd\":\"stats\"}");
+    assert_eq!(stats.get("fitted").and_then(Json::as_bool), Some(true));
+    let backend = stats.get("engine_backend").and_then(Json::as_str).unwrap();
+    assert!(["serial", "tiled", "batched"].contains(&backend));
+
+    let entries = stats
+        .get("aligned_cache_entries")
+        .and_then(Json::as_usize)
+        .unwrap();
+    let evictions = stats
+        .get("aligned_cache_evictions")
+        .and_then(Json::as_usize)
+        .unwrap();
+    let resident = stats
+        .get("aligned_cache_resident_bytes")
+        .and_then(Json::as_usize)
+        .unwrap();
+    assert_eq!(
+        stats
+            .get("aligned_cache_budget_bytes")
+            .and_then(Json::as_usize),
+        Some(budget)
+    );
+    assert!(
+        evictions > 0,
+        "streaming {streamed} distinct graphs through a {budget}-byte budget must evict"
+    );
+    assert!(
+        resident <= budget,
+        "residency {resident} exceeds the budget"
+    );
+    assert!(
+        entries < graphs.len() + streamed,
+        "every distinct graph resident: the budget did nothing"
+    );
+
+    // Per-shard counters decompose the aggregates and respect the
+    // per-shard budget slice.
+    let shard_stats = stats
+        .get("aligned_cache_shards")
+        .and_then(Json::as_array)
+        .unwrap();
+    assert_eq!(shard_stats.len(), shards);
+    let mut entry_sum = 0;
+    let mut eviction_sum = 0;
+    for shard in shard_stats {
+        let shard_entries = shard.get("entries").and_then(Json::as_usize).unwrap();
+        let shard_resident = shard
+            .get("resident_bytes")
+            .and_then(Json::as_usize)
+            .unwrap();
+        let shard_budget = shard.get("budget_bytes").and_then(Json::as_usize).unwrap();
+        assert_eq!(shard_budget, budget / shards);
+        assert!(shard_resident <= shard_budget);
+        entry_sum += shard_entries;
+        eviction_sum += shard.get("evictions").and_then(Json::as_usize).unwrap();
+    }
+    assert_eq!(entry_sum, entries);
+    assert_eq!(eviction_sum, evictions);
+
+    // The density cache reports its shards too (environment-configured).
+    assert!(stats
+        .get("density_cache_shards")
+        .and_then(Json::as_array)
+        .is_some());
+
+    // The stream left the server fully operational.
+    let unseen = graph_to_json(&cycle_graph(10));
+    let predicted = client.expect_ok(&format!("{{\"cmd\":\"predict\",\"graph\":{unseen}}}"));
+    assert_eq!(predicted.get("label").and_then(Json::as_usize), Some(0));
+}

@@ -104,6 +104,17 @@ macro_rules! prop_assert_eq {
             )));
         }
     }};
+    ($left:expr, $right:expr, $($fmt:tt)*) => {{
+        let (l, r) = (&$left, &$right);
+        if !(*l == *r) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::Fail(format!(
+                "assertion failed: {:?} == {:?}: {}",
+                l,
+                r,
+                format!($($fmt)*)
+            )));
+        }
+    }};
 }
 
 /// Asserts inequality inside a `proptest!` body.
