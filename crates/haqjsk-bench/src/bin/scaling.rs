@@ -4,12 +4,15 @@
 //! number of graphs.
 //!
 //! ```text
-//! cargo run --release -p haqjsk-bench --bin scaling
+//! cargo run --release -p haqjsk-bench --bin scaling [--json <path>]
 //! ```
+//!
+//! `--json` writes the measured sections as a machine-readable report so
+//! the perf trajectory can be tracked across PRs.
 
-use haqjsk_bench::engine_banner;
+use haqjsk_bench::{engine_banner, json_output_path, write_json_report};
 use haqjsk_core::{HaqjskConfig, HaqjskModel, HaqjskVariant};
-use haqjsk_engine::{graph_key, BackendKind, CacheConfig, Engine, FeatureCache};
+use haqjsk_engine::{graph_key, BackendKind, CacheConfig, Engine, FeatureCache, Json};
 use haqjsk_graph::generators::erdos_renyi;
 use haqjsk_graph::Graph;
 use haqjsk_kernels::{cached_ctqw_densities, GraphKernel, QjskUnaligned};
@@ -17,6 +20,11 @@ use haqjsk_quantum::{ctqw_density_infinite, DensityMatrix};
 use std::time::Instant;
 
 fn main() {
+    let json_path = json_output_path();
+    let mut ctqw_rows: Vec<Json> = Vec::new();
+    let mut gram_rows: Vec<Json> = Vec::new();
+    let mut engine_rows: Vec<Json> = Vec::new();
+    let mut sweep_rows: Vec<Json> = Vec::new();
     println!("{}\n", engine_banner());
     println!("Scaling — CTQW density matrix cost vs graph size n\n");
     println!("{:>6} {:>14}", "n", "milliseconds");
@@ -29,6 +37,10 @@ fn main() {
         }
         let ms = start.elapsed().as_secs_f64() * 1000.0 / reps as f64;
         println!("{:>6} {:>14.2}", n, ms);
+        ctqw_rows.push(Json::obj([
+            ("n", Json::Num(n as f64)),
+            ("wall_ms", Json::Num(ms)),
+        ]));
     }
 
     println!("\nScaling — HAQJSK(A) Gram-matrix cost vs number of graphs N\n");
@@ -47,7 +59,12 @@ fn main() {
         let model = HaqjskModel::fit(&graphs, config.clone(), HaqjskVariant::AlignedAdjacency)
             .expect("fit succeeds");
         let _ = model.gram_matrix(&graphs).expect("gram succeeds");
-        println!("{:>6} {:>14.2}", n_graphs, start.elapsed().as_secs_f64());
+        let seconds = start.elapsed().as_secs_f64();
+        println!("{:>6} {:>14.2}", n_graphs, seconds);
+        gram_rows.push(Json::obj([
+            ("n_graphs", Json::Num(n_graphs as f64)),
+            ("wall_ms", Json::Num(seconds * 1000.0)),
+        ]));
     }
 
     println!("\nEngine — tiled parallel Gram vs serial, and the feature cache\n");
@@ -83,6 +100,12 @@ fn main() {
             "{:>6} {:>12.3} {:>12.3} {:>12.3}",
             n_graphs, serial, tiled, warm
         );
+        engine_rows.push(Json::obj([
+            ("n_graphs", Json::Num(n_graphs as f64)),
+            ("serial_ms", Json::Num(serial * 1000.0)),
+            ("tiled_ms", Json::Num(tiled * 1000.0)),
+            ("warm_ms", Json::Num(warm * 1000.0)),
+        ]));
     }
     println!("\nBackend x shard sweep — QJSK Gram on 32 graphs, per-configuration cache\n");
     println!(
@@ -136,7 +159,26 @@ fn main() {
                 stats.hit_rate() * 100.0,
                 stats.evictions
             );
+            sweep_rows.push(Json::obj([
+                ("backend", Json::Str(backend.label().to_string())),
+                ("shards", Json::Num(shards as f64)),
+                ("cold_ms", Json::Num(cold * 1000.0)),
+                ("warm_ms", Json::Num(warm * 1000.0)),
+                ("cache_hit_rate", Json::Num(stats.hit_rate())),
+                ("evictions", Json::Num(stats.evictions as f64)),
+            ]));
         }
+    }
+
+    if let Some(path) = json_path {
+        let report = Json::obj([
+            ("bench", Json::Str("scaling".to_string())),
+            ("ctqw_density", Json::Arr(ctqw_rows)),
+            ("haqjsk_gram", Json::Arr(gram_rows)),
+            ("engine_gram", Json::Arr(engine_rows)),
+            ("backend_shard_sweep", Json::Arr(sweep_rows)),
+        ]);
+        write_json_report(&path, &report);
     }
 
     println!("\n{}", engine_banner());

@@ -102,6 +102,39 @@ impl RunScale {
     }
 }
 
+/// Parses a `--json <path>` flag from the process arguments — the
+/// machine-readable output channel of the perf benches (`scaling`,
+/// `pairwise`), so the perf trajectory can be tracked across PRs.
+///
+/// A `--json` with a missing path (or another flag where the path should
+/// be) aborts loudly: automation that forgot the path must not exit 0 and
+/// then diff a stale report file.
+pub fn json_output_path() -> Option<std::path::PathBuf> {
+    let args: Vec<String> = std::env::args().collect();
+    let idx = args.iter().position(|a| a == "--json")?;
+    match args.get(idx + 1) {
+        Some(path) if !path.starts_with("--") => Some(std::path::PathBuf::from(path)),
+        _ => {
+            eprintln!("error: --json requires a path argument");
+            std::process::exit(2);
+        }
+    }
+}
+
+/// Writes a JSON document to `path` (pretty enough for diffing: one line),
+/// logging where it went. A failed write aborts with a non-zero exit for
+/// the same reason a missing `--json` path does: automation must never
+/// exit 0 and then diff a stale report file.
+pub fn write_json_report(path: &std::path::Path, report: &haqjsk_engine::Json) {
+    match std::fs::write(path, format!("{report}\n")) {
+        Ok(()) => println!("\nwrote machine-readable results to {}", path.display()),
+        Err(err) => {
+            eprintln!("\nerror: failed to write {}: {err}", path.display());
+            std::process::exit(2);
+        }
+    }
+}
+
 /// One-line description of the engine executing all Gram computation:
 /// worker count (with its `HAQJSK_THREADS` provenance) and the density-cache
 /// counters. The table binaries print it so recorded runs document their

@@ -20,17 +20,170 @@
 //! longer the memory-pressure answer — it drains every shard through the
 //! same eviction path the budget uses and resets the counters.
 
-use haqjsk_engine::{graph_key, CacheConfig, CacheStats, Engine, FeatureCache, ShardStats};
+use haqjsk_engine::{
+    graph_key, CacheConfig, CacheStats, CacheWeight, Engine, FeatureCache, ShardStats,
+};
 use haqjsk_graph::Graph;
-use haqjsk_quantum::{ctqw_density_infinite, DensityMatrix};
+use haqjsk_linalg::{symmetric_eigen, Matrix};
+use haqjsk_quantum::{ctqw_density_infinite, entropy_of_spectrum, DensityMatrix};
 use std::sync::{Arc, OnceLock};
 
 static DENSITY_CACHE: OnceLock<FeatureCache<DensityMatrix>> = OnceLock::new();
+static SPECTRAL_CACHE: OnceLock<FeatureCache<GraphSpectrals>> = OnceLock::new();
+static ALIGNMENT_CACHE: OnceLock<FeatureCache<AlignmentBasis>> = OnceLock::new();
+
+/// Per-graph spectral summary of the CTQW density matrix: the clamped
+/// eigenvalue spectrum and its von Neumann entropy.
+///
+/// Both quantities depend only on the graph, and both are invariant under
+/// the zero-padding the pairwise kernels apply (padding adds exact-zero
+/// eigenvalues, which contribute nothing to any entropy), so the pair loops
+/// can consume these cached values instead of re-decomposing the endpoint
+/// states for every pair.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GraphSpectrals {
+    /// Eigenvalues of the CTQW density in ascending order, clamped to
+    /// `[0, 1]` (exactly [`DensityMatrix::spectrum`]).
+    pub spectrum: Vec<f64>,
+    /// Von Neumann entropy `H_N(ρ) = -Σ λ ln λ` of that spectrum.
+    pub von_neumann_entropy: f64,
+}
+
+impl CacheWeight for GraphSpectrals {
+    fn weight(&self) -> usize {
+        std::mem::size_of::<GraphSpectrals>() + self.spectrum.len() * std::mem::size_of::<f64>()
+    }
+}
+
+/// Per-graph eigenvector-magnitude basis used by the Umeyama spectral
+/// matching of the aligned QJSK kernel.
+///
+/// Umeyama's profit matrix consumes `|U|` of the *zero-padded* density's
+/// eigendecomposition, whose column order depends on the pair's padded
+/// dimension. Because the eigen solver treats the zero padding as an exact
+/// no-op (the padded rows Householder to nothing and the stable ascending
+/// sort slots the padding's unit eigenvectors right after the non-positive
+/// eigenvalues), the padded basis is reconstructible from this per-graph
+/// artifact for **any** target dimension — see
+/// [`AlignmentBasis::padded_abs_eigenvectors`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct AlignmentBasis {
+    /// `|U|` of the sorted eigendecomposition of the (unpadded) density.
+    pub abs_eigenvectors: Matrix,
+    /// Number of eigenvalues `λ <= 0.0` — the column index where padding's
+    /// unit eigenvectors are slotted by the stable ascending sort.
+    pub nonpositive_eigenvalues: usize,
+}
+
+impl AlignmentBasis {
+    /// Builds the basis from a density matrix.
+    pub fn from_density(rho: &DensityMatrix) -> AlignmentBasis {
+        AlignmentBasis::from_eigen(
+            &symmetric_eigen(rho.matrix()).expect("density matrices are symmetric"),
+        )
+    }
+
+    /// Builds the basis from an already-computed decomposition of the
+    /// density.
+    pub fn from_eigen(eig: &haqjsk_linalg::SymmetricEigen) -> AlignmentBasis {
+        let nonpositive = eig.eigenvalues.iter().filter(|&&l| l <= 0.0).count();
+        AlignmentBasis {
+            abs_eigenvectors: eig.eigenvectors.map(f64::abs),
+            nonpositive_eigenvalues: nonpositive,
+        }
+    }
+
+    /// The dimension of the underlying state.
+    pub fn dim(&self) -> usize {
+        self.abs_eigenvectors.rows()
+    }
+
+    /// Reconstructs `|U|` of the eigendecomposition of the density
+    /// zero-padded to dimension `n`, bit-identical to running
+    /// `symmetric_eigen` on the padded matrix: the original columns keep
+    /// their stable ascending order, and the padding contributes unit
+    /// eigenvectors (eigenvalue exactly `0.0`) slotted after the original
+    /// non-positive eigenvalues.
+    pub fn padded_abs_eigenvectors(&self, n: usize) -> Matrix {
+        let dim = self.dim();
+        assert!(n >= dim, "cannot pad a {dim}-state down to {n}");
+        let pad = n - dim;
+        let split = self.nonpositive_eigenvalues;
+        let mut out = Matrix::zeros(n, n);
+        for k in 0..n {
+            if k < split {
+                for i in 0..dim {
+                    out[(i, k)] = self.abs_eigenvectors[(i, k)];
+                }
+            } else if k < split + pad {
+                out[(dim + (k - split), k)] = 1.0;
+            } else {
+                let src = k - pad;
+                for i in 0..dim {
+                    out[(i, k)] = self.abs_eigenvectors[(i, src)];
+                }
+            }
+        }
+        out
+    }
+}
+
+impl CacheWeight for AlignmentBasis {
+    fn weight(&self) -> usize {
+        std::mem::size_of::<AlignmentBasis>() + self.dim() * self.dim() * std::mem::size_of::<f64>()
+    }
+}
+
+/// Zero-pads `rho` up to dimension `n`, borrowing it unchanged when it is
+/// already that size — the common same-sized-graphs case in the kernel
+/// pair loops skips the O(n²) copy.
+pub(crate) fn pad_to<'a>(
+    rho: &'a DensityMatrix,
+    n: usize,
+    storage: &'a mut Option<DensityMatrix>,
+) -> &'a DensityMatrix {
+    if rho.dim() == n {
+        rho
+    } else {
+        storage.insert(rho.zero_pad(n).expect("padding up never fails"))
+    }
+}
+
+/// Splits a total feature-cache byte budget across the three caches by
+/// weight class: densities and alignment bases are both `n²` residents and
+/// share the bulk evenly, spectra are `O(n)` and get the small remainder.
+/// Keeps `HAQJSK_CACHE_BUDGET` (and [`set_density_cache_budget`]) meaning
+/// "total resident feature bytes", as it did when the density cache was the
+/// only cache.
+/// The three caches' budget slices: `(density, alignment, spectral)`.
+type BudgetSplit = (Option<usize>, Option<usize>, Option<usize>);
+
+fn split_budget(total: Option<usize>) -> BudgetSplit {
+    match total {
+        None => (None, None, None),
+        Some(total) => {
+            let spectral = total / 8;
+            let density = (total - spectral) / 2;
+            let alignment = total - spectral - density;
+            (Some(density), Some(alignment), Some(spectral))
+        }
+    }
+}
+
+/// Environment configuration of one of the three feature caches: shared
+/// shard count, this cache's slice of the total budget.
+fn cache_from_env<V>(slice: fn(&BudgetSplit) -> Option<usize>) -> FeatureCache<V> {
+    let mut config = CacheConfig::from_env();
+    config.budget_bytes = slice(&split_budget(config.budget_bytes));
+    FeatureCache::with_config(config)
+}
 
 /// The process-global CTQW density-matrix cache, configured on first use
-/// from the environment (`HAQJSK_CACHE_SHARDS`, `HAQJSK_CACHE_BUDGET`).
+/// from the environment (`HAQJSK_CACHE_SHARDS`, `HAQJSK_CACHE_BUDGET` —
+/// the budget is a *total* across the density/spectral/alignment caches,
+/// split by [`split_budget`]).
 pub fn density_cache() -> &'static FeatureCache<DensityMatrix> {
-    DENSITY_CACHE.get_or_init(|| FeatureCache::with_config(CacheConfig::from_env()))
+    DENSITY_CACHE.get_or_init(|| cache_from_env(|b| b.0))
 }
 
 /// The cached time-averaged CTQW density matrix of `graph`, computed on
@@ -47,6 +200,60 @@ pub fn cached_ctqw_densities(graphs: &[Graph]) -> Vec<Arc<DensityMatrix>> {
     Engine::global().map(graphs.len(), |i| cached_ctqw_density(&graphs[i]))
 }
 
+/// The process-global spectral-summary cache (spectrum + von Neumann
+/// entropy of each graph's CTQW density), sharing the density cache's
+/// environment configuration (and its slice of the total budget).
+pub fn spectral_cache() -> &'static FeatureCache<GraphSpectrals> {
+    SPECTRAL_CACHE.get_or_init(|| cache_from_env(|b| b.2))
+}
+
+/// Builds the spectral summary from an already-computed spectrum.
+fn spectrals_from_spectrum(spectrum: Vec<f64>) -> GraphSpectrals {
+    let von_neumann_entropy = entropy_of_spectrum(&spectrum);
+    GraphSpectrals {
+        spectrum,
+        von_neumann_entropy,
+    }
+}
+
+/// The cached spectral summary of `graph`'s CTQW density: eigenvalue
+/// spectrum (values-only solve) and von Neumann entropy, computed once per
+/// resident graph. This is the per-graph half of the QJSD the pair loops
+/// no longer recompute per pair.
+pub fn cached_graph_spectrals(graph: &Graph) -> Arc<GraphSpectrals> {
+    spectral_cache().get_or_compute(graph_key(graph), || {
+        spectrals_from_spectrum(cached_ctqw_density(graph).spectrum())
+    })
+}
+
+/// The process-global Umeyama alignment-basis cache (eigenvector
+/// magnitudes of each graph's CTQW density), with its slice of the total
+/// byte budget.
+pub fn alignment_cache() -> &'static FeatureCache<AlignmentBasis> {
+    ALIGNMENT_CACHE.get_or_init(|| cache_from_env(|b| b.1))
+}
+
+/// The cached Umeyama alignment basis of `graph`'s CTQW density — the one
+/// place the aligned QJSK kernel still needs eigen*vectors*, hoisted out of
+/// the pair loop because `|U|` of any zero-padded version is
+/// reconstructible from it ([`AlignmentBasis::padded_abs_eigenvectors`]).
+///
+/// The full decomposition computed here also yields the eigenvalue
+/// spectrum bit-identically to the values-only driver, so the spectral
+/// cache is warmed from the same solve — a cold aligned Gram pays one
+/// eigensolve per graph for both artifacts, not two.
+pub fn cached_alignment_basis(graph: &Graph) -> Arc<AlignmentBasis> {
+    let key = graph_key(graph);
+    alignment_cache().get_or_compute(key, || {
+        let rho = cached_ctqw_density(graph);
+        let eig = symmetric_eigen(rho.matrix()).expect("density matrices are symmetric");
+        let _ = spectral_cache().get_or_compute(key, || {
+            spectrals_from_spectrum(eig.eigenvalues.iter().map(|l| l.clamp(0.0, 1.0)).collect())
+        });
+        AlignmentBasis::from_eigen(&eig)
+    })
+}
+
 /// Aggregate hit/miss/entry/eviction counters of the density cache.
 pub fn density_cache_stats() -> CacheStats {
     density_cache().stats()
@@ -57,21 +264,32 @@ pub fn density_cache_shard_stats() -> Vec<ShardStats> {
     density_cache().shard_stats()
 }
 
-/// Re-budgets the density cache at runtime: `Some(bytes)` bounds resident
-/// features (evicting LRU entries immediately if needed), `None` lifts the
-/// bound. This is the recommended memory-pressure control for long-running
+/// Re-budgets the per-graph feature caches at runtime: `Some(bytes)` bounds
+/// the **total** resident feature bytes (evicting LRU entries immediately
+/// if needed), `None` lifts the bound. The total is split across the
+/// density, spectral and alignment caches by [`split_budget`] — the
+/// alignment bases are the same `n²` weight class as the densities, so
+/// bounding only the density cache would leave roughly half the resident
+/// footprint uncontrolled. This mirrors `HAQJSK_CACHE_BUDGET` (also a
+/// total) and is the recommended memory-pressure control for long-running
 /// processes.
 pub fn set_density_cache_budget(budget_bytes: Option<usize>) {
-    density_cache().set_budget(budget_bytes);
+    let (density, alignment, spectral) = split_budget(budget_bytes);
+    density_cache().set_budget(density);
+    alignment_cache().set_budget(alignment);
+    spectral_cache().set_budget(spectral);
 }
 
-/// Drops all cached density matrices and resets the counters — a hard
-/// boundary for benchmarks and tests. For bounded memory in production use
+/// Drops all cached density matrices **and the spectral/alignment
+/// artifacts derived from them**, resetting every counter — a hard boundary
+/// for benchmarks and tests. For bounded memory in production use
 /// [`set_density_cache_budget`] (or the `HAQJSK_CACHE_BUDGET` environment
 /// variable) instead: eviction keeps hot graphs resident, a clear forgets
 /// everything.
 pub fn clear_density_cache() {
     density_cache().clear();
+    spectral_cache().clear();
+    alignment_cache().clear();
 }
 
 #[cfg(test)]
@@ -115,6 +333,59 @@ mod tests {
         assert_eq!(after.hits, before.hits + graphs.len());
         for (a, b) in densities.iter().zip(&again) {
             assert_eq!(a.matrix(), b.matrix());
+        }
+    }
+
+    #[test]
+    fn spectral_artifacts_match_direct_computation() {
+        let g = cycle_graph(6);
+        let rho = cached_ctqw_density(&g);
+        let spectrals = cached_graph_spectrals(&g);
+        assert_eq!(spectrals.spectrum, rho.spectrum());
+        assert_eq!(
+            spectrals.von_neumann_entropy,
+            entropy_of_spectrum(&rho.spectrum())
+        );
+        // Padding invariance: the entropy of the padded state is the same.
+        let padded = rho.zero_pad(9).unwrap();
+        assert_eq!(
+            spectrals.von_neumann_entropy,
+            entropy_of_spectrum(&padded.spectrum()),
+            "zero-padding must not change the entropy at all"
+        );
+    }
+
+    #[test]
+    fn padded_alignment_basis_is_bit_identical_to_padded_decomposition() {
+        use haqjsk_graph::generators::{erdos_renyi, star_graph};
+        // The reconstruction claim behind the aligned fast path: |U| of the
+        // zero-padded density's eigendecomposition equals the per-graph
+        // basis with padding's unit eigenvectors slotted after the
+        // non-positive eigenvalues — bit for bit, so the Umeyama profit
+        // matrix (and hence the Hungarian permutation) cannot drift.
+        let graphs = vec![
+            path_graph(5),
+            cycle_graph(6),
+            star_graph(7),
+            erdos_renyi(9, 0.4, 7),
+        ];
+        for g in &graphs {
+            let rho = cached_ctqw_density(g);
+            let basis = AlignmentBasis::from_density(&rho);
+            for n in [rho.dim(), rho.dim() + 1, rho.dim() + 4] {
+                let padded = rho.zero_pad(n).unwrap();
+                let direct = symmetric_eigen(padded.matrix())
+                    .unwrap()
+                    .eigenvectors
+                    .map(f64::abs);
+                let reconstructed = basis.padded_abs_eigenvectors(n);
+                assert_eq!(
+                    direct,
+                    reconstructed,
+                    "padded |U| reconstruction must be exact (dim {} -> {n})",
+                    rho.dim()
+                );
+            }
         }
     }
 

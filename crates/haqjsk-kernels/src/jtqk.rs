@@ -10,12 +10,14 @@
 //! R-convolution local information) that the paper's JTQK column represents.
 //! The simplification is recorded in DESIGN.md.
 
-use crate::kernel::{gram_from_indexed_prefetched, GraphKernel};
+use crate::features::{cached_ctqw_density, cached_graph_spectrals};
+use crate::kernel::{gram_from_indexed_prefetched, GraphKernel, PinnedFeatures};
 use crate::matrix::KernelMatrix;
 use crate::wl::WeisfeilerLehmanKernel;
 use haqjsk_engine::BackendKind;
 use haqjsk_graph::Graph;
 use haqjsk_quantum::DensityMatrix;
+use std::sync::Arc;
 
 /// Tsallis q-entropy of a probability spectrum:
 /// `S_q(p) = (1 - Σ_i p_i^q) / (q - 1)`, recovering the von Neumann /
@@ -39,9 +41,29 @@ pub fn tsallis_entropy(spectrum: &[f64], q: f64) -> f64 {
 /// Jensen–Tsallis q-difference between two density matrices of equal
 /// dimension: `S_q((ρ+σ)/2) - (S_q(ρ) + S_q(σ)) / 2`, clamped at zero.
 pub fn jensen_tsallis_difference(rho: &DensityMatrix, sigma: &DensityMatrix, q: f64) -> f64 {
+    jensen_tsallis_difference_with_entropies(
+        rho,
+        sigma,
+        tsallis_entropy(&rho.spectrum(), q),
+        tsallis_entropy(&sigma.spectrum(), q),
+        q,
+    )
+}
+
+/// [`jensen_tsallis_difference`] with precomputed endpoint entropies: only
+/// the mixture's spectrum (one values-only eigenvalue solve) remains
+/// pair-specific. Like the von Neumann entropy, `S_q` is invariant under
+/// zero-padding — the added exact-zero eigenvalues contribute nothing — so
+/// entropies of the unpadded states serve their padded versions.
+pub fn jensen_tsallis_difference_with_entropies(
+    rho: &DensityMatrix,
+    sigma: &DensityMatrix,
+    s_rho: f64,
+    s_sigma: f64,
+    q: f64,
+) -> f64 {
     let mixture = rho.mix(sigma).expect("equal dimensions");
-    let d = tsallis_entropy(&mixture.spectrum(), q)
-        - 0.5 * (tsallis_entropy(&rho.spectrum(), q) + tsallis_entropy(&sigma.spectrum(), q));
+    let d = tsallis_entropy(&mixture.spectrum(), q) - 0.5 * (s_rho + s_sigma);
     d.max(0.0)
 }
 
@@ -73,12 +95,7 @@ impl JensenTsallisKernel {
     /// The global (quantum) factor: `exp(-JT_q(ρ_p, ρ_q))` with zero-padded
     /// density matrices.
     pub fn quantum_factor(&self, a: &Graph, b: &Graph) -> f64 {
-        let rho_a = crate::features::cached_ctqw_density(a);
-        let rho_b = crate::features::cached_ctqw_density(b);
-        let n = rho_a.dim().max(rho_b.dim());
-        let pa = rho_a.zero_pad(n).expect("padding up never fails");
-        let pb = rho_b.zero_pad(n).expect("padding up never fails");
-        (-jensen_tsallis_difference(&pa, &pb, self.q)).exp()
+        self.quantum_factor_from_parts(&self.extract_quantum(a), &self.extract_quantum(b))
     }
 
     /// The local factor: the cosine-normalised WL subtree similarity.
@@ -93,6 +110,60 @@ impl JensenTsallisKernel {
             ab / (aa * bb).sqrt()
         }
     }
+
+    /// Extracts the quantum half of the per-graph artifacts: the CTQW
+    /// density and its Tsallis q-entropy (derived in O(n) from the cached
+    /// spectrum).
+    fn extract_quantum(&self, graph: &Graph) -> QuantumInputs {
+        QuantumInputs {
+            density: cached_ctqw_density(graph),
+            tsallis: tsallis_entropy(&cached_graph_spectrals(graph).spectrum, self.q),
+        }
+    }
+
+    /// Extracts everything a Gram pair evaluation consumes: the quantum
+    /// artifacts plus the WL self-similarity of the normalised local
+    /// factor.
+    fn extract(&self, graph: &Graph) -> JtqkInputs {
+        JtqkInputs {
+            quantum: self.extract_quantum(graph),
+            wl_self: WeisfeilerLehmanKernel::new(self.wl_iterations).compute(graph, graph),
+        }
+    }
+
+    fn quantum_factor_from_parts(&self, a: &QuantumInputs, b: &QuantumInputs) -> f64 {
+        let n = a.density.dim().max(b.density.dim());
+        let (mut sa, mut sb) = (None, None);
+        let pa = crate::features::pad_to(&a.density, n, &mut sa);
+        let pb = crate::features::pad_to(&b.density, n, &mut sb);
+        (-jensen_tsallis_difference_with_entropies(pa, pb, a.tsallis, b.tsallis, self.q)).exp()
+    }
+
+    fn kernel_from_inputs(
+        &self,
+        (ga, a): (&Graph, &JtqkInputs),
+        (gb, b): (&Graph, &JtqkInputs),
+    ) -> f64 {
+        let local = if a.wl_self <= 0.0 || b.wl_self <= 0.0 {
+            0.0
+        } else {
+            let wl = WeisfeilerLehmanKernel::new(self.wl_iterations);
+            wl.compute(ga, gb) / (a.wl_self * b.wl_self).sqrt()
+        };
+        self.quantum_factor_from_parts(&a.quantum, &b.quantum) * local
+    }
+}
+
+/// The quantum-factor half of the per-graph JTQK artifacts.
+struct QuantumInputs {
+    density: Arc<DensityMatrix>,
+    tsallis: f64,
+}
+
+/// Per-graph artifacts of the JTQK Gram pair loop.
+struct JtqkInputs {
+    quantum: QuantumInputs,
+    wl_self: f64,
 }
 
 impl GraphKernel for JensenTsallisKernel {
@@ -105,16 +176,25 @@ impl GraphKernel for JensenTsallisKernel {
     }
 
     fn gram_matrix_on(&self, graphs: &[Graph], backend: Option<BackendKind>) -> KernelMatrix {
-        // The quantum factor reads the memoised CTQW densities; warming
-        // them through the prefetch hook lets batched backends extract all
-        // of them as one parallel batch before the pair loop.
+        // Every per-graph artifact — CTQW density, Tsallis entropy, WL
+        // self-similarity — is pinned once per Gram computation; batched
+        // backends extract all of them as one parallel batch before the
+        // pair loop, which then pays one values-only mixture solve plus one
+        // cross WL evaluation per pair.
+        let pinned: PinnedFeatures<'_, JtqkInputs> = PinnedFeatures::new(graphs);
+        let extract = |g: &Graph| self.extract(g);
         gram_from_indexed_prefetched(
             graphs.len(),
             backend,
             |i| {
-                let _ = crate::features::cached_ctqw_density(&graphs[i]);
+                let _ = pinned.get(i, extract);
             },
-            |i, j| self.compute(&graphs[i], &graphs[j]),
+            |i, j| {
+                self.kernel_from_inputs(
+                    (&graphs[i], pinned.get(i, extract)),
+                    (&graphs[j], pinned.get(j, extract)),
+                )
+            },
         )
     }
 }

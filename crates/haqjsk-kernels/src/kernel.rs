@@ -98,6 +98,32 @@ where
     KernelMatrix::new(values).expect("pairwise construction is symmetric")
 }
 
+/// Per-Gram pin of per-graph artifacts: each slot is filled at most once
+/// per Gram computation (through the global feature caches or directly) and
+/// the held values stay alive even if a byte budget evicts them from the
+/// cache mid-computation — the pair loop then reads a lock-free slot.
+/// Batched backends fill every slot as one parallel batch through the
+/// prefetch hook; lazy backends fill on first touch.
+pub(crate) struct PinnedFeatures<'a, T> {
+    graphs: &'a [Graph],
+    slots: Vec<std::sync::OnceLock<T>>,
+}
+
+impl<'a, T> PinnedFeatures<'a, T> {
+    pub(crate) fn new(graphs: &'a [Graph]) -> Self {
+        PinnedFeatures {
+            graphs,
+            slots: graphs.iter().map(|_| std::sync::OnceLock::new()).collect(),
+        }
+    }
+
+    /// The pinned artifact of graph `i`, extracting it with `init` on first
+    /// touch.
+    pub(crate) fn get(&self, i: usize, init: impl FnOnce(&Graph) -> T) -> &T {
+        self.slots[i].get_or_init(|| init(&self.graphs[i]))
+    }
+}
+
 /// Builds a Gram matrix from explicit feature vectors using the linear kernel
 /// `K(i, j) = ⟨x_i, x_j⟩` — the shape that the WL, shortest-path and graphlet
 /// kernels all reduce to once their feature histograms are extracted.

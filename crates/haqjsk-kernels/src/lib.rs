@@ -41,8 +41,9 @@ pub mod wl;
 pub use depth_based::DepthBasedAlignedKernel;
 pub use embedding::{kernel_distance_matrix, kernel_pca, KernelPca};
 pub use features::{
-    cached_ctqw_densities, cached_ctqw_density, clear_density_cache, density_cache_shard_stats,
-    density_cache_stats, set_density_cache_budget,
+    cached_alignment_basis, cached_ctqw_densities, cached_ctqw_density, cached_graph_spectrals,
+    clear_density_cache, density_cache_shard_stats, density_cache_stats, set_density_cache_budget,
+    AlignmentBasis, GraphSpectrals,
 };
 pub use graphlet::GraphletKernel;
 pub use jtqk::JensenTsallisKernel;

@@ -9,7 +9,7 @@
 //! clip-to-PSD projection used when an indefinite baseline kernel must still
 //! be fed to the SVM.
 
-use haqjsk_linalg::{symmetric_eigen, LinalgError, Matrix};
+use haqjsk_linalg::{symmetric_eigen, symmetric_eigenvalues, LinalgError, Matrix};
 
 /// A symmetric kernel (Gram) matrix over a set of graphs.
 #[derive(Debug, Clone, PartialEq)]
@@ -105,12 +105,16 @@ impl KernelMatrix {
     }
 
     /// Minimum eigenvalue of the Gram matrix — negative values witness that
-    /// the kernel is not positive semidefinite on this dataset.
+    /// the kernel is not positive semidefinite on this dataset. Uses the
+    /// values-only eigen driver: no eigenvector matrix is formed.
     pub fn min_eigenvalue(&self) -> Result<f64, LinalgError> {
         if self.is_empty() {
             return Ok(0.0);
         }
-        Ok(symmetric_eigen(&self.values)?.min_eigenvalue())
+        Ok(symmetric_eigenvalues(&self.values)?
+            .first()
+            .copied()
+            .unwrap_or(0.0))
     }
 
     /// Whether the matrix is positive semidefinite within `tol` (relative to

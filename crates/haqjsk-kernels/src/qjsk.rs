@@ -13,37 +13,53 @@
 //!   kernel is still not guaranteed positive definite — exactly the drawback
 //!   the HAQJSK kernels remove.
 
-use crate::features::cached_ctqw_density;
-use crate::kernel::{gram_from_indexed_prefetched, GraphKernel};
+use crate::features::{
+    cached_alignment_basis, cached_ctqw_density, cached_graph_spectrals, pad_to, AlignmentBasis,
+};
+use crate::kernel::{gram_from_indexed_prefetched, GraphKernel, PinnedFeatures};
 use crate::matrix::KernelMatrix;
 use haqjsk_engine::BackendKind;
 use haqjsk_graph::Graph;
 use haqjsk_linalg::assignment::hungarian_max;
 use haqjsk_linalg::{symmetric_eigen, Matrix};
-use haqjsk_quantum::{qjsd, DensityMatrix};
-use std::sync::{Arc, OnceLock};
+use haqjsk_quantum::{qjsd_with_entropies, DensityMatrix};
+use std::sync::Arc;
 
-/// Per-dataset pin of the cached densities: each graph resolves through the
-/// process-global cache at most once per Gram computation (one hash + one
-/// shard lock), and the held `Arc`s keep the values alive even if a byte
-/// budget evicts them from the cache mid-computation — the pair loop then
-/// reads a lock-free slot. Batched backends fill every slot as one parallel
-/// batch through the prefetch hook; lazy backends fill on first touch.
-struct PinnedDensities<'a> {
-    graphs: &'a [Graph],
-    slots: Vec<OnceLock<Arc<DensityMatrix>>>,
+/// The per-graph artifacts the unaligned QJSK pair loop consumes: the CTQW
+/// density and its von Neumann entropy. Everything else a pair needs — the
+/// mixture spectrum — is genuinely pair-specific and is the single
+/// values-only eigenvalue solve left in the loop.
+struct SpectralInputs {
+    density: Arc<DensityMatrix>,
+    entropy: f64,
 }
 
-impl<'a> PinnedDensities<'a> {
-    fn new(graphs: &'a [Graph]) -> Self {
-        PinnedDensities {
-            graphs,
-            slots: graphs.iter().map(|_| OnceLock::new()).collect(),
+impl SpectralInputs {
+    fn extract(graph: &Graph) -> SpectralInputs {
+        SpectralInputs {
+            density: cached_ctqw_density(graph),
+            entropy: cached_graph_spectrals(graph).von_neumann_entropy,
         }
     }
+}
 
-    fn density(&self, i: usize) -> &DensityMatrix {
-        self.slots[i].get_or_init(|| cached_ctqw_density(&self.graphs[i]))
+/// [`SpectralInputs`] plus the Umeyama eigenvector-magnitude basis the
+/// aligned kernel needs.
+struct AlignedInputs {
+    spectral: SpectralInputs,
+    basis: Arc<AlignmentBasis>,
+}
+
+impl AlignedInputs {
+    fn extract(graph: &Graph) -> AlignedInputs {
+        // Basis first: its full decomposition warms the spectral cache, so
+        // the entropy lookup below is a hit and a cold aligned Gram pays
+        // one eigensolve per graph, not two.
+        let basis = cached_alignment_basis(graph);
+        AlignedInputs {
+            spectral: SpectralInputs::extract(graph),
+            basis,
+        }
     }
 }
 
@@ -66,11 +82,16 @@ impl QjskUnaligned {
         QjskUnaligned { mu }
     }
 
-    fn kernel_from_densities(&self, a: &DensityMatrix, b: &DensityMatrix) -> f64 {
-        let n = a.dim().max(b.dim());
-        let pa = a.zero_pad(n).expect("padding up never fails");
-        let pb = b.zero_pad(n).expect("padding up never fails");
-        let d = qjsd(&pa, &pb).expect("equal dimensions after padding");
+    /// The pairwise fast path: zero-pad, then one values-only mixture solve
+    /// against the precomputed endpoint entropies (which zero-padding leaves
+    /// unchanged).
+    fn kernel_from_inputs(&self, a: &SpectralInputs, b: &SpectralInputs) -> f64 {
+        let n = a.density.dim().max(b.density.dim());
+        let (mut sa, mut sb) = (None, None);
+        let pa = pad_to(&a.density, n, &mut sa);
+        let pb = pad_to(&b.density, n, &mut sb);
+        let d = qjsd_with_entropies(pa, pb, a.entropy, b.entropy)
+            .expect("equal dimensions after padding");
         (-self.mu * d).exp()
     }
 }
@@ -81,20 +102,23 @@ impl GraphKernel for QjskUnaligned {
     }
 
     fn compute(&self, a: &Graph, b: &Graph) -> f64 {
-        let rho_a = cached_ctqw_density(a);
-        let rho_b = cached_ctqw_density(b);
-        self.kernel_from_densities(&rho_a, &rho_b)
+        self.kernel_from_inputs(&SpectralInputs::extract(a), &SpectralInputs::extract(b))
     }
 
     fn gram_matrix_on(&self, graphs: &[Graph], backend: Option<BackendKind>) -> KernelMatrix {
-        let pinned = PinnedDensities::new(graphs);
+        let pinned: PinnedFeatures<'_, SpectralInputs> = PinnedFeatures::new(graphs);
         gram_from_indexed_prefetched(
             graphs.len(),
             backend,
             |i| {
-                let _ = pinned.density(i);
+                let _ = pinned.get(i, SpectralInputs::extract);
             },
-            |i, j| self.kernel_from_densities(pinned.density(i), pinned.density(j)),
+            |i, j| {
+                self.kernel_from_inputs(
+                    pinned.get(i, SpectralInputs::extract),
+                    pinned.get(j, SpectralInputs::extract),
+                )
+            },
         )
     }
 }
@@ -123,35 +147,56 @@ impl QjskAligned {
     /// `U_a`, `U_b` are the eigenvector matrices. Returns the permutation
     /// `perm` such that vertex `i` of `a` is matched to vertex `perm[i]` of
     /// `b`.
+    ///
+    /// This entry point decomposes both matrices from scratch; the Gram
+    /// pair loop instead reuses per-graph [`AlignmentBasis`] artifacts and
+    /// goes through [`QjskAligned::umeyama_match_bases`], which produces
+    /// the identical permutation without any per-pair eigendecomposition.
     pub fn umeyama_match(a: &Matrix, b: &Matrix) -> Vec<usize> {
         let n = a.rows();
         debug_assert_eq!(n, b.rows());
         let ea = symmetric_eigen(a).expect("density matrices are symmetric");
         let eb = symmetric_eigen(b).expect("density matrices are symmetric");
-        // Profit matrix of absolute eigenvector overlaps.
-        let mut profit = vec![0.0_f64; n * n];
-        for i in 0..n {
-            for j in 0..n {
-                let mut acc = 0.0;
-                for k in 0..n {
-                    acc += ea.eigenvectors[(i, k)].abs() * eb.eigenvectors[(j, k)].abs();
-                }
-                profit[i * n + j] = acc;
-            }
-        }
-        let (assignment, _) = hungarian_max(&profit, n);
+        let ua = ea.eigenvectors.map(f64::abs);
+        let ub = eb.eigenvectors.map(f64::abs);
+        Self::assignment_from_abs_bases(&ua, &ub)
+    }
+
+    /// Umeyama matching from precomputed per-graph bases, zero-padded to a
+    /// common dimension `n` on the fly. Bit-identical to running
+    /// [`QjskAligned::umeyama_match`] on the zero-padded density matrices.
+    pub fn umeyama_match_bases(a: &AlignmentBasis, b: &AlignmentBasis, n: usize) -> Vec<usize> {
+        let ua = a.padded_abs_eigenvectors(n);
+        let ub = b.padded_abs_eigenvectors(n);
+        Self::assignment_from_abs_bases(&ua, &ub)
+    }
+
+    /// Profit matrix `|U_a| |U_b|ᵀ` (via the blocked matmul microkernel)
+    /// followed by the Hungarian assignment.
+    fn assignment_from_abs_bases(ua: &Matrix, ub: &Matrix) -> Vec<usize> {
+        let profit = ua
+            .matmul(&ub.transpose())
+            .expect("bases share the padded dimension");
+        let (assignment, _) = hungarian_max(profit.data(), profit.rows());
         assignment
     }
 
-    fn kernel_from_densities(&self, a: &DensityMatrix, b: &DensityMatrix) -> f64 {
-        let n = a.dim().max(b.dim());
-        let pa = a.zero_pad(n).expect("padding up never fails");
-        let pb = b.zero_pad(n).expect("padding up never fails");
+    fn kernel_from_inputs(&self, a: &AlignedInputs, b: &AlignedInputs) -> f64 {
+        let rho_a = &a.spectral.density;
+        let rho_b = &b.spectral.density;
+        let n = rho_a.dim().max(rho_b.dim());
         // perm[i] = vertex of b matched to vertex i of a. Re-order b so that
         // its matched vertex sits at index i: new_b[i][j] = b[perm[i]][perm[j]].
-        let perm = Self::umeyama_match(pa.matrix(), pb.matrix());
+        let perm = Self::umeyama_match_bases(&a.basis, &b.basis, n);
+        let (mut sa, mut sb) = (None, None);
+        let pa = pad_to(rho_a, n, &mut sa);
+        let pb = pad_to(rho_b, n, &mut sb);
         let aligned_b = pb.permute(&perm).expect("valid permutation");
-        let d = qjsd(&pa, &aligned_b).expect("equal dimensions after padding");
+        // Conjugating by a permutation preserves the spectrum, so b's
+        // precomputed entropy serves the aligned state too; the mixture is
+        // the one values-only eigenvalue solve this pair pays for.
+        let d = qjsd_with_entropies(pa, &aligned_b, a.spectral.entropy, b.spectral.entropy)
+            .expect("equal dimensions after padding");
         (-self.mu * d).exp()
     }
 }
@@ -162,20 +207,23 @@ impl GraphKernel for QjskAligned {
     }
 
     fn compute(&self, a: &Graph, b: &Graph) -> f64 {
-        let rho_a = cached_ctqw_density(a);
-        let rho_b = cached_ctqw_density(b);
-        self.kernel_from_densities(&rho_a, &rho_b)
+        self.kernel_from_inputs(&AlignedInputs::extract(a), &AlignedInputs::extract(b))
     }
 
     fn gram_matrix_on(&self, graphs: &[Graph], backend: Option<BackendKind>) -> KernelMatrix {
-        let pinned = PinnedDensities::new(graphs);
+        let pinned: PinnedFeatures<'_, AlignedInputs> = PinnedFeatures::new(graphs);
         gram_from_indexed_prefetched(
             graphs.len(),
             backend,
             |i| {
-                let _ = pinned.density(i);
+                let _ = pinned.get(i, AlignedInputs::extract);
             },
-            |i, j| self.kernel_from_densities(pinned.density(i), pinned.density(j)),
+            |i, j| {
+                self.kernel_from_inputs(
+                    pinned.get(i, AlignedInputs::extract),
+                    pinned.get(j, AlignedInputs::extract),
+                )
+            },
         )
     }
 }

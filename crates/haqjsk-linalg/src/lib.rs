@@ -36,7 +36,7 @@ pub mod vector;
 pub use assignment::hungarian;
 pub use cmatrix::CMatrix;
 pub use complex::Complex;
-pub use eigen::{symmetric_eigen, SymmetricEigen};
+pub use eigen::{symmetric_eigen, symmetric_eigenvalues, EigenWorkspace, SymmetricEigen};
 pub use error::LinalgError;
 pub use matrix::Matrix;
 pub use solve::{determinant, inverse, solve};

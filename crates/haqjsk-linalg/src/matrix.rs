@@ -187,6 +187,13 @@ impl Matrix {
     }
 
     /// Matrix product `self * other`.
+    ///
+    /// Cache-blocked i-k-j microkernel: fixed-size row blocks of `self`/the
+    /// output are paired with row blocks of `other`, so a block of `other`
+    /// rows stays in cache while several output rows accumulate against it.
+    /// Each output element still accumulates its `k` terms in ascending
+    /// order, so the result is bit-identical to the unblocked i-k-j loop —
+    /// blocking changes the traversal, not the arithmetic.
     pub fn matmul(&self, other: &Matrix) -> Result<Matrix> {
         if self.cols != other.rows {
             return Err(LinalgError::ShapeMismatch {
@@ -195,19 +202,24 @@ impl Matrix {
                 right: other.shape(),
             });
         }
+        const BLOCK: usize = 16;
         let mut out = Matrix::zeros(self.rows, other.cols);
-        // i-k-j loop order keeps the inner loop contiguous in both `other`
-        // and `out`, which matters for the n^3 cost of density-matrix work.
-        for i in 0..self.rows {
-            for k in 0..self.cols {
-                let a = self.data[i * self.cols + k];
-                if a == 0.0 {
-                    continue;
-                }
-                let orow = &other.data[k * other.cols..(k + 1) * other.cols];
-                let crow = &mut out.data[i * other.cols..(i + 1) * other.cols];
-                for (c, &o) in crow.iter_mut().zip(orow.iter()) {
-                    *c += a * o;
+        for ib in (0..self.rows).step_by(BLOCK) {
+            let i_end = (ib + BLOCK).min(self.rows);
+            for kb in (0..self.cols).step_by(BLOCK) {
+                let k_end = (kb + BLOCK).min(self.cols);
+                for i in ib..i_end {
+                    for k in kb..k_end {
+                        let a = self.data[i * self.cols + k];
+                        if a == 0.0 {
+                            continue;
+                        }
+                        let orow = &other.data[k * other.cols..(k + 1) * other.cols];
+                        let crow = &mut out.data[i * other.cols..(i + 1) * other.cols];
+                        for (c, &o) in crow.iter_mut().zip(orow.iter()) {
+                            *c += a * o;
+                        }
+                    }
                 }
             }
         }

@@ -5,7 +5,7 @@
 //! those invariants at construction, because every downstream quantity
 //! (entropy, QJSD, kernel values) silently degrades if they are violated.
 
-use haqjsk_linalg::{symmetric_eigen, LinalgError, Matrix};
+use haqjsk_linalg::{symmetric_eigenvalues, LinalgError, Matrix};
 
 /// Tolerance used when validating symmetry / trace / positivity.
 pub const DENSITY_TOL: f64 = 1e-8;
@@ -40,11 +40,13 @@ impl DensityMatrix {
                 "density matrix trace is {trace}, expected 1"
             )));
         }
-        let eig = symmetric_eigen(&matrix)?;
-        if eig.min_eigenvalue() < -1e-6 {
+        let min_eigenvalue = symmetric_eigenvalues(&matrix)?
+            .first()
+            .copied()
+            .unwrap_or(0.0);
+        if min_eigenvalue < -1e-6 {
             return Err(LinalgError::InvalidArgument(format!(
-                "density matrix has negative eigenvalue {}",
-                eig.min_eigenvalue()
+                "density matrix has negative eigenvalue {min_eigenvalue}"
             )));
         }
         Ok(DensityMatrix { matrix })
@@ -155,14 +157,13 @@ impl DensityMatrix {
 
     /// Eigenvalues of the state in ascending order, clamped to `[0, 1]` to
     /// absorb numerical noise around zero.
+    ///
+    /// Routed through the values-only eigen driver: no eigenvector matrix
+    /// is ever formed, which is what makes entropy evaluation cheap enough
+    /// for the O(N²) kernel pair loops.
     pub fn spectrum(&self) -> Vec<f64> {
-        symmetric_eigen(&self.matrix)
-            .map(|e| {
-                e.eigenvalues
-                    .into_iter()
-                    .map(|l| l.clamp(0.0, 1.0))
-                    .collect()
-            })
+        symmetric_eigenvalues(&self.matrix)
+            .map(|values| values.into_iter().map(|l| l.clamp(0.0, 1.0)).collect())
             .unwrap_or_default()
     }
 

@@ -25,5 +25,5 @@ pub mod qjsd;
 
 pub use ctqw::{ctqw_density_finite_time, ctqw_density_infinite, ctqw_state_at};
 pub use density::DensityMatrix;
-pub use entropy::von_neumann_entropy;
-pub use qjsd::{qjsd, qjsd_padded};
+pub use entropy::{entropy_of_spectrum, von_neumann_entropy};
+pub use qjsd::{qjsd, qjsd_padded, qjsd_with_entropies};

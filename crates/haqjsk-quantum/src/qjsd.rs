@@ -20,10 +20,31 @@ pub const QJSD_MAX: f64 = std::f64::consts::LN_2;
 
 /// QJSD between two density matrices of equal dimension.
 pub fn qjsd(rho: &DensityMatrix, sigma: &DensityMatrix) -> Result<f64, LinalgError> {
+    qjsd_with_entropies(
+        rho,
+        sigma,
+        von_neumann_entropy(rho),
+        von_neumann_entropy(sigma),
+    )
+}
+
+/// QJSD between two density matrices whose endpoint von Neumann entropies
+/// `H_N(ρ)` and `H_N(σ)` are already known.
+///
+/// The endpoint entropies depend only on the individual states, so Gram
+/// computations hoist them out of the O(N²) pair loop and pay a **single**
+/// values-only eigenvalue solve per pair — the mixture's. Note that the
+/// entropy is invariant under zero-padding (zero eigenvalues contribute
+/// nothing), so an entropy computed on the unpadded state can be supplied
+/// for its padded version.
+pub fn qjsd_with_entropies(
+    rho: &DensityMatrix,
+    sigma: &DensityMatrix,
+    h_rho: f64,
+    h_sigma: f64,
+) -> Result<f64, LinalgError> {
     let mixture = rho.mix(sigma)?;
-    let d = von_neumann_entropy(&mixture)
-        - 0.5 * von_neumann_entropy(rho)
-        - 0.5 * von_neumann_entropy(sigma);
+    let d = von_neumann_entropy(&mixture) - 0.5 * h_rho - 0.5 * h_sigma;
     // Clamp the tiny negative values that eigenvalue noise can produce.
     Ok(d.clamp(0.0, QJSD_MAX))
 }

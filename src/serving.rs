@@ -409,6 +409,20 @@ fn cmd_stats(state: &Mutex<ServerState>) -> Json {
             shard_stats_array(&density_cache_shard_stats()),
         ),
     ];
+    // The spectral/alignment artifact caches introduced with the per-pair
+    // fast path (entropies and Umeyama bases hoisted out of the Gram pair
+    // loop) are observable alongside the density cache they derive from.
+    let spectral = crate::kernels::features::spectral_cache().stats();
+    let alignment = crate::kernels::features::alignment_cache().stats();
+    pairs.push(("spectral_cache_hits", Json::Num(spectral.hits as f64)));
+    pairs.push(("spectral_cache_misses", Json::Num(spectral.misses as f64)));
+    pairs.push(("spectral_cache_entries", Json::Num(spectral.entries as f64)));
+    pairs.push(("alignment_cache_hits", Json::Num(alignment.hits as f64)));
+    pairs.push(("alignment_cache_misses", Json::Num(alignment.misses as f64)));
+    pairs.push((
+        "alignment_cache_entries",
+        Json::Num(alignment.entries as f64),
+    ));
     match guard.fitted.as_ref() {
         None => pairs.push(("fitted", Json::Bool(false))),
         Some(fitted) => {
