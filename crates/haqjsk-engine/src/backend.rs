@@ -44,6 +44,35 @@ pub type Prefetch<'a> = &'a (dyn Fn(usize) + Sync);
 /// A pairwise Gram entry function over item indices.
 pub type Entry<'a> = &'a (dyn Fn(usize, usize) -> f64 + Sync);
 
+/// A whole-tile Gram evaluator: computes the entries of one scheduling
+/// tile in a single call. `pairs` holds the tile's upper-triangle index
+/// pairs (`i <= j`); the evaluator writes `out[k]` = entry for `pairs[k]`.
+///
+/// This is the seam batched pair kernels plug into: where an [`Entry`]
+/// function sees one pair at a time, a `TileEvaluator` sees a whole tile
+/// and can fuse the per-pair work — the quantum kernels assemble all of a
+/// tile's mixture matrices and run **one** lane-parallel batched
+/// eigenvalue solve (`haqjsk-linalg::batch_symmetric_eigenvalues`); a GPU
+/// backend would turn the same tile into one device dispatch.
+/// Implementations must produce values byte-identical to their per-pair
+/// entry function — every backend (including the serial reference) routes
+/// tiles through the evaluator, and the engine tests hold all of them to
+/// the per-pair result.
+pub trait TileEvaluator: Sync {
+    /// Evaluates all of `pairs`, writing the kernel values into `out`
+    /// (same length and order as `pairs`).
+    fn eval_tile(&self, pairs: &[(usize, usize)], out: &mut [f64]);
+}
+
+impl<F> TileEvaluator for F
+where
+    F: Fn(&[(usize, usize)], &mut [f64]) + Sync,
+{
+    fn eval_tile(&self, pairs: &[(usize, usize)], out: &mut [f64]) {
+        self(pairs, out)
+    }
+}
+
 /// The available Gram execution strategies.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
 pub enum BackendKind {
@@ -143,6 +172,20 @@ pub trait GramBackend: Send + Sync {
     /// Runs `f(i)` for every `i in 0..count` — the per-item companion used
     /// by [`Engine::map`](crate::Engine::map).
     fn for_each(&self, pool: &WorkerPool, count: usize, f: &(dyn Fn(usize) + Sync));
+
+    /// Computes the symmetric `n x n` Gram matrix by handing whole tiles
+    /// of index pairs to `eval` — the [`TileEvaluator`] counterpart of
+    /// [`GramBackend::gram`]. Backends keep their scheduling personality
+    /// (serial order, pooled tiles, prefetch batch first) but deliver the
+    /// pair list of each tile in one call instead of one pair at a time.
+    fn gram_tiles(
+        &self,
+        pool: &WorkerPool,
+        n: usize,
+        tile: usize,
+        prefetch: Option<Prefetch<'_>>,
+        eval: &dyn TileEvaluator,
+    ) -> Matrix;
 }
 
 /// Single-threaded reference backend: deterministic row-major order, no
@@ -183,6 +226,24 @@ impl GramBackend for SerialBackend {
             f(i);
         }
     }
+
+    // Serial tile evaluation still runs tile by tile (so batched kernels
+    // get their batches — the per-pair latency benchmarks measure exactly
+    // this path), in deterministic row-major tile order on the calling
+    // thread. Prefetch is skipped: lazy per-tile extraction is the
+    // serial-optimal order.
+    fn gram_tiles(
+        &self,
+        _pool: &WorkerPool,
+        n: usize,
+        tile: usize,
+        _prefetch: Option<Prefetch<'_>>,
+        eval: &dyn TileEvaluator,
+    ) -> Matrix {
+        gram::gram_serial_tiles(n, tile, |pairs: &[(usize, usize)], out: &mut [f64]| {
+            eval.eval_tile(pairs, out)
+        })
+    }
 }
 
 /// The original engine behavior: tiles over the pool, features computed
@@ -221,6 +282,26 @@ impl GramBackend for TiledPoolBackend {
 
     fn for_each(&self, pool: &WorkerPool, count: usize, f: &(dyn Fn(usize) + Sync)) {
         pool.scoped_run(count, f);
+    }
+
+    // Pooled tile evaluation: the same tile grid as the per-pair path, but
+    // each worker hands its tile's pair list to the evaluator in one call.
+    // Prefetch is ignored (features are computed lazily by whichever tile
+    // touches an item first, as in the per-pair path).
+    fn gram_tiles(
+        &self,
+        pool: &WorkerPool,
+        n: usize,
+        tile: usize,
+        _prefetch: Option<Prefetch<'_>>,
+        eval: &dyn TileEvaluator,
+    ) -> Matrix {
+        gram::gram_tiled_eval(
+            pool,
+            n,
+            tile,
+            |pairs: &[(usize, usize)], out: &mut [f64]| eval.eval_tile(pairs, out),
+        )
     }
 }
 
@@ -272,6 +353,28 @@ impl GramBackend for BatchedTileBackend {
     fn for_each(&self, pool: &WorkerPool, count: usize, f: &(dyn Fn(usize) + Sync)) {
         pool.scoped_run(count, f);
     }
+
+    // Feature batch first, then pooled whole-tile evaluation — the full
+    // batched pipeline: per-item artifacts as one parallel batch, per-tile
+    // mixture batches inside the pair phase.
+    fn gram_tiles(
+        &self,
+        pool: &WorkerPool,
+        n: usize,
+        tile: usize,
+        prefetch: Option<Prefetch<'_>>,
+        eval: &dyn TileEvaluator,
+    ) -> Matrix {
+        if let Some(prefetch) = prefetch {
+            pool.scoped_run(n, prefetch);
+        }
+        gram::gram_tiled_eval(
+            pool,
+            n,
+            tile,
+            |pairs: &[(usize, usize)], out: &mut [f64]| eval.eval_tile(pairs, out),
+        )
+    }
 }
 
 #[cfg(test)]
@@ -310,6 +413,45 @@ mod tests {
             let extended = backend.gram_extend(&pool, &base, 17, 4, None, &entry);
             assert_eq!(extended, reference, "{kind} gram_extend");
         }
+    }
+
+    #[test]
+    fn tile_evaluation_matches_per_pair_on_every_backend() {
+        let pool = WorkerPool::new(3);
+        let entry = |i: usize, j: usize| ((i * 11 + j * 5) as f64).sin() + (i * j) as f64;
+        let reference = gram::gram_serial(19, entry);
+        let eval = |pairs: &[(usize, usize)], out: &mut [f64]| {
+            assert!(!pairs.is_empty(), "tiles are never empty");
+            for (k, &(i, j)) in pairs.iter().enumerate() {
+                assert!(i <= j, "tiles cover the upper triangle");
+                out[k] = entry(i, j);
+            }
+        };
+        for kind in BackendKind::ALL {
+            let out = kind.implementation().gram_tiles(&pool, 19, 4, None, &eval);
+            assert_eq!(out, reference, "{kind} gram_tiles");
+            // Degenerate sizes.
+            let empty = kind.implementation().gram_tiles(&pool, 0, 4, None, &eval);
+            assert_eq!(empty.rows(), 0, "{kind}");
+        }
+    }
+
+    #[test]
+    fn batched_backend_prefetches_before_tile_evaluation() {
+        let pool = WorkerPool::new(2);
+        let prefetched = AtomicUsize::new(0);
+        let n = 9;
+        let prefetch = |_i: usize| {
+            prefetched.fetch_add(1, Ordering::SeqCst);
+        };
+        let eval = |pairs: &[(usize, usize)], out: &mut [f64]| {
+            assert_eq!(prefetched.load(Ordering::SeqCst), n);
+            for (k, &(i, j)) in pairs.iter().enumerate() {
+                out[k] = (i + j) as f64;
+            }
+        };
+        let out = BatchedTileBackend.gram_tiles(&pool, n, 3, Some(&prefetch), &eval);
+        assert_eq!(out, gram::gram_serial(n, |i, j| (i + j) as f64));
     }
 
     #[test]

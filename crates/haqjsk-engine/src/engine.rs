@@ -118,6 +118,14 @@ impl Engine {
             .unwrap_or_else(|| gram::auto_tile_width(n, self.pool.threads()))
     }
 
+    /// Tile width for whole-tile evaluation: explicit override, or the
+    /// batch-aware automatic choice (coarser than [`Engine::tile_for`] so
+    /// batched pair kernels can fill their lanes).
+    fn tile_for_batched(&self, n: usize) -> usize {
+        self.tile_override
+            .unwrap_or_else(|| gram::auto_tile_width_batched(n, self.pool.threads()))
+    }
+
     fn resolve(&self, backend: Option<BackendKind>) -> BackendKind {
         backend.unwrap_or(self.backend)
     }
@@ -164,6 +172,34 @@ impl Engine {
             self.tile_for(n),
             Some(&prefetch),
             &f,
+        )
+    }
+
+    /// Computes the Gram matrix through a whole-tile evaluator: the chosen
+    /// backend hands each scheduling tile's upper-triangle index pairs to
+    /// `tiles` in one call (after optionally batching `prefetch` over all
+    /// items), so kernels that batch per-pair work — the SoA batched
+    /// eigensolves of the quantum kernels, a future GPU dispatch — receive
+    /// whole tiles instead of single pairs. The evaluator must be
+    /// byte-identical to the kernel's per-pair entry function; every
+    /// backend then produces the per-pair path's exact matrix.
+    pub fn gram_tiles<P, T>(
+        &self,
+        backend: Option<BackendKind>,
+        n: usize,
+        prefetch: P,
+        tiles: T,
+    ) -> Matrix
+    where
+        P: Fn(usize) + Sync,
+        T: crate::backend::TileEvaluator,
+    {
+        self.resolve(backend).implementation().gram_tiles(
+            &self.pool,
+            n,
+            self.tile_for_batched(n),
+            Some(&prefetch),
+            &tiles,
         )
     }
 

@@ -16,6 +16,13 @@ use haqjsk_linalg::Matrix;
 const MIN_TILE: usize = 2;
 const MAX_TILE: usize = 64;
 
+/// Floor on the tile width of whole-tile (batched) evaluation: a `T x T`
+/// tile yields at least `T(T+1)/2` pairs, and batched pair kernels want
+/// enough pairs per tile to fill their SIMD lanes even after chunking by
+/// mixture dimension class (8 lanes in `haqjsk-linalg`'s batched
+/// eigensolver).
+const MIN_BATCH_TILE: usize = 8;
+
 /// Picks a tile width for an `n x n` Gram computation so that the upper
 /// triangle yields roughly four jobs per worker — enough slack for load
 /// balancing without shredding cache locality.
@@ -27,6 +34,16 @@ pub fn auto_tile_width(n: usize, workers: usize) -> usize {
     // t tiles per side give t(t+1)/2 jobs; solve for t.
     let tiles_per_side = ((2.0 * target_jobs).sqrt().ceil() as usize).max(1);
     (n.div_ceil(tiles_per_side)).clamp(MIN_TILE, MAX_TILE)
+}
+
+/// Tile width for whole-tile (batched) evaluation: the load-balancing
+/// choice of [`auto_tile_width`], floored so every tile carries enough
+/// pairs to fill the batched kernels' lanes. Slightly coarser scheduling
+/// granularity is the right trade: the per-pair work inside a batched tile
+/// is the hot path, and starving its lanes costs more than a worker idling
+/// at the tail.
+pub fn auto_tile_width_batched(n: usize, workers: usize) -> usize {
+    auto_tile_width(n, workers).max(MIN_BATCH_TILE)
 }
 
 /// Shared mutable output buffer; sound because tiles write disjoint entries.
@@ -93,6 +110,89 @@ where
                     out.write(i * n + j, v);
                     out.write(j * n + i, v);
                 }
+            }
+        }
+    });
+    values
+}
+
+/// Enumerates the upper-triangle tile grid of an `n x n` Gram matrix:
+/// `(bi, bj)` block coordinates with `bi <= bj`, row-major — the shared
+/// tile decomposition of the pooled and serial tile paths.
+fn upper_triangle_tiles(n: usize, tile: usize) -> Vec<(usize, usize)> {
+    let blocks = n.div_ceil(tile);
+    (0..blocks)
+        .flat_map(|bi| (bi..blocks).map(move |bj| (bi, bj)))
+        .collect()
+}
+
+/// The upper-triangle index pairs `(i, j)`, `i <= j`, of one tile.
+fn tile_pairs(n: usize, tile: usize, bi: usize, bj: usize, pairs: &mut Vec<(usize, usize)>) {
+    pairs.clear();
+    let row_end = ((bi + 1) * tile).min(n);
+    let col_end = ((bj + 1) * tile).min(n);
+    for i in bi * tile..row_end {
+        for j in (bj * tile).max(i)..col_end {
+            pairs.push((i, j));
+        }
+    }
+}
+
+/// Computes the symmetric Gram matrix by handing whole tiles of index
+/// pairs to `eval` on the calling thread, in deterministic row-major tile
+/// order — the serial member of the tile-evaluation family. `eval` must
+/// write `out[k]` for `pairs[k]`.
+pub fn gram_serial_tiles<F>(n: usize, tile: usize, eval: F) -> Matrix
+where
+    F: Fn(&[(usize, usize)], &mut [f64]),
+{
+    let mut values = Matrix::zeros(n, n);
+    if n == 0 {
+        return values;
+    }
+    let tile = tile.max(1);
+    let mut pairs: Vec<(usize, usize)> = Vec::new();
+    let mut out: Vec<f64> = Vec::new();
+    for (bi, bj) in upper_triangle_tiles(n, tile) {
+        tile_pairs(n, tile, bi, bj, &mut pairs);
+        out.clear();
+        out.resize(pairs.len(), 0.0);
+        eval(&pairs, &mut out);
+        for (&(i, j), &v) in pairs.iter().zip(&out) {
+            values[(i, j)] = v;
+            values[(j, i)] = v;
+        }
+    }
+    values
+}
+
+/// Computes the symmetric Gram matrix in parallel over `pool`, handing
+/// each `tile x tile` block's index pairs to `eval` as one call — the
+/// whole-tile counterpart of [`gram_tiled`], and the scheduling seam that
+/// batched (SIMD / future GPU) pair kernels plug into.
+pub fn gram_tiled_eval<F>(pool: &WorkerPool, n: usize, tile: usize, eval: F) -> Matrix
+where
+    F: Fn(&[(usize, usize)], &mut [f64]) + Sync,
+{
+    let mut values = Matrix::zeros(n, n);
+    if n == 0 {
+        return values;
+    }
+    let tile = tile.max(1);
+    let tiles = upper_triangle_tiles(n, tile);
+    let out = TileOutput(values.data_mut().as_mut_ptr());
+    pool.scoped_run(tiles.len(), &|t| {
+        let (bi, bj) = tiles[t];
+        let mut pairs: Vec<(usize, usize)> = Vec::new();
+        tile_pairs(n, tile, bi, bj, &mut pairs);
+        let mut block = vec![0.0; pairs.len()];
+        eval(&pairs, &mut block);
+        for (&(i, j), &v) in pairs.iter().zip(&block) {
+            // SAFETY: (i, j) with i <= j lies in exactly one tile, and the
+            // mirror (j, i) is only written by that same tile.
+            unsafe {
+                out.write(i * n + j, v);
+                out.write(j * n + i, v);
             }
         }
     });

@@ -70,7 +70,7 @@ pub mod json;
 pub mod pool;
 pub mod serve;
 
-pub use backend::{BackendKind, GramBackend, BACKEND_ENV_VAR};
+pub use backend::{BackendKind, GramBackend, TileEvaluator, BACKEND_ENV_VAR};
 pub use cache::{
     parse_byte_size, CacheConfig, CacheStats, CacheWeight, FeatureCache, ShardStats,
     CACHE_BUDGET_ENV_VAR, CACHE_SHARDS_ENV_VAR,

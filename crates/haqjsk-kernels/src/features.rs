@@ -20,8 +20,10 @@
 //! longer the memory-pressure answer — it drains every shard through the
 //! same eviction path the budget uses and resets the counters.
 
+use crate::kernel::sparse_dot;
+use crate::wl::{WeisfeilerLehmanKernel, WlFeatureVec};
 use haqjsk_engine::{
-    graph_key, CacheConfig, CacheStats, CacheWeight, Engine, FeatureCache, ShardStats,
+    graph_key, CacheConfig, CacheStats, CacheWeight, Engine, FeatureCache, GraphKey, ShardStats,
 };
 use haqjsk_graph::Graph;
 use haqjsk_linalg::{symmetric_eigen, Matrix};
@@ -31,6 +33,7 @@ use std::sync::{Arc, OnceLock};
 static DENSITY_CACHE: OnceLock<FeatureCache<DensityMatrix>> = OnceLock::new();
 static SPECTRAL_CACHE: OnceLock<FeatureCache<GraphSpectrals>> = OnceLock::new();
 static ALIGNMENT_CACHE: OnceLock<FeatureCache<AlignmentBasis>> = OnceLock::new();
+static WL_CACHE: OnceLock<FeatureCache<WlHistogram>> = OnceLock::new();
 
 /// Per-graph spectral summary of the CTQW density matrix: the clamped
 /// eigenvalue spectrum and its von Neumann entropy.
@@ -134,6 +137,29 @@ impl CacheWeight for AlignmentBasis {
     }
 }
 
+/// Per-graph Weisfeiler–Lehman label histogram (sorted sparse vector) plus
+/// its self-similarity — the local-factor artifact of the JTQK pair loop.
+///
+/// WL labels are content-addressed (see [`crate::wl`]), so histograms
+/// computed independently per graph are directly comparable: the JTQK
+/// cross term reduces to one merge-join sparse dot per pair instead of a
+/// full WL refinement of both graphs per pair.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WlHistogram {
+    /// Concatenated per-round label histogram, sorted by feature key.
+    pub features: WlFeatureVec,
+    /// `⟨features, features⟩` — the normalisation term of the cosine WL
+    /// similarity, precomputed with the same merge-join dot the cross
+    /// terms use.
+    pub self_similarity: f64,
+}
+
+impl CacheWeight for WlHistogram {
+    fn weight(&self) -> usize {
+        std::mem::size_of::<WlHistogram>() + self.features.len() * std::mem::size_of::<(u64, f64)>()
+    }
+}
+
 /// Zero-pads `rho` up to dimension `n`, borrowing it unchanged when it is
 /// already that size — the common same-sized-graphs case in the kernel
 /// pair loops skips the O(n²) copy.
@@ -149,23 +175,25 @@ pub(crate) fn pad_to<'a>(
     }
 }
 
-/// Splits a total feature-cache byte budget across the three caches by
+/// Splits a total feature-cache byte budget across the four caches by
 /// weight class: densities and alignment bases are both `n²` residents and
-/// share the bulk evenly, spectra are `O(n)` and get the small remainder.
-/// Keeps `HAQJSK_CACHE_BUDGET` (and [`set_density_cache_budget`]) meaning
-/// "total resident feature bytes", as it did when the density cache was the
-/// only cache.
-/// The three caches' budget slices: `(density, alignment, spectral)`.
-type BudgetSplit = (Option<usize>, Option<usize>, Option<usize>);
+/// share the bulk evenly; spectra and WL histograms are `O(n)` and split
+/// the small remainder. Keeps `HAQJSK_CACHE_BUDGET` (and
+/// [`set_density_cache_budget`]) meaning "total resident feature bytes",
+/// as it did when the density cache was the only cache.
+/// The caches' budget slices: `(density, alignment, spectral, wl)`.
+type BudgetSplit = (Option<usize>, Option<usize>, Option<usize>, Option<usize>);
 
 fn split_budget(total: Option<usize>) -> BudgetSplit {
     match total {
-        None => (None, None, None),
+        None => (None, None, None, None),
         Some(total) => {
-            let spectral = total / 8;
-            let density = (total - spectral) / 2;
-            let alignment = total - spectral - density;
-            (Some(density), Some(alignment), Some(spectral))
+            let small = total / 8;
+            let spectral = small / 2;
+            let wl = small - spectral;
+            let density = (total - small) / 2;
+            let alignment = total - small - density;
+            (Some(density), Some(alignment), Some(spectral), Some(wl))
         }
     }
 }
@@ -254,6 +282,31 @@ pub fn cached_alignment_basis(graph: &Graph) -> Arc<AlignmentBasis> {
     })
 }
 
+/// The process-global WL label-histogram cache (the JTQK local-factor
+/// artifact), with its slice of the total byte budget.
+pub fn wl_cache() -> &'static FeatureCache<WlHistogram> {
+    WL_CACHE.get_or_init(|| cache_from_env(|b| b.3))
+}
+
+/// The cached WL label histogram of `graph` at `iterations` refinement
+/// rounds, computed once per resident `(graph, iterations)` pair. The key
+/// mixes the refinement depth into the structural graph hash so kernels
+/// with different WL heights coexist in the cache.
+pub fn cached_wl_histogram(graph: &Graph, iterations: usize) -> Arc<WlHistogram> {
+    let base = graph_key(graph);
+    let key = GraphKey(
+        base.0 ^ (iterations as u128 + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15_F39C_C060_5CED_C835),
+    );
+    wl_cache().get_or_compute(key, || {
+        let features = WeisfeilerLehmanKernel::new(iterations).feature_map(graph);
+        let self_similarity = sparse_dot(&features, &features);
+        WlHistogram {
+            features,
+            self_similarity,
+        }
+    })
+}
+
 /// Aggregate hit/miss/entry/eviction counters of the density cache.
 pub fn density_cache_stats() -> CacheStats {
     density_cache().stats()
@@ -274,10 +327,11 @@ pub fn density_cache_shard_stats() -> Vec<ShardStats> {
 /// total) and is the recommended memory-pressure control for long-running
 /// processes.
 pub fn set_density_cache_budget(budget_bytes: Option<usize>) {
-    let (density, alignment, spectral) = split_budget(budget_bytes);
+    let (density, alignment, spectral, wl) = split_budget(budget_bytes);
     density_cache().set_budget(density);
     alignment_cache().set_budget(alignment);
     spectral_cache().set_budget(spectral);
+    wl_cache().set_budget(wl);
 }
 
 /// Drops all cached density matrices **and the spectral/alignment
@@ -290,6 +344,7 @@ pub fn clear_density_cache() {
     density_cache().clear();
     spectral_cache().clear();
     alignment_cache().clear();
+    wl_cache().clear();
 }
 
 #[cfg(test)]

@@ -9,33 +9,30 @@
 //! baseline with the same two ingredients (CTQW global information +
 //! R-convolution local information) that the paper's JTQK column represents.
 //! The simplification is recorded in DESIGN.md.
+//!
+//! Both factors are fully factored through per-graph artifacts: the
+//! quantum factor through the cached CTQW spectra (leaving one values-only
+//! mixture solve per pair, batched per tile in the Gram path), and the
+//! local factor through cached WL label histograms (leaving one merge-join
+//! sparse dot per pair instead of a full WL refinement of both graphs).
 
-use crate::features::{cached_ctqw_density, cached_graph_spectrals};
-use crate::kernel::{gram_from_indexed_prefetched, GraphKernel, PinnedFeatures};
+use crate::features::{
+    cached_ctqw_density, cached_graph_spectrals, cached_wl_histogram, WlHistogram,
+};
+use crate::kernel::sparse_dot;
+use crate::kernel::{gram_from_tiles_prefetched, GraphKernel, PinnedFeatures};
 use crate::matrix::KernelMatrix;
-use crate::wl::WeisfeilerLehmanKernel;
 use haqjsk_engine::BackendKind;
 use haqjsk_graph::Graph;
-use haqjsk_quantum::DensityMatrix;
+use haqjsk_quantum::{batch_mixture_entropies, DensityMatrix, MixtureEntropy};
 use std::sync::Arc;
 
 /// Tsallis q-entropy of a probability spectrum:
 /// `S_q(p) = (1 - Σ_i p_i^q) / (q - 1)`, recovering the von Neumann /
-/// Shannon entropy as `q → 1`.
+/// Shannon entropy as `q → 1`. (Re-exported quantum primitive; see
+/// [`haqjsk_quantum::tsallis_entropy_of_spectrum`].)
 pub fn tsallis_entropy(spectrum: &[f64], q: f64) -> f64 {
-    if (q - 1.0).abs() < 1e-9 {
-        return spectrum
-            .iter()
-            .filter(|&&p| p > 1e-15)
-            .map(|&p| -p * p.ln())
-            .sum();
-    }
-    let sum_q: f64 = spectrum
-        .iter()
-        .filter(|&&p| p > 0.0)
-        .map(|&p| p.powf(q))
-        .sum();
-    (1.0 - sum_q) / (q - 1.0)
+    haqjsk_quantum::tsallis_entropy_of_spectrum(spectrum, q)
 }
 
 /// Jensen–Tsallis q-difference between two density matrices of equal
@@ -63,7 +60,15 @@ pub fn jensen_tsallis_difference_with_entropies(
     q: f64,
 ) -> f64 {
     let mixture = rho.mix(sigma).expect("equal dimensions");
-    let d = tsallis_entropy(&mixture.spectrum(), q) - 0.5 * (s_rho + s_sigma);
+    jensen_tsallis_from_entropies(tsallis_entropy(&mixture.spectrum(), q), s_rho, s_sigma)
+}
+
+/// The Jensen–Tsallis q-difference once all three entropies are known:
+/// `S_q(mix) - (S_q(ρ) + S_q(σ))/2`, clamped at zero. The per-pair and
+/// tile-batched paths both reduce through this one expression so their
+/// values stay bit-identical.
+pub fn jensen_tsallis_from_entropies(s_mixture: f64, s_rho: f64, s_sigma: f64) -> f64 {
+    let d = s_mixture - 0.5 * (s_rho + s_sigma);
     d.max(0.0)
 }
 
@@ -98,16 +103,22 @@ impl JensenTsallisKernel {
         self.quantum_factor_from_parts(&self.extract_quantum(a), &self.extract_quantum(b))
     }
 
-    /// The local factor: the cosine-normalised WL subtree similarity.
+    /// The local factor: the cosine-normalised WL subtree similarity,
+    /// evaluated from the per-graph cached label histograms — one sparse
+    /// dot instead of a WL refinement of both graphs.
     pub fn local_factor(&self, a: &Graph, b: &Graph) -> f64 {
-        let wl = WeisfeilerLehmanKernel::new(self.wl_iterations);
-        let ab = wl.compute(a, b);
-        let aa = wl.compute(a, a);
-        let bb = wl.compute(b, b);
-        if aa <= 0.0 || bb <= 0.0 {
+        Self::local_factor_from(
+            &cached_wl_histogram(a, self.wl_iterations),
+            &cached_wl_histogram(b, self.wl_iterations),
+        )
+    }
+
+    /// The normalised WL similarity from two cached histograms.
+    fn local_factor_from(a: &WlHistogram, b: &WlHistogram) -> f64 {
+        if a.self_similarity <= 0.0 || b.self_similarity <= 0.0 {
             0.0
         } else {
-            ab / (aa * bb).sqrt()
+            sparse_dot(&a.features, &b.features) / (a.self_similarity * b.self_similarity).sqrt()
         }
     }
 
@@ -122,12 +133,11 @@ impl JensenTsallisKernel {
     }
 
     /// Extracts everything a Gram pair evaluation consumes: the quantum
-    /// artifacts plus the WL self-similarity of the normalised local
-    /// factor.
+    /// artifacts plus the cached WL label histogram of the local factor.
     fn extract(&self, graph: &Graph) -> JtqkInputs {
         JtqkInputs {
             quantum: self.extract_quantum(graph),
-            wl_self: WeisfeilerLehmanKernel::new(self.wl_iterations).compute(graph, graph),
+            wl: cached_wl_histogram(graph, self.wl_iterations),
         }
     }
 
@@ -139,18 +149,38 @@ impl JensenTsallisKernel {
         (-jensen_tsallis_difference_with_entropies(pa, pb, a.tsallis, b.tsallis, self.q)).exp()
     }
 
-    fn kernel_from_inputs(
+    fn kernel_from_inputs(&self, a: &JtqkInputs, b: &JtqkInputs) -> f64 {
+        self.quantum_factor_from_parts(&a.quantum, &b.quantum)
+            * Self::local_factor_from(&a.wl, &b.wl)
+    }
+
+    /// Whole-tile fast path: all of the tile's quantum mixtures go through
+    /// one batched Tsallis-entropy solve; the local factor stays a sparse
+    /// dot per pair. Byte-identical to
+    /// [`JensenTsallisKernel::kernel_from_inputs`].
+    fn kernel_tile(
         &self,
-        (ga, a): (&Graph, &JtqkInputs),
-        (gb, b): (&Graph, &JtqkInputs),
-    ) -> f64 {
-        let local = if a.wl_self <= 0.0 || b.wl_self <= 0.0 {
-            0.0
-        } else {
-            let wl = WeisfeilerLehmanKernel::new(self.wl_iterations);
-            wl.compute(ga, gb) / (a.wl_self * b.wl_self).sqrt()
-        };
-        self.quantum_factor_from_parts(&a.quantum, &b.quantum) * local
+        pairs: &[(usize, usize)],
+        pinned: &PinnedFeatures<'_, JtqkInputs>,
+        extract: impl Fn(&Graph) -> JtqkInputs + Copy,
+        out: &mut [f64],
+    ) {
+        let inputs: Vec<(&JtqkInputs, &JtqkInputs)> = pairs
+            .iter()
+            .map(|&(i, j)| (pinned.get(i, extract), pinned.get(j, extract)))
+            .collect();
+        let mixtures: Vec<(&DensityMatrix, &DensityMatrix)> = inputs
+            .iter()
+            .map(|(a, b)| (&*a.quantum.density, &*b.quantum.density))
+            .collect();
+        let s_mix = batch_mixture_entropies(&mixtures, MixtureEntropy::Tsallis(self.q))
+            .expect("padded mixtures share a dimension");
+        for (k, (a, b)) in inputs.iter().enumerate() {
+            let quantum =
+                (-jensen_tsallis_from_entropies(s_mix[k], a.quantum.tsallis, b.quantum.tsallis))
+                    .exp();
+            out[k] = quantum * Self::local_factor_from(&a.wl, &b.wl);
+        }
     }
 }
 
@@ -163,7 +193,7 @@ struct QuantumInputs {
 /// Per-graph artifacts of the JTQK Gram pair loop.
 struct JtqkInputs {
     quantum: QuantumInputs,
-    wl_self: f64,
+    wl: Arc<WlHistogram>,
 }
 
 impl GraphKernel for JensenTsallisKernel {
@@ -172,28 +202,25 @@ impl GraphKernel for JensenTsallisKernel {
     }
 
     fn compute(&self, a: &Graph, b: &Graph) -> f64 {
-        self.quantum_factor(a, b) * self.local_factor(a, b)
+        self.kernel_from_inputs(&self.extract(a), &self.extract(b))
     }
 
     fn gram_matrix_on(&self, graphs: &[Graph], backend: Option<BackendKind>) -> KernelMatrix {
         // Every per-graph artifact — CTQW density, Tsallis entropy, WL
-        // self-similarity — is pinned once per Gram computation; batched
+        // label histogram — is pinned once per Gram computation; batched
         // backends extract all of them as one parallel batch before the
-        // pair loop, which then pays one values-only mixture solve plus one
-        // cross WL evaluation per pair.
+        // pair loop, which then pays one batched values-only mixture solve
+        // per tile plus one sparse WL dot per pair.
         let pinned: PinnedFeatures<'_, JtqkInputs> = PinnedFeatures::new(graphs);
         let extract = |g: &Graph| self.extract(g);
-        gram_from_indexed_prefetched(
+        gram_from_tiles_prefetched(
             graphs.len(),
             backend,
             |i| {
                 let _ = pinned.get(i, extract);
             },
-            |i, j| {
-                self.kernel_from_inputs(
-                    (&graphs[i], pinned.get(i, extract)),
-                    (&graphs[j], pinned.get(j, extract)),
-                )
+            |pairs: &[(usize, usize)], out: &mut [f64]| {
+                self.kernel_tile(pairs, &pinned, extract, out)
             },
         )
     }

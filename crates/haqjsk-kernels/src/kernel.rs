@@ -98,6 +98,27 @@ where
     KernelMatrix::new(values).expect("pairwise construction is symmetric")
 }
 
+/// Builds a Gram matrix through a whole-tile evaluator with a per-item
+/// `prefetch` hook: the execution backend hands each scheduling tile's
+/// upper-triangle index pairs to `tiles` in one call, so kernels that
+/// batch per-pair work (the tile-batched mixture eigensolves of QJSK/JTQK)
+/// see whole tiles instead of single pairs. The evaluator must produce
+/// values byte-identical to the kernel's per-pair entry function; batched
+/// backends additionally run `prefetch(i)` for every item first.
+pub fn gram_from_tiles_prefetched<P, T>(
+    n: usize,
+    backend: Option<BackendKind>,
+    prefetch: P,
+    tiles: T,
+) -> KernelMatrix
+where
+    P: Fn(usize) + Sync,
+    T: haqjsk_engine::TileEvaluator,
+{
+    let values = Engine::global().gram_tiles(backend, n, prefetch, tiles);
+    KernelMatrix::new(values).expect("pairwise construction is symmetric")
+}
+
 /// Per-Gram pin of per-graph artifacts: each slot is filled at most once
 /// per Gram computation (through the global feature caches or directly) and
 /// the held values stay alive even if a byte budget evicts them from the
@@ -147,6 +168,40 @@ fn dot_sparse(a: &[f64], b: &[f64]) -> f64 {
         acc += a[k] * b[k];
     }
     acc
+}
+
+/// Merge-join dot product of two sorted sparse feature vectors — the
+/// shared inner product of the CSR-style feature-map kernels (WL,
+/// shortest-path, and JTQK's cached local factor).
+pub fn sparse_dot<K: Ord>(a: &[(K, f64)], b: &[(K, f64)]) -> f64 {
+    let mut acc = 0.0;
+    let (mut i, mut j) = (0, 0);
+    while i < a.len() && j < b.len() {
+        match a[i].0.cmp(&b[j].0) {
+            std::cmp::Ordering::Less => i += 1,
+            std::cmp::Ordering::Greater => j += 1,
+            std::cmp::Ordering::Equal => {
+                acc += a[i].1 * b[j].1;
+                i += 1;
+                j += 1;
+            }
+        }
+    }
+    acc
+}
+
+/// Sorted run-length histogram of a key multiset — the construction step
+/// of every CSR-style sparse feature vector (sorted unique keys + counts).
+pub(crate) fn sorted_histogram<K: Ord>(mut keys: Vec<K>) -> Vec<(K, f64)> {
+    keys.sort_unstable();
+    let mut out: Vec<(K, f64)> = Vec::new();
+    for key in keys {
+        match out.last_mut() {
+            Some((k, count)) if *k == key => *count += 1.0,
+            _ => out.push((key, 1.0)),
+        }
+    }
+    out
 }
 
 #[cfg(test)]

@@ -42,8 +42,8 @@ pub use depth_based::DepthBasedAlignedKernel;
 pub use embedding::{kernel_distance_matrix, kernel_pca, KernelPca};
 pub use features::{
     cached_alignment_basis, cached_ctqw_densities, cached_ctqw_density, cached_graph_spectrals,
-    clear_density_cache, density_cache_shard_stats, density_cache_stats, set_density_cache_budget,
-    AlignmentBasis, GraphSpectrals,
+    cached_wl_histogram, clear_density_cache, density_cache_shard_stats, density_cache_stats,
+    set_density_cache_budget, AlignmentBasis, GraphSpectrals, WlHistogram,
 };
 pub use graphlet::GraphletKernel;
 pub use jtqk::JensenTsallisKernel;
@@ -53,4 +53,4 @@ pub use nystrom::{LandmarkSelection, NystromApproximation};
 pub use qjsk::{QjskAligned, QjskUnaligned};
 pub use random_walk::RandomWalkKernel;
 pub use shortest_path::ShortestPathKernel;
-pub use wl::WeisfeilerLehmanKernel;
+pub use wl::{WeisfeilerLehmanKernel, WlFeatureVec};

@@ -16,13 +16,16 @@
 use crate::features::{
     cached_alignment_basis, cached_ctqw_density, cached_graph_spectrals, pad_to, AlignmentBasis,
 };
-use crate::kernel::{gram_from_indexed_prefetched, GraphKernel, PinnedFeatures};
+use crate::kernel::{gram_from_tiles_prefetched, GraphKernel, PinnedFeatures};
 use crate::matrix::KernelMatrix;
 use haqjsk_engine::BackendKind;
 use haqjsk_graph::Graph;
 use haqjsk_linalg::assignment::hungarian_max;
 use haqjsk_linalg::{symmetric_eigen, Matrix};
-use haqjsk_quantum::{qjsd_with_entropies, DensityMatrix};
+use haqjsk_quantum::{
+    batch_mixture_entropies, qjsd_from_entropies, qjsd_with_entropies, DensityMatrix,
+    MixtureEntropy,
+};
 use std::sync::Arc;
 
 /// The per-graph artifacts the unaligned QJSK pair loop consumes: the CTQW
@@ -94,6 +97,38 @@ impl QjskUnaligned {
             .expect("equal dimensions after padding");
         (-self.mu * d).exp()
     }
+
+    /// The whole-tile fast path: every pair of the tile contributes one
+    /// padded mixture, all of which go through **one** batched values-only
+    /// eigensolve; the entries then reduce through the same
+    /// `qjsd_from_entropies` expression as the per-pair path, so the tile
+    /// values are byte-identical to [`QjskUnaligned::kernel_from_inputs`].
+    fn kernel_tile(
+        &self,
+        pairs: &[(usize, usize)],
+        pinned: &PinnedFeatures<'_, SpectralInputs>,
+        out: &mut [f64],
+    ) {
+        let inputs: Vec<(&SpectralInputs, &SpectralInputs)> = pairs
+            .iter()
+            .map(|&(i, j)| {
+                (
+                    pinned.get(i, SpectralInputs::extract),
+                    pinned.get(j, SpectralInputs::extract),
+                )
+            })
+            .collect();
+        let mixtures: Vec<(&DensityMatrix, &DensityMatrix)> = inputs
+            .iter()
+            .map(|(a, b)| (&*a.density, &*b.density))
+            .collect();
+        let h_mix = batch_mixture_entropies(&mixtures, MixtureEntropy::VonNeumann)
+            .expect("padded mixtures share a dimension");
+        for (k, (a, b)) in inputs.iter().enumerate() {
+            let d = qjsd_from_entropies(h_mix[k], a.entropy, b.entropy);
+            out[k] = (-self.mu * d).exp();
+        }
+    }
 }
 
 impl GraphKernel for QjskUnaligned {
@@ -107,18 +142,13 @@ impl GraphKernel for QjskUnaligned {
 
     fn gram_matrix_on(&self, graphs: &[Graph], backend: Option<BackendKind>) -> KernelMatrix {
         let pinned: PinnedFeatures<'_, SpectralInputs> = PinnedFeatures::new(graphs);
-        gram_from_indexed_prefetched(
+        gram_from_tiles_prefetched(
             graphs.len(),
             backend,
             |i| {
                 let _ = pinned.get(i, SpectralInputs::extract);
             },
-            |i, j| {
-                self.kernel_from_inputs(
-                    pinned.get(i, SpectralInputs::extract),
-                    pinned.get(j, SpectralInputs::extract),
-                )
-            },
+            |pairs: &[(usize, usize)], out: &mut [f64]| self.kernel_tile(pairs, &pinned, out),
         )
     }
 }
@@ -199,6 +229,57 @@ impl QjskAligned {
             .expect("equal dimensions after padding");
         (-self.mu * d).exp()
     }
+
+    /// Whole-tile fast path: the Umeyama matching stays per pair (the
+    /// Hungarian assignment is inherently sequential), but all of the
+    /// tile's aligned mixtures go through one batched values-only
+    /// eigensolve. Byte-identical to [`QjskAligned::kernel_from_inputs`].
+    fn kernel_tile(
+        &self,
+        pairs: &[(usize, usize)],
+        pinned: &PinnedFeatures<'_, AlignedInputs>,
+        out: &mut [f64],
+    ) {
+        let inputs: Vec<(&AlignedInputs, &AlignedInputs)> = pairs
+            .iter()
+            .map(|&(i, j)| {
+                (
+                    pinned.get(i, AlignedInputs::extract),
+                    pinned.get(j, AlignedInputs::extract),
+                )
+            })
+            .collect();
+        // Per-pair alignment: padded basis reconstruction, Hungarian
+        // matching, then the aligned (permuted) padded partner state.
+        let mut padded_a: Vec<Option<DensityMatrix>> = Vec::with_capacity(pairs.len());
+        let mut aligned_b: Vec<DensityMatrix> = Vec::with_capacity(pairs.len());
+        for (a, b) in &inputs {
+            let rho_a = &a.spectral.density;
+            let rho_b = &b.spectral.density;
+            let n = rho_a.dim().max(rho_b.dim());
+            let perm = Self::umeyama_match_bases(&a.basis, &b.basis, n);
+            let mut sb = None;
+            let pb = pad_to(rho_b, n, &mut sb);
+            aligned_b.push(pb.permute(&perm).expect("valid permutation"));
+            padded_a.push(if rho_a.dim() == n {
+                None
+            } else {
+                Some(rho_a.zero_pad(n).expect("padding up never fails"))
+            });
+        }
+        let mixtures: Vec<(&DensityMatrix, &DensityMatrix)> = inputs
+            .iter()
+            .zip(&padded_a)
+            .zip(&aligned_b)
+            .map(|(((a, _), pa), ab)| (pa.as_ref().unwrap_or(&*a.spectral.density), ab))
+            .collect();
+        let h_mix = batch_mixture_entropies(&mixtures, MixtureEntropy::VonNeumann)
+            .expect("aligned mixtures share a dimension");
+        for (k, (a, b)) in inputs.iter().enumerate() {
+            let d = qjsd_from_entropies(h_mix[k], a.spectral.entropy, b.spectral.entropy);
+            out[k] = (-self.mu * d).exp();
+        }
+    }
 }
 
 impl GraphKernel for QjskAligned {
@@ -212,18 +293,13 @@ impl GraphKernel for QjskAligned {
 
     fn gram_matrix_on(&self, graphs: &[Graph], backend: Option<BackendKind>) -> KernelMatrix {
         let pinned: PinnedFeatures<'_, AlignedInputs> = PinnedFeatures::new(graphs);
-        gram_from_indexed_prefetched(
+        gram_from_tiles_prefetched(
             graphs.len(),
             backend,
             |i| {
                 let _ = pinned.get(i, AlignedInputs::extract);
             },
-            |i, j| {
-                self.kernel_from_inputs(
-                    pinned.get(i, AlignedInputs::extract),
-                    pinned.get(j, AlignedInputs::extract),
-                )
-            },
+            |pairs: &[(usize, usize)], out: &mut [f64]| self.kernel_tile(pairs, &pinned, out),
         )
     }
 }

@@ -6,12 +6,18 @@
 //! the classic local R-convolution baseline of the paper's Table III/IV:
 //! positive definite, but blind to structural correspondence.
 
-use crate::kernel::{gram_from_features, GraphKernel};
+use crate::kernel::{gram_from_indexed_on, sorted_histogram, sparse_dot, GraphKernel};
 use crate::matrix::KernelMatrix;
 use haqjsk_engine::BackendKind;
 use haqjsk_graph::shortest_paths::{all_pairs_shortest_paths, INFINITE_DISTANCE};
 use haqjsk_graph::Graph;
-use std::collections::HashMap;
+
+/// A sparse shortest-path histogram: `((min_label, max_label, distance),
+/// count)` sorted by key — the CSR-style feature vector whose merge-join
+/// dot product is the kernel value. No dense union feature space is ever
+/// materialised, so the memory footprint tracks each graph's own feature
+/// count rather than the whole dataset's label × distance alphabet.
+pub type SpFeatureVec = Vec<((usize, usize, usize), f64)>;
 
 /// The shortest-path kernel. `max_distance` truncates the histogram (path
 /// lengths above it are ignored); `None` keeps every finite length.
@@ -34,12 +40,13 @@ impl ShortestPathKernel {
         }
     }
 
-    /// Histogram over `(min_label, max_label, distance)` triples.
-    pub fn feature_map(&self, graph: &Graph) -> HashMap<(usize, usize, usize), f64> {
+    /// Histogram over `(min_label, max_label, distance)` triples, as a
+    /// sorted sparse vector.
+    pub fn feature_map(&self, graph: &Graph) -> SpFeatureVec {
         let labels = graph.effective_labels();
         let distances = all_pairs_shortest_paths(graph);
         let n = graph.num_vertices();
-        let mut histogram = HashMap::new();
+        let mut keys: Vec<(usize, usize, usize)> = Vec::new();
         for u in 0..n {
             for v in (u + 1)..n {
                 let d = distances[u][v];
@@ -51,22 +58,10 @@ impl ShortestPathKernel {
                         continue;
                     }
                 }
-                let key = (labels[u].min(labels[v]), labels[u].max(labels[v]), d);
-                *histogram.entry(key).or_insert(0.0) += 1.0;
+                keys.push((labels[u].min(labels[v]), labels[u].max(labels[v]), d));
             }
         }
-        histogram
-    }
-
-    fn sparse_dot(
-        a: &HashMap<(usize, usize, usize), f64>,
-        b: &HashMap<(usize, usize, usize), f64>,
-    ) -> f64 {
-        let (small, large) = if a.len() <= b.len() { (a, b) } else { (b, a) };
-        small
-            .iter()
-            .filter_map(|(k, va)| large.get(k).map(|vb| va * vb))
-            .sum()
+        sorted_histogram(keys)
     }
 }
 
@@ -76,33 +71,16 @@ impl GraphKernel for ShortestPathKernel {
     }
 
     fn compute(&self, a: &Graph, b: &Graph) -> f64 {
-        Self::sparse_dot(&self.feature_map(a), &self.feature_map(b))
+        sparse_dot(&self.feature_map(a), &self.feature_map(b))
     }
 
-    // Factors through explicit feature maps: backend-independent, so the
-    // backend-aware hook is overridden to keep the fast path everywhere.
-    fn gram_matrix_on(&self, graphs: &[Graph], _backend: Option<BackendKind>) -> KernelMatrix {
-        let sparse: Vec<HashMap<(usize, usize, usize), f64>> =
-            graphs.iter().map(|g| self.feature_map(g)).collect();
-        let mut index: HashMap<(usize, usize, usize), usize> = HashMap::new();
-        for map in &sparse {
-            for &k in map.keys() {
-                let next = index.len();
-                index.entry(k).or_insert(next);
-            }
-        }
-        let dim = index.len();
-        let dense: Vec<Vec<f64>> = sparse
-            .iter()
-            .map(|map| {
-                let mut v = vec![0.0; dim];
-                for (k, &count) in map {
-                    v[index[k]] = count;
-                }
-                v
-            })
-            .collect();
-        gram_from_features(&dense)
+    // Factors through explicit feature maps: one shortest-path pass per
+    // graph, then a merge-join dot per pair on the requested backend.
+    fn gram_matrix_on(&self, graphs: &[Graph], backend: Option<BackendKind>) -> KernelMatrix {
+        let sparse: Vec<SpFeatureVec> = graphs.iter().map(|g| self.feature_map(g)).collect();
+        gram_from_indexed_on(graphs.len(), backend, |i, j| {
+            sparse_dot(&sparse[i], &sparse[j])
+        })
     }
 }
 
@@ -111,15 +89,23 @@ mod tests {
     use super::*;
     use haqjsk_graph::generators::{complete_graph, cycle_graph, path_graph, star_graph};
 
+    fn count_of(f: &SpFeatureVec, key: (usize, usize, usize)) -> f64 {
+        f.iter()
+            .find(|&&(k, _)| k == key)
+            .map(|&(_, c)| c)
+            .unwrap_or(0.0)
+    }
+
     #[test]
     fn feature_map_of_path_graph() {
         let kernel = ShortestPathKernel::new();
         let g = path_graph(3); // labels = degrees = [1, 2, 1]
         let f = kernel.feature_map(&g);
         // Pairs: (0,1) d=1 labels (1,2); (1,2) d=1 labels (1,2); (0,2) d=2 labels (1,1).
-        assert_eq!(f[&(1, 2, 1)], 2.0);
-        assert_eq!(f[&(1, 1, 2)], 1.0);
+        assert_eq!(count_of(&f, (1, 2, 1)), 2.0);
+        assert_eq!(count_of(&f, (1, 1, 2)), 1.0);
         assert_eq!(f.len(), 2);
+        assert!(f.windows(2).all(|w| w[0].0 < w[1].0), "sorted, unique keys");
     }
 
     #[test]
@@ -127,10 +113,10 @@ mod tests {
         let g = path_graph(6);
         let full = ShortestPathKernel::new().feature_map(&g);
         let capped = ShortestPathKernel::with_max_distance(2).feature_map(&g);
-        let full_count: f64 = full.values().sum();
-        let capped_count: f64 = capped.values().sum();
+        let full_count: f64 = full.iter().map(|&(_, c)| c).sum();
+        let capped_count: f64 = capped.iter().map(|&(_, c)| c).sum();
         assert!(capped_count < full_count);
-        assert!(capped.keys().all(|&(_, _, d)| d <= 2));
+        assert!(capped.iter().all(|&((_, _, d), _)| d <= 2));
     }
 
     #[test]
@@ -156,7 +142,7 @@ mod tests {
         let kernel = ShortestPathKernel::new();
         let g = Graph::from_edges(4, &[(0, 1), (2, 3)]).unwrap();
         let f = kernel.feature_map(&g);
-        let total: f64 = f.values().sum();
+        let total: f64 = f.iter().map(|&(_, c)| c).sum();
         assert_eq!(total, 2.0, "only the two connected pairs count");
     }
 

@@ -6,12 +6,41 @@
 //! the inner product of the concatenated label-count histograms over all
 //! rounds. Unlabelled graphs use vertex degrees as initial labels, matching
 //! the convention used for the paper's unlabelled datasets.
+//!
+//! ## Content-addressed labels, CSR-style feature maps
+//!
+//! Compressed labels are **content hashes** of the `(label, sorted
+//! neighbour labels)` signature (a splitmix64 sponge) rather than entries
+//! in a shared dictionary. That makes each graph's feature map a
+//! self-contained per-graph artifact — two graphs agree on a feature key
+//! exactly when their refinement signatures agree, no matter when or where
+//! the maps were computed — which is what lets JTQK cache WL histograms per
+//! graph and lets this kernel skip any joint pass over the dataset. The
+//! maps themselves are sorted `(key, count)` vectors ([`WlFeatureVec`]):
+//! the kernel value is a cache-friendly merge-join dot product, and the
+//! Gram computation never materialises the dense union label space (whose
+//! size grows with the whole dataset's label alphabet).
 
-use crate::kernel::{gram_from_features, GraphKernel};
+use crate::kernel::{gram_from_indexed_on, sorted_histogram, GraphKernel};
 use crate::matrix::KernelMatrix;
 use haqjsk_engine::BackendKind;
 use haqjsk_graph::Graph;
-use std::collections::HashMap;
+
+/// The shared merge-join dot of sorted sparse vectors (re-exported from
+/// [`crate::kernel`], where the CSR-style feature-map kernels all get it).
+pub use crate::kernel::sparse_dot;
+
+/// A sparse WL feature histogram: `(feature key, count)` sorted by key.
+pub type WlFeatureVec = Vec<(u64, f64)>;
+
+/// splitmix64 finaliser — the mixing core of the content-addressed labels.
+#[inline]
+fn mix64(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
 
 /// The Weisfeiler–Lehman subtree kernel with `iterations` refinement rounds.
 #[derive(Debug, Clone)]
@@ -32,60 +61,44 @@ impl WeisfeilerLehmanKernel {
         WeisfeilerLehmanKernel { iterations }
     }
 
-    /// Runs WL refinement on a whole dataset at once (so compressed labels
-    /// are shared across graphs) and returns, per graph, the concatenated
-    /// label histogram over all iterations as a sparse `label -> count` map.
-    pub fn feature_maps(&self, graphs: &[Graph]) -> Vec<HashMap<u64, f64>> {
-        let mut features: Vec<HashMap<u64, f64>> = vec![HashMap::new(); graphs.len()];
-        // Current labels per graph per vertex.
-        let mut labels: Vec<Vec<u64>> = graphs
-            .iter()
-            .map(|g| g.effective_labels().iter().map(|&l| l as u64).collect())
-            .collect();
-        // Global dictionary compressing (label, neighbourhood) signatures.
-        let mut dictionary: HashMap<String, u64> = HashMap::new();
-        let mut next_label: u64 = 1_000_000; // distinct from raw degree labels
+    /// Runs WL refinement on one graph and returns its concatenated label
+    /// histogram over all iterations as a sorted sparse vector. Labels are
+    /// content-addressed, so maps computed independently are directly
+    /// comparable across graphs and across calls.
+    pub fn feature_map(&self, graph: &Graph) -> WlFeatureVec {
+        let n = graph.num_vertices();
+        let mut labels: Vec<u64> = graph.effective_labels().iter().map(|&l| l as u64).collect();
+        let mut keys: Vec<u64> = Vec::with_capacity(n * (self.iterations + 1));
+        // Round 0: raw labels.
+        keys.extend(labels.iter().map(|&l| mix64(l)));
 
-        // Iteration 0 histogram: raw labels, offset so rounds do not collide.
-        for (gi, graph_labels) in labels.iter().enumerate() {
-            for &label in graph_labels {
-                *features[gi].entry(label).or_insert(0.0) += 1.0;
-            }
-        }
-
+        let mut neigh: Vec<u64> = Vec::new();
         for round in 0..self.iterations {
-            let round_offset = (round as u64 + 1) << 32;
-            let mut new_labels: Vec<Vec<u64>> = Vec::with_capacity(graphs.len());
-            for (gi, graph) in graphs.iter().enumerate() {
-                let mut updated = Vec::with_capacity(graph.num_vertices());
-                for v in 0..graph.num_vertices() {
-                    let mut neigh: Vec<u64> = graph.neighbors(v).map(|u| labels[gi][u]).collect();
-                    neigh.sort_unstable();
-                    let signature = format!("{}|{:?}", labels[gi][v], neigh);
-                    let compressed = *dictionary.entry(signature).or_insert_with(|| {
-                        next_label += 1;
-                        next_label
-                    });
-                    updated.push(compressed);
+            // Per-round salt keeps equal signatures from different rounds
+            // in distinct histogram slots (the rounds are concatenated).
+            let tag = (round as u64 + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+            let mut updated = Vec::with_capacity(n);
+            for v in 0..n {
+                neigh.clear();
+                neigh.extend(graph.neighbors(v).map(|u| labels[u]));
+                neigh.sort_unstable();
+                // splitmix64 sponge over (own label, sorted neighbours).
+                let mut h = mix64(labels[v] ^ 0x517c_c1b7_2722_0a95);
+                for &nl in &neigh {
+                    h = mix64(h ^ mix64(nl));
                 }
-                new_labels.push(updated);
+                updated.push(h);
             }
-            labels = new_labels;
-            for (gi, graph_labels) in labels.iter().enumerate() {
-                for &label in graph_labels {
-                    *features[gi].entry(round_offset ^ label).or_insert(0.0) += 1.0;
-                }
-            }
+            labels = updated;
+            keys.extend(labels.iter().map(|&l| mix64(l ^ tag)));
         }
-        features
+        sorted_histogram(keys)
     }
 
-    fn sparse_dot(a: &HashMap<u64, f64>, b: &HashMap<u64, f64>) -> f64 {
-        let (small, large) = if a.len() <= b.len() { (a, b) } else { (b, a) };
-        small
-            .iter()
-            .filter_map(|(k, va)| large.get(k).map(|vb| va * vb))
-            .sum()
+    /// Feature maps of a whole dataset; each map is independent (see
+    /// [`WeisfeilerLehmanKernel::feature_map`]).
+    pub fn feature_maps(&self, graphs: &[Graph]) -> Vec<WlFeatureVec> {
+        graphs.iter().map(|g| self.feature_map(g)).collect()
     }
 }
 
@@ -95,36 +108,17 @@ impl GraphKernel for WeisfeilerLehmanKernel {
     }
 
     fn compute(&self, a: &Graph, b: &Graph) -> f64 {
-        let features = self.feature_maps(&[a.clone(), b.clone()]);
-        Self::sparse_dot(&features[0], &features[1])
+        sparse_dot(&self.feature_map(a), &self.feature_map(b))
     }
 
-    // The WL Gram factors through explicit feature maps, so the execution
-    // backend is irrelevant; overriding the backend-aware hook keeps this
-    // fast path on every entry point.
-    fn gram_matrix_on(&self, graphs: &[Graph], _backend: Option<BackendKind>) -> KernelMatrix {
-        let sparse = self.feature_maps(graphs);
-        // Re-index the union of labels densely so the generic feature Gram
-        // builder can be reused.
-        let mut index: HashMap<u64, usize> = HashMap::new();
-        for map in &sparse {
-            for &k in map.keys() {
-                let next = index.len();
-                index.entry(k).or_insert(next);
-            }
-        }
-        let dim = index.len();
-        let dense: Vec<Vec<f64>> = sparse
-            .iter()
-            .map(|map| {
-                let mut v = vec![0.0; dim];
-                for (k, &count) in map {
-                    v[index[k]] = count;
-                }
-                v
-            })
-            .collect();
-        gram_from_features(&dense)
+    // The WL Gram factors through explicit feature maps: one refinement
+    // pass per graph, then a merge-join dot per pair on the requested
+    // backend — no dense union label space is ever materialised.
+    fn gram_matrix_on(&self, graphs: &[Graph], backend: Option<BackendKind>) -> KernelMatrix {
+        let features = self.feature_maps(graphs);
+        gram_from_indexed_on(graphs.len(), backend, |i, j| {
+            sparse_dot(&features[i], &features[j])
+        })
     }
 }
 
@@ -177,6 +171,23 @@ mod tests {
     }
 
     #[test]
+    fn feature_maps_are_sorted_and_self_contained() {
+        let kernel = WeisfeilerLehmanKernel::new(3);
+        let g = cycle_graph(7);
+        let map = kernel.feature_map(&g);
+        assert!(
+            map.windows(2).all(|w| w[0].0 < w[1].0),
+            "keys sorted, unique"
+        );
+        // Total count = vertices x (iterations + 1) rounds.
+        let total: f64 = map.iter().map(|&(_, c)| c).sum();
+        assert_eq!(total, (7 * 4) as f64);
+        // A map computed alone equals the map computed alongside others.
+        let joint = kernel.feature_maps(&[path_graph(5), g.clone(), star_graph(6)]);
+        assert_eq!(joint[1], map, "feature maps are dataset-independent");
+    }
+
+    #[test]
     fn gram_matrix_is_psd() {
         let kernel = WeisfeilerLehmanKernel::new(3);
         let graphs = vec![
@@ -189,13 +200,24 @@ mod tests {
         let gram = kernel.gram_matrix(&graphs);
         assert_eq!(gram.len(), 5);
         assert!(gram.is_positive_semidefinite(1e-9).unwrap());
-        // Gram entries must match pairwise computation (shared dictionary
-        // makes values identical because signatures are content-addressed).
+        // Gram entries must match pairwise computation (content-addressed
+        // signatures make values identical across call patterns).
         for i in 0..graphs.len() {
             for j in 0..graphs.len() {
                 let direct = kernel.compute(&graphs[i], &graphs[j]);
                 assert!((gram.get(i, j) - direct).abs() < 1e-9);
             }
+        }
+    }
+
+    #[test]
+    fn gram_is_identical_across_backends() {
+        let kernel = WeisfeilerLehmanKernel::new(2);
+        let graphs = vec![path_graph(5), cycle_graph(6), star_graph(7), path_graph(4)];
+        let reference = kernel.gram_matrix_on(&graphs, Some(BackendKind::Serial));
+        for backend in BackendKind::ALL {
+            let gram = kernel.gram_matrix_on(&graphs, Some(backend));
+            assert_eq!(gram.matrix(), reference.matrix(), "backend {backend}");
         }
     }
 
@@ -207,5 +229,13 @@ mod tests {
         // Histogram dot product: two labels "1" (count 2) and "2" (count 2)
         // => 2*2 + 2*2 = 8.
         assert_eq!(kernel.compute(&a, &b), 8.0);
+    }
+
+    #[test]
+    fn sparse_dot_merges_sorted_vectors() {
+        let a = vec![(1u64, 2.0), (5, 1.0), (9, 3.0)];
+        let b = vec![(1u64, 4.0), (6, 2.0), (9, 0.5)];
+        assert_eq!(sparse_dot(&a, &b), 2.0 * 4.0 + 3.0 * 0.5);
+        assert_eq!(sparse_dot(&a, &[]), 0.0);
     }
 }

@@ -109,10 +109,32 @@ impl SymmetricEigen {
 }
 
 /// Maximum QL sweeps per eigenvalue before declaring non-convergence.
-const MAX_QL_ITERATIONS: usize = 64;
+pub(crate) const MAX_QL_ITERATIONS: usize = 64;
+
+/// `sqrt(a² + b²)` without destructive overflow — the classic `pythag`
+/// scaling. Used by every QL sweep (scalar and batched) instead of the libm
+/// `hypot` call: it inlines to a handful of arithmetic ops (and therefore
+/// vectorizes), and because the scalar and batched drivers share this exact
+/// function their rotation sequences stay bit-identical. Returns exactly
+/// `0.0` only when both inputs are zero, which the sweeps rely on for their
+/// degenerate-rotation check.
+#[inline(always)]
+pub(crate) fn pythag(a: f64, b: f64) -> f64 {
+    let absa = a.abs();
+    let absb = b.abs();
+    if absa > absb {
+        let r = absb / absa;
+        absa * (1.0 + r * r).sqrt()
+    } else if absb == 0.0 {
+        0.0
+    } else {
+        let r = absa / absb;
+        absb * (1.0 + r * r).sqrt()
+    }
+}
 
 /// Validates shape and symmetry; returns the dimension.
-fn check_symmetric(a: &Matrix) -> Result<usize> {
+pub(crate) fn check_symmetric(a: &Matrix) -> Result<usize> {
     if !a.is_square() {
         return Err(LinalgError::NotSquare {
             rows: a.rows(),
@@ -252,7 +274,7 @@ fn tqli(d: &mut [f64], e: &mut [f64], n: usize, mut z: Option<&mut [f64]>) -> Re
                 });
             }
             let mut g = (d[l + 1] - d[l]) / (2.0 * e[l]);
-            let mut r = g.hypot(1.0);
+            let mut r = pythag(g, 1.0);
             g = d[m] - d[l] + e[l] / (g + if g >= 0.0 { r.abs() } else { -r.abs() });
             let mut s = 1.0;
             let mut c = 1.0;
@@ -260,7 +282,7 @@ fn tqli(d: &mut [f64], e: &mut [f64], n: usize, mut z: Option<&mut [f64]>) -> Re
             for i in (l..m).rev() {
                 let mut f = s * e[i];
                 let b = c * e[i];
-                r = f.hypot(g);
+                r = pythag(f, g);
                 e[i + 1] = r;
                 if r == 0.0 {
                     d[i + 1] -= p;
@@ -422,7 +444,7 @@ thread_local! {
 /// one-off solves (e.g. the minimum eigenvalue of a whole `N × N` Gram
 /// matrix) get a transient workspace instead, so they cannot pin an
 /// `8·N²`-byte scratch to the thread for its lifetime.
-const WORKSPACE_DIM_LIMIT: usize = 256;
+pub(crate) const WORKSPACE_DIM_LIMIT: usize = 256;
 
 /// Returns the eigenvalues of a symmetric matrix in ascending order without
 /// the eigenvectors.

@@ -24,6 +24,7 @@
 //! robust.
 
 pub mod assignment;
+pub mod batch;
 pub mod cmatrix;
 pub mod complex;
 pub mod eigen;
@@ -34,6 +35,10 @@ pub mod stats;
 pub mod vector;
 
 pub use assignment::hungarian;
+pub use batch::{
+    batch_solve_stats, batch_symmetric_eigenvalues, BatchEigenWorkspace, BatchSolveStats,
+    MAX_BATCH_LANES,
+};
 pub use cmatrix::CMatrix;
 pub use complex::Complex;
 pub use eigen::{symmetric_eigen, symmetric_eigenvalues, EigenWorkspace, SymmetricEigen};

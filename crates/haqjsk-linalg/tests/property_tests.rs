@@ -1,6 +1,9 @@
 //! Property-based tests for the linear-algebra substrate.
 
-use haqjsk_linalg::{hungarian, symmetric_eigen, symmetric_eigenvalues, EigenWorkspace, Matrix};
+use haqjsk_linalg::{
+    batch_symmetric_eigenvalues, hungarian, symmetric_eigen, symmetric_eigenvalues,
+    BatchEigenWorkspace, EigenWorkspace, Matrix,
+};
 use proptest::prelude::*;
 
 /// The pre-blocking reference product: plain i-k-j loop, no row blocks.
@@ -80,6 +83,65 @@ proptest! {
             values.iter().map(|x| x.to_bits()).collect::<Vec<_>>(),
             ws_values.iter().map(|x| x.to_bits()).collect::<Vec<_>>()
         );
+    }
+
+    /// The lane-parallel SoA batch solver is bit-identical to the scalar
+    /// values-only driver on every matrix of the batch, across mixed batch
+    /// sizes and mixed dimension classes — including dimension classes of
+    /// one matrix, which take the scalar straggler fallback.
+    #[test]
+    fn batched_eigenvalues_bit_equal_scalar(
+        dims in proptest::collection::vec(1usize..11, 1..19),
+        seed in 0u64..u64::MAX,
+    ) {
+        let mats: Vec<Matrix> = dims
+            .iter()
+            .enumerate()
+            .map(|(k, &n)| {
+                // Deterministic fill; occasional exact-zero rows exercise
+                // the masked Householder path.
+                let mut state = seed.wrapping_add(k as u64);
+                let mut next = move || {
+                    state = state
+                        .wrapping_mul(6364136223846793005)
+                        .wrapping_add(1442695040888963407);
+                    ((state >> 33) as f64 / (1u64 << 31) as f64) - 1.0
+                };
+                let mut m = Matrix::zeros(n, n);
+                for i in 0..n {
+                    for j in i..n {
+                        let v = next();
+                        m[(i, j)] = v;
+                        m[(j, i)] = v;
+                    }
+                }
+                if n > 2 && k % 3 == 0 {
+                    let z = k % n;
+                    for t in 0..n {
+                        m[(z, t)] = 0.0;
+                        m[(t, z)] = 0.0;
+                    }
+                }
+                m
+            })
+            .collect();
+        let refs: Vec<&Matrix> = mats.iter().collect();
+        let batch = batch_symmetric_eigenvalues(&refs).unwrap();
+        let mut ws = BatchEigenWorkspace::new();
+        let ws_batch = ws.eigenvalues(&refs).unwrap();
+        for (k, m) in mats.iter().enumerate() {
+            let scalar = symmetric_eigenvalues(m).unwrap();
+            prop_assert_eq!(
+                batch[k].iter().map(|x| x.to_bits()).collect::<Vec<_>>(),
+                scalar.iter().map(|x| x.to_bits()).collect::<Vec<_>>(),
+                "matrix {} of dim {}", k, m.rows()
+            );
+            prop_assert_eq!(
+                ws_batch[k].iter().map(|x| x.to_bits()).collect::<Vec<_>>(),
+                scalar.iter().map(|x| x.to_bits()).collect::<Vec<_>>(),
+                "workspace path, matrix {}", k
+            );
+        }
     }
 
     /// The cache-blocked matmul is exactly the naive (unblocked i-k-j)

@@ -62,8 +62,8 @@ impl WlMlpClassifier {
         let wl = WeisfeilerLehmanKernel::new(self.config.wl_iterations);
         let sparse = wl.feature_maps(std::slice::from_ref(graph));
         let mut dense = vec![0.0; self.feature_index.len()];
-        for (key, &count) in &sparse[0] {
-            if let Some(&idx) = self.feature_index.get(key) {
+        for &(key, count) in &sparse[0] {
+            if let Some(&idx) = self.feature_index.get(&key) {
                 dense[idx] = count;
             }
         }
@@ -92,7 +92,7 @@ impl WlMlpClassifier {
         let sparse = wl.feature_maps(graphs);
         let mut feature_index: HashMap<u64, usize> = HashMap::new();
         for map in &sparse {
-            for &key in map.keys() {
+            for &(key, _) in map {
                 let next = feature_index.len();
                 feature_index.entry(key).or_insert(next);
             }
@@ -115,8 +115,8 @@ impl WlMlpClassifier {
             .iter()
             .map(|map| {
                 let mut dense = vec![0.0; input_dim];
-                for (key, &count) in map {
-                    dense[model.feature_index[key]] = count;
+                for &(key, count) in map {
+                    dense[model.feature_index[&key]] = count;
                 }
                 haqjsk_linalg::vector::normalize_l2(&mut dense);
                 dense

@@ -32,6 +32,27 @@ pub fn entropy_of_spectrum(spectrum: &[f64]) -> f64 {
     h
 }
 
+/// Tsallis q-entropy of a probability spectrum:
+/// `S_q(p) = (1 - Σ_i p_i^q) / (q - 1)`, recovering the von Neumann /
+/// Shannon entropy as `q → 1`. Like [`entropy_of_spectrum`], exact-zero
+/// eigenvalues contribute nothing, so the value is invariant under the
+/// zero-padding the pairwise kernels apply.
+pub fn tsallis_entropy_of_spectrum(spectrum: &[f64], q: f64) -> f64 {
+    if (q - 1.0).abs() < 1e-9 {
+        return spectrum
+            .iter()
+            .filter(|&&p| p > 1e-15)
+            .map(|&p| -p * p.ln())
+            .sum();
+    }
+    let sum_q: f64 = spectrum
+        .iter()
+        .filter(|&&p| p > 0.0)
+        .map(|&p| p.powf(q))
+        .sum();
+    (1.0 - sum_q) / (q - 1.0)
+}
+
 /// Maximum attainable von Neumann entropy for an `n`-dimensional state
 /// (`ln n`, achieved by the maximally mixed state).
 pub fn max_entropy(n: usize) -> f64 {

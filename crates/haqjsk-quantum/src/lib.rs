@@ -17,13 +17,15 @@
 //! * the classical continuous-time random walk used as a discrimination
 //!   baseline in the paper's remarks ([`ctrw`]).
 
+pub mod batch;
 pub mod ctqw;
 pub mod ctrw;
 pub mod density;
 pub mod entropy;
 pub mod qjsd;
 
+pub use batch::{batch_mixture_entropies, MixtureEntropy};
 pub use ctqw::{ctqw_density_finite_time, ctqw_density_infinite, ctqw_state_at};
 pub use density::DensityMatrix;
-pub use entropy::{entropy_of_spectrum, von_neumann_entropy};
-pub use qjsd::{qjsd, qjsd_padded, qjsd_with_entropies};
+pub use entropy::{entropy_of_spectrum, tsallis_entropy_of_spectrum, von_neumann_entropy};
+pub use qjsd::{qjsd, qjsd_from_entropies, qjsd_padded, qjsd_with_entropies};

@@ -44,9 +44,22 @@ pub fn qjsd_with_entropies(
     h_sigma: f64,
 ) -> Result<f64, LinalgError> {
     let mixture = rho.mix(sigma)?;
-    let d = von_neumann_entropy(&mixture) - 0.5 * h_rho - 0.5 * h_sigma;
+    Ok(qjsd_from_entropies(
+        von_neumann_entropy(&mixture),
+        h_rho,
+        h_sigma,
+    ))
+}
+
+/// The QJSD expression once all three entropies are known:
+/// `H_N((ρ+σ)/2) - H_N(ρ)/2 - H_N(σ)/2`, clamped to `[0, ln 2]` to absorb
+/// eigenvalue noise. Both the per-pair path ([`qjsd_with_entropies`]) and
+/// the tile-batched path ([`crate::batch_mixture_entropies`] consumers)
+/// reduce through this one function so their values stay bit-identical.
+pub fn qjsd_from_entropies(h_mixture: f64, h_rho: f64, h_sigma: f64) -> f64 {
+    let d = h_mixture - 0.5 * h_rho - 0.5 * h_sigma;
     // Clamp the tiny negative values that eigenvalue noise can produce.
-    Ok(d.clamp(0.0, QJSD_MAX))
+    d.clamp(0.0, QJSD_MAX)
 }
 
 /// QJSD between two density matrices of possibly different dimensions: the

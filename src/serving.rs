@@ -414,6 +414,7 @@ fn cmd_stats(state: &Mutex<ServerState>) -> Json {
     // loop) are observable alongside the density cache they derive from.
     let spectral = crate::kernels::features::spectral_cache().stats();
     let alignment = crate::kernels::features::alignment_cache().stats();
+    let wl = crate::kernels::features::wl_cache().stats();
     pairs.push(("spectral_cache_hits", Json::Num(spectral.hits as f64)));
     pairs.push(("spectral_cache_misses", Json::Num(spectral.misses as f64)));
     pairs.push(("spectral_cache_entries", Json::Num(spectral.entries as f64)));
@@ -423,6 +424,22 @@ fn cmd_stats(state: &Mutex<ServerState>) -> Json {
         "alignment_cache_entries",
         Json::Num(alignment.entries as f64),
     ));
+    pairs.push(("wl_cache_hits", Json::Num(wl.hits as f64)));
+    pairs.push(("wl_cache_misses", Json::Num(wl.misses as f64)));
+    pairs.push(("wl_cache_entries", Json::Num(wl.entries as f64)));
+    // Batched-eigensolver counters: how much of the mixture eigen work the
+    // tile-batched Gram paths actually ran lane-parallel.
+    let batch = crate::linalg::batch_solve_stats();
+    pairs.push(("eigen_batched_calls", Json::Num(batch.batched_calls as f64)));
+    pairs.push((
+        "eigen_batched_matrices",
+        Json::Num(batch.batched_matrices as f64),
+    ));
+    pairs.push((
+        "eigen_scalar_fallbacks",
+        Json::Num(batch.scalar_fallbacks as f64),
+    ));
+    pairs.push(("eigen_mean_batch", Json::Num(batch.mean_batch())));
     match guard.fitted.as_ref() {
         None => pairs.push(("fitted", Json::Bool(false))),
         Some(fitted) => {
