@@ -1,0 +1,377 @@
+//! The coordinator: a [`GramBackend`]-shaped fan-out over worker processes.
+//!
+//! A [`Coordinator`] owns one [`WorkerLink`] per configured worker address
+//! and executes Gram computations that carry a serialisable
+//! [`RemoteGram`] spec by (1) shipping the dataset to every reachable
+//! worker (content-hash-deduplicated — re-fits with overlapping datasets
+//! only ship new graphs), (2) running the tile list through the
+//! [`scheduler`](crate::scheduler) with an outstanding-tile window per
+//! worker and deadline-based straggler re-dispatch, and (3) evaluating any
+//! tiles no worker returned with the kernel's local tile evaluator. The
+//! resulting matrix is **byte-identical** to the serial backend regardless
+//! of which worker computed which tile, because tile values are
+//! deterministic functions of (kernel, dataset, pair) and `f64`s round-trip
+//! bit-exactly through the JSON wire format.
+//!
+//! Gram computations *without* a spec (arbitrary closures, per-pair entry
+//! functions, kernels the wire format cannot express) execute locally on
+//! the tiled pool — selecting the distributed backend never makes a
+//! computation fail or change value, only (where possible) relocates it.
+
+use crate::dataset::{dataset_id, dataset_keys, SHIP_CHUNK};
+use crate::fault::{Conn, WorkerLink, WorkerStatsSnapshot};
+use crate::scheduler;
+use crate::wire::{self, KernelSpec};
+use haqjsk_engine::backend::{Prefetch, TileEvaluator};
+use haqjsk_engine::{gram, Json, RemoteGram, WorkerPool};
+use haqjsk_graph::Graph;
+use haqjsk_linalg::Matrix;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Environment variable bounding in-flight tiles per worker connection.
+pub const DIST_WINDOW_ENV_VAR: &str = "HAQJSK_DIST_WINDOW";
+
+/// Environment variable setting the straggler re-dispatch deadline, in
+/// milliseconds.
+pub const DIST_DEADLINE_ENV_VAR: &str = "HAQJSK_DIST_DEADLINE_MS";
+
+/// Environment variable setting the worker connect timeout, in
+/// milliseconds.
+pub const DIST_CONNECT_TIMEOUT_ENV_VAR: &str = "HAQJSK_DIST_CONNECT_TIMEOUT_MS";
+
+/// Tuning knobs of the distributed scheduler.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DistConfig {
+    /// Outstanding-tile window per worker connection: how many tile
+    /// requests are pipelined before waiting for a response. Larger
+    /// windows hide latency; smaller windows lose less work on death.
+    pub window: usize,
+    /// How long a dispatched tile may stay unanswered before it becomes
+    /// claimable by other workers (and its worker is considered hung).
+    pub deadline: Duration,
+    /// Back-off while a worker has nothing claimable.
+    pub idle_backoff: Duration,
+    /// Connect (and handshake) timeout per worker.
+    pub connect_timeout: Duration,
+}
+
+impl Default for DistConfig {
+    fn default() -> Self {
+        DistConfig {
+            window: 2,
+            deadline: Duration::from_secs(10),
+            idle_backoff: Duration::from_millis(2),
+            connect_timeout: Duration::from_secs(5),
+        }
+    }
+}
+
+impl DistConfig {
+    /// The defaults with `HAQJSK_DIST_WINDOW` / `HAQJSK_DIST_DEADLINE_MS` /
+    /// `HAQJSK_DIST_CONNECT_TIMEOUT_MS` applied on top.
+    pub fn from_env() -> DistConfig {
+        let mut config = DistConfig::default();
+        let read = |name: &str| {
+            std::env::var(name)
+                .ok()
+                .and_then(|raw| raw.trim().parse::<u64>().ok())
+        };
+        if let Some(window) = read(DIST_WINDOW_ENV_VAR) {
+            config.window = (window as usize).max(1);
+        }
+        if let Some(ms) = read(DIST_DEADLINE_ENV_VAR) {
+            config.deadline = Duration::from_millis(ms.max(1));
+        }
+        if let Some(ms) = read(DIST_CONNECT_TIMEOUT_ENV_VAR) {
+            config.connect_timeout = Duration::from_millis(ms.max(1));
+        }
+        config
+    }
+}
+
+/// Aggregate distributed-pool state, for `stats` responses and benchmark
+/// reports.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DistStats {
+    /// Per-worker counters, in configuration order.
+    pub workers: Vec<WorkerStatsSnapshot>,
+    /// Gram computations routed through the coordinator.
+    pub grams: usize,
+    /// Gram computations executed entirely locally (no spec, or no
+    /// reachable worker).
+    pub local_fallback_grams: usize,
+    /// Tiles evaluated by the coordinator's local fallback after worker
+    /// failures.
+    pub local_fallback_tiles: usize,
+    /// Graph keys announced across all dataset shipping rounds.
+    pub dataset_keys_total: usize,
+    /// Graph keys whose graphs actually had to be shipped (the rest were
+    /// dedup hits already resident on the worker).
+    pub dataset_keys_shipped: usize,
+}
+
+impl DistStats {
+    /// Fraction of announced keys answered from worker-resident graphs
+    /// (1.0 = nothing needed shipping).
+    pub fn dedup_hit_rate(&self) -> f64 {
+        if self.dataset_keys_total == 0 {
+            0.0
+        } else {
+            1.0 - self.dataset_keys_shipped as f64 / self.dataset_keys_total as f64
+        }
+    }
+}
+
+/// The coordinator of a distributed worker pool.
+pub struct Coordinator {
+    workers: Vec<Arc<WorkerLink>>,
+    config: DistConfig,
+    grams: AtomicUsize,
+    local_fallback_grams: AtomicUsize,
+    local_fallback_tiles: AtomicUsize,
+    dataset_keys_total: AtomicUsize,
+    dataset_keys_shipped: AtomicUsize,
+}
+
+impl Coordinator {
+    /// Creates a coordinator over `addrs`, requiring at least one worker to
+    /// answer the ping handshake right now (catching dead configuration at
+    /// startup); the rest are retried at every Gram. Errors list every
+    /// unreachable address.
+    pub fn connect(addrs: &[String], config: DistConfig) -> Result<Coordinator, String> {
+        if addrs.is_empty() {
+            return Err("distributed backend needs at least one worker address".to_string());
+        }
+        let workers: Vec<Arc<WorkerLink>> = addrs
+            .iter()
+            .map(|addr| Arc::new(WorkerLink::new(addr.clone())))
+            .collect();
+        let mut failures = Vec::new();
+        let mut reachable = 0;
+        for link in &workers {
+            match Conn::connect(&link.addr, config.connect_timeout) {
+                Ok(conn) => {
+                    link.alive.store(true, Ordering::Release);
+                    link.checkin(conn);
+                    reachable += 1;
+                }
+                Err(e) => failures.push(e),
+            }
+        }
+        if reachable == 0 {
+            return Err(format!(
+                "no distributed worker reachable: {}",
+                failures.join("; ")
+            ));
+        }
+        Ok(Coordinator {
+            workers,
+            config,
+            grams: AtomicUsize::new(0),
+            local_fallback_grams: AtomicUsize::new(0),
+            local_fallback_tiles: AtomicUsize::new(0),
+            dataset_keys_total: AtomicUsize::new(0),
+            dataset_keys_shipped: AtomicUsize::new(0),
+        })
+    }
+
+    /// Number of configured workers.
+    pub fn num_workers(&self) -> usize {
+        self.workers.len()
+    }
+
+    /// Snapshot of the pool state.
+    pub fn stats(&self) -> DistStats {
+        DistStats {
+            workers: self.workers.iter().map(|w| w.stats()).collect(),
+            grams: self.grams.load(Ordering::Relaxed),
+            local_fallback_grams: self.local_fallback_grams.load(Ordering::Relaxed),
+            local_fallback_tiles: self.local_fallback_tiles.load(Ordering::Relaxed),
+            dataset_keys_total: self.dataset_keys_total.load(Ordering::Relaxed),
+            dataset_keys_shipped: self.dataset_keys_shipped.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Chaos hook: arms `fail_after` on worker `index` — it will serve
+    /// `tiles` more tile requests, then fail and hang up. Used by the
+    /// fault-injection tests to kill a worker deterministically mid-Gram.
+    pub fn inject_worker_fault(&self, index: usize, tiles: usize) -> Result<(), String> {
+        let link = self
+            .workers
+            .get(index)
+            .ok_or_else(|| format!("no worker at index {index}"))?;
+        let mut conn = link
+            .checkout(self.config.connect_timeout)
+            .ok_or_else(|| format!("worker {} unreachable", link.addr))?;
+        let request = Json::obj([
+            ("cmd", Json::Str("fail_after".to_string())),
+            ("tiles", Json::Num(tiles as f64)),
+        ]);
+        let result = conn.call(&request, Some(self.config.connect_timeout));
+        link.checkin(conn);
+        result.map(|_| ())
+    }
+
+    /// The distributed Gram entry point (called by the installed
+    /// [`GramBackend`](haqjsk_engine::GramBackend) implementation).
+    pub(crate) fn gram_tiles_spec(
+        &self,
+        pool: &WorkerPool,
+        n: usize,
+        tile: usize,
+        prefetch: Option<Prefetch<'_>>,
+        eval: &dyn TileEvaluator,
+        spec: Option<&RemoteGram<'_>>,
+    ) -> Matrix {
+        self.grams.fetch_add(1, Ordering::Relaxed);
+        // Anything the wire format cannot express executes locally.
+        let kernel = spec.and_then(KernelSpec::from_remote);
+        let (Some(spec), Some(kernel)) = (spec, kernel) else {
+            return self.local_gram(pool, n, tile, prefetch, eval);
+        };
+        if spec.graphs.len() != n || n == 0 {
+            return self.local_gram(pool, n, tile, prefetch, eval);
+        }
+
+        // Dataset shipping to every currently reachable worker — one
+        // scoped thread per link, so connect timeouts and shipping round
+        // trips overlap instead of stacking up serially before the first
+        // tile can go out.
+        let keys = dataset_keys(spec.graphs);
+        let id = dataset_id(&keys);
+        let ready: std::sync::Mutex<Vec<(Arc<WorkerLink>, Conn)>> =
+            std::sync::Mutex::new(Vec::new());
+        std::thread::scope(|scope| {
+            for link in &self.workers {
+                let (keys, id, ready) = (&keys, &id, &ready);
+                scope.spawn(move || {
+                    let Some(mut conn) = link.checkout(self.config.connect_timeout) else {
+                        return;
+                    };
+                    match ship_dataset(link, &mut conn, id, keys, spec.graphs, &self.config) {
+                        Ok(shipped) => {
+                            self.dataset_keys_total
+                                .fetch_add(keys.len(), Ordering::Relaxed);
+                            self.dataset_keys_shipped
+                                .fetch_add(shipped, Ordering::Relaxed);
+                            link.datasets_shipped.fetch_add(1, Ordering::Relaxed);
+                            ready
+                                .lock()
+                                .expect("ship list poisoned")
+                                .push((Arc::clone(link), conn));
+                        }
+                        Err(_) => link.mark_dead(),
+                    }
+                });
+            }
+        });
+        let mut ready = ready.into_inner().expect("ship list poisoned");
+        // Deterministic thread order (stats, scheduling fairness) despite
+        // the parallel shipping.
+        ready.sort_by_key(|(link, _)| {
+            self.workers
+                .iter()
+                .position(|w| Arc::ptr_eq(w, link))
+                .unwrap_or(usize::MAX)
+        });
+        if ready.is_empty() {
+            return self.local_gram(pool, n, tile, prefetch, eval);
+        }
+
+        // The exact tile grid the local backends use.
+        let tile = tile.max(1);
+        let grid = gram::upper_triangle_tiles(n, tile);
+        let mut tiles: Vec<Vec<(usize, usize)>> = Vec::with_capacity(grid.len());
+        let mut pairs = Vec::new();
+        for &(bi, bj) in &grid {
+            gram::tile_pairs(n, tile, bi, bj, &mut pairs);
+            tiles.push(pairs.clone());
+        }
+
+        let kernel_json = kernel.to_json();
+        let results = scheduler::run_tiles(ready, &id, &kernel_json, &tiles, &self.config);
+
+        // Assemble, evaluating leftover tiles locally (worker deaths must
+        // never fail a Gram). The leftovers run in parallel on the engine
+        // pool — after a total pool loss this is the whole Gram.
+        let missing: Vec<usize> = results
+            .iter()
+            .enumerate()
+            .filter(|(_, r)| r.is_none())
+            .map(|(t, _)| t)
+            .collect();
+        self.local_fallback_tiles
+            .fetch_add(missing.len(), Ordering::Relaxed);
+        let fallback: Vec<Vec<f64>> = pool.map(missing.len(), |k| {
+            let t = missing[k];
+            let mut out = vec![0.0; tiles[t].len()];
+            eval.eval_tile(&tiles[t], &mut out);
+            out
+        });
+
+        let mut values = Matrix::zeros(n, n);
+        let mut fallback_iter = fallback.into_iter();
+        for (t, result) in results.into_iter().enumerate() {
+            let block = match result {
+                Some(block) => block,
+                None => fallback_iter.next().expect("one fallback per missing tile"),
+            };
+            for (&(i, j), &v) in tiles[t].iter().zip(&block) {
+                values[(i, j)] = v;
+                values[(j, i)] = v;
+            }
+        }
+        values
+    }
+
+    /// Local execution on the tiled pool — the no-spec / no-worker path.
+    fn local_gram(
+        &self,
+        pool: &WorkerPool,
+        n: usize,
+        tile: usize,
+        prefetch: Option<Prefetch<'_>>,
+        eval: &dyn TileEvaluator,
+    ) -> Matrix {
+        self.local_fallback_grams.fetch_add(1, Ordering::Relaxed);
+        use haqjsk_engine::backend::{GramBackend, TiledPoolBackend};
+        TiledPoolBackend.gram_tiles(pool, n, tile, prefetch, eval)
+    }
+}
+
+/// Ships the dataset to one worker (begin → missing graphs in chunks →
+/// commit); returns how many graphs actually travelled.
+fn ship_dataset(
+    link: &WorkerLink,
+    conn: &mut Conn,
+    id: &str,
+    keys: &[haqjsk_engine::GraphKey],
+    graphs: &[Graph],
+    config: &DistConfig,
+) -> Result<usize, String> {
+    let timeout = Some(config.deadline);
+    let begin = conn.call_counted(link, &wire::dataset_begin_request(id, keys), timeout)?;
+    let missing: Vec<usize> = begin
+        .get("missing")
+        .and_then(Json::as_array)
+        .ok_or("dataset_begin response needs 'missing'")?
+        .iter()
+        .map(|i| {
+            i.as_usize()
+                .filter(|&i| i < graphs.len())
+                .ok_or("bad missing index")
+        })
+        .collect::<Result<_, _>>()?;
+    for chunk in missing.chunks(SHIP_CHUNK) {
+        let refs: Vec<&Graph> = chunk.iter().map(|&i| &graphs[i]).collect();
+        conn.call_counted(
+            link,
+            &wire::dataset_graphs_request(id, chunk, &refs),
+            timeout,
+        )?;
+    }
+    conn.call_counted(link, &wire::dataset_commit_request(id), timeout)?;
+    Ok(missing.len())
+}

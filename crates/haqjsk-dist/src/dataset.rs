@@ -1,0 +1,220 @@
+//! Content-hash-deduplicated dataset shipping.
+//!
+//! A worker must hold the dataset before it can evaluate tiles over it, but
+//! re-fitting with overlapping datasets (cross-validation folds, appended
+//! streams, repeated serving requests) would make naive re-shipping the
+//! dominant cost. Shipping is therefore two-phase and content-addressed by
+//! the engine's structural graph hash ([`haqjsk_engine::graph_key`]):
+//!
+//! 1. `dataset_begin` announces the dataset id plus the *ordered* key list;
+//!    the worker answers with the indices it does **not** already hold in
+//!    its process-lifetime graph store,
+//! 2. `dataset_graphs` ships only those graphs (chunked), and
+//!    `dataset_commit` materialises the ordered graph vector under the
+//!    dataset id.
+//!
+//! The dataset id is itself a digest of the ordered key list, so the same
+//! dataset is committed once and instantly reusable, and two datasets that
+//! share graphs share the underlying store entries. The worker verifies
+//! every received graph against its announced key — a corrupted or
+//! misordered shipment is rejected instead of silently computing a wrong
+//! Gram matrix.
+
+use crate::wire;
+use haqjsk_engine::{graph_key, GraphKey};
+use haqjsk_graph::Graph;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// Graphs shipped per `dataset_graphs` message: large enough to amortise
+/// the per-line round trip, small enough to keep single lines bounded.
+pub const SHIP_CHUNK: usize = 64;
+
+/// The structural keys of a dataset, in dataset order.
+pub fn dataset_keys(graphs: &[Graph]) -> Vec<GraphKey> {
+    graphs.iter().map(graph_key).collect()
+}
+
+/// The dataset id: an FNV-1a digest of the ordered key list, in hex.
+/// Order-sensitive by design — tile index pairs refer to positions.
+pub fn dataset_id(keys: &[GraphKey]) -> String {
+    const OFFSET: u128 = 0x6c62272e07bb014262b821756295c58d;
+    const PRIME: u128 = 0x0000000001000000000000000000013b;
+    let mut state = OFFSET;
+    for key in keys {
+        for byte in key.0.to_le_bytes() {
+            state ^= byte as u128;
+            state = state.wrapping_mul(PRIME);
+        }
+    }
+    format!("{state:032x}")
+}
+
+/// The worker-side graph store: every graph ever received, keyed by its
+/// structural hash, plus the committed datasets assembled from it.
+///
+/// The store is process-lifetime (workers are cattle; restart one to drop
+/// its store) — the point is that overlapping datasets only ship new
+/// graphs, which the dedup counters of the coordinator make observable.
+#[derive(Default)]
+pub struct GraphStore {
+    graphs: HashMap<GraphKey, Graph>,
+    datasets: HashMap<String, Arc<Vec<Graph>>>,
+    pending: HashMap<String, Vec<GraphKey>>,
+}
+
+impl GraphStore {
+    /// Starts (or restarts) assembly of `dataset` with the announced key
+    /// list; returns the indices of keys not yet in the store.
+    pub fn begin(&mut self, dataset: &str, keys: Vec<GraphKey>) -> Vec<usize> {
+        let missing = keys
+            .iter()
+            .enumerate()
+            .filter(|(_, k)| !self.graphs.contains_key(k))
+            .map(|(i, _)| i)
+            .collect();
+        self.pending.insert(dataset.to_string(), keys);
+        missing
+    }
+
+    /// Stores shipped graphs, verifying each against the key announced for
+    /// its dataset position.
+    pub fn insert_graphs(
+        &mut self,
+        dataset: &str,
+        indices: &[usize],
+        graphs: Vec<Graph>,
+    ) -> Result<usize, String> {
+        let keys = self
+            .pending
+            .get(dataset)
+            .ok_or_else(|| format!("dataset '{dataset}' has no pending begin"))?;
+        if indices.len() != graphs.len() {
+            return Err(format!(
+                "{} indices for {} graphs",
+                indices.len(),
+                graphs.len()
+            ));
+        }
+        let mut stored = 0;
+        for (&i, graph) in indices.iter().zip(graphs) {
+            let expected = *keys
+                .get(i)
+                .ok_or_else(|| format!("graph index {i} out of range"))?;
+            let actual = graph_key(&graph);
+            if actual != expected {
+                return Err(format!(
+                    "graph at index {i} hashes to {} but was announced as {}",
+                    wire::key_hex(actual),
+                    wire::key_hex(expected)
+                ));
+            }
+            if self.graphs.insert(expected, graph).is_none() {
+                stored += 1;
+            }
+        }
+        Ok(stored)
+    }
+
+    /// Materialises the ordered graph vector of `dataset`; every key must
+    /// be resident by now.
+    pub fn commit(&mut self, dataset: &str) -> Result<Arc<Vec<Graph>>, String> {
+        if let Some(existing) = self.datasets.get(dataset) {
+            self.pending.remove(dataset);
+            return Ok(Arc::clone(existing));
+        }
+        let keys = self
+            .pending
+            .remove(dataset)
+            .ok_or_else(|| format!("dataset '{dataset}' has no pending begin"))?;
+        let mut graphs = Vec::with_capacity(keys.len());
+        for (i, key) in keys.iter().enumerate() {
+            let graph = self.graphs.get(key).ok_or_else(|| {
+                format!("dataset '{dataset}' commit with graph {i} never shipped")
+            })?;
+            graphs.push(graph.clone());
+        }
+        let graphs = Arc::new(graphs);
+        self.datasets
+            .insert(dataset.to_string(), Arc::clone(&graphs));
+        Ok(graphs)
+    }
+
+    /// The committed dataset, if any.
+    pub fn dataset(&self, dataset: &str) -> Option<Arc<Vec<Graph>>> {
+        self.datasets.get(dataset).cloned()
+    }
+
+    /// Distinct graphs resident in the store.
+    pub fn num_graphs(&self) -> usize {
+        self.graphs.len()
+    }
+
+    /// Committed datasets.
+    pub fn num_datasets(&self) -> usize {
+        self.datasets.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use haqjsk_graph::generators::{cycle_graph, path_graph, star_graph};
+
+    #[test]
+    fn dataset_id_is_order_sensitive_and_stable() {
+        let a = dataset_keys(&[path_graph(4), cycle_graph(5)]);
+        let b = dataset_keys(&[cycle_graph(5), path_graph(4)]);
+        assert_eq!(dataset_id(&a), dataset_id(&a));
+        assert_ne!(dataset_id(&a), dataset_id(&b));
+        assert_eq!(dataset_id(&a).len(), 32);
+    }
+
+    #[test]
+    fn shipping_dedups_and_verifies() {
+        let graphs = vec![path_graph(4), cycle_graph(5), star_graph(6)];
+        let keys = dataset_keys(&graphs);
+        let id = dataset_id(&keys);
+        let mut store = GraphStore::default();
+
+        assert_eq!(store.begin(&id, keys.clone()), vec![0, 1, 2]);
+        store
+            .insert_graphs(&id, &[0, 1, 2], graphs.clone())
+            .unwrap();
+        let committed = store.commit(&id).unwrap();
+        assert_eq!(committed.as_slice(), graphs.as_slice());
+
+        // A second dataset sharing two graphs only needs the new one.
+        let graphs2 = vec![cycle_graph(5), star_graph(6), path_graph(9)];
+        let keys2 = dataset_keys(&graphs2);
+        let id2 = dataset_id(&keys2);
+        assert_eq!(store.begin(&id2, keys2), vec![2]);
+        store
+            .insert_graphs(&id2, &[2], vec![path_graph(9)])
+            .unwrap();
+        assert_eq!(store.commit(&id2).unwrap().as_slice(), graphs2.as_slice());
+        assert_eq!(store.num_graphs(), 4);
+        assert_eq!(store.num_datasets(), 2);
+
+        // Re-beginning a committed dataset ships nothing.
+        let keys = dataset_keys(&graphs);
+        assert_eq!(store.begin(&id, keys), Vec::<usize>::new());
+        assert!(store.commit(&id).is_ok());
+    }
+
+    #[test]
+    fn mismatched_graphs_are_rejected() {
+        let graphs = vec![path_graph(4), cycle_graph(5)];
+        let keys = dataset_keys(&graphs);
+        let id = dataset_id(&keys);
+        let mut store = GraphStore::default();
+        store.begin(&id, keys);
+        // Shipping the wrong graph for index 0 must fail loudly.
+        let err = store
+            .insert_graphs(&id, &[0], vec![star_graph(7)])
+            .unwrap_err();
+        assert!(err.contains("hashes to"), "{err}");
+        // Committing with a hole must fail too.
+        assert!(store.commit(&id).is_err());
+    }
+}

@@ -1,0 +1,252 @@
+//! Worker-link lifecycle and failure handling.
+//!
+//! A [`WorkerLink`] is the coordinator's view of one worker: its address,
+//! the (at most one) live connection, liveness, and the per-worker counters
+//! the serving `stats` response and the scaling benchmark report. The
+//! failure philosophy is simple and absolute: **a Gram must never fail
+//! because a worker vanished.** Every failure mode — refused connection,
+//! mid-stream hangup, deadline timeout, malformed response — collapses to
+//! the same recovery: mark the link dead, requeue its in-flight tiles, and
+//! let the remaining workers (or, ultimately, the coordinator's own local
+//! evaluator) finish the Gram byte-identically. Dead links are revived by
+//! reconnect attempts at the start of every subsequent Gram, so a restarted
+//! worker rejoins the pool without coordinator intervention.
+
+use crate::wire;
+use haqjsk_engine::Json;
+use std::io::{BufRead, BufReader, Write};
+use std::net::{TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::Mutex;
+use std::time::Duration;
+
+/// A failed receive, distinguishing deadline expiry (the worker may just
+/// be slow) from everything else (the connection is unusable).
+pub(crate) struct RecvError {
+    /// Human-readable description.
+    pub message: String,
+    /// Whether the failure was a read-timeout rather than a hangup,
+    /// transport error or malformed response.
+    pub timed_out: bool,
+}
+
+impl RecvError {
+    fn fatal(message: String) -> RecvError {
+        RecvError {
+            message,
+            timed_out: false,
+        }
+    }
+}
+
+/// One live request/response connection to a worker (JSON lines over TCP).
+pub(crate) struct Conn {
+    reader: BufReader<TcpStream>,
+    writer: TcpStream,
+    /// Partial line carried across a read timeout, so a response split by
+    /// the deadline boundary is not lost when the caller retries.
+    pending: String,
+}
+
+impl Conn {
+    /// Connects with a timeout and verifies the peer answers `ping` as a
+    /// worker.
+    pub(crate) fn connect(addr: &str, timeout: Duration) -> Result<Conn, String> {
+        let socket_addr = addr
+            .to_socket_addrs()
+            .map_err(|e| format!("cannot resolve '{addr}': {e}"))?
+            .next()
+            .ok_or_else(|| format!("'{addr}' resolves to no address"))?;
+        let stream = TcpStream::connect_timeout(&socket_addr, timeout)
+            .map_err(|e| format!("cannot connect to worker at {addr}: {e}"))?;
+        stream.set_nodelay(true).ok();
+        let writer = stream
+            .try_clone()
+            .map_err(|e| format!("cannot clone stream to {addr}: {e}"))?;
+        let mut conn = Conn {
+            reader: BufReader::new(stream),
+            writer,
+            pending: String::new(),
+        };
+        let pong = conn
+            .call(&wire::ping_request(), Some(timeout))
+            .map_err(|e| format!("worker at {addr} failed the ping handshake: {e}"))?;
+        match pong.get("pong").and_then(Json::as_bool) {
+            Some(true) => Ok(conn),
+            _ => Err(format!("peer at {addr} is not a haqjsk worker")),
+        }
+    }
+
+    /// Writes one request line; returns the bytes written.
+    pub(crate) fn send(&mut self, message: &Json) -> std::io::Result<usize> {
+        let mut line = message.to_string();
+        line.push('\n');
+        self.writer.write_all(line.as_bytes())?;
+        self.writer.flush()?;
+        Ok(line.len())
+    }
+
+    /// Reads one response line, parsing it as JSON. `timeout` bounds the
+    /// wait; expiry is reported as [`RecvError::timed_out`] (the caller
+    /// may keep waiting — a partial line is carried over), while EOF,
+    /// transport errors and garbage are fatal for the connection.
+    pub(crate) fn recv(&mut self, timeout: Option<Duration>) -> Result<Json, RecvError> {
+        self.reader
+            .get_ref()
+            .set_read_timeout(timeout)
+            .map_err(|e| RecvError::fatal(format!("cannot set read timeout: {e}")))?;
+        match self.reader.read_line(&mut self.pending) {
+            Ok(0) => Err(RecvError::fatal("worker closed the connection".to_string())),
+            Ok(_) => {
+                let line = std::mem::take(&mut self.pending);
+                Json::parse(line.trim())
+                    .map_err(|e| RecvError::fatal(format!("malformed worker response: {e}")))
+            }
+            Err(e)
+                if matches!(
+                    e.kind(),
+                    std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+                ) =>
+            {
+                Err(RecvError {
+                    message: format!("worker read timed out: {e}"),
+                    timed_out: true,
+                })
+            }
+            Err(e) => Err(RecvError::fatal(format!("worker read failed: {e}"))),
+        }
+    }
+
+    /// One synchronous request/response exchange, rejecting `ok:false`.
+    pub(crate) fn call(
+        &mut self,
+        message: &Json,
+        timeout: Option<Duration>,
+    ) -> Result<Json, String> {
+        self.send(message)
+            .map_err(|e| format!("send failed: {e}"))?;
+        let response = self.recv(timeout).map_err(|e| e.message)?;
+        wire::check_ok(&response)?;
+        Ok(response)
+    }
+
+    /// Bytes-written-accounting variant of [`Conn::call`], crediting the
+    /// link's shipped-byte counter.
+    pub(crate) fn call_counted(
+        &mut self,
+        link: &WorkerLink,
+        message: &Json,
+        timeout: Option<Duration>,
+    ) -> Result<Json, String> {
+        let bytes = self
+            .send(message)
+            .map_err(|e| format!("send failed: {e}"))?;
+        link.bytes_shipped.fetch_add(bytes, Ordering::Relaxed);
+        let response = self.recv(timeout).map_err(|e| e.message)?;
+        wire::check_ok(&response)?;
+        Ok(response)
+    }
+}
+
+/// The coordinator's handle on one worker.
+pub struct WorkerLink {
+    /// The worker's `host:port` address.
+    pub addr: String,
+    pub(crate) conn: Mutex<Option<Conn>>,
+    pub(crate) alive: AtomicBool,
+    pub(crate) tiles_dispatched: AtomicUsize,
+    pub(crate) tiles_completed: AtomicUsize,
+    pub(crate) tiles_redispatched: AtomicUsize,
+    pub(crate) bytes_shipped: AtomicUsize,
+    pub(crate) datasets_shipped: AtomicUsize,
+    pub(crate) deaths: AtomicUsize,
+}
+
+impl WorkerLink {
+    pub(crate) fn new(addr: String) -> WorkerLink {
+        WorkerLink {
+            addr,
+            conn: Mutex::new(None),
+            alive: AtomicBool::new(false),
+            tiles_dispatched: AtomicUsize::new(0),
+            tiles_completed: AtomicUsize::new(0),
+            tiles_redispatched: AtomicUsize::new(0),
+            bytes_shipped: AtomicUsize::new(0),
+            datasets_shipped: AtomicUsize::new(0),
+            deaths: AtomicUsize::new(0),
+        }
+    }
+
+    /// Whether the link is currently believed live.
+    pub fn is_alive(&self) -> bool {
+        self.alive.load(Ordering::Acquire)
+    }
+
+    /// Takes the live connection for exclusive use (re-connecting first if
+    /// necessary); `None` when the worker is unreachable.
+    pub(crate) fn checkout(&self, connect_timeout: Duration) -> Option<Conn> {
+        if let Some(conn) = self.conn.lock().expect("worker link poisoned").take() {
+            return Some(conn);
+        }
+        match Conn::connect(&self.addr, connect_timeout) {
+            Ok(conn) => {
+                self.alive.store(true, Ordering::Release);
+                Some(conn)
+            }
+            Err(_) => {
+                self.alive.store(false, Ordering::Release);
+                None
+            }
+        }
+    }
+
+    /// Returns a connection after use.
+    pub(crate) fn checkin(&self, conn: Conn) {
+        *self.conn.lock().expect("worker link poisoned") = Some(conn);
+    }
+
+    /// Declares the worker dead: drops any stored connection so the next
+    /// Gram attempts a fresh connect.
+    pub(crate) fn mark_dead(&self) {
+        self.alive.store(false, Ordering::Release);
+        self.deaths.fetch_add(1, Ordering::Relaxed);
+        *self.conn.lock().expect("worker link poisoned") = None;
+    }
+
+    /// Snapshot of the per-worker counters.
+    pub fn stats(&self) -> WorkerStatsSnapshot {
+        WorkerStatsSnapshot {
+            addr: self.addr.clone(),
+            alive: self.is_alive(),
+            tiles_dispatched: self.tiles_dispatched.load(Ordering::Relaxed),
+            tiles_completed: self.tiles_completed.load(Ordering::Relaxed),
+            tiles_redispatched: self.tiles_redispatched.load(Ordering::Relaxed),
+            bytes_shipped: self.bytes_shipped.load(Ordering::Relaxed),
+            datasets_shipped: self.datasets_shipped.load(Ordering::Relaxed),
+            deaths: self.deaths.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// Point-in-time view of one worker's counters, for `stats` responses and
+/// benchmark reports.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WorkerStatsSnapshot {
+    /// Worker address.
+    pub addr: String,
+    /// Whether the link was live at snapshot time.
+    pub alive: bool,
+    /// Tile work units sent to this worker (including re-dispatches *to*
+    /// it).
+    pub tiles_dispatched: usize,
+    /// Tile results received from this worker and committed.
+    pub tiles_completed: usize,
+    /// Tiles this worker claimed from another worker's expired deadline.
+    pub tiles_redispatched: usize,
+    /// Request bytes written to this worker (dataset shipping + tiles).
+    pub bytes_shipped: usize,
+    /// Dataset shipping rounds completed with this worker.
+    pub datasets_shipped: usize,
+    /// Times this link was declared dead.
+    pub deaths: usize,
+}

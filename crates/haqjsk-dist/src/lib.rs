@@ -1,0 +1,182 @@
+//! # haqjsk-dist
+//!
+//! Distributed tile execution: a worker-pool RPC backend that spans one
+//! Gram matrix across processes and machines.
+//!
+//! The engine's PR 4 tile seam (`GramBackend::gram_tiles` hands whole tiles
+//! of index pairs to an evaluator) is exactly the shape a remote backend
+//! needs: this crate adds the transport. A [`Coordinator`] speaks a
+//! JSON-lines TCP protocol (the same [`haqjsk_engine::json`] values and
+//! `serve` framing as `haqjsk-serve`) to a pool of [`WorkerServer`]
+//! processes, each running the existing engine locally:
+//!
+//! ```text
+//!           Engine::gram_tiles_spec (kernel id + params + graphs)
+//!                         │
+//!            DistributedBackend (BackendKind::Distributed)
+//!                         │
+//!                   Coordinator ──── dataset shipping (content-hash dedup)
+//!                    │        │
+//!      window + deadline    local fallback (byte-identical evaluator)
+//!            │                          │
+//!     haqjsk-worker ...  haqjsk-worker  └── tiles no worker returned
+//!      (own engine,        (own engine,
+//!       own caches)         own caches)
+//! ```
+//!
+//! * **Selection.** `HAQJSK_BACKEND=dist:host:port,host:port` plus
+//!   [`install_from_env`] (the binaries call it at startup), or
+//!   [`Coordinator::connect`] + [`set_coordinator`] programmatically. The
+//!   backend registers itself with the engine's backend registry
+//!   ([`haqjsk_engine::install_distributed_backend`]); kernels then select
+//!   it like any other backend (`BackendKind::Distributed`).
+//! * **Byte identity.** A distributed Gram is byte-identical to
+//!   [`BackendKind::Serial`](haqjsk_engine::BackendKind) no matter which
+//!   worker computed which tile, which tiles were re-dispatched, or which
+//!   fell back to local execution — tile values are deterministic functions
+//!   of (kernel, dataset, pair) and `f64`s round-trip bit-exactly through
+//!   the JSON wire format.
+//! * **Fault handling.** Outstanding-tile windows per worker,
+//!   deadline-based straggler re-dispatch, death recovery with requeueing,
+//!   and a local evaluator of last resort: a Gram never fails because a
+//!   worker vanished. See [`fault`] and [`scheduler`].
+//! * **What distributes.** Gram computations carrying a serialisable
+//!   kernel spec (QJSK unaligned/aligned and JTQK publish one). Everything
+//!   else — arbitrary closures, the HAQJSK model kernels — executes locally
+//!   on the tiled pool when the distributed backend is selected, never
+//!   failing, so the backend is always safe to enable globally.
+
+pub mod coordinator;
+pub mod dataset;
+pub mod fault;
+pub(crate) mod scheduler;
+pub mod wire;
+pub mod worker;
+
+pub use coordinator::{
+    Coordinator, DistConfig, DistStats, DIST_CONNECT_TIMEOUT_ENV_VAR, DIST_DEADLINE_ENV_VAR,
+    DIST_WINDOW_ENV_VAR,
+};
+pub use fault::WorkerStatsSnapshot;
+pub use wire::KernelSpec;
+pub use worker::{WorkerOptions, WorkerServer};
+
+use haqjsk_engine::backend::{GramBackend, Prefetch, TileEvaluator, TiledPoolBackend};
+use haqjsk_engine::{BackendKind, RemoteGram, WorkerPool};
+use haqjsk_linalg::Matrix;
+use std::sync::{Arc, OnceLock, RwLock};
+
+/// The [`GramBackend`] realising [`BackendKind::Distributed`]: routes
+/// spec-carrying tile Grams through the current [`Coordinator`] and
+/// everything else (per-pair entries, extensions, specless tiles, no
+/// coordinator installed) to the local tiled pool.
+pub struct DistributedBackend;
+
+static BACKEND: DistributedBackend = DistributedBackend;
+
+fn coordinator_slot() -> &'static RwLock<Option<Arc<Coordinator>>> {
+    static SLOT: OnceLock<RwLock<Option<Arc<Coordinator>>>> = OnceLock::new();
+    SLOT.get_or_init(|| RwLock::new(None))
+}
+
+/// Registers [`DistributedBackend`] with the engine's backend registry so
+/// `BackendKind::Distributed` resolves to it. Idempotent.
+pub fn install() {
+    haqjsk_engine::install_distributed_backend(&BACKEND);
+}
+
+/// Swaps the process-wide coordinator (also [`install`]ing the backend);
+/// returns the previous one. `None` reverts `BackendKind::Distributed` to
+/// local execution.
+pub fn set_coordinator(coordinator: Option<Arc<Coordinator>>) -> Option<Arc<Coordinator>> {
+    install();
+    let mut slot = coordinator_slot()
+        .write()
+        .expect("coordinator slot poisoned");
+    std::mem::replace(&mut slot, coordinator)
+}
+
+/// The process-wide coordinator, if one is installed.
+pub fn current_coordinator() -> Option<Arc<Coordinator>> {
+    coordinator_slot()
+        .read()
+        .expect("coordinator slot poisoned")
+        .clone()
+}
+
+/// Wires the distributed backend up from the environment: when
+/// `HAQJSK_BACKEND` is `dist:<addr,addr>`, connects a [`Coordinator`]
+/// (config from `HAQJSK_DIST_*`), installs it process-wide and returns it.
+/// `Ok(None)` when the environment selects no distributed backend; an
+/// error when it does but no worker is reachable — binaries should treat
+/// that as fatal at startup rather than silently computing locally.
+pub fn install_from_env() -> Result<Option<Arc<Coordinator>>, String> {
+    let Some(addrs) = BackendKind::dist_addresses_from_env() else {
+        return Ok(None);
+    };
+    let coordinator = Arc::new(Coordinator::connect(&addrs, DistConfig::from_env())?);
+    set_coordinator(Some(Arc::clone(&coordinator)));
+    Ok(Some(coordinator))
+}
+
+impl GramBackend for DistributedBackend {
+    fn kind(&self) -> BackendKind {
+        BackendKind::Distributed
+    }
+
+    // Per-pair entry functions cannot be serialised; execute locally with
+    // the tiled pool's exact semantics.
+    fn gram(
+        &self,
+        pool: &WorkerPool,
+        n: usize,
+        tile: usize,
+        prefetch: Option<Prefetch<'_>>,
+        entry: haqjsk_engine::backend::Entry<'_>,
+    ) -> Matrix {
+        TiledPoolBackend.gram(pool, n, tile, prefetch, entry)
+    }
+
+    fn gram_extend(
+        &self,
+        pool: &WorkerPool,
+        base: &Matrix,
+        total: usize,
+        tile: usize,
+        prefetch: Option<Prefetch<'_>>,
+        entry: haqjsk_engine::backend::Entry<'_>,
+    ) -> Matrix {
+        TiledPoolBackend.gram_extend(pool, base, total, tile, prefetch, entry)
+    }
+
+    fn for_each(&self, pool: &WorkerPool, count: usize, f: &(dyn Fn(usize) + Sync)) {
+        TiledPoolBackend.for_each(pool, count, f)
+    }
+
+    fn gram_tiles(
+        &self,
+        pool: &WorkerPool,
+        n: usize,
+        tile: usize,
+        prefetch: Option<Prefetch<'_>>,
+        eval: &dyn TileEvaluator,
+    ) -> Matrix {
+        // No spec — nothing to ship.
+        TiledPoolBackend.gram_tiles(pool, n, tile, prefetch, eval)
+    }
+
+    fn gram_tiles_spec(
+        &self,
+        pool: &WorkerPool,
+        n: usize,
+        tile: usize,
+        prefetch: Option<Prefetch<'_>>,
+        eval: &dyn TileEvaluator,
+        spec: Option<&RemoteGram<'_>>,
+    ) -> Matrix {
+        match current_coordinator() {
+            Some(coordinator) => coordinator.gram_tiles_spec(pool, n, tile, prefetch, eval, spec),
+            None => TiledPoolBackend.gram_tiles(pool, n, tile, prefetch, eval),
+        }
+    }
+}

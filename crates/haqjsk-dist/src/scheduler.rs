@@ -1,0 +1,245 @@
+//! The tile scheduler: windows, stragglers, and the never-fail guarantee.
+//!
+//! One Gram computation becomes a list of tile work units (the exact
+//! upper-triangle tile grid the local backends use). Each live worker gets
+//! a dedicated coordinator thread that keeps up to
+//! [`DistConfig::window`](crate::DistConfig::window) tiles in flight on its
+//! connection (pipelining hides the request/response latency), commits
+//! results as they arrive, and tops the window back up from a shared queue.
+//!
+//! Three mechanisms keep the Gram alive under partial failure:
+//!
+//! * **Deadline-based straggler re-dispatch.** A tile in flight longer than
+//!   [`DistConfig::deadline`](crate::DistConfig::deadline) becomes
+//!   claimable by any idle worker; whichever copy finishes first wins
+//!   (results are byte-identical, so duplicated execution is harmless and
+//!   commits are idempotent).
+//! * **Death recovery.** A connection error, hangup, malformed response or
+//!   read timeout marks the worker dead and requeues its in-flight tiles
+//!   for the surviving workers.
+//! * **Local fallback.** Tiles still unfinished when every worker thread
+//!   has exited are returned as `None`; the coordinator evaluates them with
+//!   the kernel's local tile evaluator — same values, same Gram.
+
+use crate::coordinator::DistConfig;
+use crate::fault::{Conn, WorkerLink};
+use crate::wire;
+use haqjsk_engine::Json;
+use std::collections::{HashMap, VecDeque};
+use std::sync::atomic::Ordering;
+use std::sync::{Arc, Mutex, OnceLock};
+use std::time::Instant;
+
+/// Shared scheduling state over one Gram's tile list.
+struct Shared<'a> {
+    tiles: &'a [Vec<(usize, usize)>],
+    queue: Mutex<SchedState>,
+    results: Vec<OnceLock<Vec<f64>>>,
+}
+
+struct SchedState {
+    /// Tiles waiting for a first (or re-) dispatch.
+    queue: VecDeque<usize>,
+    /// In-flight tiles and their latest dispatch time.
+    inflight: HashMap<usize, Instant>,
+    /// Per-tile completion flags.
+    done: Vec<bool>,
+    /// Tiles not yet committed.
+    remaining: usize,
+}
+
+/// Runs the tile list over the given worker connections; returns one
+/// `Some(values)` per committed tile (in tile order) with `None` for tiles
+/// no worker completed. Connections of surviving workers are checked back
+/// into their links; dead workers' connections are dropped.
+pub(crate) fn run_tiles(
+    workers: Vec<(Arc<WorkerLink>, Conn)>,
+    dataset: &str,
+    kernel: &Json,
+    tiles: &[Vec<(usize, usize)>],
+    config: &DistConfig,
+) -> Vec<Option<Vec<f64>>> {
+    let shared = Shared {
+        tiles,
+        queue: Mutex::new(SchedState {
+            queue: (0..tiles.len()).collect(),
+            inflight: HashMap::new(),
+            done: vec![false; tiles.len()],
+            remaining: tiles.len(),
+        }),
+        results: (0..tiles.len()).map(|_| OnceLock::new()).collect(),
+    };
+
+    std::thread::scope(|scope| {
+        for (link, mut conn) in workers {
+            let shared = &shared;
+            scope.spawn(move || {
+                if worker_loop(&link, &mut conn, shared, dataset, kernel, config).is_ok() {
+                    link.checkin(conn);
+                } else {
+                    link.mark_dead();
+                }
+            });
+        }
+    });
+
+    shared
+        .results
+        .into_iter()
+        .map(|slot| slot.into_inner())
+        .collect()
+}
+
+/// Claims the next tile for a worker: queued tiles first, then any
+/// in-flight tile whose deadline has expired (straggler re-dispatch).
+/// `own` is the claimer's in-flight list — re-claiming one's own straggler
+/// would be pointless.
+fn claim(
+    shared: &Shared<'_>,
+    own: &VecDeque<usize>,
+    link: &WorkerLink,
+    config: &DistConfig,
+) -> Option<usize> {
+    let mut state = shared.queue.lock().expect("scheduler state poisoned");
+    if state.remaining == 0 {
+        return None;
+    }
+    while let Some(tile) = state.queue.pop_front() {
+        if !state.done[tile] {
+            state.inflight.insert(tile, Instant::now());
+            return Some(tile);
+        }
+    }
+    let now = Instant::now();
+    let straggler = state
+        .inflight
+        .iter()
+        .filter(|&(tile, since)| {
+            !own.contains(tile) && now.duration_since(*since) >= config.deadline
+        })
+        .map(|(&tile, _)| tile)
+        .next();
+    if let Some(tile) = straggler {
+        state.inflight.insert(tile, now);
+        link.tiles_redispatched.fetch_add(1, Ordering::Relaxed);
+    }
+    straggler
+}
+
+/// Commits one tile result; idempotent (re-dispatched duplicates lose).
+fn commit(shared: &Shared<'_>, tile: usize, values: Vec<f64>) {
+    let _ = shared.results[tile].set(values);
+    let mut state = shared.queue.lock().expect("scheduler state poisoned");
+    if !state.done[tile] {
+        state.done[tile] = true;
+        state.remaining -= 1;
+        state.inflight.remove(&tile);
+    }
+}
+
+/// Requeues a dead worker's unfinished in-flight tiles at the queue front.
+fn requeue(shared: &Shared<'_>, own: &VecDeque<usize>) {
+    let mut state = shared.queue.lock().expect("scheduler state poisoned");
+    for &tile in own {
+        if !state.done[tile] {
+            state.inflight.remove(&tile);
+            state.queue.push_front(tile);
+        }
+    }
+}
+
+fn finished(shared: &Shared<'_>) -> bool {
+    shared
+        .queue
+        .lock()
+        .expect("scheduler state poisoned")
+        .remaining
+        == 0
+}
+
+/// One worker's dispatch loop; `Err` means the worker died (its tiles have
+/// been requeued).
+fn worker_loop(
+    link: &WorkerLink,
+    conn: &mut Conn,
+    shared: &Shared<'_>,
+    dataset: &str,
+    kernel: &Json,
+    config: &DistConfig,
+) -> Result<(), ()> {
+    let mut own: VecDeque<usize> = VecDeque::new();
+    // A read timeout alone does not kill the worker: a tile can
+    // legitimately take longer than the straggler deadline (its tiles
+    // become claimable by idle peers meanwhile — duplicates are harmless).
+    // Two consecutive deadlines with zero responses means hung, which
+    // bounds the worst case (a hung sole worker) at 2x deadline before the
+    // local fallback takes over.
+    let mut silent_deadlines = 0u32;
+    loop {
+        // Top the pipeline up to the outstanding-tile window.
+        while own.len() < config.window.max(1) {
+            let Some(tile) = claim(shared, &own, link, config) else {
+                break;
+            };
+            let request = wire::tile_request(dataset, tile, kernel, &shared.tiles[tile]);
+            match conn.send(&request) {
+                Ok(bytes) => {
+                    link.bytes_shipped.fetch_add(bytes, Ordering::Relaxed);
+                    link.tiles_dispatched.fetch_add(1, Ordering::Relaxed);
+                    own.push_back(tile);
+                }
+                Err(_) => {
+                    // The claimed tile never reached the worker: requeue it
+                    // along with everything else in flight here.
+                    own.push_back(tile);
+                    requeue(shared, &own);
+                    return Err(());
+                }
+            }
+        }
+
+        if own.is_empty() {
+            if finished(shared) {
+                return Ok(());
+            }
+            // Nothing claimable right now: other workers hold the remaining
+            // tiles within their deadline. Back off briefly and re-check
+            // (the deadline expiring or a death will free work).
+            std::thread::sleep(config.idle_backoff);
+            continue;
+        }
+
+        match conn.recv(Some(config.deadline)) {
+            Ok(response) => match wire::parse_tile_response(&response) {
+                Ok(tile) if shared.tiles.get(tile.job).map(Vec::len) == Some(tile.values.len()) => {
+                    silent_deadlines = 0;
+                    if let Some(pos) = own.iter().position(|&t| t == tile.job) {
+                        own.remove(pos);
+                    }
+                    link.tiles_completed.fetch_add(1, Ordering::Relaxed);
+                    commit(shared, tile.job, tile.values);
+                }
+                // Error responses, unknown jobs and short value vectors all
+                // mean the worker is unreliable: give up on it.
+                _ => {
+                    requeue(shared, &own);
+                    return Err(());
+                }
+            },
+            Err(e) if e.timed_out => {
+                silent_deadlines += 1;
+                if silent_deadlines >= 2 {
+                    requeue(shared, &own);
+                    return Err(());
+                }
+                // Keep waiting; meanwhile idle peers can already claim the
+                // overdue tiles through the straggler path.
+            }
+            Err(_) => {
+                // Hangup or transport error: the connection is gone.
+                requeue(shared, &own);
+                return Err(());
+            }
+        }
+    }
+}

@@ -1,0 +1,411 @@
+//! The coordinator ↔ worker wire protocol.
+//!
+//! One JSON object per line over a plain `TcpStream` — exactly the framing
+//! of the engine's serving substrate ([`haqjsk_engine::serve`]), reusing
+//! its dependency-free [`Json`] value type and graph wire format. Every
+//! request receives exactly one response line; `{"ok":false,"error":...}`
+//! reports failures without killing the connection (except where a fault
+//! hook deliberately hangs up).
+//!
+//! Command table (coordinator → worker):
+//!
+//! | command          | fields                                         | response |
+//! |------------------|------------------------------------------------|----------|
+//! | `ping`           | —                                              | `{"ok":true,"pong":true,"role":"worker","protocol":1}` |
+//! | `dataset_begin`  | `dataset` (hex id), `keys` (hex graph keys)    | `missing`: indices of keys the worker does not hold |
+//! | `dataset_graphs` | `dataset`, `indices`, `graphs` (wire graphs)   | `stored` count |
+//! | `dataset_commit` | `dataset`                                      | `num_graphs` |
+//! | `tile`           | `dataset`, `job`, `kernel`, `pairs`            | `job`, `values` |
+//! | `stats`          | —                                              | worker-side counters |
+//! | `fail_after`     | `tiles`                                        | chaos knob: serve N more tiles, then fail + hang up |
+//! | `shutdown`       | —                                              | ack, then hang up (process workers exit) |
+//!
+//! ## Byte identity across the wire
+//!
+//! Kernel values are `f64`s serialised through the [`Json`] writer, which
+//! prints floats with Rust's shortest-round-trip formatting — parsing the
+//! printed text recovers the exact bits. Graphs ship as exact integers.
+//! Together with the per-matrix bit-identity of the batched eigensolver,
+//! this is what makes a distributed Gram byte-identical to the serial one
+//! regardless of which worker computed which tile.
+
+use haqjsk_engine::{GraphKey, Json, RemoteGram};
+use haqjsk_graph::Graph;
+use haqjsk_kernels::{JensenTsallisKernel, QjskAligned, QjskUnaligned};
+
+/// Version tag answered by `ping`; bumped on incompatible protocol changes.
+pub const PROTOCOL_VERSION: usize = 1;
+
+/// A kernel the distributed backend knows how to reconstruct on a worker:
+/// the serialisable subset of the workspace's kernels, keyed by the stable
+/// ids the kernels publish (`REMOTE_KERNEL_ID`).
+#[derive(Debug, Clone, PartialEq)]
+pub enum KernelSpec {
+    /// [`QjskUnaligned`] with decay factor `mu`.
+    QjskUnaligned {
+        /// Decay factor.
+        mu: f64,
+    },
+    /// [`QjskAligned`] with decay factor `mu`.
+    QjskAligned {
+        /// Decay factor.
+        mu: f64,
+    },
+    /// [`JensenTsallisKernel`] with Tsallis order `q` and `wl_iterations`
+    /// WL refinement rounds.
+    Jtqk {
+        /// Tsallis order.
+        q: f64,
+        /// WL refinement rounds.
+        wl_iterations: usize,
+    },
+}
+
+impl KernelSpec {
+    /// Reconstructs a spec from the engine-level [`RemoteGram`] id/params
+    /// form; `None` for kernels the distributed backend cannot serialise
+    /// (the coordinator then executes locally).
+    pub fn from_remote(spec: &RemoteGram<'_>) -> Option<KernelSpec> {
+        let param = |name: &str| {
+            spec.params
+                .iter()
+                .find(|(k, _)| *k == name)
+                .map(|&(_, v)| v)
+        };
+        match spec.kernel_id {
+            id if id == QjskUnaligned::REMOTE_KERNEL_ID => {
+                Some(KernelSpec::QjskUnaligned { mu: param("mu")? })
+            }
+            id if id == QjskAligned::REMOTE_KERNEL_ID => {
+                Some(KernelSpec::QjskAligned { mu: param("mu")? })
+            }
+            id if id == JensenTsallisKernel::REMOTE_KERNEL_ID => Some(KernelSpec::Jtqk {
+                q: param("q")?,
+                wl_iterations: param("wl_iterations")? as usize,
+            }),
+            _ => None,
+        }
+    }
+
+    /// The stable kernel id.
+    pub fn id(&self) -> &'static str {
+        match self {
+            KernelSpec::QjskUnaligned { .. } => QjskUnaligned::REMOTE_KERNEL_ID,
+            KernelSpec::QjskAligned { .. } => QjskAligned::REMOTE_KERNEL_ID,
+            KernelSpec::Jtqk { .. } => JensenTsallisKernel::REMOTE_KERNEL_ID,
+        }
+    }
+
+    /// The wire form: `{"id":...,"params":{...}}`.
+    pub fn to_json(&self) -> Json {
+        let params = match *self {
+            KernelSpec::QjskUnaligned { mu } | KernelSpec::QjskAligned { mu } => {
+                Json::obj([("mu", Json::Num(mu))])
+            }
+            KernelSpec::Jtqk { q, wl_iterations } => Json::obj([
+                ("q", Json::Num(q)),
+                ("wl_iterations", Json::Num(wl_iterations as f64)),
+            ]),
+        };
+        Json::obj([("id", Json::Str(self.id().to_string())), ("params", params)])
+    }
+
+    /// Restores a spec from its wire form.
+    pub fn from_json(value: &Json) -> Result<KernelSpec, String> {
+        let id = value
+            .get("id")
+            .and_then(Json::as_str)
+            .ok_or("kernel spec needs a string field 'id'")?;
+        let param = |name: &str| {
+            value
+                .get("params")
+                .and_then(|p| p.get(name))
+                .and_then(Json::as_f64)
+                .ok_or_else(|| format!("kernel '{id}' needs a numeric param '{name}'"))
+        };
+        match id {
+            _ if id == QjskUnaligned::REMOTE_KERNEL_ID => {
+                Ok(KernelSpec::QjskUnaligned { mu: param("mu")? })
+            }
+            _ if id == QjskAligned::REMOTE_KERNEL_ID => {
+                Ok(KernelSpec::QjskAligned { mu: param("mu")? })
+            }
+            _ if id == JensenTsallisKernel::REMOTE_KERNEL_ID => Ok(KernelSpec::Jtqk {
+                q: param("q")?,
+                wl_iterations: param("wl_iterations")? as usize,
+            }),
+            other => Err(format!("unknown kernel id '{other}'")),
+        }
+    }
+
+    /// Evaluates one tile of Gram entries over `graphs` through the
+    /// kernel's public tile evaluator — byte-identical to the in-process
+    /// Gram paths for the same pairs.
+    pub fn eval_tile(&self, graphs: &[Graph], pairs: &[(usize, usize)], out: &mut [f64]) {
+        match *self {
+            KernelSpec::QjskUnaligned { mu } => {
+                QjskUnaligned::new(mu).eval_tile(graphs, pairs, out)
+            }
+            KernelSpec::QjskAligned { mu } => QjskAligned::new(mu).eval_tile(graphs, pairs, out),
+            KernelSpec::Jtqk { q, wl_iterations } => {
+                JensenTsallisKernel::new(q, wl_iterations).eval_tile(graphs, pairs, out)
+            }
+        }
+    }
+}
+
+/// Hex form of a structural graph key (32 lower-case hex digits).
+pub fn key_hex(key: GraphKey) -> String {
+    format!("{:032x}", key.0)
+}
+
+/// Parses a [`key_hex`] digest.
+pub fn key_from_hex(raw: &str) -> Option<GraphKey> {
+    (raw.len() == 32)
+        .then(|| u128::from_str_radix(raw, 16).ok())
+        .flatten()
+        .map(GraphKey)
+}
+
+/// `[[i,j],...]` wire form of an index-pair tile.
+pub fn pairs_to_json(pairs: &[(usize, usize)]) -> Json {
+    Json::Arr(
+        pairs
+            .iter()
+            .map(|&(i, j)| Json::Arr(vec![Json::Num(i as f64), Json::Num(j as f64)]))
+            .collect(),
+    )
+}
+
+/// Parses a [`pairs_to_json`] tile.
+pub fn pairs_from_json(value: &Json) -> Result<Vec<(usize, usize)>, String> {
+    let arr = value.as_array().ok_or("'pairs' must be an array")?;
+    arr.iter()
+        .map(|pair| {
+            let pair = pair
+                .as_array()
+                .filter(|p| p.len() == 2)
+                .ok_or("each pair must be a two-element array")?;
+            let i = pair[0].as_usize().ok_or("pair indices must be integers")?;
+            let j = pair[1].as_usize().ok_or("pair indices must be integers")?;
+            Ok((i, j))
+        })
+        .collect()
+}
+
+/// Wire form of a tile's kernel values. Values must be finite — the JSON
+/// grammar has no NaN/inf — which every kernel in the workspace guarantees.
+pub fn values_to_json(values: &[f64]) -> Json {
+    debug_assert!(values.iter().all(|v| v.is_finite()));
+    Json::Arr(values.iter().map(|&v| Json::Num(v)).collect())
+}
+
+/// Parses a [`values_to_json`] array (bit-exact round trip).
+pub fn values_from_json(value: &Json) -> Result<Vec<f64>, String> {
+    let arr = value.as_array().ok_or("'values' must be an array")?;
+    arr.iter()
+        .map(|v| {
+            v.as_f64()
+                .ok_or_else(|| "values must be numbers".to_string())
+        })
+        .collect()
+}
+
+/// Builds a `ping` request.
+pub fn ping_request() -> Json {
+    Json::obj([("cmd", Json::Str("ping".to_string()))])
+}
+
+/// Builds a `dataset_begin` request announcing the dataset's ordered keys.
+pub fn dataset_begin_request(dataset: &str, keys: &[GraphKey]) -> Json {
+    Json::obj([
+        ("cmd", Json::Str("dataset_begin".to_string())),
+        ("dataset", Json::Str(dataset.to_string())),
+        (
+            "keys",
+            Json::Arr(keys.iter().map(|&k| Json::Str(key_hex(k))).collect()),
+        ),
+    ])
+}
+
+/// Builds a `dataset_graphs` request shipping the graphs at `indices`.
+pub fn dataset_graphs_request(dataset: &str, indices: &[usize], graphs: &[&Graph]) -> Json {
+    Json::obj([
+        ("cmd", Json::Str("dataset_graphs".to_string())),
+        ("dataset", Json::Str(dataset.to_string())),
+        (
+            "indices",
+            Json::Arr(indices.iter().map(|&i| Json::Num(i as f64)).collect()),
+        ),
+        (
+            "graphs",
+            Json::Arr(
+                graphs
+                    .iter()
+                    .map(|g| haqjsk_engine::graph_to_json(g))
+                    .collect(),
+            ),
+        ),
+    ])
+}
+
+/// Builds a `dataset_commit` request.
+pub fn dataset_commit_request(dataset: &str) -> Json {
+    Json::obj([
+        ("cmd", Json::Str("dataset_commit".to_string())),
+        ("dataset", Json::Str(dataset.to_string())),
+    ])
+}
+
+/// Builds a `tile` work-unit request.
+pub fn tile_request(dataset: &str, job: usize, kernel: &Json, pairs: &[(usize, usize)]) -> Json {
+    Json::obj([
+        ("cmd", Json::Str("tile".to_string())),
+        ("dataset", Json::Str(dataset.to_string())),
+        ("job", Json::Num(job as f64)),
+        ("kernel", kernel.clone()),
+        ("pairs", pairs_to_json(pairs)),
+    ])
+}
+
+/// A parsed `tile` response.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TileResponse {
+    /// The job id echoed back by the worker.
+    pub job: usize,
+    /// One kernel value per requested pair, in request order.
+    pub values: Vec<f64>,
+}
+
+/// Parses a worker's `tile` response, rejecting error responses.
+pub fn parse_tile_response(value: &Json) -> Result<TileResponse, String> {
+    let value = check_ok(value)?;
+    let job = value
+        .get("job")
+        .and_then(Json::as_usize)
+        .ok_or("tile response needs an integer field 'job'")?;
+    let values = values_from_json(
+        value
+            .get("values")
+            .ok_or("tile response needs a field 'values'")?,
+    )?;
+    Ok(TileResponse { job, values })
+}
+
+/// Rejects `{"ok":false,...}` responses, returning the error message.
+pub fn check_ok(value: &Json) -> Result<&Json, String> {
+    match value.get("ok").and_then(Json::as_bool) {
+        Some(true) => Ok(value),
+        _ => Err(value
+            .get("error")
+            .and_then(Json::as_str)
+            .unwrap_or("worker reported failure without an error message")
+            .to_string()),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kernel_specs_roundtrip_through_json() {
+        let specs = [
+            KernelSpec::QjskUnaligned { mu: 1.25 },
+            KernelSpec::QjskAligned { mu: 0.5 },
+            KernelSpec::Jtqk {
+                q: 2.0,
+                wl_iterations: 3,
+            },
+        ];
+        for spec in specs {
+            let wire = spec.to_json();
+            let text = wire.to_string();
+            let back = KernelSpec::from_json(&Json::parse(&text).unwrap()).unwrap();
+            assert_eq!(back, spec);
+        }
+        assert!(KernelSpec::from_json(&Json::parse(r#"{"id":"wl"}"#).unwrap()).is_err());
+    }
+
+    #[test]
+    fn kernel_spec_matches_remote_gram_ids() {
+        let spec = RemoteGram {
+            kernel_id: QjskUnaligned::REMOTE_KERNEL_ID,
+            params: vec![("mu", 2.0)],
+            graphs: &[],
+        };
+        assert_eq!(
+            KernelSpec::from_remote(&spec),
+            Some(KernelSpec::QjskUnaligned { mu: 2.0 })
+        );
+        let unknown = RemoteGram {
+            kernel_id: "haqjsk_model",
+            params: vec![],
+            graphs: &[],
+        };
+        assert_eq!(KernelSpec::from_remote(&unknown), None);
+    }
+
+    #[test]
+    fn keys_roundtrip_through_hex() {
+        for key in [GraphKey(0), GraphKey(42), GraphKey(u128::MAX)] {
+            assert_eq!(key_from_hex(&key_hex(key)), Some(key));
+        }
+        assert_eq!(key_from_hex("zz"), None);
+        assert_eq!(key_from_hex(""), None);
+    }
+
+    #[test]
+    fn values_roundtrip_bit_exactly() {
+        let values = [
+            0.0,
+            1.0,
+            -0.0,
+            0.1 + 0.2,
+            (-1.75f64).exp(),
+            1.0 / 3.0,
+            f64::MIN_POSITIVE,
+            1.0e300,
+        ];
+        let wire = values_to_json(&values).to_string();
+        let back = values_from_json(&Json::parse(&wire).unwrap()).unwrap();
+        assert_eq!(back.len(), values.len());
+        for (a, b) in values.iter().zip(&back) {
+            assert_eq!(a.to_bits(), b.to_bits(), "{a} drifted to {b}");
+        }
+    }
+
+    #[test]
+    fn tile_request_roundtrips() {
+        let kernel = KernelSpec::Jtqk {
+            q: 2.0,
+            wl_iterations: 3,
+        }
+        .to_json();
+        let pairs = [(0, 1), (0, 2), (1, 2)];
+        let request = tile_request("abc123", 7, &kernel, &pairs);
+        let parsed = Json::parse(&request.to_string()).unwrap();
+        assert_eq!(parsed.get("cmd").and_then(Json::as_str), Some("tile"));
+        assert_eq!(parsed.get("job").and_then(Json::as_usize), Some(7));
+        assert_eq!(
+            pairs_from_json(parsed.get("pairs").unwrap()).unwrap(),
+            pairs.to_vec()
+        );
+        assert_eq!(
+            KernelSpec::from_json(parsed.get("kernel").unwrap()).unwrap(),
+            KernelSpec::Jtqk {
+                q: 2.0,
+                wl_iterations: 3
+            }
+        );
+    }
+
+    #[test]
+    fn check_ok_surfaces_errors() {
+        let ok = Json::parse(r#"{"ok":true,"x":1}"#).unwrap();
+        assert!(check_ok(&ok).is_ok());
+        let err = Json::parse(r#"{"ok":false,"error":"boom"}"#).unwrap();
+        assert_eq!(check_ok(&err).unwrap_err(), "boom");
+        assert!(check_ok(&Json::Null).is_err());
+    }
+}

@@ -1,0 +1,493 @@
+//! The worker loop: a TCP server that stores datasets and evaluates tiles.
+//!
+//! A worker is a plain [`haqjsk_engine::Server`] (same accept loop, same
+//! JSON-lines framing as `haqjsk-serve`) whose handler implements the
+//! [`wire`] command table: it receives the dataset once
+//! (content-hash-deduplicated into a process-lifetime [`GraphStore`]), then
+//! answers `tile` work units by running the requested kernel's tile
+//! evaluator over its local engine. Per-graph features warm the worker's
+//! own sharded `FeatureCache`s exactly as an in-process Gram would, so
+//! repeated tiles over the same rows are cache-hot.
+//!
+//! Large tiles are split into contiguous pair chunks evaluated in parallel
+//! on the worker's own pool (`HAQJSK_THREADS` sizes it) — byte-identical to
+//! a single whole-tile call because the batched mixture eigensolver is
+//! bit-identical per matrix regardless of batch composition.
+//!
+//! ## Chaos knob
+//!
+//! `{"cmd":"fail_after","tiles":N}` arms deterministic fault injection: the
+//! next `N` tile requests succeed, after which every tile request answers
+//! an injected error and the connection is dropped — how the fault tests
+//! kill a worker mid-Gram without races. `shutdown` acks, hangs up, and (in
+//! the standalone binary) exits the process. The hangup flag is
+//! process-wide, matching the deployment shape (one coordinator, one
+//! connection): with multiple concurrent connections an armed fault can
+//! close whichever connection's tile request trips it — fine for chaos
+//! testing, which *wants* the worker to die messily.
+
+use crate::dataset::GraphStore;
+use crate::wire::{self, KernelSpec};
+use haqjsk_engine::serve::error_response;
+use haqjsk_engine::{graph_from_json, Engine, Handler, Json, Server};
+use haqjsk_graph::Graph;
+use std::sync::atomic::{AtomicBool, AtomicIsize, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// Minimum pairs per parallel chunk of a tile — below this, lane-starved
+/// batches and scheduling overhead cost more than the parallelism buys.
+const MIN_CHUNK_PAIRS: usize = 8;
+
+/// Behavioral options of a worker server.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct WorkerOptions {
+    /// Whether a `shutdown` command exits the process (the standalone
+    /// `haqjsk-worker` binary sets this; in-process test workers do not).
+    pub exit_on_shutdown: bool,
+}
+
+/// Counters a worker reports through its `stats` command.
+struct WorkerCounters {
+    tiles_served: AtomicUsize,
+    pairs_evaluated: AtomicUsize,
+    faults_injected: AtomicUsize,
+}
+
+struct WorkerState {
+    store: Mutex<GraphStore>,
+    counters: WorkerCounters,
+    /// `< 0`: disabled. `> 0`: tile requests to serve before failing.
+    /// `== 0`: every tile request fails (and hangs up).
+    fail_after: AtomicIsize,
+    /// Set when the current request decided to hang up afterwards.
+    hangup_pending: AtomicBool,
+    /// Set when the current request should exit the process afterwards.
+    exit_pending: AtomicBool,
+    options: WorkerOptions,
+}
+
+/// A running distributed worker bound to a TCP address.
+pub struct WorkerServer {
+    server: Server,
+}
+
+impl WorkerServer {
+    /// Binds `addr` (port `0` for ephemeral) and serves the worker
+    /// protocol on background threads.
+    pub fn spawn(addr: &str, options: WorkerOptions) -> std::io::Result<WorkerServer> {
+        let state = Arc::new(WorkerState {
+            store: Mutex::new(GraphStore::default()),
+            counters: WorkerCounters {
+                tiles_served: AtomicUsize::new(0),
+                pairs_evaluated: AtomicUsize::new(0),
+                faults_injected: AtomicUsize::new(0),
+            },
+            fail_after: AtomicIsize::new(-1),
+            hangup_pending: AtomicBool::new(false),
+            exit_pending: AtomicBool::new(false),
+            options,
+        });
+        let handler: Arc<dyn Handler> = Arc::new(WorkerHandler { state });
+        Ok(WorkerServer {
+            server: Server::spawn(addr, handler)?,
+        })
+    }
+
+    /// The bound address.
+    pub fn local_addr(&self) -> std::net::SocketAddr {
+        self.server.local_addr()
+    }
+
+    /// Stops accepting connections (existing ones finish naturally).
+    pub fn shutdown(&mut self) {
+        self.server.shutdown();
+    }
+}
+
+struct WorkerHandler {
+    state: Arc<WorkerState>,
+}
+
+impl Handler for WorkerHandler {
+    fn handle(&self, request: &Json) -> Json {
+        let Some(cmd) = request.get("cmd").and_then(Json::as_str) else {
+            return error_response("request needs a string field 'cmd'");
+        };
+        match cmd {
+            "ping" => Json::obj([
+                ("ok", Json::Bool(true)),
+                ("pong", Json::Bool(true)),
+                ("role", Json::Str("worker".to_string())),
+                ("protocol", Json::Num(wire::PROTOCOL_VERSION as f64)),
+            ]),
+            "dataset_begin" => cmd_dataset_begin(&self.state, request),
+            "dataset_graphs" => cmd_dataset_graphs(&self.state, request),
+            "dataset_commit" => cmd_dataset_commit(&self.state, request),
+            "tile" => cmd_tile(&self.state, request),
+            "stats" => cmd_stats(&self.state),
+            "fail_after" => cmd_fail_after(&self.state, request),
+            "shutdown" => {
+                self.state.hangup_pending.store(true, Ordering::Release);
+                if self.state.options.exit_on_shutdown {
+                    self.state.exit_pending.store(true, Ordering::Release);
+                }
+                Json::obj([("ok", Json::Bool(true))])
+            }
+            other => error_response(&format!("unknown worker command '{other}'")),
+        }
+    }
+
+    fn hangup_after(&self, _request: &Json) -> bool {
+        if self.state.exit_pending.load(Ordering::Acquire) {
+            // The ack has been written and flushed; a standalone worker
+            // leaves the process now.
+            std::process::exit(0);
+        }
+        self.state.hangup_pending.swap(false, Ordering::AcqRel)
+    }
+}
+
+fn dataset_field(request: &Json) -> Result<&str, String> {
+    request
+        .get("dataset")
+        .and_then(Json::as_str)
+        .ok_or_else(|| "request needs a string field 'dataset'".to_string())
+}
+
+fn cmd_dataset_begin(state: &WorkerState, request: &Json) -> Json {
+    let run = || -> Result<Json, String> {
+        let dataset = dataset_field(request)?;
+        let keys_json = request
+            .get("keys")
+            .and_then(Json::as_array)
+            .ok_or("dataset_begin needs an array field 'keys'")?;
+        let keys = keys_json
+            .iter()
+            .map(|k| {
+                k.as_str()
+                    .and_then(wire::key_from_hex)
+                    .ok_or("keys must be 32-digit hex graph digests")
+            })
+            .collect::<Result<Vec<_>, _>>()?;
+        let missing = state
+            .store
+            .lock()
+            .expect("graph store poisoned")
+            .begin(dataset, keys);
+        Ok(Json::obj([
+            ("ok", Json::Bool(true)),
+            (
+                "missing",
+                Json::Arr(missing.into_iter().map(|i| Json::Num(i as f64)).collect()),
+            ),
+        ]))
+    };
+    run().unwrap_or_else(|e| error_response(&e))
+}
+
+fn cmd_dataset_graphs(state: &WorkerState, request: &Json) -> Json {
+    let run = || -> Result<Json, String> {
+        let dataset = dataset_field(request)?;
+        let indices = request
+            .get("indices")
+            .and_then(Json::as_array)
+            .ok_or("dataset_graphs needs an array field 'indices'")?
+            .iter()
+            .map(|i| i.as_usize().ok_or("indices must be non-negative integers"))
+            .collect::<Result<Vec<_>, _>>()?;
+        let graphs = request
+            .get("graphs")
+            .and_then(Json::as_array)
+            .ok_or("dataset_graphs needs an array field 'graphs'")?
+            .iter()
+            .map(graph_from_json)
+            .collect::<Result<Vec<Graph>, String>>()?;
+        let stored = state
+            .store
+            .lock()
+            .expect("graph store poisoned")
+            .insert_graphs(dataset, &indices, graphs)?;
+        Ok(Json::obj([
+            ("ok", Json::Bool(true)),
+            ("stored", Json::Num(stored as f64)),
+        ]))
+    };
+    run().unwrap_or_else(|e| error_response(&e))
+}
+
+fn cmd_dataset_commit(state: &WorkerState, request: &Json) -> Json {
+    let run = || -> Result<Json, String> {
+        let dataset = dataset_field(request)?;
+        let graphs = state
+            .store
+            .lock()
+            .expect("graph store poisoned")
+            .commit(dataset)?;
+        Ok(Json::obj([
+            ("ok", Json::Bool(true)),
+            ("num_graphs", Json::Num(graphs.len() as f64)),
+        ]))
+    };
+    run().unwrap_or_else(|e| error_response(&e))
+}
+
+/// Whether an armed fault fires on this tile request (serving `false` also
+/// consumes one charge of the countdown).
+fn fault_fires(state: &WorkerState) -> bool {
+    loop {
+        let current = state.fail_after.load(Ordering::Acquire);
+        if current < 0 {
+            return false;
+        }
+        if current == 0 {
+            return true;
+        }
+        if state
+            .fail_after
+            .compare_exchange(current, current - 1, Ordering::AcqRel, Ordering::Acquire)
+            .is_ok()
+        {
+            return false;
+        }
+    }
+}
+
+fn cmd_tile(state: &WorkerState, request: &Json) -> Json {
+    if fault_fires(state) {
+        state
+            .counters
+            .faults_injected
+            .fetch_add(1, Ordering::Relaxed);
+        state.hangup_pending.store(true, Ordering::Release);
+        return error_response("injected worker fault (fail_after)");
+    }
+    let run = || -> Result<Json, String> {
+        let dataset = dataset_field(request)?;
+        let job = request
+            .get("job")
+            .and_then(Json::as_usize)
+            .ok_or("tile needs an integer field 'job'")?;
+        let kernel =
+            KernelSpec::from_json(request.get("kernel").ok_or("tile needs a field 'kernel'")?)?;
+        let pairs =
+            wire::pairs_from_json(request.get("pairs").ok_or("tile needs a field 'pairs'")?)?;
+        let graphs = state
+            .store
+            .lock()
+            .expect("graph store poisoned")
+            .dataset(dataset)
+            .ok_or_else(|| format!("dataset '{dataset}' is not committed on this worker"))?;
+        let n = graphs.len();
+        if pairs.iter().any(|&(i, j)| i >= n || j >= n) {
+            return Err(format!("tile pair index out of range for {n} graphs"));
+        }
+        let values = eval_tile_chunked(&kernel, &graphs, &pairs);
+        state.counters.tiles_served.fetch_add(1, Ordering::Relaxed);
+        state
+            .counters
+            .pairs_evaluated
+            .fetch_add(pairs.len(), Ordering::Relaxed);
+        Ok(Json::obj([
+            ("ok", Json::Bool(true)),
+            ("job", Json::Num(job as f64)),
+            ("values", wire::values_to_json(&values)),
+        ]))
+    };
+    run().unwrap_or_else(|e| error_response(&e))
+}
+
+/// Evaluates a tile's pair list, splitting it into contiguous chunks over
+/// the worker's own engine pool when large enough to be worth it.
+/// Byte-identical to one whole-tile call (per-pair values are independent
+/// and the batched eigensolver is bit-identical per matrix).
+fn eval_tile_chunked(kernel: &KernelSpec, graphs: &[Graph], pairs: &[(usize, usize)]) -> Vec<f64> {
+    let engine = Engine::global();
+    let chunks = (pairs.len() / MIN_CHUNK_PAIRS).clamp(1, engine.threads());
+    if chunks <= 1 {
+        let mut out = vec![0.0; pairs.len()];
+        kernel.eval_tile(graphs, pairs, &mut out);
+        return out;
+    }
+    let per_chunk = pairs.len().div_ceil(chunks);
+    let parts = engine.map(chunks, |c| {
+        let start = c * per_chunk;
+        let end = ((c + 1) * per_chunk).min(pairs.len());
+        let mut out = vec![0.0; end - start];
+        kernel.eval_tile(graphs, &pairs[start..end], &mut out);
+        out
+    });
+    parts.concat()
+}
+
+fn cmd_fail_after(state: &WorkerState, request: &Json) -> Json {
+    let Some(tiles) = request.get("tiles").and_then(Json::as_usize) else {
+        return error_response("fail_after needs an integer field 'tiles'");
+    };
+    state.fail_after.store(tiles as isize, Ordering::Release);
+    Json::obj([("ok", Json::Bool(true))])
+}
+
+fn cmd_stats(state: &WorkerState) -> Json {
+    let store = state.store.lock().expect("graph store poisoned");
+    Json::obj([
+        ("ok", Json::Bool(true)),
+        ("role", Json::Str("worker".to_string())),
+        ("graphs_stored", Json::Num(store.num_graphs() as f64)),
+        ("datasets", Json::Num(store.num_datasets() as f64)),
+        (
+            "tiles_served",
+            Json::Num(state.counters.tiles_served.load(Ordering::Relaxed) as f64),
+        ),
+        (
+            "pairs_evaluated",
+            Json::Num(state.counters.pairs_evaluated.load(Ordering::Relaxed) as f64),
+        ),
+        (
+            "faults_injected",
+            Json::Num(state.counters.faults_injected.load(Ordering::Relaxed) as f64),
+        ),
+        (
+            "engine_threads",
+            Json::Num(Engine::global().threads() as f64),
+        ),
+    ])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dataset::{dataset_id, dataset_keys};
+    use haqjsk_graph::generators::{cycle_graph, path_graph, star_graph};
+    use std::io::{BufRead, BufReader, Write};
+    use std::net::TcpStream;
+
+    fn exchange(writer: &mut TcpStream, reader: &mut BufReader<TcpStream>, request: &Json) -> Json {
+        writer.write_all(format!("{request}\n").as_bytes()).unwrap();
+        writer.flush().unwrap();
+        let mut line = String::new();
+        reader.read_line(&mut line).unwrap();
+        Json::parse(line.trim()).unwrap()
+    }
+
+    #[test]
+    fn worker_serves_dataset_and_tiles_over_loopback() {
+        let server = WorkerServer::spawn("127.0.0.1:0", WorkerOptions::default()).unwrap();
+        let stream = TcpStream::connect(server.local_addr()).unwrap();
+        let mut writer = stream.try_clone().unwrap();
+        let mut reader = BufReader::new(stream);
+
+        let pong = exchange(&mut writer, &mut reader, &wire::ping_request());
+        assert_eq!(pong.get("pong").and_then(Json::as_bool), Some(true));
+
+        let graphs = vec![path_graph(4), cycle_graph(5), star_graph(6)];
+        let keys = dataset_keys(&graphs);
+        let id = dataset_id(&keys);
+        let begin = exchange(
+            &mut writer,
+            &mut reader,
+            &wire::dataset_begin_request(&id, &keys),
+        );
+        let missing = begin.get("missing").and_then(Json::as_array).unwrap();
+        assert_eq!(missing.len(), 3);
+        let refs: Vec<&Graph> = graphs.iter().collect();
+        exchange(
+            &mut writer,
+            &mut reader,
+            &wire::dataset_graphs_request(&id, &[0, 1, 2], &refs),
+        );
+        let commit = exchange(&mut writer, &mut reader, &wire::dataset_commit_request(&id));
+        assert_eq!(commit.get("num_graphs").and_then(Json::as_usize), Some(3));
+
+        // A tile request answers the exact values of the local evaluator.
+        let kernel = KernelSpec::QjskUnaligned { mu: 1.0 };
+        let pairs = vec![(0, 0), (0, 1), (0, 2), (1, 2)];
+        let response = exchange(
+            &mut writer,
+            &mut reader,
+            &wire::tile_request(&id, 3, &kernel.to_json(), &pairs),
+        );
+        let tile = wire::parse_tile_response(&response).unwrap();
+        assert_eq!(tile.job, 3);
+        let mut expected = vec![0.0; pairs.len()];
+        kernel.eval_tile(&graphs, &pairs, &mut expected);
+        assert_eq!(tile.values.len(), expected.len());
+        for (a, b) in tile.values.iter().zip(&expected) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+
+        // Tiles against an uncommitted dataset fail cleanly.
+        let bad = exchange(
+            &mut writer,
+            &mut reader,
+            &wire::tile_request("ffff", 0, &kernel.to_json(), &[(0, 1)]),
+        );
+        assert_eq!(bad.get("ok").and_then(Json::as_bool), Some(false));
+
+        let stats = exchange(
+            &mut writer,
+            &mut reader,
+            &Json::obj([("cmd", Json::Str("stats".to_string()))]),
+        );
+        assert_eq!(stats.get("tiles_served").and_then(Json::as_usize), Some(1));
+        assert_eq!(stats.get("graphs_stored").and_then(Json::as_usize), Some(3));
+    }
+
+    #[test]
+    fn fail_after_injects_a_deterministic_fault() {
+        let server = WorkerServer::spawn("127.0.0.1:0", WorkerOptions::default()).unwrap();
+        let stream = TcpStream::connect(server.local_addr()).unwrap();
+        let mut writer = stream.try_clone().unwrap();
+        let mut reader = BufReader::new(stream);
+
+        let graphs = vec![path_graph(4), cycle_graph(5)];
+        let keys = dataset_keys(&graphs);
+        let id = dataset_id(&keys);
+        exchange(
+            &mut writer,
+            &mut reader,
+            &wire::dataset_begin_request(&id, &keys),
+        );
+        let refs: Vec<&Graph> = graphs.iter().collect();
+        exchange(
+            &mut writer,
+            &mut reader,
+            &wire::dataset_graphs_request(&id, &[0, 1], &refs),
+        );
+        exchange(&mut writer, &mut reader, &wire::dataset_commit_request(&id));
+
+        // Arm: one more tile succeeds, then the connection dies.
+        let arm = exchange(
+            &mut writer,
+            &mut reader,
+            &Json::obj([
+                ("cmd", Json::Str("fail_after".to_string())),
+                ("tiles", Json::Num(1.0)),
+            ]),
+        );
+        assert_eq!(arm.get("ok").and_then(Json::as_bool), Some(true));
+
+        let kernel = KernelSpec::QjskUnaligned { mu: 1.0 }.to_json();
+        let ok = exchange(
+            &mut writer,
+            &mut reader,
+            &wire::tile_request(&id, 0, &kernel, &[(0, 1)]),
+        );
+        assert_eq!(ok.get("ok").and_then(Json::as_bool), Some(true));
+        let injected = exchange(
+            &mut writer,
+            &mut reader,
+            &wire::tile_request(&id, 1, &kernel, &[(0, 1)]),
+        );
+        assert_eq!(injected.get("ok").and_then(Json::as_bool), Some(false));
+        // The worker hung up after the injected failure: the next exchange
+        // sees either a clean EOF or a reset (we may have written into the
+        // already-closed socket), never a response.
+        let _ = writer.write_all(format!("{}\n", wire::ping_request()).as_bytes());
+        let _ = writer.flush();
+        let mut line = String::new();
+        match reader.read_line(&mut line) {
+            Ok(n) => assert_eq!(n, 0, "connection closed, got {line:?}"),
+            Err(_) => {} // reset by peer — also a hangup
+        }
+    }
+}

@@ -32,9 +32,26 @@
 use crate::gram;
 use crate::pool::WorkerPool;
 use haqjsk_linalg::Matrix;
+use std::sync::OnceLock;
 
 /// Name of the environment variable selecting the default backend.
 pub const BACKEND_ENV_VAR: &str = "HAQJSK_BACKEND";
+
+/// A declarative description of a Gram computation that a *remote* backend
+/// can serialise and ship to worker processes: which kernel (a stable
+/// string id plus its numeric parameters) over which graphs. Local backends
+/// never look at it — they already hold the closure. The distributed
+/// backend (`haqjsk-dist`) matches `kernel_id` against the kernels it knows
+/// how to reconstruct on a worker and falls back to local execution for
+/// anything it does not recognise, so attaching a spec is always safe.
+pub struct RemoteGram<'a> {
+    /// Stable kernel identifier (e.g. `"qjsk_unaligned"`).
+    pub kernel_id: &'static str,
+    /// Named numeric parameters reconstructing the kernel on a worker.
+    pub params: Vec<(&'static str, f64)>,
+    /// The dataset the pair indices refer to.
+    pub graphs: &'a [haqjsk_graph::Graph],
+}
 
 /// A per-item feature-extraction hook: `prefetch(i)` warms whatever cached
 /// state the entry function will read for item `i`. Entry functions must
@@ -83,51 +100,159 @@ pub enum BackendKind {
     TiledPool,
     /// One parallel feature-extraction batch, then the tiled pair loop.
     BatchedTile,
+    /// Fan-out over a pool of worker processes (the `haqjsk-dist` crate).
+    /// Selected with `HAQJSK_BACKEND=dist:<addr,addr>`; the implementation
+    /// is installed at runtime through [`install_distributed_backend`]
+    /// because the engine crate cannot depend on the crate that serialises
+    /// kernels over the wire. Until one is installed, this kind executes
+    /// locally on [`TiledPoolBackend`] (a Gram must never fail because the
+    /// distributed substrate is absent).
+    Distributed,
 }
 
 impl BackendKind {
-    /// Every backend, in sweep order (benchmarks iterate this).
+    /// Every *local* backend, in sweep order (benchmarks iterate this).
+    /// [`BackendKind::Distributed`] is deliberately excluded: it needs a
+    /// worker pool to be meaningful and falls back to `TiledPool` without
+    /// one.
     pub const ALL: [BackendKind; 3] = [
         BackendKind::Serial,
         BackendKind::TiledPool,
         BackendKind::BatchedTile,
     ];
 
-    /// The canonical lower-case label (`serial` / `tiled` / `batched`).
+    /// The canonical lower-case label (`serial` / `tiled` / `batched` /
+    /// `dist`).
     pub fn label(self) -> &'static str {
         match self {
             BackendKind::Serial => "serial",
             BackendKind::TiledPool => "tiled",
             BackendKind::BatchedTile => "batched",
+            BackendKind::Distributed => "dist",
         }
     }
 
-    /// Parses a backend label; accepts the canonical labels plus the
-    /// struct-style spellings (`tiled_pool`, `batched_tile`).
+    /// Parses a backend label, rejecting anything unrecognised with an
+    /// error that lists the valid spellings. Accepts the canonical labels,
+    /// the struct-style spellings (`tiled_pool`, `batched_tile`) and the
+    /// distributed form `dist:<addr,addr>` (the address list is read
+    /// separately via [`BackendKind::dist_addresses`]).
+    pub fn try_parse(raw: &str) -> Result<BackendKind, String> {
+        let trimmed = raw.trim();
+        let lower = trimmed.to_ascii_lowercase();
+        if lower == "dist" || lower == "distributed" || BackendKind::strip_dist(trimmed).is_some() {
+            // Bare `dist` would select the distributed kind with nothing to
+            // install a coordinator from — which would silently execute on
+            // the local fallback. Demanding addresses here keeps "a dist
+            // misconfiguration can never silently fall back" absolute.
+            if BackendKind::dist_addresses(trimmed).is_none() {
+                return Err(format!(
+                    "backend '{trimmed}' selects the distributed backend but lists no \
+                     worker addresses (expected 'dist:host:port[,host:port...]')"
+                ));
+            }
+            return Ok(BackendKind::Distributed);
+        }
+        match lower.as_str() {
+            "serial" => Ok(BackendKind::Serial),
+            "tiled" | "tiled_pool" | "pool" => Ok(BackendKind::TiledPool),
+            "batched" | "batched_tile" | "batch" => Ok(BackendKind::BatchedTile),
+            other => Err(format!(
+                "unknown backend '{other}' (valid: serial, tiled, batched, \
+                 dist:host:port[,host:port...])"
+            )),
+        }
+    }
+
+    /// Parses a backend label; `None` for unrecognised input. Prefer
+    /// [`BackendKind::try_parse`] where a malformed label should be
+    /// reported rather than swallowed.
     pub fn parse(raw: &str) -> Option<BackendKind> {
-        match raw.trim().to_ascii_lowercase().as_str() {
-            "serial" => Some(BackendKind::Serial),
-            "tiled" | "tiled_pool" | "pool" => Some(BackendKind::TiledPool),
-            "batched" | "batched_tile" | "batch" => Some(BackendKind::BatchedTile),
-            _ => None,
+        BackendKind::try_parse(raw).ok()
+    }
+
+    fn parse_address_list(raw: &str) -> Vec<String> {
+        raw.split(',')
+            .map(str::trim)
+            .filter(|a| !a.is_empty())
+            .map(str::to_string)
+            .collect()
+    }
+
+    /// Strips a case-insensitive `dist:` prefix, returning the address
+    /// part.
+    fn strip_dist(raw: &str) -> Option<&str> {
+        let trimmed = raw.trim();
+        let bytes = trimmed.as_bytes();
+        // Byte-wise prefix check: slicing at 5 is safe exactly when the
+        // first five bytes are the ASCII prefix.
+        (bytes.len() >= 5 && bytes[..5].eq_ignore_ascii_case(b"dist:")).then(|| &trimmed[5..])
+    }
+
+    /// The worker addresses of a `dist:<addr,addr>` backend value, if
+    /// `raw` is one.
+    pub fn dist_addresses(raw: &str) -> Option<Vec<String>> {
+        let addrs = BackendKind::parse_address_list(BackendKind::strip_dist(raw)?);
+        (!addrs.is_empty()).then_some(addrs)
+    }
+
+    /// Resolves a raw `HAQJSK_BACKEND` value (as read from the
+    /// environment) to a backend kind: `Ok(None)` when unset, a hard error
+    /// for malformed values. Factored out of [`BackendKind::from_env`] so
+    /// the rejection behavior is testable without touching process-global
+    /// environment state.
+    pub fn resolve_env_value(raw: Option<&str>) -> Result<Option<BackendKind>, String> {
+        match raw {
+            None => Ok(None),
+            Some(raw) => BackendKind::try_parse(raw)
+                .map(Some)
+                .map_err(|e| format!("invalid {BACKEND_ENV_VAR}: {e}")),
         }
     }
 
-    /// The `HAQJSK_BACKEND` override, if set to a recognised label.
-    pub fn from_env() -> Option<BackendKind> {
+    /// The `HAQJSK_BACKEND` override. Unrecognised values are a hard error
+    /// (surfaced by [`EngineBuilder::build`](crate::EngineBuilder::build))
+    /// so a `dist:` typo can never silently fall back to a local backend.
+    pub fn from_env() -> Result<Option<BackendKind>, String> {
+        let raw = std::env::var(BACKEND_ENV_VAR).ok();
+        BackendKind::resolve_env_value(raw.as_deref())
+    }
+
+    /// The worker address list of the `HAQJSK_BACKEND` override, if it
+    /// selects the distributed backend with explicit addresses.
+    pub fn dist_addresses_from_env() -> Option<Vec<String>> {
         std::env::var(BACKEND_ENV_VAR)
             .ok()
-            .and_then(|raw| BackendKind::parse(&raw))
+            .and_then(|raw| BackendKind::dist_addresses(&raw))
     }
 
-    /// The statically allocated implementation of this kind.
+    /// The statically allocated implementation of this kind. For
+    /// [`BackendKind::Distributed`] this is the implementation registered
+    /// through [`install_distributed_backend`], or [`TiledPoolBackend`]
+    /// when none has been installed yet (local execution — never a
+    /// failure).
     pub fn implementation(self) -> &'static dyn GramBackend {
         match self {
             BackendKind::Serial => &SerialBackend,
             BackendKind::TiledPool => &TiledPoolBackend,
             BackendKind::BatchedTile => &BatchedTileBackend,
+            BackendKind::Distributed => distributed_backend().unwrap_or(&TiledPoolBackend),
         }
     }
+}
+
+static DISTRIBUTED_IMPL: OnceLock<&'static dyn GramBackend> = OnceLock::new();
+
+/// Registers the process-wide distributed backend implementation —
+/// called once by `haqjsk-dist` (the engine crate cannot depend on it).
+/// The first installation wins; repeated calls are no-ops.
+pub fn install_distributed_backend(backend: &'static dyn GramBackend) {
+    let _ = DISTRIBUTED_IMPL.set(backend);
+}
+
+/// The installed distributed backend, if any.
+pub fn distributed_backend() -> Option<&'static dyn GramBackend> {
+    DISTRIBUTED_IMPL.get().copied()
 }
 
 impl std::fmt::Display for BackendKind {
@@ -186,6 +311,23 @@ pub trait GramBackend: Send + Sync {
         prefetch: Option<Prefetch<'_>>,
         eval: &dyn TileEvaluator,
     ) -> Matrix;
+
+    /// [`GramBackend::gram_tiles`] with an optional declarative
+    /// [`RemoteGram`] description of the same computation. Local backends
+    /// ignore the spec (the default implementation); a distributed backend
+    /// uses it to ship tiles to worker processes and keeps `eval` as the
+    /// local fallback, so results are byte-identical either way.
+    fn gram_tiles_spec(
+        &self,
+        pool: &WorkerPool,
+        n: usize,
+        tile: usize,
+        prefetch: Option<Prefetch<'_>>,
+        eval: &dyn TileEvaluator,
+        _spec: Option<&RemoteGram<'_>>,
+    ) -> Matrix {
+        self.gram_tiles(pool, n, tile, prefetch, eval)
+    }
 }
 
 /// Single-threaded reference backend: deterministic row-major order, no
@@ -398,6 +540,68 @@ mod tests {
         );
         assert_eq!(BackendKind::parse("gpu"), None);
         assert_eq!(BackendKind::default(), BackendKind::TiledPool);
+    }
+
+    #[test]
+    fn distributed_labels_and_addresses_parse() {
+        assert_eq!(
+            BackendKind::parse("dist:127.0.0.1:7001,127.0.0.1:7002"),
+            Some(BackendKind::Distributed)
+        );
+        // Prefix matching is case-insensitive like every other label.
+        assert_eq!(
+            BackendKind::parse("Dist:127.0.0.1:7001"),
+            Some(BackendKind::Distributed)
+        );
+        assert_eq!(BackendKind::Distributed.label(), "dist");
+        assert_eq!(
+            BackendKind::dist_addresses("dist:127.0.0.1:7001, 127.0.0.1:7002"),
+            Some(vec![
+                "127.0.0.1:7001".to_string(),
+                "127.0.0.1:7002".to_string()
+            ])
+        );
+        assert_eq!(
+            BackendKind::dist_addresses("DIST:h:1"),
+            Some(vec!["h:1".to_string()])
+        );
+        assert_eq!(BackendKind::dist_addresses("tiled"), None);
+        // A missing or empty address list is a configuration error, not a
+        // kind: accepting it would select `Distributed` with no way to
+        // install a coordinator, i.e. a silent local fallback.
+        for bad in ["dist", "distributed", "dist:", "dist: , "] {
+            let err = BackendKind::try_parse(bad).unwrap_err();
+            assert!(err.contains("worker addresses"), "{bad}: {err}");
+        }
+    }
+
+    #[test]
+    fn malformed_env_values_are_hard_errors() {
+        assert_eq!(BackendKind::resolve_env_value(None), Ok(None));
+        assert_eq!(
+            BackendKind::resolve_env_value(Some("batched")),
+            Ok(Some(BackendKind::BatchedTile))
+        );
+        // The classic typo the satellite task exists for: a misspelled
+        // dist backend must not silently fall back to serial.
+        let err = BackendKind::resolve_env_value(Some("dst:127.0.0.1:7001")).unwrap_err();
+        assert!(err.contains("HAQJSK_BACKEND"), "{err}");
+        assert!(err.contains("serial"), "error must list valid names: {err}");
+        assert!(err.contains("dist:"), "error must list valid names: {err}");
+        assert!(BackendKind::resolve_env_value(Some("")).is_err());
+    }
+
+    #[test]
+    fn distributed_falls_back_to_tiled_until_installed() {
+        // Nothing installs a distributed backend inside the engine crate's
+        // own tests, so the implementation is the local TiledPool fallback
+        // (a Gram must never fail because the substrate is absent).
+        if distributed_backend().is_none() {
+            assert_eq!(
+                BackendKind::Distributed.implementation().kind(),
+                BackendKind::TiledPool
+            );
+        }
     }
 
     #[test]

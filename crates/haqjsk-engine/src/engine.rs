@@ -61,15 +61,29 @@ impl EngineBuilder {
     }
 
     /// Builds the engine.
+    ///
+    /// # Panics
+    /// Panics when no explicit backend was configured and `HAQJSK_BACKEND`
+    /// is set to an unrecognised value — a misconfigured backend (say, a
+    /// `dist:` typo) must fail loudly at engine build time instead of
+    /// silently executing on a local fallback. Use
+    /// [`EngineBuilder::try_build`] to handle the error instead.
     pub fn build(self) -> Engine {
-        Engine {
+        self.try_build().unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// [`EngineBuilder::build`], with environment misconfiguration as an
+    /// error instead of a panic.
+    pub fn try_build(self) -> Result<Engine, String> {
+        let backend = match self.backend {
+            Some(backend) => backend,
+            None => BackendKind::from_env()?.unwrap_or_default(),
+        };
+        Ok(Engine {
             pool: WorkerPool::new(self.threads.unwrap_or_else(default_thread_count)),
             tile_override: self.tile,
-            backend: self
-                .backend
-                .or_else(BackendKind::from_env)
-                .unwrap_or_default(),
-        }
+            backend,
+        })
     }
 }
 
@@ -194,12 +208,33 @@ impl Engine {
         P: Fn(usize) + Sync,
         T: crate::backend::TileEvaluator,
     {
-        self.resolve(backend).implementation().gram_tiles(
+        self.gram_tiles_spec(backend, n, prefetch, tiles, None)
+    }
+
+    /// [`Engine::gram_tiles`] with an optional declarative
+    /// [`RemoteGram`](crate::backend::RemoteGram) description of the same
+    /// computation: local backends ignore it, a distributed backend uses it
+    /// to ship tiles to worker processes (`eval` stays the byte-identical
+    /// local fallback for tiles a worker never returns).
+    pub fn gram_tiles_spec<P, T>(
+        &self,
+        backend: Option<BackendKind>,
+        n: usize,
+        prefetch: P,
+        tiles: T,
+        spec: Option<&crate::backend::RemoteGram<'_>>,
+    ) -> Matrix
+    where
+        P: Fn(usize) + Sync,
+        T: crate::backend::TileEvaluator,
+    {
+        self.resolve(backend).implementation().gram_tiles_spec(
             &self.pool,
             n,
             self.tile_for_batched(n),
             Some(&prefetch),
             &tiles,
+            spec,
         )
     }
 

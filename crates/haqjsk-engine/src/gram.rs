@@ -118,16 +118,19 @@ where
 
 /// Enumerates the upper-triangle tile grid of an `n x n` Gram matrix:
 /// `(bi, bj)` block coordinates with `bi <= bj`, row-major — the shared
-/// tile decomposition of the pooled and serial tile paths.
-fn upper_triangle_tiles(n: usize, tile: usize) -> Vec<(usize, usize)> {
+/// tile decomposition of the pooled and serial tile paths. Public so
+/// out-of-process schedulers (the distributed backend) can reproduce the
+/// exact local tile grid, keeping work units identical across executors.
+pub fn upper_triangle_tiles(n: usize, tile: usize) -> Vec<(usize, usize)> {
     let blocks = n.div_ceil(tile);
     (0..blocks)
         .flat_map(|bi| (bi..blocks).map(move |bj| (bi, bj)))
         .collect()
 }
 
-/// The upper-triangle index pairs `(i, j)`, `i <= j`, of one tile.
-fn tile_pairs(n: usize, tile: usize, bi: usize, bj: usize, pairs: &mut Vec<(usize, usize)>) {
+/// The upper-triangle index pairs `(i, j)`, `i <= j`, of one tile of the
+/// [`upper_triangle_tiles`] grid, appended into `pairs` (cleared first).
+pub fn tile_pairs(n: usize, tile: usize, bi: usize, bj: usize, pairs: &mut Vec<(usize, usize)>) {
     pairs.clear();
     let row_end = ((bi + 1) * tile).min(n);
     let col_end = ((bj + 1) * tile).min(n);

@@ -120,7 +120,12 @@ impl fmt::Display for Json {
             Json::Null => f.write_str("null"),
             Json::Bool(b) => write!(f, "{b}"),
             Json::Num(x) => {
-                if x.fract() == 0.0 && x.abs() < 9.0e15 {
+                if *x == 0.0 && x.is_sign_negative() {
+                    // The i64 fast path below would erase the sign of -0.0;
+                    // the wire format must round-trip every finite f64
+                    // bit-exactly (the distributed backend relies on it).
+                    f.write_str("-0")
+                } else if x.fract() == 0.0 && x.abs() < 9.0e15 {
                     write!(f, "{}", *x as i64)
                 } else {
                     write!(f, "{x}")

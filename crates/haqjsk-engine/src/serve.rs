@@ -28,6 +28,14 @@ use std::thread;
 pub trait Handler: Send + Sync + 'static {
     /// Handles a single request.
     fn handle(&self, request: &Json) -> Json;
+
+    /// Whether the connection should be closed after the response to
+    /// `request` has been written — the hook fault-injection and shutdown
+    /// commands use to hang up deliberately (the distributed worker's
+    /// chaos knob relies on it). The default keeps every connection open.
+    fn hangup_after(&self, _request: &Json) -> bool {
+        false
+    }
 }
 
 impl<F> Handler for F
@@ -66,6 +74,9 @@ impl Server {
                         break;
                     }
                     let Ok(stream) = stream else { continue };
+                    // One JSON line per request/response: Nagle + delayed
+                    // ACK would add tens of milliseconds per exchange.
+                    stream.set_nodelay(true).ok();
                     accept_connections.fetch_add(1, Ordering::Relaxed);
                     let handler = Arc::clone(&handler);
                     let _ = thread::Builder::new()
@@ -123,13 +134,21 @@ pub fn serve_connection(stream: TcpStream, handler: &dyn Handler) -> std::io::Re
         if line.trim().is_empty() {
             continue;
         }
-        let response = match Json::parse(&line) {
-            Ok(request) => handler.handle(&request),
-            Err(e) => error_response(&format!("malformed request: {e}")),
+        let (response, request) = match Json::parse(&line) {
+            Ok(request) => (handler.handle(&request), Some(request)),
+            Err(e) => (error_response(&format!("malformed request: {e}")), None),
         };
         writer.write_all(response.to_string().as_bytes())?;
         writer.write_all(b"\n")?;
         writer.flush()?;
+        // The hangup hook runs only after the response has been written
+        // and flushed, so a deliberate hangup (or process exit) never
+        // swallows its own acknowledgement.
+        if let Some(request) = request {
+            if handler.hangup_after(&request) {
+                break;
+            }
+        }
     }
     Ok(())
 }

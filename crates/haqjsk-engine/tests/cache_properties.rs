@@ -111,6 +111,7 @@ proptest! {
         let cache: FeatureCache<Blob> = FeatureCache::with_config(CacheConfig {
             shards,
             budget_bytes: Some(budget),
+            ..CacheConfig::default()
         });
         let mut model = ModelCache::new(cache.shards(), budget);
         let mut computes: HashMap<GraphKey, usize> = HashMap::new();
@@ -187,6 +188,7 @@ fn concurrent_eviction_preserves_value_integrity_and_budget() {
     let cache: Arc<FeatureCache<Blob>> = Arc::new(FeatureCache::with_config(CacheConfig {
         shards,
         budget_bytes: Some(budget),
+        ..CacheConfig::default()
     }));
     let computes = Arc::new(AtomicUsize::new(0));
 

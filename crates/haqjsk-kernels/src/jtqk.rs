@@ -20,9 +20,9 @@ use crate::features::{
     cached_ctqw_density, cached_graph_spectrals, cached_wl_histogram, WlHistogram,
 };
 use crate::kernel::sparse_dot;
-use crate::kernel::{gram_from_tiles_prefetched, GraphKernel, PinnedFeatures};
+use crate::kernel::{gram_from_tiles_spec, GraphKernel, PinnedFeatures};
 use crate::matrix::KernelMatrix;
-use haqjsk_engine::BackendKind;
+use haqjsk_engine::{BackendKind, RemoteGram};
 use haqjsk_graph::Graph;
 use haqjsk_quantum::{batch_mixture_entropies, DensityMatrix, MixtureEntropy};
 use std::sync::Arc;
@@ -91,10 +91,24 @@ impl Default for JensenTsallisKernel {
 }
 
 impl JensenTsallisKernel {
+    /// Stable kernel identifier used by the distributed backend to
+    /// reconstruct this kernel on a worker process.
+    pub const REMOTE_KERNEL_ID: &'static str = "jtqk";
+
     /// Creates the kernel with Tsallis order `q` and `wl_iterations` rounds
     /// of WL refinement.
     pub fn new(q: f64, wl_iterations: usize) -> Self {
         JensenTsallisKernel { q, wl_iterations }
+    }
+
+    /// Evaluates one tile of Gram entries over `graphs` — the remote
+    /// serialisation boundary of the distributed backend (see
+    /// [`crate::QjskUnaligned::eval_tile`]); byte-identical to the
+    /// in-process Gram paths.
+    pub fn eval_tile(&self, graphs: &[Graph], pairs: &[(usize, usize)], out: &mut [f64]) {
+        let pinned: PinnedFeatures<'_, JtqkInputs> = PinnedFeatures::new(graphs);
+        let extract = |g: &Graph| self.extract(g);
+        self.kernel_tile(pairs, &pinned, extract, out);
     }
 
     /// The global (quantum) factor: `exp(-JT_q(ρ_p, ρ_q))` with zero-padded
@@ -213,7 +227,12 @@ impl GraphKernel for JensenTsallisKernel {
         // per tile plus one sparse WL dot per pair.
         let pinned: PinnedFeatures<'_, JtqkInputs> = PinnedFeatures::new(graphs);
         let extract = |g: &Graph| self.extract(g);
-        gram_from_tiles_prefetched(
+        let spec = RemoteGram {
+            kernel_id: JensenTsallisKernel::REMOTE_KERNEL_ID,
+            params: vec![("q", self.q), ("wl_iterations", self.wl_iterations as f64)],
+            graphs,
+        };
+        gram_from_tiles_spec(
             graphs.len(),
             backend,
             |i| {
@@ -222,6 +241,7 @@ impl GraphKernel for JensenTsallisKernel {
             |pairs: &[(usize, usize)], out: &mut [f64]| {
                 self.kernel_tile(pairs, &pinned, extract, out)
             },
+            Some(&spec),
         )
     }
 }

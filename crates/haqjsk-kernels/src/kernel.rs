@@ -115,7 +115,27 @@ where
     P: Fn(usize) + Sync,
     T: haqjsk_engine::TileEvaluator,
 {
-    let values = Engine::global().gram_tiles(backend, n, prefetch, tiles);
+    gram_from_tiles_spec(n, backend, prefetch, tiles, None)
+}
+
+/// [`gram_from_tiles_prefetched`] with an optional declarative
+/// [`RemoteGram`](haqjsk_engine::RemoteGram) description of the same
+/// computation. Local backends ignore the spec; the distributed backend
+/// uses it to ship tiles to worker processes, keeping `tiles` as the
+/// byte-identical local fallback — so attaching a spec never changes the
+/// result, only where it is computed.
+pub fn gram_from_tiles_spec<P, T>(
+    n: usize,
+    backend: Option<BackendKind>,
+    prefetch: P,
+    tiles: T,
+    spec: Option<&haqjsk_engine::RemoteGram<'_>>,
+) -> KernelMatrix
+where
+    P: Fn(usize) + Sync,
+    T: haqjsk_engine::TileEvaluator,
+{
+    let values = Engine::global().gram_tiles_spec(backend, n, prefetch, tiles, spec);
     KernelMatrix::new(values).expect("pairwise construction is symmetric")
 }
 

@@ -16,9 +16,9 @@
 use crate::features::{
     cached_alignment_basis, cached_ctqw_density, cached_graph_spectrals, pad_to, AlignmentBasis,
 };
-use crate::kernel::{gram_from_tiles_prefetched, GraphKernel, PinnedFeatures};
+use crate::kernel::{gram_from_tiles_spec, GraphKernel, PinnedFeatures};
 use crate::matrix::KernelMatrix;
-use haqjsk_engine::BackendKind;
+use haqjsk_engine::{BackendKind, RemoteGram};
 use haqjsk_graph::Graph;
 use haqjsk_linalg::assignment::hungarian_max;
 use haqjsk_linalg::{symmetric_eigen, Matrix};
@@ -80,9 +80,25 @@ impl Default for QjskUnaligned {
 }
 
 impl QjskUnaligned {
+    /// Stable kernel identifier used by the distributed backend to
+    /// reconstruct this kernel on a worker process.
+    pub const REMOTE_KERNEL_ID: &'static str = "qjsk_unaligned";
+
     /// Creates the kernel with decay factor `mu`.
     pub fn new(mu: f64) -> Self {
         QjskUnaligned { mu }
+    }
+
+    /// Evaluates one tile of Gram entries over `graphs` — the remote
+    /// serialisation boundary: a distributed worker receives the dataset
+    /// once and then replays `(kernel id + params + index-pair tile)` work
+    /// units through this entry point. Values are byte-identical to the
+    /// in-process Gram paths (per-graph artifacts come from the same
+    /// deterministic feature caches, and the batched mixture eigensolver is
+    /// bit-identical per matrix regardless of batch composition).
+    pub fn eval_tile(&self, graphs: &[Graph], pairs: &[(usize, usize)], out: &mut [f64]) {
+        let pinned: PinnedFeatures<'_, SpectralInputs> = PinnedFeatures::new(graphs);
+        self.kernel_tile(pairs, &pinned, out);
     }
 
     /// The pairwise fast path: zero-pad, then one values-only mixture solve
@@ -142,13 +158,19 @@ impl GraphKernel for QjskUnaligned {
 
     fn gram_matrix_on(&self, graphs: &[Graph], backend: Option<BackendKind>) -> KernelMatrix {
         let pinned: PinnedFeatures<'_, SpectralInputs> = PinnedFeatures::new(graphs);
-        gram_from_tiles_prefetched(
+        let spec = RemoteGram {
+            kernel_id: QjskUnaligned::REMOTE_KERNEL_ID,
+            params: vec![("mu", self.mu)],
+            graphs,
+        };
+        gram_from_tiles_spec(
             graphs.len(),
             backend,
             |i| {
                 let _ = pinned.get(i, SpectralInputs::extract);
             },
             |pairs: &[(usize, usize)], out: &mut [f64]| self.kernel_tile(pairs, &pinned, out),
+            Some(&spec),
         )
     }
 }
@@ -167,9 +189,22 @@ impl Default for QjskAligned {
 }
 
 impl QjskAligned {
+    /// Stable kernel identifier used by the distributed backend to
+    /// reconstruct this kernel on a worker process.
+    pub const REMOTE_KERNEL_ID: &'static str = "qjsk_aligned";
+
     /// Creates the kernel with decay factor `mu`.
     pub fn new(mu: f64) -> Self {
         QjskAligned { mu }
+    }
+
+    /// Evaluates one tile of Gram entries over `graphs` — the remote
+    /// serialisation boundary of the distributed backend (see
+    /// [`QjskUnaligned::eval_tile`]); byte-identical to the in-process
+    /// Gram paths.
+    pub fn eval_tile(&self, graphs: &[Graph], pairs: &[(usize, usize)], out: &mut [f64]) {
+        let pinned: PinnedFeatures<'_, AlignedInputs> = PinnedFeatures::new(graphs);
+        self.kernel_tile(pairs, &pinned, out);
     }
 
     /// Umeyama spectral matching between two symmetric matrices of equal
@@ -293,13 +328,19 @@ impl GraphKernel for QjskAligned {
 
     fn gram_matrix_on(&self, graphs: &[Graph], backend: Option<BackendKind>) -> KernelMatrix {
         let pinned: PinnedFeatures<'_, AlignedInputs> = PinnedFeatures::new(graphs);
-        gram_from_tiles_prefetched(
+        let spec = RemoteGram {
+            kernel_id: QjskAligned::REMOTE_KERNEL_ID,
+            params: vec![("mu", self.mu)],
+            graphs,
+        };
+        gram_from_tiles_spec(
             graphs.len(),
             backend,
             |i| {
                 let _ = pinned.get(i, AlignedInputs::extract);
             },
             |pairs: &[(usize, usize)], out: &mut [f64]| self.kernel_tile(pairs, &pinned, out),
+            Some(&spec),
         )
     }
 }

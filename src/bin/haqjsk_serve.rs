@@ -14,6 +14,22 @@ fn main() {
     let addr = std::env::args()
         .nth(1)
         .unwrap_or_else(|| "127.0.0.1:7878".to_string());
+    // `HAQJSK_BACKEND=dist:<addr,addr>` wires up the distributed worker
+    // pool; an unreachable pool is fatal at startup (silently computing
+    // locally would defeat the point of configuring one).
+    match haqjsk::dist::install_from_env() {
+        Ok(None) => {}
+        Ok(Some(coordinator)) => {
+            println!(
+                "haqjsk-serve: distributed backend with {} workers",
+                coordinator.num_workers()
+            );
+        }
+        Err(e) => {
+            eprintln!("haqjsk-serve: {e}");
+            std::process::exit(1);
+        }
+    }
     let server = spawn_server(&addr).unwrap_or_else(|e| {
         eprintln!("haqjsk-serve: cannot bind {addr}: {e}");
         std::process::exit(1);

@@ -19,6 +19,11 @@
 //!   (`HAQJSK_CACHE_SHARDS` / `HAQJSK_CACHE_BUDGET`), incremental Gram
 //!   extension plus sliding-window retention, and the JSON-lines TCP
 //!   serving substrate,
+//! * [`dist`] — distributed tile execution: a coordinator that fans one
+//!   Gram matrix's tiles out over `haqjsk-worker` processes
+//!   (`HAQJSK_BACKEND=dist:addr,addr`), with content-hash-deduplicated
+//!   dataset shipping, straggler re-dispatch and byte-identical local
+//!   fallback,
 //! * [`kernels`] — the baseline graph kernels (QJSK, WLSK, SPGK, GCGK,
 //!   random walk, JTQK, depth-based aligned) and kernel-matrix utilities,
 //! * [`core`] — the HAQJSK kernels themselves,
@@ -75,6 +80,13 @@ pub use haqjsk_quantum as quantum;
 
 /// The parallel Gram-computation engine (re-export of `haqjsk-engine`).
 pub use haqjsk_engine as engine;
+
+/// Distributed tile execution — the coordinator/worker RPC backend that
+/// spans one Gram matrix across processes and machines (re-export of
+/// `haqjsk-dist`). Select with `HAQJSK_BACKEND=dist:host:port,...` plus
+/// [`dist::install_from_env`], or drive it programmatically through
+/// [`dist::Coordinator`]. See `docs/distributed.md`.
+pub use haqjsk_dist as dist;
 
 /// Baseline graph kernels and kernel-matrix utilities (re-export of
 /// `haqjsk-kernels`).

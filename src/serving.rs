@@ -13,7 +13,7 @@
 //! | command      | request fields                                   | response |
 //! |--------------|---------------------------------------------------|----------|
 //! | `ping`       | —                                                 | `{"ok":true,"pong":true}` |
-//! | `fit`        | `graphs`, opt. `labels`, opt. `variant` (`"A"`/`"D"`), opt. `config` | graph/level counts |
+//! | `fit`        | `graphs`, opt. `labels`, opt. `variant` (`"A"`/`"D"`), opt. `config`, opt. `workers` | graph/level counts |
 //! | `transform`  | `graph`                                           | per-level von Neumann entropies |
 //! | `kernel_row` | `graph`                                           | kernel value vs every training graph |
 //! | `append`     | `graph`, opt. `label`                             | grows the served set via incremental Gram extension |
@@ -28,16 +28,25 @@
 //! start from [`HaqjskConfig::small`]), plus the cache shape of the aligned
 //! feature cache: `cache_shards` and `cache_budget_bytes` (LRU byte budget;
 //! omit for the `HAQJSK_CACHE_SHARDS` / `HAQJSK_CACHE_BUDGET` environment
-//! defaults). `stats` reports the engine's active execution backend and,
-//! for both feature caches, aggregate *and* per-shard
-//! hit/miss/entry/eviction/byte counters, so bounded-memory operation under
-//! a budget is observable from the wire.
+//! defaults). A `fit` may also list `workers` (`["host:port", ...]`): the
+//! server connects a distributed worker pool ([`crate::dist`]) and runs the
+//! model's Gram computations on the `dist` backend — spec-carrying kernel
+//! Grams fan out over the pool, everything else executes locally (never
+//! failing). `stats` reports the engine's active execution backend; for
+//! the feature caches, aggregate *and* per-shard
+//! hit/miss/entry/eviction/admission-reject/byte counters (so bounded-
+//! memory operation under a budget — and the TinyLFU admission gate — is
+//! observable from the wire); and, when a worker pool is installed, a
+//! `distributed` object with per-worker tiles
+//! dispatched/completed/re-dispatched, bytes shipped, and the
+//! dataset-dedup hit rate.
 
 use crate::core::{
     model_from_string, model_to_string, AlignedGraph, HaqjskConfig, HaqjskModel, HaqjskVariant,
 };
+use crate::dist::{Coordinator, DistConfig, DistStats};
 use crate::engine::serve::{error_response, graph_from_json, Handler, Server};
-use crate::engine::{CacheConfig, Engine, FeatureCache, Json, ShardStats};
+use crate::engine::{BackendKind, CacheConfig, Engine, FeatureCache, Json, ShardStats};
 use crate::graph::Graph;
 use crate::kernels::{density_cache_shard_stats, density_cache_stats, KernelMatrix};
 use crate::quantum::von_neumann_entropy;
@@ -51,6 +60,9 @@ struct ModelState {
     train_graphs: Vec<Graph>,
     labels: Option<Vec<usize>>,
     gram: KernelMatrix,
+    /// Execution backend of this model's Gram computations (`Distributed`
+    /// when the fit request configured a worker pool).
+    backend: Option<BackendKind>,
 }
 
 /// Mutable server state shared across connections.
@@ -176,30 +188,66 @@ fn parse_labels(request: &Json, expected: usize) -> Result<Option<Vec<usize>>, S
         .map(Some)
 }
 
+/// Connects and installs a distributed worker pool when the request lists
+/// `workers`; returns the backend the model's Grams should run on.
+///
+/// The pool is installed process-wide (it serves the quantum baseline
+/// kernels' spec-carrying Grams); computations without a serialisable spec
+/// — including the HAQJSK model kernel itself today — execute locally on
+/// the tiled pool, so configuring workers never makes a fit fail.
+fn parse_workers(request: &Json) -> Result<Option<BackendKind>, String> {
+    let Some(workers_json) = request.get("workers") else {
+        return Ok(None);
+    };
+    let addrs = workers_json
+        .as_array()
+        .ok_or("'workers' must be an array of host:port strings")?
+        .iter()
+        .map(|w| {
+            w.as_str()
+                .map(str::to_string)
+                .ok_or("'workers' entries must be strings")
+        })
+        .collect::<Result<Vec<_>, _>>()?;
+    let coordinator = Coordinator::connect(&addrs, DistConfig::from_env())
+        .map_err(|e| format!("cannot connect worker pool: {e}"))?;
+    crate::dist::set_coordinator(Some(Arc::new(coordinator)));
+    Ok(Some(BackendKind::Distributed))
+}
+
 fn cmd_fit(state: &Mutex<ServerState>, request: &Json) -> Json {
     let build = || -> Result<Json, String> {
         let graphs = parse_graphs(request)?;
         let variant = parse_variant(request)?;
         let config = parse_config(request)?;
         let labels = parse_labels(request, graphs.len())?;
+        let backend = parse_workers(request)?;
         let model =
             HaqjskModel::fit(&graphs, config, variant).map_err(|e| format!("fit failed: {e:?}"))?;
         let cache = FeatureCache::with_config(parse_cache_config(request));
         let gram = model
-            .gram_matrix_cached(&graphs, &cache)
+            .gram_matrix_cached_on(&graphs, &cache, backend)
             .map_err(|e| format!("gram computation failed: {e:?}"))?;
-        let response = Json::obj([
+        let mut pairs = vec![
             ("ok", Json::Bool(true)),
             ("num_graphs", Json::Num(graphs.len() as f64)),
             ("levels", Json::Num(model.hierarchy().num_levels() as f64)),
             ("max_layers", Json::Num(model.max_layers() as f64)),
-        ]);
+        ];
+        if let Some(backend) = backend {
+            pairs.push(("backend", Json::Str(backend.label().to_string())));
+            if let Some(coordinator) = crate::dist::current_coordinator() {
+                pairs.push(("workers", Json::Num(coordinator.num_workers() as f64)));
+            }
+        }
+        let response = Json::obj(pairs);
         state.lock().expect("state poisoned").fitted = Some(ModelState {
             model,
             cache,
             train_graphs: graphs,
             labels,
             gram,
+            backend,
         });
         Ok(response)
     };
@@ -283,7 +331,7 @@ fn cmd_append(state: &Mutex<ServerState>, request: &Json) -> Json {
         all.push(graph);
         fitted.gram = fitted
             .model
-            .gram_matrix_extended(&fitted.gram, &all, &fitted.cache)
+            .gram_matrix_extended_on(&fitted.gram, &all, &fitted.cache, fitted.backend)
             .map_err(|e| format!("gram extension failed: {e:?}"))?;
         // Commit labels only after the extension succeeded, so a failed
         // append can never desynchronise labels from the graph list.
@@ -357,6 +405,7 @@ fn cmd_load(state: &Mutex<ServerState>, request: &Json) -> Json {
             train_graphs: graphs,
             labels,
             gram,
+            backend: None,
         });
         Ok(response)
     };
@@ -370,12 +419,58 @@ fn shard_stats_to_json(shard: &ShardStats) -> Json {
         ("hits", Json::Num(shard.hits as f64)),
         ("misses", Json::Num(shard.misses as f64)),
         ("evictions", Json::Num(shard.evictions as f64)),
+        (
+            "admission_rejects",
+            Json::Num(shard.admission_rejects as f64),
+        ),
         ("resident_bytes", Json::Num(shard.resident_bytes as f64)),
     ];
     if let Some(budget) = shard.budget_bytes {
         pairs.push(("budget_bytes", Json::Num(budget as f64)));
     }
     Json::obj(pairs)
+}
+
+/// The distributed-pool state on the wire: per-worker dispatch counters
+/// plus dataset-dedup aggregates.
+fn dist_stats_to_json(stats: &DistStats) -> Json {
+    let workers = stats
+        .workers
+        .iter()
+        .map(|w| {
+            Json::obj([
+                ("addr", Json::Str(w.addr.clone())),
+                ("alive", Json::Bool(w.alive)),
+                ("tiles_dispatched", Json::Num(w.tiles_dispatched as f64)),
+                ("tiles_completed", Json::Num(w.tiles_completed as f64)),
+                ("tiles_redispatched", Json::Num(w.tiles_redispatched as f64)),
+                ("bytes_shipped", Json::Num(w.bytes_shipped as f64)),
+                ("datasets_shipped", Json::Num(w.datasets_shipped as f64)),
+                ("deaths", Json::Num(w.deaths as f64)),
+            ])
+        })
+        .collect();
+    Json::obj([
+        ("workers", Json::Arr(workers)),
+        ("grams", Json::Num(stats.grams as f64)),
+        (
+            "local_fallback_grams",
+            Json::Num(stats.local_fallback_grams as f64),
+        ),
+        (
+            "local_fallback_tiles",
+            Json::Num(stats.local_fallback_tiles as f64),
+        ),
+        (
+            "dataset_keys_total",
+            Json::Num(stats.dataset_keys_total as f64),
+        ),
+        (
+            "dataset_keys_shipped",
+            Json::Num(stats.dataset_keys_shipped as f64),
+        ),
+        ("dedup_hit_rate", Json::Num(stats.dedup_hit_rate())),
+    ])
 }
 
 fn shard_stats_array(shards: &[ShardStats]) -> Json {
@@ -399,6 +494,19 @@ fn cmd_stats(state: &Mutex<ServerState>) -> Json {
         (
             "density_cache_evictions",
             Json::Num(density.evictions as f64),
+        ),
+        (
+            "density_cache_admission_rejects",
+            Json::Num(density.admission_rejects as f64),
+        ),
+        (
+            "cache_admission",
+            Json::Str(
+                crate::kernels::features::density_cache()
+                    .admission()
+                    .label()
+                    .to_string(),
+            ),
         ),
         (
             "density_cache_resident_bytes",
@@ -440,6 +548,12 @@ fn cmd_stats(state: &Mutex<ServerState>) -> Json {
         Json::Num(batch.scalar_fallbacks as f64),
     ));
     pairs.push(("eigen_mean_batch", Json::Num(batch.mean_batch())));
+    // Distributed-pool state, when a worker pool is installed: per-worker
+    // tiles dispatched / completed / re-dispatched, bytes shipped, and the
+    // dataset-dedup hit rate.
+    if let Some(coordinator) = crate::dist::current_coordinator() {
+        pairs.push(("distributed", dist_stats_to_json(&coordinator.stats())));
+    }
     match guard.fitted.as_ref() {
         None => pairs.push(("fitted", Json::Bool(false))),
         Some(fitted) => {
@@ -450,6 +564,10 @@ fn cmd_stats(state: &Mutex<ServerState>) -> Json {
             pairs.push(("aligned_cache_misses", Json::Num(stats.misses as f64)));
             pairs.push(("aligned_cache_entries", Json::Num(stats.entries as f64)));
             pairs.push(("aligned_cache_evictions", Json::Num(stats.evictions as f64)));
+            pairs.push((
+                "aligned_cache_admission_rejects",
+                Json::Num(stats.admission_rejects as f64),
+            ));
             pairs.push((
                 "aligned_cache_resident_bytes",
                 Json::Num(stats.resident_bytes as f64),

@@ -1,0 +1,290 @@
+//! Acceptance tests of the distributed tile-execution backend, over
+//! loopback TCP with in-process workers.
+//!
+//! * **Byte identity.** A multi-worker distributed Gram must be
+//!   byte-identical to the `Serial` backend on the 32-graph acceptance
+//!   dataset, for QJSK-unaligned, QJSK-aligned and JTQK.
+//! * **Fault tolerance.** Killing a worker mid-Gram (deterministically,
+//!   via the `fail_after` chaos knob) must not change a single bit of the
+//!   result — surviving workers and the local fallback absorb the loss.
+//! * **Dedup shipping.** A second Gram over the same dataset ships zero
+//!   graphs.
+//!
+//! The coordinator slot is process-global, so the tests serialise on one
+//! mutex.
+
+use haqjsk::dist::{Coordinator, DistConfig, WorkerOptions, WorkerServer};
+use haqjsk::engine::BackendKind;
+use haqjsk::graph::generators::{barabasi_albert, cycle_graph, erdos_renyi, star_graph};
+use haqjsk::graph::Graph;
+use haqjsk::kernels::{GraphKernel, JensenTsallisKernel, QjskAligned, QjskUnaligned};
+use std::sync::{Arc, Mutex, OnceLock};
+use std::time::Duration;
+
+/// Serialises tests that install a process-wide coordinator.
+fn dist_lock() -> &'static Mutex<()> {
+    static LOCK: OnceLock<Mutex<()>> = OnceLock::new();
+    LOCK.get_or_init(|| Mutex::new(()))
+}
+
+/// The 32-graph synthetic acceptance dataset (same construction as the
+/// engine and tile-batch acceptance tests: mixed families, mixed sizes so
+/// zero-padding and dimension-class chunking are exercised).
+fn acceptance_dataset() -> Vec<Graph> {
+    let mut graphs = Vec::new();
+    for i in 0..8 {
+        graphs.push(cycle_graph(5 + i));
+        graphs.push(star_graph(5 + i));
+        graphs.push(erdos_renyi(6 + i, 0.35, i as u64));
+        graphs.push(barabasi_albert(7 + i, 2, 100 + i as u64));
+    }
+    assert_eq!(graphs.len(), 32);
+    graphs
+}
+
+fn spawn_workers(count: usize) -> (Vec<WorkerServer>, Vec<String>) {
+    let servers: Vec<WorkerServer> = (0..count)
+        .map(|_| {
+            WorkerServer::spawn("127.0.0.1:0", WorkerOptions::default())
+                .expect("bind in-process worker")
+        })
+        .collect();
+    let addrs = servers.iter().map(|s| s.local_addr().to_string()).collect();
+    (servers, addrs)
+}
+
+fn connect(addrs: &[String]) -> Arc<Coordinator> {
+    let config = DistConfig {
+        deadline: Duration::from_secs(20),
+        ..DistConfig::default()
+    };
+    Arc::new(Coordinator::connect(addrs, config).expect("connect worker pool"))
+}
+
+fn assert_bytes_equal(name: &str, distributed: &[f64], serial: &[f64]) {
+    assert_eq!(distributed.len(), serial.len());
+    for (k, (a, b)) in distributed.iter().zip(serial).enumerate() {
+        assert_eq!(
+            a.to_bits(),
+            b.to_bits(),
+            "{name}: entry {k} drifted ({a} vs {b})"
+        );
+    }
+}
+
+#[test]
+fn multi_worker_gram_is_byte_identical_to_serial_for_all_quantum_kernels() {
+    let _guard = dist_lock().lock().unwrap();
+    let graphs = acceptance_dataset();
+    let (mut servers, addrs) = spawn_workers(2);
+    let coordinator = connect(&addrs);
+    haqjsk::dist::set_coordinator(Some(Arc::clone(&coordinator)));
+
+    let kernels: Vec<(&str, &dyn GraphKernel)> = vec![
+        ("QJSK (unaligned)", &QjskUnaligned { mu: 1.0 }),
+        ("QJSK (aligned)", &QjskAligned { mu: 1.0 }),
+        (
+            "JTQK",
+            &JensenTsallisKernel {
+                q: 2.0,
+                wl_iterations: 3,
+            },
+        ),
+    ];
+    for (name, kernel) in kernels {
+        let serial = kernel.gram_matrix_on(&graphs, Some(BackendKind::Serial));
+        let distributed = kernel.gram_matrix_on(&graphs, Some(BackendKind::Distributed));
+        assert_bytes_equal(name, distributed.matrix().data(), serial.matrix().data());
+    }
+
+    let stats = coordinator.stats();
+    assert_eq!(stats.grams, 3, "every Gram routed through the coordinator");
+    assert_eq!(
+        stats.local_fallback_grams, 0,
+        "healthy workers mean no whole-Gram fallback"
+    );
+    let completed: usize = stats.workers.iter().map(|w| w.tiles_completed).sum();
+    assert!(completed > 0, "workers computed tiles: {stats:?}");
+    assert_eq!(
+        stats.local_fallback_tiles, 0,
+        "healthy workers mean no per-tile fallback: {stats:?}"
+    );
+    // The dataset shipped once per worker for the first Gram; the two
+    // later Grams were pure dedup hits.
+    assert_eq!(stats.dataset_keys_total, 3 * 2 * graphs.len());
+    assert_eq!(stats.dataset_keys_shipped, 2 * graphs.len());
+    assert!(stats.dedup_hit_rate() > 0.6, "{stats:?}");
+
+    haqjsk::dist::set_coordinator(None);
+    for server in &mut servers {
+        server.shutdown();
+    }
+}
+
+#[test]
+fn killing_a_worker_mid_gram_keeps_the_result_byte_identical() {
+    let _guard = dist_lock().lock().unwrap();
+    let graphs = acceptance_dataset();
+    let (mut servers, addrs) = spawn_workers(2);
+    let coordinator = connect(&addrs);
+    haqjsk::dist::set_coordinator(Some(Arc::clone(&coordinator)));
+
+    // Worker 0 serves two more tiles, then fails and hangs up — a
+    // deterministic mid-Gram death.
+    coordinator
+        .inject_worker_fault(0, 2)
+        .expect("arm fault injection");
+
+    let kernel = QjskUnaligned { mu: 1.0 };
+    let serial = kernel.gram_matrix_on(&graphs, Some(BackendKind::Serial));
+    let distributed = kernel.gram_matrix_on(&graphs, Some(BackendKind::Distributed));
+    assert_bytes_equal(
+        "QJSK under fault injection",
+        distributed.matrix().data(),
+        serial.matrix().data(),
+    );
+
+    let stats = coordinator.stats();
+    assert!(
+        !stats.workers[0].alive,
+        "the faulted worker must be marked dead: {stats:?}"
+    );
+    assert!(stats.workers[0].deaths >= 1);
+    assert!(
+        stats.workers[1].tiles_completed > 0,
+        "the survivor picked up work: {stats:?}"
+    );
+    // The dead worker's in-flight tiles were recovered — every tile was
+    // eventually committed by the survivor or the local fallback, which the
+    // byte-identity assertion above already proves; the counters must show
+    // the recovery happened at all.
+    assert!(
+        stats.workers[0].tiles_dispatched > stats.workers[0].tiles_completed,
+        "the dead worker lost in-flight tiles: {stats:?}"
+    );
+
+    // The pool recovers for the next Gram: worker 0 reconnects (its
+    // fail_after counter is exhausted at 0, so it keeps failing — but
+    // worker 1 and the local fallback still complete the Gram).
+    let again = kernel.gram_matrix_on(&graphs, Some(BackendKind::Distributed));
+    assert_bytes_equal(
+        "QJSK after the fault",
+        again.matrix().data(),
+        serial.matrix().data(),
+    );
+
+    haqjsk::dist::set_coordinator(None);
+    for server in &mut servers {
+        server.shutdown();
+    }
+}
+
+#[test]
+fn total_worker_loss_falls_back_to_local_execution() {
+    let _guard = dist_lock().lock().unwrap();
+    let graphs: Vec<Graph> = acceptance_dataset().into_iter().take(12).collect();
+    let (mut servers, addrs) = spawn_workers(1);
+    let coordinator = connect(&addrs);
+    haqjsk::dist::set_coordinator(Some(Arc::clone(&coordinator)));
+
+    // Kill the only worker before the Gram even starts: every tile request
+    // fails immediately.
+    coordinator.inject_worker_fault(0, 0).expect("arm fault");
+
+    let kernel = JensenTsallisKernel::default();
+    let serial = kernel.gram_matrix_on(&graphs, Some(BackendKind::Serial));
+    let distributed = kernel.gram_matrix_on(&graphs, Some(BackendKind::Distributed));
+    assert_bytes_equal(
+        "JTQK with a dead pool",
+        distributed.matrix().data(),
+        serial.matrix().data(),
+    );
+    let stats = coordinator.stats();
+    assert!(
+        stats.local_fallback_tiles > 0 || stats.local_fallback_grams > 0,
+        "the local fallback must have absorbed the loss: {stats:?}"
+    );
+
+    haqjsk::dist::set_coordinator(None);
+    for server in &mut servers {
+        server.shutdown();
+    }
+}
+
+#[test]
+fn serving_fit_accepts_workers_and_stats_reports_the_pool() {
+    use haqjsk::engine::serve::graph_to_json;
+    use haqjsk::engine::Json;
+    use std::io::{BufRead, BufReader, Write};
+    use std::net::TcpStream;
+
+    let _guard = dist_lock().lock().unwrap();
+    haqjsk::dist::set_coordinator(None);
+    let (mut workers, addrs) = spawn_workers(2);
+
+    let mut server = haqjsk::serving::spawn_server("127.0.0.1:0").expect("bind serving");
+    let stream = TcpStream::connect(server.local_addr()).unwrap();
+    let mut writer = stream.try_clone().unwrap();
+    let mut reader = BufReader::new(stream);
+    let mut request = |body: String| -> Json {
+        writer.write_all(body.as_bytes()).unwrap();
+        writer.write_all(b"\n").unwrap();
+        writer.flush().unwrap();
+        let mut line = String::new();
+        reader.read_line(&mut line).unwrap();
+        Json::parse(line.trim()).unwrap()
+    };
+
+    let graphs: Vec<Json> = acceptance_dataset()
+        .iter()
+        .take(8)
+        .map(graph_to_json)
+        .collect();
+    let workers_json: Vec<Json> = addrs.iter().map(|a| Json::Str(a.clone())).collect();
+    let fit = request(format!(
+        r#"{{"cmd":"fit","graphs":{},"workers":{}}}"#,
+        Json::Arr(graphs),
+        Json::Arr(workers_json)
+    ));
+    assert_eq!(fit.get("ok").and_then(Json::as_bool), Some(true), "{fit}");
+    assert_eq!(fit.get("backend").and_then(Json::as_str), Some("dist"));
+    assert_eq!(fit.get("workers").and_then(Json::as_usize), Some(2));
+
+    let stats = request(r#"{"cmd":"stats"}"#.to_string());
+    let dist = stats.get("distributed").expect("stats reports the pool");
+    let pool_workers = dist.get("workers").and_then(Json::as_array).unwrap();
+    assert_eq!(pool_workers.len(), 2);
+    for w in pool_workers {
+        assert!(w.get("tiles_dispatched").and_then(Json::as_usize).is_some());
+        assert!(w.get("bytes_shipped").and_then(Json::as_usize).is_some());
+    }
+    assert!(dist.get("dedup_hit_rate").and_then(Json::as_f64).is_some());
+    // An unreachable worker pool is a loud fit error, not a silent local
+    // fit.
+    let bad = request(
+        r#"{"cmd":"fit","graphs":[{"n":3,"edges":[[0,1],[1,2]]}],"workers":["127.0.0.1:1"]}"#
+            .to_string(),
+    );
+    assert_eq!(bad.get("ok").and_then(Json::as_bool), Some(false));
+
+    haqjsk::dist::set_coordinator(None);
+    server.shutdown();
+    for worker in &mut workers {
+        worker.shutdown();
+    }
+}
+
+#[test]
+fn distributed_kind_without_a_coordinator_executes_locally() {
+    let _guard = dist_lock().lock().unwrap();
+    haqjsk::dist::set_coordinator(None);
+    let graphs: Vec<Graph> = acceptance_dataset().into_iter().take(8).collect();
+    let kernel = QjskAligned { mu: 1.0 };
+    let serial = kernel.gram_matrix_on(&graphs, Some(BackendKind::Serial));
+    let local = kernel.gram_matrix_on(&graphs, Some(BackendKind::Distributed));
+    assert_bytes_equal(
+        "QJSK-A without coordinator",
+        local.matrix().data(),
+        serial.matrix().data(),
+    );
+}
