@@ -27,14 +27,15 @@
 //! diffs stable numbers.
 //!
 //! ```text
-//! cargo run --release -p haqjsk-bench --bin pairwise [--smoke] [--json <path>]
+//! cargo run --release -p haqjsk-bench --bin pairwise [--smoke] [--json <path>] [--metrics]
 //! ```
 //!
 //! `--smoke` shrinks the sweep to seconds (CI keeps the binary executable
 //! with it); `--json` writes `BENCH_pairwise.json`-style machine-readable
-//! results for the perf trajectory.
+//! results for the perf trajectory; `--metrics` dumps the process metrics
+//! registry as Prometheus text after the run.
 
-use haqjsk_bench::{engine_banner, json_output_path, write_json_report};
+use haqjsk_bench::{dump_metrics_if_requested, engine_banner, json_output_path, write_json_report};
 use haqjsk_engine::{BackendKind, Json};
 use haqjsk_graph::generators::erdos_renyi;
 use haqjsk_graph::Graph;
@@ -334,4 +335,6 @@ fn main() {
          solves through the lane-parallel SoA eigensolver ('batch' column = mean mixtures per \
          batched solve) and evaluates JTQK's WL factor as a cached sparse dot."
     );
+
+    dump_metrics_if_requested();
 }

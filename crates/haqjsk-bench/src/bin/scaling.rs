@@ -4,13 +4,17 @@
 //! number of graphs.
 //!
 //! ```text
-//! cargo run --release -p haqjsk-bench --bin scaling [--json <path>]
+//! cargo run --release -p haqjsk-bench --bin scaling [--json <path>] [--metrics]
 //! ```
 //!
 //! `--json` writes the measured sections as a machine-readable report so
-//! the perf trajectory can be tracked across PRs.
+//! the perf trajectory can be tracked across PRs; `--metrics` dumps the
+//! process metrics registry as Prometheus text after the run. The
+//! distributed section doubles as an integration check of the dist
+//! observability: it asserts the per-worker RPC round-trip histograms were
+//! populated by the two-worker run.
 
-use haqjsk_bench::{engine_banner, json_output_path, write_json_report};
+use haqjsk_bench::{dump_metrics_if_requested, engine_banner, json_output_path, write_json_report};
 use haqjsk_core::{HaqjskConfig, HaqjskModel, HaqjskVariant};
 use haqjsk_engine::{graph_key, BackendKind, CacheConfig, Engine, FeatureCache, Json};
 use haqjsk_graph::generators::erdos_renyi;
@@ -188,6 +192,8 @@ fn main() {
     println!("\n{}", engine_banner());
 
     println!("\nPer-graph cost is cubic in n (eigendecomposition); Gram cost is quadratic in N — matching the O(N^2 n^3) analysis of Sec. III-D.");
+
+    dump_metrics_if_requested();
 }
 
 /// A worker process spawned next to this benchmark binary, killed on drop.
@@ -334,6 +340,27 @@ fn distributed_section() -> Vec<Json> {
         println!(
             "  {:>22} {:>11} {:>10} {:>12} {:>13}",
             w.addr, w.tiles_dispatched, w.tiles_completed, w.tiles_redispatched, w.bytes_shipped
+        );
+    }
+    // The two-worker run must have fed the per-worker RPC round-trip
+    // histograms (dataset shipping alone touches every worker), so this
+    // section doubles as an integration check of the dist observability.
+    let snapshot = haqjsk_obs::registry().snapshot();
+    for w in &stats.workers {
+        let histogram = snapshot
+            .histogram("haqjsk_dist_rpc_seconds", &[("worker", w.addr.as_str())])
+            .unwrap_or_else(|| panic!("no RPC round-trip histogram for worker {}", w.addr));
+        assert!(
+            histogram.count > 0,
+            "RPC round-trip histogram for worker {} is empty",
+            w.addr
+        );
+        println!(
+            "  {:>22} rpc round trips: {} (p50 {:.1} ms, p99 {:.1} ms)",
+            w.addr,
+            histogram.count,
+            histogram.quantile(0.5) * 1000.0,
+            histogram.quantile(0.99) * 1000.0
         );
     }
     rows.push(Json::obj([

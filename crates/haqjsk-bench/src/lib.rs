@@ -135,6 +135,23 @@ pub fn write_json_report(path: &std::path::Path, report: &haqjsk_engine::Json) {
     }
 }
 
+/// Handles the perf benches' `--metrics` flag: when present, registers
+/// every layer's registry exporters and dumps the full metrics registry —
+/// engine, cache, eigen-batch, distributed and serve families — as
+/// Prometheus text to stdout. A no-op without the flag, so metrics-enabled
+/// and plain runs execute the identical benchmark path (the `pairwise_check`
+/// regression guard relies on that).
+pub fn dump_metrics_if_requested() {
+    if !std::env::args().any(|a| a == "--metrics") {
+        return;
+    }
+    haqjsk_kernels::register_cache_metrics();
+    haqjsk_linalg::register_batch_metrics();
+    haqjsk_dist::register_dist_metrics();
+    println!("\n--- metrics (Prometheus text exposition) ---");
+    print!("{}", haqjsk_obs::registry().render_prometheus());
+}
+
 /// One-line description of the engine executing all Gram computation:
 /// worker count (with its `HAQJSK_THREADS` provenance) and the density-cache
 /// counters. The table binaries print it so recorded runs document their

@@ -23,7 +23,7 @@ use crate::db_representation::DbRepresentations;
 use crate::hierarchy::PrototypeHierarchy;
 use haqjsk_engine::{graph_key, BackendKind, CacheWeight, Engine, FeatureCache};
 use haqjsk_graph::Graph;
-use haqjsk_kernels::kernel::gram_from_indexed_on;
+use haqjsk_kernels::kernel::{gram_from_indexed_on, time_kernel_gram};
 use haqjsk_kernels::{GraphKernel, KernelMatrix};
 use haqjsk_linalg::LinalgError;
 use haqjsk_quantum::ctqw::ctqw_density_from_adjacency;
@@ -256,6 +256,7 @@ impl HaqjskModel {
         graphs: &[Graph],
         backend: Option<BackendKind>,
     ) -> Result<KernelMatrix, LinalgError> {
+        let _timer = time_kernel_gram(GraphKernel::name(self));
         let aligned = self.transform_all(graphs)?;
         Ok(gram_from_indexed_on(graphs.len(), backend, |i, j| {
             self.kernel(&aligned[i], &aligned[j])
@@ -281,6 +282,7 @@ impl HaqjskModel {
         cache: &FeatureCache<AlignedGraph>,
         backend: Option<BackendKind>,
     ) -> Result<KernelMatrix, LinalgError> {
+        let _timer = time_kernel_gram(GraphKernel::name(self));
         let aligned = self.transform_all_cached(graphs, cache)?;
         Ok(gram_from_indexed_on(graphs.len(), backend, |i, j| {
             self.kernel(&aligned[i], &aligned[j])

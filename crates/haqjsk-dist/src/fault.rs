@@ -18,7 +18,7 @@ use std::io::{BufRead, BufReader, Write};
 use std::net::{TcpStream, ToSocketAddrs};
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::Mutex;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 /// A failed receive, distinguishing deadline expiry (the worker may just
 /// be slow) from everything else (the connection is unusable).
@@ -131,19 +131,22 @@ impl Conn {
     }
 
     /// Bytes-written-accounting variant of [`Conn::call`], crediting the
-    /// link's shipped-byte counter.
+    /// link's shipped-byte counter and (on success) the worker's RPC
+    /// round-trip histogram.
     pub(crate) fn call_counted(
         &mut self,
         link: &WorkerLink,
         message: &Json,
         timeout: Option<Duration>,
     ) -> Result<Json, String> {
+        let started = Instant::now();
         let bytes = self
             .send(message)
             .map_err(|e| format!("send failed: {e}"))?;
         link.bytes_shipped.fetch_add(bytes, Ordering::Relaxed);
         let response = self.recv(timeout).map_err(|e| e.message)?;
         wire::check_ok(&response)?;
+        crate::obs::rpc_histogram(&link.addr).observe_duration(started.elapsed());
         Ok(response)
     }
 }

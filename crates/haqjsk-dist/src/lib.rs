@@ -49,6 +49,7 @@
 pub mod coordinator;
 pub mod dataset;
 pub mod fault;
+pub mod obs;
 pub(crate) mod scheduler;
 pub mod wire;
 pub mod worker;
@@ -58,6 +59,7 @@ pub use coordinator::{
     DIST_WINDOW_ENV_VAR,
 };
 pub use fault::WorkerStatsSnapshot;
+pub use obs::register_dist_metrics;
 pub use wire::KernelSpec;
 pub use worker::{WorkerOptions, WorkerServer};
 

@@ -1,0 +1,138 @@
+//! Distributed-layer observability: per-worker RPC round-trip histograms
+//! plus a registry collector re-exporting [`DistStats`](crate::DistStats)
+//! as `haqjsk_dist_*` metrics.
+//!
+//! Two kinds of exchange feed `haqjsk_dist_rpc_seconds{worker}`:
+//!
+//! * synchronous control/dataset RPCs (`Conn::call_counted` — dataset
+//!   begin/chunk/commit), timed around one send + receive, and
+//! * pipelined tile exchanges, timed from dispatch (the scheduler's
+//!   in-flight stamp) to the winning commit.
+//!
+//! The aggregate counters and gauges are registered once by
+//! [`register_dist_metrics`] and refreshed at snapshot time from the
+//! process-wide coordinator; with no coordinator installed they read zero,
+//! so the `haqjsk_dist_*` family is present in every scrape. Per-worker
+//! series appear lazily as workers are configured (metric registration is
+//! idempotent, and collectors run outside the family lock).
+
+use haqjsk_obs::{registry, Histogram};
+use std::sync::Once;
+
+/// The per-worker RPC round-trip histogram
+/// (`haqjsk_dist_rpc_seconds{worker="host:port"}`).
+pub fn rpc_histogram(worker: &str) -> Histogram {
+    registry().histogram(
+        "haqjsk_dist_rpc_seconds",
+        "Coordinator-observed round-trip time of one worker exchange \
+         (dataset RPCs and tile dispatch-to-commit), by worker address.",
+        &[("worker", worker)],
+    )
+}
+
+/// Registers the `haqjsk_dist_*` metric family: aggregate coordinator
+/// counters, the dedup-rate gauge, and per-worker counters/liveness,
+/// all refreshed from [`crate::current_coordinator`] at snapshot time.
+/// Idempotent; safe to call with no coordinator installed.
+pub fn register_dist_metrics() {
+    static ONCE: Once = Once::new();
+    ONCE.call_once(|| {
+        let registry = registry();
+        let grams = registry.counter(
+            "haqjsk_dist_grams_total",
+            "Gram computations routed through the distributed coordinator.",
+            &[],
+        );
+        let fallback_grams = registry.counter(
+            "haqjsk_dist_local_fallback_grams_total",
+            "Gram computations the coordinator executed entirely locally.",
+            &[],
+        );
+        let fallback_tiles = registry.counter(
+            "haqjsk_dist_local_fallback_tiles_total",
+            "Tiles evaluated by the coordinator's local fallback after worker failures.",
+            &[],
+        );
+        let keys_total = registry.counter(
+            "haqjsk_dist_dataset_keys_total",
+            "Graph keys announced across all dataset shipping rounds.",
+            &[],
+        );
+        let keys_shipped = registry.counter(
+            "haqjsk_dist_dataset_keys_shipped_total",
+            "Graph keys actually shipped (announced keys minus dedup hits).",
+            &[],
+        );
+        let workers_gauge = registry.gauge(
+            "haqjsk_dist_workers",
+            "Workers configured on the current coordinator.",
+            &[],
+        );
+        let dedup_gauge = registry.gauge(
+            "haqjsk_dist_dedup_hit_rate",
+            "Fraction of announced dataset keys already resident on workers.",
+            &[],
+        );
+        registry.register_collector(move || {
+            let stats = crate::current_coordinator().map(|coordinator| coordinator.stats());
+            let (workers, dedup) = match &stats {
+                Some(stats) => (stats.workers.len(), stats.dedup_hit_rate()),
+                None => (0, 0.0),
+            };
+            grams.store(stats.as_ref().map_or(0, |s| s.grams) as u64);
+            fallback_grams.store(stats.as_ref().map_or(0, |s| s.local_fallback_grams) as u64);
+            fallback_tiles.store(stats.as_ref().map_or(0, |s| s.local_fallback_tiles) as u64);
+            keys_total.store(stats.as_ref().map_or(0, |s| s.dataset_keys_total) as u64);
+            keys_shipped.store(stats.as_ref().map_or(0, |s| s.dataset_keys_shipped) as u64);
+            workers_gauge.set(workers as f64);
+            dedup_gauge.set(dedup);
+            let Some(stats) = stats else { return };
+            let registry = haqjsk_obs::registry();
+            for worker in &stats.workers {
+                let labels = [("worker", worker.addr.as_str())];
+                let per_worker_counters: [(&str, &str, usize); 6] = [
+                    (
+                        "haqjsk_dist_tiles_dispatched_total",
+                        "Tiles dispatched to the worker, by worker address.",
+                        worker.tiles_dispatched,
+                    ),
+                    (
+                        "haqjsk_dist_tiles_completed_total",
+                        "Tile results accepted from the worker, by worker address.",
+                        worker.tiles_completed,
+                    ),
+                    (
+                        "haqjsk_dist_tiles_redispatched_total",
+                        "Straggler tiles the worker re-claimed from peers, by worker address.",
+                        worker.tiles_redispatched,
+                    ),
+                    (
+                        "haqjsk_dist_bytes_shipped_total",
+                        "Request bytes shipped to the worker, by worker address.",
+                        worker.bytes_shipped,
+                    ),
+                    (
+                        "haqjsk_dist_datasets_shipped_total",
+                        "Dataset shipping rounds completed to the worker, by worker address.",
+                        worker.datasets_shipped,
+                    ),
+                    (
+                        "haqjsk_dist_worker_deaths_total",
+                        "Times the worker was declared dead, by worker address.",
+                        worker.deaths,
+                    ),
+                ];
+                for (name, help, value) in per_worker_counters {
+                    registry.counter(name, help, &labels).store(value as u64);
+                }
+                registry
+                    .gauge(
+                        "haqjsk_dist_worker_alive",
+                        "Whether the worker link is currently believed live (1/0), by worker address.",
+                        &labels,
+                    )
+                    .set(if worker.alive { 1.0 } else { 0.0 });
+            }
+        });
+    });
+}

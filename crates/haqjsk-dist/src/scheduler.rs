@@ -28,7 +28,7 @@ use haqjsk_engine::Json;
 use std::collections::{HashMap, VecDeque};
 use std::sync::atomic::Ordering;
 use std::sync::{Arc, Mutex, OnceLock};
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 /// Shared scheduling state over one Gram's tile list.
 struct Shared<'a> {
@@ -127,13 +127,17 @@ fn claim(
 }
 
 /// Commits one tile result; idempotent (re-dispatched duplicates lose).
-fn commit(shared: &Shared<'_>, tile: usize, values: Vec<f64>) {
+/// The winning commit returns the dispatch-to-commit round trip (measured
+/// from the most recent in-flight stamp) for the worker's RPC histogram.
+fn commit(shared: &Shared<'_>, tile: usize, values: Vec<f64>) -> Option<Duration> {
     let _ = shared.results[tile].set(values);
     let mut state = shared.queue.lock().expect("scheduler state poisoned");
     if !state.done[tile] {
         state.done[tile] = true;
         state.remaining -= 1;
-        state.inflight.remove(&tile);
+        state.inflight.remove(&tile).map(|since| since.elapsed())
+    } else {
+        None
     }
 }
 
@@ -217,7 +221,9 @@ fn worker_loop(
                         own.remove(pos);
                     }
                     link.tiles_completed.fetch_add(1, Ordering::Relaxed);
-                    commit(shared, tile.job, tile.values);
+                    if let Some(round_trip) = commit(shared, tile.job, tile.values) {
+                        crate::obs::rpc_histogram(&link.addr).observe_duration(round_trip);
+                    }
                 }
                 // Error responses, unknown jobs and short value vectors all
                 // mean the worker is unreliable: give up on it.

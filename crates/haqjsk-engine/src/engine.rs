@@ -159,7 +159,9 @@ impl Engine {
     where
         F: Fn(usize, usize) -> f64 + Sync,
     {
-        self.resolve(backend)
+        let backend = self.resolve(backend);
+        let _timer = crate::obs::HistogramTimer::start(crate::obs::gram_build_histogram(backend));
+        backend
             .implementation()
             .gram(&self.pool, n, self.tile_for(n), None, &f)
     }
@@ -180,13 +182,11 @@ impl Engine {
         P: Fn(usize) + Sync,
         F: Fn(usize, usize) -> f64 + Sync,
     {
-        self.resolve(backend).implementation().gram(
-            &self.pool,
-            n,
-            self.tile_for(n),
-            Some(&prefetch),
-            &f,
-        )
+        let backend = self.resolve(backend);
+        let _timer = crate::obs::HistogramTimer::start(crate::obs::gram_build_histogram(backend));
+        backend
+            .implementation()
+            .gram(&self.pool, n, self.tile_for(n), Some(&prefetch), &f)
     }
 
     /// Computes the Gram matrix through a whole-tile evaluator: the chosen
@@ -228,7 +228,9 @@ impl Engine {
         P: Fn(usize) + Sync,
         T: crate::backend::TileEvaluator,
     {
-        self.resolve(backend).implementation().gram_tiles_spec(
+        let backend = self.resolve(backend);
+        let _timer = crate::obs::HistogramTimer::start(crate::obs::gram_build_histogram(backend));
+        backend.implementation().gram_tiles_spec(
             &self.pool,
             n,
             self.tile_for_batched(n),
@@ -272,7 +274,9 @@ impl Engine {
     where
         F: Fn(usize, usize) -> f64 + Sync,
     {
-        self.resolve(backend).implementation().gram_extend(
+        let backend = self.resolve(backend);
+        let _timer = crate::obs::HistogramTimer::start(crate::obs::gram_build_histogram(backend));
+        backend.implementation().gram_extend(
             &self.pool,
             base,
             total,
@@ -298,7 +302,9 @@ impl Engine {
         P: Fn(usize) + Sync,
         F: Fn(usize, usize) -> f64 + Sync,
     {
-        self.resolve(backend).implementation().gram_extend(
+        let backend = self.resolve(backend);
+        let _timer = crate::obs::HistogramTimer::start(crate::obs::gram_build_histogram(backend));
+        backend.implementation().gram_extend(
             &self.pool,
             base,
             total,

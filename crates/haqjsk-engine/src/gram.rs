@@ -96,7 +96,9 @@ where
         .collect();
 
     let out = TileOutput(values.data_mut().as_mut_ptr());
+    let tile_hist = crate::obs::tile_eval_histogram();
     pool.scoped_run(tiles.len(), &|t| {
+        let _timer = crate::obs::HistogramTimer::start(tile_hist);
         let (bi, bj) = tiles[t];
         let row_end = ((bi + 1) * tile).min(n);
         let col_end = ((bj + 1) * tile).min(n);
@@ -184,7 +186,9 @@ where
     let tile = tile.max(1);
     let tiles = upper_triangle_tiles(n, tile);
     let out = TileOutput(values.data_mut().as_mut_ptr());
+    let tile_hist = crate::obs::tile_eval_histogram();
     pool.scoped_run(tiles.len(), &|t| {
+        let _timer = crate::obs::HistogramTimer::start(tile_hist);
         let (bi, bj) = tiles[t];
         let mut pairs: Vec<(usize, usize)> = Vec::new();
         tile_pairs(n, tile, bi, bj, &mut pairs);
@@ -283,7 +287,9 @@ where
         .collect();
 
     let out = TileOutput(values.data_mut().as_mut_ptr());
+    let tile_hist = crate::obs::tile_eval_histogram();
     pool.scoped_run(tiles.len(), &|t| {
+        let _timer = crate::obs::HistogramTimer::start(tile_hist);
         let (bi, bj) = tiles[t];
         let row_end = ((bi + 1) * tile).min(n);
         let col_start = m + bj * tile;

@@ -67,6 +67,7 @@ pub mod engine;
 pub mod gram;
 pub mod hash;
 pub mod json;
+pub mod obs;
 pub mod pool;
 pub mod serve;
 
@@ -82,4 +83,4 @@ pub use engine::{Engine, EngineBuilder};
 pub use hash::{graph_key, GraphKey};
 pub use json::Json;
 pub use pool::{default_thread_count, WorkerPool, THREADS_ENV_VAR};
-pub use serve::{graph_from_json, graph_to_json, Handler, Server};
+pub use serve::{error_response, graph_from_json, graph_to_json, Handler, Server};

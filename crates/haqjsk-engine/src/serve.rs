@@ -78,6 +78,7 @@ impl Server {
                     // ACK would add tens of milliseconds per exchange.
                     stream.set_nodelay(true).ok();
                     accept_connections.fetch_add(1, Ordering::Relaxed);
+                    crate::obs::serve_connections_counter().inc();
                     let handler = Arc::clone(&handler);
                     let _ = thread::Builder::new()
                         .name("haqjsk-serve-conn".to_string())
@@ -126,6 +127,9 @@ impl Drop for Server {
 }
 
 /// Serves one connection: request line in, response line out, until EOF.
+/// Every request is accounted in the metrics registry: a request counter
+/// and wall-time histogram labelled by the request's `cmd`, an in-flight
+/// gauge, and an error counter for responses carrying the error envelope.
 pub fn serve_connection(stream: TcpStream, handler: &dyn Handler) -> std::io::Result<()> {
     let mut writer = stream.try_clone()?;
     let reader = BufReader::new(stream);
@@ -135,8 +139,32 @@ pub fn serve_connection(stream: TcpStream, handler: &dyn Handler) -> std::io::Re
             continue;
         }
         let (response, request) = match Json::parse(&line) {
-            Ok(request) => (handler.handle(&request), Some(request)),
-            Err(e) => (error_response(&format!("malformed request: {e}")), None),
+            Ok(request) => {
+                let op = crate::obs::sanitize_op(
+                    request
+                        .get("cmd")
+                        .and_then(Json::as_str)
+                        .unwrap_or("unknown"),
+                );
+                crate::obs::serve_requests_counter(&op).inc();
+                let inflight = crate::obs::serve_inflight_gauge();
+                inflight.add(1.0);
+                let _span = haqjsk_obs::span("serve_request");
+                let timer =
+                    crate::obs::HistogramTimer::start(&crate::obs::serve_request_histogram(&op));
+                let response = handler.handle(&request);
+                drop(timer);
+                inflight.add(-1.0);
+                if response.get("error").is_some() {
+                    crate::obs::serve_errors_counter(&op).inc();
+                }
+                (response, Some(request))
+            }
+            Err(e) => {
+                crate::obs::serve_requests_counter("malformed").inc();
+                crate::obs::serve_errors_counter("malformed").inc();
+                (error_response(&format!("malformed request: {e}")), None)
+            }
         };
         writer.write_all(response.to_string().as_bytes())?;
         writer.write_all(b"\n")?;

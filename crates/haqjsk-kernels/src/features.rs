@@ -307,6 +307,74 @@ pub fn cached_wl_histogram(graph: &Graph, iterations: usize) -> Arc<WlHistogram>
     })
 }
 
+/// Registers the feature caches with the process-global metrics registry:
+/// a collector re-exports each cache's own atomic counters as
+/// `haqjsk_cache_*` metrics labelled by cache name at every snapshot.
+/// Idempotent; call before scraping.
+pub fn register_cache_metrics() {
+    static ONCE: std::sync::Once = std::sync::Once::new();
+    ONCE.call_once(|| {
+        type StatsFn = fn() -> CacheStats;
+        let registry = haqjsk_obs::registry();
+        let caches: Vec<(&'static str, StatsFn)> = vec![
+            ("density", || density_cache().stats()),
+            ("spectral", || spectral_cache().stats()),
+            ("alignment", || alignment_cache().stats()),
+            ("wl", || wl_cache().stats()),
+        ];
+        let exports: Vec<_> = caches
+            .into_iter()
+            .map(|(name, stats)| {
+                let labels = [("cache", name)];
+                (
+                    stats,
+                    registry.counter(
+                        "haqjsk_cache_hits_total",
+                        "Feature-cache hits, by cache.",
+                        &labels,
+                    ),
+                    registry.counter(
+                        "haqjsk_cache_misses_total",
+                        "Feature-cache misses, by cache.",
+                        &labels,
+                    ),
+                    registry.counter(
+                        "haqjsk_cache_evictions_total",
+                        "Feature-cache LRU evictions, by cache.",
+                        &labels,
+                    ),
+                    registry.counter(
+                        "haqjsk_cache_admission_rejects_total",
+                        "Feature-cache admission rejections, by cache.",
+                        &labels,
+                    ),
+                    registry.gauge(
+                        "haqjsk_cache_entries",
+                        "Resident feature-cache entries, by cache.",
+                        &labels,
+                    ),
+                    registry.gauge(
+                        "haqjsk_cache_resident_bytes",
+                        "Resident feature-cache bytes, by cache.",
+                        &labels,
+                    ),
+                )
+            })
+            .collect();
+        registry.register_collector(move || {
+            for (stats, hits, misses, evictions, rejects, entries, bytes) in &exports {
+                let s = stats();
+                hits.store(s.hits as u64);
+                misses.store(s.misses as u64);
+                evictions.store(s.evictions as u64);
+                rejects.store(s.admission_rejects as u64);
+                entries.set(s.entries as f64);
+                bytes.set(s.resident_bytes as f64);
+            }
+        });
+    });
+}
+
 /// Aggregate hit/miss/entry/eviction counters of the density cache.
 pub fn density_cache_stats() -> CacheStats {
     density_cache().stats()

@@ -186,6 +186,7 @@ impl GraphKernel for GraphletKernel {
     // Factors through explicit feature vectors: backend-independent, so the
     // backend-aware hook is overridden to keep the fast path everywhere.
     fn gram_matrix_on(&self, graphs: &[Graph], _backend: Option<BackendKind>) -> KernelMatrix {
+        let _timer = crate::kernel::time_kernel_gram(self.name());
         let features: Vec<Vec<f64>> = graphs.iter().map(|g| self.feature_vector(g)).collect();
         gram_from_features(&features)
     }

@@ -220,6 +220,7 @@ impl GraphKernel for JensenTsallisKernel {
     }
 
     fn gram_matrix_on(&self, graphs: &[Graph], backend: Option<BackendKind>) -> KernelMatrix {
+        let _timer = crate::kernel::time_kernel_gram(self.name());
         // Every per-graph artifact — CTQW density, Tsallis entropy, WL
         // label histogram — is pinned once per Gram computation; batched
         // backends extract all of them as one parallel batch before the

@@ -36,7 +36,37 @@ pub trait GraphKernel: Sync {
     /// hook (so batched backends extract features as one batch) or to
     /// factor through explicit feature maps entirely.
     fn gram_matrix_on(&self, graphs: &[Graph], backend: Option<BackendKind>) -> KernelMatrix {
+        let _timer = time_kernel_gram(self.name());
         gram_from_pairwise_on(graphs, backend, |a, b| self.compute(a, b))
+    }
+}
+
+/// RAII guard recording one Gram build into the
+/// `haqjsk_kernel_gram_seconds{kernel=...}` histogram on drop. Every
+/// `gram_matrix_on` implementation (the trait default and the kernels that
+/// override it) opens one at entry, so per-kernel build latency is
+/// observable regardless of which scheduling path a kernel takes. One
+/// registry lookup and one clock pair per Gram matrix — nothing per pair.
+pub struct KernelGramTimer {
+    histogram: haqjsk_obs::Histogram,
+    start: std::time::Instant,
+}
+
+/// Starts timing a Gram build of `kernel` (see [`KernelGramTimer`]).
+pub fn time_kernel_gram(kernel: &str) -> KernelGramTimer {
+    KernelGramTimer {
+        histogram: haqjsk_obs::registry().histogram(
+            "haqjsk_kernel_gram_seconds",
+            "Wall-clock time of one Gram matrix build, by kernel.",
+            &[("kernel", kernel)],
+        ),
+        start: std::time::Instant::now(),
+    }
+}
+
+impl Drop for KernelGramTimer {
+    fn drop(&mut self) {
+        self.histogram.observe_duration(self.start.elapsed());
     }
 }
 

@@ -43,7 +43,7 @@ pub use embedding::{kernel_distance_matrix, kernel_pca, KernelPca};
 pub use features::{
     cached_alignment_basis, cached_ctqw_densities, cached_ctqw_density, cached_graph_spectrals,
     cached_wl_histogram, clear_density_cache, density_cache_shard_stats, density_cache_stats,
-    set_density_cache_budget, AlignmentBasis, GraphSpectrals, WlHistogram,
+    register_cache_metrics, set_density_cache_budget, AlignmentBasis, GraphSpectrals, WlHistogram,
 };
 pub use graphlet::GraphletKernel;
 pub use jtqk::JensenTsallisKernel;

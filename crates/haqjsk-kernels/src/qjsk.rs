@@ -157,6 +157,7 @@ impl GraphKernel for QjskUnaligned {
     }
 
     fn gram_matrix_on(&self, graphs: &[Graph], backend: Option<BackendKind>) -> KernelMatrix {
+        let _timer = crate::kernel::time_kernel_gram(self.name());
         let pinned: PinnedFeatures<'_, SpectralInputs> = PinnedFeatures::new(graphs);
         let spec = RemoteGram {
             kernel_id: QjskUnaligned::REMOTE_KERNEL_ID,
@@ -327,6 +328,7 @@ impl GraphKernel for QjskAligned {
     }
 
     fn gram_matrix_on(&self, graphs: &[Graph], backend: Option<BackendKind>) -> KernelMatrix {
+        let _timer = crate::kernel::time_kernel_gram(self.name());
         let pinned: PinnedFeatures<'_, AlignedInputs> = PinnedFeatures::new(graphs);
         let spec = RemoteGram {
             kernel_id: QjskAligned::REMOTE_KERNEL_ID,

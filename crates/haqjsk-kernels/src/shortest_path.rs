@@ -77,6 +77,7 @@ impl GraphKernel for ShortestPathKernel {
     // Factors through explicit feature maps: one shortest-path pass per
     // graph, then a merge-join dot per pair on the requested backend.
     fn gram_matrix_on(&self, graphs: &[Graph], backend: Option<BackendKind>) -> KernelMatrix {
+        let _timer = crate::kernel::time_kernel_gram(self.name());
         let sparse: Vec<SpFeatureVec> = graphs.iter().map(|g| self.feature_map(g)).collect();
         gram_from_indexed_on(graphs.len(), backend, |i, j| {
             sparse_dot(&sparse[i], &sparse[j])

@@ -115,6 +115,7 @@ impl GraphKernel for WeisfeilerLehmanKernel {
     // pass per graph, then a merge-join dot per pair on the requested
     // backend — no dense union label space is ever materialised.
     fn gram_matrix_on(&self, graphs: &[Graph], backend: Option<BackendKind>) -> KernelMatrix {
+        let _timer = crate::kernel::time_kernel_gram(self.name());
         let features = self.feature_maps(graphs);
         gram_from_indexed_on(graphs.len(), backend, |i, j| {
             sparse_dot(&features[i], &features[j])

@@ -87,6 +87,54 @@ pub fn batch_solve_stats() -> BatchSolveStats {
     }
 }
 
+/// Lane-occupancy histogram of the SoA eigensolver: one observation per
+/// solve invocation, value = lanes filled (1 = scalar straggler fallback).
+/// No clock involved, so recording costs a few atomic increments.
+fn lane_histogram() -> &'static haqjsk_obs::Histogram {
+    static HISTOGRAM: std::sync::OnceLock<haqjsk_obs::Histogram> = std::sync::OnceLock::new();
+    HISTOGRAM.get_or_init(|| {
+        haqjsk_obs::registry().histogram(
+            "haqjsk_eigen_batch_lanes",
+            "Occupied lanes per batched eigensolve invocation (1 = scalar fallback).",
+            &[],
+        )
+    })
+}
+
+/// Registers the batched-eigensolver counters with the process-global
+/// metrics registry: a collector re-exports the atomic totals as
+/// `haqjsk_eigen_*` counters at every snapshot, and the lane-occupancy
+/// histogram family is created eagerly so it appears in every scrape.
+/// Idempotent.
+pub fn register_batch_metrics() {
+    static ONCE: std::sync::Once = std::sync::Once::new();
+    ONCE.call_once(|| {
+        let registry = haqjsk_obs::registry();
+        lane_histogram();
+        let calls = registry.counter(
+            "haqjsk_eigen_batched_calls_total",
+            "SoA batched eigensolve invocations.",
+            &[],
+        );
+        let matrices = registry.counter(
+            "haqjsk_eigen_batched_matrices_total",
+            "Matrices solved through the SoA batched eigensolver.",
+            &[],
+        );
+        let fallbacks = registry.counter(
+            "haqjsk_eigen_scalar_fallbacks_total",
+            "Matrices solved through the scalar straggler fallback.",
+            &[],
+        );
+        registry.register_collector(move || {
+            let stats = batch_solve_stats();
+            calls.store(stats.batched_calls);
+            matrices.store(stats.batched_matrices);
+            fallbacks.store(stats.scalar_fallbacks);
+        });
+    });
+}
+
 /// Per-lane scalar registers of the two batched phases. Fixed-size arrays
 /// (indexed `..lanes`) so the compiler keeps them in registers / on one
 /// cache line instead of behind a heap indirection.
@@ -482,6 +530,7 @@ impl BatchEigenWorkspace {
                     // produces the same bits.
                     out[chunk[0]] = self.scalar.eigenvalues(mats[chunk[0]])?.to_vec();
                     SCALAR_FALLBACKS.fetch_add(1, Ordering::Relaxed);
+                    lane_histogram().observe(1.0);
                 } else {
                     self.solve_chunk(mats, chunk, n, &mut out)?;
                 }
@@ -522,6 +571,7 @@ impl BatchEigenWorkspace {
         }
         BATCHED_CALLS.fetch_add(1, Ordering::Relaxed);
         BATCHED_MATRICES.fetch_add(lanes as u64, Ordering::Relaxed);
+        lane_histogram().observe(lanes as f64);
         if n == 1 {
             for (lane, &idx) in chunk.iter().enumerate() {
                 out[idx] = vec![soa[lane]];

@@ -36,8 +36,8 @@ pub mod vector;
 
 pub use assignment::hungarian;
 pub use batch::{
-    batch_solve_stats, batch_symmetric_eigenvalues, BatchEigenWorkspace, BatchSolveStats,
-    MAX_BATCH_LANES,
+    batch_solve_stats, batch_symmetric_eigenvalues, register_batch_metrics, BatchEigenWorkspace,
+    BatchSolveStats, MAX_BATCH_LANES,
 };
 pub use cmatrix::CMatrix;
 pub use complex::Complex;

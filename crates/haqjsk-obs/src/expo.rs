@@ -1,0 +1,470 @@
+//! Prometheus text exposition: rendering a registry [`Snapshot`] and
+//! parsing/validating such text.
+//!
+//! The renderer emits the classic text format (version 0.0.4): `# HELP` /
+//! `# TYPE` per family, one sample line per instance, and for histograms
+//! the cumulative `_bucket{le=...}` series plus `_sum` / `_count`. Empty
+//! buckets are elided (the cumulative value is unchanged there and
+//! Prometheus permits any bound subset as long as `+Inf` is present),
+//! keeping scrapes compact despite the fine log-linear grid.
+//!
+//! The parser is the other half of the contract: the CI scrape check and
+//! the serve loopback tests feed rendered text back through
+//! [`parse_exposition`], which rejects malformed lines, duplicate or
+//! conflicting `# TYPE` declarations (a metric registered twice), untyped
+//! samples, and non-monotone histogram bucket series.
+
+use crate::metrics::{bucket_upper_bound, MetricValue, Snapshot};
+use std::collections::BTreeMap;
+
+fn escape_label_value(v: &str) -> String {
+    let mut out = String::with_capacity(v.len());
+    for c in v.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '"' => out.push_str("\\\""),
+            '\n' => out.push_str("\\n"),
+            _ => out.push(c),
+        }
+    }
+    out
+}
+
+fn format_value(v: f64) -> String {
+    if v.is_nan() {
+        "NaN".to_string()
+    } else if v == f64::INFINITY {
+        "+Inf".to_string()
+    } else if v == f64::NEG_INFINITY {
+        "-Inf".to_string()
+    } else {
+        format!("{v}")
+    }
+}
+
+fn label_block(labels: &[(String, String)], extra: Option<(&str, &str)>) -> String {
+    let mut parts: Vec<String> = labels
+        .iter()
+        .map(|(k, v)| format!("{k}=\"{}\"", escape_label_value(v)))
+        .collect();
+    if let Some((k, v)) = extra {
+        parts.push(format!("{k}=\"{}\"", escape_label_value(v)));
+    }
+    if parts.is_empty() {
+        String::new()
+    } else {
+        format!("{{{}}}", parts.join(","))
+    }
+}
+
+/// Renders a snapshot in the Prometheus text format.
+pub fn render_prometheus(snapshot: &Snapshot) -> String {
+    let mut out = String::new();
+    let mut current_family: Option<&str> = None;
+    for entry in &snapshot.entries {
+        if current_family != Some(entry.name.as_str()) {
+            current_family = Some(entry.name.as_str());
+            out.push_str(&format!("# HELP {} {}\n", entry.name, entry.help));
+            out.push_str(&format!("# TYPE {} {}\n", entry.name, entry.kind.as_str()));
+        }
+        match &entry.value {
+            MetricValue::Counter(v) => {
+                out.push_str(&format!(
+                    "{}{} {v}\n",
+                    entry.name,
+                    label_block(&entry.labels, None)
+                ));
+            }
+            MetricValue::Gauge(v) => {
+                out.push_str(&format!(
+                    "{}{} {}\n",
+                    entry.name,
+                    label_block(&entry.labels, None),
+                    format_value(*v)
+                ));
+            }
+            MetricValue::Histogram(h) => {
+                let mut cumulative = 0u64;
+                for (i, &count) in h.buckets.iter().enumerate() {
+                    if count == 0 {
+                        continue;
+                    }
+                    cumulative += count;
+                    out.push_str(&format!(
+                        "{}_bucket{} {cumulative}\n",
+                        entry.name,
+                        label_block(
+                            &entry.labels,
+                            Some(("le", &format_value(bucket_upper_bound(i))))
+                        )
+                    ));
+                }
+                out.push_str(&format!(
+                    "{}_bucket{} {}\n",
+                    entry.name,
+                    label_block(&entry.labels, Some(("le", "+Inf"))),
+                    h.count
+                ));
+                out.push_str(&format!(
+                    "{}_sum{} {}\n",
+                    entry.name,
+                    label_block(&entry.labels, None),
+                    format_value(h.sum)
+                ));
+                out.push_str(&format!(
+                    "{}_count{} {}\n",
+                    entry.name,
+                    label_block(&entry.labels, None),
+                    h.count
+                ));
+            }
+        }
+    }
+    out
+}
+
+/// One parsed sample line.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Sample {
+    /// Sample name as written (histogram series keep their `_bucket` /
+    /// `_sum` / `_count` suffix).
+    pub name: String,
+    /// Labels in file order.
+    pub labels: Vec<(String, String)>,
+    /// Parsed value.
+    pub value: f64,
+}
+
+/// A parsed and validated exposition.
+#[derive(Debug, Clone, Default)]
+pub struct Exposition {
+    /// `# TYPE` declarations by family name.
+    pub types: BTreeMap<String, String>,
+    /// All sample lines, in file order.
+    pub samples: Vec<Sample>,
+}
+
+impl Exposition {
+    /// The value of sample `name{labels}` (exact label-set match, order
+    /// insensitive).
+    pub fn value(&self, name: &str, labels: &[(&str, &str)]) -> Option<f64> {
+        let mut wanted: Vec<(&str, &str)> = labels.to_vec();
+        wanted.sort();
+        self.samples
+            .iter()
+            .find(|s| {
+                if s.name != name || s.labels.len() != wanted.len() {
+                    return false;
+                }
+                let mut have: Vec<(&str, &str)> = s
+                    .labels
+                    .iter()
+                    .map(|(k, v)| (k.as_str(), v.as_str()))
+                    .collect();
+                have.sort();
+                have == wanted
+            })
+            .map(|s| s.value)
+    }
+
+    /// Whether family `name` has a `# TYPE` declaration.
+    pub fn has_family(&self, name: &str) -> bool {
+        self.types.contains_key(name)
+    }
+}
+
+fn parse_label_block(raw: &str, line_no: usize) -> Result<Vec<(String, String)>, String> {
+    let mut labels = Vec::new();
+    let mut chars = raw.chars().peekable();
+    loop {
+        // Label name up to '='.
+        let mut key = String::new();
+        while let Some(&c) = chars.peek() {
+            if c == '=' {
+                break;
+            }
+            key.push(c);
+            chars.next();
+        }
+        if chars.next() != Some('=') || key.is_empty() {
+            return Err(format!("line {line_no}: malformed label name"));
+        }
+        if chars.next() != Some('"') {
+            return Err(format!("line {line_no}: label value must be quoted"));
+        }
+        let mut value = String::new();
+        loop {
+            match chars.next() {
+                Some('\\') => match chars.next() {
+                    Some('\\') => value.push('\\'),
+                    Some('"') => value.push('"'),
+                    Some('n') => value.push('\n'),
+                    _ => return Err(format!("line {line_no}: bad escape in label value")),
+                },
+                Some('"') => break,
+                Some(c) => value.push(c),
+                None => return Err(format!("line {line_no}: unterminated label value")),
+            }
+        }
+        labels.push((key, value));
+        match chars.next() {
+            Some(',') => continue,
+            None => return Ok(labels),
+            Some(c) => return Err(format!("line {line_no}: unexpected '{c}' after label")),
+        }
+    }
+}
+
+fn parse_sample_value(raw: &str, line_no: usize) -> Result<f64, String> {
+    match raw {
+        "+Inf" | "Inf" => Ok(f64::INFINITY),
+        "-Inf" => Ok(f64::NEG_INFINITY),
+        "NaN" => Ok(f64::NAN),
+        other => other
+            .parse::<f64>()
+            .map_err(|_| format!("line {line_no}: unparseable value '{other}'")),
+    }
+}
+
+/// The family a sample belongs to: the name itself, or — when the stripped
+/// base name is declared a histogram — the base of a `_bucket`/`_sum`/
+/// `_count` series.
+fn family_of<'a>(name: &'a str, types: &BTreeMap<String, String>) -> &'a str {
+    for suffix in ["_bucket", "_sum", "_count"] {
+        if let Some(base) = name.strip_suffix(suffix) {
+            if types.get(base).map(String::as_str) == Some("histogram") {
+                return base;
+            }
+        }
+    }
+    name
+}
+
+/// Parses Prometheus text exposition, validating structure:
+///
+/// * every non-comment line must be `name[{labels}] value [timestamp]`,
+/// * `# TYPE` may appear at most once per family (a duplicate — even with
+///   the same type — means a metric was registered twice),
+/// * every sample must belong to a `# TYPE`-declared family,
+/// * counter samples must be finite and non-negative,
+/// * histogram `_bucket` series must be cumulative (non-decreasing in
+///   ascending `le`), contain an `+Inf` bucket, and agree with `_count`.
+pub fn parse_exposition(text: &str) -> Result<Exposition, String> {
+    let mut expo = Exposition::default();
+    for (idx, line) in text.lines().enumerate() {
+        let line_no = idx + 1;
+        let line = line.trim_end();
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix("# TYPE ") {
+            let mut parts = rest.split_whitespace();
+            let (Some(name), Some(kind)) = (parts.next(), parts.next()) else {
+                return Err(format!("line {line_no}: malformed TYPE line"));
+            };
+            if !["counter", "gauge", "histogram", "summary", "untyped"].contains(&kind) {
+                return Err(format!("line {line_no}: unknown metric type '{kind}'"));
+            }
+            if let Some(previous) = expo.types.get(name) {
+                return Err(if previous == kind {
+                    format!("line {line_no}: metric '{name}' declared twice as {kind}")
+                } else {
+                    format!("line {line_no}: metric '{name}' declared both {previous} and {kind}")
+                });
+            }
+            expo.types.insert(name.to_string(), kind.to_string());
+            continue;
+        }
+        if line.starts_with('#') {
+            continue;
+        }
+
+        // Sample line: name[{labels}] value [timestamp]
+        let (name_and_labels, value_part) = match line.find('}') {
+            Some(close) => (&line[..=close], line[close + 1..].trim_start()),
+            None => {
+                let mut split = line.splitn(2, char::is_whitespace);
+                let name = split.next().unwrap_or("");
+                (name, split.next().unwrap_or("").trim_start())
+            }
+        };
+        let (name, labels) = match name_and_labels.find('{') {
+            Some(open) => {
+                if !name_and_labels.ends_with('}') {
+                    return Err(format!("line {line_no}: unterminated label block"));
+                }
+                let inner = &name_and_labels[open + 1..name_and_labels.len() - 1];
+                let labels = if inner.is_empty() {
+                    Vec::new()
+                } else {
+                    parse_label_block(inner, line_no)?
+                };
+                (&name_and_labels[..open], labels)
+            }
+            None => (name_and_labels, Vec::new()),
+        };
+        if name.is_empty() {
+            return Err(format!("line {line_no}: sample without a name"));
+        }
+        let mut value_tokens = value_part.split_whitespace();
+        let Some(value_raw) = value_tokens.next() else {
+            return Err(format!("line {line_no}: sample without a value"));
+        };
+        // An optional trailing timestamp is permitted by the format.
+        if value_tokens.clone().count() > 1 {
+            return Err(format!("line {line_no}: trailing garbage after value"));
+        }
+        if let Some(ts) = value_tokens.next() {
+            if ts.parse::<i64>().is_err() {
+                return Err(format!("line {line_no}: malformed timestamp '{ts}'"));
+            }
+        }
+        let value = parse_sample_value(value_raw, line_no)?;
+
+        let family = family_of(name, &expo.types);
+        let Some(kind) = expo.types.get(family) else {
+            return Err(format!(
+                "line {line_no}: sample '{name}' has no TYPE declaration"
+            ));
+        };
+        if kind == "counter" && !(value.is_finite() && value >= 0.0) {
+            return Err(format!(
+                "line {line_no}: counter '{name}' has non-monotonic-capable value {value_raw}"
+            ));
+        }
+        expo.samples.push(Sample {
+            name: name.to_string(),
+            labels,
+            value,
+        });
+    }
+    validate_histograms(&expo)?;
+    Ok(expo)
+}
+
+/// Per-histogram-instance structural checks on the parsed samples.
+fn validate_histograms(expo: &Exposition) -> Result<(), String> {
+    for (family, kind) in &expo.types {
+        if kind != "histogram" {
+            continue;
+        }
+        // Group bucket samples by their labels-minus-le: each entry maps a
+        // label set to its `(le, cumulative count)` pairs.
+        type BucketSeries = BTreeMap<Vec<(String, String)>, Vec<(f64, f64)>>;
+        let mut series: BucketSeries = BTreeMap::new();
+        for sample in &expo.samples {
+            if sample.name != format!("{family}_bucket") {
+                continue;
+            }
+            let mut le = None;
+            let mut rest: Vec<(String, String)> = Vec::new();
+            for (k, v) in &sample.labels {
+                if k == "le" {
+                    le =
+                        Some(parse_sample_value(v, 0).map_err(|_| {
+                            format!("histogram '{family}' has unparseable le '{v}'")
+                        })?);
+                } else {
+                    rest.push((k.clone(), v.clone()));
+                }
+            }
+            let Some(le) = le else {
+                return Err(format!("histogram '{family}' has a bucket without 'le'"));
+            };
+            rest.sort();
+            series.entry(rest).or_default().push((le, sample.value));
+        }
+        for (labels, mut buckets) in series {
+            buckets.sort_by(|a, b| a.0.total_cmp(&b.0));
+            let mut previous = -1.0;
+            for &(le, cumulative) in &buckets {
+                if cumulative < previous {
+                    return Err(format!(
+                        "histogram '{family}' bucket series is not cumulative at le={le}"
+                    ));
+                }
+                previous = cumulative;
+            }
+            let Some(&(last_le, inf_count)) = buckets.last() else {
+                continue;
+            };
+            if last_le != f64::INFINITY {
+                return Err(format!("histogram '{family}' is missing its +Inf bucket"));
+            }
+            let label_refs: Vec<(&str, &str)> = labels
+                .iter()
+                .map(|(k, v)| (k.as_str(), v.as_str()))
+                .collect();
+            if let Some(count) = expo.value(&format!("{family}_count"), &label_refs) {
+                if count != inf_count {
+                    return Err(format!(
+                        "histogram '{family}' +Inf bucket ({inf_count}) disagrees with _count ({count})"
+                    ));
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::Registry;
+
+    fn sample_registry() -> Registry {
+        let r = Registry::default();
+        r.counter("requests_total", "Requests.", &[("op", "ping")])
+            .add(3);
+        r.counter("requests_total", "Requests.", &[("op", "fit")])
+            .inc();
+        r.gauge("inflight", "In-flight requests.", &[]).set(2.0);
+        let h = r.histogram("latency_seconds", "Latency.", &[("op", "ping")]);
+        h.observe(0.001);
+        h.observe(0.002);
+        h.observe(0.1);
+        r
+    }
+
+    #[test]
+    fn rendered_output_round_trips_through_the_parser() {
+        let r = sample_registry();
+        let text = r.render_prometheus();
+        let expo = parse_exposition(&text).expect("rendered text parses");
+        assert_eq!(
+            expo.types.get("requests_total").map(String::as_str),
+            Some("counter")
+        );
+        assert_eq!(expo.value("requests_total", &[("op", "ping")]), Some(3.0));
+        assert_eq!(expo.value("requests_total", &[("op", "fit")]), Some(1.0));
+        assert_eq!(expo.value("inflight", &[]), Some(2.0));
+        assert_eq!(
+            expo.value("latency_seconds_count", &[("op", "ping")]),
+            Some(3.0)
+        );
+        assert_eq!(
+            expo.value("latency_seconds_bucket", &[("op", "ping"), ("le", "+Inf")]),
+            Some(3.0)
+        );
+    }
+
+    #[test]
+    fn parser_rejects_structural_problems() {
+        assert!(parse_exposition("no_type_metric 1\n").is_err());
+        assert!(parse_exposition("# TYPE a counter\n# TYPE a gauge\na 1\n").is_err());
+        assert!(parse_exposition("# TYPE a counter\n# TYPE a counter\na 1\n").is_err());
+        assert!(parse_exposition("# TYPE a counter\na -1\n").is_err());
+        assert!(parse_exposition("# TYPE a counter\na notanumber\n").is_err());
+        assert!(parse_exposition("# TYPE a histogram\na_bucket{le=\"1\"} 5\na_bucket{le=\"2\"} 3\na_bucket{le=\"+Inf\"} 5\n").is_err());
+        assert!(parse_exposition("# TYPE a histogram\na_bucket{le=\"1\"} 2\n").is_err());
+    }
+
+    #[test]
+    fn label_values_escape_and_unescape() {
+        let r = Registry::default();
+        r.counter("c_total", "h", &[("path", "a\"b\\c\nd")]).inc();
+        let text = r.render_prometheus();
+        let expo = parse_exposition(&text).unwrap();
+        assert_eq!(expo.value("c_total", &[("path", "a\"b\\c\nd")]), Some(1.0));
+    }
+}

@@ -1,0 +1,39 @@
+//! # haqjsk-obs
+//!
+//! The process-wide observability substrate of the workspace: one metrics
+//! registry every layer reports through, a low-overhead span tracer, and
+//! exposition of both as Prometheus text.
+//!
+//! Built on `std` only (like the rest of the workspace) with three pieces:
+//!
+//! * **Metrics** ([`metrics`]) — counters, gauges and log-linear-bucket
+//!   latency histograms, registered once by `(name, labels)` and recorded
+//!   through cheap cloneable handles. The hot path is sharded atomics: a
+//!   `Counter::inc` or `Histogram::observe` touches a per-thread shard and
+//!   never takes a lock, so instrumenting a Gram tile loop or an RPC path
+//!   costs nanoseconds. Subsystems that already maintain their own atomic
+//!   counters (the feature caches, the batched eigensolver, the distributed
+//!   coordinator) re-export them through registry *collectors* — closures
+//!   run at snapshot time — so one scrape covers every layer.
+//! * **Tracing** ([`trace`]) — RAII [`Span`] guards writing fixed-size
+//!   records into per-thread ring buffers, drained as JSON lines for
+//!   flamegraph-style offline analysis. Disabled (near-zero cost) when the
+//!   `HAQJSK_TRACE` environment variable is `0`.
+//! * **Exposition** ([`expo`]) — renders a registry [`Snapshot`] in the
+//!   Prometheus text format, and parses/validates such text (the CI scrape
+//!   check and the loopback tests share the validator).
+//!
+//! The crate deliberately knows nothing about the engine's `Json` value or
+//! any other workspace type; the engine layers its own JSON conversion on
+//! top of [`Snapshot`].
+
+pub mod expo;
+pub mod metrics;
+pub mod trace;
+
+pub use expo::{parse_exposition, render_prometheus, Exposition};
+pub use metrics::{
+    registry, Counter, Gauge, Histogram, HistogramSnapshot, MetricEntry, MetricKind, MetricValue,
+    Registry, Snapshot,
+};
+pub use trace::{drain_trace_jsonl, span, trace_enabled, Span, TRACE_ENV_VAR};

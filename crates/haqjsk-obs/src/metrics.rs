@@ -1,0 +1,724 @@
+//! The metrics registry: counters, gauges and log-linear histograms with
+//! sharded-atomic hot paths.
+//!
+//! Metrics are owned by the process-global [`Registry`] (see [`registry`])
+//! and keyed by `(name, label set)`. Registration (`counter` / `gauge` /
+//! `histogram`) takes a lock and returns a cheap cloneable handle;
+//! recording through a handle is lock-free — a counter increment or
+//! histogram observation touches one cache-line-padded shard selected by
+//! the calling thread, so concurrent writers on different threads never
+//! contend. Reads ([`Registry::snapshot`]) merge the shards.
+//!
+//! Histograms use log-linear buckets: four linear sub-buckets per power of
+//! two, spanning `2^-20` (≈1 µs when values are seconds) to `2^12`
+//! (≈68 min), plus underflow/overflow buckets. Bucket selection is a pure
+//! bit decomposition of the `f64` (exponent + top mantissa bits) — no
+//! search, no `log` call — and the relative quantile error is bounded by
+//! the 25% sub-bucket width.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+
+/// Shards per counter/histogram. Eight covers the pool sizes the engine
+/// uses without making snapshot merges expensive.
+const SHARDS: usize = 8;
+
+/// One atomic on its own cache line, so shards never false-share.
+#[repr(align(64))]
+#[derive(Default)]
+struct PaddedU64(AtomicU64);
+
+/// Stable per-thread shard index (threads are striped round-robin).
+fn thread_shard() -> usize {
+    static NEXT: AtomicUsize = AtomicUsize::new(0);
+    thread_local! {
+        static SHARD: usize = NEXT.fetch_add(1, Ordering::Relaxed) % SHARDS;
+    }
+    SHARD.with(|s| *s)
+}
+
+/// Lock-free `f64` accumulate into an `AtomicU64` holding the value's bits.
+fn f64_add(cell: &AtomicU64, v: f64) {
+    let mut current = cell.load(Ordering::Relaxed);
+    loop {
+        let next = (f64::from_bits(current) + v).to_bits();
+        match cell.compare_exchange_weak(current, next, Ordering::Relaxed, Ordering::Relaxed) {
+            Ok(_) => return,
+            Err(observed) => current = observed,
+        }
+    }
+}
+
+/// Lock-free `f64` min/max update (`ordering` picks which).
+fn f64_extreme(cell: &AtomicU64, v: f64, keep_current: impl Fn(f64, f64) -> bool) {
+    let mut current = cell.load(Ordering::Relaxed);
+    loop {
+        if keep_current(f64::from_bits(current), v) {
+            return;
+        }
+        match cell.compare_exchange_weak(current, v.to_bits(), Ordering::Relaxed, Ordering::Relaxed)
+        {
+            Ok(_) => return,
+            Err(observed) => current = observed,
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Counter
+// ---------------------------------------------------------------------------
+
+/// A monotonically increasing counter, sharded across threads.
+#[derive(Clone)]
+pub struct Counter {
+    shards: Arc<[PaddedU64; SHARDS]>,
+}
+
+impl Counter {
+    fn new() -> Counter {
+        Counter {
+            shards: Arc::new(Default::default()),
+        }
+    }
+
+    /// Adds one.
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Adds `n`.
+    pub fn add(&self, n: u64) {
+        self.shards[thread_shard()]
+            .0
+            .fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Overwrites the counter with an externally maintained total — the
+    /// re-export path for subsystems that already keep their own atomic
+    /// counters (collectors call this at snapshot time). Do not mix with
+    /// [`Counter::inc`] on the same counter.
+    pub fn store(&self, total: u64) {
+        for shard in self.shards.iter().skip(1) {
+            shard.0.store(0, Ordering::Relaxed);
+        }
+        self.shards[0].0.store(total, Ordering::Relaxed);
+    }
+
+    /// Current total across shards.
+    pub fn value(&self) -> u64 {
+        self.shards
+            .iter()
+            .map(|s| s.0.load(Ordering::Relaxed))
+            .sum()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Gauge
+// ---------------------------------------------------------------------------
+
+/// A settable `f64` value (queue depths, in-flight requests, rates).
+#[derive(Clone)]
+pub struct Gauge {
+    bits: Arc<AtomicU64>,
+}
+
+impl Gauge {
+    fn new() -> Gauge {
+        Gauge {
+            bits: Arc::new(AtomicU64::new(0f64.to_bits())),
+        }
+    }
+
+    /// Sets the gauge.
+    pub fn set(&self, v: f64) {
+        self.bits.store(v.to_bits(), Ordering::Relaxed);
+    }
+
+    /// Adds `delta` (may be negative).
+    pub fn add(&self, delta: f64) {
+        f64_add(&self.bits, delta);
+    }
+
+    /// Current value.
+    pub fn value(&self) -> f64 {
+        f64::from_bits(self.bits.load(Ordering::Relaxed))
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Histogram
+// ---------------------------------------------------------------------------
+
+/// Linear sub-buckets per power of two, as a bit count (`2` → 4
+/// sub-buckets, 25% relative bucket width).
+const SUB_BITS: u32 = 2;
+const SUB: usize = 1 << SUB_BITS;
+/// Smallest resolved exponent: values below `2^MIN_EXP` collapse into the
+/// underflow bucket.
+const MIN_EXP: i32 = -20;
+/// Largest resolved exponent: values `>= 2^MAX_EXP` land in the overflow
+/// bucket.
+const MAX_EXP: i32 = 12;
+/// Total bucket count: underflow + resolved range + overflow.
+pub const NUM_BUCKETS: usize = (MAX_EXP - MIN_EXP) as usize * SUB + 2;
+
+fn min_resolved() -> f64 {
+    (MIN_EXP as f64).exp2()
+}
+
+fn max_resolved() -> f64 {
+    (MAX_EXP as f64).exp2()
+}
+
+/// Bucket index of a value — pure `f64` bit decomposition, no search.
+pub fn bucket_index(v: f64) -> usize {
+    // Non-positive, NaN and sub-range values share the underflow bucket.
+    if v.is_nan() || v < min_resolved() {
+        return 0;
+    }
+    if v >= max_resolved() {
+        return NUM_BUCKETS - 1;
+    }
+    let bits = v.to_bits();
+    let exp = ((bits >> 52) & 0x7ff) as i32 - 1023;
+    let sub = ((bits >> (52 - SUB_BITS)) & (SUB as u64 - 1)) as usize;
+    1 + (exp - MIN_EXP) as usize * SUB + sub
+}
+
+/// Inclusive upper bound of bucket `i` (`+Inf` for the overflow bucket) —
+/// strictly increasing in `i`, which the exposition's `le=` labels and the
+/// quantile estimator both rely on.
+pub fn bucket_upper_bound(i: usize) -> f64 {
+    if i == 0 {
+        return min_resolved();
+    }
+    if i >= NUM_BUCKETS - 1 {
+        return f64::INFINITY;
+    }
+    let k = i - 1;
+    let exp = MIN_EXP + (k / SUB) as i32;
+    (exp as f64).exp2() * (1.0 + (k % SUB + 1) as f64 / SUB as f64)
+}
+
+struct HistShard {
+    buckets: Vec<AtomicU64>,
+    count: AtomicU64,
+    sum_bits: AtomicU64,
+    min_bits: AtomicU64,
+    max_bits: AtomicU64,
+}
+
+impl HistShard {
+    fn new() -> HistShard {
+        HistShard {
+            buckets: (0..NUM_BUCKETS).map(|_| AtomicU64::new(0)).collect(),
+            count: AtomicU64::new(0),
+            sum_bits: AtomicU64::new(0f64.to_bits()),
+            min_bits: AtomicU64::new(f64::INFINITY.to_bits()),
+            max_bits: AtomicU64::new(f64::NEG_INFINITY.to_bits()),
+        }
+    }
+}
+
+/// A latency/size histogram with log-linear buckets, sharded across
+/// threads.
+#[derive(Clone)]
+pub struct Histogram {
+    shards: Arc<Vec<HistShard>>,
+}
+
+impl Histogram {
+    /// A standalone histogram detached from any registry (property tests
+    /// use this; production code registers through [`Registry::histogram`]).
+    pub fn new() -> Histogram {
+        Histogram {
+            shards: Arc::new((0..SHARDS).map(|_| HistShard::new()).collect()),
+        }
+    }
+
+    /// Records one observation on the calling thread's shard.
+    pub fn observe(&self, v: f64) {
+        self.observe_shard(thread_shard(), v);
+    }
+
+    /// Records a [`std::time::Duration`] in seconds.
+    pub fn observe_duration(&self, d: std::time::Duration) {
+        self.observe(d.as_secs_f64());
+    }
+
+    /// Records into an explicit shard (`shard` is taken modulo the shard
+    /// count). Exposed so the shard-merge property tests can drive a known
+    /// shard layout; production code uses [`Histogram::observe`].
+    pub fn observe_shard(&self, shard: usize, v: f64) {
+        let s = &self.shards[shard % SHARDS];
+        s.buckets[bucket_index(v)].fetch_add(1, Ordering::Relaxed);
+        s.count.fetch_add(1, Ordering::Relaxed);
+        f64_add(&s.sum_bits, v);
+        f64_extreme(&s.min_bits, v, |current, new| current <= new);
+        f64_extreme(&s.max_bits, v, |current, new| current >= new);
+    }
+
+    /// Merged view across all shards.
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        let mut out = HistogramSnapshot::empty();
+        for s in self.shards.iter() {
+            out.count += s.count.load(Ordering::Relaxed);
+            out.sum += f64::from_bits(s.sum_bits.load(Ordering::Relaxed));
+            out.min = out
+                .min
+                .min(f64::from_bits(s.min_bits.load(Ordering::Relaxed)));
+            out.max = out
+                .max
+                .max(f64::from_bits(s.max_bits.load(Ordering::Relaxed)));
+            for (acc, bucket) in out.buckets.iter_mut().zip(&s.buckets) {
+                *acc += bucket.load(Ordering::Relaxed);
+            }
+        }
+        out
+    }
+}
+
+impl Default for Histogram {
+    fn default() -> Histogram {
+        Histogram::new()
+    }
+}
+
+/// Point-in-time merged state of one histogram.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HistogramSnapshot {
+    /// Total observations.
+    pub count: u64,
+    /// Sum of all observed values.
+    pub sum: f64,
+    /// Smallest observed value (`+Inf` when empty).
+    pub min: f64,
+    /// Largest observed value (`-Inf` when empty).
+    pub max: f64,
+    /// Per-bucket (non-cumulative) observation counts; bucket `i` covers
+    /// `[bucket_upper_bound(i-1), bucket_upper_bound(i))` — the bit
+    /// decomposition puts exact bucket-boundary values (powers of two and
+    /// sub-bucket edges) at the inclusive lower edge.
+    pub buckets: Vec<u64>,
+}
+
+impl HistogramSnapshot {
+    fn empty() -> HistogramSnapshot {
+        HistogramSnapshot {
+            count: 0,
+            sum: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+            buckets: vec![0; NUM_BUCKETS],
+        }
+    }
+
+    /// Estimated `q`-quantile (`0.0..=1.0`): the upper bound of the bucket
+    /// holding the target rank, clamped into the exactly-tracked
+    /// `[min, max]` range. `NaN` when the histogram is empty.
+    pub fn quantile(&self, q: f64) -> f64 {
+        if self.count == 0 {
+            return f64::NAN;
+        }
+        let q = q.clamp(0.0, 1.0);
+        let target = ((q * self.count as f64).ceil() as u64).max(1);
+        let mut cumulative = 0u64;
+        for (i, &c) in self.buckets.iter().enumerate() {
+            cumulative += c;
+            if cumulative >= target {
+                return bucket_upper_bound(i).clamp(self.min, self.max);
+            }
+        }
+        self.max
+    }
+
+    /// Mean observed value (`NaN` when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            f64::NAN
+        } else {
+            self.sum / self.count as f64
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Registry
+// ---------------------------------------------------------------------------
+
+/// Discriminates the three instrument types.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MetricKind {
+    /// Monotonically increasing total.
+    Counter,
+    /// Settable point-in-time value.
+    Gauge,
+    /// Bucketed distribution.
+    Histogram,
+}
+
+impl MetricKind {
+    /// The Prometheus `# TYPE` keyword.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            MetricKind::Counter => "counter",
+            MetricKind::Gauge => "gauge",
+            MetricKind::Histogram => "histogram",
+        }
+    }
+}
+
+#[derive(Clone)]
+enum Instrument {
+    Counter(Counter),
+    Gauge(Gauge),
+    Histogram(Histogram),
+}
+
+impl Instrument {
+    fn kind(&self) -> MetricKind {
+        match self {
+            Instrument::Counter(_) => MetricKind::Counter,
+            Instrument::Gauge(_) => MetricKind::Gauge,
+            Instrument::Histogram(_) => MetricKind::Histogram,
+        }
+    }
+}
+
+type LabelSet = Vec<(String, String)>;
+
+struct Family {
+    kind: MetricKind,
+    help: String,
+    instances: BTreeMap<LabelSet, Instrument>,
+}
+
+type Collector = Box<dyn Fn() + Send + Sync>;
+
+/// The metric store: families keyed by name, instances keyed by label set,
+/// plus the collectors run before every snapshot.
+#[derive(Default)]
+pub struct Registry {
+    families: Mutex<BTreeMap<String, Family>>,
+    collectors: Mutex<Vec<Collector>>,
+}
+
+/// The process-global registry every subsystem reports through.
+pub fn registry() -> &'static Registry {
+    static REGISTRY: OnceLock<Registry> = OnceLock::new();
+    REGISTRY.get_or_init(Registry::default)
+}
+
+fn valid_name(name: &str) -> bool {
+    !name.is_empty()
+        && name
+            .chars()
+            .all(|c| c.is_ascii_alphanumeric() || c == '_' || c == ':')
+        && !name.starts_with(|c: char| c.is_ascii_digit())
+}
+
+impl Registry {
+    fn instrument(
+        &self,
+        name: &str,
+        help: &str,
+        labels: &[(&str, &str)],
+        make: impl FnOnce() -> Instrument,
+        kind: MetricKind,
+    ) -> Instrument {
+        assert!(valid_name(name), "invalid metric name '{name}'");
+        for (key, _) in labels {
+            assert!(valid_name(key), "invalid label name '{key}' on '{name}'");
+        }
+        let mut label_set: LabelSet = labels
+            .iter()
+            .map(|(k, v)| (k.to_string(), v.to_string()))
+            .collect();
+        label_set.sort();
+        let mut families = self.families.lock().expect("metric registry poisoned");
+        let family = families.entry(name.to_string()).or_insert_with(|| Family {
+            kind,
+            help: help.to_string(),
+            instances: BTreeMap::new(),
+        });
+        assert!(
+            family.kind == kind,
+            "metric '{name}' already registered as a {}, cannot re-register as a {}",
+            family.kind.as_str(),
+            kind.as_str()
+        );
+        family
+            .instances
+            .entry(label_set)
+            .or_insert_with(make)
+            .clone()
+    }
+
+    /// Registers (or retrieves) the counter `name{labels}`.
+    ///
+    /// # Panics
+    /// Panics when `name` is already registered as a different kind, or on
+    /// a malformed metric/label name — both are programming errors.
+    pub fn counter(&self, name: &str, help: &str, labels: &[(&str, &str)]) -> Counter {
+        match self.instrument(
+            name,
+            help,
+            labels,
+            || Instrument::Counter(Counter::new()),
+            MetricKind::Counter,
+        ) {
+            Instrument::Counter(c) => c,
+            _ => unreachable!("kind checked during registration"),
+        }
+    }
+
+    /// Registers (or retrieves) the gauge `name{labels}`.
+    pub fn gauge(&self, name: &str, help: &str, labels: &[(&str, &str)]) -> Gauge {
+        match self.instrument(
+            name,
+            help,
+            labels,
+            || Instrument::Gauge(Gauge::new()),
+            MetricKind::Gauge,
+        ) {
+            Instrument::Gauge(g) => g,
+            _ => unreachable!("kind checked during registration"),
+        }
+    }
+
+    /// Registers (or retrieves) the histogram `name{labels}`.
+    pub fn histogram(&self, name: &str, help: &str, labels: &[(&str, &str)]) -> Histogram {
+        match self.instrument(
+            name,
+            help,
+            labels,
+            || Instrument::Histogram(Histogram::new()),
+            MetricKind::Histogram,
+        ) {
+            Instrument::Histogram(h) => h,
+            _ => unreachable!("kind checked during registration"),
+        }
+    }
+
+    /// Registers a collector: a closure run before every snapshot, used to
+    /// re-export externally maintained counters into registry metrics
+    /// (typically via [`Counter::store`] / [`Gauge::set`]). Collectors may
+    /// register metrics but must not register further collectors.
+    pub fn register_collector(&self, f: impl Fn() + Send + Sync + 'static) {
+        self.collectors
+            .lock()
+            .expect("collector list poisoned")
+            .push(Box::new(f));
+    }
+
+    /// Runs the collectors, then captures every metric's current value.
+    pub fn snapshot(&self) -> Snapshot {
+        {
+            let collectors = self.collectors.lock().expect("collector list poisoned");
+            for collector in collectors.iter() {
+                collector();
+            }
+        }
+        let families = self.families.lock().expect("metric registry poisoned");
+        let mut entries = Vec::new();
+        for (name, family) in families.iter() {
+            for (labels, instrument) in &family.instances {
+                entries.push(MetricEntry {
+                    name: name.clone(),
+                    kind: instrument.kind(),
+                    help: family.help.clone(),
+                    labels: labels.clone(),
+                    value: match instrument {
+                        Instrument::Counter(c) => MetricValue::Counter(c.value()),
+                        Instrument::Gauge(g) => MetricValue::Gauge(g.value()),
+                        Instrument::Histogram(h) => MetricValue::Histogram(h.snapshot()),
+                    },
+                });
+            }
+        }
+        Snapshot { entries }
+    }
+
+    /// Convenience: snapshot + Prometheus text render.
+    pub fn render_prometheus(&self) -> String {
+        crate::expo::render_prometheus(&self.snapshot())
+    }
+}
+
+/// One metric instance inside a [`Snapshot`].
+#[derive(Debug, Clone)]
+pub struct MetricEntry {
+    /// Family name.
+    pub name: String,
+    /// Instrument type.
+    pub kind: MetricKind,
+    /// Help text.
+    pub help: String,
+    /// Sorted label set.
+    pub labels: Vec<(String, String)>,
+    /// Captured value.
+    pub value: MetricValue,
+}
+
+/// A captured metric value.
+#[derive(Debug, Clone)]
+pub enum MetricValue {
+    /// Counter total.
+    Counter(u64),
+    /// Gauge value.
+    Gauge(f64),
+    /// Merged histogram state.
+    Histogram(HistogramSnapshot),
+}
+
+/// A point-in-time capture of the whole registry, sorted by name then
+/// label set.
+#[derive(Debug, Clone)]
+pub struct Snapshot {
+    /// All metric instances.
+    pub entries: Vec<MetricEntry>,
+}
+
+impl Snapshot {
+    fn find(&self, name: &str, labels: &[(&str, &str)]) -> Option<&MetricEntry> {
+        let mut wanted: Vec<(&str, &str)> = labels.to_vec();
+        wanted.sort();
+        self.entries.iter().find(|e| {
+            e.name == name
+                && e.labels.len() == wanted.len()
+                && e.labels
+                    .iter()
+                    .zip(&wanted)
+                    .all(|((k, v), (wk, wv))| k == wk && v == wv)
+        })
+    }
+
+    /// The counter `name{labels}`, if present.
+    pub fn counter_value(&self, name: &str, labels: &[(&str, &str)]) -> Option<u64> {
+        match &self.find(name, labels)?.value {
+            MetricValue::Counter(v) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// The gauge `name{labels}`, if present.
+    pub fn gauge_value(&self, name: &str, labels: &[(&str, &str)]) -> Option<f64> {
+        match &self.find(name, labels)?.value {
+            MetricValue::Gauge(v) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// The histogram `name{labels}`, if present.
+    pub fn histogram(&self, name: &str, labels: &[(&str, &str)]) -> Option<&HistogramSnapshot> {
+        match &self.find(name, labels)?.value {
+            MetricValue::Histogram(h) => Some(h),
+            _ => None,
+        }
+    }
+
+    /// All entries of family `name`.
+    pub fn family(&self, name: &str) -> Vec<&MetricEntry> {
+        self.entries.iter().filter(|e| e.name == name).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_sums_across_shards() {
+        let c = Counter::new();
+        for shard in 0..SHARDS {
+            // Exercise every shard through the raw cells.
+            c.shards[shard]
+                .0
+                .fetch_add(shard as u64 + 1, Ordering::Relaxed);
+        }
+        assert_eq!(c.value(), (1..=SHARDS as u64).sum::<u64>());
+        c.store(7);
+        assert_eq!(c.value(), 7);
+    }
+
+    #[test]
+    fn gauge_set_and_add() {
+        let g = Gauge::new();
+        g.set(2.5);
+        g.add(1.0);
+        g.add(-0.5);
+        assert_eq!(g.value(), 3.0);
+    }
+
+    #[test]
+    fn bucket_bounds_are_strictly_increasing() {
+        for i in 1..NUM_BUCKETS {
+            assert!(
+                bucket_upper_bound(i) > bucket_upper_bound(i - 1),
+                "bounds must increase at bucket {i}"
+            );
+        }
+    }
+
+    #[test]
+    fn bucket_index_brackets_the_value() {
+        for &v in &[1e-9, 1e-6, 0.001, 0.25, 1.0, 1.5, 3.99, 4.0, 1234.5, 1e9] {
+            let i = bucket_index(v);
+            assert!(v <= bucket_upper_bound(i), "v={v} above bucket {i} bound");
+            if i > 0 {
+                assert!(
+                    v >= bucket_upper_bound(i - 1) || i == NUM_BUCKETS - 1,
+                    "v={v} below bucket {i} lower bound"
+                );
+            }
+        }
+        assert_eq!(bucket_index(0.0), 0);
+        assert_eq!(bucket_index(-3.0), 0);
+        assert_eq!(bucket_index(f64::NAN), 0);
+        assert_eq!(bucket_index(f64::INFINITY), NUM_BUCKETS - 1);
+    }
+
+    #[test]
+    fn histogram_quantiles_and_stats() {
+        let h = Histogram::new();
+        for i in 1..=100 {
+            h.observe(i as f64 / 1000.0); // 1ms..100ms
+        }
+        let snap = h.snapshot();
+        assert_eq!(snap.count, 100);
+        assert!((snap.sum - 5.05).abs() < 1e-9);
+        assert_eq!(snap.min, 0.001);
+        assert_eq!(snap.max, 0.1);
+        let p50 = snap.quantile(0.5);
+        // Log-linear buckets have 25% relative width.
+        assert!((0.04..=0.07).contains(&p50), "p50={p50}");
+        assert!(snap.quantile(1.0) <= snap.max + 1e-12);
+        assert!(snap.quantile(0.0) >= snap.min - 1e-12);
+    }
+
+    #[test]
+    fn registry_reuses_instances_and_rejects_kind_conflicts() {
+        let r = Registry::default();
+        let a = r.counter("test_total", "help", &[("k", "x")]);
+        let b = r.counter("test_total", "help", &[("k", "x")]);
+        a.inc();
+        b.inc();
+        let snap = r.snapshot();
+        assert_eq!(snap.counter_value("test_total", &[("k", "x")]), Some(2));
+        let conflict = std::panic::catch_unwind(|| r.gauge("test_total", "help", &[]));
+        assert!(conflict.is_err(), "kind conflict must panic");
+    }
+
+    #[test]
+    fn collectors_run_at_snapshot_time() {
+        let r = Arc::new(Registry::default());
+        let source = Arc::new(AtomicU64::new(41));
+        let gauge = r.gauge("collected", "help", &[]);
+        let collector_source = Arc::clone(&source);
+        r.register_collector(move || gauge.set(collector_source.load(Ordering::Relaxed) as f64));
+        source.store(42, Ordering::Relaxed);
+        assert_eq!(r.snapshot().gauge_value("collected", &[]), Some(42.0));
+    }
+}

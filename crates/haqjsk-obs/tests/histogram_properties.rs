@@ -1,0 +1,101 @@
+//! Property tests for the log-linear histogram (the ISSUE's three
+//! contracts):
+//!
+//! * **bucket monotonicity** — bucket upper bounds strictly increase, every
+//!   value lands in the bucket that brackets it, and the rendered
+//!   Prometheus `_bucket` series is cumulative;
+//! * **quantile bounds** — any quantile of a non-empty histogram lies
+//!   within the recorded `[min, max]`;
+//! * **shard merging** — observing a value set spread across shards
+//!   produces the same snapshot as observing it all on one shard.
+
+use haqjsk_obs::metrics::{bucket_index, bucket_upper_bound, Histogram, NUM_BUCKETS};
+use haqjsk_obs::{parse_exposition, Registry};
+use proptest::prelude::*;
+
+/// Positive values spanning the resolved range and both overflow ends.
+fn observation() -> impl Strategy<Value = f64> {
+    // exponent ~ [-24, 14] covers underflow and overflow buckets too.
+    (-24.0f64..14.0, 1.0f64..2.0).prop_map(|(e, m)| m * e.exp2())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn bucket_bounds_bracket_every_value(v in observation()) {
+        let i = bucket_index(v);
+        prop_assert!(i < NUM_BUCKETS);
+        prop_assert!(v <= bucket_upper_bound(i), "v={v} above bucket {i} bound");
+        if i > 0 && i < NUM_BUCKETS - 1 {
+            prop_assert!(
+                v >= bucket_upper_bound(i - 1),
+                "v={v} below bucket {i} lower bound"
+            );
+        }
+    }
+
+    #[test]
+    fn rendered_bucket_series_is_cumulative(values in proptest::collection::vec(observation(), 1..200)) {
+        // A fresh registry per case: the rendered text must parse and the
+        // parser itself enforces cumulative buckets and +Inf == _count.
+        let registry = Registry::default();
+        let h = registry.histogram("prop_seconds", "Property-test histogram.", &[]);
+        for &v in &values {
+            h.observe(v);
+        }
+        let text = registry.render_prometheus();
+        let expo = parse_exposition(&text);
+        prop_assert!(expo.is_ok(), "rendered text failed to parse: {:?}\n{text}", expo.err());
+        let expo = expo.unwrap();
+        prop_assert_eq!(
+            expo.value("prop_seconds_count", &[]),
+            Some(values.len() as f64)
+        );
+    }
+
+    #[test]
+    fn quantiles_stay_within_min_max(
+        values in proptest::collection::vec(observation(), 1..200),
+        q in 0.0f64..1.001,
+    ) {
+        let h = Histogram::new();
+        for &v in &values {
+            h.observe(v);
+        }
+        let snap = h.snapshot();
+        let estimate = snap.quantile(q);
+        prop_assert!(
+            estimate >= snap.min && estimate <= snap.max,
+            "quantile({q})={estimate} outside [{}, {}]",
+            snap.min,
+            snap.max
+        );
+    }
+
+    #[test]
+    fn merged_shards_match_single_shard(
+        values in proptest::collection::vec((observation(), 0usize..64), 1..200),
+    ) {
+        let spread = Histogram::new();
+        let single = Histogram::new();
+        for &(v, shard) in &values {
+            spread.observe_shard(shard, v);
+            single.observe_shard(0, v);
+        }
+        let a = spread.snapshot();
+        let b = single.snapshot();
+        prop_assert_eq!(a.count, b.count);
+        prop_assert_eq!(&a.buckets, &b.buckets);
+        prop_assert_eq!(a.min, b.min);
+        prop_assert_eq!(a.max, b.max);
+        // Sums are f64 accumulations in different orders; they agree to
+        // rounding.
+        prop_assert!(
+            (a.sum - b.sum).abs() <= 1e-9 * b.sum.abs().max(1.0),
+            "sums diverge: {} vs {}",
+            a.sum,
+            b.sum
+        );
+    }
+}

@@ -1,0 +1,160 @@
+//! `metrics_check` — CI guard over the Prometheus exposition.
+//!
+//! Launches the `haqjsk-serve` binary built into the same target directory,
+//! drives one small fit over the wire so every layer records samples, then
+//! scrapes the `metrics` op once and fails when:
+//!
+//! * the exposition does not survive the strict parser — malformed lines,
+//!   missing or duplicate `# TYPE` declarations (a family registered twice
+//!   with conflicting types can never render a single consistent TYPE
+//!   line), non-cumulative histogram buckets, or a `+Inf` bucket that
+//!   disagrees with `_count`; or
+//! * any of the engine / cache / dist / serve metric families is absent
+//!   from the single scrape.
+//!
+//! Usage: `cargo run --release --bin metrics_check`
+
+use haqjsk::engine::serve::graph_to_json;
+use haqjsk::engine::Json;
+use haqjsk::graph::generators::{cycle_graph, star_graph};
+use haqjsk::obs::parse_exposition;
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+
+fn fail(message: &str) -> ! {
+    eprintln!("metrics_check: {message}");
+    std::process::exit(1);
+}
+
+/// The serve process under test, killed on drop so a failing check never
+/// leaks a listener.
+struct ServeProcess {
+    child: std::process::Child,
+    addr: String,
+}
+
+impl Drop for ServeProcess {
+    fn drop(&mut self) {
+        let _ = self.child.kill();
+        let _ = self.child.wait();
+    }
+}
+
+fn spawn_serve() -> ServeProcess {
+    let bin = std::env::current_exe()
+        .expect("current exe path")
+        .parent()
+        .expect("exe directory")
+        .join("haqjsk-serve");
+    if !bin.exists() {
+        fail(&format!(
+            "{} not found (build the workspace first: cargo build --release)",
+            bin.display()
+        ));
+    }
+    let mut child = std::process::Command::new(bin)
+        .arg("127.0.0.1:0")
+        .env_remove("HAQJSK_BACKEND")
+        .stdout(std::process::Stdio::piped())
+        .stderr(std::process::Stdio::inherit())
+        .spawn()
+        .unwrap_or_else(|e| fail(&format!("cannot spawn haqjsk-serve: {e}")));
+    let stdout = child.stdout.take().expect("piped stdout");
+    let mut line = String::new();
+    BufReader::new(stdout)
+        .read_line(&mut line)
+        .unwrap_or_else(|e| fail(&format!("cannot read serve banner: {e}")));
+    // Banner shape: "haqjsk-serve listening on 127.0.0.1:PORT (...)".
+    let addr = line
+        .split_whitespace()
+        .find(|token| {
+            token.contains(':')
+                && token
+                    .rsplit(':')
+                    .next()
+                    .is_some_and(|p| p.parse::<u16>().is_ok())
+        })
+        .unwrap_or_else(|| fail(&format!("no listen address in banner: {line:?}")))
+        .to_string();
+    ServeProcess { child, addr }
+}
+
+fn request(stream: &mut TcpStream, reader: &mut BufReader<TcpStream>, body: &str) -> Json {
+    stream
+        .write_all(body.as_bytes())
+        .and_then(|()| stream.write_all(b"\n"))
+        .and_then(|()| stream.flush())
+        .unwrap_or_else(|e| fail(&format!("send failed: {e}")));
+    let mut line = String::new();
+    reader
+        .read_line(&mut line)
+        .unwrap_or_else(|e| fail(&format!("read failed: {e}")));
+    let response =
+        Json::parse(line.trim()).unwrap_or_else(|e| fail(&format!("malformed response: {e}")));
+    if response.get("ok").and_then(Json::as_bool) != Some(true) {
+        fail(&format!("request {body} failed: {response}"));
+    }
+    response
+}
+
+fn main() {
+    let serve = spawn_serve();
+    let stream = TcpStream::connect(&serve.addr)
+        .unwrap_or_else(|e| fail(&format!("cannot connect to {}: {e}", serve.addr)));
+    let mut reader = BufReader::new(stream.try_clone().expect("clone stream"));
+    let mut stream = stream;
+
+    // One small fit so the engine Gram histograms and feature caches carry
+    // real samples in the scrape.
+    let graphs: Vec<Json> = (5..9)
+        .flat_map(|n| {
+            [
+                graph_to_json(&cycle_graph(n)),
+                graph_to_json(&star_graph(n)),
+            ]
+        })
+        .collect();
+    request(
+        &mut stream,
+        &mut reader,
+        &format!(
+            "{{\"cmd\":\"fit\",\"graphs\":{},\"variant\":\"A\",\"config\":{{\
+             \"hierarchy_levels\":2,\"num_prototypes\":8,\"layer_cap\":3,\
+             \"kmeans_max_iterations\":15}}}}",
+            Json::Arr(graphs)
+        ),
+    );
+
+    // The one scrape under test.
+    let response = request(&mut stream, &mut reader, "{\"cmd\":\"metrics\"}");
+    let text = response
+        .get("prometheus")
+        .and_then(Json::as_str)
+        .unwrap_or_else(|| fail("metrics response carries no 'prometheus' text"));
+    let exposition = parse_exposition(text)
+        .unwrap_or_else(|e| fail(&format!("unparseable exposition: {e}\n---\n{text}")));
+
+    let required = [
+        "haqjsk_gram_build_seconds",
+        "haqjsk_kernel_gram_seconds",
+        "haqjsk_cache_hits_total",
+        "haqjsk_cache_entries",
+        "haqjsk_eigen_batched_calls_total",
+        "haqjsk_dist_grams_total",
+        "haqjsk_dist_workers",
+        "haqjsk_serve_requests_total",
+        "haqjsk_serve_request_seconds",
+        "haqjsk_serve_inflight",
+    ];
+    for family in required {
+        if !exposition.has_family(family) {
+            fail(&format!("scrape is missing metric family {family}"));
+        }
+    }
+
+    println!(
+        "metrics_check: OK — {} samples across {} typed families; engine, cache, dist and serve all present in one scrape",
+        exposition.samples.len(),
+        exposition.types.len()
+    );
+}

@@ -92,6 +92,11 @@ pub use haqjsk_dist as dist;
 /// `haqjsk-kernels`).
 pub use haqjsk_kernels as kernels;
 
+/// Observability substrate — the process-wide metrics registry (counters,
+/// gauges, log-linear latency histograms), span tracer, and Prometheus
+/// text exposition (re-export of `haqjsk-obs`). See `docs/observability.md`.
+pub use haqjsk_obs as obs;
+
 /// The HAQJSK kernels (re-export of `haqjsk-core`).
 pub use haqjsk_core as core;
 

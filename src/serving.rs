@@ -21,6 +21,8 @@
 //! | `save`       | —                                                 | persisted model text |
 //! | `load`       | `model`, opt. `graphs`, opt. `labels`             | restores a persisted model |
 //! | `stats`      | —                                                 | engine threads + feature-cache counters |
+//! | `metrics`    | —                                                 | the metrics registry as Prometheus text + structured JSON |
+//! | `trace_dump` | —                                                 | drains the span tracer's ring buffers as JSON lines |
 //!
 //! Graphs travel as `{"n":N,"edges":[[u,v],...],"labels":[...]?}`. Config
 //! fields (all optional): `hierarchy_levels`, `num_prototypes`, `layer_cap`,
@@ -40,6 +42,15 @@
 //! `distributed` object with per-worker tiles
 //! dispatched/completed/re-dispatched, bytes shipped, and the
 //! dataset-dedup hit rate.
+//!
+//! Observability: every request is counted and timed into the process-wide
+//! metrics registry (`haqjsk_serve_*` families, labelled by sanitised op —
+//! that instrumentation lives in the engine's serve transport). `metrics`
+//! exposes the whole registry — engine, cache, eigen-batch, distributed and
+//! serve families in one scrape — as Prometheus text plus an engine-`Json`
+//! snapshot; `stats` keeps its historical field names but its aggregate
+//! cache and eigen counters are read back out of the same registry. See
+//! `docs/observability.md`.
 
 use crate::core::{
     model_from_string, model_to_string, AlignedGraph, HaqjskConfig, HaqjskModel, HaqjskVariant,
@@ -48,7 +59,7 @@ use crate::dist::{Coordinator, DistConfig, DistStats};
 use crate::engine::serve::{error_response, graph_from_json, Handler, Server};
 use crate::engine::{BackendKind, CacheConfig, Engine, FeatureCache, Json, ShardStats};
 use crate::graph::Graph;
-use crate::kernels::{density_cache_shard_stats, density_cache_stats, KernelMatrix};
+use crate::kernels::{density_cache_shard_stats, KernelMatrix};
 use crate::quantum::von_neumann_entropy;
 use std::sync::{Arc, Mutex};
 
@@ -74,9 +85,24 @@ pub struct ServerState {
 /// Builds the serving handler and binds it on `addr` (use port `0` for an
 /// ephemeral port). Returns the running server.
 pub fn spawn_server(addr: &str) -> std::io::Result<Server> {
+    register_metric_exporters();
     let state = Arc::new(Mutex::new(ServerState::default()));
     let handler: Arc<dyn Handler> = Arc::new(move |request: &Json| handle(&state, request));
     Server::spawn(addr, handler)
+}
+
+/// Registers every layer's registry exporters (feature-cache counters,
+/// batched-eigensolver stats, distributed-pool stats) so one registry
+/// snapshot covers the whole process. Idempotent; called by
+/// [`spawn_server`] and by the `stats`/`metrics` handlers so embedded
+/// (non-serving) users of [`handle`] see the same families.
+pub fn register_metric_exporters() {
+    static ONCE: std::sync::Once = std::sync::Once::new();
+    ONCE.call_once(|| {
+        crate::kernels::register_cache_metrics();
+        crate::linalg::register_batch_metrics();
+        crate::dist::register_dist_metrics();
+    });
 }
 
 /// Dispatches one request against the shared state.
@@ -94,6 +120,8 @@ pub fn handle(state: &Mutex<ServerState>, request: &Json) -> Json {
         "save" => cmd_save(state),
         "load" => cmd_load(state, request),
         "stats" => cmd_stats(state),
+        "metrics" => cmd_metrics(),
+        "trace_dump" => cmd_trace_dump(),
         other => error_response(&format!("unknown command '{other}'")),
     }
 }
@@ -477,10 +505,59 @@ fn shard_stats_array(shards: &[ShardStats]) -> Json {
     Json::Arr(shards.iter().map(shard_stats_to_json).collect())
 }
 
+/// The whole metrics registry in one response: Prometheus text exposition
+/// (`prometheus`) plus the engine-`Json` snapshot (`metrics`). One scrape
+/// covers the engine, cache, eigen-batch, distributed and serve families.
+fn cmd_metrics() -> Json {
+    register_metric_exporters();
+    let snapshot = crate::obs::registry().snapshot();
+    Json::obj([
+        ("ok", Json::Bool(true)),
+        (
+            "prometheus",
+            Json::Str(crate::obs::render_prometheus(&snapshot)),
+        ),
+        ("metrics", crate::engine::obs::snapshot_to_json(&snapshot)),
+    ])
+}
+
+/// Drains the span tracer's per-thread ring buffers: `spans` counts the
+/// records, `jsonl` carries them one JSON object per line (empty when
+/// tracing is disabled via `HAQJSK_TRACE=0`).
+fn cmd_trace_dump() -> Json {
+    let (spans, jsonl) = crate::obs::drain_trace_jsonl();
+    Json::obj([
+        ("ok", Json::Bool(true)),
+        ("enabled", Json::Bool(crate::obs::trace_enabled())),
+        ("spans", Json::Num(spans as f64)),
+        ("jsonl", Json::Str(jsonl)),
+    ])
+}
+
 fn cmd_stats(state: &Mutex<ServerState>) -> Json {
+    // The aggregate cache and eigen-batch counters are read back out of the
+    // metrics registry — the same numbers a `metrics` scrape reports — so
+    // `stats` and Prometheus can never disagree. Per-shard arrays, the
+    // per-model aligned cache and the `distributed` object keep their
+    // direct reads (they are not registry families).
+    register_metric_exporters();
+    let snapshot = crate::obs::registry().snapshot();
+    let counter = |name: &str, cache: &str| {
+        Json::Num(
+            snapshot
+                .counter_value(name, &[("cache", cache)])
+                .unwrap_or(0) as f64,
+        )
+    };
+    let gauge = |name: &str, cache: &str| {
+        Json::Num(
+            snapshot
+                .gauge_value(name, &[("cache", cache)])
+                .unwrap_or(0.0),
+        )
+    };
     let guard = state.lock().expect("state poisoned");
     let engine = Engine::global();
-    let density = density_cache_stats();
     let mut pairs = vec![
         ("ok", Json::Bool(true)),
         ("engine_threads", Json::Num(engine.threads() as f64)),
@@ -488,16 +565,25 @@ fn cmd_stats(state: &Mutex<ServerState>) -> Json {
             "engine_backend",
             Json::Str(engine.backend().label().to_string()),
         ),
-        ("density_cache_hits", Json::Num(density.hits as f64)),
-        ("density_cache_misses", Json::Num(density.misses as f64)),
-        ("density_cache_entries", Json::Num(density.entries as f64)),
+        (
+            "density_cache_hits",
+            counter("haqjsk_cache_hits_total", "density"),
+        ),
+        (
+            "density_cache_misses",
+            counter("haqjsk_cache_misses_total", "density"),
+        ),
+        (
+            "density_cache_entries",
+            gauge("haqjsk_cache_entries", "density"),
+        ),
         (
             "density_cache_evictions",
-            Json::Num(density.evictions as f64),
+            counter("haqjsk_cache_evictions_total", "density"),
         ),
         (
             "density_cache_admission_rejects",
-            Json::Num(density.admission_rejects as f64),
+            counter("haqjsk_cache_admission_rejects_total", "density"),
         ),
         (
             "cache_admission",
@@ -510,7 +596,7 @@ fn cmd_stats(state: &Mutex<ServerState>) -> Json {
         ),
         (
             "density_cache_resident_bytes",
-            Json::Num(density.resident_bytes as f64),
+            gauge("haqjsk_cache_resident_bytes", "density"),
         ),
         (
             "density_cache_shards",
@@ -520,34 +606,55 @@ fn cmd_stats(state: &Mutex<ServerState>) -> Json {
     // The spectral/alignment artifact caches introduced with the per-pair
     // fast path (entropies and Umeyama bases hoisted out of the Gram pair
     // loop) are observable alongside the density cache they derive from.
-    let spectral = crate::kernels::features::spectral_cache().stats();
-    let alignment = crate::kernels::features::alignment_cache().stats();
-    let wl = crate::kernels::features::wl_cache().stats();
-    pairs.push(("spectral_cache_hits", Json::Num(spectral.hits as f64)));
-    pairs.push(("spectral_cache_misses", Json::Num(spectral.misses as f64)));
-    pairs.push(("spectral_cache_entries", Json::Num(spectral.entries as f64)));
-    pairs.push(("alignment_cache_hits", Json::Num(alignment.hits as f64)));
-    pairs.push(("alignment_cache_misses", Json::Num(alignment.misses as f64)));
+    pairs.push((
+        "spectral_cache_hits",
+        counter("haqjsk_cache_hits_total", "spectral"),
+    ));
+    pairs.push((
+        "spectral_cache_misses",
+        counter("haqjsk_cache_misses_total", "spectral"),
+    ));
+    pairs.push((
+        "spectral_cache_entries",
+        gauge("haqjsk_cache_entries", "spectral"),
+    ));
+    pairs.push((
+        "alignment_cache_hits",
+        counter("haqjsk_cache_hits_total", "alignment"),
+    ));
+    pairs.push((
+        "alignment_cache_misses",
+        counter("haqjsk_cache_misses_total", "alignment"),
+    ));
     pairs.push((
         "alignment_cache_entries",
-        Json::Num(alignment.entries as f64),
+        gauge("haqjsk_cache_entries", "alignment"),
     ));
-    pairs.push(("wl_cache_hits", Json::Num(wl.hits as f64)));
-    pairs.push(("wl_cache_misses", Json::Num(wl.misses as f64)));
-    pairs.push(("wl_cache_entries", Json::Num(wl.entries as f64)));
+    pairs.push(("wl_cache_hits", counter("haqjsk_cache_hits_total", "wl")));
+    pairs.push((
+        "wl_cache_misses",
+        counter("haqjsk_cache_misses_total", "wl"),
+    ));
+    pairs.push(("wl_cache_entries", gauge("haqjsk_cache_entries", "wl")));
     // Batched-eigensolver counters: how much of the mixture eigen work the
     // tile-batched Gram paths actually ran lane-parallel.
-    let batch = crate::linalg::batch_solve_stats();
-    pairs.push(("eigen_batched_calls", Json::Num(batch.batched_calls as f64)));
-    pairs.push((
-        "eigen_batched_matrices",
-        Json::Num(batch.batched_matrices as f64),
-    ));
+    let plain = |name: &str| snapshot.counter_value(name, &[]).unwrap_or(0) as f64;
+    let batched_calls = plain("haqjsk_eigen_batched_calls_total");
+    let batched_matrices = plain("haqjsk_eigen_batched_matrices_total");
+    pairs.push(("eigen_batched_calls", Json::Num(batched_calls)));
+    pairs.push(("eigen_batched_matrices", Json::Num(batched_matrices)));
     pairs.push((
         "eigen_scalar_fallbacks",
-        Json::Num(batch.scalar_fallbacks as f64),
+        Json::Num(plain("haqjsk_eigen_scalar_fallbacks_total")),
     ));
-    pairs.push(("eigen_mean_batch", Json::Num(batch.mean_batch())));
+    pairs.push((
+        "eigen_mean_batch",
+        Json::Num(if batched_calls > 0.0 {
+            batched_matrices / batched_calls
+        } else {
+            0.0
+        }),
+    ));
     // Distributed-pool state, when a worker pool is installed: per-worker
     // tiles dispatched / completed / re-dispatched, bytes shipped, and the
     // dataset-dedup hit rate.
