@@ -323,6 +323,13 @@ fn main() {
         let report = Json::obj([
             ("bench", Json::Str("pairwise".to_string())),
             ("smoke", Json::Bool(smoke)),
+            // Which eigensolver SIMD path produced these timings; recorded
+            // runs from different machines (or forced `HAQJSK_SIMD` legs)
+            // must be comparable.
+            (
+                "simd_path",
+                Json::Str(haqjsk_linalg::active_simd_label().to_string()),
+            ),
             ("results", Json::Arr(results)),
         ]);
         write_json_report(&path, &report);

@@ -180,6 +180,11 @@ fn main() {
     if let Some(path) = json_path {
         let report = Json::obj([
             ("bench", Json::Str("scaling".to_string())),
+            // Which eigensolver SIMD path produced these timings.
+            (
+                "simd_path",
+                Json::Str(haqjsk_linalg::active_simd_label().to_string()),
+            ),
             ("ctqw_density", Json::Arr(ctqw_rows)),
             ("haqjsk_gram", Json::Arr(gram_rows)),
             ("engine_gram", Json::Arr(engine_rows)),

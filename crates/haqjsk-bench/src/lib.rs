@@ -153,9 +153,9 @@ pub fn dump_metrics_if_requested() {
 }
 
 /// One-line description of the engine executing all Gram computation:
-/// worker count (with its `HAQJSK_THREADS` provenance) and the density-cache
-/// counters. The table binaries print it so recorded runs document their
-/// parallel configuration.
+/// worker count (with its `HAQJSK_THREADS` provenance), the dispatched
+/// eigensolver SIMD path and the density-cache counters. The table binaries
+/// print it so recorded runs document their parallel configuration.
 pub fn engine_banner() -> String {
     let threads = haqjsk_engine::Engine::global().threads();
     let source = if std::env::var(haqjsk_engine::THREADS_ENV_VAR).is_ok() {
@@ -164,9 +164,10 @@ pub fn engine_banner() -> String {
         "auto"
     };
     let backend = haqjsk_engine::Engine::global().backend();
+    let simd = haqjsk_linalg::active_simd_label();
     let cache = haqjsk_kernels::density_cache_stats();
     format!(
-        "engine: {threads} workers ({source}), '{backend}' backend, density cache {} hits / {} misses / {} evictions",
+        "engine: {threads} workers ({source}), '{backend}' backend, '{simd}' eigensolver lanes, density cache {} hits / {} misses / {} evictions",
         cache.hits, cache.misses, cache.evictions
     )
 }

@@ -19,9 +19,20 @@ const MAX_TILE: usize = 64;
 /// Floor on the tile width of whole-tile (batched) evaluation: a `T x T`
 /// tile yields at least `T(T+1)/2` pairs, and batched pair kernels want
 /// enough pairs per tile to fill their SIMD lanes even after chunking by
-/// mixture dimension class (8 lanes in `haqjsk-linalg`'s batched
-/// eigensolver).
-const MIN_BATCH_TILE: usize = 8;
+/// mixture dimension class. The lane count is a runtime property of the
+/// dispatched SIMD path (16 under AVX-512F, 8 otherwise — see
+/// `haqjsk_linalg::max_batch_lanes`), so the floor is computed, not a
+/// constant: the smallest `T` whose `T(T+1)/2` pairs cover four full lane
+/// chunks (8 when lanes = 8, matching the pre-SIMD floor; 11 when
+/// lanes = 16).
+fn min_batch_tile() -> usize {
+    let lanes = haqjsk_linalg::max_batch_lanes();
+    let mut t = 2;
+    while t * (t + 1) / 2 < 4 * lanes {
+        t += 1;
+    }
+    t
+}
 
 /// Picks a tile width for an `n x n` Gram computation so that the upper
 /// triangle yields roughly four jobs per worker — enough slack for load
@@ -43,7 +54,7 @@ pub fn auto_tile_width(n: usize, workers: usize) -> usize {
 /// is the hot path, and starving its lanes costs more than a worker idling
 /// at the tail.
 pub fn auto_tile_width_batched(n: usize, workers: usize) -> usize {
-    auto_tile_width(n, workers).max(MIN_BATCH_TILE)
+    auto_tile_width(n, workers).max(min_batch_tile())
 }
 
 /// Shared mutable output buffer; sound because tiles write disjoint entries.
@@ -307,4 +318,24 @@ where
         }
     });
     values
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn batched_tile_floor_tracks_the_simd_lane_width() {
+        let t = min_batch_tile();
+        let lanes = haqjsk_linalg::max_batch_lanes();
+        // Smallest T whose pair count covers four full lane chunks.
+        assert!(t * (t + 1) / 2 >= 4 * lanes);
+        assert!((t - 1) * t / 2 < 4 * lanes);
+        for workers in [1, 4, 16] {
+            for n in [0, 5, 100, 1000] {
+                assert!(auto_tile_width_batched(n, workers) >= t);
+                assert!(auto_tile_width_batched(n, workers) >= auto_tile_width(n, workers));
+            }
+        }
+    }
 }

@@ -78,6 +78,60 @@ fn tile_batched_gram_is_byte_identical_to_per_pair_on_all_backends() {
     );
 }
 
+/// Forcing each compiled eigensolver SIMD path must leave every tile-batched
+/// Gram matrix byte-identical: the explicit-SIMD lanes are a pure execution
+/// strategy, invisible in the numbers all the way up the kernel stack. The
+/// scalar-forced Gram is the reference; each other available ISA is forced
+/// via the process-global override and compared entry by entry.
+#[test]
+fn forced_simd_paths_leave_grams_byte_identical() {
+    struct ClearOverride;
+    impl Drop for ClearOverride {
+        fn drop(&mut self) {
+            haqjsk_linalg::set_simd_path(None).expect("clearing the override never fails");
+        }
+    }
+
+    let graphs = acceptance_dataset();
+    let kernels: Vec<(&str, &dyn GraphKernel)> = vec![
+        ("QJSK (unaligned)", &QjskUnaligned { mu: 1.0 }),
+        ("QJSK (aligned)", &QjskAligned { mu: 1.0 }),
+        (
+            "JTQK",
+            &JensenTsallisKernel {
+                q: 2.0,
+                wl_iterations: 3,
+            },
+        ),
+    ];
+    let _guard = ClearOverride;
+    for (name, kernel) in kernels {
+        haqjsk_linalg::set_simd_path(Some(haqjsk_linalg::SimdPath::Scalar)).unwrap();
+        let reference = kernel.gram_matrix(&graphs);
+        for path in haqjsk_linalg::available_simd_paths() {
+            if path == haqjsk_linalg::SimdPath::Scalar {
+                continue;
+            }
+            haqjsk_linalg::set_simd_path(Some(path)).unwrap();
+            let forced = kernel.gram_matrix(&graphs);
+            for (k, (a, b)) in forced
+                .matrix()
+                .data()
+                .iter()
+                .zip(reference.matrix().data())
+                .enumerate()
+            {
+                assert_eq!(
+                    a.to_bits(),
+                    b.to_bits(),
+                    "{name} with forced '{}' lanes: Gram entry {k} drifted ({a} vs {b})",
+                    path.label()
+                );
+            }
+        }
+    }
+}
+
 /// The original dictionary-based WL refinement (pre-content-hashing), as the
 /// JTQK local factor ran it per pair: a joint two-graph refinement with a
 /// shared compressed-label dictionary, reproduced here as the regression

@@ -10,8 +10,11 @@
 //! * the K same-dimension matrices are transposed into a
 //!   **structure-of-arrays** (SoA) layout — element `(i, j)` of all K
 //!   matrices sits contiguously — so every inner loop of the Householder
-//!   reduction becomes a plain `f64` array loop over lanes that LLVM can
-//!   auto-vectorize,
+//!   reduction becomes a `f64` array loop over lanes that maps directly
+//!   onto vector registers: the hot phases dispatch to the explicit-SIMD
+//!   kernels of [`crate::simd`] (AVX-512F / AVX2 / NEON, picked at runtime
+//!   and overridable via `HAQJSK_SIMD`), with the plain lane loops in this
+//!   module as the always-compiled scalar fallback,
 //! * the Householder reduction and the implicit-QL sweep run
 //!   **lane-parallel**: all lanes advance through the same loop structure,
 //!   but every data-dependent decision (the zero-scale skip, the QL split
@@ -40,21 +43,33 @@ use crate::eigen::{
 };
 use crate::error::LinalgError;
 use crate::matrix::Matrix;
+use crate::simd::{self, SimdPath};
 use crate::Result;
 use std::cell::RefCell;
 use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 
-/// Maximum number of matrices solved by one SoA kernel invocation. Eight
-/// `f64` lanes fill an AVX-512 register (two AVX2 registers) and keep the
-/// SoA working set of graph-sized matrices inside L2.
-pub const MAX_BATCH_LANES: usize = 8;
+/// Hard cap on matrices solved by one SoA kernel invocation (sizes the
+/// per-lane state arrays). The *effective* chunk width is per dispatch
+/// path — [`max_batch_lanes`](crate::simd::max_batch_lanes): 16 under
+/// AVX-512F (two ZMM registers per SoA element row), 8 for AVX2 / NEON /
+/// scalar (the pre-SIMD width, which keeps the SoA working set of
+/// graph-sized matrices inside L2).
+pub const MAX_BATCH_LANES: usize = 16;
 
 /// Batched solves are counted process-wide so benchmarks and serving stats
 /// can report how much of the eigen work actually runs batched.
 static BATCHED_CALLS: AtomicU64 = AtomicU64::new(0);
 static BATCHED_MATRICES: AtomicU64 = AtomicU64::new(0);
 static SCALAR_FALLBACKS: AtomicU64 = AtomicU64::new(0);
+/// SoA kernel invocations by dispatched SIMD path, indexed by
+/// [`SimdPath::index`] (scalar, avx2, avx512, neon).
+static PATH_CALLS: [AtomicU64; 4] = [
+    AtomicU64::new(0),
+    AtomicU64::new(0),
+    AtomicU64::new(0),
+    AtomicU64::new(0),
+];
 
 /// Cumulative counters of the batched eigensolver (process-wide).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -65,6 +80,12 @@ pub struct BatchSolveStats {
     pub batched_matrices: u64,
     /// Matrices solved through the scalar straggler fallback.
     pub scalar_fallbacks: u64,
+    /// SoA kernel invocations that executed the Householder/QL phases,
+    /// split by the SIMD path they dispatched to. Indexed like
+    /// [`SimdPath::ALL`] (scalar, avx2, avx512, neon); pair with
+    /// [`SimdPath::label`] for reporting. Dimension-1 chunks return before
+    /// either phase runs, so these can undercount `batched_calls`.
+    pub simd_path_calls: [u64; 4],
 }
 
 impl BatchSolveStats {
@@ -80,10 +101,15 @@ impl BatchSolveStats {
 
 /// Snapshot of the process-wide batched-solve counters.
 pub fn batch_solve_stats() -> BatchSolveStats {
+    let mut simd_path_calls = [0u64; 4];
+    for (slot, counter) in simd_path_calls.iter_mut().zip(&PATH_CALLS) {
+        *slot = counter.load(Ordering::Relaxed);
+    }
     BatchSolveStats {
         batched_calls: BATCHED_CALLS.load(Ordering::Relaxed),
         batched_matrices: BATCHED_MATRICES.load(Ordering::Relaxed),
         scalar_fallbacks: SCALAR_FALLBACKS.load(Ordering::Relaxed),
+        simd_path_calls,
     }
 }
 
@@ -103,9 +129,12 @@ fn lane_histogram() -> &'static haqjsk_obs::Histogram {
 
 /// Registers the batched-eigensolver counters with the process-global
 /// metrics registry: a collector re-exports the atomic totals as
-/// `haqjsk_eigen_*` counters at every snapshot, and the lane-occupancy
-/// histogram family is created eagerly so it appears in every scrape.
-/// Idempotent.
+/// `haqjsk_eigen_*` counters at every snapshot, the lane-occupancy
+/// histogram family is created eagerly so it appears in every scrape, and
+/// the SIMD dispatch is reported as an info-style gauge family
+/// (`haqjsk_eigen_simd_path{path=...}`: 1 on the active path, 0 on the
+/// rest) plus per-path solve counters
+/// (`haqjsk_eigen_simd_calls_total{path=...}`). Idempotent.
 pub fn register_batch_metrics() {
     static ONCE: std::sync::Once = std::sync::Once::new();
     ONCE.call_once(|| {
@@ -126,11 +155,36 @@ pub fn register_batch_metrics() {
             "Matrices solved through the scalar straggler fallback.",
             &[],
         );
+        let mut path_gauges = Vec::new();
+        let mut path_counters = Vec::new();
+        for path in SimdPath::ALL {
+            path_gauges.push((
+                path,
+                registry.gauge(
+                    "haqjsk_eigen_simd_path",
+                    "Active SIMD dispatch path of the batched eigensolver \
+                     (info-style: 1 on the active path, 0 elsewhere).",
+                    &[("path", path.label())],
+                ),
+            ));
+            path_counters.push(registry.counter(
+                "haqjsk_eigen_simd_calls_total",
+                "SoA batched eigensolve invocations by dispatched SIMD path.",
+                &[("path", path.label())],
+            ));
+        }
         registry.register_collector(move || {
             let stats = batch_solve_stats();
             calls.store(stats.batched_calls);
             matrices.store(stats.batched_matrices);
             fallbacks.store(stats.scalar_fallbacks);
+            let active = simd::active_simd_label();
+            for (path, gauge) in &path_gauges {
+                gauge.set(if path.label() == active { 1.0 } else { 0.0 });
+            }
+            for (path, counter) in SimdPath::ALL.iter().zip(&path_counters) {
+                counter.store(stats.simd_path_calls[path.index()]);
+            }
         });
     });
 }
@@ -509,12 +563,19 @@ impl BatchEigenWorkspace {
     /// **bit-identical** to `symmetric_eigenvalues(mats[k])`.
     ///
     /// Matrices are grouped by dimension and each group is solved in SoA
-    /// chunks of up to [`MAX_BATCH_LANES`] lanes; a chunk of one matrix
-    /// (straggler) takes the scalar path. Validation matches the scalar
-    /// driver (square + symmetric within tolerance); the first invalid
-    /// matrix fails the whole call, as does a (pathological) lane that
-    /// exceeds the QL iteration cap.
+    /// chunks of up to [`max_batch_lanes`](crate::simd::max_batch_lanes)
+    /// lanes (16 under AVX-512F, 8 otherwise); a chunk of one matrix
+    /// (straggler) takes the scalar path. The Householder/QL phases run on
+    /// the explicit-SIMD path resolved by
+    /// [`active_simd_path`](crate::simd::active_simd_path) — every path
+    /// produces the same bits, so the dispatch choice is invisible in the
+    /// output. Validation matches the scalar driver (square + symmetric
+    /// within tolerance); the first invalid matrix fails the whole call,
+    /// as does a (pathological) lane that exceeds the QL iteration cap or
+    /// a malformed `HAQJSK_SIMD` override.
     pub fn eigenvalues(&mut self, mats: &[&Matrix]) -> Result<Vec<Vec<f64>>> {
+        let path = simd::active_simd_path()?;
+        let lane_cap = path.batch_lanes();
         let mut out: Vec<Vec<f64>> = vec![Vec::new(); mats.len()];
         let mut groups: BTreeMap<usize, Vec<usize>> = BTreeMap::new();
         for (idx, mat) in mats.iter().enumerate() {
@@ -524,7 +585,7 @@ impl BatchEigenWorkspace {
             }
         }
         for (&n, idxs) in &groups {
-            for chunk in idxs.chunks(MAX_BATCH_LANES) {
+            for chunk in idxs.chunks(lane_cap) {
                 if chunk.len() == 1 {
                     // Straggler: the scalar path has less bookkeeping and
                     // produces the same bits.
@@ -532,7 +593,7 @@ impl BatchEigenWorkspace {
                     SCALAR_FALLBACKS.fetch_add(1, Ordering::Relaxed);
                     lane_histogram().observe(1.0);
                 } else {
-                    self.solve_chunk(mats, chunk, n, &mut out)?;
+                    self.solve_chunk(mats, chunk, n, path, &mut out)?;
                 }
             }
         }
@@ -544,6 +605,7 @@ impl BatchEigenWorkspace {
         mats: &[&Matrix],
         chunk: &[usize],
         n: usize,
+        path: SimdPath,
         out: &mut [Vec<f64>],
     ) -> Result<()> {
         let lanes = chunk.len();
@@ -581,7 +643,11 @@ impl BatchEigenWorkspace {
 
         d.fill(0.0);
         e.fill(0.0);
-        batch_tred2(soa, n, lanes, e, &mut self.lanes);
+        PATH_CALLS[path.index()].fetch_add(1, Ordering::Relaxed);
+        match path {
+            SimdPath::Scalar => batch_tred2(soa, n, lanes, e, &mut self.lanes),
+            _ => simd::dispatch_tred2(path, soa, n, lanes, e),
+        }
         // The scalar driver reads the reduced diagonal into d after the
         // Householder phase; do the same per lane.
         for i in 0..n {
@@ -590,7 +656,10 @@ impl BatchEigenWorkspace {
                 d[i * lanes + lane] = soa[zii + lane];
             }
         }
-        batch_tqli(d, e, n, lanes, &mut self.lanes)?;
+        match path {
+            SimdPath::Scalar => batch_tqli(d, e, n, lanes, &mut self.lanes)?,
+            _ => simd::dispatch_tqli(path, d, e, n, lanes)?,
+        }
 
         for (lane, &idx) in chunk.iter().enumerate() {
             let mut vals: Vec<f64> = (0..n).map(|i| d[i * lanes + lane]).collect();
@@ -612,8 +681,9 @@ thread_local! {
 /// bit-identical to [`symmetric_eigenvalues`](crate::symmetric_eigenvalues)
 /// on that matrix.
 ///
-/// Same-dimension matrices are solved [`MAX_BATCH_LANES`] at a time through
-/// the lane-parallel SoA kernel (mixed-size batches are chunked by
+/// Same-dimension matrices are solved
+/// [`max_batch_lanes`](crate::simd::max_batch_lanes) at a time through the
+/// lane-parallel SoA kernel (mixed-size batches are chunked by
 /// dimension class); stragglers fall back to the scalar path. Graph-sized
 /// batches reuse a thread-local [`BatchEigenWorkspace`]; batches containing
 /// a matrix above the scalar workspace-dimension limit use a transient one
@@ -740,6 +810,58 @@ mod tests {
         assert!(batch_symmetric_eigenvalues(&[&good, &rect]).is_err());
         let asym = Matrix::from_rows(&[vec![1.0, 5.0], vec![0.0, 1.0]]).unwrap();
         assert!(batch_symmetric_eigenvalues(&[&asym, &good]).is_err());
+    }
+
+    #[test]
+    fn every_available_simd_path_is_bit_identical() {
+        // Forces each compiled path in turn and re-runs the bit-equality
+        // gauntlet: mixed dimensions, zero rows (masked Householder),
+        // oversized batches (straggler tails inside the dispatch blocks).
+        let mut mats: Vec<Matrix> = (0..crate::simd::max_batch_lanes() * 2 + 3)
+            .map(|k| lcg_symmetric([3, 6, 9, 17][k % 4], k as u64 + 900))
+            .collect();
+        let mut sparse = lcg_symmetric(9, 901);
+        for k in 0..9 {
+            sparse[(4, k)] = 0.0;
+            sparse[(k, 4)] = 0.0;
+        }
+        mats.push(sparse);
+        let refs: Vec<&Matrix> = mats.iter().collect();
+        for path in crate::simd::available_simd_paths() {
+            crate::simd::set_simd_path(Some(path)).unwrap();
+            let before = batch_solve_stats().simd_path_calls[path.index()];
+            let batch = batch_symmetric_eigenvalues(&refs).unwrap();
+            assert_bits_equal(&batch, &refs, path.label());
+            let after = batch_solve_stats().simd_path_calls[path.index()];
+            assert!(
+                after > before,
+                "{}: per-path counter must record the dispatch",
+                path.label()
+            );
+        }
+        crate::simd::set_simd_path(None).unwrap();
+    }
+
+    #[test]
+    fn batch_metrics_report_the_simd_path() {
+        register_batch_metrics();
+        let mats: Vec<Matrix> = (0..5).map(|s| lcg_symmetric(7, s + 300)).collect();
+        let refs: Vec<&Matrix> = mats.iter().collect();
+        let _ = batch_symmetric_eigenvalues(&refs).unwrap();
+        let snapshot = haqjsk_obs::registry().snapshot();
+        let mut active = 0;
+        for path in SimdPath::ALL {
+            let v = snapshot
+                .gauge_value("haqjsk_eigen_simd_path", &[("path", path.label())])
+                .expect("info gauge present for every path");
+            if v == 1.0 {
+                active += 1;
+            }
+            assert!(snapshot
+                .counter_value("haqjsk_eigen_simd_calls_total", &[("path", path.label())])
+                .is_some());
+        }
+        assert_eq!(active, 1, "exactly one path is active");
     }
 
     #[test]

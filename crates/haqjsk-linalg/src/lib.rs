@@ -30,6 +30,7 @@ pub mod complex;
 pub mod eigen;
 pub mod error;
 pub mod matrix;
+pub mod simd;
 pub mod solve;
 pub mod stats;
 pub mod vector;
@@ -44,6 +45,10 @@ pub use complex::Complex;
 pub use eigen::{symmetric_eigen, symmetric_eigenvalues, EigenWorkspace, SymmetricEigen};
 pub use error::LinalgError;
 pub use matrix::Matrix;
+pub use simd::{
+    active_simd_label, active_simd_path, available_simd_paths, max_batch_lanes,
+    resolve_simd_env_value, set_simd_path, SimdChoice, SimdPath, SIMD_ENV_VAR,
+};
 pub use solve::{determinant, inverse, solve};
 
 /// Convenience result alias used across the crate.

@@ -1,10 +1,21 @@
 //! Property-based tests for the linear-algebra substrate.
 
 use haqjsk_linalg::{
-    batch_symmetric_eigenvalues, hungarian, symmetric_eigen, symmetric_eigenvalues,
-    BatchEigenWorkspace, EigenWorkspace, Matrix,
+    available_simd_paths, batch_symmetric_eigenvalues, hungarian, set_simd_path, symmetric_eigen,
+    symmetric_eigenvalues, BatchEigenWorkspace, EigenWorkspace, Matrix,
 };
 use proptest::prelude::*;
+
+/// Restores the process-global SIMD override when dropped, so a failing
+/// assertion inside a forced-path test cannot leak a forced path into the
+/// other tests of this binary.
+struct SimdOverrideGuard;
+
+impl Drop for SimdOverrideGuard {
+    fn drop(&mut self) {
+        set_simd_path(None).expect("clearing the SIMD override never fails");
+    }
+}
 
 /// The pre-blocking reference product: plain i-k-j loop, no row blocks.
 fn matmul_unblocked(a: &Matrix, b: &Matrix) -> Matrix {
@@ -141,6 +152,77 @@ proptest! {
                 scalar.iter().map(|x| x.to_bits()).collect::<Vec<_>>(),
                 "workspace path, matrix {}", k
             );
+        }
+    }
+
+    /// Every compiled SIMD path produces eigenvalues bit-identical to the
+    /// scalar values-only driver, across mixed batch sizes, mixed dimension
+    /// classes and straggler chunks narrower than the vector width. The
+    /// scalar reference is computed first (path-independent), then each
+    /// available ISA is forced via the process-global override and compared
+    /// bit for bit.
+    #[test]
+    fn forced_simd_paths_bit_equal_scalar(
+        dims in proptest::collection::vec(1usize..11, 1..40),
+        seed in 0u64..u64::MAX,
+    ) {
+        let mats: Vec<Matrix> = dims
+            .iter()
+            .enumerate()
+            .map(|(k, &n)| {
+                // Same deterministic fill as the scalar batch property,
+                // including occasional exact-zero rows for the masked
+                // Householder skip path.
+                let mut state = seed.wrapping_add(k as u64);
+                let mut next = move || {
+                    state = state
+                        .wrapping_mul(6364136223846793005)
+                        .wrapping_add(1442695040888963407);
+                    ((state >> 33) as f64 / (1u64 << 31) as f64) - 1.0
+                };
+                let mut m = Matrix::zeros(n, n);
+                for i in 0..n {
+                    for j in i..n {
+                        let v = next();
+                        m[(i, j)] = v;
+                        m[(j, i)] = v;
+                    }
+                }
+                if n > 2 && k % 3 == 0 {
+                    let z = k % n;
+                    for t in 0..n {
+                        m[(z, t)] = 0.0;
+                        m[(t, z)] = 0.0;
+                    }
+                }
+                m
+            })
+            .collect();
+        let refs: Vec<&Matrix> = mats.iter().collect();
+        let scalar: Vec<Vec<u64>> = mats
+            .iter()
+            .map(|m| {
+                symmetric_eigenvalues(m)
+                    .unwrap()
+                    .iter()
+                    .map(|x| x.to_bits())
+                    .collect()
+            })
+            .collect();
+        let _guard = SimdOverrideGuard;
+        for path in available_simd_paths() {
+            set_simd_path(Some(path)).unwrap();
+            let forced = batch_symmetric_eigenvalues(&refs).unwrap();
+            for (k, values) in forced.iter().enumerate() {
+                prop_assert_eq!(
+                    values.iter().map(|x| x.to_bits()).collect::<Vec<_>>(),
+                    scalar[k].clone(),
+                    "path {} drifted on matrix {} of dim {}",
+                    path.label(),
+                    k,
+                    mats[k].rows()
+                );
+            }
         }
     }
 

@@ -16,7 +16,7 @@
 
 use crate::density::DensityMatrix;
 use crate::entropy::{entropy_of_spectrum, tsallis_entropy_of_spectrum};
-use haqjsk_linalg::{batch_symmetric_eigenvalues, LinalgError, Matrix, MAX_BATCH_LANES};
+use haqjsk_linalg::{batch_symmetric_eigenvalues, max_batch_lanes, LinalgError, Matrix};
 use std::collections::BTreeMap;
 
 /// The entropy functional applied to each batched mixture spectrum.
@@ -55,8 +55,10 @@ pub fn batch_mixture_entropies(
     // Group pair indices by mixture dimension up front (known without
     // forming anything), then materialise only one lane-width chunk of
     // mixtures at a time: full batches for the solver, while live memory
-    // stays bounded at MAX_BATCH_LANES mixtures no matter how many pairs
-    // the caller's tile carries.
+    // stays bounded at the active SIMD path's lane width (16 under
+    // AVX-512F, 8 otherwise) no matter how many pairs the caller's tile
+    // carries.
+    let lane_cap = max_batch_lanes();
     let mut groups: BTreeMap<usize, Vec<usize>> = BTreeMap::new();
     for (idx, &(rho, sigma)) in pairs.iter().enumerate() {
         groups
@@ -66,7 +68,7 @@ pub fn batch_mixture_entropies(
     }
     let mut out = vec![0.0; pairs.len()];
     for (&n, idxs) in &groups {
-        for chunk in idxs.chunks(MAX_BATCH_LANES) {
+        for chunk in idxs.chunks(lane_cap) {
             let mut mixtures: Vec<DensityMatrix> = Vec::with_capacity(chunk.len());
             for &idx in chunk {
                 let (rho, sigma) = pairs[idx];

@@ -140,6 +140,8 @@ fn main() {
         "haqjsk_cache_hits_total",
         "haqjsk_cache_entries",
         "haqjsk_eigen_batched_calls_total",
+        "haqjsk_eigen_simd_path",
+        "haqjsk_eigen_simd_calls_total",
         "haqjsk_dist_grams_total",
         "haqjsk_dist_workers",
         "haqjsk_serve_requests_total",

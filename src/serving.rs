@@ -655,6 +655,26 @@ fn cmd_stats(state: &Mutex<ServerState>) -> Json {
             0.0
         }),
     ));
+    // SIMD dispatch of the batched eigensolver: the active path plus the
+    // per-path solve counters (mirrors the `haqjsk_eigen_simd_path` info
+    // gauge and `haqjsk_eigen_simd_calls_total` family in the registry).
+    pairs.push((
+        "eigen_simd_path",
+        Json::Str(haqjsk_linalg::active_simd_label().to_string()),
+    ));
+    pairs.push((
+        "eigen_simd_calls",
+        Json::obj(haqjsk_linalg::SimdPath::ALL.map(|path| {
+            (
+                path.label(),
+                Json::Num(
+                    snapshot
+                        .counter_value("haqjsk_eigen_simd_calls_total", &[("path", path.label())])
+                        .unwrap_or(0) as f64,
+                ),
+            )
+        })),
+    ));
     // Distributed-pool state, when a worker pool is installed: per-worker
     // tiles dispatched / completed / re-dispatched, bytes shipped, and the
     // dataset-dedup hit rate.

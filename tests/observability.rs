@@ -151,6 +151,8 @@ fn metrics_scrape_matches_requests_sent() {
         "haqjsk_cache_hits_total",
         "haqjsk_cache_entries",
         "haqjsk_eigen_batched_calls_total",
+        "haqjsk_eigen_simd_path",
+        "haqjsk_eigen_simd_calls_total",
         "haqjsk_dist_grams_total",
         "haqjsk_dist_workers",
         "haqjsk_serve_requests_total",
@@ -174,6 +176,26 @@ fn metrics_scrape_matches_requests_sent() {
         assert!(
             stats.get(field).and_then(Json::as_f64).is_some(),
             "stats missing field {field}"
+        );
+    }
+    // The SIMD dispatch is reported as a path label plus per-path solve
+    // counters, matching the registry's info gauge / counter families.
+    let simd_path = stats
+        .get("eigen_simd_path")
+        .and_then(Json::as_str)
+        .expect("stats missing eigen_simd_path");
+    assert!(
+        ["scalar", "avx2", "avx512", "neon"].contains(&simd_path),
+        "unexpected eigen_simd_path {simd_path:?}"
+    );
+    for path in ["scalar", "avx2", "avx512", "neon"] {
+        assert!(
+            stats
+                .get("eigen_simd_calls")
+                .and_then(|calls| calls.get(path))
+                .and_then(Json::as_f64)
+                .is_some(),
+            "stats missing eigen_simd_calls.{path}"
         );
     }
 
