@@ -42,4 +42,4 @@ pub mod persistence;
 pub use config::{HaqjskConfig, HaqjskVariant};
 pub use hierarchy::PrototypeHierarchy;
 pub use model::{AlignedGraph, HaqjskModel};
-pub use persistence::{model_from_string, model_to_string};
+pub use persistence::{model_artifact_id, model_from_string, model_to_string};

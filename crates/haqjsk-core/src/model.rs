@@ -21,9 +21,11 @@ use crate::config::{HaqjskConfig, HaqjskVariant};
 use crate::correspondence::GraphCorrespondences;
 use crate::db_representation::DbRepresentations;
 use crate::hierarchy::PrototypeHierarchy;
-use haqjsk_engine::{graph_key, BackendKind, CacheWeight, Engine, FeatureCache};
+use haqjsk_engine::{
+    graph_key, BackendKind, CacheWeight, Engine, FeatureCache, RemoteArtifact, RemoteGram,
+};
 use haqjsk_graph::Graph;
-use haqjsk_kernels::kernel::{gram_from_indexed_on, time_kernel_gram};
+use haqjsk_kernels::kernel::{gram_from_tiles_spec, time_kernel_gram};
 use haqjsk_kernels::{GraphKernel, KernelMatrix};
 use haqjsk_linalg::LinalgError;
 use haqjsk_quantum::ctqw::ctqw_density_from_adjacency;
@@ -77,6 +79,12 @@ pub struct HaqjskModel {
 }
 
 impl HaqjskModel {
+    /// Stable remote kernel id for fitted-model Grams: the distributed
+    /// backend ships the persisted model (`persistence::model_to_string`)
+    /// as a content-addressed artifact under this id, and workers
+    /// reconstruct the model with `persistence::model_from_string`.
+    pub const REMOTE_KERNEL_ID: &'static str = "haqjsk_model";
+
     /// Assembles a model from already-learned parts (used when restoring a
     /// persisted model); `fit` is the normal way to obtain one.
     pub fn from_parts(
@@ -258,9 +266,48 @@ impl HaqjskModel {
     ) -> Result<KernelMatrix, LinalgError> {
         let _timer = time_kernel_gram(GraphKernel::name(self));
         let aligned = self.transform_all(graphs)?;
-        Ok(gram_from_indexed_on(graphs.len(), backend, |i, j| {
+        Ok(self.gram_over_aligned(graphs, backend, |i, j| {
             self.kernel(&aligned[i], &aligned[j])
         }))
+    }
+
+    /// Pairwise Gram assembly over already-transformed features through the
+    /// engine's tile seam, attaching a [`RemoteGram`] spec (kernel id
+    /// [`HaqjskModel::REMOTE_KERNEL_ID`] plus the persisted model as a
+    /// content-addressed artifact) when the effective backend is
+    /// distributed — so fitted-model Grams fan out to workers exactly like
+    /// the closed-form kernels instead of falling back to local execution.
+    /// The artifact is only serialised on the distributed path; local
+    /// backends ignore the spec entirely.
+    fn gram_over_aligned(
+        &self,
+        graphs: &[Graph],
+        backend: Option<BackendKind>,
+        entry: impl Fn(usize, usize) -> f64 + Sync,
+    ) -> KernelMatrix {
+        let effective = backend.unwrap_or_else(|| Engine::global().backend());
+        let payload = (effective == BackendKind::Distributed)
+            .then(|| crate::persistence::model_to_string(self));
+        let spec = payload.as_deref().map(|text| RemoteGram {
+            kernel_id: Self::REMOTE_KERNEL_ID,
+            params: Vec::new(),
+            graphs,
+            artifact: Some(RemoteArtifact {
+                id: crate::persistence::model_artifact_id(text),
+                payload: text,
+            }),
+        });
+        gram_from_tiles_spec(
+            graphs.len(),
+            backend,
+            |_| {},
+            |pairs: &[(usize, usize)], out: &mut [f64]| {
+                for (k, &(i, j)) in pairs.iter().enumerate() {
+                    out[k] = entry(i, j);
+                }
+            },
+            spec.as_ref(),
+        )
     }
 
     /// Gram matrix over a dataset with the per-graph aligned features
@@ -284,7 +331,7 @@ impl HaqjskModel {
     ) -> Result<KernelMatrix, LinalgError> {
         let _timer = time_kernel_gram(GraphKernel::name(self));
         let aligned = self.transform_all_cached(graphs, cache)?;
-        Ok(gram_from_indexed_on(graphs.len(), backend, |i, j| {
+        Ok(self.gram_over_aligned(graphs, backend, |i, j| {
             self.kernel(&aligned[i], &aligned[j])
         }))
     }

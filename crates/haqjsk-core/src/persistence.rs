@@ -83,6 +83,20 @@ pub fn model_to_string(model: &HaqjskModel) -> String {
     out
 }
 
+/// Content digest of a serialised model (FNV-1a over the text bytes, 32
+/// hex digits) — the id distributed workers dedup model artifacts on, in
+/// the same shape as the dataset ids of `haqjsk-dist`.
+pub fn model_artifact_id(text: &str) -> String {
+    const OFFSET: u128 = 0x6c62272e07bb014262b821756295c58d;
+    const PRIME: u128 = 0x0000000001000000000000000000013b;
+    let mut state = OFFSET;
+    for byte in text.as_bytes() {
+        state ^= *byte as u128;
+        state = state.wrapping_mul(PRIME);
+    }
+    format!("{state:032x}")
+}
+
 /// Restores a fitted model from the text format.
 pub fn model_from_string(text: &str) -> Result<HaqjskModel, PersistenceError> {
     let mut lines = text.lines().map(str::trim).filter(|l| !l.is_empty());

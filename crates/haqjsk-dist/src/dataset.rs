@@ -1,4 +1,4 @@
-//! Content-hash-deduplicated dataset shipping.
+//! Content-hash-deduplicated dataset shipping and the bounded worker store.
 //!
 //! A worker must hold the dataset before it can evaluate tiles over it, but
 //! re-fitting with overlapping datasets (cross-validation folds, appended
@@ -8,10 +8,9 @@
 //!
 //! 1. `dataset_begin` announces the dataset id plus the *ordered* key list;
 //!    the worker answers with the indices it does **not** already hold in
-//!    its process-lifetime graph store,
+//!    its graph store,
 //! 2. `dataset_graphs` ships only those graphs (chunked), and
-//!    `dataset_commit` materialises the ordered graph vector under the
-//!    dataset id.
+//!    `dataset_commit` verifies the ordered key list is fully resident.
 //!
 //! The dataset id is itself a digest of the ordered key list, so the same
 //! dataset is committed once and instantly reusable, and two datasets that
@@ -19,9 +18,32 @@
 //! every received graph against its announced key — a corrupted or
 //! misordered shipment is rejected instead of silently computing a wrong
 //! Gram matrix.
+//!
+//! ## Bounded residency
+//!
+//! The store reuses the budgeted-LRU machinery of the engine's feature
+//! caches ([`LruList`], [`FrequencySketch`], [`parse_byte_size`]): a byte
+//! budget (`HAQJSK_WORKER_STORE_BUDGET`) bounds resident graphs, with LRU
+//! eviction by default and TinyLFU-biased victim selection opt-in
+//! (`HAQJSK_WORKER_STORE_ADMISSION=tinylfu`). Two protections keep
+//! eviction safe under concurrency with tile evaluation:
+//!
+//! * **Pinning** — [`GraphStore::pin_dataset`] materialises a dataset and
+//!   pins every one of its graphs; a pinned graph is never evicted, so a
+//!   tile mid-Gram cannot lose its inputs.
+//! * **Shipment protection** — between `begin` and `commit`, every key of
+//!   an in-flight dataset is refcount-protected so a concurrent insert
+//!   cannot evict what was just confirmed resident (which would livelock
+//!   the re-ship loop).
+//!
+//! When a tile arrives for a dataset whose graphs *were* evicted, the pin
+//! fails with the missing dataset indices and the worker answers a
+//! `store_miss` — a recoverable signal the coordinator converts into a
+//! targeted re-ship, never a worker death.
 
 use crate::wire;
-use haqjsk_engine::{graph_key, GraphKey};
+use haqjsk_engine::cache::AdmissionPolicy;
+use haqjsk_engine::{graph_key, parse_byte_size, FrequencySketch, GraphKey, LruList};
 use haqjsk_graph::Graph;
 use std::collections::HashMap;
 use std::sync::Arc;
@@ -29,6 +51,18 @@ use std::sync::Arc;
 /// Graphs shipped per `dataset_graphs` message: large enough to amortise
 /// the per-line round trip, small enough to keep single lines bounded.
 pub const SHIP_CHUNK: usize = 64;
+
+/// Environment variable bounding a worker's resident graph bytes
+/// (`parse_byte_size` syntax: `"64m"`, `"1g"`, ...). Unset = unbounded.
+pub const WORKER_STORE_BUDGET_ENV_VAR: &str = "HAQJSK_WORKER_STORE_BUDGET";
+
+/// Environment variable selecting the store's victim-selection policy
+/// (`lru` default, `tinylfu` for frequency-biased eviction).
+pub const WORKER_STORE_ADMISSION_ENV_VAR: &str = "HAQJSK_WORKER_STORE_ADMISSION";
+
+/// Under TinyLFU, how many tail-ward candidates an eviction inspects
+/// before settling for the least-frequent one seen.
+const EVICTION_SCAN: usize = 8;
 
 /// The structural keys of a dataset, in dataset order.
 pub fn dataset_keys(graphs: &[Graph]) -> Vec<GraphKey> {
@@ -50,35 +84,142 @@ pub fn dataset_id(keys: &[GraphKey]) -> String {
     format!("{state:032x}")
 }
 
-/// The worker-side graph store: every graph ever received, keyed by its
-/// structural hash, plus the committed datasets assembled from it.
-///
-/// The store is process-lifetime (workers are cattle; restart one to drop
-/// its store) — the point is that overlapping datasets only ship new
-/// graphs, which the dedup counters of the coordinator make observable.
+/// Approximate heap bytes of a stored graph (adjacency sets + labels).
+fn graph_weight(graph: &Graph) -> usize {
+    // BTreeSet node overhead is ~3 words per element; adjacency stores
+    // each edge twice. Labels are one usize per vertex when present.
+    let n = graph.num_vertices();
+    let m = graph.num_edges();
+    std::mem::size_of::<Graph>()
+        + n * 48
+        + 2 * m * 3 * std::mem::size_of::<usize>()
+        + graph.labels().map_or(0, |l| l.len() * 8)
+}
+
+/// Budget and eviction policy of a [`GraphStore`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct StoreConfig {
+    /// Byte budget over resident graphs; `None` = unbounded.
+    pub budget_bytes: Option<usize>,
+    /// Victim selection under pressure: plain LRU, or TinyLFU-biased
+    /// (keep frequently re-shipped graphs, evict one-dataset wonders).
+    pub admission: AdmissionPolicy,
+}
+
+impl StoreConfig {
+    /// Reads [`WORKER_STORE_BUDGET_ENV_VAR`] and
+    /// [`WORKER_STORE_ADMISSION_ENV_VAR`] on top of the defaults.
+    pub fn from_env() -> StoreConfig {
+        let mut config = StoreConfig::default();
+        if let Ok(raw) = std::env::var(WORKER_STORE_BUDGET_ENV_VAR) {
+            config.budget_bytes = parse_byte_size(&raw);
+        }
+        if let Ok(raw) = std::env::var(WORKER_STORE_ADMISSION_ENV_VAR) {
+            if let Some(policy) = AdmissionPolicy::parse(&raw) {
+                config.admission = policy;
+            }
+        }
+        config
+    }
+}
+
+/// Point-in-time counters of a [`GraphStore`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct StoreStats {
+    /// Distinct graphs resident right now.
+    pub num_graphs: usize,
+    /// Committed datasets (key lists; their graphs may be partly evicted).
+    pub num_datasets: usize,
+    /// Estimated bytes of resident graphs.
+    pub resident_bytes: usize,
+    /// Graphs evicted under budget pressure since startup.
+    pub evictions: u64,
+    /// Tile pins that failed because graphs had been evicted.
+    pub pin_misses: u64,
+}
+
+struct StoredGraph {
+    graph: Graph,
+    weight: usize,
+    node: usize,
+    pins: usize,
+}
+
+/// The worker-side graph store: resident graphs keyed by structural hash,
+/// committed datasets as ordered key lists, and the budget machinery that
+/// bounds residency (see the module docs).
 #[derive(Default)]
 pub struct GraphStore {
-    graphs: HashMap<GraphKey, Graph>,
-    datasets: HashMap<String, Arc<Vec<Graph>>>,
+    config: StoreConfig,
+    graphs: HashMap<GraphKey, StoredGraph>,
+    lru: LruList,
+    sketch: FrequencySketch,
+    resident_bytes: usize,
+    evictions: u64,
+    pin_misses: u64,
+    /// Committed datasets: ordered key lists (not materialised vectors, so
+    /// a committed dataset does not itself pin bytes).
+    datasets: HashMap<String, Arc<Vec<GraphKey>>>,
+    /// Datasets mid-shipment (begin seen, commit not yet).
     pending: HashMap<String, Vec<GraphKey>>,
+    /// Refcounts protecting keys of in-flight shipments from eviction.
+    protected: HashMap<GraphKey, usize>,
+    /// Materialised, pinned datasets currently used by tile evaluation.
+    active: HashMap<String, (Arc<Vec<Graph>>, usize)>,
 }
 
 impl GraphStore {
+    /// An empty store with the given budget/policy.
+    pub fn new(config: StoreConfig) -> GraphStore {
+        GraphStore {
+            config,
+            ..GraphStore::default()
+        }
+    }
+
+    /// An empty store configured from the environment.
+    pub fn from_env() -> GraphStore {
+        GraphStore::new(StoreConfig::from_env())
+    }
+
+    /// The store's budget/policy.
+    pub fn config(&self) -> StoreConfig {
+        self.config
+    }
+
     /// Starts (or restarts) assembly of `dataset` with the announced key
-    /// list; returns the indices of keys not yet in the store.
+    /// list; returns the indices of keys not currently resident. All
+    /// announced keys are protected from eviction until commit.
     pub fn begin(&mut self, dataset: &str, keys: Vec<GraphKey>) -> Vec<usize> {
+        if let Some(old) = self.pending.remove(dataset) {
+            self.unprotect(&old);
+        }
         let missing = keys
             .iter()
             .enumerate()
             .filter(|(_, k)| !self.graphs.contains_key(k))
             .map(|(i, _)| i)
             .collect();
+        for &key in &keys {
+            *self.protected.entry(key).or_insert(0) += 1;
+        }
         self.pending.insert(dataset.to_string(), keys);
         missing
     }
 
+    fn unprotect(&mut self, keys: &[GraphKey]) {
+        for key in keys {
+            if let Some(count) = self.protected.get_mut(key) {
+                *count -= 1;
+                if *count == 0 {
+                    self.protected.remove(key);
+                }
+            }
+        }
+    }
+
     /// Stores shipped graphs, verifying each against the key announced for
-    /// its dataset position.
+    /// its dataset position, and enforces the byte budget.
     pub fn insert_graphs(
         &mut self,
         dataset: &str,
@@ -96,11 +237,16 @@ impl GraphStore {
                 graphs.len()
             ));
         }
+        let mut expected_keys = Vec::with_capacity(indices.len());
+        for &i in indices {
+            expected_keys.push(
+                *keys
+                    .get(i)
+                    .ok_or_else(|| format!("graph index {i} out of range"))?,
+            );
+        }
         let mut stored = 0;
-        for (&i, graph) in indices.iter().zip(graphs) {
-            let expected = *keys
-                .get(i)
-                .ok_or_else(|| format!("graph index {i} out of range"))?;
+        for ((&i, graph), expected) in indices.iter().zip(graphs).zip(expected_keys) {
             let actual = graph_key(&graph);
             if actual != expected {
                 return Err(format!(
@@ -109,40 +255,210 @@ impl GraphStore {
                     wire::key_hex(expected)
                 ));
             }
-            if self.graphs.insert(expected, graph).is_none() {
+            if self.insert_graph(expected, graph) {
                 stored += 1;
             }
         }
+        self.enforce_budget();
         Ok(stored)
     }
 
-    /// Materialises the ordered graph vector of `dataset`; every key must
-    /// be resident by now.
-    pub fn commit(&mut self, dataset: &str) -> Result<Arc<Vec<Graph>>, String> {
-        if let Some(existing) = self.datasets.get(dataset) {
-            self.pending.remove(dataset);
-            return Ok(Arc::clone(existing));
+    /// Stores one verified graph; `true` when it was new. Always admitted
+    /// (shipped graphs are protected); pressure is relieved by evicting
+    /// older unprotected entries in [`GraphStore::enforce_budget`].
+    fn insert_graph(&mut self, key: GraphKey, graph: Graph) -> bool {
+        self.sketch.record(key);
+        if let Some(entry) = self.graphs.get(&key) {
+            self.lru.touch(entry.node);
+            return false;
         }
-        let keys = self
-            .pending
-            .remove(dataset)
-            .ok_or_else(|| format!("dataset '{dataset}' has no pending begin"))?;
-        let mut graphs = Vec::with_capacity(keys.len());
+        let weight = graph_weight(&graph);
+        let node = self.lru.push_front(key);
+        self.resident_bytes += weight;
+        self.graphs.insert(
+            key,
+            StoredGraph {
+                graph,
+                weight,
+                node,
+                pins: 0,
+            },
+        );
+        true
+    }
+
+    /// Evicts unpinned, unprotected graphs from the cold end until the
+    /// store fits its budget (or nothing more is evictable — a pinned
+    /// working set larger than the budget stays resident; the budget is
+    /// best-effort by design).
+    fn enforce_budget(&mut self) {
+        let Some(budget) = self.config.budget_bytes else {
+            return;
+        };
+        while self.resident_bytes > budget {
+            match self.pick_victim() {
+                Some(key) => self.evict_key(key),
+                None => break,
+            }
+        }
+    }
+
+    /// The next eviction victim: the coldest evictable graph under LRU, or
+    /// the least-frequent of the coldest [`EVICTION_SCAN`] candidates
+    /// under TinyLFU.
+    fn pick_victim(&self) -> Option<GraphKey> {
+        let evictable = |key: GraphKey| {
+            !self.protected.contains_key(&key) && self.graphs.get(&key).is_some_and(|e| e.pins == 0)
+        };
+        let mut cursor = self.lru.tail_idx();
+        match self.config.admission {
+            AdmissionPolicy::Lru => {
+                while let Some(idx) = cursor {
+                    let key = self.lru.key_at(idx);
+                    if evictable(key) {
+                        return Some(key);
+                    }
+                    cursor = self.lru.toward_head(idx);
+                }
+                None
+            }
+            AdmissionPolicy::TinyLfu => {
+                let mut best: Option<(GraphKey, u32)> = None;
+                let mut inspected = 0;
+                while let Some(idx) = cursor {
+                    if inspected >= EVICTION_SCAN && best.is_some() {
+                        break;
+                    }
+                    let key = self.lru.key_at(idx);
+                    if evictable(key) {
+                        inspected += 1;
+                        let freq = self.sketch.estimate(key);
+                        if best.is_none_or(|(_, f)| freq < f) {
+                            best = Some((key, freq));
+                        }
+                    }
+                    cursor = self.lru.toward_head(idx);
+                }
+                best.map(|(key, _)| key)
+            }
+        }
+    }
+
+    /// Evicts `key` unconditionally (callers check pins/protection).
+    fn evict_key(&mut self, key: GraphKey) {
+        if let Some(entry) = self.graphs.remove(&key) {
+            self.lru.remove(entry.node);
+            self.resident_bytes -= entry.weight;
+            self.evictions += 1;
+        }
+    }
+
+    /// Verifies every announced key of `dataset` is resident and commits
+    /// the ordered key list; idempotent per dataset id. Returns the
+    /// dataset's length.
+    pub fn commit(&mut self, dataset: &str) -> Result<usize, String> {
+        let keys = match self.pending.remove(dataset) {
+            Some(keys) => {
+                self.unprotect(&keys);
+                Arc::new(keys)
+            }
+            None => self
+                .datasets
+                .get(dataset)
+                .cloned()
+                .ok_or_else(|| format!("dataset '{dataset}' has no pending begin"))?,
+        };
         for (i, key) in keys.iter().enumerate() {
-            let graph = self.graphs.get(key).ok_or_else(|| {
-                format!("dataset '{dataset}' commit with graph {i} never shipped")
-            })?;
-            graphs.push(graph.clone());
+            if !self.graphs.contains_key(key) {
+                return Err(format!(
+                    "dataset '{dataset}' commit with graph {i} never shipped"
+                ));
+            }
+        }
+        let len = keys.len();
+        self.datasets.insert(dataset.to_string(), keys);
+        Ok(len)
+    }
+
+    /// Materialises and pins `dataset` for tile evaluation: every graph is
+    /// refcount-pinned against eviction until the matching
+    /// [`GraphStore::unpin_dataset`]. `Err` carries the dataset indices of
+    /// evicted graphs (a `store_miss` in wire terms); an unknown dataset id
+    /// reports every index missing.
+    pub fn pin_dataset(&mut self, dataset: &str) -> Result<Arc<Vec<Graph>>, Vec<usize>> {
+        if let Some((graphs, pins)) = self.active.get_mut(dataset) {
+            *pins += 1;
+            return Ok(Arc::clone(graphs));
+        }
+        let Some(keys) = self.datasets.get(dataset).cloned() else {
+            self.pin_misses += 1;
+            return Err(Vec::new());
+        };
+        let missing: Vec<usize> = keys
+            .iter()
+            .enumerate()
+            .filter(|(_, k)| !self.graphs.contains_key(k))
+            .map(|(i, _)| i)
+            .collect();
+        if !missing.is_empty() {
+            self.pin_misses += 1;
+            return Err(missing);
+        }
+        let mut graphs = Vec::with_capacity(keys.len());
+        for key in keys.iter() {
+            let entry = self.graphs.get_mut(key).expect("checked resident above");
+            entry.pins += 1;
+            graphs.push(entry.graph.clone());
+            let node = entry.node;
+            self.lru.touch(node);
+            self.sketch.record(*key);
         }
         let graphs = Arc::new(graphs);
-        self.datasets
-            .insert(dataset.to_string(), Arc::clone(&graphs));
+        self.active
+            .insert(dataset.to_string(), (Arc::clone(&graphs), 1));
         Ok(graphs)
     }
 
-    /// The committed dataset, if any.
-    pub fn dataset(&self, dataset: &str) -> Option<Arc<Vec<Graph>>> {
-        self.datasets.get(dataset).cloned()
+    /// Releases one [`GraphStore::pin_dataset`]; at zero the dataset's
+    /// graphs become evictable again.
+    pub fn unpin_dataset(&mut self, dataset: &str) {
+        let Some((_, pins)) = self.active.get_mut(dataset) else {
+            return;
+        };
+        *pins -= 1;
+        if *pins > 0 {
+            return;
+        }
+        self.active.remove(dataset);
+        if let Some(keys) = self.datasets.get(dataset).cloned() {
+            for key in keys.iter() {
+                if let Some(entry) = self.graphs.get_mut(key) {
+                    entry.pins = entry.pins.saturating_sub(1);
+                }
+            }
+        }
+        self.enforce_budget();
+    }
+
+    /// Chaos hook: evicts one unpinned, unprotected graph of `dataset` and
+    /// returns its dataset index — the worker then answers a genuine
+    /// `store_miss` exercising the real recovery path. `None` when nothing
+    /// is evictable (the chaos draw falls through to no fault).
+    pub fn forget_one(&mut self, dataset: &str) -> Option<usize> {
+        let keys = self.datasets.get(dataset).cloned()?;
+        let (index, key) = keys.iter().enumerate().find(|(_, k)| {
+            !self.protected.contains_key(k) && self.graphs.get(k).is_some_and(|e| e.pins == 0)
+        })?;
+        let key = *key;
+        self.evict_key(key);
+        Some(index)
+    }
+
+    /// Whether `dataset` has been committed (its graphs may still have
+    /// been evicted since — [`GraphStore::pin_dataset`] is the check that
+    /// matters for tiles).
+    pub fn knows_dataset(&self, dataset: &str) -> bool {
+        self.datasets.contains_key(dataset)
     }
 
     /// Distinct graphs resident in the store.
@@ -154,12 +470,33 @@ impl GraphStore {
     pub fn num_datasets(&self) -> usize {
         self.datasets.len()
     }
+
+    /// Point-in-time counters.
+    pub fn stats(&self) -> StoreStats {
+        StoreStats {
+            num_graphs: self.graphs.len(),
+            num_datasets: self.datasets.len(),
+            resident_bytes: self.resident_bytes,
+            evictions: self.evictions,
+            pin_misses: self.pin_misses,
+        }
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use haqjsk_graph::generators::{cycle_graph, path_graph, star_graph};
+
+    fn ship(store: &mut GraphStore, graphs: &[Graph]) -> String {
+        let keys = dataset_keys(graphs);
+        let id = dataset_id(&keys);
+        let missing = store.begin(&id, keys);
+        let shipped: Vec<Graph> = missing.iter().map(|&i| graphs[i].clone()).collect();
+        store.insert_graphs(&id, &missing, shipped).unwrap();
+        store.commit(&id).unwrap();
+        id
+    }
 
     #[test]
     fn dataset_id_is_order_sensitive_and_stable() {
@@ -181,8 +518,10 @@ mod tests {
         store
             .insert_graphs(&id, &[0, 1, 2], graphs.clone())
             .unwrap();
-        let committed = store.commit(&id).unwrap();
-        assert_eq!(committed.as_slice(), graphs.as_slice());
+        assert_eq!(store.commit(&id).unwrap(), 3);
+        let pinned = store.pin_dataset(&id).unwrap();
+        assert_eq!(pinned.as_slice(), graphs.as_slice());
+        store.unpin_dataset(&id);
 
         // A second dataset sharing two graphs only needs the new one.
         let graphs2 = vec![cycle_graph(5), star_graph(6), path_graph(9)];
@@ -192,7 +531,12 @@ mod tests {
         store
             .insert_graphs(&id2, &[2], vec![path_graph(9)])
             .unwrap();
-        assert_eq!(store.commit(&id2).unwrap().as_slice(), graphs2.as_slice());
+        assert_eq!(store.commit(&id2).unwrap(), 3);
+        assert_eq!(
+            store.pin_dataset(&id2).unwrap().as_slice(),
+            graphs2.as_slice()
+        );
+        store.unpin_dataset(&id2);
         assert_eq!(store.num_graphs(), 4);
         assert_eq!(store.num_datasets(), 2);
 
@@ -216,5 +560,104 @@ mod tests {
         assert!(err.contains("hashes to"), "{err}");
         // Committing with a hole must fail too.
         assert!(store.commit(&id).is_err());
+    }
+
+    #[test]
+    fn budget_evicts_cold_graphs_but_commits_still_succeed() {
+        let mut store = GraphStore::new(StoreConfig {
+            budget_bytes: Some(2048),
+            admission: AdmissionPolicy::Lru,
+        });
+        // Ship several datasets; the tiny budget forces evictions, but
+        // each in-flight shipment is protected so its commit succeeds.
+        let mut ids = Vec::new();
+        for n in 4..12 {
+            ids.push(ship(&mut store, &[path_graph(n), cycle_graph(n + 1)]));
+        }
+        let stats = store.stats();
+        assert!(stats.evictions > 0, "budget never bit: {stats:?}");
+        assert!(stats.num_datasets == ids.len());
+        // The latest dataset can still pin; the earliest cannot (evicted)
+        // and reports which indices to re-ship.
+        assert!(store.pin_dataset(ids.last().unwrap()).is_ok());
+        store.unpin_dataset(ids.last().unwrap());
+        let missing = store.pin_dataset(&ids[0]).unwrap_err();
+        assert!(!missing.is_empty());
+        assert!(store.stats().pin_misses >= 1);
+        // Re-shipping exactly the missing graphs repairs the dataset.
+        let graphs = [path_graph(4), cycle_graph(5)];
+        let keys = dataset_keys(&graphs);
+        let reship = store.begin(&ids[0], keys);
+        assert_eq!(reship, missing);
+        let shipped: Vec<Graph> = reship.iter().map(|&i| graphs[i].clone()).collect();
+        store.insert_graphs(&ids[0], &reship, shipped).unwrap();
+        store.commit(&ids[0]).unwrap();
+        assert_eq!(
+            store.pin_dataset(&ids[0]).unwrap().as_slice(),
+            graphs.as_slice()
+        );
+        store.unpin_dataset(&ids[0]);
+    }
+
+    #[test]
+    fn pinned_datasets_survive_budget_pressure() {
+        let mut store = GraphStore::new(StoreConfig {
+            budget_bytes: Some(1), // everything is over budget
+            admission: AdmissionPolicy::Lru,
+        });
+        let graphs = [path_graph(5), star_graph(6)];
+        let id = ship(&mut store, &graphs);
+        let pinned = store.pin_dataset(&id).unwrap();
+        // Budget pressure from another shipment cannot evict pinned graphs.
+        ship(&mut store, &[cycle_graph(8)]);
+        assert_eq!(pinned.as_slice(), graphs.as_slice());
+        assert!(store.pin_dataset(&id).is_ok());
+        store.unpin_dataset(&id);
+        store.unpin_dataset(&id);
+        // Once unpinned, the budget reclaims them.
+        assert!(store.pin_dataset(&id).is_err());
+    }
+
+    #[test]
+    fn forget_one_fakes_a_recoverable_miss() {
+        let mut store = GraphStore::default();
+        let graphs = [path_graph(4), cycle_graph(5)];
+        let id = ship(&mut store, &graphs);
+        let index = store.forget_one(&id).unwrap();
+        let missing = store.pin_dataset(&id).unwrap_err();
+        assert_eq!(missing, vec![index]);
+        // Pinned graphs cannot be forgotten.
+        let id2 = ship(&mut store, &[star_graph(6)]);
+        let _pinned = store.pin_dataset(&id2).unwrap();
+        assert_eq!(store.forget_one(&id2), None);
+        store.unpin_dataset(&id2);
+    }
+
+    #[test]
+    fn tinylfu_keeps_hot_graphs_over_cold_ones() {
+        let mut store = GraphStore::new(StoreConfig {
+            budget_bytes: Some(1600),
+            admission: AdmissionPolicy::TinyLfu,
+        });
+        // A hot graph shared by many datasets accumulates frequency.
+        let hot = path_graph(6);
+        let mut hot_id = String::new();
+        for n in 4..10 {
+            hot_id = ship(&mut store, &[hot.clone(), cycle_graph(n)]);
+        }
+        // Under pressure the cold cycle graphs go first; the hot graph's
+        // latest dataset stays pinnable.
+        assert!(store.pin_dataset(&hot_id).is_ok());
+        store.unpin_dataset(&hot_id);
+        assert!(store.stats().evictions > 0);
+    }
+
+    #[test]
+    fn store_config_reads_env_syntax() {
+        // parse_byte_size integration, not env mutation (process-global).
+        assert_eq!(parse_byte_size("64k"), Some(64 << 10));
+        let config = StoreConfig::default();
+        assert_eq!(config.budget_bytes, None);
+        assert_eq!(config.admission, AdmissionPolicy::Lru);
     }
 }

@@ -41,11 +41,23 @@
 //!   and a local evaluator of last resort: a Gram never fails because a
 //!   worker vanished. See [`fault`] and [`scheduler`].
 //! * **What distributes.** Gram computations carrying a serialisable
-//!   kernel spec (QJSK unaligned/aligned and JTQK publish one). Everything
-//!   else — arbitrary closures, the HAQJSK model kernels — executes locally
-//!   on the tiled pool when the distributed backend is selected, never
-//!   failing, so the backend is always safe to enable globally.
+//!   kernel spec: QJSK unaligned/aligned and JTQK publish one directly,
+//!   and fitted HAQJSK models distribute by shipping their persisted-model
+//!   artifact (content-addressed, dedup-shipped like datasets) so workers
+//!   evaluate model tiles against a local reconstruction. Everything else
+//!   — arbitrary closures, per-pair entries — executes locally on the
+//!   tiled pool when the distributed backend is selected, never failing,
+//!   so the backend is always safe to enable globally.
+//! * **Elastic membership.** Workers join ([`Coordinator::add_worker`])
+//!   and leave ([`Coordinator::remove_worker`]) a *running* coordinator;
+//!   dead workers sit in probation and are redialed with jittered
+//!   exponential backoff; every transition bumps a membership epoch
+//!   stamped on tile traffic. Worker-side graph stores are byte-budgeted
+//!   (evictions repair via targeted re-shipping, not worker death), and a
+//!   seeded [`chaos`] harness injects deterministic kills / hangups /
+//!   delays / store misses for soak testing.
 
+pub mod chaos;
 pub mod coordinator;
 pub mod dataset;
 pub mod fault;
@@ -54,11 +66,15 @@ pub(crate) mod scheduler;
 pub mod wire;
 pub mod worker;
 
+pub use chaos::{ChaosPlan, CHAOS_ENV_VAR};
 pub use coordinator::{
     Coordinator, DistConfig, DistStats, DIST_CONNECT_TIMEOUT_ENV_VAR, DIST_DEADLINE_ENV_VAR,
-    DIST_WINDOW_ENV_VAR,
+    DIST_RECONNECT_BASE_ENV_VAR, DIST_RECONNECT_MAX_ENV_VAR, DIST_WINDOW_ENV_VAR,
 };
-pub use fault::WorkerStatsSnapshot;
+pub use dataset::{
+    StoreConfig, StoreStats, WORKER_STORE_ADMISSION_ENV_VAR, WORKER_STORE_BUDGET_ENV_VAR,
+};
+pub use fault::{LinkState, WorkerStatsSnapshot};
 pub use obs::register_dist_metrics;
 pub use wire::KernelSpec;
 pub use worker::{WorkerOptions, WorkerServer};

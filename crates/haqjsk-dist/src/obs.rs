@@ -63,9 +63,30 @@ pub fn register_dist_metrics() {
             "Graph keys actually shipped (announced keys minus dedup hits).",
             &[],
         );
+        let tiles_scheduled = registry.counter(
+            "haqjsk_dist_tiles_scheduled_total",
+            "Tiles handed to the distributed scheduler across all Grams.",
+            &[],
+        );
+        let tiles_committed = registry.counter(
+            "haqjsk_dist_tiles_committed_total",
+            "Tiles committed from worker results across all Grams.",
+            &[],
+        );
+        let artifacts_shipped = registry.counter(
+            "haqjsk_dist_artifacts_shipped_total",
+            "Model artifacts that actually travelled to a worker (dedup misses).",
+            &[],
+        );
         let workers_gauge = registry.gauge(
             "haqjsk_dist_workers",
             "Workers configured on the current coordinator.",
+            &[],
+        );
+        let epoch_gauge = registry.gauge(
+            "haqjsk_dist_membership_epoch",
+            "Membership epoch of the current coordinator (bumped on every \
+             join, death, revival and drain).",
             &[],
         );
         let dedup_gauge = registry.gauge(
@@ -84,13 +105,17 @@ pub fn register_dist_metrics() {
             fallback_tiles.store(stats.as_ref().map_or(0, |s| s.local_fallback_tiles) as u64);
             keys_total.store(stats.as_ref().map_or(0, |s| s.dataset_keys_total) as u64);
             keys_shipped.store(stats.as_ref().map_or(0, |s| s.dataset_keys_shipped) as u64);
+            tiles_scheduled.store(stats.as_ref().map_or(0, |s| s.tiles_scheduled) as u64);
+            tiles_committed.store(stats.as_ref().map_or(0, |s| s.tiles_committed) as u64);
+            artifacts_shipped.store(stats.as_ref().map_or(0, |s| s.artifacts_shipped) as u64);
             workers_gauge.set(workers as f64);
+            epoch_gauge.set(stats.as_ref().map_or(0, |s| s.epoch) as f64);
             dedup_gauge.set(dedup);
             let Some(stats) = stats else { return };
             let registry = haqjsk_obs::registry();
             for worker in &stats.workers {
                 let labels = [("worker", worker.addr.as_str())];
-                let per_worker_counters: [(&str, &str, usize); 6] = [
+                let per_worker_counters: [(&str, &str, usize); 8] = [
                     (
                         "haqjsk_dist_tiles_dispatched_total",
                         "Tiles dispatched to the worker, by worker address.",
@@ -121,6 +146,16 @@ pub fn register_dist_metrics() {
                         "Times the worker was declared dead, by worker address.",
                         worker.deaths,
                     ),
+                    (
+                        "haqjsk_dist_reconnects_total",
+                        "Times the worker revived out of probation, by worker address.",
+                        worker.reconnects,
+                    ),
+                    (
+                        "haqjsk_dist_store_misses_total",
+                        "store_miss tile replies received from the worker, by worker address.",
+                        worker.store_misses,
+                    ),
                 ];
                 for (name, help, value) in per_worker_counters {
                     registry.counter(name, help, &labels).store(value as u64);
@@ -132,6 +167,22 @@ pub fn register_dist_metrics() {
                         &labels,
                     )
                     .set(if worker.alive { 1.0 } else { 0.0 });
+                // One gauge per (worker, state): exactly one of the three
+                // reads 1 at any snapshot.
+                for state in [
+                    crate::fault::LinkState::Probation,
+                    crate::fault::LinkState::Alive,
+                    crate::fault::LinkState::Draining,
+                ] {
+                    registry
+                        .gauge(
+                            "haqjsk_dist_worker_state",
+                            "Membership state of the worker link (1 on the \
+                             active state, 0 elsewhere), by worker address and state.",
+                            &[("worker", worker.addr.as_str()), ("state", state.label())],
+                        )
+                        .set(if worker.state == state { 1.0 } else { 0.0 });
+                }
             }
         });
     });

@@ -7,7 +7,7 @@
 //! connection (pipelining hides the request/response latency), commits
 //! results as they arrive, and tops the window back up from a shared queue.
 //!
-//! Three mechanisms keep the Gram alive under partial failure:
+//! Four mechanisms keep the Gram alive under partial failure:
 //!
 //! * **Deadline-based straggler re-dispatch.** A tile in flight longer than
 //!   [`DistConfig::deadline`](crate::DistConfig::deadline) becomes
@@ -15,20 +15,50 @@
 //!   (results are byte-identical, so duplicated execution is harmless and
 //!   commits are idempotent).
 //! * **Death recovery.** A connection error, hangup, malformed response or
-//!   read timeout marks the worker dead and requeues its in-flight tiles
-//!   for the surviving workers.
+//!   read timeout marks the worker dead (probation — see
+//!   [`crate::fault`]) and requeues its in-flight tiles for the surviving
+//!   workers. A **draining** worker exits its loop at the next iteration,
+//!   requeueing the same way, without being counted dead.
+//! * **Store-miss recovery.** A worker whose bounded store evicted dataset
+//!   graphs (or whose model artifact is gone) answers `store_miss` instead
+//!   of failing: the tile requeues, the worker's pipeline drains, the
+//!   coordinator thread re-ships exactly what is missing over the same
+//!   connection, and dispatch resumes — an eviction is never a death.
 //! * **Local fallback.** Tiles still unfinished when every worker thread
 //!   has exited are returned as `None`; the coordinator evaluates them with
 //!   the kernel's local tile evaluator — same values, same Gram.
 
-use crate::coordinator::DistConfig;
-use crate::fault::{Conn, WorkerLink};
-use crate::wire;
-use haqjsk_engine::Json;
+use crate::coordinator::{ship_artifact, ship_dataset, DistConfig};
+use crate::fault::{Conn, LinkState, WorkerLink};
+use crate::wire::{self, TileReply};
+use haqjsk_engine::{GraphKey, Json};
+use haqjsk_graph::Graph;
 use std::collections::{HashMap, VecDeque};
 use std::sync::atomic::Ordering;
 use std::sync::{Arc, Mutex, OnceLock};
 use std::time::{Duration, Instant};
+
+/// Everything one Gram's scheduling run needs: the work, the dataset (for
+/// targeted re-ships after store misses), and the membership epoch stamped
+/// on every dispatch.
+pub(crate) struct TileRun<'a> {
+    /// Dataset id the tiles refer to.
+    pub dataset: &'a str,
+    /// Wire form of the kernel spec.
+    pub kernel: &'a Json,
+    /// The tile grid: index pairs per tile.
+    pub tiles: &'a [Vec<(usize, usize)>],
+    /// Ordered structural keys of the dataset (re-ship path).
+    pub keys: &'a [GraphKey],
+    /// The dataset's graphs (re-ship path).
+    pub graphs: &'a [Graph],
+    /// Model artifact `(id, payload)` when the kernel is a fitted model.
+    pub artifact: Option<(&'a str, &'a str)>,
+    /// Membership epoch at dispatch time.
+    pub epoch: usize,
+    /// Scheduler knobs.
+    pub config: &'a DistConfig,
+}
 
 /// Shared scheduling state over one Gram's tile list.
 struct Shared<'a> {
@@ -48,37 +78,43 @@ struct SchedState {
     remaining: usize,
 }
 
+/// How one worker's dispatch loop ended.
+enum LoopExit {
+    /// All tiles committed; the connection survives.
+    Done,
+    /// The worker died (its tiles have been requeued).
+    Died,
+    /// The worker is draining out of membership (tiles requeued; the
+    /// connection is discarded without counting a death).
+    Drained,
+}
+
 /// Runs the tile list over the given worker connections; returns one
 /// `Some(values)` per committed tile (in tile order) with `None` for tiles
 /// no worker completed. Connections of surviving workers are checked back
-/// into their links; dead workers' connections are dropped.
+/// into their links; dead and draining workers' connections are dropped.
 pub(crate) fn run_tiles(
     workers: Vec<(Arc<WorkerLink>, Conn)>,
-    dataset: &str,
-    kernel: &Json,
-    tiles: &[Vec<(usize, usize)>],
-    config: &DistConfig,
+    run: &TileRun<'_>,
 ) -> Vec<Option<Vec<f64>>> {
     let shared = Shared {
-        tiles,
+        tiles: run.tiles,
         queue: Mutex::new(SchedState {
-            queue: (0..tiles.len()).collect(),
+            queue: (0..run.tiles.len()).collect(),
             inflight: HashMap::new(),
-            done: vec![false; tiles.len()],
-            remaining: tiles.len(),
+            done: vec![false; run.tiles.len()],
+            remaining: run.tiles.len(),
         }),
-        results: (0..tiles.len()).map(|_| OnceLock::new()).collect(),
+        results: (0..run.tiles.len()).map(|_| OnceLock::new()).collect(),
     };
 
     std::thread::scope(|scope| {
         for (link, mut conn) in workers {
             let shared = &shared;
-            scope.spawn(move || {
-                if worker_loop(&link, &mut conn, shared, dataset, kernel, config).is_ok() {
-                    link.checkin(conn);
-                } else {
-                    link.mark_dead();
-                }
+            scope.spawn(move || match worker_loop(&link, &mut conn, shared, run) {
+                LoopExit::Done => link.checkin(conn),
+                LoopExit::Died => link.mark_dead(),
+                LoopExit::Drained => {}
             });
         }
     });
@@ -152,6 +188,16 @@ fn requeue(shared: &Shared<'_>, own: &VecDeque<usize>) {
     }
 }
 
+/// Requeues one tile (the store-miss path: the tile was answered but not
+/// computed).
+fn requeue_one(shared: &Shared<'_>, tile: usize) {
+    let mut state = shared.queue.lock().expect("scheduler state poisoned");
+    if !state.done[tile] {
+        state.inflight.remove(&tile);
+        state.queue.push_front(tile);
+    }
+}
+
 fn finished(shared: &Shared<'_>) -> bool {
     shared
         .queue
@@ -161,16 +207,14 @@ fn finished(shared: &Shared<'_>) -> bool {
         == 0
 }
 
-/// One worker's dispatch loop; `Err` means the worker died (its tiles have
-/// been requeued).
+/// One worker's dispatch loop (see [`LoopExit`] for the endings).
 fn worker_loop(
     link: &WorkerLink,
     conn: &mut Conn,
     shared: &Shared<'_>,
-    dataset: &str,
-    kernel: &Json,
-    config: &DistConfig,
-) -> Result<(), ()> {
+    run: &TileRun<'_>,
+) -> LoopExit {
+    let config = run.config;
     let mut own: VecDeque<usize> = VecDeque::new();
     // A read timeout alone does not kill the worker: a tile can
     // legitimately take longer than the straggler deadline (its tiles
@@ -179,32 +223,74 @@ fn worker_loop(
     // bounds the worst case (a hung sole worker) at 2x deadline before the
     // local fallback takes over.
     let mut silent_deadlines = 0u32;
+    // Accumulated store-miss repair work: dataset graphs and/or the model
+    // artifact to re-ship once the pipeline has drained.
+    let mut reship: Option<bool> = None;
     loop {
-        // Top the pipeline up to the outstanding-tile window.
-        while own.len() < config.window.max(1) {
-            let Some(tile) = claim(shared, &own, link, config) else {
-                break;
-            };
-            let request = wire::tile_request(dataset, tile, kernel, &shared.tiles[tile]);
-            match conn.send(&request) {
-                Ok(bytes) => {
-                    link.bytes_shipped.fetch_add(bytes, Ordering::Relaxed);
-                    link.tiles_dispatched.fetch_add(1, Ordering::Relaxed);
-                    own.push_back(tile);
+        // A drain request (remove_worker) takes effect at the next
+        // iteration: requeue and bow out without counting a death.
+        if link.state() == LinkState::Draining {
+            requeue(shared, &own);
+            return LoopExit::Drained;
+        }
+
+        // A pending store-miss repair blocks new claims; once the pipeline
+        // has drained, re-ship over this same connection and resume.
+        if let Some(artifact_missing) = reship {
+            if own.is_empty() {
+                if ship_dataset(link, conn, run.dataset, run.keys, run.graphs, config).is_err() {
+                    return LoopExit::Died;
                 }
-                Err(_) => {
-                    // The claimed tile never reached the worker: requeue it
-                    // along with everything else in flight here.
-                    own.push_back(tile);
-                    requeue(shared, &own);
-                    return Err(());
+                if artifact_missing {
+                    match run.artifact {
+                        Some((id, payload)) => {
+                            if ship_artifact(link, conn, id, payload, config).is_err() {
+                                return LoopExit::Died;
+                            }
+                        }
+                        // The worker claims a model artifact is missing for
+                        // a Gram that shipped none: unreliable.
+                        None => return LoopExit::Died,
+                    }
+                }
+                reship = None;
+            }
+        } else {
+            // Top the pipeline up to the outstanding-tile window.
+            while own.len() < config.window.max(1) {
+                let Some(tile) = claim(shared, &own, link, config) else {
+                    break;
+                };
+                let request = wire::tile_request(
+                    run.dataset,
+                    tile,
+                    run.kernel,
+                    &shared.tiles[tile],
+                    run.epoch,
+                );
+                match conn.send(&request) {
+                    Ok(bytes) => {
+                        link.bytes_shipped.fetch_add(bytes, Ordering::Relaxed);
+                        link.tiles_dispatched.fetch_add(1, Ordering::Relaxed);
+                        own.push_back(tile);
+                    }
+                    Err(_) => {
+                        // The claimed tile never reached the worker: requeue
+                        // it along with everything else in flight here.
+                        own.push_back(tile);
+                        requeue(shared, &own);
+                        return LoopExit::Died;
+                    }
                 }
             }
         }
 
         if own.is_empty() {
+            if reship.is_some() {
+                continue;
+            }
             if finished(shared) {
-                return Ok(());
+                return LoopExit::Done;
             }
             // Nothing claimable right now: other workers hold the remaining
             // tiles within their deadline. Back off briefly and re-check
@@ -214,8 +300,10 @@ fn worker_loop(
         }
 
         match conn.recv(Some(config.deadline)) {
-            Ok(response) => match wire::parse_tile_response(&response) {
-                Ok(tile) if shared.tiles.get(tile.job).map(Vec::len) == Some(tile.values.len()) => {
+            Ok(response) => match wire::parse_tile_reply(&response) {
+                Ok(TileReply::Values(tile))
+                    if shared.tiles.get(tile.job).map(Vec::len) == Some(tile.values.len()) =>
+                {
                     silent_deadlines = 0;
                     if let Some(pos) = own.iter().position(|&t| t == tile.job) {
                         own.remove(pos);
@@ -225,18 +313,34 @@ fn worker_loop(
                         crate::obs::rpc_histogram(&link.addr).observe_duration(round_trip);
                     }
                 }
+                Ok(TileReply::StoreMiss {
+                    job,
+                    artifact_missing,
+                    ..
+                }) if own.contains(&job) => {
+                    // Recoverable: the worker's bounded store evicted part
+                    // of the dataset (or the model). The tile was not
+                    // computed — requeue it and schedule a re-ship.
+                    silent_deadlines = 0;
+                    if let Some(pos) = own.iter().position(|&t| t == job) {
+                        own.remove(pos);
+                    }
+                    link.store_misses.fetch_add(1, Ordering::Relaxed);
+                    requeue_one(shared, job);
+                    reship = Some(reship.unwrap_or(false) | artifact_missing);
+                }
                 // Error responses, unknown jobs and short value vectors all
                 // mean the worker is unreliable: give up on it.
                 _ => {
                     requeue(shared, &own);
-                    return Err(());
+                    return LoopExit::Died;
                 }
             },
             Err(e) if e.timed_out => {
                 silent_deadlines += 1;
                 if silent_deadlines >= 2 {
                     requeue(shared, &own);
-                    return Err(());
+                    return LoopExit::Died;
                 }
                 // Keep waiting; meanwhile idle peers can already claim the
                 // overdue tiles through the straggler path.
@@ -244,8 +348,176 @@ fn worker_loop(
             Err(_) => {
                 // Hangup or transport error: the connection is gone.
                 requeue(shared, &own);
-                return Err(());
+                return LoopExit::Died;
             }
         }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::{BufRead, BufReader, Write};
+    use std::net::{TcpListener, TcpStream};
+
+    fn test_config() -> DistConfig {
+        DistConfig {
+            window: 2,
+            deadline: Duration::from_millis(150),
+            idle_backoff: Duration::from_millis(1),
+            connect_timeout: Duration::from_millis(500),
+            ..DistConfig::default()
+        }
+    }
+
+    /// Spawns a scripted "worker" that answers the ping handshake, then
+    /// hands the connection to `script`.
+    fn scripted_worker(
+        script: impl FnOnce(TcpStream, BufReader<TcpStream>) + Send + 'static,
+    ) -> (String, std::thread::JoinHandle<()>) {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap().to_string();
+        let handle = std::thread::spawn(move || {
+            let (mut stream, _) = listener.accept().unwrap();
+            let mut reader = BufReader::new(stream.try_clone().unwrap());
+            let mut line = String::new();
+            reader.read_line(&mut line).unwrap(); // ping
+            stream
+                .write_all(b"{\"ok\":true,\"pong\":true,\"role\":\"worker\"}\n")
+                .unwrap();
+            script(stream, reader);
+        });
+        (addr, handle)
+    }
+
+    /// Runs two tiles against one scripted worker; returns the results and
+    /// the link for counter assertions.
+    fn run_against(addr: &str, config: &DistConfig) -> (Vec<Option<Vec<f64>>>, Arc<WorkerLink>) {
+        let epoch = Arc::new(std::sync::atomic::AtomicUsize::new(1));
+        let link = Arc::new(WorkerLink::new(addr.to_string(), epoch));
+        let conn = link.checkout(config).expect("scripted worker reachable");
+        let tiles = vec![vec![(0, 0), (0, 1)], vec![(1, 1)]];
+        let kernel = Json::obj([("id", Json::Str("test".to_string()))]);
+        let run = TileRun {
+            dataset: "feedbeef",
+            kernel: &kernel,
+            tiles: &tiles,
+            keys: &[],
+            graphs: &[],
+            artifact: None,
+            epoch: 1,
+            config,
+        };
+        let results = run_tiles(vec![(Arc::clone(&link), conn)], &run);
+        (results, link)
+    }
+
+    /// Every failure mode must collapse to: mark dead (one death), requeue
+    /// (all results `None` — the local fallback finishes the Gram).
+    #[test]
+    fn midstream_eof_collapses_to_death_and_requeue() {
+        let (addr, handle) = scripted_worker(|stream, mut reader| {
+            let mut line = String::new();
+            reader.read_line(&mut line).unwrap(); // first tile request
+            drop(stream); // hang up without answering
+        });
+        let config = test_config();
+        let (results, link) = run_against(&addr, &config);
+        handle.join().unwrap();
+        assert!(results.iter().all(Option::is_none));
+        assert_eq!(link.stats().deaths, 1);
+        assert_eq!(link.state(), LinkState::Probation);
+    }
+
+    #[test]
+    fn malformed_response_collapses_to_death_and_requeue() {
+        let (addr, handle) = scripted_worker(|mut stream, mut reader| {
+            let mut line = String::new();
+            reader.read_line(&mut line).unwrap();
+            stream.write_all(b"not json at all\n").unwrap();
+            // Keep the socket open so EOF is not the trigger.
+            std::thread::sleep(Duration::from_millis(300));
+        });
+        let config = test_config();
+        let (results, link) = run_against(&addr, &config);
+        handle.join().unwrap();
+        assert!(results.iter().all(Option::is_none));
+        assert_eq!(link.stats().deaths, 1);
+    }
+
+    #[test]
+    fn silent_deadline_timeouts_collapse_to_death_and_requeue() {
+        let (addr, handle) = scripted_worker(|stream, mut reader| {
+            let mut line = String::new();
+            reader.read_line(&mut line).unwrap();
+            // Answer nothing for well past two deadlines.
+            std::thread::sleep(Duration::from_millis(600));
+            drop(stream);
+        });
+        let config = test_config();
+        let (results, link) = run_against(&addr, &config);
+        handle.join().unwrap();
+        assert!(results.iter().all(Option::is_none));
+        assert_eq!(link.stats().deaths, 1);
+    }
+
+    #[test]
+    fn error_response_collapses_to_death_and_requeue() {
+        let (addr, handle) = scripted_worker(|mut stream, mut reader| {
+            let mut line = String::new();
+            reader.read_line(&mut line).unwrap();
+            stream
+                .write_all(b"{\"ok\":false,\"error\":\"injected\"}\n")
+                .unwrap();
+            std::thread::sleep(Duration::from_millis(300));
+        });
+        let config = test_config();
+        let (results, link) = run_against(&addr, &config);
+        handle.join().unwrap();
+        assert!(results.iter().all(Option::is_none));
+        assert_eq!(link.stats().deaths, 1);
+    }
+
+    #[test]
+    fn connect_refused_never_yields_a_connection() {
+        let addr = {
+            let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+            listener.local_addr().unwrap().to_string()
+        };
+        let epoch = Arc::new(std::sync::atomic::AtomicUsize::new(1));
+        let link = Arc::new(WorkerLink::new(addr, epoch));
+        assert!(link.checkout(&test_config()).is_none());
+        assert_eq!(link.state(), LinkState::Probation);
+    }
+
+    /// A worker that answers tiles normally: the happy path commits every
+    /// tile and checks the connection back in.
+    #[test]
+    fn healthy_worker_commits_all_tiles() {
+        let (addr, handle) = scripted_worker(|mut stream, mut reader| {
+            for _ in 0..2 {
+                let mut line = String::new();
+                reader.read_line(&mut line).unwrap();
+                let request = Json::parse(line.trim()).unwrap();
+                let job = request.get("job").and_then(Json::as_usize).unwrap();
+                let pairs = request.get("pairs").and_then(Json::as_array).unwrap().len();
+                // Tile requests must carry the membership epoch.
+                assert_eq!(request.get("epoch").and_then(Json::as_usize), Some(1));
+                let values: Vec<String> = (0..pairs).map(|k| format!("{}.0", job + k)).collect();
+                let reply = format!(
+                    "{{\"ok\":true,\"job\":{job},\"values\":[{}]}}\n",
+                    values.join(",")
+                );
+                stream.write_all(reply.as_bytes()).unwrap();
+            }
+        });
+        let config = test_config();
+        let (results, link) = run_against(&addr, &config);
+        handle.join().unwrap();
+        assert!(results.iter().all(Option::is_some));
+        let stats = link.stats();
+        assert_eq!(stats.deaths, 0);
+        assert_eq!(stats.tiles_completed, 2);
+        assert_eq!(link.state(), LinkState::Alive);
     }
 }

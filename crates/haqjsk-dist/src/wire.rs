@@ -9,16 +9,24 @@
 //!
 //! Command table (coordinator → worker):
 //!
-//! | command          | fields                                         | response |
-//! |------------------|------------------------------------------------|----------|
-//! | `ping`           | —                                              | `{"ok":true,"pong":true,"role":"worker","protocol":1}` |
-//! | `dataset_begin`  | `dataset` (hex id), `keys` (hex graph keys)    | `missing`: indices of keys the worker does not hold |
-//! | `dataset_graphs` | `dataset`, `indices`, `graphs` (wire graphs)   | `stored` count |
-//! | `dataset_commit` | `dataset`                                      | `num_graphs` |
-//! | `tile`           | `dataset`, `job`, `kernel`, `pairs`            | `job`, `values` |
-//! | `stats`          | —                                              | worker-side counters |
-//! | `fail_after`     | `tiles`                                        | chaos knob: serve N more tiles, then fail + hang up |
-//! | `shutdown`       | —                                              | ack, then hang up (process workers exit) |
+//! | command           | fields                                          | response |
+//! |-------------------|-------------------------------------------------|----------|
+//! | `ping`            | —                                               | `{"ok":true,"pong":true,"role":"worker","protocol":2}` |
+//! | `dataset_begin`   | `dataset` (hex id), `keys` (hex graph keys)     | `missing`: indices of keys the worker does not hold |
+//! | `dataset_graphs`  | `dataset`, `indices`, `graphs` (wire graphs)    | `stored` count |
+//! | `dataset_commit`  | `dataset`                                       | `num_graphs` |
+//! | `artifact_begin`  | `artifact` (hex id)                             | `have`: whether the artifact is already loaded |
+//! | `artifact_chunk`  | `artifact`, `text`                              | ack (chunks accumulate in order) |
+//! | `artifact_commit` | `artifact`                                      | ack after digest verification + model parse |
+//! | `tile`            | `dataset`, `job`, `kernel`, `pairs`, `epoch`    | `job`, `values` — or `store_miss` + `missing` when the bounded store evicted dataset graphs (coordinator re-ships and retries) |
+//! | `stats`           | —                                               | worker-side counters (store, chaos, epoch) |
+//! | `fail_after`      | `tiles`                                         | chaos knob: serve N more tiles, then fail + hang up |
+//! | `chaos`           | `seed`, `kill`, `hangup`, `delay`, `delay_ms`, `miss` (permille rates) or `off` | arms/disarms the seeded chaos plan |
+//! | `shutdown`        | —                                               | ack, then hang up (process workers exit) |
+//!
+//! `epoch` is the coordinator's membership epoch at dispatch time; workers
+//! echo it and report the last value seen, making split-horizon membership
+//! observable from either end.
 //!
 //! ## Byte identity across the wire
 //!
@@ -29,12 +37,19 @@
 //! this is what makes a distributed Gram byte-identical to the serial one
 //! regardless of which worker computed which tile.
 
+use haqjsk_core::HaqjskModel;
 use haqjsk_engine::{GraphKey, Json, RemoteGram};
 use haqjsk_graph::Graph;
 use haqjsk_kernels::{JensenTsallisKernel, QjskAligned, QjskUnaligned};
 
 /// Version tag answered by `ping`; bumped on incompatible protocol changes.
-pub const PROTOCOL_VERSION: usize = 1;
+/// Version 2 added membership epochs, model artifacts, `store_miss` tile
+/// replies and the seeded `chaos` command.
+pub const PROTOCOL_VERSION: usize = 2;
+
+/// Characters of serialised-model text per `artifact_chunk` line: large
+/// enough to amortise round trips, small enough to keep lines bounded.
+pub const ARTIFACT_CHUNK: usize = 1 << 16;
 
 /// A kernel the distributed backend knows how to reconstruct on a worker:
 /// the serialisable subset of the workspace's kernels, keyed by the stable
@@ -58,6 +73,15 @@ pub enum KernelSpec {
         q: f64,
         /// WL refinement rounds.
         wl_iterations: usize,
+    },
+    /// A fitted [`haqjsk_core::HaqjskModel`], reconstructed on the worker
+    /// from a content-addressed persisted-model artifact shipped through
+    /// the `artifact_*` commands. Unlike the closed-form kernels, the spec
+    /// carries no parameters — everything lives in the artifact.
+    Model {
+        /// Digest of the persisted model text
+        /// ([`haqjsk_core::model_artifact_id`]).
+        artifact: String,
     },
 }
 
@@ -83,6 +107,11 @@ impl KernelSpec {
                 q: param("q")?,
                 wl_iterations: param("wl_iterations")? as usize,
             }),
+            id if id == HaqjskModel::REMOTE_KERNEL_ID => {
+                spec.artifact.as_ref().map(|artifact| KernelSpec::Model {
+                    artifact: artifact.id.clone(),
+                })
+            }
             _ => None,
         }
     }
@@ -93,19 +122,27 @@ impl KernelSpec {
             KernelSpec::QjskUnaligned { .. } => QjskUnaligned::REMOTE_KERNEL_ID,
             KernelSpec::QjskAligned { .. } => QjskAligned::REMOTE_KERNEL_ID,
             KernelSpec::Jtqk { .. } => JensenTsallisKernel::REMOTE_KERNEL_ID,
+            KernelSpec::Model { .. } => HaqjskModel::REMOTE_KERNEL_ID,
         }
     }
 
-    /// The wire form: `{"id":...,"params":{...}}`.
+    /// The wire form: `{"id":...,"params":{...}}` (`{"id":...,
+    /// "artifact":...}` for fitted-model specs).
     pub fn to_json(&self) -> Json {
-        let params = match *self {
+        let params = match self {
             KernelSpec::QjskUnaligned { mu } | KernelSpec::QjskAligned { mu } => {
-                Json::obj([("mu", Json::Num(mu))])
+                Json::obj([("mu", Json::Num(*mu))])
             }
             KernelSpec::Jtqk { q, wl_iterations } => Json::obj([
-                ("q", Json::Num(q)),
-                ("wl_iterations", Json::Num(wl_iterations as f64)),
+                ("q", Json::Num(*q)),
+                ("wl_iterations", Json::Num(*wl_iterations as f64)),
             ]),
+            KernelSpec::Model { artifact } => {
+                return Json::obj([
+                    ("id", Json::Str(self.id().to_string())),
+                    ("artifact", Json::Str(artifact.clone())),
+                ]);
+            }
         };
         Json::obj([("id", Json::Str(self.id().to_string())), ("params", params)])
     }
@@ -134,13 +171,22 @@ impl KernelSpec {
                 q: param("q")?,
                 wl_iterations: param("wl_iterations")? as usize,
             }),
+            _ if id == HaqjskModel::REMOTE_KERNEL_ID => Ok(KernelSpec::Model {
+                artifact: value
+                    .get("artifact")
+                    .and_then(Json::as_str)
+                    .ok_or("model kernel spec needs a string field 'artifact'")?
+                    .to_string(),
+            }),
             other => Err(format!("unknown kernel id '{other}'")),
         }
     }
 
     /// Evaluates one tile of Gram entries over `graphs` through the
     /// kernel's public tile evaluator — byte-identical to the in-process
-    /// Gram paths for the same pairs.
+    /// Gram paths for the same pairs. Fitted-model specs cannot be
+    /// evaluated from graphs alone (the worker resolves them through its
+    /// artifact store); calling this on one is a programming error.
     pub fn eval_tile(&self, graphs: &[Graph], pairs: &[(usize, usize)], out: &mut [f64]) {
         match *self {
             KernelSpec::QjskUnaligned { mu } => {
@@ -149,6 +195,9 @@ impl KernelSpec {
             KernelSpec::QjskAligned { mu } => QjskAligned::new(mu).eval_tile(graphs, pairs, out),
             KernelSpec::Jtqk { q, wl_iterations } => {
                 JensenTsallisKernel::new(q, wl_iterations).eval_tile(graphs, pairs, out)
+            }
+            KernelSpec::Model { .. } => {
+                panic!("model tiles are evaluated through the worker's artifact store")
             }
         }
     }
@@ -257,15 +306,67 @@ pub fn dataset_commit_request(dataset: &str) -> Json {
     ])
 }
 
-/// Builds a `tile` work-unit request.
-pub fn tile_request(dataset: &str, job: usize, kernel: &Json, pairs: &[(usize, usize)]) -> Json {
+/// Builds a `tile` work-unit request stamped with the coordinator's
+/// current membership epoch.
+pub fn tile_request(
+    dataset: &str,
+    job: usize,
+    kernel: &Json,
+    pairs: &[(usize, usize)],
+    epoch: usize,
+) -> Json {
     Json::obj([
         ("cmd", Json::Str("tile".to_string())),
         ("dataset", Json::Str(dataset.to_string())),
         ("job", Json::Num(job as f64)),
         ("kernel", kernel.clone()),
         ("pairs", pairs_to_json(pairs)),
+        ("epoch", Json::Num(epoch as f64)),
     ])
+}
+
+/// Builds an `artifact_begin` request announcing a content-addressed
+/// artifact (a persisted model); the worker answers `have`.
+pub fn artifact_begin_request(artifact: &str) -> Json {
+    Json::obj([
+        ("cmd", Json::Str("artifact_begin".to_string())),
+        ("artifact", Json::Str(artifact.to_string())),
+    ])
+}
+
+/// Builds an `artifact_chunk` request appending one slice of the
+/// artifact's text (chunks arrive in order on one connection).
+pub fn artifact_chunk_request(artifact: &str, text: &str) -> Json {
+    Json::obj([
+        ("cmd", Json::Str("artifact_chunk".to_string())),
+        ("artifact", Json::Str(artifact.to_string())),
+        ("text", Json::Str(text.to_string())),
+    ])
+}
+
+/// Builds an `artifact_commit` request; the worker verifies the digest
+/// and parses the model before acking.
+pub fn artifact_commit_request(artifact: &str) -> Json {
+    Json::obj([
+        ("cmd", Json::Str("artifact_commit".to_string())),
+        ("artifact", Json::Str(artifact.to_string())),
+    ])
+}
+
+/// Builds a `chaos` request arming a seeded fault plan on the worker
+/// (see [`crate::chaos::ChaosPlan`]); `None` disarms.
+pub fn chaos_request(plan: Option<&crate::chaos::ChaosPlan>) -> Json {
+    match plan {
+        Some(plan) => {
+            let mut fields = vec![("cmd", Json::Str("chaos".to_string()))];
+            fields.extend(plan.to_fields());
+            Json::obj(fields)
+        }
+        None => Json::obj([
+            ("cmd", Json::Str("chaos".to_string())),
+            ("off", Json::Bool(true)),
+        ]),
+    }
 }
 
 /// A parsed `tile` response.
@@ -277,19 +378,82 @@ pub struct TileResponse {
     pub values: Vec<f64>,
 }
 
-/// Parses a worker's `tile` response, rejecting error responses.
-pub fn parse_tile_response(value: &Json) -> Result<TileResponse, String> {
+/// A worker's answer to a `tile` request: either the computed values, or a
+/// recoverable `store_miss` naming what the coordinator must re-ship
+/// before retrying (evicted dataset graphs and/or the model artifact).
+#[derive(Debug, Clone, PartialEq)]
+pub enum TileReply {
+    /// The tile was computed.
+    Values(TileResponse),
+    /// The worker's bounded store no longer holds everything the tile
+    /// needs; the tile was **not** computed and should be re-dispatched
+    /// after a targeted re-ship.
+    StoreMiss {
+        /// The job id echoed back by the worker.
+        job: usize,
+        /// Dataset indices of evicted graphs to re-ship (may be empty).
+        missing: Vec<usize>,
+        /// Whether the model artifact itself must be re-shipped.
+        artifact_missing: bool,
+    },
+}
+
+/// Builds the worker-side `store_miss` tile reply.
+pub fn store_miss_response(job: usize, missing: &[usize], artifact_missing: bool) -> Json {
+    Json::obj([
+        ("ok", Json::Bool(true)),
+        ("job", Json::Num(job as f64)),
+        ("store_miss", Json::Bool(true)),
+        (
+            "missing",
+            Json::Arr(missing.iter().map(|&i| Json::Num(i as f64)).collect()),
+        ),
+        ("artifact_missing", Json::Bool(artifact_missing)),
+    ])
+}
+
+/// Parses a worker's `tile` response, rejecting error responses and
+/// distinguishing recoverable `store_miss` replies from computed values.
+pub fn parse_tile_reply(value: &Json) -> Result<TileReply, String> {
     let value = check_ok(value)?;
     let job = value
         .get("job")
         .and_then(Json::as_usize)
         .ok_or("tile response needs an integer field 'job'")?;
+    if value.get("store_miss").and_then(Json::as_bool) == Some(true) {
+        let missing = value
+            .get("missing")
+            .and_then(Json::as_array)
+            .ok_or("store_miss response needs an array field 'missing'")?
+            .iter()
+            .map(|i| i.as_usize().ok_or("missing indices must be integers"))
+            .collect::<Result<Vec<_>, _>>()?;
+        let artifact_missing = value
+            .get("artifact_missing")
+            .and_then(Json::as_bool)
+            .unwrap_or(false);
+        return Ok(TileReply::StoreMiss {
+            job,
+            missing,
+            artifact_missing,
+        });
+    }
     let values = values_from_json(
         value
             .get("values")
             .ok_or("tile response needs a field 'values'")?,
     )?;
-    Ok(TileResponse { job, values })
+    Ok(TileReply::Values(TileResponse { job, values }))
+}
+
+/// Parses a worker's `tile` response, rejecting both error responses and
+/// `store_miss` replies (callers that handle misses use
+/// [`parse_tile_reply`]).
+pub fn parse_tile_response(value: &Json) -> Result<TileResponse, String> {
+    match parse_tile_reply(value)? {
+        TileReply::Values(response) => Ok(response),
+        TileReply::StoreMiss { job, .. } => Err(format!("tile {job} answered store_miss")),
+    }
 }
 
 /// Rejects `{"ok":false,...}` responses, returning the error message.
@@ -317,6 +481,9 @@ mod tests {
                 q: 2.0,
                 wl_iterations: 3,
             },
+            KernelSpec::Model {
+                artifact: "0123456789abcdef0123456789abcdef".to_string(),
+            },
         ];
         for spec in specs {
             let wire = spec.to_json();
@@ -333,17 +500,48 @@ mod tests {
             kernel_id: QjskUnaligned::REMOTE_KERNEL_ID,
             params: vec![("mu", 2.0)],
             graphs: &[],
+            artifact: None,
         };
         assert_eq!(
             KernelSpec::from_remote(&spec),
             Some(KernelSpec::QjskUnaligned { mu: 2.0 })
         );
         let unknown = RemoteGram {
-            kernel_id: "haqjsk_model",
+            kernel_id: "wl_subtree",
             params: vec![],
             graphs: &[],
+            artifact: None,
         };
         assert_eq!(KernelSpec::from_remote(&unknown), None);
+    }
+
+    #[test]
+    fn model_spec_requires_an_artifact() {
+        // A model spec without a shipped artifact cannot be serialised —
+        // the coordinator falls back to local execution.
+        let bare = RemoteGram {
+            kernel_id: HaqjskModel::REMOTE_KERNEL_ID,
+            params: vec![],
+            graphs: &[],
+            artifact: None,
+        };
+        assert_eq!(KernelSpec::from_remote(&bare), None);
+        let payload = "haqjsk-model v1\nend\n";
+        let with_artifact = RemoteGram {
+            kernel_id: HaqjskModel::REMOTE_KERNEL_ID,
+            params: vec![],
+            graphs: &[],
+            artifact: Some(haqjsk_engine::RemoteArtifact {
+                id: "feed".repeat(8),
+                payload,
+            }),
+        };
+        assert_eq!(
+            KernelSpec::from_remote(&with_artifact),
+            Some(KernelSpec::Model {
+                artifact: "feed".repeat(8),
+            })
+        );
     }
 
     #[test]
@@ -383,10 +581,11 @@ mod tests {
         }
         .to_json();
         let pairs = [(0, 1), (0, 2), (1, 2)];
-        let request = tile_request("abc123", 7, &kernel, &pairs);
+        let request = tile_request("abc123", 7, &kernel, &pairs, 3);
         let parsed = Json::parse(&request.to_string()).unwrap();
         assert_eq!(parsed.get("cmd").and_then(Json::as_str), Some("tile"));
         assert_eq!(parsed.get("job").and_then(Json::as_usize), Some(7));
+        assert_eq!(parsed.get("epoch").and_then(Json::as_usize), Some(3));
         assert_eq!(
             pairs_from_json(parsed.get("pairs").unwrap()).unwrap(),
             pairs.to_vec()
@@ -397,6 +596,52 @@ mod tests {
                 q: 2.0,
                 wl_iterations: 3
             }
+        );
+    }
+
+    #[test]
+    fn store_miss_replies_roundtrip_and_are_distinguished() {
+        let wire = store_miss_response(9, &[2, 5], true).to_string();
+        let parsed = Json::parse(&wire).unwrap();
+        assert_eq!(
+            parse_tile_reply(&parsed).unwrap(),
+            TileReply::StoreMiss {
+                job: 9,
+                missing: vec![2, 5],
+                artifact_missing: true,
+            }
+        );
+        // The strict parser treats a miss as an error.
+        assert!(parse_tile_response(&parsed).is_err());
+        // A normal values reply still parses through both.
+        let ok = Json::parse(r#"{"ok":true,"job":4,"values":[1.0,0.5]}"#).unwrap();
+        assert_eq!(
+            parse_tile_reply(&ok).unwrap(),
+            TileReply::Values(TileResponse {
+                job: 4,
+                values: vec![1.0, 0.5],
+            })
+        );
+        assert_eq!(parse_tile_response(&ok).unwrap().job, 4);
+    }
+
+    #[test]
+    fn artifact_requests_carry_the_digest() {
+        let begin = artifact_begin_request("abcd");
+        assert_eq!(
+            begin.get("cmd").and_then(Json::as_str),
+            Some("artifact_begin")
+        );
+        assert_eq!(begin.get("artifact").and_then(Json::as_str), Some("abcd"));
+        let chunk = artifact_chunk_request("abcd", "proto 1.0\n");
+        assert_eq!(
+            chunk.get("text").and_then(Json::as_str),
+            Some("proto 1.0\n")
+        );
+        let commit = artifact_commit_request("abcd");
+        assert_eq!(
+            commit.get("cmd").and_then(Json::as_str),
+            Some("artifact_commit")
         );
     }
 

@@ -3,18 +3,32 @@
 //! A worker is a plain [`haqjsk_engine::Server`] (same accept loop, same
 //! JSON-lines framing as `haqjsk-serve`) whose handler implements the
 //! [`wire`] command table: it receives the dataset once
-//! (content-hash-deduplicated into a process-lifetime [`GraphStore`]), then
+//! (content-hash-deduplicated into a byte-budgeted [`GraphStore`]), then
 //! answers `tile` work units by running the requested kernel's tile
 //! evaluator over its local engine. Per-graph features warm the worker's
 //! own sharded `FeatureCache`s exactly as an in-process Gram would, so
 //! repeated tiles over the same rows are cache-hot.
+//!
+//! Fitted-model kernels arrive as content-addressed **artifacts**
+//! (`artifact_begin` / `artifact_chunk` / `artifact_commit`): the worker
+//! verifies the digest, parses the persisted model eagerly, and keeps a
+//! small LRU of reconstructed models, each with its own aligned-transform
+//! cache. Model tiles evaluate against the reconstruction — byte-identical
+//! to the coordinator's serial path because persistence round-trips `f64`s
+//! exactly.
+//!
+//! The graph store is bounded (`HAQJSK_WORKER_STORE_BUDGET`): tiles pin
+//! their dataset for the duration of evaluation, and a tile whose graphs
+//! were evicted answers `store_miss` — the coordinator re-ships exactly
+//! the missing graphs and retries, so an eviction never looks like a
+//! worker death.
 //!
 //! Large tiles are split into contiguous pair chunks evaluated in parallel
 //! on the worker's own pool (`HAQJSK_THREADS` sizes it) — byte-identical to
 //! a single whole-tile call because the batched mixture eigensolver is
 //! bit-identical per matrix regardless of batch composition.
 //!
-//! ## Chaos knob
+//! ## Chaos knobs
 //!
 //! `{"cmd":"fail_after","tiles":N}` arms deterministic fault injection: the
 //! next `N` tile requests succeed, after which every tile request answers
@@ -25,18 +39,34 @@
 //! connection): with multiple concurrent connections an armed fault can
 //! close whichever connection's tile request trips it — fine for chaos
 //! testing, which *wants* the worker to die messily.
+//!
+//! The seeded chaos harness is richer: `HAQJSK_CHAOS=seed:N,...` at spawn
+//! (or a `chaos` command at runtime) arms a [`ChaosState`] that injects
+//! kills, mid-stream hangups, response delays and transient store misses
+//! at the configured permille rates, deterministically in request order.
+//! Faults only fire on `tile` requests — dataset shipping, artifacts and
+//! control commands always succeed, so the soak exercises recovery, not
+//! setup. See [`crate::chaos`].
 
+use crate::chaos::{ChaosFault, ChaosPlan, ChaosState};
 use crate::dataset::GraphStore;
 use crate::wire::{self, KernelSpec};
+use haqjsk_core::{model_artifact_id, model_from_string, AlignedGraph, HaqjskModel};
+use haqjsk_engine::cache::FeatureCache;
 use haqjsk_engine::serve::error_response;
 use haqjsk_engine::{graph_from_json, Engine, Handler, Json, Server};
 use haqjsk_graph::Graph;
+use std::collections::HashMap;
 use std::sync::atomic::{AtomicBool, AtomicIsize, AtomicUsize, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Mutex, RwLock};
 
 /// Minimum pairs per parallel chunk of a tile — below this, lane-starved
 /// batches and scheduling overhead cost more than the parallelism buys.
 const MIN_CHUNK_PAIRS: usize = 8;
+
+/// Reconstructed models kept per worker. Small: a worker serves one
+/// coordinator, which rarely juggles more than a couple of fitted models.
+const MODEL_STORE_CAP: usize = 4;
 
 /// Behavioral options of a worker server.
 #[derive(Debug, Clone, Copy, Default)]
@@ -51,16 +81,70 @@ struct WorkerCounters {
     tiles_served: AtomicUsize,
     pairs_evaluated: AtomicUsize,
     faults_injected: AtomicUsize,
+    store_miss_replies: AtomicUsize,
+}
+
+/// A reconstructed fitted model plus its aligned-transform cache. The
+/// cache is keyed by structural graph hash, so it must never outlive its
+/// model — replacing an artifact replaces the cache with it.
+struct ModelEntry {
+    model: HaqjskModel,
+    cache: FeatureCache<AlignedGraph>,
+}
+
+/// The worker's content-addressed model artifacts: in-flight text
+/// accumulators plus a small LRU of parsed models.
+#[derive(Default)]
+struct ModelStore {
+    pending: HashMap<String, String>,
+    models: HashMap<String, Arc<ModelEntry>>,
+    /// Commit order, oldest first (LRU victim order; touched on use).
+    order: Vec<String>,
+}
+
+impl ModelStore {
+    fn touch(&mut self, id: &str) {
+        if let Some(position) = self.order.iter().position(|o| o == id) {
+            let id = self.order.remove(position);
+            self.order.push(id);
+        }
+    }
+
+    fn get(&mut self, id: &str) -> Option<Arc<ModelEntry>> {
+        let entry = self.models.get(id).cloned()?;
+        self.touch(id);
+        Some(entry)
+    }
+
+    fn insert(&mut self, id: String, entry: ModelEntry) {
+        if self.models.insert(id.clone(), Arc::new(entry)).is_none() {
+            self.order.push(id);
+        } else {
+            self.touch(&id);
+        }
+        while self.order.len() > MODEL_STORE_CAP {
+            let victim = self.order.remove(0);
+            self.models.remove(&victim);
+        }
+    }
 }
 
 struct WorkerState {
     store: Mutex<GraphStore>,
+    models: Mutex<ModelStore>,
+    chaos: RwLock<Option<Arc<ChaosState>>>,
     counters: WorkerCounters,
+    /// Highest membership epoch seen on tile traffic (observability only —
+    /// tiles from any epoch evaluate identically by design).
+    last_epoch: AtomicUsize,
     /// `< 0`: disabled. `> 0`: tile requests to serve before failing.
     /// `== 0`: every tile request fails (and hangs up).
     fail_after: AtomicIsize,
     /// Set when the current request decided to hang up afterwards.
     hangup_pending: AtomicBool,
+    /// Set when the current request's response must be swallowed (chaos
+    /// mid-stream hangup: the peer sees EOF where a response line was due).
+    swallow_pending: AtomicBool,
     /// Set when the current request should exit the process afterwards.
     exit_pending: AtomicBool,
     options: WorkerOptions,
@@ -73,17 +157,28 @@ pub struct WorkerServer {
 
 impl WorkerServer {
     /// Binds `addr` (port `0` for ephemeral) and serves the worker
-    /// protocol on background threads.
+    /// protocol on background threads. The graph store budget comes from
+    /// `HAQJSK_WORKER_STORE_BUDGET` and a chaos plan (if any) from
+    /// `HAQJSK_CHAOS` — a malformed plan is a spawn error, not a silent
+    /// no-chaos run.
     pub fn spawn(addr: &str, options: WorkerOptions) -> std::io::Result<WorkerServer> {
+        let chaos = ChaosPlan::from_env()
+            .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidInput, e))?
+            .map(|plan| Arc::new(ChaosState::new(plan)));
         let state = Arc::new(WorkerState {
-            store: Mutex::new(GraphStore::default()),
+            store: Mutex::new(GraphStore::from_env()),
+            models: Mutex::new(ModelStore::default()),
+            chaos: RwLock::new(chaos),
             counters: WorkerCounters {
                 tiles_served: AtomicUsize::new(0),
                 pairs_evaluated: AtomicUsize::new(0),
                 faults_injected: AtomicUsize::new(0),
+                store_miss_replies: AtomicUsize::new(0),
             },
+            last_epoch: AtomicUsize::new(0),
             fail_after: AtomicIsize::new(-1),
             hangup_pending: AtomicBool::new(false),
+            swallow_pending: AtomicBool::new(false),
             exit_pending: AtomicBool::new(false),
             options,
         });
@@ -123,9 +218,13 @@ impl Handler for WorkerHandler {
             "dataset_begin" => cmd_dataset_begin(&self.state, request),
             "dataset_graphs" => cmd_dataset_graphs(&self.state, request),
             "dataset_commit" => cmd_dataset_commit(&self.state, request),
+            "artifact_begin" => cmd_artifact_begin(&self.state, request),
+            "artifact_chunk" => cmd_artifact_chunk(&self.state, request),
+            "artifact_commit" => cmd_artifact_commit(&self.state, request),
             "tile" => cmd_tile(&self.state, request),
             "stats" => cmd_stats(&self.state),
             "fail_after" => cmd_fail_after(&self.state, request),
+            "chaos" => cmd_chaos(&self.state, request),
             "shutdown" => {
                 self.state.hangup_pending.store(true, Ordering::Release);
                 if self.state.options.exit_on_shutdown {
@@ -135,6 +234,10 @@ impl Handler for WorkerHandler {
             }
             other => error_response(&format!("unknown worker command '{other}'")),
         }
+    }
+
+    fn swallow_response(&self, _request: &Json) -> bool {
+        self.state.swallow_pending.swap(false, Ordering::AcqRel)
     }
 
     fn hangup_after(&self, _request: &Json) -> bool {
@@ -152,6 +255,13 @@ fn dataset_field(request: &Json) -> Result<&str, String> {
         .get("dataset")
         .and_then(Json::as_str)
         .ok_or_else(|| "request needs a string field 'dataset'".to_string())
+}
+
+fn artifact_field(request: &Json) -> Result<&str, String> {
+    request
+        .get("artifact")
+        .and_then(Json::as_str)
+        .ok_or_else(|| "request needs a string field 'artifact'".to_string())
 }
 
 fn cmd_dataset_begin(state: &WorkerState, request: &Json) -> Json {
@@ -218,14 +328,81 @@ fn cmd_dataset_graphs(state: &WorkerState, request: &Json) -> Json {
 fn cmd_dataset_commit(state: &WorkerState, request: &Json) -> Json {
     let run = || -> Result<Json, String> {
         let dataset = dataset_field(request)?;
-        let graphs = state
+        let num_graphs = state
             .store
             .lock()
             .expect("graph store poisoned")
             .commit(dataset)?;
         Ok(Json::obj([
             ("ok", Json::Bool(true)),
-            ("num_graphs", Json::Num(graphs.len() as f64)),
+            ("num_graphs", Json::Num(num_graphs as f64)),
+        ]))
+    };
+    run().unwrap_or_else(|e| error_response(&e))
+}
+
+fn cmd_artifact_begin(state: &WorkerState, request: &Json) -> Json {
+    let run = || -> Result<Json, String> {
+        let artifact = artifact_field(request)?;
+        let mut models = state.models.lock().expect("model store poisoned");
+        let have = models.get(artifact).is_some();
+        if !have {
+            // A fresh begin resets any half-shipped text for this id.
+            models.pending.insert(artifact.to_string(), String::new());
+        }
+        Ok(Json::obj([
+            ("ok", Json::Bool(true)),
+            ("have", Json::Bool(have)),
+        ]))
+    };
+    run().unwrap_or_else(|e| error_response(&e))
+}
+
+fn cmd_artifact_chunk(state: &WorkerState, request: &Json) -> Json {
+    let run = || -> Result<Json, String> {
+        let artifact = artifact_field(request)?;
+        let text = request
+            .get("text")
+            .and_then(Json::as_str)
+            .ok_or("artifact_chunk needs a string field 'text'")?;
+        let mut models = state.models.lock().expect("model store poisoned");
+        let buffer = models
+            .pending
+            .get_mut(artifact)
+            .ok_or_else(|| format!("artifact '{artifact}' has no open begin"))?;
+        buffer.push_str(text);
+        Ok(Json::obj([("ok", Json::Bool(true))]))
+    };
+    run().unwrap_or_else(|e| error_response(&e))
+}
+
+fn cmd_artifact_commit(state: &WorkerState, request: &Json) -> Json {
+    let run = || -> Result<Json, String> {
+        let artifact = artifact_field(request)?;
+        let mut models = state.models.lock().expect("model store poisoned");
+        let text = models
+            .pending
+            .remove(artifact)
+            .ok_or_else(|| format!("artifact '{artifact}' has no open begin"))?;
+        let digest = model_artifact_id(&text);
+        if digest != artifact {
+            return Err(format!(
+                "artifact digest mismatch: announced {artifact}, received {digest}"
+            ));
+        }
+        // Parse eagerly: a corrupt model fails the commit, not the first
+        // tile, so the coordinator's shipping phase catches it.
+        let model = model_from_string(&text).map_err(|e| format!("artifact parse failed: {e}"))?;
+        models.insert(
+            artifact.to_string(),
+            ModelEntry {
+                model,
+                cache: FeatureCache::new(),
+            },
+        );
+        Ok(Json::obj([
+            ("ok", Json::Bool(true)),
+            ("parsed", Json::Bool(true)),
         ]))
     };
     run().unwrap_or_else(|e| error_response(&e))
@@ -267,21 +444,109 @@ fn cmd_tile(state: &WorkerState, request: &Json) -> Json {
             .get("job")
             .and_then(Json::as_usize)
             .ok_or("tile needs an integer field 'job'")?;
+        if let Some(epoch) = request.get("epoch").and_then(Json::as_usize) {
+            state.last_epoch.fetch_max(epoch, Ordering::Relaxed);
+        }
         let kernel =
             KernelSpec::from_json(request.get("kernel").ok_or("tile needs a field 'kernel'")?)?;
         let pairs =
             wire::pairs_from_json(request.get("pairs").ok_or("tile needs a field 'pairs'")?)?;
-        let graphs = state
+
+        // Seeded chaos, drawn once per tile request in arrival order.
+        let chaos = state.chaos.read().expect("chaos slot poisoned").clone();
+        if let Some(chaos) = chaos {
+            match chaos.draw(dataset, job) {
+                Some(ChaosFault::Kill) => {
+                    state.hangup_pending.store(true, Ordering::Release);
+                    return Err("chaos: injected kill".to_string());
+                }
+                Some(ChaosFault::Hangup) => {
+                    // The response is swallowed, so its content is moot —
+                    // the peer sees a mid-stream EOF.
+                    state.swallow_pending.store(true, Ordering::Release);
+                    return Err("chaos: injected hangup (never written)".to_string());
+                }
+                Some(ChaosFault::Delay(pause)) => std::thread::sleep(pause),
+                Some(ChaosFault::StoreMiss) => {
+                    let evicted = state
+                        .store
+                        .lock()
+                        .expect("graph store poisoned")
+                        .forget_one(dataset);
+                    if let Some(index) = evicted {
+                        state
+                            .counters
+                            .store_miss_replies
+                            .fetch_add(1, Ordering::Relaxed);
+                        return Ok(wire::store_miss_response(job, &[index], false));
+                    }
+                    // Nothing evictable (all pinned, or unknown dataset):
+                    // the injected miss degenerates to a normal answer.
+                }
+                None => {}
+            }
+        }
+
+        // Pin the dataset so the bounded store cannot evict its graphs
+        // mid-evaluation; a pin failure is a store miss, not an error.
+        let pinned = state
             .store
             .lock()
             .expect("graph store poisoned")
-            .dataset(dataset)
-            .ok_or_else(|| format!("dataset '{dataset}' is not committed on this worker"))?;
+            .pin_dataset(dataset);
+        let graphs = match pinned {
+            Ok(graphs) => graphs,
+            Err(missing) => {
+                state
+                    .counters
+                    .store_miss_replies
+                    .fetch_add(1, Ordering::Relaxed);
+                let artifact_missing = matches!(&kernel, KernelSpec::Model { artifact }
+                    if state.models.lock().expect("model store poisoned").get(artifact).is_none());
+                return Ok(wire::store_miss_response(job, &missing, artifact_missing));
+            }
+        };
+        let unpin = || {
+            state
+                .store
+                .lock()
+                .expect("graph store poisoned")
+                .unpin_dataset(dataset);
+        };
+
         let n = graphs.len();
         if pairs.iter().any(|&(i, j)| i >= n || j >= n) {
+            unpin();
             return Err(format!("tile pair index out of range for {n} graphs"));
         }
-        let values = eval_tile_chunked(&kernel, &graphs, &pairs);
+
+        let values = match &kernel {
+            KernelSpec::Model { artifact } => {
+                let entry = state
+                    .models
+                    .lock()
+                    .expect("model store poisoned")
+                    .get(artifact);
+                let Some(entry) = entry else {
+                    unpin();
+                    state
+                        .counters
+                        .store_miss_replies
+                        .fetch_add(1, Ordering::Relaxed);
+                    return Ok(wire::store_miss_response(job, &[], true));
+                };
+                let result = eval_model_tile_chunked(&entry, &graphs, &pairs);
+                match result {
+                    Ok(values) => values,
+                    Err(e) => {
+                        unpin();
+                        return Err(format!("model tile evaluation failed: {e}"));
+                    }
+                }
+            }
+            _ => eval_tile_chunked(&kernel, &graphs, &pairs),
+        };
+        unpin();
         state.counters.tiles_served.fetch_add(1, Ordering::Relaxed);
         state
             .counters
@@ -319,6 +584,41 @@ fn eval_tile_chunked(kernel: &KernelSpec, graphs: &[Graph], pairs: &[(usize, usi
     parts.concat()
 }
 
+/// Evaluates a fitted-model tile against the worker's reconstructed
+/// model: aligned transforms come from the entry's cache (computed at most
+/// once per distinct graph across all tiles), then the per-pair kernel is
+/// chunked over the engine pool. Byte-identical to the coordinator's
+/// serial `gram_over_aligned` path because persistence round-trips the
+/// model exactly and the transform and kernel are deterministic.
+fn eval_model_tile_chunked(
+    entry: &ModelEntry,
+    graphs: &[Graph],
+    pairs: &[(usize, usize)],
+) -> Result<Vec<f64>, String> {
+    let aligned = entry
+        .model
+        .transform_all_cached(graphs, &entry.cache)
+        .map_err(|e| e.to_string())?;
+    let engine = Engine::global();
+    let chunks = (pairs.len() / MIN_CHUNK_PAIRS).clamp(1, engine.threads());
+    if chunks <= 1 {
+        return Ok(pairs
+            .iter()
+            .map(|&(i, j)| entry.model.kernel(&aligned[i], &aligned[j]))
+            .collect());
+    }
+    let per_chunk = pairs.len().div_ceil(chunks);
+    let parts = engine.map(chunks, |c| {
+        let start = c * per_chunk;
+        let end = ((c + 1) * per_chunk).min(pairs.len());
+        pairs[start..end]
+            .iter()
+            .map(|&(i, j)| entry.model.kernel(&aligned[i], &aligned[j]))
+            .collect::<Vec<f64>>()
+    });
+    Ok(parts.concat())
+}
+
 fn cmd_fail_after(state: &WorkerState, request: &Json) -> Json {
     let Some(tiles) = request.get("tiles").and_then(Json::as_usize) else {
         return error_response("fail_after needs an integer field 'tiles'");
@@ -327,13 +627,39 @@ fn cmd_fail_after(state: &WorkerState, request: &Json) -> Json {
     Json::obj([("ok", Json::Bool(true))])
 }
 
+fn cmd_chaos(state: &WorkerState, request: &Json) -> Json {
+    match ChaosPlan::from_request(request) {
+        Ok(plan) => {
+            let armed = plan.is_some();
+            *state.chaos.write().expect("chaos slot poisoned") =
+                plan.map(|plan| Arc::new(ChaosState::new(plan)));
+            Json::obj([("ok", Json::Bool(true)), ("armed", Json::Bool(armed))])
+        }
+        Err(e) => error_response(&e),
+    }
+}
+
 fn cmd_stats(state: &WorkerState) -> Json {
-    let store = state.store.lock().expect("graph store poisoned");
-    Json::obj([
+    let store_stats = state.store.lock().expect("graph store poisoned").stats();
+    let models = state.models.lock().expect("model store poisoned");
+    let chaos = state.chaos.read().expect("chaos slot poisoned").clone();
+    let mut fields = vec![
         ("ok", Json::Bool(true)),
         ("role", Json::Str("worker".to_string())),
-        ("graphs_stored", Json::Num(store.num_graphs() as f64)),
-        ("datasets", Json::Num(store.num_datasets() as f64)),
+        ("protocol", Json::Num(wire::PROTOCOL_VERSION as f64)),
+        ("graphs_stored", Json::Num(store_stats.num_graphs as f64)),
+        ("datasets", Json::Num(store_stats.num_datasets as f64)),
+        (
+            "store_resident_bytes",
+            Json::Num(store_stats.resident_bytes as f64),
+        ),
+        ("store_evictions", Json::Num(store_stats.evictions as f64)),
+        ("store_pin_misses", Json::Num(store_stats.pin_misses as f64)),
+        ("models_stored", Json::Num(models.models.len() as f64)),
+        (
+            "last_epoch",
+            Json::Num(state.last_epoch.load(Ordering::Relaxed) as f64),
+        ),
         (
             "tiles_served",
             Json::Num(state.counters.tiles_served.load(Ordering::Relaxed) as f64),
@@ -347,16 +673,45 @@ fn cmd_stats(state: &WorkerState) -> Json {
             Json::Num(state.counters.faults_injected.load(Ordering::Relaxed) as f64),
         ),
         (
+            "store_miss_replies",
+            Json::Num(state.counters.store_miss_replies.load(Ordering::Relaxed) as f64),
+        ),
+        (
             "engine_threads",
             Json::Num(Engine::global().threads() as f64),
         ),
-    ])
+    ];
+    match chaos {
+        Some(chaos) => fields.extend([
+            ("chaos_armed", Json::Bool(true)),
+            ("chaos_seed", Json::Num(chaos.plan().seed as f64)),
+            (
+                "chaos_kills",
+                Json::Num(chaos.kills.load(Ordering::Relaxed) as f64),
+            ),
+            (
+                "chaos_hangups",
+                Json::Num(chaos.hangups.load(Ordering::Relaxed) as f64),
+            ),
+            (
+                "chaos_delays",
+                Json::Num(chaos.delays.load(Ordering::Relaxed) as f64),
+            ),
+            (
+                "chaos_misses",
+                Json::Num(chaos.misses.load(Ordering::Relaxed) as f64),
+            ),
+        ]),
+        None => fields.push(("chaos_armed", Json::Bool(false))),
+    }
+    Json::obj(fields)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::dataset::{dataset_id, dataset_keys};
+    use haqjsk_core::{model_to_string, HaqjskConfig, HaqjskVariant};
     use haqjsk_graph::generators::{cycle_graph, path_graph, star_graph};
     use std::io::{BufRead, BufReader, Write};
     use std::net::TcpStream;
@@ -367,6 +722,25 @@ mod tests {
         let mut line = String::new();
         reader.read_line(&mut line).unwrap();
         Json::parse(line.trim()).unwrap()
+    }
+
+    fn ship_dataset(
+        writer: &mut TcpStream,
+        reader: &mut BufReader<TcpStream>,
+        graphs: &[Graph],
+    ) -> String {
+        let keys = dataset_keys(graphs);
+        let id = dataset_id(&keys);
+        exchange(writer, reader, &wire::dataset_begin_request(&id, &keys));
+        let refs: Vec<&Graph> = graphs.iter().collect();
+        let indices: Vec<usize> = (0..graphs.len()).collect();
+        exchange(
+            writer,
+            reader,
+            &wire::dataset_graphs_request(&id, &indices, &refs),
+        );
+        exchange(writer, reader, &wire::dataset_commit_request(&id));
+        id
     }
 
     #[test]
@@ -380,23 +754,7 @@ mod tests {
         assert_eq!(pong.get("pong").and_then(Json::as_bool), Some(true));
 
         let graphs = vec![path_graph(4), cycle_graph(5), star_graph(6)];
-        let keys = dataset_keys(&graphs);
-        let id = dataset_id(&keys);
-        let begin = exchange(
-            &mut writer,
-            &mut reader,
-            &wire::dataset_begin_request(&id, &keys),
-        );
-        let missing = begin.get("missing").and_then(Json::as_array).unwrap();
-        assert_eq!(missing.len(), 3);
-        let refs: Vec<&Graph> = graphs.iter().collect();
-        exchange(
-            &mut writer,
-            &mut reader,
-            &wire::dataset_graphs_request(&id, &[0, 1, 2], &refs),
-        );
-        let commit = exchange(&mut writer, &mut reader, &wire::dataset_commit_request(&id));
-        assert_eq!(commit.get("num_graphs").and_then(Json::as_usize), Some(3));
+        let id = ship_dataset(&mut writer, &mut reader, &graphs);
 
         // A tile request answers the exact values of the local evaluator.
         let kernel = KernelSpec::QjskUnaligned { mu: 1.0 };
@@ -404,7 +762,7 @@ mod tests {
         let response = exchange(
             &mut writer,
             &mut reader,
-            &wire::tile_request(&id, 3, &kernel.to_json(), &pairs),
+            &wire::tile_request(&id, 3, &kernel.to_json(), &pairs, 7),
         );
         let tile = wire::parse_tile_response(&response).unwrap();
         assert_eq!(tile.job, 3);
@@ -415,13 +773,24 @@ mod tests {
             assert_eq!(a.to_bits(), b.to_bits());
         }
 
-        // Tiles against an uncommitted dataset fail cleanly.
+        // Tiles against an uncommitted dataset answer a store miss (every
+        // index missing) so the coordinator re-ships instead of failing.
         let bad = exchange(
             &mut writer,
             &mut reader,
-            &wire::tile_request("ffff", 0, &kernel.to_json(), &[(0, 1)]),
+            &wire::tile_request("ffff", 0, &kernel.to_json(), &[(0, 1)], 7),
         );
-        assert_eq!(bad.get("ok").and_then(Json::as_bool), Some(false));
+        match wire::parse_tile_reply(&bad).unwrap() {
+            wire::TileReply::StoreMiss {
+                job,
+                artifact_missing,
+                ..
+            } => {
+                assert_eq!(job, 0);
+                assert!(!artifact_missing);
+            }
+            other => panic!("expected a store miss, got {other:?}"),
+        }
 
         let stats = exchange(
             &mut writer,
@@ -430,6 +799,189 @@ mod tests {
         );
         assert_eq!(stats.get("tiles_served").and_then(Json::as_usize), Some(1));
         assert_eq!(stats.get("graphs_stored").and_then(Json::as_usize), Some(3));
+        assert_eq!(stats.get("last_epoch").and_then(Json::as_usize), Some(7));
+        assert_eq!(
+            stats.get("store_miss_replies").and_then(Json::as_usize),
+            Some(1)
+        );
+        assert_eq!(
+            stats.get("chaos_armed").and_then(Json::as_bool),
+            Some(false)
+        );
+    }
+
+    #[test]
+    fn model_artifacts_ship_parse_and_evaluate_tiles() {
+        let server = WorkerServer::spawn("127.0.0.1:0", WorkerOptions::default()).unwrap();
+        let stream = TcpStream::connect(server.local_addr()).unwrap();
+        let mut writer = stream.try_clone().unwrap();
+        let mut reader = BufReader::new(stream);
+
+        let graphs = vec![path_graph(5), cycle_graph(6), star_graph(5), path_graph(7)];
+        let id = ship_dataset(&mut writer, &mut reader, &graphs);
+
+        let config = HaqjskConfig {
+            max_layers: Some(2),
+            ..HaqjskConfig::default()
+        };
+        let model = HaqjskModel::fit(&graphs, config, HaqjskVariant::AlignedAdjacency).unwrap();
+        let text = model_to_string(&model);
+        let digest = model_artifact_id(&text);
+
+        // Before the artifact arrives, a model tile is a store miss with
+        // `artifact_missing` set.
+        let kernel = KernelSpec::Model {
+            artifact: digest.clone(),
+        };
+        let miss = exchange(
+            &mut writer,
+            &mut reader,
+            &wire::tile_request(&id, 0, &kernel.to_json(), &[(0, 1)], 1),
+        );
+        match wire::parse_tile_reply(&miss).unwrap() {
+            wire::TileReply::StoreMiss {
+                artifact_missing, ..
+            } => assert!(artifact_missing),
+            other => panic!("expected an artifact miss, got {other:?}"),
+        }
+
+        // Ship the artifact in two chunks and commit.
+        let begin = exchange(
+            &mut writer,
+            &mut reader,
+            &wire::artifact_begin_request(&digest),
+        );
+        assert_eq!(begin.get("have").and_then(Json::as_bool), Some(false));
+        let mid = text.len() / 2;
+        let mid = (mid..text.len())
+            .find(|&i| text.is_char_boundary(i))
+            .unwrap();
+        exchange(
+            &mut writer,
+            &mut reader,
+            &wire::artifact_chunk_request(&digest, &text[..mid]),
+        );
+        exchange(
+            &mut writer,
+            &mut reader,
+            &wire::artifact_chunk_request(&digest, &text[mid..]),
+        );
+        let commit = exchange(
+            &mut writer,
+            &mut reader,
+            &wire::artifact_commit_request(&digest),
+        );
+        assert_eq!(commit.get("parsed").and_then(Json::as_bool), Some(true));
+
+        // A second begin reports the artifact as already held.
+        let again = exchange(
+            &mut writer,
+            &mut reader,
+            &wire::artifact_begin_request(&digest),
+        );
+        assert_eq!(again.get("have").and_then(Json::as_bool), Some(true));
+
+        // Model tiles now answer the exact serial kernel values.
+        let pairs = vec![(0, 0), (0, 1), (1, 2), (2, 3)];
+        let response = exchange(
+            &mut writer,
+            &mut reader,
+            &wire::tile_request(&id, 9, &kernel.to_json(), &pairs, 1),
+        );
+        let tile = wire::parse_tile_response(&response).unwrap();
+        assert_eq!(tile.job, 9);
+        let aligned = model.transform_all(&graphs).unwrap();
+        for (&(i, j), value) in pairs.iter().zip(&tile.values) {
+            let expected = model.kernel(&aligned[i], &aligned[j]);
+            assert_eq!(value.to_bits(), expected.to_bits());
+        }
+
+        // A commit whose text does not hash to the announced id fails.
+        let fake = "not a model";
+        exchange(
+            &mut writer,
+            &mut reader,
+            &wire::artifact_begin_request("bogus"),
+        );
+        exchange(
+            &mut writer,
+            &mut reader,
+            &wire::artifact_chunk_request("bogus", fake),
+        );
+        let bad = exchange(
+            &mut writer,
+            &mut reader,
+            &wire::artifact_commit_request("bogus"),
+        );
+        assert_eq!(bad.get("ok").and_then(Json::as_bool), Some(false));
+    }
+
+    #[test]
+    fn chaos_store_miss_is_transient_and_counted() {
+        let server = WorkerServer::spawn("127.0.0.1:0", WorkerOptions::default()).unwrap();
+        let stream = TcpStream::connect(server.local_addr()).unwrap();
+        let mut writer = stream.try_clone().unwrap();
+        let mut reader = BufReader::new(stream);
+
+        let graphs = vec![path_graph(4), cycle_graph(5)];
+        let id = ship_dataset(&mut writer, &mut reader, &graphs);
+
+        // Arm a plan that misses on every tile (seeded, miss:1000).
+        let plan = ChaosPlan::parse("seed:7,miss:1000").unwrap();
+        let armed = exchange(&mut writer, &mut reader, &wire::chaos_request(Some(&plan)));
+        assert_eq!(armed.get("armed").and_then(Json::as_bool), Some(true));
+
+        let kernel = KernelSpec::QjskUnaligned { mu: 1.0 }.to_json();
+        let first = exchange(
+            &mut writer,
+            &mut reader,
+            &wire::tile_request(&id, 4, &kernel, &[(0, 1)], 1),
+        );
+        let missing = match wire::parse_tile_reply(&first).unwrap() {
+            wire::TileReply::StoreMiss { job, missing, .. } => {
+                assert_eq!(job, 4);
+                assert_eq!(missing.len(), 1);
+                missing
+            }
+            other => panic!("expected a chaos store miss, got {other:?}"),
+        };
+
+        // Repair: re-ship exactly the evicted graph, and the *same* job
+        // succeeds on retry — the last-miss guard makes the injected miss
+        // transient even at miss:1000.
+        let keys = dataset_keys(&graphs);
+        exchange(
+            &mut writer,
+            &mut reader,
+            &wire::dataset_begin_request(&id, &keys),
+        );
+        let refs: Vec<&Graph> = missing.iter().map(|&i| &graphs[i]).collect();
+        exchange(
+            &mut writer,
+            &mut reader,
+            &wire::dataset_graphs_request(&id, &missing, &refs),
+        );
+        exchange(&mut writer, &mut reader, &wire::dataset_commit_request(&id));
+        let retry = exchange(
+            &mut writer,
+            &mut reader,
+            &wire::tile_request(&id, 4, &kernel, &[(0, 1)], 1),
+        );
+        let tile = wire::parse_tile_response(&retry).unwrap();
+        assert_eq!(tile.job, 4);
+
+        // Disarm; stats report the injected miss.
+        exchange(&mut writer, &mut reader, &wire::chaos_request(None));
+        let stats = exchange(
+            &mut writer,
+            &mut reader,
+            &Json::obj([("cmd", Json::Str("stats".to_string()))]),
+        );
+        assert_eq!(
+            stats.get("chaos_armed").and_then(Json::as_bool),
+            Some(false)
+        );
+        assert!(stats.get("store_miss_replies").and_then(Json::as_usize) >= Some(1));
     }
 
     #[test]
@@ -440,20 +992,7 @@ mod tests {
         let mut reader = BufReader::new(stream);
 
         let graphs = vec![path_graph(4), cycle_graph(5)];
-        let keys = dataset_keys(&graphs);
-        let id = dataset_id(&keys);
-        exchange(
-            &mut writer,
-            &mut reader,
-            &wire::dataset_begin_request(&id, &keys),
-        );
-        let refs: Vec<&Graph> = graphs.iter().collect();
-        exchange(
-            &mut writer,
-            &mut reader,
-            &wire::dataset_graphs_request(&id, &[0, 1], &refs),
-        );
-        exchange(&mut writer, &mut reader, &wire::dataset_commit_request(&id));
+        let id = ship_dataset(&mut writer, &mut reader, &graphs);
 
         // Arm: one more tile succeeds, then the connection dies.
         let arm = exchange(
@@ -470,13 +1009,13 @@ mod tests {
         let ok = exchange(
             &mut writer,
             &mut reader,
-            &wire::tile_request(&id, 0, &kernel, &[(0, 1)]),
+            &wire::tile_request(&id, 0, &kernel, &[(0, 1)], 1),
         );
         assert_eq!(ok.get("ok").and_then(Json::as_bool), Some(true));
         let injected = exchange(
             &mut writer,
             &mut reader,
-            &wire::tile_request(&id, 1, &kernel, &[(0, 1)]),
+            &wire::tile_request(&id, 1, &kernel, &[(0, 1)], 1),
         );
         assert_eq!(injected.get("ok").and_then(Json::as_bool), Some(false));
         // The worker hung up after the injected failure: the next exchange

@@ -51,6 +51,21 @@ pub struct RemoteGram<'a> {
     pub params: Vec<(&'static str, f64)>,
     /// The dataset the pair indices refer to.
     pub graphs: &'a [haqjsk_graph::Graph],
+    /// An opaque fitted-state artifact (e.g. a persisted model) the kernel
+    /// needs on the worker beyond its numeric parameters. Shipped
+    /// content-addressed like the dataset, so repeated Grams over the same
+    /// fitted state ship it once per worker.
+    pub artifact: Option<RemoteArtifact<'a>>,
+}
+
+/// A content-addressed blob accompanying a [`RemoteGram`]: the serialised
+/// fitted state a parameterless `kernel_id` cannot reconstruct on its own.
+pub struct RemoteArtifact<'a> {
+    /// Content digest of `payload` (hex); workers dedup on it.
+    pub id: String,
+    /// The serialised artifact text (line-oriented, e.g. a persisted
+    /// model from `haqjsk-core::persistence`).
+    pub payload: &'a str,
 }
 
 /// A per-item feature-extraction hook: `prefetch(i)` warms whatever cached

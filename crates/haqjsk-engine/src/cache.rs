@@ -281,7 +281,7 @@ pub struct ShardStats {
 /// functions) for keys seen more than once. Counters are halved (and the
 /// doorkeeper reset) every [`FrequencySketch::sample`] recorded accesses so
 /// estimates track *recent* popularity — the standard TinyLFU aging scheme.
-struct FrequencySketch {
+pub struct FrequencySketch {
     /// Two 4-bit counters per byte; `SKETCH_COUNTERS` logical slots.
     counters: Vec<u8>,
     /// Doorkeeper bitset (`DOORKEEPER_BITS` bits).
@@ -313,8 +313,15 @@ fn sketch_mix(key: GraphKey, seed: u64) -> u64 {
     x ^ (x >> 31)
 }
 
+impl Default for FrequencySketch {
+    fn default() -> Self {
+        FrequencySketch::new()
+    }
+}
+
 impl FrequencySketch {
-    fn new() -> Self {
+    /// An empty sketch (all frequencies zero).
+    pub fn new() -> Self {
         FrequencySketch {
             counters: vec![0u8; SKETCH_COUNTERS / 2],
             doorkeeper: vec![0u64; DOORKEEPER_BITS / 64],
@@ -353,7 +360,7 @@ impl FrequencySketch {
     }
 
     /// Records one access to `key`.
-    fn record(&mut self, key: GraphKey) {
+    pub fn record(&mut self, key: GraphKey) {
         let bit = Self::doorkeeper_slot(key);
         let word = &mut self.doorkeeper[bit / 64];
         let mask = 1u64 << (bit % 64);
@@ -374,7 +381,7 @@ impl FrequencySketch {
     }
 
     /// The estimated access frequency of `key` this aging period.
-    fn estimate(&self, key: GraphKey) -> u32 {
+    pub fn estimate(&self, key: GraphKey) -> u32 {
         let min = SKETCH_SEEDS
             .iter()
             .map(|&seed| self.counter(sketch_mix(key, seed) as usize & (SKETCH_COUNTERS - 1)))
@@ -406,15 +413,22 @@ struct LruNode {
 
 /// Doubly linked LRU order over a slab of nodes: head = most recently
 /// used, tail = eviction candidate.
-struct LruList {
+pub struct LruList {
     nodes: Vec<LruNode>,
     free: Vec<usize>,
     head: usize,
     tail: usize,
 }
 
+impl Default for LruList {
+    fn default() -> Self {
+        LruList::new()
+    }
+}
+
 impl LruList {
-    fn new() -> Self {
+    /// An empty list.
+    pub fn new() -> Self {
         LruList {
             nodes: Vec::new(),
             free: Vec::new(),
@@ -423,7 +437,9 @@ impl LruList {
         }
     }
 
-    fn push_front(&mut self, key: GraphKey) -> usize {
+    /// Inserts `key` at the front (most recently used); returns the node's
+    /// stable slab index for [`LruList::touch`] / [`LruList::remove`].
+    pub fn push_front(&mut self, key: GraphKey) -> usize {
         let node = LruNode {
             key,
             prev: NIL,
@@ -464,7 +480,7 @@ impl LruList {
     }
 
     /// Removes the node and recycles its slot; returns its key.
-    fn remove(&mut self, idx: usize) -> GraphKey {
+    pub fn remove(&mut self, idx: usize) -> GraphKey {
         self.unlink(idx);
         self.free.push(idx);
         self.nodes[idx].prev = NIL;
@@ -473,7 +489,7 @@ impl LruList {
     }
 
     /// Moves the node to the front (most recently used).
-    fn touch(&mut self, idx: usize) {
+    pub fn touch(&mut self, idx: usize) {
         if self.head == idx {
             return;
         }
@@ -489,8 +505,27 @@ impl LruList {
         }
     }
 
-    fn tail_key(&self) -> Option<GraphKey> {
+    /// The least-recently-used key (the next eviction candidate).
+    pub fn tail_key(&self) -> Option<GraphKey> {
         (self.tail != NIL).then(|| self.nodes[self.tail].key)
+    }
+
+    /// The slab index of the least-recently-used node.
+    pub fn tail_idx(&self) -> Option<usize> {
+        (self.tail != NIL).then_some(self.tail)
+    }
+
+    /// The next node toward the most-recently-used end — walks the list in
+    /// eviction-priority order when started from [`LruList::tail_idx`].
+    /// The index must name a live node.
+    pub fn toward_head(&self, idx: usize) -> Option<usize> {
+        let prev = self.nodes[idx].prev;
+        (prev != NIL).then_some(prev)
+    }
+
+    /// The key stored at a live node index.
+    pub fn key_at(&self, idx: usize) -> GraphKey {
+        self.nodes[idx].key
     }
 }
 

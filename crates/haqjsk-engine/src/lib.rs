@@ -72,12 +72,13 @@ pub mod pool;
 pub mod serve;
 
 pub use backend::{
-    distributed_backend, install_distributed_backend, BackendKind, GramBackend, RemoteGram,
-    TileEvaluator, BACKEND_ENV_VAR,
+    distributed_backend, install_distributed_backend, BackendKind, GramBackend, RemoteArtifact,
+    RemoteGram, TileEvaluator, BACKEND_ENV_VAR,
 };
 pub use cache::{
     parse_byte_size, AdmissionPolicy, CacheConfig, CacheStats, CacheWeight, FeatureCache,
-    ShardStats, CACHE_ADMISSION_ENV_VAR, CACHE_BUDGET_ENV_VAR, CACHE_SHARDS_ENV_VAR,
+    FrequencySketch, LruList, ShardStats, CACHE_ADMISSION_ENV_VAR, CACHE_BUDGET_ENV_VAR,
+    CACHE_SHARDS_ENV_VAR,
 };
 pub use engine::{Engine, EngineBuilder};
 pub use hash::{graph_key, GraphKey};

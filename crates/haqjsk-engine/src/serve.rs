@@ -36,6 +36,15 @@ pub trait Handler: Send + Sync + 'static {
     fn hangup_after(&self, _request: &Json) -> bool {
         false
     }
+
+    /// Whether the response to `request` should be *swallowed*: the
+    /// connection closes immediately without writing anything, so the peer
+    /// observes a mid-stream EOF instead of a reply. The distributed
+    /// worker's chaos harness uses this to simulate a worker dying between
+    /// receiving a request and answering it. The default never swallows.
+    fn swallow_response(&self, _request: &Json) -> bool {
+        false
+    }
 }
 
 impl<F> Handler for F
@@ -166,6 +175,14 @@ pub fn serve_connection(stream: TcpStream, handler: &dyn Handler) -> std::io::Re
                 (error_response(&format!("malformed request: {e}")), None)
             }
         };
+        if let Some(request) = &request {
+            if handler.swallow_response(request) {
+                // Deliberate mid-stream hangup: drop the connection without
+                // answering, so the peer sees an EOF where a response line
+                // was due.
+                break;
+            }
+        }
         writer.write_all(response.to_string().as_bytes())?;
         writer.write_all(b"\n")?;
         writer.flush()?;

@@ -232,6 +232,7 @@ impl GraphKernel for JensenTsallisKernel {
             kernel_id: JensenTsallisKernel::REMOTE_KERNEL_ID,
             params: vec![("q", self.q), ("wl_iterations", self.wl_iterations as f64)],
             graphs,
+            artifact: None,
         };
         gram_from_tiles_spec(
             graphs.len(),

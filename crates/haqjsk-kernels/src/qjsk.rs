@@ -163,6 +163,7 @@ impl GraphKernel for QjskUnaligned {
             kernel_id: QjskUnaligned::REMOTE_KERNEL_ID,
             params: vec![("mu", self.mu)],
             graphs,
+            artifact: None,
         };
         gram_from_tiles_spec(
             graphs.len(),
@@ -334,6 +335,7 @@ impl GraphKernel for QjskAligned {
             kernel_id: QjskAligned::REMOTE_KERNEL_ID,
             params: vec![("mu", self.mu)],
             graphs,
+            artifact: None,
         };
         gram_from_tiles_spec(
             graphs.len(),

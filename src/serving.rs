@@ -23,6 +23,8 @@
 //! | `stats`      | —                                                 | engine threads + feature-cache counters |
 //! | `metrics`    | —                                                 | the metrics registry as Prometheus text + structured JSON |
 //! | `trace_dump` | —                                                 | drains the span tracer's ring buffers as JSON lines |
+//! | `add_workers` | `workers`                                        | joins addresses to the running worker pool (per-address errors reported) |
+//! | `remove_workers` | `workers`                                     | drains addresses out of the running worker pool |
 //!
 //! Graphs travel as `{"n":N,"edges":[[u,v],...],"labels":[...]?}`. Config
 //! fields (all optional): `hierarchy_levels`, `num_prototypes`, `layer_cap`,
@@ -122,6 +124,8 @@ pub fn handle(state: &Mutex<ServerState>, request: &Json) -> Json {
         "stats" => cmd_stats(state),
         "metrics" => cmd_metrics(),
         "trace_dump" => cmd_trace_dump(),
+        "add_workers" => cmd_add_workers(request),
+        "remove_workers" => cmd_remove_workers(request),
         other => error_response(&format!("unknown command '{other}'")),
     }
 }
@@ -216,31 +220,95 @@ fn parse_labels(request: &Json, expected: usize) -> Result<Option<Vec<usize>>, S
         .map(Some)
 }
 
-/// Connects and installs a distributed worker pool when the request lists
-/// `workers`; returns the backend the model's Grams should run on.
-///
-/// The pool is installed process-wide (it serves the quantum baseline
-/// kernels' spec-carrying Grams); computations without a serialisable spec
-/// — including the HAQJSK model kernel itself today — execute locally on
-/// the tiled pool, so configuring workers never makes a fit fail.
-fn parse_workers(request: &Json) -> Result<Option<BackendKind>, String> {
-    let Some(workers_json) = request.get("workers") else {
-        return Ok(None);
-    };
-    let addrs = workers_json
+fn worker_addrs(request: &Json) -> Result<Vec<String>, String> {
+    request
+        .get("workers")
+        .ok_or("request needs an array field 'workers'")?
         .as_array()
         .ok_or("'workers' must be an array of host:port strings")?
         .iter()
         .map(|w| {
             w.as_str()
                 .map(str::to_string)
-                .ok_or("'workers' entries must be strings")
+                .ok_or_else(|| "'workers' entries must be strings".to_string())
         })
-        .collect::<Result<Vec<_>, _>>()?;
+        .collect()
+}
+
+/// Connects and installs a distributed worker pool when the request lists
+/// `workers`; returns the backend the model's Grams should run on.
+///
+/// The pool is installed process-wide (it serves the spec-carrying Grams
+/// of the quantum baseline kernels *and* the fitted model, which ships as
+/// a content-addressed artifact); computations without a serialisable
+/// spec execute locally on the tiled pool, so configuring workers never
+/// makes a fit fail. The connect itself is resilient: each unreachable
+/// address is retried once with a short backoff, and the fit proceeds
+/// degraded (with a loud warning and a `workers_unreachable` count in the
+/// response) as long as *one* worker answers — only a fully dark pool is
+/// an error.
+fn parse_workers(request: &Json) -> Result<Option<BackendKind>, String> {
+    if request.get("workers").is_none() {
+        return Ok(None);
+    };
+    let addrs = worker_addrs(request)?;
     let coordinator = Coordinator::connect(&addrs, DistConfig::from_env())
         .map_err(|e| format!("cannot connect worker pool: {e}"))?;
     crate::dist::set_coordinator(Some(Arc::new(coordinator)));
     Ok(Some(BackendKind::Distributed))
+}
+
+/// Joins each listed address to the running pool
+/// ([`Coordinator::add_worker`]); per-address failures are reported, not
+/// fatal, so one dead address cannot block a batch join.
+fn cmd_add_workers(request: &Json) -> Json {
+    let run = || -> Result<Json, String> {
+        let coordinator = crate::dist::current_coordinator()
+            .ok_or("no worker pool installed (fit with 'workers' first)")?;
+        let addrs = worker_addrs(request)?;
+        let mut errors = Vec::new();
+        let mut added = 0;
+        for addr in &addrs {
+            match coordinator.add_worker(addr) {
+                Ok(()) => added += 1,
+                Err(e) => errors.push(Json::Str(format!("{addr}: {e}"))),
+            }
+        }
+        Ok(Json::obj([
+            ("ok", Json::Bool(true)),
+            ("added", Json::Num(added as f64)),
+            ("errors", Json::Arr(errors)),
+            ("workers", Json::Num(coordinator.num_workers() as f64)),
+            ("epoch", Json::Num(coordinator.epoch() as f64)),
+        ]))
+    };
+    run().unwrap_or_else(|e| error_response(&e))
+}
+
+/// Drains each listed address out of the running pool
+/// ([`Coordinator::remove_worker`]).
+fn cmd_remove_workers(request: &Json) -> Json {
+    let run = || -> Result<Json, String> {
+        let coordinator = crate::dist::current_coordinator()
+            .ok_or("no worker pool installed (fit with 'workers' first)")?;
+        let addrs = worker_addrs(request)?;
+        let mut errors = Vec::new();
+        let mut removed = 0;
+        for addr in &addrs {
+            match coordinator.remove_worker(addr) {
+                Ok(()) => removed += 1,
+                Err(e) => errors.push(Json::Str(format!("{addr}: {e}"))),
+            }
+        }
+        Ok(Json::obj([
+            ("ok", Json::Bool(true)),
+            ("removed", Json::Num(removed as f64)),
+            ("errors", Json::Arr(errors)),
+            ("workers", Json::Num(coordinator.num_workers() as f64)),
+            ("epoch", Json::Num(coordinator.epoch() as f64)),
+        ]))
+    };
+    run().unwrap_or_else(|e| error_response(&e))
 }
 
 fn cmd_fit(state: &Mutex<ServerState>, request: &Json) -> Json {
@@ -265,7 +333,17 @@ fn cmd_fit(state: &Mutex<ServerState>, request: &Json) -> Json {
         if let Some(backend) = backend {
             pairs.push(("backend", Json::Str(backend.label().to_string())));
             if let Some(coordinator) = crate::dist::current_coordinator() {
-                pairs.push(("workers", Json::Num(coordinator.num_workers() as f64)));
+                let stats = coordinator.stats();
+                let reachable = stats
+                    .workers
+                    .iter()
+                    .filter(|w| w.state == crate::dist::LinkState::Alive)
+                    .count();
+                let unreachable = stats.workers.len() - reachable;
+                pairs.push(("workers", Json::Num(stats.workers.len() as f64)));
+                pairs.push(("workers_reachable", Json::Num(reachable as f64)));
+                pairs.push(("workers_unreachable", Json::Num(unreachable as f64)));
+                pairs.push(("degraded", Json::Bool(unreachable > 0)));
             }
         }
         let response = Json::obj(pairs);
@@ -469,18 +547,28 @@ fn dist_stats_to_json(stats: &DistStats) -> Json {
             Json::obj([
                 ("addr", Json::Str(w.addr.clone())),
                 ("alive", Json::Bool(w.alive)),
+                ("state", Json::Str(w.state.label().to_string())),
                 ("tiles_dispatched", Json::Num(w.tiles_dispatched as f64)),
                 ("tiles_completed", Json::Num(w.tiles_completed as f64)),
                 ("tiles_redispatched", Json::Num(w.tiles_redispatched as f64)),
                 ("bytes_shipped", Json::Num(w.bytes_shipped as f64)),
                 ("datasets_shipped", Json::Num(w.datasets_shipped as f64)),
                 ("deaths", Json::Num(w.deaths as f64)),
+                ("reconnects", Json::Num(w.reconnects as f64)),
+                ("store_misses", Json::Num(w.store_misses as f64)),
             ])
         })
         .collect();
     Json::obj([
         ("workers", Json::Arr(workers)),
+        ("epoch", Json::Num(stats.epoch as f64)),
         ("grams", Json::Num(stats.grams as f64)),
+        ("tiles_scheduled", Json::Num(stats.tiles_scheduled as f64)),
+        ("tiles_committed", Json::Num(stats.tiles_committed as f64)),
+        (
+            "artifacts_shipped",
+            Json::Num(stats.artifacts_shipped as f64),
+        ),
         (
             "local_fallback_grams",
             Json::Num(stats.local_fallback_grams as f64),
