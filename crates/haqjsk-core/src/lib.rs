@@ -42,4 +42,7 @@ pub mod persistence;
 pub use config::{HaqjskConfig, HaqjskVariant};
 pub use hierarchy::PrototypeHierarchy;
 pub use model::{AlignedGraph, HaqjskModel};
-pub use persistence::{model_artifact_id, model_from_string, model_to_string};
+pub use persistence::{
+    load_model_file, model_artifact_id, model_from_string, model_to_string, persisted_model_text,
+    save_model_file, tmp_sibling, PersistenceError,
+};

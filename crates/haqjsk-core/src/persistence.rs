@@ -19,12 +19,32 @@
 //! proto <v_1> <v_2> ... <v_k>
 //! ...
 //! end
+//! checksum <fnv128-hex>        (optional integrity footer)
 //! ```
+//!
+//! The `checksum` footer is the FNV-1a 128-bit digest
+//! ([`model_artifact_id`]) of everything up to and including the `end`
+//! line. [`persisted_model_text`] emits it, [`model_from_string`] verifies
+//! it when present and hard-errors on a mismatch; footer-less v1 text (the
+//! pre-footer format, and [`model_to_string`]'s output, whose digest *is*
+//! the distributed artifact id and therefore must not change) still loads.
+//!
+//! ## Crash-safe files
+//!
+//! [`save_model_file`] writes the footered text to `<path>.tmp`, fsyncs
+//! it, and atomically renames it over `<path>` (fsyncing the directory,
+//! best-effort), so a crash at any instant leaves either the previous
+//! complete model or the new complete model at `<path>` — never a torn
+//! file. [`load_model_file`] reads and checksum-verifies a model, and when
+//! `<path>` is missing but a stray `<path>.tmp` exists, says so explicitly
+//! (an interrupted save never committed).
 
 use crate::config::{HaqjskConfig, HaqjskVariant};
 use crate::hierarchy::{LayerHierarchy, PrototypeHierarchy};
 use crate::model::HaqjskModel;
 use std::fmt::Write as _;
+use std::io::Write as _;
+use std::path::{Path, PathBuf};
 
 /// Errors produced while parsing a serialised model.
 #[derive(Debug, Clone, PartialEq)]
@@ -97,8 +117,69 @@ pub fn model_artifact_id(text: &str) -> String {
     format!("{state:032x}")
 }
 
-/// Restores a fitted model from the text format.
+/// Serialises a fitted model with the integrity footer appended — the
+/// form [`save_model_file`] writes to disk. Kept separate from
+/// [`model_to_string`] because the latter's exact bytes are the
+/// distributed model-artifact content address.
+pub fn persisted_model_text(model: &HaqjskModel) -> String {
+    let mut text = model_to_string(model);
+    let digest = model_artifact_id(&text);
+    writeln!(text, "checksum {digest}").expect("writing to String cannot fail");
+    text
+}
+
+/// Splits serialised model text into the body (through the `end` line,
+/// inclusive) and the optional `checksum` footer value. Errors on trailing
+/// garbage after `end` that is not exactly one well-formed footer line.
+fn split_footer(text: &str) -> Result<(&str, Option<&str>), PersistenceError> {
+    let mut offset = 0usize;
+    let mut body_end = None;
+    for chunk in text.split_inclusive('\n') {
+        offset += chunk.len();
+        if chunk.trim() == "end" {
+            body_end = Some(offset);
+            break;
+        }
+    }
+    let Some(body_end) = body_end else {
+        // No `end` line: let the body parser produce its own error (or
+        // succeed, for hand-written fixtures) — there is no footer.
+        return Ok((text, None));
+    };
+    let (body, trailer) = text.split_at(body_end);
+    let mut footer = None;
+    for line in trailer.lines().map(str::trim).filter(|l| !l.is_empty()) {
+        let mut parts = line.split_whitespace();
+        match (parts.next(), parts.next(), parts.next(), footer) {
+            (Some("checksum"), Some(digest), None, None) => footer = Some(digest),
+            (Some("checksum"), _, _, Some(_)) => {
+                return Err(PersistenceError("duplicate checksum footer".to_string()));
+            }
+            _ => {
+                return Err(PersistenceError(format!(
+                    "unexpected content after 'end': '{line}'"
+                )));
+            }
+        }
+    }
+    Ok((body, footer))
+}
+
+/// Restores a fitted model from the text format, verifying the `checksum`
+/// footer when one is present (footer-less v1 text is accepted for
+/// backward compatibility; a mismatched checksum is a hard error).
 pub fn model_from_string(text: &str) -> Result<HaqjskModel, PersistenceError> {
+    let (body, footer) = split_footer(text)?;
+    if let Some(expected) = footer {
+        let actual = model_artifact_id(body);
+        if actual != expected {
+            return Err(PersistenceError(format!(
+                "checksum mismatch: footer says {expected}, content hashes to {actual} \
+                 (the file is corrupt or was modified)"
+            )));
+        }
+    }
+    let text = body;
     let mut lines = text.lines().map(str::trim).filter(|l| !l.is_empty());
     let header = lines
         .next()
@@ -232,6 +313,71 @@ pub fn model_from_string(text: &str) -> Result<HaqjskModel, PersistenceError> {
     ))
 }
 
+/// The sibling temporary path an in-progress [`save_model_file`] writes
+/// to before committing: `<path>.tmp` (extension appended, not replaced).
+pub fn tmp_sibling(path: &Path) -> PathBuf {
+    let mut os = path.as_os_str().to_os_string();
+    os.push(".tmp");
+    PathBuf::from(os)
+}
+
+/// Atomically persists a fitted model to `path` with an integrity footer:
+/// writes [`persisted_model_text`] to `<path>.tmp`, fsyncs it, renames it
+/// over `path`, and fsyncs the parent directory (best-effort). A crash at
+/// any point leaves `path` either untouched (previous model intact) or
+/// fully written — never torn.
+pub fn save_model_file(model: &HaqjskModel, path: &Path) -> std::io::Result<()> {
+    let text = persisted_model_text(model);
+    let tmp = tmp_sibling(path);
+    {
+        let mut file = std::fs::File::create(&tmp)?;
+        file.write_all(text.as_bytes())?;
+        // The contents must be durable before the rename commits them, or
+        // a crash could leave a committed name pointing at torn bytes.
+        file.sync_all()?;
+    }
+    std::fs::rename(&tmp, path)?;
+    if let Some(parent) = path.parent() {
+        // Durability of the rename itself; failure here only weakens the
+        // crash window, it does not corrupt anything.
+        if let Ok(dir) = std::fs::File::open(parent) {
+            let _ = dir.sync_all();
+        }
+    }
+    Ok(())
+}
+
+/// Loads and checksum-verifies a model saved by [`save_model_file`]
+/// (footer-less v1 files also load). When `path` is missing but a stray
+/// `<path>.tmp` exists, the error says a save was interrupted mid-write —
+/// the temporary was never committed and the previous model (if any) was
+/// the last durable state.
+pub fn load_model_file(path: &Path) -> Result<HaqjskModel, PersistenceError> {
+    let text = match std::fs::read_to_string(path) {
+        Ok(text) => text,
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => {
+            let tmp = tmp_sibling(path);
+            if tmp.exists() {
+                return Err(PersistenceError(format!(
+                    "{} not found, but {} exists: a save was interrupted mid-write and never \
+                     committed; the temporary file is not trusted (delete it and re-save)",
+                    path.display(),
+                    tmp.display()
+                )));
+            }
+            return Err(PersistenceError(format!("{} not found", path.display())));
+        }
+        Err(e) => {
+            return Err(PersistenceError(format!(
+                "cannot read {}: {e}",
+                path.display()
+            )));
+        }
+    };
+    model_from_string(&text)
+        .map_err(|PersistenceError(msg)| PersistenceError(format!("{}: {msg}", path.display())))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -314,5 +460,145 @@ mod tests {
         assert!(text.contains("variant D"));
         assert!(text.contains("max_layers"));
         assert!(text.lines().filter(|l| l.starts_with("layer ")).count() >= 1);
+    }
+
+    /// A unique scratch directory per test (no tempfile crate available).
+    fn scratch_dir(name: &str) -> PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("haqjsk-persistence-{}-{name}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    #[test]
+    fn footered_text_roundtrips_and_verifies() {
+        let (_, model) = fitted_model();
+        let text = persisted_model_text(&model);
+        assert!(text.contains("\nchecksum "));
+        let restored = model_from_string(&text).unwrap();
+        assert_eq!(
+            restored.hierarchy().max_layers(),
+            model.hierarchy().max_layers()
+        );
+        // The footer digest is computed over exactly the artifact-id body,
+        // so the on-disk form stays content-addressable.
+        let body = model_to_string(&model);
+        assert!(text.starts_with(&body));
+        assert!(text.ends_with(&format!("checksum {}\n", model_artifact_id(&body))));
+    }
+
+    #[test]
+    fn footer_less_v1_text_still_loads() {
+        let (_, model) = fitted_model();
+        let text = model_to_string(&model); // no footer — the pre-footer format
+        assert!(!text.contains("checksum"));
+        assert!(model_from_string(&text).is_ok());
+    }
+
+    #[test]
+    fn flipped_byte_fails_the_checksum() {
+        let (_, model) = fitted_model();
+        let text = persisted_model_text(&model);
+        // Flip one digit inside a prototype value — the parse would still
+        // succeed, only the checksum catches it.
+        let idx = text.find("proto ").unwrap() + "proto ".len() + 3;
+        let mut bytes = text.into_bytes();
+        bytes[idx] = if bytes[idx] == b'5' { b'6' } else { b'5' };
+        let tampered = String::from_utf8(bytes).unwrap();
+        let err = model_from_string(&tampered).unwrap_err();
+        assert!(err.0.contains("checksum mismatch"), "got: {}", err.0);
+    }
+
+    #[test]
+    fn truncated_text_is_rejected() {
+        let (_, model) = fitted_model();
+        let text = persisted_model_text(&model);
+        // Truncation before `end` loses the footer too; the parse then
+        // fails structurally (incomplete, but keywords are well-formed
+        // only by luck) — cutting mid-line guarantees a hard error.
+        let cut = text.len() / 2;
+        let truncated = &text[..cut];
+        assert!(model_from_string(truncated).is_err());
+    }
+
+    #[test]
+    fn trailing_garbage_after_end_is_rejected() {
+        let (_, model) = fitted_model();
+        let mut text = model_to_string(&model);
+        text.push_str("variant A\n");
+        let err = model_from_string(&text).unwrap_err();
+        assert!(err.0.contains("after 'end'"), "got: {}", err.0);
+        let mut twice = persisted_model_text(&model);
+        twice.push_str("checksum 00\n");
+        let err = model_from_string(&twice).unwrap_err();
+        assert!(err.0.contains("duplicate"), "got: {}", err.0);
+    }
+
+    #[test]
+    fn save_load_file_roundtrip_is_byte_identical() {
+        let dir = scratch_dir("roundtrip");
+        let path = dir.join("model.haqjsk");
+        let (_, model) = fitted_model();
+        save_model_file(&model, &path).unwrap();
+        assert!(!tmp_sibling(&path).exists(), "tmp was renamed away");
+        let on_disk = std::fs::read_to_string(&path).unwrap();
+        assert_eq!(on_disk, persisted_model_text(&model));
+        let restored = load_model_file(&path).unwrap();
+        assert_eq!(model_to_string(&restored), model_to_string(&model));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn save_replaces_previous_model_atomically() {
+        let dir = scratch_dir("replace");
+        let path = dir.join("model.haqjsk");
+        let (_, model) = fitted_model();
+        save_model_file(&model, &path).unwrap();
+        // Second save over the same path: rename replaces, never appends.
+        save_model_file(&model, &path).unwrap();
+        assert_eq!(
+            std::fs::read_to_string(&path).unwrap(),
+            persisted_model_text(&model)
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn corrupted_file_is_rejected_on_load() {
+        let dir = scratch_dir("corrupt");
+        let path = dir.join("model.haqjsk");
+        let (_, model) = fitted_model();
+        save_model_file(&model, &path).unwrap();
+        let mut bytes = std::fs::read(&path).unwrap();
+        let idx = bytes.len() / 2;
+        bytes[idx] ^= 0x01;
+        std::fs::write(&path, &bytes).unwrap();
+        let err = load_model_file(&path).unwrap_err();
+        assert!(
+            err.0.contains("checksum mismatch") || err.0.contains("parse"),
+            "got: {}",
+            err.0
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn stray_tmp_from_a_crashed_save_is_reported() {
+        let dir = scratch_dir("stray-tmp");
+        let path = dir.join("model.haqjsk");
+        // Simulate a crash between tmp-write and rename: only the tmp
+        // exists (torn, at that).
+        std::fs::write(tmp_sibling(&path), b"haqjsk-model v1\nvariant A\nconf").unwrap();
+        let err = load_model_file(&path).unwrap_err();
+        assert!(err.0.contains("interrupted mid-write"), "got: {}", err.0);
+
+        // With a previous committed model present, the stray tmp is
+        // irrelevant: the committed file loads.
+        let (_, model) = fitted_model();
+        save_model_file(&model, &path).unwrap();
+        std::fs::write(tmp_sibling(&path), b"torn bytes from a later crash").unwrap();
+        assert!(load_model_file(&path).is_ok());
+        let _ = std::fs::remove_dir_all(&dir);
     }
 }

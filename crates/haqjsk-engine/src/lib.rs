@@ -84,4 +84,7 @@ pub use engine::{Engine, EngineBuilder};
 pub use hash::{graph_key, GraphKey};
 pub use json::Json;
 pub use pool::{default_thread_count, WorkerPool, THREADS_ENV_VAR};
-pub use serve::{error_response, graph_from_json, graph_to_json, Handler, Server};
+pub use serve::{
+    error_response, graph_from_json, graph_to_json, DrainReport, Handler, ServeConfig,
+    ServeControl, Server,
+};

@@ -175,6 +175,108 @@ pub fn serve_connections_counter() -> &'static Counter {
     })
 }
 
+/// Gauge of connections currently open (incremented on accept, decremented
+/// by the connection guard on close — unlike the accepted-connections
+/// counter, this returns to baseline when clients disconnect).
+pub fn serve_active_connections_gauge() -> &'static Gauge {
+    static GAUGE: OnceLock<Gauge> = OnceLock::new();
+    GAUGE.get_or_init(|| {
+        registry().gauge(
+            "haqjsk_serve_active_connections",
+            "Connections currently open on the serving loop.",
+            &[],
+        )
+    })
+}
+
+/// Counter of connections rejected at accept time because the concurrent
+/// connection cap (`HAQJSK_SERVE_MAX_CONNS`) was reached.
+pub fn serve_conns_rejected_counter() -> &'static Counter {
+    static COUNTER: OnceLock<Counter> = OnceLock::new();
+    COUNTER.get_or_init(|| {
+        registry().counter(
+            "haqjsk_serve_conns_rejected_total",
+            "Connections shed at accept time by the connection cap.",
+            &[],
+        )
+    })
+}
+
+/// Counter of frames rejected for exceeding `HAQJSK_SERVE_MAX_FRAME_BYTES`.
+pub fn serve_frames_oversized_counter() -> &'static Counter {
+    static COUNTER: OnceLock<Counter> = OnceLock::new();
+    COUNTER.get_or_init(|| {
+        registry().counter(
+            "haqjsk_serve_frames_oversized_total",
+            "Request frames rejected for exceeding the frame-size cap.",
+            &[],
+        )
+    })
+}
+
+/// Counter of connections closed because a partially received frame made
+/// no progress within the per-socket I/O timeout (slow-loris defense).
+pub fn serve_io_timeouts_counter() -> &'static Counter {
+    static COUNTER: OnceLock<Counter> = OnceLock::new();
+    COUNTER.get_or_init(|| {
+        registry().counter(
+            "haqjsk_serve_io_timeouts_total",
+            "Connections closed for stalling mid-frame past the I/O timeout.",
+            &[],
+        )
+    })
+}
+
+/// Counter of handler panics caught by the connection loop's panic
+/// isolation (the process keeps serving; the request gets an error line).
+pub fn serve_panics_counter() -> &'static Counter {
+    static COUNTER: OnceLock<Counter> = OnceLock::new();
+    COUNTER.get_or_init(|| {
+        registry().counter(
+            "haqjsk_serve_panics_total",
+            "Handler panics caught and answered with an error envelope.",
+            &[],
+        )
+    })
+}
+
+/// Counter of heavy requests shed by admission control, by operation.
+pub fn serve_rejected_counter(op: &str) -> Counter {
+    registry().counter(
+        "haqjsk_serve_rejected_total",
+        "Heavy requests shed by admission control, by operation.",
+        &[("op", op)],
+    )
+}
+
+/// Counter of requests that exceeded their deadline, by operation.
+pub fn serve_deadline_exceeded_counter(op: &str) -> Counter {
+    registry().counter(
+        "haqjsk_serve_deadline_exceeded_total",
+        "Requests answered with deadline_exceeded, by operation.",
+        &[("op", op)],
+    )
+}
+
+/// One-hot serving-state gauge: exactly one of
+/// `haqjsk_serve_state{state="serving"}` and
+/// `haqjsk_serve_state{state="draining"}` is 1.
+pub fn set_serve_state(draining: bool) {
+    static STATES: OnceLock<[Gauge; 2]> = OnceLock::new();
+    let [serving, drain] = STATES.get_or_init(|| {
+        let make = |state: &str| {
+            registry().gauge(
+                "haqjsk_serve_state",
+                "Serving-loop lifecycle state (one-hot by 'state' label).",
+                &[("state", state)],
+            )
+        };
+        [make("serving"), make("draining")]
+    });
+    serving.set(if draining { 0.0 } else { 1.0 });
+    drain.set(if draining { 1.0 } else { 0.0 });
+}
+
 // ---------------------------------------------------------------------------
 // Snapshot -> Json
 // ---------------------------------------------------------------------------

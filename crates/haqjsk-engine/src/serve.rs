@@ -14,14 +14,121 @@
 //!
 //! Malformed lines never kill the connection: they produce
 //! `{"ok":false,"error":"..."}` responses.
+//!
+//! ## Overload safety
+//!
+//! The transport is hardened against misbehaving clients and overload
+//! spikes ([`ServeConfig`] holds the knobs, all settable via environment
+//! variables):
+//!
+//! * **Connection cap** (`HAQJSK_SERVE_MAX_CONNS`): connections beyond the
+//!   cap receive one `{"ok":false,"error":"overloaded"}` line and a clean
+//!   close instead of a thread.
+//! * **Bounded frames** (`HAQJSK_SERVE_MAX_FRAME_BYTES`): a request line
+//!   longer than the cap is answered with an error line and the connection
+//!   closed — the server never buffers an unbounded line. The distributed
+//!   worker wire shares this framing (a worker is a [`Server`]).
+//! * **Slow-client defense** (`HAQJSK_SERVE_IO_TIMEOUT_MS`): a connection
+//!   that stalls *mid-frame* longer than the timeout is closed (slow-loris
+//!   cannot pin a thread), and writes that stall are bounded by the same
+//!   timeout. Idle connections *between* frames are unaffected — long-lived
+//!   keep-alive clients (the distributed coordinator, serving clients
+//!   between requests) never time out while quiescent.
+//! * **Panic isolation**: a handler panic is caught, answered with
+//!   `{"ok":false,"error":"internal error ..."}`, counted in
+//!   `haqjsk_serve_panics_total`, and the connection (and process) live on.
+//! * **Graceful drain** ([`Server::drain`]): stop accepting, answer
+//!   in-flight requests, close idle connections, all within a deadline —
+//!   observable via the `haqjsk_serve_state` one-hot gauge.
+//!
+//! Internally every connection polls its socket on a short tick so it can
+//! observe shutdown/drain flags while blocked on a quiet peer; the tick
+//! only matters when a socket is idle, so the request/response hot path is
+//! unaffected.
 
 use crate::json::Json;
 use haqjsk_graph::Graph;
-use std::io::{BufRead, BufReader, Write};
-use std::net::{TcpListener, TcpStream};
+use std::io::{ErrorKind, Read, Write};
+use std::net::{IpAddr, Ipv4Addr, Ipv6Addr, SocketAddr, TcpListener, TcpStream};
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::thread;
+use std::time::{Duration, Instant};
+
+/// Environment variable capping concurrent connections.
+pub const MAX_CONNS_ENV_VAR: &str = "HAQJSK_SERVE_MAX_CONNS";
+/// Environment variable bounding a single request frame, in bytes.
+pub const MAX_FRAME_BYTES_ENV_VAR: &str = "HAQJSK_SERVE_MAX_FRAME_BYTES";
+/// Environment variable bounding mid-frame socket stalls, in milliseconds
+/// (`0` disables the timeout).
+pub const IO_TIMEOUT_ENV_VAR: &str = "HAQJSK_SERVE_IO_TIMEOUT_MS";
+
+/// Transport-level limits of a [`Server`]. `Default` is the production
+/// shape; [`ServeConfig::from_env`] layers the `HAQJSK_SERVE_*` variables
+/// on top.
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Maximum concurrently open connections; over-limit connections get
+    /// one `overloaded` error line and a clean close.
+    pub max_conns: usize,
+    /// Maximum bytes of a single request line; longer frames are rejected
+    /// with an error line and the connection is closed.
+    pub max_frame_bytes: usize,
+    /// How long a connection may stall mid-frame (reading) or mid-response
+    /// (writing) before it is closed. `None` disables the defense.
+    pub io_timeout: Option<Duration>,
+    /// Poll granularity of idle connections — how quickly they observe
+    /// shutdown/drain flags. Not environment-configurable; tests shrink it.
+    pub tick: Duration,
+}
+
+impl Default for ServeConfig {
+    fn default() -> ServeConfig {
+        ServeConfig {
+            max_conns: 1024,
+            max_frame_bytes: 4 << 20,
+            io_timeout: Some(Duration::from_secs(30)),
+            tick: Duration::from_millis(100),
+        }
+    }
+}
+
+impl ServeConfig {
+    /// The defaults with any `HAQJSK_SERVE_*` environment overrides
+    /// applied. Unparseable values are hard errors — a typo silently
+    /// falling back to defaults would defeat the operator's intent.
+    pub fn from_env() -> Result<ServeConfig, String> {
+        let mut config = ServeConfig::default();
+        if let Some(v) = parse_env_usize(MAX_CONNS_ENV_VAR)? {
+            if v == 0 {
+                return Err(format!("{MAX_CONNS_ENV_VAR} must be positive"));
+            }
+            config.max_conns = v;
+        }
+        if let Some(v) = parse_env_usize(MAX_FRAME_BYTES_ENV_VAR)? {
+            if v == 0 {
+                return Err(format!("{MAX_FRAME_BYTES_ENV_VAR} must be positive"));
+            }
+            config.max_frame_bytes = v;
+        }
+        if let Some(v) = parse_env_usize(IO_TIMEOUT_ENV_VAR)? {
+            config.io_timeout = (v > 0).then(|| Duration::from_millis(v as u64));
+        }
+        Ok(config)
+    }
+}
+
+fn parse_env_usize(name: &str) -> Result<Option<usize>, String> {
+    match std::env::var(name) {
+        Err(_) => Ok(None),
+        Ok(raw) => raw
+            .trim()
+            .parse::<usize>()
+            .map(Some)
+            .map_err(|e| format!("invalid {name}='{raw}': {e}")),
+    }
+}
 
 /// A request handler: maps one request value to one response value. Must be
 /// shareable across connection threads.
@@ -56,73 +163,279 @@ where
     }
 }
 
+/// State shared between the accept loop, every connection thread, and the
+/// [`ServeControl`] handles.
+struct ServeShared {
+    /// Hard stop: connections exit at their next flag check.
+    shutdown: AtomicBool,
+    /// Drain phase: no new connections, idle connections close, in-flight
+    /// requests are answered.
+    draining: AtomicBool,
+    /// Currently open connections (RAII-guarded).
+    active: AtomicUsize,
+    /// Requests currently being handled or answered.
+    busy: AtomicUsize,
+}
+
+impl ServeShared {
+    fn new() -> Arc<ServeShared> {
+        Arc::new(ServeShared {
+            shutdown: AtomicBool::new(false),
+            draining: AtomicBool::new(false),
+            active: AtomicUsize::new(0),
+            busy: AtomicUsize::new(0),
+        })
+    }
+}
+
+/// A cheap, cloneable handle onto a running server's lifecycle state:
+/// lets a request handler (which is built before the server exists)
+/// request a drain and observe connection/request gauges.
+#[derive(Clone)]
+pub struct ServeControl {
+    shared: Arc<ServeShared>,
+}
+
+impl ServeControl {
+    /// Flips the server into the draining state: the accept loop stops
+    /// taking connections, idle connections close at their next tick, and
+    /// in-flight requests are still answered. Idempotent. The owner of the
+    /// [`Server`] completes the drain with [`Server::drain`].
+    pub fn begin_drain(&self) {
+        if !self.shared.draining.swap(true, Ordering::AcqRel) {
+            crate::obs::set_serve_state(true);
+        }
+    }
+
+    /// Whether a drain has been requested or started.
+    pub fn is_draining(&self) -> bool {
+        self.shared.draining.load(Ordering::Acquire)
+    }
+
+    /// Connections currently open.
+    pub fn active_connections(&self) -> usize {
+        self.shared.active.load(Ordering::Acquire)
+    }
+
+    /// Requests currently being handled or answered.
+    pub fn busy_requests(&self) -> usize {
+        self.shared.busy.load(Ordering::Acquire)
+    }
+}
+
+/// RAII registration of one open connection: keeps the active-connections
+/// count and gauge exact on every exit path (EOF, error, panic, drain).
+struct ConnGuard {
+    shared: Arc<ServeShared>,
+}
+
+impl ConnGuard {
+    fn register(shared: &Arc<ServeShared>) -> ConnGuard {
+        shared.active.fetch_add(1, Ordering::AcqRel);
+        crate::obs::serve_active_connections_gauge().add(1.0);
+        ConnGuard {
+            shared: Arc::clone(shared),
+        }
+    }
+}
+
+impl Drop for ConnGuard {
+    fn drop(&mut self) {
+        self.shared.active.fetch_sub(1, Ordering::AcqRel);
+        crate::obs::serve_active_connections_gauge().add(-1.0);
+    }
+}
+
+/// RAII in-flight request marker (see [`ServeShared::busy`]); a drain waits
+/// for this to reach zero before force-closing connections.
+struct BusyGuard {
+    shared: Arc<ServeShared>,
+}
+
+impl BusyGuard {
+    fn enter(shared: &Arc<ServeShared>) -> BusyGuard {
+        shared.busy.fetch_add(1, Ordering::AcqRel);
+        BusyGuard {
+            shared: Arc::clone(shared),
+        }
+    }
+}
+
+impl Drop for BusyGuard {
+    fn drop(&mut self) {
+        self.shared.busy.fetch_sub(1, Ordering::AcqRel);
+    }
+}
+
+/// Outcome of a [`Server::drain`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DrainReport {
+    /// Whether every connection closed within the deadline.
+    pub drained: bool,
+    /// Connections still open when the deadline expired (0 when drained).
+    pub remaining_connections: usize,
+}
+
 /// A running server: the listener address plus shutdown/bookkeeping handles.
 pub struct Server {
-    local_addr: std::net::SocketAddr,
-    shutdown: Arc<AtomicBool>,
+    local_addr: SocketAddr,
+    shared: Arc<ServeShared>,
     connections: Arc<AtomicUsize>,
     accept_thread: Option<thread::JoinHandle<()>>,
+    tick: Duration,
 }
 
 impl Server {
     /// Binds `addr` (e.g. `"127.0.0.1:0"` for an ephemeral port) and serves
-    /// `handler` on a background accept thread, one thread per connection.
+    /// `handler` on a background accept thread, one thread per connection,
+    /// with the limits of [`ServeConfig::from_env`].
     pub fn spawn(addr: &str, handler: Arc<dyn Handler>) -> std::io::Result<Server> {
+        let config =
+            ServeConfig::from_env().map_err(|e| std::io::Error::new(ErrorKind::InvalidInput, e))?;
+        Server::spawn_with_config(addr, handler, config)
+    }
+
+    /// [`Server::spawn`] with explicit limits (tests shrink them; the
+    /// serving layer threads its own parsed configuration through).
+    pub fn spawn_with_config(
+        addr: &str,
+        handler: Arc<dyn Handler>,
+        config: ServeConfig,
+    ) -> std::io::Result<Server> {
         let listener = TcpListener::bind(addr)?;
         let local_addr = listener.local_addr()?;
-        let shutdown = Arc::new(AtomicBool::new(false));
+        let shared = ServeShared::new();
         let connections = Arc::new(AtomicUsize::new(0));
+        crate::obs::set_serve_state(false);
 
-        let accept_shutdown = Arc::clone(&shutdown);
+        let accept_shared = Arc::clone(&shared);
         let accept_connections = Arc::clone(&connections);
+        let tick = config.tick;
         let accept_thread = thread::Builder::new()
             .name("haqjsk-serve-accept".to_string())
             .spawn(move || {
                 for stream in listener.incoming() {
-                    if accept_shutdown.load(Ordering::Acquire) {
+                    if accept_shared.shutdown.load(Ordering::Acquire)
+                        || accept_shared.draining.load(Ordering::Acquire)
+                    {
                         break;
                     }
                     let Ok(stream) = stream else { continue };
                     // One JSON line per request/response: Nagle + delayed
                     // ACK would add tens of milliseconds per exchange.
                     stream.set_nodelay(true).ok();
+                    if accept_shared.active.load(Ordering::Acquire) >= config.max_conns {
+                        shed_connection(stream);
+                        continue;
+                    }
                     accept_connections.fetch_add(1, Ordering::Relaxed);
                     crate::obs::serve_connections_counter().inc();
+                    let guard = ConnGuard::register(&accept_shared);
                     let handler = Arc::clone(&handler);
+                    let conn_shared = Arc::clone(&accept_shared);
+                    let conn_config = config.clone();
                     let _ = thread::Builder::new()
                         .name("haqjsk-serve-conn".to_string())
                         .spawn(move || {
-                            let _ = serve_connection(stream, handler.as_ref());
+                            let _guard = guard;
+                            let _ = serve_connection_bounded(
+                                stream,
+                                handler.as_ref(),
+                                &conn_shared,
+                                &conn_config,
+                            );
                         });
                 }
             })?;
 
         Ok(Server {
             local_addr,
-            shutdown,
+            shared,
             connections,
             accept_thread: Some(accept_thread),
+            tick,
         })
     }
 
     /// The bound address (useful with an ephemeral port).
-    pub fn local_addr(&self) -> std::net::SocketAddr {
+    pub fn local_addr(&self) -> SocketAddr {
         self.local_addr
     }
 
-    /// Number of connections accepted so far.
+    /// Number of connections accepted so far (monotone; see
+    /// [`Server::active_connections`] for the gauge that returns to
+    /// baseline).
     pub fn connections_accepted(&self) -> usize {
         self.connections.load(Ordering::Relaxed)
     }
 
-    /// Signals the accept loop to stop and unblocks it with a dummy
-    /// connection. Existing connections finish naturally.
-    pub fn shutdown(&mut self) {
-        self.shutdown.store(true, Ordering::Release);
-        // Unblock the blocking accept by connecting once.
-        let _ = TcpStream::connect(self.local_addr);
+    /// Number of connections currently open.
+    pub fn active_connections(&self) -> usize {
+        self.shared.active.load(Ordering::Acquire)
+    }
+
+    /// A cloneable lifecycle handle (drain requests, gauges) that request
+    /// handlers and signal loops can hold without owning the server.
+    pub fn control(&self) -> ServeControl {
+        ServeControl {
+            shared: Arc::clone(&self.shared),
+        }
+    }
+
+    /// The address the shutdown/drain paths dial to unblock the accept
+    /// loop: binding to a wildcard address (`0.0.0.0` / `::`) is common,
+    /// but dialing the wildcard is an error on some platforms — dial the
+    /// loopback of the same family instead.
+    fn unblock_addr(&self) -> SocketAddr {
+        let ip = match self.local_addr.ip() {
+            ip if !ip.is_unspecified() => ip,
+            IpAddr::V4(_) => IpAddr::V4(Ipv4Addr::LOCALHOST),
+            IpAddr::V6(_) => IpAddr::V6(Ipv6Addr::LOCALHOST),
+        };
+        SocketAddr::new(ip, self.local_addr.port())
+    }
+
+    fn stop_accepting(&mut self) {
+        // Unblock the blocking accept by connecting once; the loop
+        // re-checks its flags before servicing the dial.
+        let _ = TcpStream::connect_timeout(&self.unblock_addr(), Duration::from_secs(1));
         if let Some(handle) = self.accept_thread.take() {
             let _ = handle.join();
+        }
+    }
+
+    /// Gracefully drains the server: stops accepting, answers requests
+    /// already in flight, closes idle connections, and waits up to
+    /// `deadline` for every connection to go away. Connections still busy
+    /// at the deadline are told to close as soon as their current request
+    /// completes (the hard-shutdown flag), but are not waited for.
+    pub fn drain(&mut self, deadline: Duration) -> DrainReport {
+        self.control().begin_drain();
+        self.stop_accepting();
+        let start = Instant::now();
+        while self.shared.active.load(Ordering::Acquire) > 0 && start.elapsed() < deadline {
+            thread::sleep(self.tick.min(Duration::from_millis(10)));
+        }
+        let remaining = self.shared.active.load(Ordering::Acquire);
+        self.shared.shutdown.store(true, Ordering::Release);
+        DrainReport {
+            drained: remaining == 0,
+            remaining_connections: remaining,
+        }
+    }
+
+    /// Signals the accept loop to stop and unblocks it, then gives open
+    /// connections a short grace (a few ticks) to observe the flag and
+    /// exit. Connections mid-request finish their current request first.
+    pub fn shutdown(&mut self) {
+        self.shared.shutdown.store(true, Ordering::Release);
+        self.stop_accepting();
+        // Best-effort thread-leak avoidance: idle connections notice the
+        // flag within one tick; don't stall shutdown on busy ones.
+        let grace = self.tick * 4;
+        let start = Instant::now();
+        while self.shared.active.load(Ordering::Acquire) > 0 && start.elapsed() < grace {
+            thread::sleep(self.tick.min(Duration::from_millis(10)));
         }
     }
 }
@@ -135,67 +448,277 @@ impl Drop for Server {
     }
 }
 
-/// Serves one connection: request line in, response line out, until EOF.
-/// Every request is accounted in the metrics registry: a request counter
-/// and wall-time histogram labelled by the request's `cmd`, an in-flight
-/// gauge, and an error counter for responses carrying the error envelope.
-pub fn serve_connection(stream: TcpStream, handler: &dyn Handler) -> std::io::Result<()> {
-    let mut writer = stream.try_clone()?;
-    let reader = BufReader::new(stream);
-    for line in reader.lines() {
-        let line = line?;
-        if line.trim().is_empty() {
-            continue;
+/// Answers an over-cap connection with one `overloaded` error line and a
+/// clean close; never spawns a thread or blocks the accept loop for long.
+fn shed_connection(stream: TcpStream) {
+    crate::obs::serve_conns_rejected_counter().inc();
+    let mut stream = stream;
+    stream.set_write_timeout(Some(Duration::from_secs(1))).ok();
+    let line = format!("{}\n", error_response("overloaded"));
+    let _ = stream.write_all(line.as_bytes());
+    let _ = stream.flush();
+    let _ = stream.shutdown(std::net::Shutdown::Both);
+}
+
+/// What one poll of the bounded line reader produced.
+enum Poll {
+    /// A complete line (newline stripped), decoded lossily — non-UTF-8
+    /// garbage becomes replacement characters and fails JSON parsing with
+    /// an ordinary error envelope.
+    Line(String),
+    /// The peer closed the connection. Any half-written trailing line is
+    /// discarded — there is nobody left to answer.
+    Eof,
+    /// No complete line within one tick; `partial` says whether a frame is
+    /// in progress (slow-loris accounting) or the socket is idle.
+    Tick { partial: bool },
+    /// The in-progress line exceeded the frame cap.
+    Oversized,
+}
+
+/// A line reader over a `TcpStream` with a hard per-line byte cap and
+/// tick-bounded blocking, so the connection loop can watch lifecycle flags
+/// while the peer is quiet. Buffers whole recv chunks, so pipelined
+/// requests are served back-to-back without extra syscalls.
+struct BoundedLineReader {
+    stream: TcpStream,
+    buf: Vec<u8>,
+    max_frame_bytes: usize,
+}
+
+impl BoundedLineReader {
+    fn new(stream: TcpStream, max_frame_bytes: usize, tick: Duration) -> std::io::Result<Self> {
+        stream.set_read_timeout(Some(tick))?;
+        Ok(BoundedLineReader {
+            stream,
+            buf: Vec::new(),
+            max_frame_bytes,
+        })
+    }
+
+    fn take_line(&mut self) -> Option<String> {
+        let idx = self.buf.iter().position(|&b| b == b'\n')?;
+        let mut line: Vec<u8> = self.buf.drain(..=idx).collect();
+        line.pop(); // the newline
+        if line.last() == Some(&b'\r') {
+            line.pop();
         }
-        let (response, request) = match Json::parse(&line) {
-            Ok(request) => {
-                let op = crate::obs::sanitize_op(
-                    request
-                        .get("cmd")
-                        .and_then(Json::as_str)
-                        .unwrap_or("unknown"),
-                );
-                crate::obs::serve_requests_counter(&op).inc();
-                let inflight = crate::obs::serve_inflight_gauge();
-                inflight.add(1.0);
-                let _span = haqjsk_obs::span("serve_request");
-                let timer =
-                    crate::obs::HistogramTimer::start(&crate::obs::serve_request_histogram(&op));
-                let response = handler.handle(&request);
-                drop(timer);
-                inflight.add(-1.0);
-                if response.get("error").is_some() {
-                    crate::obs::serve_errors_counter(&op).inc();
+        Some(String::from_utf8_lossy(&line).into_owned())
+    }
+
+    fn poll_line(&mut self) -> std::io::Result<Poll> {
+        loop {
+            if let Some(line) = self.take_line() {
+                return Ok(Poll::Line(line));
+            }
+            if self.buf.len() > self.max_frame_bytes {
+                return Ok(Poll::Oversized);
+            }
+            let mut chunk = [0u8; 8192];
+            match self.stream.read(&mut chunk) {
+                Ok(0) => return Ok(Poll::Eof),
+                Ok(n) => self.buf.extend_from_slice(&chunk[..n]),
+                Err(e) if e.kind() == ErrorKind::WouldBlock || e.kind() == ErrorKind::TimedOut => {
+                    return Ok(Poll::Tick {
+                        partial: !self.buf.is_empty(),
+                    });
                 }
-                (response, Some(request))
-            }
-            Err(e) => {
-                crate::obs::serve_requests_counter("malformed").inc();
-                crate::obs::serve_errors_counter("malformed").inc();
-                (error_response(&format!("malformed request: {e}")), None)
-            }
-        };
-        if let Some(request) = &request {
-            if handler.swallow_response(request) {
-                // Deliberate mid-stream hangup: drop the connection without
-                // answering, so the peer sees an EOF where a response line
-                // was due.
-                break;
+                Err(e) if e.kind() == ErrorKind::Interrupted => continue,
+                Err(e) => return Err(e),
             }
         }
-        writer.write_all(response.to_string().as_bytes())?;
-        writer.write_all(b"\n")?;
-        writer.flush()?;
-        // The hangup hook runs only after the response has been written
-        // and flushed, so a deliberate hangup (or process exit) never
-        // swallows its own acknowledgement.
-        if let Some(request) = request {
-            if handler.hangup_after(&request) {
+    }
+}
+
+/// Lingering close for a connection whose peer may still be writing: stop
+/// sending, then read and discard inbound bytes until the peer falls quiet
+/// for two ticks, hangs up, or a bounded tick budget runs out. Without
+/// this, closing with unread bytes in the receive buffer makes the kernel
+/// send an RST, which can destroy a final error line still in flight.
+fn linger_close(stream: &TcpStream, tick: Duration, shutdown: &AtomicBool) {
+    let _ = stream.shutdown(std::net::Shutdown::Write);
+    let _ = stream.set_read_timeout(Some(tick.max(Duration::from_millis(1))));
+    let mut sink = [0u8; 8192];
+    let mut idle_ticks = 0u32;
+    for _ in 0..64 {
+        if shutdown.load(Ordering::Acquire) {
+            break;
+        }
+        match (&mut &*stream).read(&mut sink) {
+            Ok(0) => break,
+            Ok(_) => idle_ticks = 0,
+            Err(e) if e.kind() == ErrorKind::WouldBlock || e.kind() == ErrorKind::TimedOut => {
+                idle_ticks += 1;
+                if idle_ticks >= 2 {
+                    break;
+                }
+            }
+            Err(e) if e.kind() == ErrorKind::Interrupted => continue,
+            Err(_) => break,
+        }
+    }
+}
+
+/// Serves one connection with the production limits: request line in,
+/// response line out, until EOF, a limit violation, or shutdown/drain.
+/// Every request is accounted in the metrics registry (request counter and
+/// wall-time histogram by `cmd`, in-flight gauge, error counter), and a
+/// panicking handler is answered with an error envelope instead of killing
+/// the thread.
+fn serve_connection_bounded(
+    stream: TcpStream,
+    handler: &dyn Handler,
+    shared: &Arc<ServeShared>,
+    config: &ServeConfig,
+) -> std::io::Result<()> {
+    let mut writer = stream.try_clone()?;
+    writer.set_write_timeout(config.io_timeout)?;
+    let mut reader = BoundedLineReader::new(stream, config.max_frame_bytes, config.tick)?;
+    // When the current partial frame started arriving; slow-loris clients
+    // are cut off `io_timeout` after their first partial byte.
+    let mut frame_started: Option<Instant> = None;
+    loop {
+        if shared.shutdown.load(Ordering::Acquire) {
+            break;
+        }
+        match reader.poll_line()? {
+            Poll::Eof => break,
+            Poll::Oversized => {
+                crate::obs::serve_frames_oversized_counter().inc();
+                crate::obs::serve_requests_counter("oversized").inc();
+                crate::obs::serve_errors_counter("oversized").inc();
+                let response = error_response(&format!(
+                    "frame too large (limit {} bytes)",
+                    config.max_frame_bytes
+                ));
+                write_line(&mut writer, &response).ok();
+                // The peer is mid-send of the oversized frame. Closing now
+                // would leave its unread bytes in our receive buffer, and
+                // the kernel answers that with an RST that can destroy the
+                // error line before the peer reads it. Half-close and drain
+                // the remainder (bounded) so the verdict actually arrives.
+                linger_close(&reader.stream, config.tick, &shared.shutdown);
                 break;
+            }
+            Poll::Tick { partial: false } => {
+                frame_started = None;
+                if shared.draining.load(Ordering::Acquire) {
+                    // Idle during a drain: close cleanly.
+                    break;
+                }
+            }
+            Poll::Tick { partial: true } => {
+                let started = *frame_started.get_or_insert_with(Instant::now);
+                if let Some(timeout) = config.io_timeout {
+                    if started.elapsed() >= timeout {
+                        crate::obs::serve_io_timeouts_counter().inc();
+                        let response = error_response(&format!(
+                            "read timed out mid-frame after {} ms",
+                            timeout.as_millis()
+                        ));
+                        write_line(&mut writer, &response).ok();
+                        break;
+                    }
+                }
+            }
+            Poll::Line(line) => {
+                frame_started = None;
+                if line.trim().is_empty() {
+                    continue;
+                }
+                let busy = BusyGuard::enter(shared);
+                let (response, request) = answer_line(&line, handler);
+                if let Some(request) = &request {
+                    if handler.swallow_response(request) {
+                        // Deliberate mid-stream hangup: drop the connection
+                        // without answering, so the peer sees an EOF where
+                        // a response line was due.
+                        break;
+                    }
+                }
+                write_line(&mut writer, &response)?;
+                drop(busy);
+                // The hangup hook runs only after the response has been
+                // written and flushed, so a deliberate hangup (or process
+                // exit) never swallows its own acknowledgement.
+                if let Some(request) = request {
+                    if handler.hangup_after(&request) {
+                        break;
+                    }
+                }
             }
         }
     }
     Ok(())
+}
+
+/// Parses and handles one request line, with metrics accounting and panic
+/// isolation. Returns the response and the parsed request (when any).
+fn answer_line(line: &str, handler: &dyn Handler) -> (Json, Option<Json>) {
+    match Json::parse(line) {
+        Ok(request) => {
+            let op = crate::obs::sanitize_op(
+                request
+                    .get("cmd")
+                    .and_then(Json::as_str)
+                    .unwrap_or("unknown"),
+            );
+            crate::obs::serve_requests_counter(&op).inc();
+            let inflight = crate::obs::serve_inflight_gauge();
+            inflight.add(1.0);
+            let _span = haqjsk_obs::span("serve_request");
+            let timer =
+                crate::obs::HistogramTimer::start(&crate::obs::serve_request_histogram(&op));
+            let response = match catch_unwind(AssertUnwindSafe(|| handler.handle(&request))) {
+                Ok(response) => response,
+                Err(panic) => {
+                    crate::obs::serve_panics_counter().inc();
+                    let what = panic_message(panic.as_ref());
+                    error_response(&format!("internal error: handler panicked: {what}"))
+                }
+            };
+            drop(timer);
+            inflight.add(-1.0);
+            if response.get("error").is_some() {
+                crate::obs::serve_errors_counter(&op).inc();
+            }
+            (response, Some(request))
+        }
+        Err(e) => {
+            crate::obs::serve_requests_counter("malformed").inc();
+            crate::obs::serve_errors_counter("malformed").inc();
+            (error_response(&format!("malformed request: {e}")), None)
+        }
+    }
+}
+
+/// Extracts a printable message from a caught panic payload.
+fn panic_message(panic: &(dyn std::any::Any + Send)) -> &str {
+    if let Some(s) = panic.downcast_ref::<&str>() {
+        s
+    } else if let Some(s) = panic.downcast_ref::<String>() {
+        s
+    } else {
+        "non-string panic payload"
+    }
+}
+
+fn write_line(writer: &mut TcpStream, response: &Json) -> std::io::Result<()> {
+    writer.write_all(response.to_string().as_bytes())?;
+    writer.write_all(b"\n")?;
+    writer.flush()
+}
+
+/// Serves one connection with default limits and no lifecycle flags —
+/// the embedded/test entry point kept for compatibility; [`Server`] uses
+/// the bounded loop internally.
+pub fn serve_connection(stream: TcpStream, handler: &dyn Handler) -> std::io::Result<()> {
+    serve_connection_bounded(
+        stream,
+        handler,
+        &ServeShared::new(),
+        &ServeConfig::default(),
+    )
 }
 
 /// The standard `{"ok":false,"error":...}` response.
@@ -271,6 +794,29 @@ mod tests {
     use haqjsk_graph::generators::{cycle_graph, star_graph};
     use std::io::{BufRead, BufReader, Write};
 
+    fn echo_handler() -> Arc<dyn Handler> {
+        Arc::new(|request: &Json| {
+            let echo = request.get("echo").cloned().unwrap_or(Json::Null);
+            Json::obj([("ok", Json::Bool(true)), ("echo", echo)])
+        })
+    }
+
+    fn fast_config() -> ServeConfig {
+        ServeConfig {
+            tick: Duration::from_millis(10),
+            ..ServeConfig::default()
+        }
+    }
+
+    fn read_json_line(reader: &mut BufReader<TcpStream>) -> Option<Json> {
+        let mut line = String::new();
+        match reader.read_line(&mut line) {
+            Ok(0) => None,
+            Ok(_) => Some(Json::parse(line.trim()).expect("response is valid JSON")),
+            Err(_) => None,
+        }
+    }
+
     #[test]
     fn graph_json_roundtrip() {
         let mut g = cycle_graph(6);
@@ -295,30 +841,262 @@ mod tests {
 
     #[test]
     fn server_answers_over_loopback() {
-        let handler: Arc<dyn Handler> = Arc::new(|request: &Json| {
-            let echo = request.get("echo").cloned().unwrap_or(Json::Null);
-            Json::obj([("ok", Json::Bool(true)), ("echo", echo)])
-        });
-        let mut server = Server::spawn("127.0.0.1:0", handler).unwrap();
+        let mut server =
+            Server::spawn_with_config("127.0.0.1:0", echo_handler(), fast_config()).unwrap();
         let stream = TcpStream::connect(server.local_addr()).unwrap();
         let mut writer = stream.try_clone().unwrap();
         let mut reader = BufReader::new(stream);
 
         writer.write_all(b"{\"echo\":41}\n").unwrap();
-        let mut line = String::new();
-        reader.read_line(&mut line).unwrap();
-        let response = Json::parse(line.trim()).unwrap();
+        let response = read_json_line(&mut reader).unwrap();
         assert_eq!(response.get("ok").and_then(Json::as_bool), Some(true));
         assert_eq!(response.get("echo").and_then(Json::as_f64), Some(41.0));
 
         // Malformed input keeps the connection alive with an error reply.
-        line.clear();
         writer.write_all(b"this is not json\n").unwrap();
-        reader.read_line(&mut line).unwrap();
-        let response = Json::parse(line.trim()).unwrap();
+        let response = read_json_line(&mut reader).unwrap();
         assert_eq!(response.get("ok").and_then(Json::as_bool), Some(false));
 
         assert!(server.connections_accepted() >= 1);
         server.shutdown();
+    }
+
+    #[test]
+    fn pipelined_requests_are_answered_in_order() {
+        let mut server =
+            Server::spawn_with_config("127.0.0.1:0", echo_handler(), fast_config()).unwrap();
+        let stream = TcpStream::connect(server.local_addr()).unwrap();
+        let mut writer = stream.try_clone().unwrap();
+        let mut reader = BufReader::new(stream);
+
+        // Several requests in a single write; responses must come back in
+        // order, one line each.
+        writer
+            .write_all(b"{\"echo\":1}\n{\"echo\":2}\n{\"echo\":3}\n")
+            .unwrap();
+        for expect in 1..=3 {
+            let response = read_json_line(&mut reader).unwrap();
+            assert_eq!(
+                response.get("echo").and_then(Json::as_f64),
+                Some(expect as f64)
+            );
+        }
+        server.shutdown();
+    }
+
+    #[test]
+    fn connection_cap_sheds_with_an_overloaded_line() {
+        let config = ServeConfig {
+            max_conns: 1,
+            ..fast_config()
+        };
+        let mut server = Server::spawn_with_config("127.0.0.1:0", echo_handler(), config).unwrap();
+
+        // First connection occupies the only slot.
+        let first = TcpStream::connect(server.local_addr()).unwrap();
+        let mut first_writer = first.try_clone().unwrap();
+        let mut first_reader = BufReader::new(first);
+        first_writer.write_all(b"{\"echo\":1}\n").unwrap();
+        assert!(read_json_line(&mut first_reader).is_some());
+
+        // Second connection: one overloaded line, then EOF.
+        let second = TcpStream::connect(server.local_addr()).unwrap();
+        let mut second_reader = BufReader::new(second.try_clone().unwrap());
+        let shed = read_json_line(&mut second_reader).expect("shed line");
+        assert_eq!(shed.get("ok").and_then(Json::as_bool), Some(false));
+        assert_eq!(shed.get("error").and_then(Json::as_str), Some("overloaded"));
+        assert!(read_json_line(&mut second_reader).is_none(), "clean close");
+
+        // Closing the first frees the slot for a third.
+        drop(first_writer);
+        drop(first_reader);
+        let deadline = Instant::now() + Duration::from_secs(5);
+        while server.active_connections() > 0 && Instant::now() < deadline {
+            thread::sleep(Duration::from_millis(5));
+        }
+        assert_eq!(server.active_connections(), 0, "guard returned to baseline");
+        let third = TcpStream::connect(server.local_addr()).unwrap();
+        let mut third_writer = third.try_clone().unwrap();
+        let mut third_reader = BufReader::new(third);
+        third_writer.write_all(b"{\"echo\":3}\n").unwrap();
+        let response = read_json_line(&mut third_reader).unwrap();
+        assert_eq!(response.get("echo").and_then(Json::as_f64), Some(3.0));
+        server.shutdown();
+    }
+
+    #[test]
+    fn oversized_frames_are_rejected_not_buffered() {
+        let config = ServeConfig {
+            max_frame_bytes: 256,
+            ..fast_config()
+        };
+        let mut server = Server::spawn_with_config("127.0.0.1:0", echo_handler(), config).unwrap();
+        let stream = TcpStream::connect(server.local_addr()).unwrap();
+        let mut writer = stream.try_clone().unwrap();
+        let mut reader = BufReader::new(stream);
+
+        let oversized = hammer_bytes(1024);
+        writer.write_all(&oversized).unwrap();
+        let response = read_json_line(&mut reader).expect("error line before close");
+        assert_eq!(response.get("ok").and_then(Json::as_bool), Some(false));
+        assert!(response
+            .get("error")
+            .and_then(Json::as_str)
+            .unwrap()
+            .contains("frame too large"));
+        assert!(read_json_line(&mut reader).is_none(), "connection closed");
+        server.shutdown();
+    }
+
+    /// A newline-free blob larger than any small frame cap.
+    fn hammer_bytes(n: usize) -> Vec<u8> {
+        std::iter::repeat(b'x').take(n).collect()
+    }
+
+    #[test]
+    fn slow_loris_partial_frame_is_cut_off() {
+        let config = ServeConfig {
+            io_timeout: Some(Duration::from_millis(80)),
+            ..fast_config()
+        };
+        let mut server = Server::spawn_with_config("127.0.0.1:0", echo_handler(), config).unwrap();
+        let stream = TcpStream::connect(server.local_addr()).unwrap();
+        let mut writer = stream.try_clone().unwrap();
+        let mut reader = BufReader::new(stream);
+
+        // Half a frame, then silence: the server must cut us off.
+        writer.write_all(b"{\"echo\":").unwrap();
+        writer.flush().unwrap();
+        let start = Instant::now();
+        let response = read_json_line(&mut reader).expect("timeout error line");
+        assert!(response
+            .get("error")
+            .and_then(Json::as_str)
+            .unwrap()
+            .contains("timed out"));
+        assert!(read_json_line(&mut reader).is_none(), "connection closed");
+        assert!(
+            start.elapsed() < Duration::from_secs(5),
+            "cutoff happened promptly"
+        );
+        server.shutdown();
+    }
+
+    #[test]
+    fn idle_connections_do_not_time_out_between_frames() {
+        let config = ServeConfig {
+            io_timeout: Some(Duration::from_millis(60)),
+            ..fast_config()
+        };
+        let mut server = Server::spawn_with_config("127.0.0.1:0", echo_handler(), config).unwrap();
+        let stream = TcpStream::connect(server.local_addr()).unwrap();
+        let mut writer = stream.try_clone().unwrap();
+        let mut reader = BufReader::new(stream);
+
+        writer.write_all(b"{\"echo\":1}\n").unwrap();
+        assert!(read_json_line(&mut reader).is_some());
+        // Far longer than the I/O timeout, but between frames: keep-alive.
+        thread::sleep(Duration::from_millis(250));
+        writer.write_all(b"{\"echo\":2}\n").unwrap();
+        let response = read_json_line(&mut reader).expect("connection survived idling");
+        assert_eq!(response.get("echo").and_then(Json::as_f64), Some(2.0));
+        server.shutdown();
+    }
+
+    #[test]
+    fn handler_panics_are_isolated() {
+        let handler: Arc<dyn Handler> = Arc::new(|request: &Json| {
+            if request.get("boom").is_some() {
+                panic!("deliberate test panic");
+            }
+            Json::obj([("ok", Json::Bool(true))])
+        });
+        let before = crate::obs::serve_panics_counter().value();
+        let mut server = Server::spawn_with_config("127.0.0.1:0", handler, fast_config()).unwrap();
+        let stream = TcpStream::connect(server.local_addr()).unwrap();
+        let mut writer = stream.try_clone().unwrap();
+        let mut reader = BufReader::new(stream);
+
+        writer.write_all(b"{\"boom\":true}\n").unwrap();
+        let response = read_json_line(&mut reader).expect("error line, not a dead socket");
+        assert_eq!(response.get("ok").and_then(Json::as_bool), Some(false));
+        let error = response.get("error").and_then(Json::as_str).unwrap();
+        assert!(error.contains("internal error"), "got: {error}");
+        assert!(error.contains("deliberate test panic"), "got: {error}");
+        assert_eq!(crate::obs::serve_panics_counter().value(), before + 1);
+
+        // Same connection still serves.
+        writer.write_all(b"{}\n").unwrap();
+        let response = read_json_line(&mut reader).unwrap();
+        assert_eq!(response.get("ok").and_then(Json::as_bool), Some(true));
+        server.shutdown();
+    }
+
+    #[test]
+    fn drain_answers_in_flight_then_closes_idle() {
+        use std::sync::Mutex;
+        // A handler whose requests can be made slow on demand.
+        struct Slow {
+            delay: Mutex<Duration>,
+        }
+        impl Handler for Slow {
+            fn handle(&self, request: &Json) -> Json {
+                if request.get("slow").is_some() {
+                    thread::sleep(*self.delay.lock().unwrap());
+                }
+                Json::obj([("ok", Json::Bool(true))])
+            }
+        }
+        let handler = Arc::new(Slow {
+            delay: Mutex::new(Duration::from_millis(200)),
+        });
+        let mut server = Server::spawn_with_config("127.0.0.1:0", handler, fast_config()).unwrap();
+        let control = server.control();
+
+        // An idle connection and a busy one.
+        let idle = TcpStream::connect(server.local_addr()).unwrap();
+        let busy = TcpStream::connect(server.local_addr()).unwrap();
+        let mut busy_writer = busy.try_clone().unwrap();
+        let mut busy_reader = BufReader::new(busy);
+        busy_writer.write_all(b"{\"slow\":true}\n").unwrap();
+        // Let the slow request start before draining.
+        thread::sleep(Duration::from_millis(50));
+
+        assert!(!control.is_draining());
+        let report = server.drain(Duration::from_secs(5));
+        assert!(control.is_draining());
+        assert!(report.drained, "drain completed: {report:?}");
+        assert_eq!(server.active_connections(), 0);
+
+        // The in-flight slow request was answered before its connection
+        // closed.
+        let response = read_json_line(&mut busy_reader).expect("in-flight request answered");
+        assert_eq!(response.get("ok").and_then(Json::as_bool), Some(true));
+        assert!(read_json_line(&mut busy_reader).is_none(), "then closed");
+
+        // The idle connection observes a plain close.
+        let mut idle_reader = BufReader::new(idle);
+        assert!(read_json_line(&mut idle_reader).is_none());
+
+        // New connections are refused (listener is gone).
+        assert!(
+            TcpStream::connect_timeout(&server.local_addr(), Duration::from_millis(500))
+                .map(|s| {
+                    // Platform may accept briefly in the backlog; a read must EOF.
+                    let mut reader = BufReader::new(s);
+                    read_json_line(&mut reader).is_none()
+                })
+                .unwrap_or(true)
+        );
+    }
+
+    #[test]
+    fn serve_config_env_parsing() {
+        // from_env with nothing set yields the defaults (other tests may
+        // set these vars, so only check the pure parser paths here).
+        let default = ServeConfig::default();
+        assert!(default.max_conns >= 64);
+        assert!(default.max_frame_bytes >= 1 << 20);
+        assert!(default.io_timeout.is_some());
     }
 }

@@ -1,14 +1,16 @@
 //! The model-serving application layer behind the `haqjsk-serve` binary.
 //!
 //! The engine crate provides the transport ([`Server`], JSON-lines over
-//! TCP); this module provides the stateful request handler: fit / transform
-//! / kernel-row / append / predict / save / load / stats over a
-//! [`HaqjskModel`], with per-graph aligned features memoised in a
-//! [`FeatureCache`] and out-of-sample arrivals appended through incremental
-//! Gram extension. Living in the library (rather than the binary) lets the
-//! loopback smoke test drive the exact production handler.
+//! TCP, with connection caps, bounded frames, slow-client timeouts and
+//! panic isolation — see `haqjsk-engine::serve`); this module provides the
+//! stateful request handler: fit / transform / kernel-row / append /
+//! predict / save / load / stats over a [`HaqjskModel`], with per-graph
+//! aligned features memoised in a [`FeatureCache`] and out-of-sample
+//! arrivals appended through incremental Gram extension. Living in the
+//! library (rather than the binary) lets the loopback smoke test drive the
+//! exact production handler.
 //!
-//! Command table:
+//! Command table (see `docs/serving.md` for the full protocol reference):
 //!
 //! | command      | request fields                                   | response |
 //! |--------------|---------------------------------------------------|----------|
@@ -20,11 +22,14 @@
 //! | `predict`    | `graph`                                           | 1-NN label over the kernel row (requires `labels` at fit) |
 //! | `save`       | —                                                 | persisted model text |
 //! | `load`       | `model`, opt. `graphs`, opt. `labels`             | restores a persisted model |
-//! | `stats`      | —                                                 | engine threads + feature-cache counters |
+//! | `save_file`  | `path`                                            | atomically persists the model to disk with a checksum footer |
+//! | `load_file`  | `path`, opt. `graphs`, opt. `labels`              | restores a checksum-verified model from disk |
+//! | `stats`      | —                                                 | engine threads + cache counters + overload state |
 //! | `metrics`    | —                                                 | the metrics registry as Prometheus text + structured JSON |
 //! | `trace_dump` | —                                                 | drains the span tracer's ring buffers as JSON lines |
 //! | `add_workers` | `workers`                                        | joins addresses to the running worker pool (per-address errors reported) |
 //! | `remove_workers` | `workers`                                     | drains addresses out of the running worker pool |
+//! | `drain`      | —                                                 | begins a graceful drain (stop accepting, finish in-flight) |
 //!
 //! Graphs travel as `{"n":N,"edges":[[u,v],...],"labels":[...]?}`. Config
 //! fields (all optional): `hierarchy_levels`, `num_prototypes`, `layer_cap`,
@@ -45,6 +50,23 @@
 //! dispatched/completed/re-dispatched, bytes shipped, and the
 //! dataset-dedup hit rate.
 //!
+//! ## Overload safety
+//!
+//! Heavy operations (`fit`, `transform`, `kernel_row`, `append`,
+//! `predict`, `load`, `load_file`) pass **admission control** before doing
+//! any work: when the heavy-request load (requests in flight in heavy
+//! handlers plus the engine pool's queue depth, normalised by thread
+//! count) reaches `HAQJSK_SERVE_MAX_INFLIGHT_HEAVY`, the request is shed
+//! immediately with `{"ok":false,"error":"overloaded: ...",`
+//! `"rejected":"overloaded"}` — cheap operations (`ping`, `stats`,
+//! `metrics`) keep answering throughout. Every request may carry a
+//! `deadline_ms` budget (defaulted by `HAQJSK_SERVE_DEADLINE_MS`); a heavy
+//! request that exceeds it reports
+//! `{"ok":false,"rejected":"deadline_exceeded",...}` honestly at its next
+//! checkpoint instead of finishing arbitrarily late. Sheds and deadline
+//! trips are metered per operation (`haqjsk_serve_rejected_total`,
+//! `haqjsk_serve_deadline_exceeded_total`).
+//!
 //! Observability: every request is counted and timed into the process-wide
 //! metrics registry (`haqjsk_serve_*` families, labelled by sanitised op —
 //! that instrumentation lives in the engine's serve transport). `metrics`
@@ -55,15 +77,85 @@
 //! `docs/observability.md`.
 
 use crate::core::{
-    model_from_string, model_to_string, AlignedGraph, HaqjskConfig, HaqjskModel, HaqjskVariant,
+    load_model_file, model_from_string, model_to_string, save_model_file, AlignedGraph,
+    HaqjskConfig, HaqjskModel, HaqjskVariant,
 };
 use crate::dist::{Coordinator, DistConfig, DistStats};
-use crate::engine::serve::{error_response, graph_from_json, Handler, Server};
+use crate::engine::serve::{
+    error_response, graph_from_json, Handler, ServeConfig, ServeControl, Server,
+};
 use crate::engine::{BackendKind, CacheConfig, Engine, FeatureCache, Json, ShardStats};
 use crate::graph::Graph;
 use crate::kernels::{density_cache_shard_stats, KernelMatrix};
 use crate::quantum::von_neumann_entropy;
-use std::sync::{Arc, Mutex};
+use std::path::Path;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+use std::time::{Duration, Instant};
+
+/// Environment variable giving every request a default deadline budget in
+/// milliseconds (`0` or unset: no default; requests may still send their
+/// own `deadline_ms`).
+pub const DEADLINE_ENV_VAR: &str = "HAQJSK_SERVE_DEADLINE_MS";
+/// Environment variable setting the heavy-request admission high-water
+/// mark (`0` sheds every heavy request — useful for tests and for
+/// quiescing a server without stopping it).
+pub const MAX_INFLIGHT_HEAVY_ENV_VAR: &str = "HAQJSK_SERVE_MAX_INFLIGHT_HEAVY";
+
+/// Application-level serving limits on top of the transport's
+/// [`ServeConfig`].
+#[derive(Debug, Clone)]
+pub struct ServingConfig {
+    /// Transport limits (connection cap, frame cap, I/O timeout).
+    pub serve: ServeConfig,
+    /// Deadline applied to requests that do not send their own
+    /// `deadline_ms`.
+    pub default_deadline: Option<Duration>,
+    /// Admission high-water mark: heavy requests are shed while the heavy
+    /// load (in-flight heavy handlers + normalised pool queue depth) is at
+    /// or above this. `0` sheds everything heavy.
+    pub max_inflight_heavy: usize,
+}
+
+impl Default for ServingConfig {
+    fn default() -> ServingConfig {
+        ServingConfig {
+            serve: ServeConfig::default(),
+            default_deadline: None,
+            max_inflight_heavy: 32,
+        }
+    }
+}
+
+impl ServingConfig {
+    /// The defaults with `HAQJSK_SERVE_*` environment overrides applied
+    /// (both the transport's and the application's). Unparseable values
+    /// are hard errors.
+    pub fn from_env() -> Result<ServingConfig, String> {
+        let mut config = ServingConfig {
+            serve: ServeConfig::from_env()?,
+            ..ServingConfig::default()
+        };
+        if let Some(ms) = parse_env_usize(DEADLINE_ENV_VAR)? {
+            config.default_deadline = (ms > 0).then(|| Duration::from_millis(ms as u64));
+        }
+        if let Some(v) = parse_env_usize(MAX_INFLIGHT_HEAVY_ENV_VAR)? {
+            config.max_inflight_heavy = v;
+        }
+        Ok(config)
+    }
+}
+
+fn parse_env_usize(name: &str) -> Result<Option<usize>, String> {
+    match std::env::var(name) {
+        Err(_) => Ok(None),
+        Ok(raw) => raw
+            .trim()
+            .parse::<usize>()
+            .map(Some)
+            .map_err(|e| format!("invalid {name}='{raw}': {e}")),
+    }
+}
 
 /// Everything tied to the currently fitted model. Replaced wholesale on
 /// `fit`/`load` so the feature cache can never outlive its model.
@@ -84,20 +176,41 @@ pub struct ServerState {
     fitted: Option<ModelState>,
 }
 
-/// Builds the serving handler and binds it on `addr` (use port `0` for an
-/// ephemeral port). Returns the running server.
+struct ServingInner {
+    state: Mutex<ServerState>,
+    config: ServingConfig,
+    /// Requests currently inside a heavy handler (including those queued
+    /// on the state mutex) — the application half of the admission load.
+    heavy_inflight: AtomicUsize,
+    /// Lifecycle handle of the server this handler is mounted on; set by
+    /// [`Serving::spawn`], absent for embedded (serverless) use.
+    control: OnceLock<ServeControl>,
+}
+
+/// The serving application: configuration, model state and overload
+/// bookkeeping behind a cheap `Clone`. Construct one, then either mount it
+/// on a TCP server with [`Serving::spawn`] or drive [`Serving::handle`]
+/// directly (tests, embedding).
+#[derive(Clone)]
+pub struct Serving {
+    inner: Arc<ServingInner>,
+}
+
+/// Builds the serving handler with environment-derived limits and binds it
+/// on `addr` (use port `0` for an ephemeral port). Returns the running
+/// server. The historical entry point; [`Serving::spawn`] is the
+/// configurable one.
 pub fn spawn_server(addr: &str) -> std::io::Result<Server> {
-    register_metric_exporters();
-    let state = Arc::new(Mutex::new(ServerState::default()));
-    let handler: Arc<dyn Handler> = Arc::new(move |request: &Json| handle(&state, request));
-    Server::spawn(addr, handler)
+    let config = ServingConfig::from_env()
+        .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidInput, e))?;
+    Serving::new(config).spawn(addr)
 }
 
 /// Registers every layer's registry exporters (feature-cache counters,
 /// batched-eigensolver stats, distributed-pool stats) so one registry
 /// snapshot covers the whole process. Idempotent; called by
-/// [`spawn_server`] and by the `stats`/`metrics` handlers so embedded
-/// (non-serving) users of [`handle`] see the same families.
+/// [`Serving::spawn`] and by the `stats`/`metrics` handlers so embedded
+/// users of [`Serving::handle`] see the same families.
 pub fn register_metric_exporters() {
     static ONCE: std::sync::Once = std::sync::Once::new();
     ONCE.call_once(|| {
@@ -107,26 +220,230 @@ pub fn register_metric_exporters() {
     });
 }
 
-/// Dispatches one request against the shared state.
-pub fn handle(state: &Mutex<ServerState>, request: &Json) -> Json {
-    let Some(cmd) = request.get("cmd").and_then(Json::as_str) else {
-        return error_response("request needs a string field 'cmd'");
-    };
-    match cmd {
-        "ping" => Json::obj([("ok", Json::Bool(true)), ("pong", Json::Bool(true))]),
-        "fit" => cmd_fit(state, request),
-        "transform" => cmd_transform(state, request),
-        "kernel_row" => cmd_kernel_row(state, request),
-        "append" => cmd_append(state, request),
-        "predict" => cmd_predict(state, request),
-        "save" => cmd_save(state),
-        "load" => cmd_load(state, request),
-        "stats" => cmd_stats(state),
-        "metrics" => cmd_metrics(),
-        "trace_dump" => cmd_trace_dump(),
-        "add_workers" => cmd_add_workers(request),
-        "remove_workers" => cmd_remove_workers(request),
-        other => error_response(&format!("unknown command '{other}'")),
+/// How a request failed: an ordinary error, an admission shed, or a
+/// deadline trip — each rendered as a distinct envelope.
+enum Fail {
+    Error(String),
+    Deadline(String),
+}
+
+impl From<String> for Fail {
+    fn from(message: String) -> Fail {
+        Fail::Error(message)
+    }
+}
+
+impl From<&str> for Fail {
+    fn from(message: &str) -> Fail {
+        Fail::Error(message.to_string())
+    }
+}
+
+/// A request's time budget, checked at the start of every expensive stage
+/// ("checkpoints"): work already begun is never interrupted mid-stage, but
+/// the response is an honest `deadline_exceeded` instead of arbitrarily
+/// late data.
+struct RequestDeadline {
+    start: Instant,
+    limit: Option<Duration>,
+}
+
+impl RequestDeadline {
+    fn from_request(request: &Json, default: Option<Duration>) -> Result<RequestDeadline, String> {
+        let limit = match request.get("deadline_ms") {
+            None => default,
+            Some(v) => {
+                let ms = v
+                    .as_usize()
+                    .ok_or("'deadline_ms' must be a non-negative integer")?;
+                Some(Duration::from_millis(ms as u64))
+            }
+        };
+        Ok(RequestDeadline {
+            start: Instant::now(),
+            limit,
+        })
+    }
+
+    /// Fails with a deadline trip when the budget is spent; `checkpoint`
+    /// names the stage about to start, for the error message.
+    fn check(&self, checkpoint: &str) -> Result<(), Fail> {
+        let Some(limit) = self.limit else {
+            return Ok(());
+        };
+        let elapsed = self.start.elapsed();
+        if elapsed >= limit {
+            return Err(Fail::Deadline(format!(
+                "deadline exceeded: {} ms elapsed of a {} ms budget (at '{checkpoint}')",
+                elapsed.as_millis(),
+                limit.as_millis()
+            )));
+        }
+        Ok(())
+    }
+}
+
+/// RAII marker of one request inside a heavy handler.
+struct HeavyGuard {
+    inner: Arc<ServingInner>,
+}
+
+impl HeavyGuard {
+    fn enter(inner: &Arc<ServingInner>) -> HeavyGuard {
+        inner.heavy_inflight.fetch_add(1, Ordering::AcqRel);
+        HeavyGuard {
+            inner: Arc::clone(inner),
+        }
+    }
+}
+
+impl Drop for HeavyGuard {
+    fn drop(&mut self) {
+        self.inner.heavy_inflight.fetch_sub(1, Ordering::AcqRel);
+    }
+}
+
+impl Serving {
+    /// A fresh serving application with the given limits and no fitted
+    /// model.
+    pub fn new(config: ServingConfig) -> Serving {
+        Serving {
+            inner: Arc::new(ServingInner {
+                state: Mutex::new(ServerState::default()),
+                config,
+                heavy_inflight: AtomicUsize::new(0),
+                control: OnceLock::new(),
+            }),
+        }
+    }
+
+    /// Mounts this application on a TCP server bound at `addr` and records
+    /// the server's lifecycle handle so the `drain` operation works.
+    pub fn spawn(&self, addr: &str) -> std::io::Result<Server> {
+        register_metric_exporters();
+        let serving = self.clone();
+        let handler: Arc<dyn Handler> = Arc::new(move |request: &Json| serving.handle(request));
+        let server = Server::spawn_with_config(addr, handler, self.inner.config.serve.clone())?;
+        let _ = self.inner.control.set(server.control());
+        Ok(server)
+    }
+
+    /// Whether a graceful drain has been requested (by the `drain`
+    /// operation or a [`ServeControl`]); the process hosting the server
+    /// polls this — alongside its signal flag — to know when to call
+    /// [`Server::drain`] and exit.
+    pub fn drain_requested(&self) -> bool {
+        self.inner
+            .control
+            .get()
+            .is_some_and(ServeControl::is_draining)
+    }
+
+    /// The admission-control load measure: heavy requests in flight plus
+    /// the engine pool's queue depth normalised by its thread count (a
+    /// deep compute queue counts like additional waiting requests).
+    fn heavy_load(&self) -> usize {
+        let depth = crate::engine::obs::pool_queue_depth_gauge().value();
+        let depth = if depth.is_finite() && depth > 0.0 {
+            depth as usize
+        } else {
+            0
+        };
+        let threads = Engine::global().threads().max(1);
+        let queued = depth.div_ceil(threads);
+        self.inner.heavy_inflight.load(Ordering::Acquire) + queued
+    }
+
+    /// Runs one heavy command behind admission control and a deadline:
+    /// sheds before any work when the load is at the high-water mark, and
+    /// renders deadline trips as their distinct envelope.
+    fn heavy<F>(&self, op: &str, request: &Json, f: F) -> Json
+    where
+        F: FnOnce(&RequestDeadline) -> Result<Json, Fail>,
+    {
+        let load = self.heavy_load();
+        let cap = self.inner.config.max_inflight_heavy;
+        if load >= cap {
+            crate::engine::obs::serve_rejected_counter(op).inc();
+            return Json::obj([
+                ("ok", Json::Bool(false)),
+                (
+                    "error",
+                    Json::Str(format!(
+                        "overloaded: heavy load {load} at/above cap {cap}; retry later"
+                    )),
+                ),
+                ("rejected", Json::Str("overloaded".to_string())),
+            ]);
+        }
+        let _guard = HeavyGuard::enter(&self.inner);
+        let deadline =
+            match RequestDeadline::from_request(request, self.inner.config.default_deadline) {
+                Ok(deadline) => deadline,
+                Err(e) => return error_response(&e),
+            };
+        match f(&deadline) {
+            Ok(response) => response,
+            Err(Fail::Error(e)) => error_response(&e),
+            Err(Fail::Deadline(e)) => {
+                crate::engine::obs::serve_deadline_exceeded_counter(op).inc();
+                Json::obj([
+                    ("ok", Json::Bool(false)),
+                    ("error", Json::Str(e)),
+                    ("rejected", Json::Str("deadline_exceeded".to_string())),
+                ])
+            }
+        }
+    }
+
+    /// Dispatches one request. Heavy operations pass admission control and
+    /// observe deadlines; cheap ones answer unconditionally so liveness
+    /// and observability survive overload.
+    pub fn handle(&self, request: &Json) -> Json {
+        let Some(cmd) = request.get("cmd").and_then(Json::as_str) else {
+            return error_response("request needs a string field 'cmd'");
+        };
+        let state = &self.inner.state;
+        match cmd {
+            "ping" => Json::obj([("ok", Json::Bool(true)), ("pong", Json::Bool(true))]),
+            "fit" => self.heavy("fit", request, |d| cmd_fit(state, request, d)),
+            "transform" => self.heavy("transform", request, |d| cmd_transform(state, request, d)),
+            "kernel_row" => {
+                self.heavy("kernel_row", request, |d| cmd_kernel_row(state, request, d))
+            }
+            "append" => self.heavy("append", request, |d| cmd_append(state, request, d)),
+            "predict" => self.heavy("predict", request, |d| cmd_predict(state, request, d)),
+            "save" => cmd_save(state),
+            "load" => self.heavy("load", request, |d| cmd_load(state, request, d)),
+            "save_file" => cmd_save_file(state, request),
+            "load_file" => self.heavy("load_file", request, |d| cmd_load_file(state, request, d)),
+            "stats" => cmd_stats(self),
+            "metrics" => cmd_metrics(),
+            "trace_dump" => cmd_trace_dump(),
+            "add_workers" => cmd_add_workers(request),
+            "remove_workers" => cmd_remove_workers(request),
+            "drain" => self.cmd_drain(),
+            other => error_response(&format!("unknown command '{other}'")),
+        }
+    }
+
+    /// Begins a graceful drain of the server this handler is mounted on:
+    /// the accept loop stops, idle connections close, in-flight requests
+    /// (including this one) are answered. The hosting process observes
+    /// [`Serving::drain_requested`] and completes the drain.
+    fn cmd_drain(&self) -> Json {
+        let Some(control) = self.inner.control.get() else {
+            return error_response("drain unavailable: handler is not mounted on a server");
+        };
+        control.begin_drain();
+        Json::obj([
+            ("ok", Json::Bool(true)),
+            ("draining", Json::Bool(true)),
+            (
+                "active_connections",
+                Json::Num(control.active_connections() as f64),
+            ),
+        ])
     }
 }
 
@@ -311,63 +628,68 @@ fn cmd_remove_workers(request: &Json) -> Json {
     run().unwrap_or_else(|e| error_response(&e))
 }
 
-fn cmd_fit(state: &Mutex<ServerState>, request: &Json) -> Json {
-    let build = || -> Result<Json, String> {
-        let graphs = parse_graphs(request)?;
-        let variant = parse_variant(request)?;
-        let config = parse_config(request)?;
-        let labels = parse_labels(request, graphs.len())?;
-        let backend = parse_workers(request)?;
-        let model =
-            HaqjskModel::fit(&graphs, config, variant).map_err(|e| format!("fit failed: {e:?}"))?;
-        let cache = FeatureCache::with_config(parse_cache_config(request));
-        let gram = model
-            .gram_matrix_cached_on(&graphs, &cache, backend)
-            .map_err(|e| format!("gram computation failed: {e:?}"))?;
-        let mut pairs = vec![
-            ("ok", Json::Bool(true)),
-            ("num_graphs", Json::Num(graphs.len() as f64)),
-            ("levels", Json::Num(model.hierarchy().num_levels() as f64)),
-            ("max_layers", Json::Num(model.max_layers() as f64)),
-        ];
-        if let Some(backend) = backend {
-            pairs.push(("backend", Json::Str(backend.label().to_string())));
-            if let Some(coordinator) = crate::dist::current_coordinator() {
-                let stats = coordinator.stats();
-                let reachable = stats
-                    .workers
-                    .iter()
-                    .filter(|w| w.state == crate::dist::LinkState::Alive)
-                    .count();
-                let unreachable = stats.workers.len() - reachable;
-                pairs.push(("workers", Json::Num(stats.workers.len() as f64)));
-                pairs.push(("workers_reachable", Json::Num(reachable as f64)));
-                pairs.push(("workers_unreachable", Json::Num(unreachable as f64)));
-                pairs.push(("degraded", Json::Bool(unreachable > 0)));
-            }
+fn cmd_fit(
+    state: &Mutex<ServerState>,
+    request: &Json,
+    deadline: &RequestDeadline,
+) -> Result<Json, Fail> {
+    let graphs = parse_graphs(request)?;
+    let variant = parse_variant(request)?;
+    let config = parse_config(request)?;
+    let labels = parse_labels(request, graphs.len())?;
+    let backend = parse_workers(request)?;
+    deadline.check("fit: prototype hierarchy")?;
+    let model =
+        HaqjskModel::fit(&graphs, config, variant).map_err(|e| format!("fit failed: {e:?}"))?;
+    deadline.check("fit: gram computation")?;
+    let cache = FeatureCache::with_config(parse_cache_config(request));
+    let gram = model
+        .gram_matrix_cached_on(&graphs, &cache, backend)
+        .map_err(|e| format!("gram computation failed: {e:?}"))?;
+    let mut pairs = vec![
+        ("ok", Json::Bool(true)),
+        ("num_graphs", Json::Num(graphs.len() as f64)),
+        ("levels", Json::Num(model.hierarchy().num_levels() as f64)),
+        ("max_layers", Json::Num(model.max_layers() as f64)),
+    ];
+    if let Some(backend) = backend {
+        pairs.push(("backend", Json::Str(backend.label().to_string())));
+        if let Some(coordinator) = crate::dist::current_coordinator() {
+            let stats = coordinator.stats();
+            let reachable = stats
+                .workers
+                .iter()
+                .filter(|w| w.state == crate::dist::LinkState::Alive)
+                .count();
+            let unreachable = stats.workers.len() - reachable;
+            pairs.push(("workers", Json::Num(stats.workers.len() as f64)));
+            pairs.push(("workers_reachable", Json::Num(reachable as f64)));
+            pairs.push(("workers_unreachable", Json::Num(unreachable as f64)));
+            pairs.push(("degraded", Json::Bool(unreachable > 0)));
         }
-        let response = Json::obj(pairs);
-        state.lock().expect("state poisoned").fitted = Some(ModelState {
-            model,
-            cache,
-            train_graphs: graphs,
-            labels,
-            gram,
-            backend,
-        });
-        Ok(response)
-    };
-    build().unwrap_or_else(|e| error_response(&e))
+    }
+    let response = Json::obj(pairs);
+    state.lock().expect("state poisoned").fitted = Some(ModelState {
+        model,
+        cache,
+        train_graphs: graphs,
+        labels,
+        gram,
+        backend,
+    });
+    Ok(response)
 }
 
-fn with_fitted<F>(state: &Mutex<ServerState>, f: F) -> Json
+fn with_fitted<F>(state: &Mutex<ServerState>, f: F) -> Result<Json, Fail>
 where
-    F: FnOnce(&mut ModelState) -> Result<Json, String>,
+    F: FnOnce(&mut ModelState) -> Result<Json, Fail>,
 {
     let mut guard = state.lock().expect("state poisoned");
     match guard.fitted.as_mut() {
-        None => error_response("no model fitted yet (use 'fit' or 'load')"),
-        Some(fitted) => f(fitted).unwrap_or_else(|e| error_response(&e)),
+        None => Err(Fail::Error(
+            "no model fitted yet (use 'fit' or 'load')".to_string(),
+        )),
+        Some(fitted) => f(fitted),
     }
 }
 
@@ -378,9 +700,14 @@ fn parse_one_graph(request: &Json) -> Result<Graph, String> {
     graph_from_json(graph_json)
 }
 
-fn cmd_transform(state: &Mutex<ServerState>, request: &Json) -> Json {
+fn cmd_transform(
+    state: &Mutex<ServerState>,
+    request: &Json,
+    deadline: &RequestDeadline,
+) -> Result<Json, Fail> {
     with_fitted(state, |fitted| {
         let graph = parse_one_graph(request)?;
+        deadline.check("transform")?;
         let aligned = fitted
             .model
             .transform_all_cached(std::slice::from_ref(&graph), &fitted.cache)
@@ -398,24 +725,35 @@ fn cmd_transform(state: &Mutex<ServerState>, request: &Json) -> Json {
     })
 }
 
-fn kernel_row(fitted: &ModelState, graph: &Graph) -> Result<Vec<f64>, String> {
+fn kernel_row(
+    fitted: &ModelState,
+    graph: &Graph,
+    deadline: &RequestDeadline,
+) -> Result<Vec<f64>, Fail> {
     // Evaluate the row directly against the cached training features —
     // O(n) work per query, no cloning and no (n+1)x(n+1) intermediate.
+    deadline.check("kernel_row: training features")?;
     let train = fitted
         .model
         .transform_all_cached(&fitted.train_graphs, &fitted.cache)
         .map_err(|e| format!("transform failed: {e:?}"))?;
+    deadline.check("kernel_row: query features")?;
     let query = fitted
         .model
         .transform_all_cached(std::slice::from_ref(graph), &fitted.cache)
         .map_err(|e| format!("transform failed: {e:?}"))?;
+    deadline.check("kernel_row: row evaluation")?;
     Ok(Engine::global().map(train.len(), |j| fitted.model.kernel(&query[0], &train[j])))
 }
 
-fn cmd_kernel_row(state: &Mutex<ServerState>, request: &Json) -> Json {
+fn cmd_kernel_row(
+    state: &Mutex<ServerState>,
+    request: &Json,
+    deadline: &RequestDeadline,
+) -> Result<Json, Fail> {
     with_fitted(state, |fitted| {
         let graph = parse_one_graph(request)?;
-        let row = kernel_row(fitted, &graph)?;
+        let row = kernel_row(fitted, &graph, deadline)?;
         Ok(Json::obj([
             ("ok", Json::Bool(true)),
             (
@@ -426,13 +764,21 @@ fn cmd_kernel_row(state: &Mutex<ServerState>, request: &Json) -> Json {
     })
 }
 
-fn cmd_append(state: &Mutex<ServerState>, request: &Json) -> Json {
+fn cmd_append(
+    state: &Mutex<ServerState>,
+    request: &Json,
+    deadline: &RequestDeadline,
+) -> Result<Json, Fail> {
     with_fitted(state, |fitted| {
         let graph = parse_one_graph(request)?;
         let label = request.get("label").and_then(Json::as_usize);
         if fitted.labels.is_some() && label.is_none() {
-            return Err("this model serves labels; 'append' needs a 'label'".to_string());
+            return Err("this model serves labels; 'append' needs a 'label'".into());
         }
+        // The only checkpoint is *before* the extension: once the Gram is
+        // extended the append has happened, and reporting a deadline trip
+        // over committed state would lie about the server's contents.
+        deadline.check("append: gram extension")?;
         let mut all = fitted.train_graphs.clone();
         all.push(graph);
         fitted.gram = fitted
@@ -452,14 +798,18 @@ fn cmd_append(state: &Mutex<ServerState>, request: &Json) -> Json {
     })
 }
 
-fn cmd_predict(state: &Mutex<ServerState>, request: &Json) -> Json {
+fn cmd_predict(
+    state: &Mutex<ServerState>,
+    request: &Json,
+    deadline: &RequestDeadline,
+) -> Result<Json, Fail> {
     with_fitted(state, |fitted| {
         let labels = fitted
             .labels
             .clone()
             .ok_or("model was fitted without labels; 'predict' unavailable")?;
         let graph = parse_one_graph(request)?;
-        let row = kernel_row(fitted, &graph)?;
+        let row = kernel_row(fitted, &graph, deadline)?;
         let (best, value) = row
             .iter()
             .enumerate()
@@ -481,41 +831,100 @@ fn cmd_save(state: &Mutex<ServerState>) -> Json {
             ("model", Json::Str(model_to_string(&fitted.model))),
         ]))
     })
+    .unwrap_or_else(fail_to_response)
 }
 
-fn cmd_load(state: &Mutex<ServerState>, request: &Json) -> Json {
-    let build = || -> Result<Json, String> {
-        let text = request
-            .get("model")
+fn fail_to_response(fail: Fail) -> Json {
+    match fail {
+        Fail::Error(e) | Fail::Deadline(e) => error_response(&e),
+    }
+}
+
+/// Atomically persists the fitted model to `path` on the server's
+/// filesystem ([`save_model_file`]: tmp write, fsync, rename, checksum
+/// footer), reporting the artifact id the bytes hash to.
+fn cmd_save_file(state: &Mutex<ServerState>, request: &Json) -> Json {
+    with_fitted(state, |fitted| {
+        let path = request
+            .get("path")
             .and_then(Json::as_str)
-            .ok_or("request needs a string field 'model'")?;
-        let model = model_from_string(text).map_err(|e| e.to_string())?;
-        let graphs = if request.get("graphs").is_some() {
-            parse_graphs(request)?
-        } else {
-            Vec::new()
-        };
-        let labels = parse_labels(request, graphs.len())?;
-        let cache = FeatureCache::with_config(parse_cache_config(request));
-        let gram = model
-            .gram_matrix_cached(&graphs, &cache)
-            .map_err(|e| format!("gram computation failed: {e:?}"))?;
-        let response = Json::obj([
+            .ok_or("request needs a string field 'path'")?;
+        save_model_file(&fitted.model, Path::new(path))
+            .map_err(|e| format!("cannot save model to {path}: {e}"))?;
+        let text = model_to_string(&fitted.model);
+        Ok(Json::obj([
             ("ok", Json::Bool(true)),
-            ("num_graphs", Json::Num(graphs.len() as f64)),
-            ("levels", Json::Num(model.hierarchy().num_levels() as f64)),
-        ]);
-        state.lock().expect("state poisoned").fitted = Some(ModelState {
-            model,
-            cache,
-            train_graphs: graphs,
-            labels,
-            gram,
-            backend: None,
-        });
-        Ok(response)
+            ("path", Json::Str(path.to_string())),
+            (
+                "artifact_id",
+                Json::Str(crate::core::model_artifact_id(&text)),
+            ),
+        ]))
+    })
+    .unwrap_or_else(fail_to_response)
+}
+
+/// Installs a restored model as the served state, recomputing the Gram
+/// over any provided training graphs — shared by `load` and `load_file`.
+fn install_model(
+    state: &Mutex<ServerState>,
+    request: &Json,
+    model: HaqjskModel,
+    deadline: &RequestDeadline,
+) -> Result<Json, Fail> {
+    let graphs = if request.get("graphs").is_some() {
+        parse_graphs(request)?
+    } else {
+        Vec::new()
     };
-    build().unwrap_or_else(|e| error_response(&e))
+    let labels = parse_labels(request, graphs.len())?;
+    deadline.check("load: gram computation")?;
+    let cache = FeatureCache::with_config(parse_cache_config(request));
+    let gram = model
+        .gram_matrix_cached(&graphs, &cache)
+        .map_err(|e| format!("gram computation failed: {e:?}"))?;
+    let response = Json::obj([
+        ("ok", Json::Bool(true)),
+        ("num_graphs", Json::Num(graphs.len() as f64)),
+        ("levels", Json::Num(model.hierarchy().num_levels() as f64)),
+    ]);
+    state.lock().expect("state poisoned").fitted = Some(ModelState {
+        model,
+        cache,
+        train_graphs: graphs,
+        labels,
+        gram,
+        backend: None,
+    });
+    Ok(response)
+}
+
+fn cmd_load(
+    state: &Mutex<ServerState>,
+    request: &Json,
+    deadline: &RequestDeadline,
+) -> Result<Json, Fail> {
+    let text = request
+        .get("model")
+        .and_then(Json::as_str)
+        .ok_or("request needs a string field 'model'")?;
+    let model = model_from_string(text).map_err(|e| e.to_string())?;
+    install_model(state, request, model, deadline)
+}
+
+/// Restores a model from a checksum-verified file on the server's
+/// filesystem ([`load_model_file`]) and installs it like `load`.
+fn cmd_load_file(
+    state: &Mutex<ServerState>,
+    request: &Json,
+    deadline: &RequestDeadline,
+) -> Result<Json, Fail> {
+    let path = request
+        .get("path")
+        .and_then(Json::as_str)
+        .ok_or("request needs a string field 'path'")?;
+    let model = load_model_file(Path::new(path)).map_err(|e| e.to_string())?;
+    install_model(state, request, model, deadline)
 }
 
 /// One shard's counters on the wire.
@@ -622,7 +1031,7 @@ fn cmd_trace_dump() -> Json {
     ])
 }
 
-fn cmd_stats(state: &Mutex<ServerState>) -> Json {
+fn cmd_stats(serving: &Serving) -> Json {
     // The aggregate cache and eigen-batch counters are read back out of the
     // metrics registry — the same numbers a `metrics` scrape reports — so
     // `stats` and Prometheus can never disagree. Per-shard arrays, the
@@ -644,7 +1053,7 @@ fn cmd_stats(state: &Mutex<ServerState>) -> Json {
                 .unwrap_or(0.0),
         )
     };
-    let guard = state.lock().expect("state poisoned");
+    let guard = serving.inner.state.lock().expect("state poisoned");
     let engine = Engine::global();
     let mut pairs = vec![
         ("ok", Json::Bool(true)),
@@ -691,6 +1100,62 @@ fn cmd_stats(state: &Mutex<ServerState>) -> Json {
             shard_stats_array(&density_cache_shard_stats()),
         ),
     ];
+    // Overload/lifecycle state: the serving loop's admission and drain
+    // posture, readable without a Prometheus scrape.
+    let draining = serving.drain_requested();
+    pairs.push((
+        "serve_state",
+        Json::Str(if draining { "draining" } else { "serving" }.to_string()),
+    ));
+    pairs.push((
+        "active_connections",
+        Json::Num(
+            serving
+                .inner
+                .control
+                .get()
+                .map_or(0, ServeControl::active_connections) as f64,
+        ),
+    ));
+    pairs.push((
+        "heavy_inflight",
+        Json::Num(serving.inner.heavy_inflight.load(Ordering::Acquire) as f64),
+    ));
+    pairs.push((
+        "max_inflight_heavy",
+        Json::Num(serving.inner.config.max_inflight_heavy as f64),
+    ));
+    let family_sum = |name: &str| {
+        Json::Num(
+            snapshot
+                .family(name)
+                .iter()
+                .map(|entry| match &entry.value {
+                    crate::obs::MetricValue::Counter(v) => *v as f64,
+                    crate::obs::MetricValue::Gauge(v) => *v,
+                    crate::obs::MetricValue::Histogram(h) => h.count as f64,
+                })
+                .sum::<f64>(),
+        )
+    };
+    pairs.push((
+        "requests_rejected",
+        family_sum("haqjsk_serve_rejected_total"),
+    ));
+    pairs.push((
+        "deadline_exceeded",
+        family_sum("haqjsk_serve_deadline_exceeded_total"),
+    ));
+    pairs.push((
+        "conns_rejected",
+        family_sum("haqjsk_serve_conns_rejected_total"),
+    ));
+    pairs.push((
+        "frames_oversized",
+        family_sum("haqjsk_serve_frames_oversized_total"),
+    ));
+    pairs.push(("io_timeouts", family_sum("haqjsk_serve_io_timeouts_total")));
+    pairs.push(("handler_panics", family_sum("haqjsk_serve_panics_total")));
     // The spectral/alignment artifact caches introduced with the per-pair
     // fast path (entropies and Umeyama bases hoisted out of the Gram pair
     // loop) are observable alongside the density cache they derive from.
