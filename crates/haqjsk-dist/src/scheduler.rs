@@ -108,13 +108,21 @@ pub(crate) fn run_tiles(
         results: (0..run.tiles.len()).map(|_| OnceLock::new()).collect(),
     };
 
+    // The caller's trace context (the serving request's span, typically)
+    // rides into every per-worker dispatch thread: tile dispatches are
+    // stamped with it, and worker-returned spans merge under it — one
+    // trace covers request → Gram → tile → remote eigensolve.
+    let trace_ctx = haqjsk_obs::TraceContext::current();
     std::thread::scope(|scope| {
         for (link, mut conn) in workers {
             let shared = &shared;
-            scope.spawn(move || match worker_loop(&link, &mut conn, shared, run) {
-                LoopExit::Done => link.checkin(conn),
-                LoopExit::Died => link.mark_dead(),
-                LoopExit::Drained => {}
+            scope.spawn(move || {
+                let _trace = haqjsk_obs::TraceContext::attach(trace_ctx);
+                match worker_loop(&link, &mut conn, shared, run) {
+                    LoopExit::Done => link.checkin(conn),
+                    LoopExit::Died => link.mark_dead(),
+                    LoopExit::Drained => {}
+                }
             });
         }
     });
@@ -215,6 +223,7 @@ fn worker_loop(
     run: &TileRun<'_>,
 ) -> LoopExit {
     let config = run.config;
+    let trace_ctx = haqjsk_obs::TraceContext::current();
     let mut own: VecDeque<usize> = VecDeque::new();
     // A read timeout alone does not kill the worker: a tile can
     // legitimately take longer than the straggler deadline (its tiles
@@ -267,6 +276,7 @@ fn worker_loop(
                     run.kernel,
                     &shared.tiles[tile],
                     run.epoch,
+                    trace_ctx.as_ref(),
                 );
                 match conn.send(&request) {
                     Ok(bytes) => {
@@ -311,6 +321,12 @@ fn worker_loop(
                     link.tiles_completed.fetch_add(1, Ordering::Relaxed);
                     if let Some(round_trip) = commit(shared, tile.job, tile.values) {
                         crate::obs::rpc_histogram(&link.addr).observe_duration(round_trip);
+                        // The winning commit records the coordinator-side
+                        // tile span (back-dated by the round trip) and
+                        // splices the worker's span records into the local
+                        // ring, tagged with the worker's address.
+                        haqjsk_obs::record_span("dist_tile", round_trip);
+                        haqjsk_obs::merge_spans(&link.addr, wire::reply_spans(&response));
                     }
                 }
                 Ok(TileReply::StoreMiss {

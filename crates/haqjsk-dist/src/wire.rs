@@ -18,7 +18,7 @@
 //! | `artifact_begin`  | `artifact` (hex id)                             | `have`: whether the artifact is already loaded |
 //! | `artifact_chunk`  | `artifact`, `text`                              | ack (chunks accumulate in order) |
 //! | `artifact_commit` | `artifact`                                      | ack after digest verification + model parse |
-//! | `tile`            | `dataset`, `job`, `kernel`, `pairs`, `epoch`    | `job`, `values` — or `store_miss` + `missing` when the bounded store evicted dataset graphs (coordinator re-ships and retries) |
+//! | `tile`            | `dataset`, `job`, `kernel`, `pairs`, `epoch`, optional `trace`/`parent` (hex trace stamp) | `job`, `values` (+ optional `spans`: worker span records for the stamped trace) — or `store_miss` + `missing` when the bounded store evicted dataset graphs (coordinator re-ships and retries) |
 //! | `stats`           | —                                               | worker-side counters (store, chaos, epoch) |
 //! | `fail_after`      | `tiles`                                         | chaos knob: serve N more tiles, then fail + hang up |
 //! | `chaos`           | `seed`, `kill`, `hangup`, `delay`, `delay_ms`, `miss` (permille rates) or `off` | arms/disarms the seeded chaos plan |
@@ -41,6 +41,8 @@ use haqjsk_core::HaqjskModel;
 use haqjsk_engine::{GraphKey, Json, RemoteGram};
 use haqjsk_graph::Graph;
 use haqjsk_kernels::{JensenTsallisKernel, QjskAligned, QjskUnaligned};
+use haqjsk_obs::{SpanRecord, TraceContext};
+use std::borrow::Cow;
 
 /// Version tag answered by `ping`; bumped on incompatible protocol changes.
 /// Version 2 added membership epochs, model artifacts, `store_miss` tile
@@ -307,22 +309,97 @@ pub fn dataset_commit_request(dataset: &str) -> Json {
 }
 
 /// Builds a `tile` work-unit request stamped with the coordinator's
-/// current membership epoch.
+/// current membership epoch and, when tracing, the caller's trace context
+/// (`trace`/`parent` hex fields) — the worker adopts it, runs its tile
+/// span as a child, and returns its span records with the reply so one
+/// trace follows the request across processes.
 pub fn tile_request(
     dataset: &str,
     job: usize,
     kernel: &Json,
     pairs: &[(usize, usize)],
     epoch: usize,
+    ctx: Option<&TraceContext>,
 ) -> Json {
-    Json::obj([
+    let mut fields = vec![
         ("cmd", Json::Str("tile".to_string())),
         ("dataset", Json::Str(dataset.to_string())),
         ("job", Json::Num(job as f64)),
         ("kernel", kernel.clone()),
         ("pairs", pairs_to_json(pairs)),
         ("epoch", Json::Num(epoch as f64)),
-    ])
+    ];
+    if let Some(ctx) = ctx {
+        fields.push(("trace", Json::Str(ctx.trace_hex())));
+        fields.push(("parent", Json::Str(ctx.span_hex())));
+    }
+    Json::obj(fields)
+}
+
+/// Parses the optional trace stamp of a `tile` request into an adoptable
+/// context: the sender's span becomes the parent of whatever the receiver
+/// opens under the attachment. `None` when the request is unstamped or the
+/// stamp is malformed (tracing is best-effort; a bad stamp never fails the
+/// tile).
+pub fn trace_stamp(request: &Json) -> Option<TraceContext> {
+    let trace_id = request
+        .get("trace")
+        .and_then(Json::as_str)
+        .and_then(haqjsk_obs::trace_id_from_hex)?;
+    let parent = request
+        .get("parent")
+        .and_then(Json::as_str)
+        .and_then(haqjsk_obs::span_id_from_hex)?;
+    Some(TraceContext {
+        trace_id,
+        span_id: parent,
+        parent_id: 0,
+    })
+}
+
+/// Wire form of one span record:
+/// `{"name":...,"trace":hex,"span":hex,"parent":hex?,"start_ns":N,`
+/// `"dur_ns":N,"thread":T}`. `start_ns`/`thread` stay origin-local — only
+/// names, ids and durations are meaningful across processes.
+pub fn span_to_json(record: &SpanRecord) -> Json {
+    let mut fields = vec![
+        ("name", Json::Str(record.name.to_string())),
+        (
+            "trace",
+            Json::Str(haqjsk_obs::trace_id_hex(record.trace_id)),
+        ),
+        ("span", Json::Str(haqjsk_obs::span_id_hex(record.span_id))),
+    ];
+    if record.parent_id != 0 {
+        fields.push((
+            "parent",
+            Json::Str(haqjsk_obs::span_id_hex(record.parent_id)),
+        ));
+    }
+    fields.extend([
+        ("start_ns", Json::Num(record.start_ns as f64)),
+        ("dur_ns", Json::Num(record.duration_ns as f64)),
+        ("thread", Json::Num(record.thread as f64)),
+    ]);
+    Json::obj(fields)
+}
+
+/// Parses a [`span_to_json`] record; `None` on any malformed field (a
+/// droppable span, never an error).
+pub fn span_from_json(value: &Json) -> Option<SpanRecord> {
+    Some(SpanRecord {
+        name: Cow::Owned(value.get("name")?.as_str()?.to_string()),
+        trace_id: haqjsk_obs::trace_id_from_hex(value.get("trace")?.as_str()?)?,
+        span_id: haqjsk_obs::span_id_from_hex(value.get("span")?.as_str()?)?,
+        parent_id: match value.get("parent") {
+            Some(parent) => haqjsk_obs::span_id_from_hex(parent.as_str()?)?,
+            None => 0,
+        },
+        start_ns: value.get("start_ns").and_then(Json::as_f64).unwrap_or(0.0) as u64,
+        duration_ns: value.get("dur_ns").and_then(Json::as_f64).unwrap_or(0.0) as u64,
+        thread: value.get("thread").and_then(Json::as_f64).unwrap_or(0.0) as u32,
+        src: None,
+    })
 }
 
 /// Builds an `artifact_begin` request announcing a content-addressed
@@ -456,6 +533,17 @@ pub fn parse_tile_response(value: &Json) -> Result<TileResponse, String> {
     }
 }
 
+/// Extracts the optional `spans` array of a worker reply (span records the
+/// worker drained for the request's trace). Empty when absent or
+/// malformed; individual bad records are dropped, not errors.
+pub fn reply_spans(value: &Json) -> Vec<SpanRecord> {
+    value
+        .get("spans")
+        .and_then(Json::as_array)
+        .map(|spans| spans.iter().filter_map(span_from_json).collect())
+        .unwrap_or_default()
+}
+
 /// Rejects `{"ok":false,...}` responses, returning the error message.
 pub fn check_ok(value: &Json) -> Result<&Json, String> {
     match value.get("ok").and_then(Json::as_bool) {
@@ -581,7 +669,7 @@ mod tests {
         }
         .to_json();
         let pairs = [(0, 1), (0, 2), (1, 2)];
-        let request = tile_request("abc123", 7, &kernel, &pairs, 3);
+        let request = tile_request("abc123", 7, &kernel, &pairs, 3, None);
         let parsed = Json::parse(&request.to_string()).unwrap();
         assert_eq!(parsed.get("cmd").and_then(Json::as_str), Some("tile"));
         assert_eq!(parsed.get("job").and_then(Json::as_usize), Some(7));

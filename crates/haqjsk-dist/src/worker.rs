@@ -429,7 +429,35 @@ fn fault_fires(state: &WorkerState) -> bool {
     }
 }
 
+/// Handles a `tile` request under the coordinator's trace context (when
+/// the request is stamped and tracing is enabled): the worker's tile span
+/// — and every engine-pool span it opens — joins the caller's trace, and
+/// the records drained for that trace ride back on a successful reply as
+/// a `spans` array for the coordinator to merge.
 fn cmd_tile(state: &WorkerState, request: &Json) -> Json {
+    let ctx = wire::trace_stamp(request);
+    let mut response = {
+        let _adopted = haqjsk_obs::TraceContext::attach(ctx);
+        let _span = haqjsk_obs::span("worker_tile");
+        cmd_tile_inner(state, request)
+    };
+    if let Some(ctx) = ctx {
+        if response.get("ok").and_then(Json::as_bool) == Some(true) {
+            let spans = haqjsk_obs::take_trace_spans(ctx.trace_id);
+            if !spans.is_empty() {
+                if let Json::Obj(map) = &mut response {
+                    map.insert(
+                        "spans".to_string(),
+                        Json::Arr(spans.iter().map(wire::span_to_json).collect()),
+                    );
+                }
+            }
+        }
+    }
+    response
+}
+
+fn cmd_tile_inner(state: &WorkerState, request: &Json) -> Json {
     if fault_fires(state) {
         state
             .counters
@@ -762,7 +790,7 @@ mod tests {
         let response = exchange(
             &mut writer,
             &mut reader,
-            &wire::tile_request(&id, 3, &kernel.to_json(), &pairs, 7),
+            &wire::tile_request(&id, 3, &kernel.to_json(), &pairs, 7, None),
         );
         let tile = wire::parse_tile_response(&response).unwrap();
         assert_eq!(tile.job, 3);
@@ -778,7 +806,7 @@ mod tests {
         let bad = exchange(
             &mut writer,
             &mut reader,
-            &wire::tile_request("ffff", 0, &kernel.to_json(), &[(0, 1)], 7),
+            &wire::tile_request("ffff", 0, &kernel.to_json(), &[(0, 1)], 7, None),
         );
         match wire::parse_tile_reply(&bad).unwrap() {
             wire::TileReply::StoreMiss {
@@ -836,7 +864,7 @@ mod tests {
         let miss = exchange(
             &mut writer,
             &mut reader,
-            &wire::tile_request(&id, 0, &kernel.to_json(), &[(0, 1)], 1),
+            &wire::tile_request(&id, 0, &kernel.to_json(), &[(0, 1)], 1, None),
         );
         match wire::parse_tile_reply(&miss).unwrap() {
             wire::TileReply::StoreMiss {
@@ -886,7 +914,7 @@ mod tests {
         let response = exchange(
             &mut writer,
             &mut reader,
-            &wire::tile_request(&id, 9, &kernel.to_json(), &pairs, 1),
+            &wire::tile_request(&id, 9, &kernel.to_json(), &pairs, 1, None),
         );
         let tile = wire::parse_tile_response(&response).unwrap();
         assert_eq!(tile.job, 9);
@@ -935,7 +963,7 @@ mod tests {
         let first = exchange(
             &mut writer,
             &mut reader,
-            &wire::tile_request(&id, 4, &kernel, &[(0, 1)], 1),
+            &wire::tile_request(&id, 4, &kernel, &[(0, 1)], 1, None),
         );
         let missing = match wire::parse_tile_reply(&first).unwrap() {
             wire::TileReply::StoreMiss { job, missing, .. } => {
@@ -965,7 +993,7 @@ mod tests {
         let retry = exchange(
             &mut writer,
             &mut reader,
-            &wire::tile_request(&id, 4, &kernel, &[(0, 1)], 1),
+            &wire::tile_request(&id, 4, &kernel, &[(0, 1)], 1, None),
         );
         let tile = wire::parse_tile_response(&retry).unwrap();
         assert_eq!(tile.job, 4);
@@ -1009,13 +1037,13 @@ mod tests {
         let ok = exchange(
             &mut writer,
             &mut reader,
-            &wire::tile_request(&id, 0, &kernel, &[(0, 1)], 1),
+            &wire::tile_request(&id, 0, &kernel, &[(0, 1)], 1, None),
         );
         assert_eq!(ok.get("ok").and_then(Json::as_bool), Some(true));
         let injected = exchange(
             &mut writer,
             &mut reader,
-            &wire::tile_request(&id, 1, &kernel, &[(0, 1)], 1),
+            &wire::tile_request(&id, 1, &kernel, &[(0, 1)], 1, None),
         );
         assert_eq!(injected.get("ok").and_then(Json::as_bool), Some(false));
         // The worker hung up after the injected failure: the next exchange

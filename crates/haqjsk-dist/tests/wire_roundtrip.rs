@@ -70,7 +70,7 @@ proptest! {
             .into_iter()
             .map(|(i, j)| (i.min(j), i.max(j)))
             .collect();
-        let request = reparse(&wire::tile_request("d00d", job, &kernel.to_json(), &pairs, 1));
+        let request = reparse(&wire::tile_request("d00d", job, &kernel.to_json(), &pairs, 1, None));
         prop_assert_eq!(request.get("cmd").and_then(Json::as_str), Some("tile"));
         prop_assert_eq!(request.get("job").and_then(Json::as_usize), Some(job));
         prop_assert_eq!(

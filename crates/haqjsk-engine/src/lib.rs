@@ -66,6 +66,7 @@ pub mod cache;
 pub mod engine;
 pub mod gram;
 pub mod hash;
+pub mod http;
 pub mod json;
 pub mod obs;
 pub mod pool;
@@ -82,6 +83,7 @@ pub use cache::{
 };
 pub use engine::{Engine, EngineBuilder};
 pub use hash::{graph_key, GraphKey};
+pub use http::{HttpResponder, HttpResponse, HttpServer};
 pub use json::Json;
 pub use pool::{default_thread_count, WorkerPool, THREADS_ENV_VAR};
 pub use serve::{

@@ -258,6 +258,44 @@ pub fn serve_deadline_exceeded_counter(op: &str) -> Counter {
     )
 }
 
+// ---------------------------------------------------------------------------
+// HTTP scrape endpoint accounting
+// ---------------------------------------------------------------------------
+
+/// Counter of HTTP requests answered, by (bounded) path label and status.
+pub fn http_requests_counter(path: &str, status: u16) -> Counter {
+    registry().counter(
+        "haqjsk_http_requests_total",
+        "HTTP requests answered by the scrape endpoint, by path and status.",
+        &[("path", path), ("status", &status.to_string())],
+    )
+}
+
+/// Gauge of HTTP connections currently open (returns to baseline when
+/// clients disconnect).
+pub fn http_active_connections_gauge() -> &'static Gauge {
+    static GAUGE: OnceLock<Gauge> = OnceLock::new();
+    GAUGE.get_or_init(|| {
+        registry().gauge(
+            "haqjsk_http_active_connections",
+            "Connections currently open on the HTTP scrape endpoint.",
+            &[],
+        )
+    })
+}
+
+/// Counter of HTTP connections accepted.
+pub fn http_connections_counter() -> &'static Counter {
+    static COUNTER: OnceLock<Counter> = OnceLock::new();
+    COUNTER.get_or_init(|| {
+        registry().counter(
+            "haqjsk_http_connections_total",
+            "Connections accepted by the HTTP scrape endpoint.",
+            &[],
+        )
+    })
+}
+
 /// One-hot serving-state gauge: exactly one of
 /// `haqjsk_serve_state{state="serving"}` and
 /// `haqjsk_serve_state{state="draining"}` is 1.

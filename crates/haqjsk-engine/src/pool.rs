@@ -124,13 +124,19 @@ impl WorkerPool {
         });
 
         // One helper job per worker is enough: each drains the shared
-        // index counter until the batch is exhausted.
+        // index counter until the batch is exhausted. The caller's trace
+        // context (if any) rides along so spans opened inside the jobs
+        // stay children of the dispatching request.
+        let trace_ctx = haqjsk_obs::TraceContext::current();
         let jobs = self.threads().min(count);
         {
             let mut queue = self.shared.queue.lock().expect("queue poisoned");
             for _ in 0..jobs {
                 let task = Arc::clone(&task);
-                queue.push_back(Box::new(move || task.run_indices()));
+                queue.push_back(Box::new(move || {
+                    let _trace = haqjsk_obs::TraceContext::attach(trace_ctx);
+                    task.run_indices()
+                }));
             }
             crate::obs::pool_queue_depth_gauge().set(queue.len() as f64);
         }

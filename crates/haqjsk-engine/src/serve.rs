@@ -461,7 +461,7 @@ fn shed_connection(stream: TcpStream) {
 }
 
 /// What one poll of the bounded line reader produced.
-enum Poll {
+pub(crate) enum Poll {
     /// A complete line (newline stripped), decoded lossily — non-UTF-8
     /// garbage becomes replacement characters and fails JSON parsing with
     /// an ordinary error envelope.
@@ -480,14 +480,18 @@ enum Poll {
 /// tick-bounded blocking, so the connection loop can watch lifecycle flags
 /// while the peer is quiet. Buffers whole recv chunks, so pipelined
 /// requests are served back-to-back without extra syscalls.
-struct BoundedLineReader {
-    stream: TcpStream,
+pub(crate) struct BoundedLineReader {
+    pub(crate) stream: TcpStream,
     buf: Vec<u8>,
     max_frame_bytes: usize,
 }
 
 impl BoundedLineReader {
-    fn new(stream: TcpStream, max_frame_bytes: usize, tick: Duration) -> std::io::Result<Self> {
+    pub(crate) fn new(
+        stream: TcpStream,
+        max_frame_bytes: usize,
+        tick: Duration,
+    ) -> std::io::Result<Self> {
         stream.set_read_timeout(Some(tick))?;
         Ok(BoundedLineReader {
             stream,
@@ -506,7 +510,7 @@ impl BoundedLineReader {
         Some(String::from_utf8_lossy(&line).into_owned())
     }
 
-    fn poll_line(&mut self) -> std::io::Result<Poll> {
+    pub(crate) fn poll_line(&mut self) -> std::io::Result<Poll> {
         loop {
             if let Some(line) = self.take_line() {
                 return Ok(Poll::Line(line));
@@ -535,7 +539,7 @@ impl BoundedLineReader {
 /// for two ticks, hangs up, or a bounded tick budget runs out. Without
 /// this, closing with unread bytes in the receive buffer makes the kernel
 /// send an RST, which can destroy a final error line still in flight.
-fn linger_close(stream: &TcpStream, tick: Duration, shutdown: &AtomicBool) {
+pub(crate) fn linger_close(stream: &TcpStream, tick: Duration, shutdown: &AtomicBool) {
     let _ = stream.shutdown(std::net::Shutdown::Write);
     let _ = stream.set_read_timeout(Some(tick.max(Duration::from_millis(1))));
     let mut sink = [0u8; 8192];
@@ -666,7 +670,9 @@ fn answer_line(line: &str, handler: &dyn Handler) -> (Json, Option<Json>) {
             crate::obs::serve_requests_counter(&op).inc();
             let inflight = crate::obs::serve_inflight_gauge();
             inflight.add(1.0);
-            let _span = haqjsk_obs::span("serve_request");
+            let started = Instant::now();
+            let span = haqjsk_obs::span("serve_request");
+            let trace_id = span.trace_id();
             let timer =
                 crate::obs::HistogramTimer::start(&crate::obs::serve_request_histogram(&op));
             let response = match catch_unwind(AssertUnwindSafe(|| handler.handle(&request))) {
@@ -678,16 +684,35 @@ fn answer_line(line: &str, handler: &dyn Handler) -> (Json, Option<Json>) {
                 }
             };
             drop(timer);
+            drop(span);
             inflight.add(-1.0);
             if response.get("error").is_some() {
                 crate::obs::serve_errors_counter(&op).inc();
             }
+            let ok = response.get("ok").and_then(Json::as_bool).unwrap_or(false);
+            haqjsk_obs::record_request(
+                &op,
+                trace_id,
+                started.elapsed(),
+                ok,
+                response.get("rejected").and_then(Json::as_str),
+                response.get("error").and_then(Json::as_str),
+            );
             (response, Some(request))
         }
         Err(e) => {
             crate::obs::serve_requests_counter("malformed").inc();
             crate::obs::serve_errors_counter("malformed").inc();
-            (error_response(&format!("malformed request: {e}")), None)
+            let message = format!("malformed request: {e}");
+            haqjsk_obs::record_request(
+                "malformed",
+                None,
+                Duration::ZERO,
+                false,
+                None,
+                Some(&message),
+            );
+            (error_response(&message), None)
         }
     }
 }

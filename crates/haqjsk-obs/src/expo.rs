@@ -30,6 +30,12 @@ fn escape_label_value(v: &str) -> String {
     out
 }
 
+/// Escapes `# HELP` text per the text format: backslash and newline only
+/// (quotes are not special outside label values).
+fn escape_help(help: &str) -> String {
+    help.replace('\\', "\\\\").replace('\n', "\\n")
+}
+
 fn format_value(v: f64) -> String {
     if v.is_nan() {
         "NaN".to_string()
@@ -64,7 +70,11 @@ pub fn render_prometheus(snapshot: &Snapshot) -> String {
     for entry in &snapshot.entries {
         if current_family != Some(entry.name.as_str()) {
             current_family = Some(entry.name.as_str());
-            out.push_str(&format!("# HELP {} {}\n", entry.name, entry.help));
+            out.push_str(&format!(
+                "# HELP {} {}\n",
+                entry.name,
+                escape_help(&entry.help)
+            ));
             out.push_str(&format!("# TYPE {} {}\n", entry.name, entry.kind.as_str()));
         }
         match &entry.value {
@@ -171,6 +181,44 @@ impl Exposition {
     pub fn has_family(&self, name: &str) -> bool {
         self.types.contains_key(name)
     }
+}
+
+/// Splits a sample line into its `name{labels}` head and value tail. The
+/// label block ends at the first `}` *outside* a quoted label value — a
+/// `}` (or whitespace) inside quotes, e.g. `c{path="a}b"} 1`, belongs to
+/// the value and must not end the block.
+fn split_sample_line(line: &str, line_no: usize) -> Result<(&str, &str), String> {
+    let open = line.find('{');
+    // `{` starts a label block only when it precedes any whitespace;
+    // otherwise the name stands alone and the tail is the value.
+    if open.is_none_or(|open| line[..open].contains(char::is_whitespace)) {
+        let mut split = line.splitn(2, char::is_whitespace);
+        let name = split.next().unwrap_or("");
+        return Ok((name, split.next().unwrap_or("").trim_start()));
+    }
+    let open = open.expect("checked above");
+    let bytes = line.as_bytes();
+    let mut in_quotes = false;
+    let mut escaped = false;
+    for i in (open + 1)..bytes.len() {
+        let c = bytes[i];
+        if escaped {
+            escaped = false;
+        } else if in_quotes {
+            match c {
+                b'\\' => escaped = true,
+                b'"' => in_quotes = false,
+                _ => {}
+            }
+        } else {
+            match c {
+                b'"' => in_quotes = true,
+                b'}' => return Ok((&line[..=i], line[i + 1..].trim_start())),
+                _ => {}
+            }
+        }
+    }
+    Err(format!("line {line_no}: unterminated label block"))
 }
 
 fn parse_label_block(raw: &str, line_no: usize) -> Result<Vec<(String, String)>, String> {
@@ -280,14 +328,7 @@ pub fn parse_exposition(text: &str) -> Result<Exposition, String> {
         }
 
         // Sample line: name[{labels}] value [timestamp]
-        let (name_and_labels, value_part) = match line.find('}') {
-            Some(close) => (&line[..=close], line[close + 1..].trim_start()),
-            None => {
-                let mut split = line.splitn(2, char::is_whitespace);
-                let name = split.next().unwrap_or("");
-                (name, split.next().unwrap_or("").trim_start())
-            }
-        };
+        let (name_and_labels, value_part) = split_sample_line(line, line_no)?;
         let (name, labels) = match name_and_labels.find('{') {
             Some(open) => {
                 if !name_and_labels.ends_with('}') {
@@ -466,5 +507,34 @@ mod tests {
         let text = r.render_prometheus();
         let expo = parse_exposition(&text).unwrap();
         assert_eq!(expo.value("c_total", &[("path", "a\"b\\c\nd")]), Some(1.0));
+    }
+
+    #[test]
+    fn braces_inside_quoted_label_values_round_trip() {
+        // A `}` inside a quoted value must not end the label block.
+        let text = "# TYPE c_total counter\nc_total{path=\"a}b\"} 1\n";
+        let expo = parse_exposition(text).unwrap();
+        assert_eq!(expo.value("c_total", &[("path", "a}b")]), Some(1.0));
+        // And through the renderer, including `{`, `,`, `=` and spaces.
+        let r = Registry::default();
+        let value = "GET /x?a={1,2} = \"q\"";
+        r.counter("c_total", "h", &[("path", value)]).inc();
+        let rendered = r.render_prometheus();
+        let expo = parse_exposition(&rendered).unwrap();
+        assert_eq!(expo.value("c_total", &[("path", value)]), Some(1.0));
+        // Truly unterminated blocks are still rejected.
+        assert!(parse_exposition("# TYPE c counter\nc{path=\"a}b\" 1\n").is_err());
+    }
+
+    #[test]
+    fn help_text_newlines_and_backslashes_are_escaped() {
+        let r = Registry::default();
+        r.counter("c_total", "line one\nline two \\ backslash", &[])
+            .inc();
+        let text = r.render_prometheus();
+        // The help must stay on one physical line, escaped.
+        assert!(text.contains("# HELP c_total line one\\nline two \\\\ backslash\n"));
+        let expo = parse_exposition(&text).unwrap();
+        assert_eq!(expo.value("c_total", &[]), Some(1.0));
     }
 }

@@ -1,25 +1,50 @@
-//! The span tracer: RAII guards writing fixed-size records into per-thread
-//! ring buffers.
+//! The span tracer: causal trace contexts plus RAII guards writing records
+//! into per-thread ring buffers.
 //!
-//! [`span("name")`](span) returns a [`Span`] guard; dropping it appends one
-//! `{name, start, duration, thread}` record to the calling thread's ring
-//! buffer (fixed capacity, oldest records overwritten). Rings register
-//! themselves in a global list on first use, so [`drain_trace_jsonl`]
-//! collects every thread's records — sorted by start time, rendered as JSON
-//! lines for flamegraph-style offline analysis — and clears the buffers.
+//! Every span belongs to a **trace**: [`span("name")`](span) opens a span
+//! under the thread's current context — as a child of the innermost open
+//! span, or as the root of a fresh trace when none is open — and dropping
+//! the guard appends one `{name, trace, span, parent, start, duration,
+//! thread}` record to the calling thread's ring buffer (fixed capacity,
+//! oldest records dropped and metered as `haqjsk_trace_dropped_total`).
+//! Rings register themselves in a global list on first use, so
+//! [`drain_trace_jsonl`] collects every thread's records — sorted by start
+//! time, rendered as JSON lines for flamegraph-style offline analysis —
+//! and clears the buffers.
+//!
+//! Context crosses execution boundaries explicitly:
+//!
+//! * [`TraceContext::current`] captures the active context on one thread;
+//! * [`TraceContext::attach`] adopts a captured (or wire-received) context
+//!   on another thread, so spans opened there become children of the
+//!   originating span — this is how engine pool jobs and distributed
+//!   workers join the request's trace;
+//! * [`take_trace_spans`] removes one trace's finished records (a worker
+//!   returns them alongside its tile results) and [`merge_spans`] splices
+//!   records received from a peer process into the local rings, tagged
+//!   with their source address.
+//!
+//! IDs are random: 128-bit trace ids and 64-bit span ids, rendered as 32
+//! and 16 lowercase hex digits on the wire (`span_id` 0 is reserved for
+//! "no parent"). Merged records keep their origin's clock, so only
+//! durations — not start offsets — are comparable across processes.
 //!
 //! Tracing is enabled by default and disabled when the `HAQJSK_TRACE`
 //! environment variable is `0`, `false` or `off` (checked once, at first
 //! use); a disabled span is two branch instructions.
 
-use std::sync::atomic::{AtomicU32, Ordering};
+use crate::metrics::{registry, Counter};
+use std::borrow::Cow;
+use std::cell::RefCell;
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, OnceLock};
-use std::time::Instant;
+use std::time::{Duration, Instant, SystemTime, UNIX_EPOCH};
 
 /// Environment variable gating the tracer (`0`/`false`/`off` disable it).
 pub const TRACE_ENV_VAR: &str = "HAQJSK_TRACE";
 
-/// Records kept per thread before the ring wraps.
+/// Records kept per thread before the ring drops its oldest.
 const RING_CAPACITY: usize = 2048;
 
 /// Whether tracing is enabled (cached after the first call).
@@ -38,30 +63,209 @@ fn process_start() -> Instant {
     *START.get_or_init(Instant::now)
 }
 
-#[derive(Clone, Copy)]
-struct SpanRecord {
-    name: &'static str,
-    start_ns: u64,
-    duration_ns: u64,
-    thread: u32,
+/// Total ring-wrap drops, mirrored into `haqjsk_trace_dropped_total`.
+fn dropped_counter() -> &'static Counter {
+    static DROPPED: OnceLock<Counter> = OnceLock::new();
+    DROPPED.get_or_init(|| {
+        registry().counter(
+            "haqjsk_trace_dropped_total",
+            "Span records dropped by trace-ring wrap-around before any drain.",
+            &[],
+        )
+    })
+}
+
+// ---------------------------------------------------------------------------
+// IDs
+// ---------------------------------------------------------------------------
+
+/// splitmix64 finalizer: a cheap, well-mixed 64-bit permutation.
+fn mix64(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// A fresh, non-zero 64-bit id: a counter stream through `mix64`, seeded
+/// from wall-clock nanos and the pid so concurrent processes (coordinator
+/// and workers) draw from disjoint streams.
+fn next_id64() -> u64 {
+    static SEED: OnceLock<u64> = OnceLock::new();
+    static COUNTER: AtomicU64 = AtomicU64::new(0);
+    let seed = *SEED.get_or_init(|| {
+        let nanos = SystemTime::now()
+            .duration_since(UNIX_EPOCH)
+            .map(|d| d.as_nanos() as u64)
+            .unwrap_or(0x5bd1_e995);
+        mix64(nanos ^ ((std::process::id() as u64).rotate_left(32)))
+    });
+    loop {
+        let n = COUNTER.fetch_add(1, Ordering::Relaxed);
+        let id = mix64(seed ^ n.wrapping_mul(0x9e37_79b9_7f4a_7c15));
+        if id != 0 {
+            return id;
+        }
+    }
+}
+
+fn next_trace_id() -> u128 {
+    ((next_id64() as u128) << 64) | next_id64() as u128
+}
+
+/// Renders a trace id as 32 lowercase hex digits (the wire format).
+pub fn trace_id_hex(trace_id: u128) -> String {
+    format!("{trace_id:032x}")
+}
+
+/// Renders a span id as 16 lowercase hex digits (the wire format).
+pub fn span_id_hex(span_id: u64) -> String {
+    format!("{span_id:016x}")
+}
+
+/// Parses a 32-hex-digit trace id.
+pub fn trace_id_from_hex(raw: &str) -> Option<u128> {
+    if raw.len() != 32 {
+        return None;
+    }
+    u128::from_str_radix(raw, 16).ok()
+}
+
+/// Parses a 16-hex-digit span id.
+pub fn span_id_from_hex(raw: &str) -> Option<u64> {
+    if raw.len() != 16 {
+        return None;
+    }
+    u64::from_str_radix(raw, 16).ok()
+}
+
+// ---------------------------------------------------------------------------
+// Context
+// ---------------------------------------------------------------------------
+
+/// The causal coordinates of one span: which trace it belongs to, its own
+/// id, and its parent's id (0 for a trace root). [`TraceContext::current`]
+/// captures the innermost open span's coordinates for handoff to another
+/// thread or process; [`TraceContext::attach`] adopts them there.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct TraceContext {
+    /// 128-bit trace id shared by every span of one request.
+    pub trace_id: u128,
+    /// The span's own 64-bit id.
+    pub span_id: u64,
+    /// The parent span's id; 0 when the span is a trace root.
+    pub parent_id: u64,
+}
+
+thread_local! {
+    /// The stack of open span contexts on this thread; the top is the
+    /// parent of the next span opened here.
+    static CONTEXT_STACK: RefCell<Vec<TraceContext>> = const { RefCell::new(Vec::new()) };
+}
+
+impl TraceContext {
+    /// The innermost open (or attached) span context on this thread, if
+    /// any. Capture it before handing work to another thread, stamp it on
+    /// a wire request, or store it for a deferred [`record_span`].
+    pub fn current() -> Option<TraceContext> {
+        if !trace_enabled() {
+            return None;
+        }
+        CONTEXT_STACK.with(|stack| stack.borrow().last().copied())
+    }
+
+    /// Adopts a captured context on the calling thread for the guard's
+    /// lifetime: spans opened while the guard lives become children of
+    /// `ctx`'s span and share its trace. `None` (context captured with
+    /// tracing disabled, or a wire request without trace fields) attaches
+    /// nothing — the guard is then a no-op.
+    pub fn attach(ctx: Option<TraceContext>) -> ContextGuard {
+        let attached = match ctx {
+            Some(ctx) if trace_enabled() => {
+                CONTEXT_STACK.with(|stack| stack.borrow_mut().push(ctx));
+                Some(ctx)
+            }
+            _ => None,
+        };
+        ContextGuard { attached }
+    }
+
+    /// The 32-hex-digit wire form of the trace id.
+    pub fn trace_hex(&self) -> String {
+        trace_id_hex(self.trace_id)
+    }
+
+    /// The 16-hex-digit wire form of the span id.
+    pub fn span_hex(&self) -> String {
+        span_id_hex(self.span_id)
+    }
+}
+
+/// Removes the last stack frame matching `span_id` (normally the top; a
+/// linear scan keeps mis-nested drops from corrupting unrelated frames).
+fn pop_frame(span_id: u64) {
+    CONTEXT_STACK.with(|stack| {
+        let mut stack = stack.borrow_mut();
+        if let Some(idx) = stack.iter().rposition(|f| f.span_id == span_id) {
+            stack.remove(idx);
+        }
+    });
+}
+
+/// RAII guard for an attached [`TraceContext`]; detaches on drop.
+pub struct ContextGuard {
+    attached: Option<TraceContext>,
+}
+
+impl Drop for ContextGuard {
+    fn drop(&mut self) {
+        if let Some(ctx) = self.attached {
+            pop_frame(ctx.span_id);
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Records and rings
+// ---------------------------------------------------------------------------
+
+/// One finished span. Public so peers can re-serialize spans across
+/// process boundaries (see [`take_trace_spans`] / [`merge_spans`]).
+#[derive(Clone, Debug)]
+pub struct SpanRecord {
+    /// Span name (`Cow`: local spans borrow a static name, spans parsed
+    /// off the wire own theirs).
+    pub name: Cow<'static, str>,
+    /// Trace the span belongs to.
+    pub trace_id: u128,
+    /// The span's own id.
+    pub span_id: u64,
+    /// Parent span id; 0 for a trace root.
+    pub parent_id: u64,
+    /// Start offset from the recording process's start, in nanoseconds
+    /// (origin-local for merged records — only durations compare across
+    /// processes).
+    pub start_ns: u64,
+    /// Span duration in nanoseconds.
+    pub duration_ns: u64,
+    /// Recording thread's small id (origin-local for merged records).
+    pub thread: u32,
+    /// `None` for spans recorded in this process; the peer's address for
+    /// records spliced in by [`merge_spans`].
+    pub src: Option<String>,
 }
 
 struct Ring {
-    records: Vec<SpanRecord>,
-    next: usize,
-    /// Total records ever written (so wrap-around losses are reported).
-    written: u64,
+    records: VecDeque<SpanRecord>,
 }
 
 impl Ring {
     fn push(&mut self, record: SpanRecord) {
-        if self.records.len() < RING_CAPACITY {
-            self.records.push(record);
-        } else {
-            self.records[self.next] = record;
+        if self.records.len() >= RING_CAPACITY {
+            self.records.pop_front();
+            dropped_counter().inc();
         }
-        self.next = (self.next + 1) % RING_CAPACITY;
-        self.written += 1;
+        self.records.push_back(record);
     }
 }
 
@@ -74,9 +278,7 @@ fn thread_ring() -> Arc<Mutex<Ring>> {
     thread_local! {
         static RING: Arc<Mutex<Ring>> = {
             let ring = Arc::new(Mutex::new(Ring {
-                records: Vec::new(),
-                next: 0,
-                written: 0,
+                records: VecDeque::new(),
             }));
             ring_registry()
                 .lock()
@@ -96,34 +298,81 @@ fn thread_id() -> u32 {
     ID.with(|id| *id)
 }
 
+fn now_ns() -> u64 {
+    process_start().elapsed().as_nanos() as u64
+}
+
 /// An open span; records itself into the thread's ring buffer on drop.
 /// Obtained from [`span`]. A no-op when tracing is disabled.
 pub struct Span {
     name: &'static str,
     start: Option<Instant>,
+    ctx: Option<TraceContext>,
 }
 
-/// Opens a span named `name`.
+/// Opens a span named `name` under the thread's current context: a child
+/// of the innermost open span, or the root of a fresh trace.
 pub fn span(name: &'static str) -> Span {
+    if !trace_enabled() {
+        return Span {
+            name,
+            start: None,
+            ctx: None,
+        };
+    }
+    // Pin the process epoch before the span starts so start offsets are
+    // never negative.
+    process_start();
+    let ctx = CONTEXT_STACK.with(|stack| {
+        let mut stack = stack.borrow_mut();
+        let (trace_id, parent_id) = match stack.last() {
+            Some(parent) => (parent.trace_id, parent.span_id),
+            None => (next_trace_id(), 0),
+        };
+        let ctx = TraceContext {
+            trace_id,
+            span_id: next_id64(),
+            parent_id,
+        };
+        stack.push(ctx);
+        ctx
+    });
     Span {
         name,
-        start: trace_enabled().then(|| {
-            // Pin the process epoch before the span starts so start offsets
-            // are never negative.
-            process_start();
-            Instant::now()
-        }),
+        start: Some(Instant::now()),
+        ctx: Some(ctx),
+    }
+}
+
+impl Span {
+    /// The span's causal coordinates (`None` when tracing is disabled).
+    /// Capture these to stamp the owning request's trace id on a flight
+    /// record or a wire dispatch.
+    pub fn context(&self) -> Option<TraceContext> {
+        self.ctx
+    }
+
+    /// The owning trace's id (`None` when tracing is disabled).
+    pub fn trace_id(&self) -> Option<u128> {
+        self.ctx.map(|ctx| ctx.trace_id)
     }
 }
 
 impl Drop for Span {
     fn drop(&mut self) {
-        let Some(start) = self.start else { return };
+        let (Some(start), Some(ctx)) = (self.start, self.ctx) else {
+            return;
+        };
+        pop_frame(ctx.span_id);
         let record = SpanRecord {
-            name: self.name,
+            name: Cow::Borrowed(self.name),
+            trace_id: ctx.trace_id,
+            span_id: ctx.span_id,
+            parent_id: ctx.parent_id,
             start_ns: start.duration_since(process_start()).as_nanos() as u64,
             duration_ns: start.elapsed().as_nanos() as u64,
             thread: thread_id(),
+            src: None,
         };
         thread_ring()
             .lock()
@@ -132,11 +381,142 @@ impl Drop for Span {
     }
 }
 
-/// Drains every thread's ring buffer: returns `(records, jsonl)` where
-/// `jsonl` holds one JSON object per line, sorted by span start time:
-/// `{"name":...,"start_us":...,"dur_us":...,"thread":...}`. Buffers are
-/// cleared; records lost to ring wrap-around are simply absent.
-pub fn drain_trace_jsonl() -> (usize, String) {
+/// Records an already-finished span of known `duration` under the thread's
+/// current context, without having held an RAII guard — for paths where
+/// the interval is measured elsewhere (e.g. a pipelined RPC timed from
+/// dispatch to commit). The start offset is back-dated by `duration`.
+pub fn record_span(name: &'static str, duration: Duration) {
+    if !trace_enabled() {
+        return;
+    }
+    let (trace_id, parent_id) = match TraceContext::current() {
+        Some(parent) => (parent.trace_id, parent.span_id),
+        None => (next_trace_id(), 0),
+    };
+    let duration_ns = duration.as_nanos() as u64;
+    let record = SpanRecord {
+        name: Cow::Borrowed(name),
+        trace_id,
+        span_id: next_id64(),
+        parent_id,
+        start_ns: now_ns().saturating_sub(duration_ns),
+        duration_ns,
+        thread: thread_id(),
+        src: None,
+    };
+    thread_ring()
+        .lock()
+        .expect("trace ring poisoned")
+        .push(record);
+}
+
+/// Removes and returns every finished record of `trace_id` from all rings,
+/// sorted by start time — a worker calls this after computing a tile to
+/// return the request's spans alongside the result. Records of other
+/// traces are untouched.
+pub fn take_trace_spans(trace_id: u128) -> Vec<SpanRecord> {
+    if !trace_enabled() {
+        return Vec::new();
+    }
+    let mut taken = Vec::new();
+    {
+        let rings = ring_registry()
+            .lock()
+            .expect("trace ring registry poisoned");
+        for ring in rings.iter() {
+            let mut ring = ring.lock().expect("trace ring poisoned");
+            let mut keep = VecDeque::with_capacity(ring.records.len());
+            for record in ring.records.drain(..) {
+                if record.trace_id == trace_id {
+                    taken.push(record);
+                } else {
+                    keep.push_back(record);
+                }
+            }
+            ring.records = keep;
+        }
+    }
+    taken.sort_by_key(|r| r.start_ns);
+    taken
+}
+
+/// Splices span records received from a peer process into the calling
+/// thread's ring, tagging each with the peer's address (unless the record
+/// already carries a source — a relayed record keeps its origin).
+pub fn merge_spans(src: &str, spans: Vec<SpanRecord>) {
+    if !trace_enabled() || spans.is_empty() {
+        return;
+    }
+    let ring = thread_ring();
+    let mut ring = ring.lock().expect("trace ring poisoned");
+    for mut record in spans {
+        if record.src.is_none() {
+            record.src = Some(src.to_string());
+        }
+        ring.push(record);
+    }
+}
+
+/// A drained trace buffer: the record count, the cumulative ring-drop
+/// total, and the records as JSON lines.
+#[derive(Debug, Clone)]
+pub struct TraceDump {
+    /// Records in this dump.
+    pub spans: usize,
+    /// Total records ever lost to ring wrap-around in this process (the
+    /// value of `haqjsk_trace_dropped_total` at drain time).
+    pub dropped: u64,
+    /// One JSON object per line, sorted by span start time.
+    pub jsonl: String,
+}
+
+/// Minimal JSON string escaping for span names and source addresses.
+fn escape_json(raw: &str) -> String {
+    let mut out = String::with_capacity(raw.len());
+    for c in raw.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Renders one record as its JSONL object.
+fn record_jsonl(r: &SpanRecord) -> String {
+    let mut line = format!(
+        "{{\"name\":\"{}\",\"trace\":\"{}\",\"span\":\"{}\"",
+        escape_json(&r.name),
+        trace_id_hex(r.trace_id),
+        span_id_hex(r.span_id),
+    );
+    if r.parent_id != 0 {
+        line.push_str(&format!(",\"parent\":\"{}\"", span_id_hex(r.parent_id)));
+    }
+    line.push_str(&format!(
+        ",\"start_us\":{:.3},\"dur_us\":{:.3},\"thread\":{}",
+        r.start_ns as f64 / 1000.0,
+        r.duration_ns as f64 / 1000.0,
+        r.thread
+    ));
+    if let Some(src) = &r.src {
+        line.push_str(&format!(",\"src\":\"{}\"", escape_json(src)));
+    }
+    line.push('}');
+    line
+}
+
+/// Drains every thread's ring buffer into a [`TraceDump`]: one JSON object
+/// per line, sorted by span start time —
+/// `{"name","trace","span","parent"?,"start_us","dur_us","thread","src"?}`.
+/// Buffers are cleared; records lost to ring wrap-around are absent and
+/// counted in [`TraceDump::dropped`].
+pub fn drain_trace_jsonl() -> TraceDump {
     let mut all: Vec<SpanRecord> = Vec::new();
     {
         let rings = ring_registry()
@@ -144,27 +524,32 @@ pub fn drain_trace_jsonl() -> (usize, String) {
             .expect("trace ring registry poisoned");
         for ring in rings.iter() {
             let mut ring = ring.lock().expect("trace ring poisoned");
-            all.append(&mut ring.records);
-            ring.next = 0;
+            all.extend(ring.records.drain(..));
         }
     }
     all.sort_by_key(|r| r.start_ns);
-    let mut out = String::new();
+    let mut jsonl = String::new();
     for r in &all {
-        out.push_str(&format!(
-            "{{\"name\":\"{}\",\"start_us\":{:.3},\"dur_us\":{:.3},\"thread\":{}}}\n",
-            r.name,
-            r.start_ns as f64 / 1000.0,
-            r.duration_ns as f64 / 1000.0,
-            r.thread
-        ));
+        jsonl.push_str(&record_jsonl(r));
+        jsonl.push('\n');
     }
-    (all.len(), out)
+    TraceDump {
+        spans: all.len(),
+        dropped: dropped_counter().value(),
+        jsonl,
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    /// Rings are process-global, and `drain_trace_jsonl` takes everything:
+    /// tests that drain or take must not interleave.
+    fn ring_lock() -> std::sync::MutexGuard<'static, ()> {
+        static LOCK: Mutex<()> = Mutex::new(());
+        LOCK.lock().unwrap_or_else(|poison| poison.into_inner())
+    }
 
     #[test]
     fn spans_record_and_drain() {
@@ -173,6 +558,7 @@ mod tests {
         if !trace_enabled() {
             return;
         }
+        let _guard = ring_lock();
         let _ = drain_trace_jsonl();
         {
             let _span = span("unit_test_span");
@@ -182,31 +568,154 @@ mod tests {
             let _span = span("unit_test_span_other_thread");
         });
         handle.join().unwrap();
-        let (count, jsonl) = drain_trace_jsonl();
-        assert!(count >= 2, "expected both spans, got {count}");
-        assert!(jsonl.contains("unit_test_span"));
-        assert!(jsonl.contains("unit_test_span_other_thread"));
+        let dump = drain_trace_jsonl();
+        assert!(dump.spans >= 2, "expected both spans, got {}", dump.spans);
+        assert!(dump.jsonl.contains("unit_test_span"));
+        assert!(dump.jsonl.contains("unit_test_span_other_thread"));
         // Drained: a second drain is empty of these spans.
-        let (count, _) = drain_trace_jsonl();
-        assert_eq!(count, 0);
+        assert_eq!(drain_trace_jsonl().spans, 0);
     }
 
     #[test]
-    fn ring_wraps_without_growing() {
-        let mut ring = Ring {
-            records: Vec::new(),
-            next: 0,
-            written: 0,
+    fn child_spans_share_the_trace_and_chain_parents() {
+        if !trace_enabled() {
+            return;
+        }
+        let _guard = ring_lock();
+        let (root_ctx, child_ctx) = {
+            let root = span("causal_test_root");
+            let root_ctx = root.context().unwrap();
+            let child = span("causal_test_child");
+            let child_ctx = child.context().unwrap();
+            (root_ctx, child_ctx)
         };
+        assert_eq!(child_ctx.trace_id, root_ctx.trace_id);
+        assert_eq!(child_ctx.parent_id, root_ctx.span_id);
+        assert_eq!(root_ctx.parent_id, 0);
+        let taken = take_trace_spans(root_ctx.trace_id);
+        assert_eq!(taken.len(), 2);
+    }
+
+    #[test]
+    fn attach_carries_context_across_threads() {
+        if !trace_enabled() {
+            return;
+        }
+        let _guard = ring_lock();
+        let root = span("attach_test_root");
+        let captured = root.context();
+        let handle = std::thread::spawn(move || {
+            let _guard = TraceContext::attach(captured);
+            let child = span("attach_test_child");
+            child.context().unwrap()
+        });
+        let child_ctx = handle.join().unwrap();
+        let root_ctx = captured.unwrap();
+        assert_eq!(child_ctx.trace_id, root_ctx.trace_id);
+        assert_eq!(child_ctx.parent_id, root_ctx.span_id);
+        drop(root);
+        let taken = take_trace_spans(root_ctx.trace_id);
+        assert_eq!(taken.len(), 2);
+    }
+
+    #[test]
+    fn take_trace_spans_removes_only_the_requested_trace() {
+        if !trace_enabled() {
+            return;
+        }
+        let _guard = ring_lock();
+        let wanted = {
+            let s = span("take_test_wanted");
+            s.trace_id().unwrap()
+        };
+        let other = {
+            let s = span("take_test_other");
+            s.trace_id().unwrap()
+        };
+        let taken = take_trace_spans(wanted);
+        assert_eq!(taken.len(), 1);
+        assert_eq!(taken[0].name, "take_test_wanted");
+        let rest = take_trace_spans(other);
+        assert_eq!(rest.len(), 1);
+        assert_eq!(rest[0].name, "take_test_other");
+    }
+
+    #[test]
+    fn merged_spans_carry_their_source_and_survive_a_drain() {
+        if !trace_enabled() {
+            return;
+        }
+        let _guard = ring_lock();
+        let trace_id = next_trace_id();
+        merge_spans(
+            "10.0.0.7:9000",
+            vec![SpanRecord {
+                name: Cow::Owned("merge_test_worker_tile".to_string()),
+                trace_id,
+                span_id: next_id64(),
+                parent_id: 7,
+                start_ns: 1,
+                duration_ns: 2,
+                thread: 0,
+                src: None,
+            }],
+        );
+        let taken = take_trace_spans(trace_id);
+        assert_eq!(taken.len(), 1);
+        assert_eq!(taken[0].src.as_deref(), Some("10.0.0.7:9000"));
+    }
+
+    #[test]
+    fn record_span_backdates_under_the_current_context() {
+        if !trace_enabled() {
+            return;
+        }
+        let _guard = ring_lock();
+        let root = span("record_test_root");
+        let root_ctx = root.context().unwrap();
+        record_span("record_test_manual", Duration::from_millis(3));
+        drop(root);
+        let taken = take_trace_spans(root_ctx.trace_id);
+        assert_eq!(taken.len(), 2);
+        let manual = taken
+            .iter()
+            .find(|r| r.name == "record_test_manual")
+            .unwrap();
+        assert_eq!(manual.parent_id, root_ctx.span_id);
+        assert!(manual.duration_ns >= 3_000_000);
+    }
+
+    #[test]
+    fn ring_drops_oldest_and_meters_the_loss() {
+        let mut ring = Ring {
+            records: VecDeque::new(),
+        };
+        let before = dropped_counter().value();
         for i in 0..(RING_CAPACITY + 10) {
             ring.push(SpanRecord {
-                name: "x",
+                name: Cow::Borrowed("x"),
+                trace_id: 1,
+                span_id: i as u64 + 1,
+                parent_id: 0,
                 start_ns: i as u64,
                 duration_ns: 1,
                 thread: 0,
+                src: None,
             });
         }
         assert_eq!(ring.records.len(), RING_CAPACITY);
-        assert_eq!(ring.written as usize, RING_CAPACITY + 10);
+        // The 10 oldest were dropped and metered.
+        assert!(dropped_counter().value() >= before + 10);
+        assert_eq!(ring.records.front().unwrap().start_ns, 10);
+    }
+
+    #[test]
+    fn ids_render_and_parse_as_fixed_width_hex() {
+        let trace = next_trace_id();
+        let span_id = next_id64();
+        assert_eq!(trace_id_from_hex(&trace_id_hex(trace)), Some(trace));
+        assert_eq!(span_id_from_hex(&span_id_hex(span_id)), Some(span_id));
+        assert_eq!(trace_id_from_hex("abc"), None);
+        assert_eq!(span_id_from_hex("zzzzzzzzzzzzzzzz"), None);
     }
 }

@@ -1,0 +1,54 @@
+//! Property test for Prometheus exposition escaping: any label value —
+//! including backslashes, quotes, newlines and braces — must survive a
+//! render → parse round trip byte-for-byte.
+
+use haqjsk_obs::{parse_exposition, Registry};
+use proptest::prelude::*;
+
+/// Characters biased towards everything structural in the text format.
+const PALETTE: &[char] = &[
+    '\\', '"', '\n', '{', '}', ',', '=', ' ', 'a', 'b', 'Z', '0', '_', '/', ':', '?', 'é', '✓',
+];
+
+fn label_value() -> impl Strategy<Value = String> {
+    proptest::collection::vec(0usize..PALETTE.len(), 0..24)
+        .prop_map(|idx| idx.into_iter().map(|i| PALETTE[i]).collect())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn label_values_round_trip_through_the_exposition(
+        path in label_value(),
+        worker in label_value(),
+    ) {
+        let registry = Registry::default();
+        registry
+            .counter(
+                "prop_escape_total",
+                "Escaping property-test counter.",
+                &[("path", &path), ("worker", &worker)],
+            )
+            .add(7);
+        let text = registry.render_prometheus();
+        let expo = parse_exposition(&text);
+        prop_assert!(
+            expo.is_ok(),
+            "rendered text failed to parse: {:?}\n{text}",
+            expo.err()
+        );
+        let expo = expo.unwrap();
+        prop_assert_eq!(
+            expo.value(
+                "prop_escape_total",
+                &[("path", path.as_str()), ("worker", worker.as_str())]
+            ),
+            Some(7.0),
+            "value lost for path={:?} worker={:?}\n{}",
+            path,
+            worker,
+            text
+        );
+    }
+}

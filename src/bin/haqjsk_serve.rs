@@ -5,8 +5,14 @@
 //! docs and `docs/serving.md` for the full command table, wire format and
 //! overload knobs (`HAQJSK_SERVE_*`).
 //!
-//! Usage: `haqjsk-serve [ADDR] [--model PATH]` (default `127.0.0.1:7878`;
-//! worker count via `HAQJSK_THREADS`).
+//! Usage: `haqjsk-serve [ADDR] [--model PATH] [--http-addr ADDR]` (default
+//! `127.0.0.1:7878`; worker count via `HAQJSK_THREADS`).
+//!
+//! `--http-addr ADDR` (or the `HAQJSK_HTTP_ADDR` environment variable)
+//! additionally mounts the HTTP observability sidecar: `GET /metrics`
+//! (Prometheus text), `/healthz` (200 serving / 503 draining-or-
+//! overloaded), `/traces` (drained spans as JSON lines) and
+//! `/debug/requests` (the flight recorder). See `docs/observability.md`.
 //!
 //! `--model PATH` enables crash-safe persistence: an existing model at
 //! `PATH` is loaded (checksum-verified) before serving; a stray `PATH.tmp`
@@ -71,19 +77,26 @@ mod sig {
 struct Args {
     addr: String,
     model: Option<String>,
+    http_addr: Option<String>,
 }
 
 fn parse_args() -> Result<Args, String> {
     let mut addr = None;
     let mut model = None;
+    let mut http_addr = None;
     let mut argv = std::env::args().skip(1);
     while let Some(arg) = argv.next() {
         match arg.as_str() {
             "--model" => {
                 model = Some(argv.next().ok_or("--model needs a PATH argument")?);
             }
+            "--http-addr" => {
+                http_addr = Some(argv.next().ok_or("--http-addr needs an ADDR argument")?);
+            }
             "--help" | "-h" => {
-                return Err("usage: haqjsk-serve [ADDR] [--model PATH]".to_string());
+                return Err(
+                    "usage: haqjsk-serve [ADDR] [--model PATH] [--http-addr ADDR]".to_string(),
+                );
             }
             other if other.starts_with("--") => {
                 return Err(format!("unknown flag '{other}'"));
@@ -98,6 +111,12 @@ fn parse_args() -> Result<Args, String> {
     Ok(Args {
         addr: addr.unwrap_or_else(|| "127.0.0.1:7878".to_string()),
         model,
+        // The flag wins over the `HAQJSK_HTTP_ADDR` environment default.
+        http_addr: http_addr.or_else(|| {
+            std::env::var(haqjsk::serving::HTTP_ADDR_ENV_VAR)
+                .ok()
+                .filter(|raw| !raw.trim().is_empty())
+        }),
     })
 }
 
@@ -166,6 +185,14 @@ fn main() {
         eprintln!("haqjsk-serve: cannot bind {}: {e}", args.addr);
         std::process::exit(1);
     });
+    // The HTTP observability sidecar is optional; a bad bind is fatal (a
+    // configured-but-dead scrape endpoint is worse than none).
+    let mut http_server = args.http_addr.as_ref().map(|http_addr| {
+        serving.spawn_http(http_addr).unwrap_or_else(|e| {
+            eprintln!("haqjsk-serve: cannot bind http {http_addr}: {e}");
+            std::process::exit(1);
+        })
+    });
     let engine = Engine::global();
     let cache = CacheConfig::from_env();
     println!(
@@ -178,6 +205,9 @@ fn main() {
             .budget_bytes
             .map_or_else(|| "unbounded".to_string(), |b| format!("{b} bytes")),
     );
+    if let Some(http) = &http_server {
+        println!("haqjsk-serve http listening on {}", http.local_addr());
+    }
     // The accept loop runs on its own thread; supervise the lifecycle
     // flags (signal handler, `drain` op) until a drain is requested.
     loop {
@@ -188,6 +218,17 @@ fn main() {
                 deadline.as_millis()
             );
             let report = server.drain(deadline);
+            // Last words: the flight recorder's recent/slow request
+            // summaries, so a post-mortem has them even with no scraper
+            // attached. The HTTP sidecar stays up through the drain (so
+            // `/healthz` reports 503) and closes here.
+            let flight = haqjsk::obs::flight_jsonl();
+            if !flight.is_empty() {
+                eprint!("haqjsk-serve: flight recorder at exit:\n{flight}");
+            }
+            if let Some(mut http) = http_server.take() {
+                http.shutdown();
+            }
             if report.drained {
                 eprintln!("haqjsk-serve: drained cleanly; exiting");
                 std::process::exit(0);

@@ -12,6 +12,14 @@
 //! * any of the engine / cache / dist / serve metric families is absent
 //!   from the single scrape.
 //!
+//! It then exercises the HTTP observability sidecar over real sockets:
+//! `GET /metrics` must parse under the same strict parser and carry every
+//! typed family the wire-op scrape carried (the sidecar's own
+//! `haqjsk_http_*` families are the only permitted additions), `GET
+//! /healthz` must answer 200 while serving — and flip to 503 during a
+//! `SIGTERM` drain, observed while a deliberately half-sent frame holds
+//! the drain open.
+//!
 //! Usage: `cargo run --release --bin metrics_check`
 
 use haqjsk::engine::serve::graph_to_json;
@@ -31,6 +39,7 @@ fn fail(message: &str) -> ! {
 struct ServeProcess {
     child: std::process::Child,
     addr: String,
+    http_addr: String,
 }
 
 impl Drop for ServeProcess {
@@ -54,29 +63,73 @@ fn spawn_serve() -> ServeProcess {
     }
     let mut child = std::process::Command::new(bin)
         .arg("127.0.0.1:0")
+        .arg("--http-addr")
+        .arg("127.0.0.1:0")
         .env_remove("HAQJSK_BACKEND")
+        // Generous drain budget: the drain check below holds the drain
+        // open deliberately and must release it before this expires.
+        .env("HAQJSK_SERVE_DRAIN_MS", "30000")
         .stdout(std::process::Stdio::piped())
         .stderr(std::process::Stdio::inherit())
         .spawn()
         .unwrap_or_else(|e| fail(&format!("cannot spawn haqjsk-serve: {e}")));
     let stdout = child.stdout.take().expect("piped stdout");
-    let mut line = String::new();
-    BufReader::new(stdout)
-        .read_line(&mut line)
-        .unwrap_or_else(|e| fail(&format!("cannot read serve banner: {e}")));
-    // Banner shape: "haqjsk-serve listening on 127.0.0.1:PORT (...)".
-    let addr = line
-        .split_whitespace()
-        .find(|token| {
-            token.contains(':')
-                && token
-                    .rsplit(':')
-                    .next()
-                    .is_some_and(|p| p.parse::<u16>().is_ok())
-        })
-        .unwrap_or_else(|| fail(&format!("no listen address in banner: {line:?}")))
-        .to_string();
-    ServeProcess { child, addr }
+    let mut reader = BufReader::new(stdout);
+    // Banner shapes: "haqjsk-serve listening on 127.0.0.1:PORT (...)",
+    // then "haqjsk-serve http listening on 127.0.0.1:PORT".
+    let mut banner_addr = |what: &str| {
+        let mut line = String::new();
+        reader
+            .read_line(&mut line)
+            .unwrap_or_else(|e| fail(&format!("cannot read {what} banner: {e}")));
+        line.split_whitespace()
+            .find(|token| {
+                token.contains(':')
+                    && token
+                        .rsplit(':')
+                        .next()
+                        .is_some_and(|p| p.parse::<u16>().is_ok())
+            })
+            .unwrap_or_else(|| fail(&format!("no {what} listen address in banner: {line:?}")))
+            .to_string()
+    };
+    let addr = banner_addr("serve");
+    let http_addr = banner_addr("http");
+    ServeProcess {
+        child,
+        addr,
+        http_addr,
+    }
+}
+
+/// One blocking HTTP/1.1 GET over a fresh connection; returns the status
+/// code and body.
+fn http_get(addr: &str, path: &str) -> (u16, String) {
+    let mut stream = TcpStream::connect(addr)
+        .unwrap_or_else(|e| fail(&format!("cannot connect to http {addr}: {e}")));
+    stream
+        .set_read_timeout(Some(std::time::Duration::from_secs(10)))
+        .expect("set read timeout");
+    stream
+        .write_all(
+            format!("GET {path} HTTP/1.1\r\nHost: metrics-check\r\nConnection: close\r\n\r\n")
+                .as_bytes(),
+        )
+        .and_then(|()| stream.flush())
+        .unwrap_or_else(|e| fail(&format!("http send failed: {e}")));
+    let mut raw = String::new();
+    std::io::Read::read_to_string(&mut stream, &mut raw)
+        .unwrap_or_else(|e| fail(&format!("http read failed: {e}")));
+    let status = raw
+        .strip_prefix("HTTP/1.1 ")
+        .and_then(|rest| rest.get(..3))
+        .and_then(|code| code.parse::<u16>().ok())
+        .unwrap_or_else(|| fail(&format!("malformed http status line: {raw:?}")));
+    let body = raw
+        .split_once("\r\n\r\n")
+        .map(|(_, body)| body.to_string())
+        .unwrap_or_default();
+    (status, body)
 }
 
 fn request(stream: &mut TcpStream, reader: &mut BufReader<TcpStream>, body: &str) -> Json {
@@ -153,10 +206,94 @@ fn main() {
             fail(&format!("scrape is missing metric family {family}"));
         }
     }
+    if !exposition.has_family("haqjsk_build_info") {
+        fail("scrape is missing metric family haqjsk_build_info");
+    }
+
+    // --- HTTP sidecar: /healthz then /metrics over real sockets. The
+    // healthz request goes first so the sidecar's own haqjsk_http_*
+    // families exist by the time /metrics snapshots the registry.
+    let (status, body) = http_get(&serve.http_addr, "/healthz");
+    if status != 200 || body.trim() != "ok" {
+        fail(&format!(
+            "GET /healthz while serving: {status} {body:?} (want 200 ok)"
+        ));
+    }
+    let (status, http_text) = http_get(&serve.http_addr, "/metrics");
+    if status != 200 {
+        fail(&format!("GET /metrics: status {status} (want 200)"));
+    }
+    let http_exposition = parse_exposition(&http_text).unwrap_or_else(|e| {
+        fail(&format!(
+            "unparseable http exposition: {e}\n---\n{http_text}"
+        ))
+    });
+    // Same families both ways: everything the wire op exposed must be in
+    // the HTTP scrape, and the HTTP scrape may add only its own transport
+    // families (the registry never shrinks, so no allowance the other way).
+    for family in exposition.types.keys() {
+        if !http_exposition.has_family(family) {
+            fail(&format!(
+                "http scrape is missing wire-scrape family {family}"
+            ));
+        }
+    }
+    for family in http_exposition.types.keys() {
+        if !exposition.has_family(family) && !family.starts_with("haqjsk_http_") {
+            fail(&format!(
+                "http scrape grew unexpected non-http family {family}"
+            ));
+        }
+    }
+    if !http_exposition.has_family("haqjsk_http_requests_total") {
+        fail("http scrape is missing its own family haqjsk_http_requests_total");
+    }
+
+    // --- SIGTERM drain: hold the drain open with a half-sent frame, then
+    // watch /healthz flip to 503.
+    let mut held = TcpStream::connect(&serve.addr)
+        .unwrap_or_else(|e| fail(&format!("cannot open held connection: {e}")));
+    held.write_all(b"{")
+        .and_then(|()| held.flush())
+        .unwrap_or_else(|e| fail(&format!("cannot half-send a frame: {e}")));
+    let pid = serve.child.id();
+    let killed = std::process::Command::new("kill")
+        .arg(pid.to_string())
+        .status()
+        .unwrap_or_else(|e| fail(&format!("cannot run kill: {e}")));
+    if !killed.success() {
+        fail(&format!("kill -TERM {pid} failed"));
+    }
+    let drain_seen = std::time::Instant::now();
+    loop {
+        let (status, body) = http_get(&serve.http_addr, "/healthz");
+        if status == 503 && body.trim() == "draining" {
+            break;
+        }
+        if drain_seen.elapsed() > std::time::Duration::from_secs(10) {
+            fail(&format!(
+                "GET /healthz never reported the drain: last answer {status} {body:?}"
+            ));
+        }
+        std::thread::sleep(std::time::Duration::from_millis(25));
+    }
+    // Release the drain and require a clean exit.
+    drop(held);
+    drop(stream);
+    drop(reader);
+    let mut serve = serve;
+    let exit = serve
+        .child
+        .wait()
+        .unwrap_or_else(|e| fail(&format!("cannot wait for drained serve: {e}")));
+    if !exit.success() {
+        fail(&format!("drained serve exited with {exit}"));
+    }
 
     println!(
-        "metrics_check: OK — {} samples across {} typed families; engine, cache, dist and serve all present in one scrape",
+        "metrics_check: OK — {} samples across {} typed families; engine, cache, dist and serve all present in one scrape; http /metrics parse-identical ({} families) and /healthz flipped 200→503 through a SIGTERM drain",
         exposition.samples.len(),
-        exposition.types.len()
+        exposition.types.len(),
+        http_exposition.types.len()
     );
 }

@@ -84,7 +84,10 @@ use crate::dist::{Coordinator, DistConfig, DistStats};
 use crate::engine::serve::{
     error_response, graph_from_json, Handler, ServeConfig, ServeControl, Server,
 };
-use crate::engine::{BackendKind, CacheConfig, Engine, FeatureCache, Json, ShardStats};
+use crate::engine::{
+    BackendKind, CacheConfig, Engine, FeatureCache, HttpResponder, HttpResponse, HttpServer, Json,
+    ShardStats,
+};
 use crate::graph::Graph;
 use crate::kernels::{density_cache_shard_stats, KernelMatrix};
 use crate::quantum::von_neumann_entropy;
@@ -101,6 +104,10 @@ pub const DEADLINE_ENV_VAR: &str = "HAQJSK_SERVE_DEADLINE_MS";
 /// mark (`0` sheds every heavy request — useful for tests and for
 /// quiescing a server without stopping it).
 pub const MAX_INFLIGHT_HEAVY_ENV_VAR: &str = "HAQJSK_SERVE_MAX_INFLIGHT_HEAVY";
+/// Environment variable giving the HTTP observability sidecar's bind
+/// address (`host:port`); the `haqjsk-serve --http-addr` flag overrides
+/// it. Unset or empty: no HTTP listener.
+pub const HTTP_ADDR_ENV_VAR: &str = "HAQJSK_HTTP_ADDR";
 
 /// Application-level serving limits on top of the transport's
 /// [`ServeConfig`].
@@ -217,6 +224,21 @@ pub fn register_metric_exporters() {
         crate::kernels::register_cache_metrics();
         crate::linalg::register_batch_metrics();
         crate::dist::register_dist_metrics();
+        // Info-style build-identity gauge: constant 1, the labels carry the
+        // interesting values (crate version, dispatched SIMD path, default
+        // Gram backend). One scrape identifies what is running where.
+        crate::obs::registry()
+            .gauge(
+                "haqjsk_build_info",
+                "Build identity (info-style: constant 1; labels carry the \
+                 crate version, SIMD dispatch path and default Gram backend).",
+                &[
+                    ("version", env!("CARGO_PKG_VERSION")),
+                    ("simd_path", crate::linalg::active_simd_label()),
+                    ("backend", Engine::global().backend().label()),
+                ],
+            )
+            .set(1.0);
     });
 }
 
@@ -326,6 +348,67 @@ impl Serving {
         let server = Server::spawn_with_config(addr, handler, self.inner.config.serve.clone())?;
         let _ = self.inner.control.set(server.control());
         Ok(server)
+    }
+
+    /// Mounts the HTTP observability sidecar on `addr` (use port `0` for an
+    /// ephemeral port): a GET-only HTTP/1.1 listener serving `/metrics`
+    /// (Prometheus text), `/healthz` (200 while serving, 503 while draining
+    /// or overloaded), `/traces` (drained span records as JSON lines behind
+    /// a meta line) and `/debug/requests` (the flight recorder). The
+    /// listener keeps answering during a drain so `/healthz` can report it.
+    pub fn spawn_http(&self, addr: &str) -> std::io::Result<HttpServer> {
+        register_metric_exporters();
+        let serving = self.clone();
+        let responder: Arc<HttpResponder> = Arc::new(move |path: &str| serving.http_respond(path));
+        HttpServer::spawn(addr, responder)
+    }
+
+    /// Routes one HTTP GET path to its response. Public so tests can
+    /// exercise the routing without a live listener.
+    pub fn http_respond(&self, path: &str) -> HttpResponse {
+        match path {
+            "/metrics" => {
+                register_metric_exporters();
+                let snapshot = crate::obs::registry().snapshot();
+                HttpResponse {
+                    status: 200,
+                    content_type: "text/plain; version=0.0.4; charset=utf-8",
+                    body: crate::obs::render_prometheus(&snapshot),
+                    route: "/metrics",
+                }
+            }
+            "/healthz" => {
+                if self.drain_requested() {
+                    HttpResponse::text(503, "/healthz", "draining\n")
+                } else if self.heavy_load() >= self.inner.config.max_inflight_heavy {
+                    HttpResponse::text(503, "/healthz", "overloaded\n")
+                } else {
+                    HttpResponse::text(200, "/healthz", "ok\n")
+                }
+            }
+            "/traces" => {
+                let dump = crate::obs::drain_trace_jsonl();
+                let meta = format!(
+                    "{{\"kind\":\"meta\",\"enabled\":{},\"spans\":{},\"dropped\":{}}}\n",
+                    crate::obs::trace_enabled(),
+                    dump.spans,
+                    dump.dropped
+                );
+                HttpResponse {
+                    status: 200,
+                    content_type: "application/jsonl",
+                    body: format!("{meta}{}", dump.jsonl),
+                    route: "/traces",
+                }
+            }
+            "/debug/requests" => HttpResponse {
+                status: 200,
+                content_type: "application/jsonl",
+                body: crate::obs::flight_jsonl(),
+                route: "/debug/requests",
+            },
+            _ => HttpResponse::text(404, "other", "not found\n"),
+        }
     }
 
     /// Whether a graceful drain has been requested (by the `drain`
@@ -1018,16 +1101,18 @@ fn cmd_metrics() -> Json {
     ])
 }
 
-/// Drains the span tracer's per-thread ring buffers: `spans` counts the
-/// records, `jsonl` carries them one JSON object per line (empty when
-/// tracing is disabled via `HAQJSK_TRACE=0`).
+/// Drains the span tracer's ring buffers: `spans` counts the records,
+/// `dropped` the span records lost to ring overwrites since the last
+/// drain, and `jsonl` carries the records one JSON object per line (empty
+/// when tracing is disabled via `HAQJSK_TRACE=0`).
 fn cmd_trace_dump() -> Json {
-    let (spans, jsonl) = crate::obs::drain_trace_jsonl();
+    let dump = crate::obs::drain_trace_jsonl();
     Json::obj([
         ("ok", Json::Bool(true)),
         ("enabled", Json::Bool(crate::obs::trace_enabled())),
-        ("spans", Json::Num(spans as f64)),
-        ("jsonl", Json::Str(jsonl)),
+        ("spans", Json::Num(dump.spans as f64)),
+        ("dropped", Json::Num(dump.dropped as f64)),
+        ("jsonl", Json::Str(dump.jsonl)),
     ])
 }
 
@@ -1061,6 +1146,17 @@ fn cmd_stats(serving: &Serving) -> Json {
         (
             "engine_backend",
             Json::Str(engine.backend().label().to_string()),
+        ),
+        (
+            "build",
+            Json::obj([
+                ("version", Json::Str(env!("CARGO_PKG_VERSION").to_string())),
+                (
+                    "simd_path",
+                    Json::Str(crate::linalg::active_simd_label().to_string()),
+                ),
+                ("backend", Json::Str(engine.backend().label().to_string())),
+            ]),
         ),
         (
             "density_cache_hits",
